@@ -1,0 +1,233 @@
+package smtexplore_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// b.N iteration regenerates the complete figure/table (these are
+// macro-benchmarks; run with the default -benchtime or -benchtime=1x).
+// Key series values are attached as custom metrics so regressions in the
+// reproduced *shapes* — not just runtimes — are visible in benchmark
+// diffs.
+
+import (
+	"testing"
+
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/profile"
+	"smtexplore/internal/streams"
+)
+
+// BenchmarkFig1StreamCPI regenerates Figure 1: average CPI of the paper's
+// representative streams under the six TLP×ILP execution modes.
+func BenchmarkFig1StreamCPI(b *testing.B) {
+	var rows []experiments.Fig1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig1(experiments.StreamMachineConfig(), experiments.Fig1Kinds())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Stream == streams.FAddS && r.ILP == streams.MaxILP && r.Threads == 1 {
+			b.ReportMetric(r.CPI, "fadd-1thr-maxILP-CPI")
+		}
+		if r.Stream == streams.IAddS && r.ILP == streams.MaxILP && r.Threads == 2 {
+			b.ReportMetric(r.CPI, "iadd-2thr-maxILP-CPI")
+		}
+	}
+}
+
+// BenchmarkFig2FPPairs regenerates Figure 2(a): pairwise slowdown factors
+// of the floating-point streams.
+func BenchmarkFig2FPPairs(b *testing.B) {
+	var cells []experiments.Fig2Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiments.Fig2a(experiments.StreamMachineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		if c.Subject == streams.FDivS && c.Partner == streams.FDivS && c.ILP == streams.MaxILP {
+			b.ReportMetric(c.Slowdown, "fdiv-x-fdiv-slowdown")
+		}
+		if c.Subject == streams.FAddS && c.Partner == streams.FMulS && c.ILP == streams.MaxILP {
+			b.ReportMetric(c.Slowdown, "fadd-x-fmul-slowdown")
+		}
+	}
+}
+
+// BenchmarkFig2IntPairs regenerates Figure 2(b): the integer streams.
+func BenchmarkFig2IntPairs(b *testing.B) {
+	var cells []experiments.Fig2Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiments.Fig2b(experiments.StreamMachineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		if c.Subject == streams.IAddS && c.Partner == streams.IAddS && c.ILP == streams.MaxILP {
+			b.ReportMetric(c.Slowdown, "iadd-x-iadd-slowdown")
+		}
+	}
+}
+
+// BenchmarkFig2MixedPairs regenerates Figure 2(c): mixed integer and
+// floating-point arithmetic pairs.
+func BenchmarkFig2MixedPairs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2c(experiments.StreamMachineConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// reportKernelShape attaches the figure's headline series as metrics: the
+// per-mode execution-time factor relative to serial, and the SPR worker's
+// miss reduction.
+func reportKernelShape(b *testing.B, ms []experiments.KernelMetrics, label string) {
+	b.Helper()
+	serial, ok := experiments.SerialOf(ms, label)
+	if !ok {
+		b.Fatalf("no serial baseline for %s", label)
+	}
+	for _, m := range ms {
+		if m.Label != label || m.Mode == kernels.Serial {
+			continue
+		}
+		b.ReportMetric(experiments.Relative(m, serial), m.Mode.String()+"-vs-serial")
+		if m.Mode == kernels.TLPPfetch && serial.L2ReadMissesWorker > 0 {
+			red := 1 - float64(m.L2ReadMissesWorker)/float64(serial.L2ReadMissesWorker)
+			b.ReportMetric(red, "pfetch-miss-reduction")
+		}
+	}
+}
+
+// BenchmarkFig3MM regenerates Figure 3: the Matrix Multiplication kernel
+// across five execution modes and three scaled sizes.
+func BenchmarkFig3MM(b *testing.B) {
+	var ms []experiments.KernelMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		ms, err = experiments.Fig3MM(experiments.MMSizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportKernelShape(b, ms, "N=128")
+}
+
+// BenchmarkFig4LU regenerates Figure 4: the LU-decomposition kernel.
+func BenchmarkFig4LU(b *testing.B) {
+	var ms []experiments.KernelMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		ms, err = experiments.Fig4LU(experiments.LUSizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportKernelShape(b, ms, "N=128")
+}
+
+// BenchmarkFig5CG regenerates the CG panels of Figure 5.
+func BenchmarkFig5CG(b *testing.B) {
+	var ms []experiments.KernelMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		ms, err = experiments.Fig5CG()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(ms) > 0 {
+		reportKernelShape(b, ms, ms[0].Label)
+	}
+}
+
+// BenchmarkFig5BT regenerates the BT panels of Figure 5 — the paper's one
+// TLP speedup.
+func BenchmarkFig5BT(b *testing.B) {
+	var ms []experiments.KernelMetrics
+	for i := 0; i < b.N; i++ {
+		var err error
+		ms, err = experiments.Fig5BT()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(ms) > 0 {
+		reportKernelShape(b, ms, ms[0].Label)
+	}
+}
+
+// BenchmarkTable1Mix regenerates Table 1: the per-subunit dynamic
+// instruction-mix breakdown of every kernel under serial, TLP and SPR
+// execution.
+func BenchmarkTable1Mix(b *testing.B) {
+	var cols []experiments.Table1Column
+	for i := 0; i < b.N; i++ {
+		var err error
+		cols, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cols {
+		if c.Kernel == "MM" && c.Mode == "serial" {
+			b.ReportMetric(c.Share[profile.RowLoad], "mm-serial-load-pct")
+			b.ReportMetric(c.ALU0Share, "mm-serial-alu0-pct")
+		}
+	}
+}
+
+// BenchmarkAblationSync regenerates the §3.1 wait-primitive ablation.
+func BenchmarkAblationSync(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblateSync()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Metrics.Cycles), r.Variant+"-cycles")
+	}
+}
+
+// BenchmarkAblationSpan regenerates the §3.2 precomputation-span sweep.
+func BenchmarkAblationSpan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblateSpan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPartition regenerates the §5.3 partitioning contrast.
+func BenchmarkAblationPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblatePartition(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectiveHalt regenerates the §3.1 selective-halting two-pass
+// methodology on LU's phase barriers.
+func BenchmarkSelectiveHalt(b *testing.B) {
+	var r experiments.SelectiveHaltResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.SelectiveHaltLU(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Baseline.Cycles), "all-spin-cycles")
+	b.ReportMetric(float64(r.Planned.Cycles), "selective-halt-cycles")
+}

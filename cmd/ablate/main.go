@@ -1,0 +1,67 @@
+// Command ablate runs the design-choice ablation studies of the
+// reproduction: the §3.1 synchronisation-primitive comparison (raw spin
+// vs pause-augmented spin vs halt), the §3.2 precomputation-span sweep,
+// and the §5.3 static-vs-shared resource-partitioning contrast.
+//
+// Usage:
+//
+//	ablate -study sync|span|partition|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smtexplore/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablate: ")
+	study := flag.String("study", "all", "study to run: sync, span, partition, selective or all")
+	flag.Parse()
+
+	run := func(name string) {
+		var rows []experiments.AblationRow
+		var title string
+		var err error
+		switch name {
+		case "sync":
+			title = "Ablation §3.1 — wait primitive of the MM prefetcher"
+			rows, err = experiments.AblateSync()
+		case "span":
+			title = "Ablation §3.2 — precomputation span of the MM prefetcher"
+			rows, err = experiments.AblateSpan()
+		case "partition":
+			title = "Ablation §5.3 — static partitioning vs fully shared buffers"
+			rows, err = experiments.AblatePartition()
+		case "selective":
+			r, serr := experiments.SelectiveHaltLU(64)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			fmt.Print(experiments.FormatSelectiveHalt(r))
+			fmt.Println()
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "unknown study %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatAblation(title, rows))
+		fmt.Println()
+	}
+
+	if *study == "all" {
+		for _, s := range []string{"sync", "span", "partition", "selective"} {
+			run(s)
+		}
+		return
+	}
+	run(*study)
+}

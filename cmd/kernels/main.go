@@ -1,0 +1,90 @@
+// Command kernels regenerates the benchmark experiments of Section 5 of
+// the paper: the Figure 3 (Matrix Multiplication), Figure 4 (LU
+// decomposition) and Figure 5 (NAS CG and BT) panel groups, and the
+// Table 1 instruction-mix breakdown.
+//
+// Usage:
+//
+//	kernels -bench mm         # Figure 3
+//	kernels -bench lu         # Figure 4
+//	kernels -bench cg         # Figure 5, CG panels
+//	kernels -bench bt         # Figure 5, BT panels
+//	kernels -bench all        # all figures
+//	kernels -table 1          # Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smtexplore/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kernels: ")
+	bench := flag.String("bench", "", "benchmark figure to regenerate: mm, lu, cg, bt or all")
+	table := flag.Int("table", 0, "table to regenerate (1)")
+	flag.Parse()
+
+	if *bench == "" && *table == 0 {
+		*bench = "all"
+		*table = 1
+	}
+
+	run := func(name string) {
+		switch name {
+		case "mm":
+			ms, err := experiments.Fig3MM(experiments.MMSizes())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", ms))
+		case "lu":
+			ms, err := experiments.Fig4LU(experiments.LUSizes())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatKernelFigure("Figure 4 — LU decomposition", ms))
+		case "cg":
+			ms, err := experiments.Fig5CG()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS CG", ms))
+		case "bt":
+			ms, err := experiments.Fig5BT()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS BT", ms))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	switch *bench {
+	case "all":
+		for _, b := range []string{"mm", "lu", "cg", "bt"} {
+			run(b)
+		}
+	case "":
+	default:
+		run(*bench)
+	}
+
+	if *table == 1 {
+		cols, err := experiments.Table1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.FormatTable1(cols))
+	} else if *table != 0 {
+		log.Fatalf("unknown table %d", *table)
+	}
+}

@@ -1,0 +1,64 @@
+// Command memprobe characterises the simulated memory hierarchy with
+// lmbench-style microbenchmarks: a dependent pointer-chase latency sweep
+// across region sizes (exposing the L1/L2/DRAM plateaus) and a streaming
+// bandwidth sweep with one and two hardware contexts (exposing the shared
+// L2 port and MSHR limits the paper's dual-thread kernels contend on).
+//
+// Usage:
+//
+//	memprobe                 # both sweeps on the stream machine
+//	memprobe -machine kernel # the scaled kernel machine (32 KB L2)
+//	memprobe -lat | -bw      # one sweep only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smtexplore/internal/core"
+	"smtexplore/internal/memprobe"
+	"smtexplore/internal/smt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("memprobe: ")
+	machine := flag.String("machine", "stream", "machine config: stream (512 KB L2) or kernel (32 KB L2)")
+	latOnly := flag.Bool("lat", false, "latency sweep only")
+	bwOnly := flag.Bool("bw", false, "bandwidth sweep only")
+	hops := flag.Int("hops", 4000, "chase hops per latency point")
+	flag.Parse()
+
+	var mcfg smt.Config
+	switch *machine {
+	case "stream":
+		mcfg = core.StreamMachine()
+	case "kernel":
+		mcfg = core.KernelMachine()
+	default:
+		log.Fatalf("unknown machine %q", *machine)
+	}
+
+	l2 := mcfg.Mem.L2.Size
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, l2 / 2, l2, 4 * l2, 16 * l2}
+
+	if !*bwOnly {
+		fmt.Printf("dependent pointer-chase latency (%s machine, L1 %dKB, L2 %dKB):\n",
+			*machine, mcfg.Mem.L1.Size>>10, l2>>10)
+		points, err := memprobe.LatencySweep(mcfg, sizes, *hops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(memprobe.FormatLatency(points))
+		fmt.Println()
+	}
+	if !*latOnly {
+		fmt.Println("streaming bandwidth (independent loads):")
+		points, err := memprobe.BandwidthSweep(mcfg, []int{4 << 10, l2, 8 * l2}, 40_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(memprobe.FormatBandwidth(points))
+	}
+}

@@ -1,0 +1,61 @@
+// Command report regenerates the complete evaluation and scores the
+// reproduction against the paper's quantitative claims, printing a
+// verdict table (the generated counterpart of EXPERIMENTS.md's summary).
+//
+// Usage:
+//
+//	report            # full collection (several minutes of simulation)
+//	report -quick     # smaller kernel instances, streams/ablations skipped
+//	report -verbose   # additionally print every figure and table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	quick := flag.Bool("quick", false, "reduced collection: small kernels, no streams/ablations")
+	verbose := flag.Bool("verbose", false, "also print the collected figures and tables")
+	flag.Parse()
+
+	opt := report.Options{}
+	if *quick {
+		opt = report.Options{
+			MMSizes:       []int{32, 64},
+			LUSizes:       []int{32, 64},
+			SkipStreams:   true,
+			SkipAblations: true,
+		}
+	}
+
+	d, err := report.Collect(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *verbose {
+		if d.Fig1 != nil {
+			fmt.Print(experiments.FormatFig1(d.Fig1))
+			fmt.Println()
+		}
+		fmt.Print(experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", d.MM))
+		fmt.Println()
+		fmt.Print(experiments.FormatKernelFigure("Figure 4 — LU decomposition", d.LU))
+		fmt.Println()
+		fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS CG", d.CG))
+		fmt.Println()
+		fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS BT", d.BT))
+		fmt.Println()
+		fmt.Print(experiments.FormatTable1(d.Table1))
+		fmt.Println()
+	}
+
+	fmt.Print(report.Format(report.Evaluate(d)))
+}

@@ -1,0 +1,62 @@
+// Command sensitivity sweeps the simulated processor's design parameters
+// for a chosen benchmark and execution mode, showing which
+// microarchitectural limits bind — the "performance limits" exploration
+// of the paper's title, with the knobs silicon never exposes.
+//
+// Usage:
+//
+//	sensitivity                       # MM tlp-coarse under the default sweep
+//	sensitivity -kernel cg -mode tlp-pfetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smtexplore/internal/core"
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/kernels"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sensitivity: ")
+	kernel := flag.String("kernel", "mm", "benchmark: mm, lu, cg, bt")
+	modeName := flag.String("mode", "tlp-coarse", "execution mode")
+	size := flag.Int("size", 64, "problem size for mm/lu (ignored otherwise)")
+	flag.Parse()
+
+	var b core.Benchmark
+	switch *kernel {
+	case "mm":
+		b = core.BenchmarkMM
+	case "lu":
+		b = core.BenchmarkLU
+	case "cg":
+		b, *size = core.BenchmarkCG, 0
+	case "bt":
+		b, *size = core.BenchmarkBT, 0
+	default:
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	var mode kernels.Mode
+	found := false
+	for _, m := range kernels.AllModes() {
+		if m.String() == *modeName {
+			mode, found = m, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	points, err := experiments.Sensitivity(func() (experiments.Builder, error) {
+		return core.NewBuilder(b, *size)
+	}, mode, experiments.DefaultVariants())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatSensitivity(
+		fmt.Sprintf("µarchitecture sensitivity — %s / %s", *kernel, mode), points))
+}

@@ -1,0 +1,202 @@
+// Command smtsim is the generic simulator driver: it runs any benchmark
+// kernel in any execution mode (or a synthetic stream pair) on a chosen
+// machine configuration and dumps the full performance-counter bank —
+// the workflow of the paper's monitoring-library measurements.
+//
+// Usage:
+//
+//	smtsim -kernel mm -mode tlp-pfetch -size 64
+//	smtsim -kernel cg -mode serial
+//	smtsim -stream fadd,fmul -ilp 6
+//	smtsim -program worker.uasm,helper.uasm      # assembled µop programs
+//	smtsim -program demo.uasm -trace 40          # plus a pipeline timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"smtexplore/internal/uasm"
+
+	"smtexplore/internal/core"
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smtsim: ")
+	kernel := flag.String("kernel", "", "benchmark kernel: mm, lu, cg or bt")
+	mode := flag.String("mode", "serial", "execution mode: serial, tlp-fine, tlp-coarse, tlp-pfetch, tlp-pfetch+work")
+	size := flag.Int("size", 0, "problem size (MM/LU matrix dimension; 0 = kernel default)")
+	stream := flag.String("stream", "", "comma-separated stream kinds to co-run instead of a kernel (e.g. fadd,fmul)")
+	ilp := flag.Int("ilp", 6, "ILP degree for streams: 1, 3 or 6")
+	window := flag.Uint64("cycles", experiments.StreamWindowCycles, "cycle budget for stream runs")
+	program := flag.String("program", "", "comma-separated µop-assembly files to run (1 per context)")
+	traceN := flag.Int("trace", 0, "show a pipeline timeline of the last N retired µops")
+	flag.Parse()
+
+	switch {
+	case *program != "":
+		runPrograms(*program, *window, *traceN)
+	case *stream != "":
+		runStreams(*stream, *ilp, *window)
+	case *kernel != "":
+		runKernel(*kernel, *mode, *size)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runPrograms assembles and co-runs µop-assembly files.
+func runPrograms(list string, window uint64, traceN int) {
+	paths := strings.Split(list, ",")
+	if len(paths) < 1 || len(paths) > 2 {
+		log.Fatalf("want 1 or 2 program files, got %d", len(paths))
+	}
+	machine := smt.New(core.StreamMachine())
+	var tracer *smt.Tracer
+	if traceN > 0 {
+		tracer = smt.NewTracer(traceN)
+		tracer.Attach(machine)
+	}
+	for i, path := range paths {
+		src, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := uasm.Parse(string(src))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		machine.LoadProgram(i, p)
+	}
+	res, err := machine.Run(window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("programs %s: %d cycles, completed=%v\n\n", list, machine.Cycle(), res.Completed)
+	dump(machine)
+	if tracer != nil {
+		fmt.Printf("\npipeline timeline (last %d retired µops; A alloc, I issue, C complete, R retire):\n", traceN)
+		fmt.Print(tracer.Timeline(0, machine.Cycle()+1, 64))
+		st := tracer.Stats()
+		fmt.Printf("\nstage averages over %d µops: queue %.1f, execute %.1f, commit-wait %.1f cycles\n",
+			st.Count, st.AvgQueue, st.AvgExecute, st.AvgCommit)
+	}
+}
+
+func parseMode(s string) (kernels.Mode, error) {
+	for _, m := range kernels.AllModes() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parseBenchmark(s string) (core.Benchmark, error) {
+	switch s {
+	case "mm":
+		return core.BenchmarkMM, nil
+	case "lu":
+		return core.BenchmarkLU, nil
+	case "cg":
+		return core.BenchmarkCG, nil
+	case "bt":
+		return core.BenchmarkBT, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q", s)
+}
+
+func parseKind(s string) (streams.Kind, error) {
+	for _, k := range streams.All() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown stream %q", s)
+}
+
+func runKernel(kernel, modeName string, size int) {
+	b, err := parseBenchmark(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := parseMode(modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if size == 0 && (b == core.BenchmarkMM || b == core.BenchmarkLU) {
+		size = 64
+	}
+	builder, err := core.NewBuilder(b, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	progs, err := builder.Programs(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := smt.New(core.KernelMachine())
+	machine.LoadProgram(kernels.WorkerTid, progs[0])
+	if progs[1] != nil {
+		machine.LoadProgram(kernels.HelperTid, progs[1])
+	}
+	res, err := machine.Run(8_000_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s / %s (size %d): %d cycles, completed=%v\n\n",
+		kernel, modeName, size, machine.Cycle(), res.Completed)
+	dump(machine)
+}
+
+func runStreams(list string, ilp int, window uint64) {
+	parts := strings.Split(list, ",")
+	if len(parts) < 1 || len(parts) > 2 {
+		log.Fatalf("want 1 or 2 streams, got %d", len(parts))
+	}
+	machine := smt.New(core.StreamMachine())
+	for i, p := range parts {
+		k, err := parseKind(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := streams.Spec{Kind: k, ILP: streams.ILP(ilp), Base: streams.DisjointBase(i)}
+		if err := sp.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		machine.LoadProgram(i, streams.Build(sp))
+	}
+	if _, err := machine.Run(window); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streams %s at ILP %d, %d-cycle window\n\n", list, ilp, window)
+	dump(machine)
+}
+
+func dump(m *smt.Machine) {
+	fmt.Print(m.Counters().Snapshot().Format())
+	for tid := 0; tid < smt.NumContexts; tid++ {
+		ts := m.Hierarchy().Thread(tid)
+		if ts.Accesses == 0 {
+			continue
+		}
+		fmt.Printf("\ncpu%d memory: %d accesses, %d L1 misses, %d L2 misses (%d reads)\n",
+			tid, ts.Accesses, ts.L1Misses, ts.L2Misses, ts.L2ReadMisses)
+		c := m.Counters()
+		instr := c.Get(perfmon.InstrRetired, tid)
+		if cyc := c.Get(perfmon.Cycles, tid); cyc > 0 && instr > 0 {
+			fmt.Printf("cpu%d CPI: %.3f (IPC %.2f)\n", tid,
+				float64(cyc)/float64(instr), float64(instr)/float64(cyc))
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command streams regenerates the synthetic-stream experiments of
+// Section 4 of the paper: Figure 1 (average CPI per stream under TLP×ILP
+// execution modes) and Figure 2 (pairwise co-execution slowdown factors).
+//
+// Usage:
+//
+//	streams -fig 1          # Figure 1
+//	streams -fig 2a         # FP × FP slowdown matrix
+//	streams -fig 2b         # int × int slowdown matrix
+//	streams -fig 2c         # fp-arith × int-arith matrix
+//	streams -fig all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/streams"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streams: ")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c or all")
+	full := flag.Bool("full", false, "Figure 1 over all stream kinds, not just the paper's selection")
+	flag.Parse()
+
+	mcfg := experiments.StreamMachineConfig()
+	run := func(name string) {
+		switch name {
+		case "1":
+			kinds := experiments.Fig1Kinds()
+			if *full {
+				kinds = streams.All()
+			}
+			rows, err := experiments.Fig1(mcfg, kinds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatFig1(rows))
+		case "2a":
+			cells, err := experiments.Fig2a(mcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatFig2("Figure 2(a) — floating-point streams", cells))
+		case "2b":
+			cells, err := experiments.Fig2b(mcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatFig2("Figure 2(b) — integer streams", cells))
+		case "2c":
+			cells, err := experiments.Fig2c(mcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(experiments.FormatFig2("Figure 2(c) — mixed fp×int arithmetic", cells))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"1", "2a", "2b", "2c"} {
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}

@@ -1,0 +1,3 @@
+module smtexplore
+
+go 1.24

@@ -1,0 +1,170 @@
+// Package core is the public facade of the reproduction library: it ties
+// together the SMT processor simulator, the synthetic-stream generators,
+// the benchmark kernels and the experiment harness behind a small API
+// that the command-line tools, the examples and downstream users drive.
+//
+// The building blocks remain importable individually (internal/smt,
+// internal/streams, internal/kernels/..., internal/experiments); core
+// provides the common compositions:
+//
+//	// Co-run two instruction streams and read their CPIs.
+//	r, _ := core.CoExecute(core.StreamMachine(), spec1, spec2)
+//
+//	// Run a benchmark kernel in one of the paper's modes.
+//	met, _ := core.RunBenchmark(core.BenchmarkMM, kernels.TLPPfetch, 64)
+package core
+
+import (
+	"fmt"
+
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/bt"
+	"smtexplore/internal/kernels/cg"
+	"smtexplore/internal/kernels/lu"
+	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+	"smtexplore/internal/trace"
+)
+
+// StreamMachine returns the processor configuration used for the
+// Section 4 stream experiments.
+func StreamMachine() smt.Config { return experiments.StreamMachineConfig() }
+
+// KernelMachine returns the scaled processor configuration used for the
+// Section 5 benchmark experiments.
+func KernelMachine() smt.Config { return experiments.KernelMachineConfig() }
+
+// StreamResult reports one co-execution measurement.
+type StreamResult struct {
+	// CPI is the per-context cycles-per-instruction over the window.
+	CPI []float64
+	// Slowdown is CPI[i] relative to each stream running alone (only
+	// populated by CoExecuteWithBaseline).
+	Slowdown []float64
+}
+
+// CoExecute runs one or two synthetic streams for the standard
+// measurement window and returns their CPIs.
+func CoExecute(mcfg smt.Config, specs ...streams.Spec) (StreamResult, error) {
+	cpi, err := experiments.MeasureCPI(mcfg, specs, experiments.StreamWindowCycles)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	return StreamResult{CPI: cpi}, nil
+}
+
+// CoExecuteWithBaseline runs the pair and additionally measures each
+// stream alone, returning the paper's slowdown factors.
+func CoExecuteWithBaseline(mcfg smt.Config, a, b streams.Spec) (StreamResult, error) {
+	duo, err := experiments.MeasureCPI(mcfg, []streams.Spec{a, b}, experiments.StreamWindowCycles)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	out := StreamResult{CPI: duo, Slowdown: make([]float64, 2)}
+	for i, sp := range []streams.Spec{a, b} {
+		solo, err := experiments.MeasureCPI(mcfg, []streams.Spec{sp}, experiments.StreamWindowCycles)
+		if err != nil {
+			return StreamResult{}, err
+		}
+		out.Slowdown[i] = duo[i]/solo[0] - 1
+	}
+	return out, nil
+}
+
+// Benchmark identifies one of the paper's four applications.
+type Benchmark uint8
+
+// The paper's benchmarks.
+const (
+	BenchmarkMM Benchmark = iota
+	BenchmarkLU
+	BenchmarkCG
+	BenchmarkBT
+)
+
+func (b Benchmark) String() string {
+	switch b {
+	case BenchmarkMM:
+		return "mm"
+	case BenchmarkLU:
+		return "lu"
+	case BenchmarkCG:
+		return "cg"
+	case BenchmarkBT:
+		return "bt"
+	}
+	return fmt.Sprintf("benchmark(%d)", uint8(b))
+}
+
+// NewBuilder constructs a kernel builder for the benchmark. size selects
+// the matrix dimension for MM/LU; CG and BT use their scaled defaults
+// (pass 0).
+func NewBuilder(b Benchmark, size int) (experiments.Builder, error) {
+	switch b {
+	case BenchmarkMM:
+		return mm.New(mm.DefaultConfig(size))
+	case BenchmarkLU:
+		return lu.New(lu.DefaultConfig(size))
+	case BenchmarkCG:
+		if size != 0 {
+			cfg := cg.DefaultConfig()
+			cfg.N = size
+			return cg.New(cfg)
+		}
+		return cg.New(cg.DefaultConfig())
+	case BenchmarkBT:
+		if size != 0 {
+			cfg := bt.DefaultConfig()
+			cfg.G = size
+			return bt.New(cfg)
+		}
+		return bt.New(bt.DefaultConfig())
+	}
+	return nil, fmt.Errorf("core: unknown benchmark %d", uint8(b))
+}
+
+// RunBenchmark builds and executes the benchmark in the given mode on the
+// kernel machine and returns the paper's monitored events.
+func RunBenchmark(b Benchmark, mode kernels.Mode, size int) (experiments.KernelMetrics, error) {
+	builder, err := NewBuilder(b, size)
+	if err != nil {
+		return experiments.KernelMetrics{}, err
+	}
+	label := b.String()
+	if size != 0 {
+		label = fmt.Sprintf("%s N=%d", b, size)
+	}
+	return experiments.RunKernel(builder, mode, KernelMachine(), label)
+}
+
+// RunProgram executes arbitrary user programs (one per hardware context;
+// nil for an idle context) on a machine with the given configuration,
+// returning the machine for counter inspection.
+func RunProgram(mcfg smt.Config, maxCycles uint64, progs ...trace.Program) (*smt.Machine, error) {
+	if len(progs) == 0 || len(progs) > smt.NumContexts {
+		return nil, fmt.Errorf("core: %d programs (want 1 or 2)", len(progs))
+	}
+	m := smt.New(mcfg)
+	for i, p := range progs {
+		if p != nil {
+			m.LoadProgram(i, p)
+		}
+	}
+	if _, err := m.Run(maxCycles); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// IPC reads instructions-per-cycle for a context from a finished machine.
+func IPC(m *smt.Machine, tid int) float64 {
+	c := m.Counters()
+	cyc := c.Get(perfmon.Cycles, tid)
+	if cyc == 0 {
+		return 0
+	}
+	return float64(c.Get(perfmon.InstrRetired, tid)) / float64(cyc)
+}

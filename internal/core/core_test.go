@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/streams"
+	"smtexplore/internal/trace"
+)
+
+func TestCoExecute(t *testing.T) {
+	r, err := CoExecute(StreamMachine(),
+		streams.Spec{Kind: streams.FAddS, ILP: streams.MaxILP},
+		streams.Spec{Kind: streams.FMulS, ILP: streams.MaxILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.CPI) != 2 || r.CPI[0] <= 0 || r.CPI[1] <= 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+}
+
+func TestCoExecuteWithBaseline(t *testing.T) {
+	r, err := CoExecuteWithBaseline(StreamMachine(),
+		streams.Spec{Kind: streams.IAddS, ILP: streams.MaxILP},
+		streams.Spec{Kind: streams.IAddS, ILP: streams.MaxILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iadd×iadd co-execution ≈ serialisation: ~100% slowdown each.
+	for i, s := range r.Slowdown {
+		if s < 0.6 || s > 1.5 {
+			t.Errorf("slowdown[%d] = %.2f, want ≈1", i, s)
+		}
+	}
+}
+
+func TestNewBuilderAllBenchmarks(t *testing.T) {
+	cases := []struct {
+		b    Benchmark
+		size int
+	}{
+		{BenchmarkMM, 32}, {BenchmarkLU, 32}, {BenchmarkCG, 0}, {BenchmarkBT, 0},
+		{BenchmarkCG, 256}, {BenchmarkBT, 6},
+	}
+	for _, c := range cases {
+		builder, err := NewBuilder(c.b, c.size)
+		if err != nil {
+			t.Fatalf("%v size %d: %v", c.b, c.size, err)
+		}
+		if builder.Name() != c.b.String() {
+			t.Errorf("builder name %q for %v", builder.Name(), c.b)
+		}
+		if len(builder.Modes()) < 3 {
+			t.Errorf("%v has %d modes", c.b, len(builder.Modes()))
+		}
+	}
+	if _, err := NewBuilder(Benchmark(9), 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	met, err := RunBenchmark(BenchmarkMM, kernels.Serial, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Cycles == 0 || met.UopsRetired == 0 {
+		t.Fatalf("empty metrics %+v", met)
+	}
+	if met.Kernel != "mm" || met.Mode != kernels.Serial {
+		t.Errorf("metrics identity wrong: %+v", met)
+	}
+}
+
+func TestRunProgramAndIPC(t *testing.T) {
+	p := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 1000; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	})
+	m, err := RunProgram(StreamMachine(), 1_000_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := IPC(m, 0); ipc < 1.5 {
+		t.Errorf("iadd IPC = %.2f, want near the front-end bound", ipc)
+	}
+	if ipc := IPC(m, 1); ipc != 0 {
+		t.Errorf("idle context IPC = %.2f", ipc)
+	}
+	if _, err := RunProgram(StreamMachine(), 100); err == nil {
+		t.Error("no programs accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/syncprim"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Study   string
+	Variant string
+	Metrics KernelMetrics
+}
+
+// AblateSync contrasts the paper's §3.1 synchronisation primitives on a
+// barrier-heavy workload (the MM precomputation scheme, whose prefetcher
+// waits at every span): an aggressive spin-wait, the pause-augmented spin
+// the paper recommends, and the halt-based wait that relinquishes the
+// partitioned resources.
+func AblateSync() ([]AblationRow, error) {
+	var out []AblationRow
+	for _, kind := range []syncprim.WaitKind{syncprim.SpinRaw, syncprim.SpinPause, syncprim.HaltWait} {
+		cfg := mm.DefaultConfig(64)
+		cfg.PrefetchWait = kind
+		k, err := mm.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		met, err := RunKernel(k, kernels.TLPPfetch, KernelMachineConfig(), "mm N=64")
+		if err != nil {
+			return nil, fmt.Errorf("ablate sync %v: %w", kind, err)
+		}
+		out = append(out, AblationRow{Study: "sync", Variant: kind.String(), Metrics: met})
+	}
+	return out, nil
+}
+
+// AblateSpan sweeps the precomputation-span size of the MM SPR scheme
+// (§3.2: the span must be large enough to stay ahead but small enough that
+// prefetched lines survive until consumed; the paper bounds it between
+// 1/A and 1/2 of the L2 capacity).
+func AblateSpan() ([]AblationRow, error) {
+	var out []AblationRow
+	for _, span := range []int{1, 2, 4, 8, 16} {
+		cfg := mm.DefaultConfig(64)
+		cfg.SpanSteps = span
+		k, err := mm.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		met, err := RunKernel(k, kernels.TLPPfetch, KernelMachineConfig(), "mm N=64")
+		if err != nil {
+			return nil, fmt.Errorf("ablate span %d: %w", span, err)
+		}
+		out = append(out, AblationRow{
+			Study:   "span",
+			Variant: fmt.Sprintf("%d steps (%d KB)", span, span*2*2048/1024),
+			Metrics: met,
+		})
+	}
+	return out, nil
+}
+
+// AblatePartition contrasts the statically partitioned buffers of the
+// hyper-threaded core against a hypothetical fully shared organisation
+// (§5.3 blames static partitioning for much of the observed contention).
+func AblatePartition() ([]AblationRow, error) {
+	var out []AblationRow
+	for _, shared := range []bool{false, true} {
+		mcfg := KernelMachineConfig()
+		mcfg.NoStaticPartition = shared
+		variant := "static (halved per thread)"
+		if shared {
+			variant = "fully shared"
+		}
+		for _, mode := range []kernels.Mode{kernels.TLPCoarse, kernels.TLPPfetch} {
+			k, err := mm.New(mm.DefaultConfig(64))
+			if err != nil {
+				return nil, err
+			}
+			met, err := RunKernel(k, mode, mcfg, "mm N=64")
+			if err != nil {
+				return nil, fmt.Errorf("ablate partition %v/%v: %w", shared, mode, err)
+			}
+			out = append(out, AblationRow{
+				Study:   "partition",
+				Variant: fmt.Sprintf("%s, %v", variant, mode),
+				Metrics: met,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-34s %12s %12s %12s %10s %10s\n",
+		"variant", "cycles", "l2miss(w)", "uops", "spin-uops", "halts")
+	for _, r := range rows {
+		m := r.Metrics
+		fmt.Fprintf(&b, "%-34s %12d %12d %12d %10d %10d\n",
+			r.Variant, m.Cycles, m.L2ReadMissesWorker, m.UopsRetired, m.SpinUops, m.HaltTransitions)
+	}
+	return b.String()
+}

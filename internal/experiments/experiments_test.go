@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+)
+
+func TestMeasureCPISolo(t *testing.T) {
+	cpi, err := MeasureCPI(StreamMachineConfig(),
+		[]streams.Spec{{Kind: streams.FAddS, ILP: streams.MaxILP}}, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi[0] < 0.8 || cpi[0] > 1.4 {
+		t.Errorf("max-ILP fadd CPI = %.2f, want ≈1 (FP port bound)", cpi[0])
+	}
+}
+
+func TestMeasureCPIValidation(t *testing.T) {
+	if _, err := MeasureCPI(StreamMachineConfig(), nil, 1000); err == nil {
+		t.Error("empty spec list accepted")
+	}
+	three := []streams.Spec{{Kind: streams.FAddS, ILP: 1}, {Kind: streams.FAddS, ILP: 1}, {Kind: streams.FAddS, ILP: 1}}
+	if _, err := MeasureCPI(StreamMachineConfig(), three, 1000); err == nil {
+		t.Error("three streams accepted")
+	}
+}
+
+func TestFig1ShapesMatchPaper(t *testing.T) {
+	rows, err := Fig1(StreamMachineConfig(), []streams.Kind{streams.FAddS, streams.IAddS, streams.ILoadS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(k streams.Kind, ilp streams.ILP, threads int) float64 {
+		for _, r := range rows {
+			if r.Stream == k && r.ILP == ilp && r.Threads == threads {
+				return r.CPI
+			}
+		}
+		t.Fatalf("missing row %v/%v/%d", k, ilp, threads)
+		return 0
+	}
+	// fadd: best throughput in 1thr-maxILP; min-ILP CPI barely moves from
+	// 1 to 2 threads (the Figure 1 discussion).
+	if best := get(streams.FAddS, streams.MaxILP, 1); best > 1.4 {
+		t.Errorf("fadd 1thr-maxILP CPI %.2f, want ≈1", best)
+	}
+	minSolo := get(streams.FAddS, streams.MinILP, 1)
+	minDuo := get(streams.FAddS, streams.MinILP, 2)
+	if minDuo > minSolo*1.15 {
+		t.Errorf("fadd min-ILP CPI grew %.2f→%.2f on co-execution; paper has it flat", minSolo, minDuo)
+	}
+	// 2thr-medILP must not beat 1thr-maxILP throughput (W_fadd6 insight):
+	// aggregate throughput 2/cpi(duo) ≤ 1/cpi(solo-max) with slack.
+	duoMed := get(streams.FAddS, streams.MedILP, 2)
+	soloMax := get(streams.FAddS, streams.MaxILP, 1)
+	if 2/duoMed > 1.1*(1/soloMax) {
+		t.Errorf("splitting the fadd window across threads (%.2f agg) beat 1thr-maxILP (%.2f)", 2/duoMed, 1/soloMax)
+	}
+	// iadd: ~100% slowdown on co-execution (front-end bound).
+	iaddSolo := get(streams.IAddS, streams.MaxILP, 1)
+	iaddDuo := get(streams.IAddS, streams.MaxILP, 2)
+	if ratio := iaddDuo / iaddSolo; ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("iadd co-execution slowdown ratio %.2f, want ≈2 (serialisation)", ratio)
+	}
+	// iload: HT favours TLP — cumulative dual-thread throughput is
+	// strictly better at min ILP (latency-bound chains overlap) and at
+	// least as good at max ILP (both saturate the load port).
+	minIlSolo := get(streams.ILoadS, streams.MinILP, 1)
+	minIlDuo := get(streams.ILoadS, streams.MinILP, 2)
+	if 2/minIlDuo <= 1.2*(1/minIlSolo) {
+		t.Errorf("min-ILP iload cumulative throughput did not clearly improve with 2 threads (solo %.2f, duo %.2f)", minIlSolo, minIlDuo)
+	}
+	maxIlSolo := get(streams.ILoadS, streams.MaxILP, 1)
+	maxIlDuo := get(streams.ILoadS, streams.MaxILP, 2)
+	if 2/maxIlDuo < 0.9*(1/maxIlSolo) {
+		t.Errorf("max-ILP iload cumulative throughput regressed with 2 threads (solo %.2f, duo %.2f)", maxIlSolo, maxIlDuo)
+	}
+}
+
+func TestFig2FPPanelShapes(t *testing.T) {
+	cells, err := Fig2(StreamMachineConfig(),
+		[]streams.Kind{streams.FAddS, streams.FDivS},
+		[]streams.Kind{streams.FAddS, streams.FMulS, streams.FDivS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(s, p streams.Kind, ilp streams.ILP) float64 {
+		for _, c := range cells {
+			if c.Subject == s && c.Partner == p && c.ILP == ilp {
+				return c.Slowdown
+			}
+		}
+		t.Fatalf("missing cell %v×%v/%v", s, p, ilp)
+		return 0
+	}
+	// fdiv is slowed substantially by fdiv (the unpipelined divider) and
+	// stays ILP-insensitive.
+	dd := get(streams.FDivS, streams.FDivS, streams.MaxILP)
+	if dd < 0.5 {
+		t.Errorf("fdiv×fdiv slowdown = %.0f%%, want ≥50%% (paper: 120-140%%)", dd*100)
+	}
+	ddMin := get(streams.FDivS, streams.FDivS, streams.MinILP)
+	if diff := dd - ddMin; diff > 0.7 || diff < -0.7 {
+		t.Errorf("fdiv×fdiv slowdown varies with ILP (%.2f vs %.2f); paper has it insensitive", dd, ddMin)
+	}
+	// At min ILP, fadd co-exists with fmul essentially for free.
+	if s := get(streams.FAddS, streams.FMulS, streams.MinILP); s > 0.25 {
+		t.Errorf("min-ILP fadd×fmul slowdown %.0f%%, want ≈0", s*100)
+	}
+	// At max ILP, fadd suffers heavily from fmul (shared FP port).
+	if s := get(streams.FAddS, streams.FMulS, streams.MaxILP); s < 0.4 {
+		t.Errorf("max-ILP fadd×fmul slowdown %.0f%%, want large (paper: 180%%)", s*100)
+	}
+}
+
+func TestFig2IntPanelShapes(t *testing.T) {
+	cells, err := Fig2(StreamMachineConfig(),
+		[]streams.Kind{streams.IAddS, streams.IMulS},
+		[]streams.Kind{streams.IAddS, streams.IMulS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Subject == streams.IAddS && c.Partner == streams.IAddS && c.ILP == streams.MaxILP {
+			if c.Slowdown < 0.7 {
+				t.Errorf("iadd×iadd slowdown %.0f%%, want ≈100%%", c.Slowdown*100)
+			}
+		}
+		if c.Subject == streams.IMulS && c.Partner == streams.IAddS && c.ILP == streams.MaxILP {
+			// imul is almost unaffected by co-existing threads.
+			if c.Slowdown > 0.35 {
+				t.Errorf("imul slowed %.0f%% by iadd, want small", c.Slowdown*100)
+			}
+		}
+	}
+}
+
+func TestRunKernelAndFormat(t *testing.T) {
+	k, err := mm.New(mm.DefaultConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []KernelMetrics
+	for _, mode := range []kernels.Mode{kernels.Serial, kernels.TLPCoarse} {
+		m, err := RunKernel(k, mode, KernelMachineConfig(), "N=32")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cycles == 0 || m.UopsRetired == 0 {
+			t.Fatalf("%v: empty metrics %+v", mode, m)
+		}
+		ms = append(ms, m)
+	}
+	if _, ok := SerialOf(ms, "N=32"); !ok {
+		t.Fatal("SerialOf missed the baseline")
+	}
+	out := FormatKernelFigure("Figure 3 — MM", ms)
+	for _, want := range []string{"serial", "tlp-coarse", "N=32", "vs-ser"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestL2MissesReportedConvention(t *testing.T) {
+	m := KernelMetrics{Mode: kernels.TLPPfetch, L2ReadMissesWorker: 10, L2ReadMissesBoth: 100}
+	if m.L2MissesReported() != 10 {
+		t.Error("pfetch must report worker misses only")
+	}
+	m.Mode = kernels.TLPCoarse
+	if m.L2MissesReported() != 100 {
+		t.Error("tlp must report the sum of both threads")
+	}
+}
+
+func TestFormatFig1AndFig2(t *testing.T) {
+	rows := []Fig1Row{
+		{Stream: streams.FAddS, ILP: streams.MinILP, Threads: 1, CPI: 5},
+		{Stream: streams.FAddS, ILP: streams.MinILP, Threads: 2, CPI: 5.1},
+	}
+	out := FormatFig1(rows)
+	if !strings.Contains(out, "fadd") || !strings.Contains(out, "5.00") {
+		t.Errorf("fig1 format wrong:\n%s", out)
+	}
+	cells := []Fig2Cell{{Subject: streams.FAddS, Partner: streams.FMulS, ILP: streams.MaxILP, SoloCPI: 1, CoCPI: 2, Slowdown: 1}}
+	out2 := FormatFig2("Figure 2(a)", cells)
+	if !strings.Contains(out2, "100%") {
+		t.Errorf("fig2 format wrong:\n%s", out2)
+	}
+}
+
+func TestSelectiveHaltLU(t *testing.T) {
+	r, err := SelectiveHaltLU(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WaitProfile) == 0 {
+		t.Fatal("profiling pass recorded no per-cell waits")
+	}
+	if r.Planned.HaltTransitions == 0 && len(r.HaltCells) > 0 {
+		t.Error("plan selected halt cells but the rerun never halted")
+	}
+	// Selective halting must not significantly regress the spin baseline
+	// (the paper adopts it because the halted waits come out ahead).
+	if float64(r.Planned.Cycles) > 1.15*float64(r.Baseline.Cycles) {
+		t.Errorf("selective halt %d cycles vs baseline %d: regression", r.Planned.Cycles, r.Baseline.Cycles)
+	}
+	out := FormatSelectiveHalt(r)
+	if !strings.Contains(out, "selective halt") {
+		t.Errorf("format wrong:\n%s", out)
+	}
+}
+
+func TestSensitivitySweep(t *testing.T) {
+	variants := []Variant{
+		DefaultVariants()[0], // baseline
+		{"alloc-width", "2", func(c *smt.Config) { c.AllocWidth = 2; c.RetireWidth = 2 }},
+	}
+	points, err := Sensitivity(func() (Builder, error) {
+		return mm.New(mm.DefaultConfig(32))
+	}, kernels.TLPCoarse, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Narrowing the front end must slow a front-end-bound kernel.
+	if points[1].Metrics.Cycles <= points[0].Metrics.Cycles {
+		t.Errorf("alloc-width 2 (%d cycles) not slower than baseline (%d)",
+			points[1].Metrics.Cycles, points[0].Metrics.Cycles)
+	}
+	out := FormatSensitivity("t", points)
+	if !strings.Contains(out, "alloc-width") || !strings.Contains(out, "vs-base") {
+		t.Errorf("format wrong:\n%s", out)
+	}
+}
+
+func TestSensitivityRejectsInvalidVariant(t *testing.T) {
+	_, err := Sensitivity(func() (Builder, error) {
+		return mm.New(mm.DefaultConfig(32))
+	}, kernels.Serial, []Variant{{"bad", "rob=0", func(c *smt.Config) { c.ROB = 0 }}})
+	if err == nil {
+		t.Fatal("invalid variant accepted")
+	}
+}
+
+func TestFigureSweepsSmall(t *testing.T) {
+	ms, err := Fig3MM([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 { // six MM modes including serial+pf
+		t.Fatalf("fig3 rows = %d, want 6", len(ms))
+	}
+	lu, err := Fig4LU([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lu) != 3 {
+		t.Fatalf("fig4 rows = %d, want 3", len(lu))
+	}
+	out := FormatKernelFigure("t", append(ms, lu...))
+	if !strings.Contains(out, "serial+pf") || !strings.Contains(out, "tlp-pfetch") {
+		t.Errorf("figure format incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+)
+
+// StreamWindowCycles is the measurement window for one stream run — the
+// simulated analogue of the paper's ~10-second interval; CPI converges
+// well within it.
+const StreamWindowCycles = 120_000
+
+// Fig1Row is one bar of Figure 1: the average CPI of a stream under one
+// TLP×ILP execution mode.
+type Fig1Row struct {
+	Stream  streams.Kind
+	ILP     streams.ILP
+	Threads int // 1 or 2 (same stream on both contexts)
+	CPI     float64
+}
+
+// Fig1Kinds are the streams shown in the paper's Figure 1.
+func Fig1Kinds() []streams.Kind {
+	return []streams.Kind{
+		streams.FAddS, streams.FMulS, streams.FAddMulS,
+		streams.IAddS, streams.ILoadS,
+	}
+}
+
+// MeasureCPI runs one or two copies of the given stream specs and returns
+// the per-context CPI over the measurement window (cycles/instructions of
+// that context, as the paper computes it).
+func MeasureCPI(mcfg smt.Config, specs []streams.Spec, window uint64) ([]float64, error) {
+	if len(specs) == 0 || len(specs) > smt.NumContexts {
+		return nil, fmt.Errorf("experiments: %d streams (want 1 or 2)", len(specs))
+	}
+	m := smt.New(mcfg)
+	for i, sp := range specs {
+		sp.Base = streams.DisjointBase(i)
+		m.LoadProgram(i, streams.Build(sp))
+	}
+	if _, err := m.Run(window); err != nil {
+		return nil, err
+	}
+	c := m.Counters()
+	out := make([]float64, len(specs))
+	for i := range specs {
+		instr := c.Get(perfmon.InstrRetired, i)
+		if instr == 0 {
+			return nil, fmt.Errorf("experiments: context %d retired nothing", i)
+		}
+		out[i] = float64(c.Get(perfmon.Cycles, i)) / float64(instr)
+	}
+	return out, nil
+}
+
+// Fig1 measures the Figure 1 matrix: for each stream and ILP degree, the
+// single-threaded CPI and the per-thread CPI when two copies co-execute.
+func Fig1(mcfg smt.Config, kinds []streams.Kind) ([]Fig1Row, error) {
+	var rows []Fig1Row
+	for _, k := range kinds {
+		for _, ilp := range streams.Levels() {
+			solo, err := MeasureCPI(mcfg, []streams.Spec{{Kind: k, ILP: ilp}}, StreamWindowCycles)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %v/%v solo: %w", k, ilp, err)
+			}
+			rows = append(rows, Fig1Row{Stream: k, ILP: ilp, Threads: 1, CPI: solo[0]})
+			duo, err := MeasureCPI(mcfg, []streams.Spec{
+				{Kind: k, ILP: ilp}, {Kind: k, ILP: ilp},
+			}, StreamWindowCycles)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %v/%v duo: %w", k, ilp, err)
+			}
+			rows = append(rows, Fig1Row{Stream: k, ILP: ilp, Threads: 2, CPI: (duo[0] + duo[1]) / 2})
+		}
+	}
+	return rows, nil
+}
+
+// Fig2Cell is one point of Figure 2: the slowdown factor of Subject when
+// co-executed with Partner at the given (shared) ILP level, relative to
+// Subject running alone.
+type Fig2Cell struct {
+	Subject  streams.Kind
+	Partner  streams.Kind
+	ILP      streams.ILP
+	SoloCPI  float64
+	CoCPI    float64
+	Slowdown float64 // CoCPI/SoloCPI - 1, the paper's "slowdown factor"
+}
+
+// Fig2 measures the pairwise co-execution matrix over the given subject
+// and partner stream sets (Figure 2a: FP×FP; 2b: int×int; 2c: int×fp
+// arithmetic).
+func Fig2(mcfg smt.Config, subjects, partners []streams.Kind) ([]Fig2Cell, error) {
+	solo := map[[2]int]float64{}
+	for _, ilp := range streams.Levels() {
+		for _, k := range allKindsUnion(subjects, partners) {
+			c, err := MeasureCPI(mcfg, []streams.Spec{{Kind: k, ILP: ilp}}, StreamWindowCycles)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 solo %v/%v: %w", k, ilp, err)
+			}
+			solo[[2]int{int(k), int(ilp)}] = c[0]
+		}
+	}
+	var cells []Fig2Cell
+	for _, ilp := range streams.Levels() {
+		for _, subj := range subjects {
+			for _, part := range partners {
+				duo, err := MeasureCPI(mcfg, []streams.Spec{
+					{Kind: subj, ILP: ilp}, {Kind: part, ILP: ilp},
+				}, StreamWindowCycles)
+				if err != nil {
+					return nil, fmt.Errorf("fig2 %v+%v/%v: %w", subj, part, ilp, err)
+				}
+				s := solo[[2]int{int(subj), int(ilp)}]
+				cells = append(cells, Fig2Cell{
+					Subject:  subj,
+					Partner:  part,
+					ILP:      ilp,
+					SoloCPI:  s,
+					CoCPI:    duo[0],
+					Slowdown: duo[0]/s - 1,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+func allKindsUnion(a, b []streams.Kind) []streams.Kind {
+	seen := map[streams.Kind]bool{}
+	var out []streams.Kind
+	for _, k := range append(append([]streams.Kind{}, a...), b...) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Fig2a/Fig2b/Fig2c run the three panels of Figure 2.
+func Fig2a(mcfg smt.Config) ([]Fig2Cell, error) {
+	return Fig2(mcfg, streams.FPKinds(), streams.FPKinds())
+}
+func Fig2b(mcfg smt.Config) ([]Fig2Cell, error) {
+	return Fig2(mcfg, streams.IntKinds(), streams.IntKinds())
+}
+func Fig2c(mcfg smt.Config) ([]Fig2Cell, error) {
+	return Fig2(mcfg, streams.FPArith(), streams.IntArith())
+}

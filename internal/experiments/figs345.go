@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/bt"
+	"smtexplore/internal/kernels/cg"
+	"smtexplore/internal/kernels/lu"
+	"smtexplore/internal/kernels/mm"
+)
+
+// MMSizes are the scaled matrix dimensions standing in for the paper's
+// 1024², 2048² and 4096² (§6 of DESIGN.md: each size class keeps its
+// working-set:L2 regime — below, around, and far above capacity).
+func MMSizes() []int { return []int{32, 64, 128} }
+
+// LUSizes are the scaled LU dimensions.
+func LUSizes() []int { return []int{32, 64, 128} }
+
+// Fig3MM runs the Figure 3 sweep: five execution modes across the three
+// matrix sizes, collecting the four panels (time, L2 misses, resource
+// stalls, µops).
+func Fig3MM(sizes []int) ([]KernelMetrics, error) {
+	var out []KernelMetrics
+	for _, n := range sizes {
+		k, err := mm.New(mm.DefaultConfig(n))
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range k.Modes() {
+			met, err := RunKernel(k, mode, KernelMachineConfig(), fmt.Sprintf("N=%d", n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, met)
+		}
+	}
+	return out, nil
+}
+
+// Fig4LU runs the Figure 4 sweep: serial, tlp-coarse and tlp-pfetch across
+// the three matrix sizes.
+func Fig4LU(sizes []int) ([]KernelMetrics, error) {
+	var out []KernelMetrics
+	for _, n := range sizes {
+		k, err := lu.New(lu.DefaultConfig(n))
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range k.Modes() {
+			met, err := RunKernel(k, mode, KernelMachineConfig(), fmt.Sprintf("N=%d", n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, met)
+		}
+	}
+	return out, nil
+}
+
+// Fig5CG runs the CG panels of Figure 5 (single Class-A-like instance).
+func Fig5CG() ([]KernelMetrics, error) {
+	cfg := cg.DefaultConfig()
+	k, err := cg.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []KernelMetrics
+	for _, mode := range k.Modes() {
+		met, err := RunKernel(k, mode, KernelMachineConfig(),
+			fmt.Sprintf("n=%d nnz/row=%d iters=%d", cfg.N, cfg.NNZPerRow, cfg.Iters))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, met)
+	}
+	return out, nil
+}
+
+// Fig5BT runs the BT panels of Figure 5.
+func Fig5BT() ([]KernelMetrics, error) {
+	cfg := bt.DefaultConfig()
+	k, err := bt.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []KernelMetrics
+	for _, mode := range k.Modes() {
+		met, err := RunKernel(k, mode, KernelMachineConfig(),
+			fmt.Sprintf("G=%d steps=%d", cfg.G, cfg.Steps))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, met)
+	}
+	return out, nil
+}
+
+// SerialOf extracts the serial baseline with the given label from a
+// metrics list.
+func SerialOf(ms []KernelMetrics, label string) (KernelMetrics, bool) {
+	for _, m := range ms {
+		if m.Mode == kernels.Serial && m.Label == label {
+			return m, true
+		}
+	}
+	return KernelMetrics{}, false
+}

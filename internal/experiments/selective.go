@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/lu"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/syncprim"
+)
+
+// SelectiveHaltResult reports the §3.1 selective-halting methodology
+// applied to the LU coarse scheme, whose three phase barriers have very
+// different wait durations (the second thread idles through every
+// diagonal-tile factorisation).
+type SelectiveHaltResult struct {
+	// Baseline is the all-spin(+pause) run used for profiling.
+	Baseline KernelMetrics
+	// Planned is the rerun with halt embedded in the long-duration
+	// barriers only.
+	Planned KernelMetrics
+	// WaitProfile is the measured per-cell wait-cycle profile of the
+	// baseline run.
+	WaitProfile map[isa.Cell]uint64
+	// HaltCells are the barrier cells the plan selected for halting.
+	HaltCells []isa.Cell
+	// Threshold is the wait-cycle cutoff used.
+	Threshold uint64
+}
+
+// SelectiveHaltLU runs the two-pass methodology on LU (dimension n):
+// first an all-spin profiling pass measuring the time the threads spend
+// on every barrier, then a rerun with processor halting embedded only in
+// the barriers where the waits are a considerable portion of execution
+// time.
+func SelectiveHaltLU(n int) (SelectiveHaltResult, error) {
+	// Pass 1: profile with the default spin+pause barriers.
+	base, err := lu.New(lu.DefaultConfig(n))
+	if err != nil {
+		return SelectiveHaltResult{}, err
+	}
+	progs, err := base.Programs(kernels.TLPCoarse)
+	if err != nil {
+		return SelectiveHaltResult{}, err
+	}
+	m := smt.New(KernelMachineConfig())
+	m.LoadProgram(kernels.WorkerTid, progs[0])
+	m.LoadProgram(kernels.HelperTid, progs[1])
+	res, err := m.Run(maxKernelCycles)
+	if err != nil {
+		return SelectiveHaltResult{}, err
+	}
+	if !res.Completed {
+		return SelectiveHaltResult{}, fmt.Errorf("experiments: selective-halt profiling pass did not complete")
+	}
+	profile := m.WaitProfile()
+	baseline := metricsFromMachine(m, "lu", kernels.TLPCoarse, fmt.Sprintf("N=%d", n))
+
+	// The paper's criterion: halt where threads "spin for a considerable
+	// portion of their total execution time". Use 2% of the profiled
+	// runtime as the cutoff.
+	threshold := m.Cycle() / 50
+	plan := syncprim.PlanFromProfile(profile, threshold, syncprim.SpinPause)
+	var haltCells []isa.Cell
+	for c, k := range plan {
+		if k == syncprim.HaltWait {
+			haltCells = append(haltCells, c)
+		}
+	}
+
+	// Pass 2: rerun with the plan. The kernel is rebuilt identically
+	// (same cell allocation order), so the plan's cells line up.
+	planned, err := lu.New(func() lu.Config {
+		cfg := lu.DefaultConfig(n)
+		cfg.WaitPlan = plan
+		return cfg
+	}())
+	if err != nil {
+		return SelectiveHaltResult{}, err
+	}
+	met, err := RunKernel(planned, kernels.TLPCoarse, KernelMachineConfig(), fmt.Sprintf("N=%d", n))
+	if err != nil {
+		return SelectiveHaltResult{}, err
+	}
+	return SelectiveHaltResult{
+		Baseline:    baseline,
+		Planned:     met,
+		WaitProfile: profile,
+		HaltCells:   haltCells,
+		Threshold:   threshold,
+	}, nil
+}
+
+// metricsFromMachine extracts KernelMetrics from a finished machine (for
+// runs driven outside RunKernel).
+func metricsFromMachine(m *smt.Machine, kernel string, mode kernels.Mode, label string) KernelMetrics {
+	c := m.Counters()
+	h := m.Hierarchy()
+	return KernelMetrics{
+		Kernel:              kernel,
+		Mode:                mode,
+		Label:               label,
+		Cycles:              m.Cycle(),
+		L2ReadMissesWorker:  h.Thread(kernels.WorkerTid).L2ReadMisses,
+		L2ReadMissesBoth:    h.Thread(0).L2ReadMisses + h.Thread(1).L2ReadMisses,
+		ResourceStallCycles: c.Total(perfmon.ResourceStallCycles),
+		UopsRetired:         c.Total(perfmon.UopsRetired),
+		SpinUops:            c.Total(perfmon.SpinUopsRetired),
+		MachineClears:       c.Total(perfmon.MachineClears),
+		HaltTransitions:     c.Total(perfmon.HaltTransitions),
+		PipelineFlushes:     c.Total(perfmon.PipelineFlushes),
+		WorkerInstr:         c.Get(perfmon.InstrRetired, kernels.WorkerTid),
+		HelperInstr:         c.Get(perfmon.InstrRetired, kernels.HelperTid),
+	}
+}
+
+// FormatSelectiveHalt renders the study.
+func FormatSelectiveHalt(r SelectiveHaltResult) string {
+	out := fmt.Sprintf("Selective halting (§3.1) on LU tlp-coarse, threshold %d wait cycles\n", r.Threshold)
+	out += fmt.Sprintf("%-28s %12s %12s %10s %10s\n", "pass", "cycles", "spin-uops", "halts", "waits")
+	out += fmt.Sprintf("%-28s %12d %12d %10d %10d\n", "all spin+pause (profiling)",
+		r.Baseline.Cycles, r.Baseline.SpinUops, r.Baseline.HaltTransitions, len(r.WaitProfile))
+	out += fmt.Sprintf("%-28s %12d %12d %10d %10d\n", "selective halt",
+		r.Planned.Cycles, r.Planned.SpinUops, r.Planned.HaltTransitions, len(r.HaltCells))
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/smt"
+)
+
+// SensitivityPoint is one configuration of a µarchitecture sweep.
+type SensitivityPoint struct {
+	Param   string
+	Value   string
+	Metrics KernelMetrics
+}
+
+// Variant mutates a machine configuration for one sweep point.
+type Variant struct {
+	Param string
+	Value string
+	Apply func(*smt.Config)
+}
+
+// DefaultVariants sweeps the design parameters the paper's analysis
+// points at: the statically partitioned buffer sizes, the front-end
+// width, the halt transition cost, the machine-clear penalty and the L2
+// capacity.
+func DefaultVariants() []Variant {
+	l2 := func(kb int) func(*smt.Config) {
+		return func(c *smt.Config) {
+			c.Mem.L2 = mem.CacheConfig{Size: kb << 10, LineSize: 64, Assoc: 8, Latency: 18}
+		}
+	}
+	return []Variant{
+		{"baseline", "scaled kernel machine", func(*smt.Config) {}},
+		{"rob", "64", func(c *smt.Config) { c.ROB = 64 }},
+		{"rob", "256", func(c *smt.Config) { c.ROB = 256 }},
+		{"alloc-width", "2", func(c *smt.Config) { c.AllocWidth = 2; c.RetireWidth = 2 }},
+		{"alloc-width", "4", func(c *smt.Config) { c.AllocWidth = 4; c.RetireWidth = 4 }},
+		{"partitioning", "fully shared", func(c *smt.Config) { c.NoStaticPartition = true }},
+		{"halt-wake", "100 cycles", func(c *smt.Config) { c.HaltWakeLatency = 100 }},
+		{"machine-clear", "disabled", func(c *smt.Config) { c.MachineClearPenalty = 0 }},
+		{"l2", "16KB", l2(16)},
+		{"l2", "128KB", l2(128)},
+	}
+}
+
+// Sensitivity runs the builder in the given mode under every variant of
+// the scaled kernel machine.
+func Sensitivity(mkBuilder func() (Builder, error), mode kernels.Mode, variants []Variant) ([]SensitivityPoint, error) {
+	var out []SensitivityPoint
+	for _, v := range variants {
+		mcfg := KernelMachineConfig()
+		v.Apply(&mcfg)
+		if err := mcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sensitivity %s=%s: %w", v.Param, v.Value, err)
+		}
+		b, err := mkBuilder()
+		if err != nil {
+			return nil, err
+		}
+		met, err := RunKernel(b, mode, mcfg, fmt.Sprintf("%s=%s", v.Param, v.Value))
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity %s=%s: %w", v.Param, v.Value, err)
+		}
+		out = append(out, SensitivityPoint{Param: v.Param, Value: v.Value, Metrics: met})
+	}
+	return out, nil
+}
+
+// FormatSensitivity renders a sweep with each point's cycle delta against
+// the first (baseline) row.
+func FormatSensitivity(title string, points []SensitivityPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s %-22s %12s %8s %12s\n", "param", "value", "cycles", "vs-base", "l2-misses")
+	if len(points) == 0 {
+		return b.String()
+	}
+	base := float64(points[0].Metrics.Cycles)
+	for i, p := range points {
+		rel := "-"
+		if i > 0 {
+			rel = fmt.Sprintf("%+.1f%%", (float64(p.Metrics.Cycles)/base-1)*100)
+		}
+		fmt.Fprintf(&b, "%-16s %-22s %12d %8s %12d\n",
+			p.Param, p.Value, p.Metrics.Cycles, rel, p.Metrics.L2MissesReported())
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/bt"
+	"smtexplore/internal/kernels/cg"
+	"smtexplore/internal/kernels/lu"
+	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/profile"
+	"smtexplore/internal/smt"
+)
+
+// Table1Column is one column of Table 1: the per-subunit utilisation of
+// the instrumented thread under one execution mode, plus its total
+// instruction count (the paper's "Total instr.").
+type Table1Column struct {
+	Kernel string
+	// Mode is "serial", "tlp" (one of the two symmetric work threads) or
+	// "spr" (the prefetcher thread).
+	Mode string
+	// Share maps each Table 1 row to its percentage.
+	Share map[profile.Row]float64
+	// ALU0Share is the fraction executing on ALU0 specifically — the
+	// bottleneck §5.3 identifies for logical-op-heavy code.
+	ALU0Share float64
+	// TotalInstr is the thread's profiled instruction count.
+	TotalInstr uint64
+}
+
+// table1Instance binds a kernel to the instance used for profiling
+// (smaller than the Figure runs: mixes are size-invariant).
+type table1Instance struct {
+	name    string
+	builder Builder
+	// tlpMode is the work-partitioning mode profiled in the "tlp" column.
+	tlpMode kernels.Mode
+	// sprMode is the precomputation mode profiled in the "spr" column.
+	sprMode kernels.Mode
+}
+
+func table1Instances() ([]table1Instance, error) {
+	mmK, err := mm.New(mm.DefaultConfig(32))
+	if err != nil {
+		return nil, err
+	}
+	luK, err := lu.New(lu.DefaultConfig(32))
+	if err != nil {
+		return nil, err
+	}
+	cgCfg := cg.DefaultConfig()
+	cgCfg.Iters = 2
+	cgK, err := cg.New(cgCfg)
+	if err != nil {
+		return nil, err
+	}
+	btCfg := bt.DefaultConfig()
+	btCfg.G = 6
+	btCfg.Steps = 1
+	btK, err := bt.New(btCfg)
+	if err != nil {
+		return nil, err
+	}
+	return []table1Instance{
+		{"MM", mmK, kernels.TLPCoarse, kernels.TLPPfetch},
+		{"LU", luK, kernels.TLPCoarse, kernels.TLPPfetch},
+		{"CG", cgK, kernels.TLPCoarse, kernels.TLPPfetch},
+		{"BT", btK, kernels.TLPCoarse, kernels.TLPPfetch},
+	}, nil
+}
+
+// Table1 regenerates the paper's Table 1: for each kernel, the dynamic
+// instruction-mix breakdown of the serial thread, of one TLP work thread,
+// and of the SPR prefetcher thread, as collected by the Pin-analogue
+// profiler on the retirement stream.
+func Table1() ([]Table1Column, error) {
+	insts, err := table1Instances()
+	if err != nil {
+		return nil, err
+	}
+	var out []Table1Column
+	for _, inst := range insts {
+		serial, err := profileThread(inst.builder, kernels.Serial, kernels.WorkerTid)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s serial: %w", inst.name, err)
+		}
+		serial.Kernel, serial.Mode = inst.name, "serial"
+		tlp, err := profileThread(inst.builder, inst.tlpMode, kernels.WorkerTid)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s tlp: %w", inst.name, err)
+		}
+		tlp.Kernel, tlp.Mode = inst.name, "tlp"
+		spr, err := profileThread(inst.builder, inst.sprMode, kernels.HelperTid)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s spr: %w", inst.name, err)
+		}
+		spr.Kernel, spr.Mode = inst.name, "spr"
+		out = append(out, serial, tlp, spr)
+	}
+	return out, nil
+}
+
+// profileThread runs the kernel in the given mode and profiles the
+// instrumented thread's retired instruction mix.
+func profileThread(b Builder, mode kernels.Mode, tid int) (Table1Column, error) {
+	progs, err := b.Programs(mode)
+	if err != nil {
+		return Table1Column{}, err
+	}
+	m := smt.New(KernelMachineConfig())
+	col := profile.NewCollector()
+	col.Attach(m)
+	m.LoadProgram(kernels.WorkerTid, progs[0])
+	if progs[1] != nil {
+		m.LoadProgram(kernels.HelperTid, progs[1])
+	}
+	res, err := m.Run(maxKernelCycles)
+	if err != nil {
+		return Table1Column{}, err
+	}
+	if !res.Completed {
+		return Table1Column{}, fmt.Errorf("profiling run did not complete")
+	}
+	out := Table1Column{
+		Share:      make(map[profile.Row]float64, profile.NumRows),
+		ALU0Share:  col.ALU0Share(tid),
+		TotalInstr: col.Total(tid),
+	}
+	for _, row := range profile.Rows() {
+		out.Share[row] = col.RowShare(tid, row)
+	}
+	return out, nil
+}

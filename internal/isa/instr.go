@@ -1,0 +1,274 @@
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. Each hardware context of the
+// simulated processor has its own architectural register file; Reg values
+// are context-local. The encoding packs two banks (integer and FP) into a
+// single byte so instructions stay compact:
+//
+//	0          RegNone (no operand)
+//	1..32      integer registers R0..R31
+//	33..64     floating-point registers F0..F31
+type Reg uint8
+
+// RegNone marks an absent operand.
+const RegNone Reg = 0
+
+// NumIntRegs and NumFPRegs bound each architectural register bank.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumRegs is the size of a flat per-context register scoreboard
+	// indexed directly by Reg.
+	NumRegs = 1 + NumIntRegs + NumFPRegs
+)
+
+// R returns the i-th integer register.
+func R(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(1 + i)
+}
+
+// F returns the i-th floating-point register.
+func F(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return Reg(1 + NumIntRegs + i)
+}
+
+// Bank is a register bank.
+type Bank uint8
+
+// Register banks.
+const (
+	BankNone Bank = iota
+	BankInt
+	BankFP
+)
+
+// Bank reports which bank r belongs to.
+func (r Reg) Bank() Bank {
+	switch {
+	case r == RegNone:
+		return BankNone
+	case r <= NumIntRegs:
+		return BankInt
+	case r <= NumIntRegs+NumFPRegs:
+		return BankFP
+	}
+	return BankNone
+}
+
+// Valid reports whether r is RegNone or a defined register.
+func (r Reg) Valid() bool { return int(r) < NumRegs }
+
+func (r Reg) String() string {
+	switch r.Bank() {
+	case BankNone:
+		return "-"
+	case BankInt:
+		return fmt.Sprintf("r%d", int(r)-1)
+	default:
+		return fmt.Sprintf("f%d", int(r)-1-NumIntRegs)
+	}
+}
+
+// Cell identifies a synchronisation cell: a simulated shared-memory word
+// used by spin-wait loops, halt waits and flag stores. Cell 0 means "no
+// cell". Cells have real simulated values (updated at store retirement);
+// ordinary data memory does not, since the kernels are address-faithful
+// generators rather than interpreted programs.
+type Cell uint32
+
+// NoCell marks the absence of a synchronisation cell.
+const NoCell Cell = 0
+
+// CellAddr returns the canonical backing byte address of a synchronisation
+// cell. Cells are placed on distinct cache lines in a reserved high region
+// of the simulated address space, so spin-loop loads and flag stores
+// exercise the cache hierarchy without aliasing workload data.
+func CellAddr(c Cell) uint64 { return 0xF000_0000 + uint64(c)*64 }
+
+// Tag labels a static instruction site. The profiling substrate attributes
+// dynamic events (retired µops, cache misses) to tags, which is how the
+// Valgrind-style delinquent-load analysis of the paper is reproduced.
+type Tag uint32
+
+// NoTag is the anonymous static site.
+const NoTag Tag = 0
+
+// CmpKind selects the predicate of a SpinWait/HaltWait operation.
+type CmpKind uint8
+
+// Wait predicates.
+const (
+	CmpEQ CmpKind = iota // wait until cell == Val
+	CmpNE                // wait until cell != Val
+	CmpGE                // wait until cell >= Val
+)
+
+func (c CmpKind) String() string {
+	switch c {
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	case CmpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Holds reports whether the predicate is satisfied by value v.
+func (c CmpKind) Holds(v, want int64) bool {
+	switch c {
+	case CmpEQ:
+		return v == want
+	case CmpNE:
+		return v != want
+	case CmpGE:
+		return v >= want
+	}
+	return false
+}
+
+// Instr is one micro-operation as emitted by a workload generator.
+//
+// Register operands drive the dependence machinery (RAW through Src1/Src2,
+// WAW/WAR through Dst: the simulator has no rename stage, which is exactly
+// how the paper's ILP knob — the number of distinct target registers —
+// throttles parallelism). Addr drives the cache hierarchy for memory ops.
+// Cell/Val/Cmp parameterise the synchronisation operations.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+
+	// Addr is the byte address accessed by Load/Store/FlagStore.
+	Addr uint64
+
+	// Cell is the synchronisation cell read by SpinWait/HaltWait or
+	// written by FlagStore.
+	Cell Cell
+	// Val is the comparison operand (waits) or stored value (FlagStore).
+	Val int64
+	// Cmp is the wait predicate for SpinWait/HaltWait.
+	Cmp CmpKind
+
+	// UsePause selects the pause-augmented spin loop body for SpinWait
+	// (the paper's recommended form); when false the loop spins
+	// aggressively, consuming issue slots — the behaviour §3.1 warns
+	// about.
+	UsePause bool
+
+	// Tag identifies the static site for profiling.
+	Tag Tag
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case Load:
+		return fmt.Sprintf("%s %s <- [%#x]", in.Op, in.Dst, in.Addr)
+	case Store:
+		return fmt.Sprintf("%s [%#x] <- %s", in.Op, in.Addr, in.Src1)
+	case FlagStore:
+		return fmt.Sprintf("%s cell%d <- %d [%#x]", in.Op, in.Cell, in.Val, in.Addr)
+	case SpinWait, HaltWait:
+		return fmt.Sprintf("%s cell%d %s %d", in.Op, in.Cell, in.Cmp, in.Val)
+	case Pause, Nop, Branch:
+		return in.Op.String()
+	default:
+		return fmt.Sprintf("%s %s <- %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// Validate checks structural well-formedness of the instruction and
+// returns a descriptive error for generator bugs (wrong register bank,
+// memory op without address alignment, sync op without a cell, ...).
+func (in Instr) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid op %d", uint8(in.Op))
+	}
+	for _, r := range [3]Reg{in.Dst, in.Src1, in.Src2} {
+		if !r.Valid() {
+			return fmt.Errorf("isa: %s: invalid register %d", in.Op, uint8(r))
+		}
+	}
+	switch in.Op {
+	case IAdd, ISub, ILogic, IMul, IDiv:
+		if in.Dst.Bank() != BankInt {
+			return fmt.Errorf("isa: %s: destination %s is not an integer register", in.Op, in.Dst)
+		}
+	case FAdd, FSub, FMul, FDiv, FMove:
+		if in.Dst.Bank() != BankFP {
+			return fmt.Errorf("isa: %s: destination %s is not an fp register", in.Op, in.Dst)
+		}
+	case Load:
+		if in.Dst == RegNone {
+			return fmt.Errorf("isa: load without destination register")
+		}
+	case Store:
+		if in.Src1 == RegNone {
+			return fmt.Errorf("isa: store without source register")
+		}
+	case SpinWait, HaltWait:
+		if in.Cell == NoCell {
+			return fmt.Errorf("isa: %s without synchronisation cell", in.Op)
+		}
+	case FlagStore:
+		if in.Cell == NoCell {
+			return fmt.Errorf("isa: flagstore without synchronisation cell")
+		}
+	}
+	return nil
+}
+
+// Convenience constructors used pervasively by the workload generators.
+
+// ALU builds a register-to-register arithmetic µop.
+func ALU(op Op, dst, src1, src2 Reg) Instr {
+	return Instr{Op: op, Dst: dst, Src1: src1, Src2: src2}
+}
+
+// Ld builds a load from addr into dst.
+func Ld(dst Reg, addr uint64) Instr { return Instr{Op: Load, Dst: dst, Addr: addr} }
+
+// St builds a store of src to addr.
+func St(src Reg, addr uint64) Instr { return Instr{Op: Store, Src1: src, Addr: addr} }
+
+// TaggedLd builds a load carrying a static-site tag for profiling.
+func TaggedLd(dst Reg, addr uint64, tag Tag) Instr {
+	return Instr{Op: Load, Dst: dst, Addr: addr, Tag: tag}
+}
+
+// Pf builds a non-binding software prefetch of addr.
+func Pf(addr uint64, tag Tag) Instr {
+	return Instr{Op: Prefetch, Addr: addr, Tag: tag}
+}
+
+// Flag builds a FlagStore writing val to cell (backed by byte address addr).
+func Flag(cell Cell, val int64, addr uint64) Instr {
+	return Instr{Op: FlagStore, Cell: cell, Val: val, Addr: addr}
+}
+
+// Spin builds a pause-augmented spin wait until cell satisfies cmp val.
+func Spin(cell Cell, cmp CmpKind, val int64) Instr {
+	return Instr{Op: SpinWait, Cell: cell, Cmp: cmp, Val: val, UsePause: true}
+}
+
+// RawSpin builds a spin wait without the pause hint.
+func RawSpin(cell Cell, cmp CmpKind, val int64) Instr {
+	return Instr{Op: SpinWait, Cell: cell, Cmp: cmp, Val: val}
+}
+
+// Halt builds a halt-until-condition wait: the context relinquishes its
+// statically partitioned resources and sleeps until cell satisfies cmp val,
+// then pays the wake-up (IPI + mode transition) penalty.
+func Halt(cell Cell, cmp CmpKind, val int64) Instr {
+	return Instr{Op: HaltWait, Cell: cell, Cmp: cmp, Val: val}
+}

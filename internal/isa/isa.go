@@ -1,0 +1,399 @@
+// Package isa defines the micro-operation (µop) vocabulary executed by the
+// simulated SMT processor: operation classes, architectural registers,
+// issue ports, execution subunits, and the per-operation latency and
+// throughput tables.
+//
+// The tables model a NetBurst-style (Pentium 4 / Xeon "Northwood") core as
+// described in the paper and the IA-32 optimisation manual: two double-speed
+// integer ALUs (only ALU0 executes logical operations), a single FP execute
+// unit on port 1 shared by fadd/fmul/fdiv, an FP move unit on port 0, one
+// load port and one store port.
+package isa
+
+import "fmt"
+
+// Op is a micro-operation class.
+type Op uint8
+
+// Operation classes. The arithmetic and memory classes correspond to the
+// synthetic instruction streams of Section 4 of the paper; the tail of the
+// enum holds control/synchronisation operations interpreted specially by
+// the simulator front end and retire stage.
+const (
+	// Nop retires without using an execution unit.
+	Nop Op = iota
+
+	// Integer arithmetic (register-to-register).
+	IAdd
+	ISub
+	ILogic // and/or/xor/shift with binary masks; executes only on ALU0
+	IMul
+	IDiv
+
+	// Floating-point arithmetic (register-to-register, 32-bit scalars in
+	// the paper's streams; the class is what matters, not the width).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FMove
+
+	// Memory operations. The register bank of Dst/Src distinguishes the
+	// paper's iload/fload and istore/fstore variants.
+	Load
+	Store
+
+	// Branch models loop-closing conditional jumps. Branches are assumed
+	// correctly predicted (the kernels' loops are highly regular); the
+	// only modelled misprediction-like event is the memory-order
+	// violation flush on spin-wait exit.
+	Branch
+
+	// Pause is the IA-32 spin-wait hint: it de-pipelines the spin loop,
+	// occupying the thread for several cycles without consuming issue
+	// ports or scheduler entries aggressively.
+	Pause
+
+	// SpinWait is a declarative busy-wait on a synchronisation cell.
+	// The front end expands it into (load, cmp, branch[, pause]) µop
+	// groups every iteration until the cell's retired value satisfies
+	// the wait condition; completion injects a memory-order-violation
+	// pipeline flush, as observed on hyper-threaded processors.
+	SpinWait
+
+	// HaltWait is a declarative wait that puts the logical processor
+	// into the halted state: its statically partitioned resources are
+	// relinquished to the sibling thread and it wakes (after an IPI
+	// delay) when the awaited cell condition becomes true.
+	HaltWait
+
+	// FlagStore is a store that also deposits a value into a
+	// synchronisation cell at retirement, making it visible to
+	// SpinWait/HaltWait on the sibling thread. It occupies the store
+	// port and a store-buffer entry like any other store.
+	FlagStore
+
+	// Prefetch is the non-binding software-prefetch instruction
+	// (prefetchnta-style): it occupies the load port and starts a line
+	// fill but completes at address-generation latency without waiting
+	// for the data, has no destination register, and is dropped silently
+	// when no fill resources are free. The paper's conclusion points at
+	// embedding these in the working thread as the scheme that "combines
+	// low number of µops with reduced cache misses".
+	Prefetch
+
+	numOps
+)
+
+// NumOps is the number of distinct operation classes.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	Nop:       "nop",
+	IAdd:      "iadd",
+	ISub:      "isub",
+	ILogic:    "ilogic",
+	IMul:      "imul",
+	IDiv:      "idiv",
+	FAdd:      "fadd",
+	FSub:      "fsub",
+	FMul:      "fmul",
+	FDiv:      "fdiv",
+	FMove:     "fmove",
+	Load:      "load",
+	Store:     "store",
+	Branch:    "branch",
+	Pause:     "pause",
+	SpinWait:  "spinwait",
+	HaltWait:  "haltwait",
+	FlagStore: "flagstore",
+	Prefetch:  "prefetch",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation class.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsMem reports whether the operation accesses the data cache.
+func (o Op) IsMem() bool {
+	return o == Load || o == Store || o == FlagStore || o == Prefetch
+}
+
+// IsStore reports whether the operation occupies a store-buffer entry.
+func (o Op) IsStore() bool { return o == Store || o == FlagStore }
+
+// IsArith reports whether the operation is one of the paper's arithmetic
+// stream classes.
+func (o Op) IsArith() bool {
+	switch o {
+	case IAdd, ISub, ILogic, IMul, IDiv, FAdd, FSub, FMul, FDiv, FMove:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether the operation executes in the floating-point
+// subunits.
+func (o Op) IsFP() bool {
+	switch o {
+	case FAdd, FSub, FMul, FDiv, FMove:
+		return true
+	}
+	return false
+}
+
+// IsSync reports whether the operation is one of the declarative
+// synchronisation operations interpreted by the simulator rather than
+// issued to an execution port directly.
+func (o Op) IsSync() bool {
+	switch o {
+	case SpinWait, HaltWait, Pause:
+		return true
+	}
+	return false
+}
+
+// Port is an issue port of the out-of-order core.
+type Port uint8
+
+// Issue ports, following Figure 6 of the paper.
+const (
+	PortNone Port = iota // does not use an issue port (nop, pause, ...)
+	Port0                // ALU0 (double speed) + FP move
+	Port1                // ALU1 (double speed) + FP execute + slow int
+	Port2                // load
+	Port3                // store address/data
+	numPorts
+)
+
+// NumPorts is the number of distinct issue ports, including PortNone.
+const NumPorts = int(numPorts)
+
+var portNames = [NumPorts]string{"none", "port0", "port1", "port2", "port3"}
+
+func (p Port) String() string {
+	if int(p) < len(portNames) {
+		return portNames[p]
+	}
+	return fmt.Sprintf("port(%d)", uint8(p))
+}
+
+// Unit is an execution subunit, the granularity at which Table 1 of the
+// paper reports utilisation.
+type Unit uint8
+
+// Execution subunits.
+const (
+	UnitNone    Unit = iota
+	UnitALU0         // double-speed ALU; the only ALU wired for logical ops
+	UnitALU1         // double-speed ALU
+	UnitSlowInt      // imul/idiv unit behind port 1
+	UnitFPAdd        // fadd/fsub pipeline in the FP execute unit
+	UnitFPMul        // fmul pipeline in the FP execute unit
+	UnitFPDiv        // non-pipelined divider in the FP execute unit
+	UnitFPMove       // FP move/exchange unit on port 0
+	UnitLoad         // load port AGU + cache access
+	UnitStore        // store port
+	numUnits
+)
+
+// NumUnits is the number of distinct execution subunits.
+const NumUnits = int(numUnits)
+
+var unitNames = [NumUnits]string{
+	"none", "ALU0", "ALU1", "SLOW_INT", "FP_ADD", "FP_MUL", "FP_DIV",
+	"FP_MOVE", "LOAD", "STORE",
+}
+
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("unit(%d)", uint8(u))
+}
+
+// Spec describes how an operation class executes.
+type Spec struct {
+	// Ports lists the issue ports the op may be dispatched to. Most ops
+	// have one choice; plain integer ALU ops may use either double-speed
+	// ALU (port 0 or port 1).
+	Ports []Port
+	// UnitFor maps each usable port to the subunit exercised there
+	// (indexed by Port; UnitNone for unusable ports).
+	UnitFor [NumPorts]Unit
+	// Latency is the cycle count from issue to result availability.
+	Latency int
+	// Recurrence is the initiation interval of the subunit for this op:
+	// 1 means fully pipelined, Latency means unpipelined. The
+	// double-speed ALUs are modelled as accepting two µops per cycle via
+	// PortWidth rather than a fractional recurrence.
+	Recurrence int
+}
+
+// unitFor builds the port→unit table from pairs.
+func unitFor(pairs ...any) [NumPorts]Unit {
+	var t [NumPorts]Unit
+	for i := 0; i < len(pairs); i += 2 {
+		t[pairs[i].(Port)] = pairs[i+1].(Unit)
+	}
+	return t
+}
+
+// specs is indexed by Op. Latencies follow the IA-32 optimisation manual
+// for the Northwood core (whose 2.8 GHz Xeon sibling the paper measures).
+var specs = [NumOps]Spec{
+	Nop: {Latency: 1, Recurrence: 1},
+	IAdd: {
+		Ports:      []Port{Port0, Port1},
+		UnitFor:    unitFor(Port0, UnitALU0, Port1, UnitALU1),
+		Latency:    1,
+		Recurrence: 1,
+	},
+	ISub: {
+		Ports:      []Port{Port0, Port1},
+		UnitFor:    unitFor(Port0, UnitALU0, Port1, UnitALU1),
+		Latency:    1,
+		Recurrence: 1,
+	},
+	ILogic: {
+		// Logical operations execute only on ALU0 (paper §5.3): this is
+		// the serialisation bottleneck for the blocked-array-layout MM.
+		Ports:      []Port{Port0},
+		UnitFor:    unitFor(Port0, UnitALU0),
+		Latency:    1,
+		Recurrence: 1,
+	},
+	IMul: {
+		Ports:      []Port{Port1},
+		UnitFor:    unitFor(Port1, UnitSlowInt),
+		Latency:    15,
+		Recurrence: 5,
+	},
+	IDiv: {
+		// NetBurst executes integer divides on the FP divider, so idiv
+		// contends with fdiv — and leaves the imul unit alone, which is
+		// why the paper finds imul "almost unaffected by co-existing
+		// threads".
+		Ports:      []Port{Port1},
+		UnitFor:    unitFor(Port1, UnitFPDiv),
+		Latency:    56,
+		Recurrence: 56, // unpipelined
+	},
+	FAdd: {
+		Ports:      []Port{Port1},
+		UnitFor:    unitFor(Port1, UnitFPAdd),
+		Latency:    5,
+		Recurrence: 1,
+	},
+	FSub: {
+		Ports:      []Port{Port1},
+		UnitFor:    unitFor(Port1, UnitFPAdd),
+		Latency:    5,
+		Recurrence: 1,
+	},
+	FMul: {
+		Ports:      []Port{Port1},
+		UnitFor:    unitFor(Port1, UnitFPMul),
+		Latency:    7,
+		Recurrence: 2,
+	},
+	FDiv: {
+		Ports:      []Port{Port1},
+		UnitFor:    unitFor(Port1, UnitFPDiv),
+		Latency:    38,
+		Recurrence: 38, // unpipelined
+	},
+	FMove: {
+		Ports:      []Port{Port0},
+		UnitFor:    unitFor(Port0, UnitFPMove),
+		Latency:    6,
+		Recurrence: 1,
+	},
+	Load: {
+		Ports:      []Port{Port2},
+		UnitFor:    unitFor(Port2, UnitLoad),
+		Latency:    2, // AGU + L1 pipeline; cache hierarchy adds miss latency
+		Recurrence: 1,
+	},
+	Store: {
+		Ports:      []Port{Port3},
+		UnitFor:    unitFor(Port3, UnitStore),
+		Latency:    2,
+		Recurrence: 1,
+	},
+	FlagStore: {
+		Ports:      []Port{Port3},
+		UnitFor:    unitFor(Port3, UnitStore),
+		Latency:    2,
+		Recurrence: 1,
+	},
+	Branch: {
+		Ports:      []Port{Port0},
+		UnitFor:    unitFor(Port0, UnitALU0),
+		Latency:    1,
+		Recurrence: 1,
+	},
+	Prefetch: {
+		Ports:      []Port{Port2},
+		UnitFor:    unitFor(Port2, UnitLoad),
+		Latency:    2, // AGU only; the fill proceeds asynchronously
+		Recurrence: 1,
+	},
+	Pause:    {Latency: 10, Recurrence: 10}, // de-pipelined spin delay
+	SpinWait: {Latency: 1, Recurrence: 1},   // expanded by the front end
+	HaltWait: {Latency: 1, Recurrence: 1},   // interpreted by the front end
+}
+
+// SpecOf returns the execution specification of an operation class.
+func SpecOf(o Op) Spec {
+	if !o.Valid() {
+		panic(fmt.Sprintf("isa: invalid op %d", uint8(o)))
+	}
+	return specs[o]
+}
+
+// Latency returns the issue-to-result latency of o in cycles.
+func (o Op) Latency() int { return SpecOf(o).Latency }
+
+// PortWidth is the number of µops a port accepts per cycle when driving a
+// double-speed ALU. Ports 0 and 1 accept two ALU µops per cycle; a
+// same-cycle FP or slow-int µop on the port consumes the whole cycle.
+func PortWidth(p Port, u Unit) int {
+	if (p == Port0 && u == UnitALU0) || (p == Port1 && u == UnitALU1) {
+		return 2
+	}
+	return 1
+}
+
+// UnitOfStream maps one of the paper's stream/arithmetic classes to the
+// subunit it exercises for Table 1-style accounting. Loads and stores map
+// to the LOAD/STORE units; IAdd/ISub/ILogic/Branch group under the ALUs.
+func UnitOfStream(o Op) Unit {
+	switch o {
+	case IAdd, ISub, ILogic, Branch:
+		return UnitALU0 // representative; profile distinguishes ALU0/ALU1 by issue
+	case IMul:
+		return UnitSlowInt
+	case IDiv:
+		return UnitFPDiv
+	case FAdd, FSub:
+		return UnitFPAdd
+	case FMul:
+		return UnitFPMul
+	case FDiv:
+		return UnitFPDiv
+	case FMove:
+		return UnitFPMove
+	case Load, Prefetch:
+		return UnitLoad
+	case Store, FlagStore:
+		return UnitStore
+	}
+	return UnitNone
+}

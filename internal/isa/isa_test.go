@@ -1,0 +1,302 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < numOps; o++ {
+		s := o.String()
+		if s == "" {
+			t.Fatalf("op %d has empty name", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ops %v and %v share the name %q", prev, o, s)
+		}
+		seen[s] = o
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("out-of-range op name = %q", got)
+	}
+}
+
+func TestSpecTablesComplete(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		sp := SpecOf(o)
+		if sp.Latency <= 0 {
+			t.Errorf("%v: non-positive latency %d", o, sp.Latency)
+		}
+		if sp.Recurrence <= 0 {
+			t.Errorf("%v: non-positive recurrence %d", o, sp.Recurrence)
+		}
+		if sp.Recurrence > sp.Latency {
+			t.Errorf("%v: recurrence %d exceeds latency %d", o, sp.Recurrence, sp.Latency)
+		}
+		mapped := 0
+		for _, p := range sp.Ports {
+			if sp.UnitFor[p] == UnitNone {
+				t.Errorf("%v: port %v has no unit mapping", o, p)
+			}
+		}
+		for p := 0; p < NumPorts; p++ {
+			if sp.UnitFor[p] != UnitNone {
+				mapped++
+			}
+		}
+		if mapped != len(sp.Ports) {
+			t.Errorf("%v: UnitFor has %d entries for %d ports", o, mapped, len(sp.Ports))
+		}
+	}
+}
+
+func TestSpecOfPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpecOf(invalid) did not panic")
+		}
+	}()
+	SpecOf(numOps)
+}
+
+func TestLogicalOpsOnlyOnALU0(t *testing.T) {
+	sp := SpecOf(ILogic)
+	if len(sp.Ports) != 1 || sp.Ports[0] != Port0 {
+		t.Fatalf("ILogic ports = %v, want only Port0", sp.Ports)
+	}
+	if sp.UnitFor[Port0] != UnitALU0 {
+		t.Fatalf("ILogic unit = %v, want ALU0", sp.UnitFor[Port0])
+	}
+}
+
+func TestPlainIntALUHasTwoPorts(t *testing.T) {
+	for _, o := range []Op{IAdd, ISub} {
+		sp := SpecOf(o)
+		if len(sp.Ports) != 2 {
+			t.Fatalf("%v ports = %v, want both double-speed ALUs", o, sp.Ports)
+		}
+	}
+}
+
+func TestFPSharesPort1(t *testing.T) {
+	for _, o := range []Op{FAdd, FSub, FMul, FDiv} {
+		sp := SpecOf(o)
+		if len(sp.Ports) != 1 || sp.Ports[0] != Port1 {
+			t.Fatalf("%v ports = %v, want only Port1 (single FP execute unit)", o, sp.Ports)
+		}
+	}
+}
+
+func TestUnpipelinedDividers(t *testing.T) {
+	for _, o := range []Op{FDiv, IDiv} {
+		sp := SpecOf(o)
+		if sp.Recurrence != sp.Latency {
+			t.Errorf("%v: recurrence %d != latency %d; divider must be unpipelined", o, sp.Recurrence, sp.Latency)
+		}
+	}
+}
+
+func TestPortWidthDoubleSpeedALUs(t *testing.T) {
+	if PortWidth(Port0, UnitALU0) != 2 {
+		t.Error("ALU0 on port0 should be double speed")
+	}
+	if PortWidth(Port1, UnitALU1) != 2 {
+		t.Error("ALU1 on port1 should be double speed")
+	}
+	if PortWidth(Port1, UnitFPAdd) != 1 {
+		t.Error("FP on port1 should be single speed")
+	}
+	if PortWidth(Port2, UnitLoad) != 1 {
+		t.Error("load port should be single speed")
+	}
+}
+
+func TestRegisterEncoding(t *testing.T) {
+	if RegNone.Bank() != BankNone {
+		t.Error("RegNone bank")
+	}
+	for i := 0; i < NumIntRegs; i++ {
+		r := R(i)
+		if r.Bank() != BankInt {
+			t.Fatalf("R(%d).Bank() = %v", i, r.Bank())
+		}
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		r := F(i)
+		if r.Bank() != BankFP {
+			t.Fatalf("F(%d).Bank() = %v", i, r.Bank())
+		}
+	}
+	if R(3) == F(3) {
+		t.Error("int and fp register encodings collide")
+	}
+	if got := R(5).String(); got != "r5" {
+		t.Errorf("R(5).String() = %q", got)
+	}
+	if got := F(7).String(); got != "f7" {
+		t.Errorf("F(7).String() = %q", got)
+	}
+}
+
+func TestRegisterConstructorsPanicOutOfRange(t *testing.T) {
+	for _, fn := range []func(){func() { R(-1) }, func() { R(NumIntRegs) }, func() { F(-1) }, func() { F(NumFPRegs) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("register constructor accepted out-of-range index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegisterEncodingDisjoint_Property(t *testing.T) {
+	// Property: distinct (bank, index) pairs never alias.
+	f := func(a, b uint8) bool {
+		ia, ib := int(a)%NumIntRegs, int(b)%NumFPRegs
+		return R(ia) != F(ib)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpKindHolds(t *testing.T) {
+	cases := []struct {
+		cmp       CmpKind
+		v, want   int64
+		satisfied bool
+	}{
+		{CmpEQ, 5, 5, true},
+		{CmpEQ, 4, 5, false},
+		{CmpNE, 4, 5, true},
+		{CmpNE, 5, 5, false},
+		{CmpGE, 5, 5, true},
+		{CmpGE, 6, 5, true},
+		{CmpGE, 4, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.cmp.Holds(c.v, c.want); got != c.satisfied {
+			t.Errorf("(%d %v %d) = %v, want %v", c.v, c.cmp, c.want, got, c.satisfied)
+		}
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	good := []Instr{
+		ALU(FAdd, F(0), F(1), F(2)),
+		ALU(IAdd, R(0), R(1), R(2)),
+		Ld(F(0), 0x1000),
+		St(F(0), 0x1000),
+		Flag(1, 7, 0x2000),
+		Spin(1, CmpEQ, 7),
+		Halt(2, CmpGE, 3),
+		{Op: Pause},
+		{Op: Nop},
+		{Op: Branch},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", in, err)
+		}
+	}
+	bad := []Instr{
+		{Op: numOps},
+		ALU(FAdd, R(0), F(1), F(2)), // fp op with int dst
+		ALU(IAdd, F(0), R(1), R(2)), // int op with fp dst
+		{Op: Load},                  // no dst
+		{Op: Store},                 // no src
+		{Op: SpinWait},              // no cell
+		{Op: HaltWait},              // no cell
+		{Op: FlagStore},             // no cell
+		{Op: IAdd, Dst: Reg(NumRegs), Src1: R(0), Src2: R(1)}, // invalid reg
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() || !FlagStore.IsMem() || IAdd.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !Store.IsStore() || !FlagStore.IsStore() || Load.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !FAdd.IsFP() || !FMove.IsFP() || IAdd.IsFP() || Load.IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+	if !SpinWait.IsSync() || !HaltWait.IsSync() || !Pause.IsSync() || Load.IsSync() {
+		t.Error("IsSync misclassifies")
+	}
+	for _, o := range []Op{IAdd, ISub, ILogic, IMul, IDiv, FAdd, FSub, FMul, FDiv, FMove} {
+		if !o.IsArith() {
+			t.Errorf("%v should be arithmetic", o)
+		}
+	}
+	for _, o := range []Op{Load, Store, Branch, Pause, Nop} {
+		if o.IsArith() {
+			t.Errorf("%v should not be arithmetic", o)
+		}
+	}
+}
+
+func TestUnitOfStream(t *testing.T) {
+	cases := map[Op]Unit{
+		IAdd: UnitALU0, ILogic: UnitALU0, IMul: UnitSlowInt,
+		FAdd: UnitFPAdd, FSub: UnitFPAdd, FMul: UnitFPMul, FDiv: UnitFPDiv,
+		FMove: UnitFPMove, Load: UnitLoad, Store: UnitStore, FlagStore: UnitStore,
+		Pause: UnitNone, Nop: UnitNone,
+	}
+	for o, want := range cases {
+		if got := UnitOfStream(o); got != want {
+			t.Errorf("UnitOfStream(%v) = %v, want %v", o, got, want)
+		}
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	forms := []struct {
+		in   Instr
+		want string
+	}{
+		{Ld(F(0), 0x40), "load f0 <- [0x40]"},
+		{St(F(1), 0x80), "store [0x80] <- f1"},
+		{Spin(3, CmpEQ, 1), "spinwait cell3 == 1"},
+	}
+	for _, f := range forms {
+		if got := f.in.String(); got != f.want {
+			t.Errorf("String() = %q, want %q", got, f.want)
+		}
+	}
+}
+
+func TestPrefetchOp(t *testing.T) {
+	if !Prefetch.IsMem() {
+		t.Error("prefetch should be a memory op")
+	}
+	if Prefetch.IsStore() || Prefetch.IsArith() || Prefetch.IsSync() {
+		t.Error("prefetch misclassified")
+	}
+	sp := SpecOf(Prefetch)
+	if len(sp.Ports) != 1 || sp.Ports[0] != Port2 {
+		t.Errorf("prefetch ports %v, want load port", sp.Ports)
+	}
+	if sp.Latency != 2 {
+		t.Errorf("prefetch latency %d, want AGU-only 2", sp.Latency)
+	}
+	in := Pf(0x1234, 7)
+	if err := in.Validate(); err != nil {
+		t.Errorf("Pf invalid: %v", err)
+	}
+	if in.Addr != 0x1234 || in.Tag != 7 || in.Dst != RegNone {
+		t.Errorf("Pf fields wrong: %+v", in)
+	}
+	if UnitOfStream(Prefetch) != UnitLoad {
+		t.Error("prefetch unit attribution wrong")
+	}
+}

@@ -1,0 +1,342 @@
+// Package bt implements the paper's NAS BT benchmark (§5.2(ii)): an ADI
+// solver for block-tridiagonal systems of 5×5 blocks on a 3-D grid, swept
+// along each dimension per time step. BT has the richest FP mix of the
+// four kernels (Table 1: ≈19% FP_MUL, ≈15% FP_ADD, ≈9% FP_MOVE, only ≈7%
+// ALU) and "somewhat better data locality" than CG — but its y- and
+// z-dimension sweeps stride far apart in memory, imposing latencies the
+// hardware streamer cannot hide.
+//
+// BT is the paper's one TLP success: coarse partitioning of the
+// independent lines of each sweep, with perfect balance (Table 1 shows the
+// threads executing exactly half the serial instructions each), assorted
+// compute that spreads over the FP subunits, and low ALU contention let
+// hyper-threading interleave memory latency with computation for a ≈6%
+// speedup. The SPR scheme instead costs ≈1% despite cutting the worker's
+// misses, because of the added prefetch µops.
+package bt
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/layout"
+	"smtexplore/internal/syncprim"
+	"smtexplore/internal/trace"
+)
+
+// Static load sites.
+const (
+	TagLoadBlock isa.Tag = kernels.TagBaseBT + iota
+	TagLoadRHS
+	TagPrefetch
+)
+
+// Block geometry of the benchmark.
+const (
+	// BlockDim is the tridiagonal block dimension (5×5 systems).
+	BlockDim = 5
+	// blockBytes is one 5×5 block of float64.
+	blockBytes = BlockDim * BlockDim * layout.ElemSize
+	// rhsBytes is one 5-vector of float64.
+	rhsBytes = BlockDim * layout.ElemSize
+)
+
+// Config parameterises the kernel.
+type Config struct {
+	// G is the grid dimension (G³ cells).
+	G int
+	// Steps is the number of ADI time steps.
+	Steps int
+	// PrefetchWait selects the prefetcher's wait flavour.
+	PrefetchWait syncprim.WaitKind
+	// Base is the address-space base.
+	Base uint64
+}
+
+// DefaultConfig returns the scaled stand-in for BT Class A (64³ grid,
+// 200 steps): the per-cell block data (≈2 KB across the lhs and rhs
+// arrays) times the grid far exceeds the scaled L2.
+func DefaultConfig() Config {
+	return Config{
+		G:            10,
+		Steps:        2,
+		PrefetchWait: syncprim.SpinPause,
+		Base:         0x0C00_0000,
+	}
+}
+
+// Kernel builds BT programs for every mode.
+type Kernel struct {
+	cfg   Config
+	lhsA  uint64 // [G³] blocks: sub-diagonal
+	lhsB  uint64 // [G³] blocks: diagonal
+	lhsC  uint64 // [G³] blocks: super-diagonal
+	rhs   uint64 // [G³] 5-vectors
+	cells syncprim.CellAlloc
+
+	wkStart  syncprim.Flag
+	pfDone   syncprim.Flag
+	sweepBar *syncprim.Barrier
+}
+
+// New validates cfg and lays out the grid arrays.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.G < 2 {
+		return nil, fmt.Errorf("bt: grid %d too small", cfg.G)
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("bt: steps %d not positive", cfg.Steps)
+	}
+	cells := uint64(cfg.G) * uint64(cfg.G) * uint64(cfg.G)
+	ar := layout.NewArena(cfg.Base)
+	k := &Kernel{cfg: cfg}
+	k.lhsA = ar.Alloc(cells * blockBytes)
+	k.lhsB = ar.Alloc(cells * blockBytes)
+	k.lhsC = ar.Alloc(cells * blockBytes)
+	k.rhs = ar.Alloc(cells * rhsBytes)
+	k.wkStart = syncprim.NewFlag(&k.cells)
+	k.pfDone = syncprim.NewFlag(&k.cells)
+	k.sweepBar = syncprim.NewBarrier(&k.cells)
+	return k, nil
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return "bt" }
+
+// Modes lists the modes the paper evaluates for BT.
+func (k *Kernel) Modes() []kernels.Mode {
+	return []kernels.Mode{kernels.Serial, kernels.TLPCoarse, kernels.TLPPfetch}
+}
+
+// cellIndex linearises grid coordinates (k fastest: the x dimension is
+// memory-contiguous, so x sweeps stream while y and z sweeps stride).
+func (k *Kernel) cellIndex(x, y, z int) int {
+	g := k.cfg.G
+	return (z*g+y)*g + x
+}
+
+// blockAddr returns the byte address of a cell's block in one lhs array.
+func blockAddr(base uint64, cell int) uint64 {
+	return base + uint64(cell)*blockBytes
+}
+
+func rhsAddr(base uint64, cell int) uint64 {
+	return base + uint64(cell)*rhsBytes
+}
+
+// emitBlockOp emits nFmul inner element updates of a block operation
+// reading blocks at aBase/bBase and updating the destination at dBase,
+// with the Table 1 BT mix: per fmul ≈2 loads, 0.8 fadd, 0.5 fmove, 0.75
+// store, 0.35 ALU.
+func (k *Kernel) emitBlockOp(e *trace.Emitter, aBase, bBase, dBase uint64, nFmul int, seq *uint64) {
+	for i := 0; i < nFmul; i++ {
+		s := *seq
+		*seq = s + 1
+		r := int(s)
+		aReg := isa.F(r % 5)
+		bReg := isa.F(5 + r%5)
+		tReg := isa.F(10 + r%6)
+		dReg := isa.F(16 + (r & 3))
+
+		aOff := uint64(i%25) * layout.ElemSize
+		bOff := uint64((i*7)%25) * layout.ElemSize
+		dOff := uint64(i%25) * layout.ElemSize
+		e.TaggedLoad(aReg, aBase+aOff, TagLoadBlock)
+		e.TaggedLoad(bReg, bBase+bOff, TagLoadBlock)
+		e.ALU(isa.FMul, tReg, aReg, bReg)
+		if i%5 != 4 {
+			e.ALU(isa.FAdd, dReg, dReg, tReg)
+		}
+		if r&1 == 0 {
+			e.ALU(isa.FMove, isa.F(20+(r&3)), tReg, isa.RegNone)
+		}
+		if i%4 != 3 {
+			e.Store(dReg, dBase+dOff)
+		}
+		if i%3 == 0 {
+			e.ALU(isa.IAdd, isa.R(r&7), isa.R(28), isa.R(29))
+		}
+		if r&7 == 7 {
+			e.Branch()
+		}
+	}
+}
+
+// emitCellSolve emits the per-cell work of a forward-elimination step
+// along a line: one block-block multiply (B -= A·C_prev, 125 multiplies)
+// and two block-vector operations (25 multiplies each).
+func (k *Kernel) emitCellSolve(e *trace.Emitter, cell, prev int, seq *uint64) {
+	k.emitBlockOp(e, blockAddr(k.lhsA, cell), blockAddr(k.lhsC, prev),
+		blockAddr(k.lhsB, cell), BlockDim*BlockDim*BlockDim, seq)
+	k.emitBlockOp(e, blockAddr(k.lhsA, cell), rhsAddr(k.rhs, prev),
+		rhsAddr(k.rhs, cell), BlockDim*BlockDim, seq)
+	k.emitBlockOp(e, blockAddr(k.lhsB, cell), rhsAddr(k.rhs, cell),
+		rhsAddr(k.rhs, cell), BlockDim*BlockDim, seq)
+}
+
+// line is one tridiagonal system: the cells along one dimension.
+type line struct {
+	cells []int
+}
+
+// sweepLines enumerates the independent lines of dimension dim (0 = x,
+// 1 = y, 2 = z) in the serial iteration order.
+func (k *Kernel) sweepLines(dim int) []line {
+	g := k.cfg.G
+	var out []line
+	for a := 0; a < g; a++ {
+		for b := 0; b < g; b++ {
+			l := line{cells: make([]int, g)}
+			for c := 0; c < g; c++ {
+				switch dim {
+				case 0:
+					l.cells[c] = k.cellIndex(c, a, b)
+				case 1:
+					l.cells[c] = k.cellIndex(a, c, b)
+				default:
+					l.cells[c] = k.cellIndex(a, b, c)
+				}
+			}
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// emitLine emits the forward elimination and back substitution along one
+// line.
+func (k *Kernel) emitLine(e *trace.Emitter, l line, seq *uint64) {
+	for i := 1; i < len(l.cells); i++ {
+		k.emitCellSolve(e, l.cells[i], l.cells[i-1], seq)
+	}
+	// Back substitution: one block-vector multiply per cell.
+	for i := len(l.cells) - 2; i >= 0; i-- {
+		k.emitBlockOp(e, blockAddr(k.lhsC, l.cells[i]), rhsAddr(k.rhs, l.cells[i+1]),
+			rhsAddr(k.rhs, l.cells[i]), BlockDim*BlockDim, seq)
+	}
+}
+
+// emitPrefetchLine emits the helper-thread prefetch of one line's blocks:
+// one tagged load per cache line of the lhs and rhs data the worker is
+// about to consume, with light address arithmetic.
+func (k *Kernel) emitPrefetchLine(e *trace.Emitter, l line, seq *uint64) {
+	for _, cell := range l.cells {
+		for _, base := range []uint64{
+			blockAddr(k.lhsA, cell), blockAddr(k.lhsB, cell), blockAddr(k.lhsC, cell),
+		} {
+			for off := uint64(0); off < blockBytes; off += 64 {
+				s := *seq
+				*seq = s + 1
+				if s&1 == 0 {
+					e.ALU(isa.IAdd, isa.R(int(s)&7), isa.R(28), isa.R(29))
+				}
+				e.TaggedLoad(isa.F(24+(int(s)&3)), base+off, TagPrefetch)
+			}
+		}
+		s := *seq
+		*seq = s + 1
+		e.TaggedLoad(isa.F(28+(int(s)&1)), rhsAddr(k.rhs, cell), TagPrefetch)
+	}
+}
+
+// Programs builds the program pair for mode.
+func (k *Kernel) Programs(mode kernels.Mode) ([2]trace.Program, error) {
+	switch mode {
+	case kernels.Serial:
+		return [2]trace.Program{k.serialProgram(), nil}, nil
+	case kernels.TLPCoarse:
+		return [2]trace.Program{k.coarseProgram(0), k.coarseProgram(1)}, nil
+	case kernels.TLPPfetch:
+		return [2]trace.Program{k.spanWorker(), k.prefetcher()}, nil
+	default:
+		return [2]trace.Program{}, kernels.ErrUnsupportedMode{Kernel: k.Name(), Mode: mode}
+	}
+}
+
+func (k *Kernel) serialProgram() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for step := 0; step < k.cfg.Steps; step++ {
+			for dim := 0; dim < 3; dim++ {
+				for _, l := range k.sweepLines(dim) {
+					if e.Stopped() {
+						return
+					}
+					k.emitLine(e, l, &seq)
+				}
+			}
+		}
+	})
+}
+
+// coarseProgram splits each sweep's independent lines between the threads
+// by parity (the perfect partitioning Table 1 shows), with a barrier
+// between sweeps to respect the ADI dimension ordering.
+func (k *Kernel) coarseProgram(tid int) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		bar := k.sweepBar.Join(tid, syncprim.SpinPause)
+		var seq uint64
+		for step := 0; step < k.cfg.Steps; step++ {
+			for dim := 0; dim < 3; dim++ {
+				for li, l := range k.sweepLines(dim) {
+					if e.Stopped() {
+						return
+					}
+					if li&1 != tid {
+						continue
+					}
+					k.emitLine(e, l, &seq)
+				}
+				bar.Arrive(e)
+			}
+		}
+	})
+}
+
+// spanWorker is the SPR computation thread: one precomputation span per
+// line, gated on the prefetcher running exactly one line ahead.
+func (k *Kernel) spanWorker() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		epoch := int64(0)
+		for step := 0; step < k.cfg.Steps; step++ {
+			for dim := 0; dim < 3; dim++ {
+				for _, l := range k.sweepLines(dim) {
+					if e.Stopped() {
+						return
+					}
+					epoch++
+					k.wkStart.Set(e, epoch)
+					k.pfDone.Wait(e, syncprim.SpinPause, isa.CmpGE, epoch)
+					k.emitLine(e, l, &seq)
+				}
+			}
+		}
+	})
+}
+
+func (k *Kernel) prefetcher() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		epoch := int64(0)
+		for step := 0; step < k.cfg.Steps; step++ {
+			for dim := 0; dim < 3; dim++ {
+				for _, l := range k.sweepLines(dim) {
+					if e.Stopped() {
+						return
+					}
+					epoch++
+					if epoch > 1 {
+						k.wkStart.Wait(e, k.cfg.PrefetchWait, isa.CmpGE, epoch-1)
+					}
+					k.emitPrefetchLine(e, l, &seq)
+					k.pfDone.Set(e, epoch)
+				}
+			}
+		}
+	})
+}
+
+// LineCount exposes per-sweep line count for tests.
+func (k *Kernel) LineCount() int { return k.cfg.G * k.cfg.G }

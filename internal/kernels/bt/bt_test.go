@@ -1,0 +1,232 @@
+package bt
+
+import (
+	"math"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.G = 6
+	cfg.Steps = 1
+	return cfg
+}
+
+func testKernel(t *testing.T, cfg Config) *Kernel {
+	t.Helper()
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func scaledConfig() smt.Config {
+	cfg := smt.DefaultConfig()
+	cfg.Mem.L2 = mem.CacheConfig{Size: 32 << 10, LineSize: 64, Assoc: 8, Latency: 18}
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{G: 1, Steps: 1}); err == nil {
+		t.Error("grid 1 accepted")
+	}
+	if _, err := New(Config{G: 8, Steps: 0}); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestSerialMixApproximatesTable1(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	progs, err := k.Programs(kernels.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := trace.Mix(progs[0])
+	var total uint64
+	for _, n := range mix {
+		total += n
+	}
+	share := func(ops ...isa.Op) float64 {
+		var n uint64
+		for _, op := range ops {
+			n += mix[op]
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	// Table 1 BT serial, normalised: ALUs ≈6.9%, FP_ADD ≈15.1%, FP_MUL
+	// ≈18.8%, FP_MOVE ≈9.0%, LOAD ≈36.5%, STORE ≈13.7%.
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"ALUs", share(isa.IAdd, isa.ILogic, isa.Branch), 6.9, 3},
+		{"FP_ADD", share(isa.FAdd), 15.1, 3},
+		{"FP_MUL", share(isa.FMul), 18.8, 3},
+		{"FP_MOVE", share(isa.FMove), 9.0, 3},
+		{"LOAD", share(isa.Load), 36.5, 4},
+		{"STORE", share(isa.Store), 13.7, 3},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s share = %.2f%%, want %.1f±%.0f", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestSweepLinesCoverGrid(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	for dim := 0; dim < 3; dim++ {
+		lines := k.sweepLines(dim)
+		if len(lines) != k.LineCount() {
+			t.Fatalf("dim %d: %d lines, want %d", dim, len(lines), k.LineCount())
+		}
+		seen := map[int]bool{}
+		for _, l := range lines {
+			if len(l.cells) != smallConfig().G {
+				t.Fatalf("dim %d: line length %d", dim, len(l.cells))
+			}
+			for _, c := range l.cells {
+				if seen[c] {
+					t.Fatalf("dim %d: cell %d on two lines", dim, c)
+				}
+				seen[c] = true
+			}
+		}
+		if len(seen) != 6*6*6 {
+			t.Fatalf("dim %d: covered %d cells, want 216", dim, len(seen))
+		}
+	}
+}
+
+func TestXSweepIsContiguousYZAreStrided(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	x := k.sweepLines(0)[0]
+	for i := 1; i < len(x.cells); i++ {
+		if x.cells[i] != x.cells[i-1]+1 {
+			t.Fatal("x sweep not memory-contiguous")
+		}
+	}
+	y := k.sweepLines(1)[0]
+	if y.cells[1]-y.cells[0] != smallConfig().G {
+		t.Fatal("y sweep stride wrong")
+	}
+	z := k.sweepLines(2)[0]
+	if z.cells[1]-z.cells[0] != smallConfig().G*smallConfig().G {
+		t.Fatal("z sweep stride wrong")
+	}
+}
+
+func TestCoarsePartitionPerfectlyBalanced(t *testing.T) {
+	// Table 1: the BT threads execute exactly half the serial
+	// instructions each ("perfect workload partitioning").
+	cfg := smallConfig()
+	k := testKernel(t, cfg)
+	progs, err := k.Programs(kernels.TLPCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(p trace.Program) uint64 {
+		var n uint64
+		for _, v := range trace.Mix(p) {
+			n += v
+		}
+		return n
+	}
+	c0, c1 := count(progs[0]), count(progs[1])
+	diff := math.Abs(float64(c0)-float64(c1)) / float64(c0+c1)
+	if diff > 0.01 {
+		t.Errorf("imbalance %.2f%% between %d and %d", diff*100, c0, c1)
+	}
+	sp, _ := k.Programs(kernels.Serial)
+	serial := count(sp[0])
+	// Modulo the barrier µops, the split adds no overhead.
+	if overhead := float64(c0+c1-serial) / float64(serial); overhead > 0.01 {
+		t.Errorf("partition overhead %.2f%%, want ≈0 (perfect partitioning)", overhead*100)
+	}
+}
+
+func TestPrefetcherIsSmall(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	progs, _ := k.Programs(kernels.TLPPfetch)
+	w := trace.Count(progs[0])
+	p := trace.Count(progs[1])
+	ratio := float64(p) / float64(w)
+	// Paper: BT's prefetcher retires ≈19% of the worker's count (8.4e9
+	// vs 45e9). Ours is line walks only; accept anything well under 1.
+	if ratio > 0.4 {
+		t.Errorf("prefetcher/worker ratio %.2f too large", ratio)
+	}
+}
+
+func TestAllModesRunToCompletion(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	for _, mode := range k.Modes() {
+		progs, err := k.Programs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := smt.New(scaledConfig())
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		res, err := m.Run(2_000_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v did not complete", mode)
+		}
+		if m.Counters().Get(perfmon.InstrRetired, 0) == 0 {
+			t.Fatalf("%v: worker retired nothing", mode)
+		}
+	}
+}
+
+func TestTLPCoarseGivesSpeedup(t *testing.T) {
+	// BT is the paper's headline TLP result: tlp-coarse is ≈6% FASTER
+	// than serial. Assert a speedup (any positive margin).
+	cfg := DefaultConfig()
+	cfg.G = 8
+	cfg.Steps = 1
+	run := func(mode kernels.Mode) uint64 {
+		k := testKernel(t, cfg)
+		progs, err := k.Programs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := smt.New(scaledConfig())
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		if res, err := m.Run(4_000_000_000); err != nil || !res.Completed {
+			t.Fatalf("%v: err=%v completed=%v", mode, err, res.Completed)
+		}
+		return m.Cycle()
+	}
+	serial := run(kernels.Serial)
+	coarse := run(kernels.TLPCoarse)
+	if coarse >= serial {
+		t.Errorf("bt tlp-coarse (%d) not faster than serial (%d); paper reports ≈6%% speedup", coarse, serial)
+	}
+}
+
+func TestUnsupportedModes(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	for _, mode := range []kernels.Mode{kernels.TLPFine, kernels.TLPPfetchWork} {
+		if _, err := k.Programs(mode); err == nil {
+			t.Errorf("mode %v unexpectedly supported", mode)
+		}
+	}
+}

@@ -1,0 +1,478 @@
+// Package cg implements the paper's NAS CG benchmark (§5.2(i)): a
+// conjugate-gradient solver over an unstructured random sparse matrix,
+// characterised by random memory access patterns (the x-vector gathers of
+// the sparse matrix-vector product) and frequent synchronisation.
+//
+// Each CG iteration performs one SpMV (q = A·p), two dot-product
+// reductions and three AXPY vector updates; the TLP version splits rows
+// and vector ranges between the threads with a barrier after every one of
+// those phases — the "frequent invocations of synchronization primitives"
+// the paper blames for the SPR version's deceleration. The precomputation
+// thread distills CG's delinquent loads: the val/col CSR streams (which
+// dominate the L2 misses, since the x vector itself stays L2-resident) are
+// walked one span ahead, line by line.
+//
+// The Table 1 CG column is matched approximately: ≈26% ALU, ≈8% FP_ADD,
+// ≈8% FP_MUL, ≈16% FP_MOVE (CG's register shuffling is the only kernel
+// with a large FP_MOVE share), ≈34% LOAD, ≈9% STORE.
+package cg
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/layout"
+	"smtexplore/internal/sparse"
+	"smtexplore/internal/syncprim"
+	"smtexplore/internal/trace"
+)
+
+// Static load sites.
+const (
+	TagLoadVal isa.Tag = kernels.TagBaseCG + iota
+	TagLoadCol
+	TagGatherX
+	TagVector
+	TagPrefetch
+)
+
+// Config parameterises the kernel.
+type Config struct {
+	// N is the matrix dimension.
+	N int
+	// NNZPerRow is the nonzeros per row of the random pattern.
+	NNZPerRow int
+	// Iters is the number of CG iterations.
+	Iters int
+	// Seed drives the random sparsity pattern.
+	Seed int64
+	// SpanRows is the precomputation span in matrix rows.
+	SpanRows int
+	// PhaseOverheadUops is the per-phase parallelisation overhead each
+	// thread pays in the threaded modes (partial-result exchange,
+	// boundary recomputation, the pthreads transformation of the OpenMP
+	// reductions). Table 1 shows each CG thread executing ≈59% of the
+	// serial instruction count — "more than the half ... due to
+	// parallelization overhead". Zero selects the default of 4·N.
+	PhaseOverheadUops int
+	// PrefetchWait selects the prefetcher's wait flavour.
+	PrefetchWait syncprim.WaitKind
+	// Base is the address-space base.
+	Base uint64
+}
+
+// DefaultConfig returns the scaled stand-in for CG Class A (n=14000,
+// ~1.85M nonzeros): the val/col matrix streams (96 KB per sweep) far
+// exceed the scaled 32 KB L2 — they are the delinquent loads — while the
+// x gather vector stays cache-resident, exactly the paper's miss regime
+// (its 112 KB x fit the Xeon's 512 KB L2).
+func DefaultConfig() Config {
+	return Config{
+		N:            512,
+		NNZPerRow:    16,
+		Iters:        30,
+		Seed:         20060814, // ICPP'06 vintage
+		SpanRows:     32,
+		PrefetchWait: syncprim.SpinPause,
+		Base:         0x0800_0000,
+	}
+}
+
+// Kernel builds CG programs for every mode.
+type Kernel struct {
+	cfg   Config
+	csr   *sparse.CSR
+	geo   sparse.Geometry
+	pvec  *layout.Vec // direction vector p
+	cells syncprim.CellAlloc
+
+	wkStart  syncprim.Flag
+	pfDone   syncprim.Flag
+	phaseBar *syncprim.Barrier
+}
+
+// New validates cfg, generates the sparse pattern and lays out the arrays.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Iters <= 0 {
+		return nil, fmt.Errorf("cg: iterations %d not positive", cfg.Iters)
+	}
+	if cfg.SpanRows <= 0 {
+		return nil, fmt.Errorf("cg: span %d not positive", cfg.SpanRows)
+	}
+	if cfg.PhaseOverheadUops == 0 {
+		cfg.PhaseOverheadUops = 4 * cfg.N
+	}
+	if cfg.PhaseOverheadUops < 0 {
+		return nil, fmt.Errorf("cg: negative phase overhead %d", cfg.PhaseOverheadUops)
+	}
+	csr, err := sparse.NewRandomCSR(cfg.N, cfg.NNZPerRow, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("cg: %w", err)
+	}
+	ar := layout.NewArena(cfg.Base)
+	nnz := uint64(csr.NNZ())
+	k := &Kernel{cfg: cfg, csr: csr}
+	k.geo = sparse.Geometry{
+		Val:    ar.Alloc(nnz * 8),
+		Col:    ar.Alloc(nnz * 4),
+		RowPtr: ar.Alloc(uint64(cfg.N+1) * 4),
+		X:      ar.Alloc(uint64(cfg.N) * 8),
+		Y:      ar.Alloc(uint64(cfg.N) * 8),
+	}
+	k.pvec = layout.MustVec(ar.Alloc(uint64(cfg.N)*8), cfg.N, 8)
+	k.wkStart = syncprim.NewFlag(&k.cells)
+	k.pfDone = syncprim.NewFlag(&k.cells)
+	k.phaseBar = syncprim.NewBarrier(&k.cells)
+	return k, nil
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return "cg" }
+
+// Modes lists the modes the paper evaluates for CG.
+func (k *Kernel) Modes() []kernels.Mode {
+	return []kernels.Mode{
+		kernels.Serial, kernels.TLPCoarse, kernels.TLPPfetch, kernels.TLPPfetchWork,
+	}
+}
+
+// emitSpMVRow emits the sparse dot product of one matrix row: per nonzero
+// a val load, a col load, the random x gather, fmul, fadd into the
+// accumulator and an fmove shuffle; per row the result store plus loop
+// overhead.
+func (k *Kernel) emitSpMVRow(e *trace.Emitter, row int, seq *uint64) {
+	start, end := int(k.csr.RowPtr[row]), int(k.csr.RowPtr[row+1])
+	for kk := start; kk < end; kk++ {
+		s := *seq
+		*seq = s + 1
+		r := int(s)
+		// Deep rotations (the unrolled, optimised serial code): the
+		// random x gathers are the long-latency producers, so they get
+		// the deepest rotation to expose memory-level parallelism.
+		vReg := isa.F(r % 3)
+		xReg := isa.F(3 + r%6)
+		tReg := isa.F(9 + r%5)
+		accReg := isa.F(14 + (r & 3))
+		colReg := isa.R(r & 3)
+
+		e.ALU(isa.IAdd, isa.R(4+(r&3)), isa.R(28), isa.R(29)) // k++
+		e.TaggedLoad(colReg, k.geo.ColAddr(kk), TagLoadCol)
+		e.ALU(isa.IAdd, isa.R(8+(r&1)), colReg, isa.R(29)) // scale col index
+		e.TaggedLoad(vReg, k.geo.ValAddr(kk), TagLoadVal)
+		e.TaggedLoad(xReg, k.geo.XAddr(int(k.csr.Col[kk])), TagGatherX)
+		e.ALU(isa.IAdd, isa.R(12+(r&1)), isa.R(28), isa.R(29)) // row cursor
+		e.TaggedLoad(vReg, k.geo.ValAddr(kk), TagLoadVal)      // spill reload
+		e.ALU(isa.FMul, tReg, vReg, xReg)
+		e.ALU(isa.FAdd, accReg, accReg, tReg)
+		e.ALU(isa.FMove, isa.F(18+(r&3)), accReg, isa.RegNone)
+		e.ALU(isa.FMove, isa.F(22+(r&1)), tReg, isa.RegNone)
+		// The profiled binary stores the running accumulation per element
+		// (no register-resident reduction), giving CG its ≈9% store share.
+		e.Store(accReg, k.geo.YAddr(row))
+		if r&3 == 3 {
+			e.Branch()
+		}
+	}
+}
+
+// emitDotRange emits a partial dot product over vector rows [lo,hi): two
+// loads, fmul, fadd, fmove per element.
+func (k *Kernel) emitDotRange(e *trace.Emitter, lo, hi int, seq *uint64) {
+	for i := lo; i < hi; i++ {
+		s := *seq
+		*seq = s + 1
+		r := int(s)
+		a := isa.F(r & 3)
+		b := isa.F(4 + (r & 3))
+		t := isa.F(8 + r%6)
+		e.TaggedLoad(a, k.geo.YAddr(i), TagVector)
+		e.TaggedLoad(b, k.pvec.Addr(i), TagVector)
+		e.ALU(isa.FMul, t, a, b)
+		e.ALU(isa.FAdd, isa.F(14+(r&1)), isa.F(14+(r&1)), t)
+		if r&1 == 0 {
+			e.ALU(isa.FMove, isa.F(18), isa.F(14), isa.RegNone)
+		}
+		if r&3 == 3 {
+			e.ALU(isa.IAdd, isa.R(r&3), isa.R(28), isa.R(29))
+			e.Branch()
+		}
+	}
+}
+
+// emitAxpyRange emits y += alpha*p over [lo,hi): two loads, fmul, fadd,
+// store per element.
+func (k *Kernel) emitAxpyRange(e *trace.Emitter, lo, hi int, seq *uint64) {
+	for i := lo; i < hi; i++ {
+		s := *seq
+		*seq = s + 1
+		r := int(s)
+		a := isa.F(r & 3)
+		b := isa.F(4 + (r & 3))
+		t := isa.F(8 + r%6)
+		e.TaggedLoad(a, k.geo.XAddr(i), TagVector)
+		e.TaggedLoad(b, k.pvec.Addr(i), TagVector)
+		e.ALU(isa.FMul, t, b, isa.F(20))
+		e.ALU(isa.FAdd, a, a, t)
+		e.Store(a, k.geo.XAddr(i))
+		if r&3 == 3 {
+			e.ALU(isa.IAdd, isa.R(r&3), isa.R(28), isa.R(29))
+			e.Branch()
+		}
+	}
+}
+
+// reduceOverhead emits the parallelisation overhead each thread pays per
+// phase: partial-result stores and reloads, accumulator shuffles and the
+// index bookkeeping of the pthreads transformation. Sized so each thread's
+// dynamic instruction count lands near the 59%-of-serial Table 1 reports.
+func (k *Kernel) reduceOverhead(e *trace.Emitter, tid int, seq *uint64) {
+	scratch := k.geo.Y + uint64(k.cfg.N)*8 + uint64(tid)*256
+	for i := 0; i < k.cfg.PhaseOverheadUops; i++ {
+		s := *seq
+		*seq = s + 1
+		r := int(s)
+		switch i % 6 {
+		case 0:
+			e.ALU(isa.IAdd, isa.R(r&7), isa.R(28), isa.R(29))
+		case 1:
+			e.TaggedLoad(isa.F(r&3), scratch+uint64(r&15)*8, TagVector)
+		case 2:
+			e.ALU(isa.FMove, isa.F(18+(r&3)), isa.F(14), isa.RegNone)
+		case 3:
+			e.ALU(isa.FAdd, isa.F(14+(r&1)), isa.F(14+(r&1)), isa.F(22))
+		case 4:
+			e.Store(isa.F(14+(r&1)), scratch+uint64(r&15)*8)
+		default:
+			e.ALU(isa.IAdd, isa.R(8+(r&3)), isa.R(28), isa.R(29))
+		}
+	}
+}
+
+// Programs builds the program pair for mode.
+func (k *Kernel) Programs(mode kernels.Mode) ([2]trace.Program, error) {
+	switch mode {
+	case kernels.Serial:
+		return [2]trace.Program{k.serialProgram(), nil}, nil
+	case kernels.TLPCoarse:
+		return [2]trace.Program{k.coarseProgram(0), k.coarseProgram(1)}, nil
+	case kernels.TLPPfetch:
+		return [2]trace.Program{k.spanWorker(), k.prefetcher()}, nil
+	case kernels.TLPPfetchWork:
+		return [2]trace.Program{k.hybridWorker(), k.hybridHelper()}, nil
+	default:
+		return [2]trace.Program{}, kernels.ErrUnsupportedMode{Kernel: k.Name(), Mode: mode}
+	}
+}
+
+func (k *Kernel) serialProgram() trace.Program {
+	n := k.cfg.N
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for it := 0; it < k.cfg.Iters && !e.Stopped(); it++ {
+			for row := 0; row < n; row++ {
+				k.emitSpMVRow(e, row, &seq)
+			}
+			k.emitDotRange(e, 0, n, &seq)
+			k.emitAxpyRange(e, 0, n, &seq)
+			k.emitDotRange(e, 0, n, &seq)
+			k.emitAxpyRange(e, 0, n, &seq)
+		}
+	})
+}
+
+// coarseProgram splits every phase's index range in half, with a barrier
+// and reduction overhead after each phase — CG's synchronisation-heavy
+// threading.
+func (k *Kernel) coarseProgram(tid int) trace.Program {
+	n := k.cfg.N
+	half := n / 2
+	lo, hi := 0, half
+	if tid == 1 {
+		lo, hi = half, n
+	}
+	return trace.Generate(func(e *trace.Emitter) {
+		bar := k.phaseBar.Join(tid, syncprim.SpinPause)
+		var seq uint64
+		for it := 0; it < k.cfg.Iters && !e.Stopped(); it++ {
+			for row := lo; row < hi; row++ {
+				k.emitSpMVRow(e, row, &seq)
+			}
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitDotRange(e, lo, hi, &seq)
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitAxpyRange(e, lo, hi, &seq)
+			bar.Arrive(e)
+			k.emitDotRange(e, lo, hi, &seq)
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitAxpyRange(e, lo, hi, &seq)
+			bar.Arrive(e)
+		}
+	})
+}
+
+// spans partitions the row space of one SpMV into precomputation spans.
+func (k *Kernel) spanCount() int {
+	return (k.cfg.N + k.cfg.SpanRows - 1) / k.cfg.SpanRows
+}
+
+// spanWorker is the SPR computation thread: the SpMV of each iteration is
+// chunked into row spans gated on the prefetcher's progress; the vector
+// phases run unchunked (their streams are prefetcher-free).
+func (k *Kernel) spanWorker() trace.Program {
+	n := k.cfg.N
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		epoch := int64(0)
+		for it := 0; it < k.cfg.Iters && !e.Stopped(); it++ {
+			for σ := 0; σ < k.spanCount(); σ++ {
+				epoch++
+				k.wkStart.Set(e, epoch)
+				k.pfDone.Wait(e, syncprim.SpinPause, isa.CmpGE, epoch)
+				lo := σ * k.cfg.SpanRows
+				hi := min(lo+k.cfg.SpanRows, n)
+				for row := lo; row < hi; row++ {
+					k.emitSpMVRow(e, row, &seq)
+				}
+			}
+			k.emitDotRange(e, 0, n, &seq)
+			k.emitAxpyRange(e, 0, n, &seq)
+			k.emitDotRange(e, 0, n, &seq)
+			k.emitAxpyRange(e, 0, n, &seq)
+		}
+	})
+}
+
+// emitPrefetchSpan walks the val and col streams of the span's rows line
+// by line — the delinquent loads the Valgrind-style profile isolates (the
+// x vector is L2-resident and needs no prefetching).
+func (k *Kernel) emitPrefetchSpan(e *trace.Emitter, lo, hi int, seq *uint64) {
+	const lineBytes = 64
+	start := int(k.csr.RowPtr[lo])
+	end := int(k.csr.RowPtr[hi])
+	valStart, valEnd := k.geo.ValAddr(start)&^63, k.geo.ValAddr(end)
+	for a := valStart; a < valEnd; a += lineBytes {
+		s := *seq
+		*seq = s + 1
+		if s&1 == 0 {
+			e.ALU(isa.IAdd, isa.R(int(s)&3), isa.R(28), isa.R(29))
+		}
+		e.TaggedLoad(isa.F(24+(int(s)&3)), a, TagPrefetch)
+	}
+	colStart, colEnd := k.geo.ColAddr(start)&^63, k.geo.ColAddr(end)
+	for a := colStart; a < colEnd; a += lineBytes {
+		s := *seq
+		*seq = s + 1
+		if s&1 == 0 {
+			e.ALU(isa.IAdd, isa.R(int(s)&3), isa.R(28), isa.R(29))
+		}
+		e.TaggedLoad(isa.R(8+(int(s)&3)), a, TagPrefetch)
+	}
+}
+
+func (k *Kernel) prefetcher() trace.Program {
+	n := k.cfg.N
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		epoch := int64(0)
+		for it := 0; it < k.cfg.Iters && !e.Stopped(); it++ {
+			for σ := 0; σ < k.spanCount(); σ++ {
+				epoch++
+				if epoch > 1 {
+					k.wkStart.Wait(e, k.cfg.PrefetchWait, isa.CmpGE, epoch-1)
+				}
+				lo := σ * k.cfg.SpanRows
+				hi := min(lo+k.cfg.SpanRows, n)
+				k.emitPrefetchSpan(e, lo, hi, &seq)
+				k.pfDone.Set(e, epoch)
+			}
+		}
+	})
+}
+
+// hybridWorker/hybridHelper implement tlp-pfetch+work: rows split in half;
+// the helper also prefetches its partner's upcoming val/col span. Per-span
+// barriers keep the fine partitioning aligned.
+func (k *Kernel) hybridWorker() trace.Program {
+	n := k.cfg.N
+	half := n / 2
+	const tid = 0
+	return trace.Generate(func(e *trace.Emitter) {
+		bar := k.phaseBar.Join(tid, syncprim.SpinPause)
+		var seq uint64
+		epoch := int64(0)
+		for it := 0; it < k.cfg.Iters && !e.Stopped(); it++ {
+			for σ := 0; σ*k.cfg.SpanRows < half; σ++ {
+				epoch++
+				k.wkStart.Set(e, epoch)
+				k.pfDone.Wait(e, syncprim.SpinPause, isa.CmpGE, epoch)
+				lo := σ * k.cfg.SpanRows
+				hi := min(lo+k.cfg.SpanRows, half)
+				for row := lo; row < hi; row++ {
+					k.emitSpMVRow(e, row, &seq)
+				}
+			}
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitDotRange(e, 0, half, &seq)
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitAxpyRange(e, 0, half, &seq)
+			bar.Arrive(e)
+			k.emitDotRange(e, 0, half, &seq)
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitAxpyRange(e, 0, half, &seq)
+			bar.Arrive(e)
+		}
+	})
+}
+
+func (k *Kernel) hybridHelper() trace.Program {
+	n := k.cfg.N
+	half := n / 2
+	const tid = 1
+	return trace.Generate(func(e *trace.Emitter) {
+		bar := k.phaseBar.Join(tid, syncprim.SpinPause)
+		var seq uint64
+		epoch := int64(0)
+		for it := 0; it < k.cfg.Iters && !e.Stopped(); it++ {
+			for σ := 0; σ*k.cfg.SpanRows < half; σ++ {
+				epoch++
+				if epoch > 1 {
+					k.wkStart.Wait(e, k.cfg.PrefetchWait, isa.CmpGE, epoch-1)
+				}
+				// Prefetch the worker's upcoming span, then compute the
+				// mirrored span of the helper's own half.
+				lo := σ * k.cfg.SpanRows
+				hi := min(lo+k.cfg.SpanRows, half)
+				k.emitPrefetchSpan(e, lo, hi, &seq)
+				k.pfDone.Set(e, epoch)
+				for row := half + lo; row < half+hi && row < n; row++ {
+					k.emitSpMVRow(e, row, &seq)
+				}
+			}
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitDotRange(e, half, n, &seq)
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitAxpyRange(e, half, n, &seq)
+			bar.Arrive(e)
+			k.emitDotRange(e, half, n, &seq)
+			k.reduceOverhead(e, tid, &seq)
+			bar.Arrive(e)
+			k.emitAxpyRange(e, half, n, &seq)
+			bar.Arrive(e)
+		}
+	})
+}
+
+// CSR exposes the generated sparsity pattern for tests.
+func (k *Kernel) CSR() *sparse.CSR { return k.csr }
+
+// Geometry exposes the array placement for tests.
+func (k *Kernel) Geometry() sparse.Geometry { return k.geo }

@@ -1,0 +1,259 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+// smallConfig is a fast test instance preserving the benchmark structure.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 512
+	cfg.NNZPerRow = 8
+	cfg.Iters = 2
+	cfg.SpanRows = 32
+	return cfg
+}
+
+func testKernel(t *testing.T, cfg Config) *Kernel {
+	t.Helper()
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func scaledConfig() smt.Config {
+	cfg := smt.DefaultConfig()
+	cfg.Mem.L2 = mem.CacheConfig{Size: 32 << 10, LineSize: 64, Assoc: 8, Latency: 18}
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Iters = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad = DefaultConfig()
+	bad.SpanRows = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero span accepted")
+	}
+	bad = DefaultConfig()
+	bad.NNZPerRow = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero nnz accepted")
+	}
+}
+
+func TestSerialMixApproximatesTable1(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	progs, err := k.Programs(kernels.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := trace.Mix(progs[0])
+	var total uint64
+	for _, n := range mix {
+		total += n
+	}
+	share := func(ops ...isa.Op) float64 {
+		var n uint64
+		for _, op := range ops {
+			n += mix[op]
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	// Table 1 CG serial, normalised: ALUs ≈26%, FP_ADD ≈8%, FP_MUL ≈8%,
+	// FP_MOVE ≈16%, LOAD ≈34%, STORE ≈9%. CG is the only kernel with a
+	// large FP_MOVE share.
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"ALUs", share(isa.IAdd, isa.ILogic, isa.Branch), 26, 6},
+		{"FP_ADD", share(isa.FAdd), 8.1, 3},
+		{"FP_MUL", share(isa.FMul), 8.1, 3},
+		{"FP_MOVE", share(isa.FMove), 15.7, 5},
+		{"LOAD", share(isa.Load), 33.6, 6},
+		{"STORE", share(isa.Store), 8.7, 6},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s share = %.2f%%, want %.1f±%.0f", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestGatherAddressesFollowPattern(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	progs, _ := k.Programs(kernels.Serial)
+	csr, geo := k.CSR(), k.Geometry()
+	want := map[uint64]bool{}
+	for _, col := range csr.Col {
+		want[geo.XAddr(int(col))] = true
+	}
+	seen := 0
+	for _, in := range trace.Collect(trace.Limit(progs[0], 200_000)) {
+		if in.Tag == TagGatherX {
+			if !want[in.Addr] {
+				t.Fatalf("gather address %#x not an x[col] location", in.Addr)
+			}
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no x gathers observed")
+	}
+}
+
+func TestCoarseSplitsRowsAndBarriers(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	progs, err := k.Programs(kernels.TLPCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(m map[isa.Op]uint64) uint64 {
+		var n uint64
+		for _, v := range m {
+			n += v
+		}
+		return n
+	}
+	m0, m1 := trace.Mix(progs[0]), trace.Mix(progs[1])
+	sp, _ := k.Programs(kernels.Serial)
+	serialTotal := count(trace.Mix(sp[0]))
+	got := count(m0) + count(m1)
+	if got <= serialTotal {
+		t.Errorf("threaded instruction total %d not above serial %d (reduction overhead missing)", got, serialTotal)
+	}
+	// Parallelisation overhead: each thread executes more than half the
+	// serial work (the paper's explanation for CG's TLP slowdown).
+	if 2*count(m0) <= serialTotal {
+		t.Errorf("thread0 total %d not above half of serial %d", count(m0), serialTotal)
+	}
+	// 5 barriers per iteration per thread.
+	if fs := m0[isa.FlagStore]; fs != uint64(5*smallConfig().Iters) {
+		t.Errorf("thread0 flag stores = %d, want %d (5 barriers/iter)", fs, 5*smallConfig().Iters)
+	}
+}
+
+func TestPrefetcherWalksValColStreams(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	progs, _ := k.Programs(kernels.TLPPfetch)
+	geo := k.Geometry()
+	nnz := uint64(k.CSR().NNZ())
+	valEnd, colEnd := geo.Val+nnz*8, geo.Col+nnz*4
+	var inVal, inCol, other int
+	for _, in := range trace.Collect(progs[1]) {
+		if in.Tag != TagPrefetch {
+			continue
+		}
+		switch {
+		case in.Addr >= geo.Val && in.Addr < valEnd:
+			inVal++
+		case in.Addr >= geo.Col && in.Addr < colEnd:
+			inCol++
+		default:
+			other++
+		}
+	}
+	if inVal == 0 || inCol == 0 {
+		t.Fatalf("prefetcher skipped a stream: val=%d col=%d", inVal, inCol)
+	}
+	if other != 0 {
+		t.Fatalf("%d prefetches outside the delinquent streams", other)
+	}
+}
+
+func TestPrefetcherIsTiny(t *testing.T) {
+	// Paper: the CG prefetcher executes ~1.4% of the worker's
+	// instructions (0.17e9 vs 11.93e9) — only the line walks of the
+	// val/col streams.
+	k := testKernel(t, smallConfig())
+	progs, _ := k.Programs(kernels.TLPPfetch)
+	w := trace.Count(progs[0])
+	p := trace.Count(progs[1])
+	if ratio := float64(p) / float64(w); ratio > 0.10 {
+		t.Errorf("prefetcher/worker ratio = %.3f (%d vs %d), want ≲ 0.05", ratio, p, w)
+	}
+}
+
+func TestAllModesRunToCompletion(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	for _, mode := range k.Modes() {
+		progs, err := k.Programs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := smt.New(scaledConfig())
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		res, err := m.Run(500_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v did not complete", mode)
+		}
+		if m.Counters().Get(perfmon.InstrRetired, 0) == 0 {
+			t.Fatalf("%v: worker retired nothing", mode)
+		}
+	}
+}
+
+func TestHyperThreadingGivesNoCGSpeedup(t *testing.T) {
+	// Figure 5(a) for CG: the single-threaded version outperforms the
+	// dual-threaded methods — tlp-coarse only marginally (factor 1.03),
+	// the SPR schemes substantially (1.82 and 1.91). Our reproduction
+	// asserts the same shape: no meaningful TLP win, and clear SPR
+	// slowdowns.
+	cfg := DefaultConfig()
+	cfg.Iters = 4
+	run := func(mode kernels.Mode) uint64 {
+		k := testKernel(t, cfg)
+		progs, err := k.Programs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := smt.New(scaledConfig())
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		if res, err := m.Run(4_000_000_000); err != nil || !res.Completed {
+			t.Fatalf("%v: err=%v completed=%v", mode, err, res.Completed)
+		}
+		return m.Cycle()
+	}
+	serial := float64(run(kernels.Serial))
+	if coarse := float64(run(kernels.TLPCoarse)); coarse < 0.90*serial {
+		t.Errorf("tlp-coarse %.0f vs serial %.0f: > 10%% TLP speedup contradicts the paper (factor ≈1.03 slower)", coarse, serial)
+	}
+	if pf := float64(run(kernels.TLPPfetch)); pf < 1.10*serial {
+		t.Errorf("tlp-pfetch %.0f vs serial %.0f: should be clearly slower (paper: 1.82x)", pf, serial)
+	}
+	if hy := float64(run(kernels.TLPPfetchWork)); hy < 1.02*serial {
+		t.Errorf("tlp-pfetch+work %.0f vs serial %.0f: should be slower (paper: 1.91x)", hy, serial)
+	}
+}
+
+func TestUnsupportedMode(t *testing.T) {
+	k := testKernel(t, smallConfig())
+	if _, err := k.Programs(kernels.TLPFine); err == nil {
+		t.Fatal("tlp-fine unexpectedly supported for CG")
+	}
+}

@@ -1,0 +1,394 @@
+// Package lu implements the paper's tiled LU-decomposition microkernel
+// (§5.1(ii)): a right-looking factorisation over a blocked matrix whose
+// steps decompose into three dependence-ordered computation phases —
+// diagonal-tile factorisation, panel updates, and trailing-submatrix
+// updates. The paper evaluates three modes: serial, coarse-grained work
+// partitioning with inter-phase barriers (tlp-coarse), and pure
+// speculative precomputation (tlp-pfetch) where a helper thread fills the
+// cache with the next tile to be factorised.
+//
+// Per Table 1, the LU mix spreads its heavy ALU traffic (≈32% normalised)
+// across both double-speed ALUs (plain adds, unlike MM's ALU0-bound
+// logical masks), with ≈40% loads and ≈9% each of FP add/mul and stores.
+// The LU prefetcher is NOT lightweight: its non-blocked addressing forces
+// a full loop nest of integer address arithmetic per prefetched tile, so
+// its dynamic µop count approaches the worker's — the paper measures
+// 3.26×10⁹ vs 3.21×10⁹ — which is what destroys the SPR version's
+// performance despite a ≈98% reduction in the worker's L2 misses.
+package lu
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/layout"
+	"smtexplore/internal/syncprim"
+	"smtexplore/internal/trace"
+)
+
+// Static load sites.
+const (
+	TagLoadA isa.Tag = kernels.TagBaseLU + iota
+	TagLoadB
+	TagLoadDest
+	TagPrefetch
+)
+
+// Config parameterises the kernel.
+type Config struct {
+	// N is the matrix dimension (power of two).
+	N int
+	// Tile is the tile dimension (power of two dividing N).
+	Tile int
+	// SpanTasks is the precomputation span in tile-update tasks.
+	SpanTasks int
+	// AddrUopsPerIter is the integer address-arithmetic cost per inner
+	// iteration of the precomputation thread (the paper's LU prefetcher
+	// pays heavily here).
+	AddrUopsPerIter int
+	// PrefetchWait selects the prefetcher's barrier wait flavour.
+	PrefetchWait syncprim.WaitKind
+	// WaitPlan optionally overrides the wait flavour per barrier cell in
+	// the coarse scheme — the paper's selective halting, built from a
+	// profiling run's Machine.WaitProfile via syncprim.PlanFromProfile.
+	WaitPlan syncprim.Plan
+	// Base is the address-space base.
+	Base uint64
+}
+
+// DefaultConfig returns the standard configuration for dimension n.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:               n,
+		Tile:            16,
+		SpanTasks:       2,
+		AddrUopsPerIter: 8,
+		PrefetchWait:    syncprim.SpinPause,
+		Base:            0x0400_0000,
+	}
+}
+
+// Kernel builds LU programs for every mode.
+type Kernel struct {
+	cfg   Config
+	a     *layout.Blocked
+	cells syncprim.CellAlloc
+
+	wkStart   syncprim.Flag
+	pfDone    syncprim.Flag
+	phaseBars [3]*syncprim.Barrier // one barrier per computation phase
+}
+
+// New validates cfg and lays out the matrix.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Tile <= 0 || cfg.N <= 0 || cfg.N%cfg.Tile != 0 {
+		return nil, fmt.Errorf("lu: tile %d does not tile N %d", cfg.Tile, cfg.N)
+	}
+	if cfg.SpanTasks <= 0 {
+		return nil, fmt.Errorf("lu: span %d not positive", cfg.SpanTasks)
+	}
+	if cfg.AddrUopsPerIter < 0 {
+		return nil, fmt.Errorf("lu: address µops %d negative", cfg.AddrUopsPerIter)
+	}
+	ar := layout.NewArena(cfg.Base)
+	size := uint64(cfg.N) * uint64(cfg.N) * layout.ElemSize
+	k := &Kernel{cfg: cfg}
+	var err error
+	if k.a, err = layout.NewBlocked(ar.Alloc(size), cfg.N, cfg.Tile); err != nil {
+		return nil, fmt.Errorf("lu: %w", err)
+	}
+	k.wkStart = syncprim.NewFlag(&k.cells)
+	k.pfDone = syncprim.NewFlag(&k.cells)
+	for i := range k.phaseBars {
+		k.phaseBars[i] = syncprim.NewBarrier(&k.cells)
+	}
+	return k, nil
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return "lu" }
+
+// Modes lists the modes the paper evaluates for LU (no hybrid scheme: it
+// would need a finer-grained partitioning strategy, §5.1(ii)).
+func (k *Kernel) Modes() []kernels.Mode {
+	return []kernels.Mode{kernels.Serial, kernels.TLPCoarse, kernels.TLPPfetch}
+}
+
+// task is one unit of tile work in the factorisation.
+type task struct {
+	kind kindT
+	// dest, plus the source tiles of an update (tile coordinates).
+	di, dj int
+	ai, aj int
+	bi, bj int
+	step   int // factorisation step k
+	phase  int // 1, 2 or 3
+}
+
+type kindT uint8
+
+const (
+	diagTask  kindT = iota // factor the diagonal tile
+	panelTask              // triangular-solve a panel tile
+	trailTask              // trailing-submatrix update
+)
+
+// tasks enumerates the full factorisation in serial order.
+func (k *Kernel) tasks() []task {
+	tn := k.cfg.N / k.cfg.Tile
+	var out []task
+	for s := 0; s < tn; s++ {
+		out = append(out, task{kind: diagTask, di: s, dj: s, step: s, phase: 1})
+		for j := s + 1; j < tn; j++ {
+			out = append(out, task{kind: panelTask, di: s, dj: j, ai: s, aj: s, bi: s, bj: j, step: s, phase: 2})
+		}
+		for i := s + 1; i < tn; i++ {
+			out = append(out, task{kind: panelTask, di: i, dj: s, ai: i, aj: s, bi: s, bj: s, step: s, phase: 2})
+		}
+		for i := s + 1; i < tn; i++ {
+			for j := s + 1; j < tn; j++ {
+				out = append(out, task{kind: trailTask, di: i, dj: j, ai: i, aj: s, bi: s, bj: j, step: s, phase: 3})
+			}
+		}
+	}
+	return out
+}
+
+// emitUpdateElem emits one inner element update with the Table 1 LU mix:
+// three integer address µops (spread over both ALUs), four loads, fmul,
+// fsub, store, and loop overhead every fourth element.
+func (k *Kernel) emitUpdateElem(e *trace.Emitter, t task, gi, gk, gj int, seq *uint64) {
+	s := *seq
+	*seq = s + 1
+	r := int(s)
+	dReg := isa.F(r & 7)
+	tReg := isa.F(8 + r%6)
+	aReg := isa.F(14 + (r & 3))
+	bReg := isa.F(18 + (r & 3))
+
+	e.ALU(isa.IAdd, isa.R(r&3), isa.R(28), isa.R(29))
+	e.ALU(isa.IAdd, isa.R(4+(r&3)), isa.R(28), isa.R(29))
+	e.ALU(isa.ILogic, isa.R(8+(r&1)), isa.R(8+(r&1)), isa.R(30))
+	e.TaggedLoad(aReg, k.a.Addr(gi, gk), TagLoadA)
+	e.TaggedLoad(bReg, k.a.Addr(gk, gj), TagLoadB)
+	e.TaggedLoad(dReg, k.a.Addr(gi, gj), TagLoadDest)
+	// The compiled binary's reloads of spilled operands (Table 1 shows
+	// LU at ≈4.5 loads per multiply-accumulate).
+	e.TaggedLoad(aReg, k.a.Addr(gi, gk), TagLoadA)
+	if r&1 == 0 {
+		e.TaggedLoad(bReg, k.a.Addr(gk, gj), TagLoadB)
+	}
+	e.ALU(isa.FMul, tReg, aReg, bReg)
+	e.ALU(isa.FSub, dReg, dReg, tReg)
+	e.Store(dReg, k.a.Addr(gi, gj))
+	if r&3 == 3 {
+		e.ALU(isa.IAdd, isa.R(12), isa.R(28), isa.R(29))
+		e.Branch()
+	}
+}
+
+// emitTask emits the compute of one tile task. For partitioned execution,
+// own selects whether this thread owns the task.
+func (k *Kernel) emitTask(e *trace.Emitter, t task, seq *uint64) {
+	tile := k.cfg.Tile
+	switch t.kind {
+	case diagTask:
+		// In-tile factorisation: per pivot a reciprocal (fdiv) and rank-1
+		// update of the remaining sub-tile.
+		base := t.di * tile
+		for kk := 0; kk < tile; kk++ {
+			e.ALU(isa.FDiv, isa.F(22), isa.F(23), isa.F(24))
+			for ii := kk + 1; ii < tile; ii++ {
+				for jj := kk + 1; jj < tile; jj++ {
+					k.emitUpdateElem(e, t, base+ii, base+kk, base+jj, seq)
+				}
+			}
+		}
+	default:
+		// Panel and trailing updates share the dest -= a·b loop nest:
+		// dest(di,dj) -= A(ai,aj)·A(bi,bj), with the contraction index
+		// running over A(ai,·)'s columns == A(·,bj)'s rows (aj == bi).
+		for li := 0; li < tile; li++ {
+			for lk := 0; lk < tile; lk++ {
+				for lj := 0; lj < tile; lj++ {
+					k.emitUpdateElem(e, t,
+						t.di*tile+li, t.aj*tile+lk, t.dj*tile+lj, seq)
+				}
+			}
+		}
+	}
+}
+
+// emitPrefetchTask emits the precomputation slice for one tile task: the
+// full T³ loop nest of integer address arithmetic (the non-blocked
+// indexing the paper blames for the prefetcher's µop bloat) with a tagged
+// line load every fourth iteration, cycling over the three tiles the
+// worker will touch.
+func (k *Kernel) emitPrefetchTask(e *trace.Emitter, t task, seq *uint64) {
+	if t.kind == diagTask {
+		return // the hot diagonal tile is already cache-resident
+	}
+	tile := k.cfg.Tile
+	lines := k.tileLines(t)
+	iters := tile * tile * tile
+	for i := 0; i < iters; i++ {
+		s := *seq
+		*seq = s + 1
+		r := int(s)
+		for u := 0; u < k.cfg.AddrUopsPerIter; u++ {
+			switch u % 4 {
+			case 0, 1:
+				e.ALU(isa.IAdd, isa.R(r&7), isa.R(28), isa.R(29))
+			case 2:
+				e.ALU(isa.IMul, isa.R(8+(r&3)), isa.R(28), isa.R(29))
+			default:
+				e.ALU(isa.ILogic, isa.R(12+(r&1)), isa.R(12+(r&1)), isa.R(30))
+			}
+		}
+		if r&3 == 0 && len(lines) > 0 {
+			e.TaggedLoad(isa.F(25+(r&3)), lines[(i/4)%len(lines)], TagPrefetch)
+		}
+	}
+}
+
+// tileLines returns the line addresses of the task's three tiles.
+func (k *Kernel) tileLines(t task) []uint64 {
+	const lineBytes = 64
+	var out []uint64
+	for _, tc := range [][2]int{{t.di, t.dj}, {t.ai, t.aj}, {t.bi, t.bj}} {
+		base := k.a.TileBase(tc[0], tc[1])
+		for off := uint64(0); off < k.a.TileBytes(); off += lineBytes {
+			out = append(out, base+off)
+		}
+	}
+	return out
+}
+
+// Programs builds the program pair for mode.
+func (k *Kernel) Programs(mode kernels.Mode) ([2]trace.Program, error) {
+	switch mode {
+	case kernels.Serial:
+		return [2]trace.Program{k.serialProgram(), nil}, nil
+	case kernels.TLPCoarse:
+		return [2]trace.Program{k.coarseProgram(0), k.coarseProgram(1)}, nil
+	case kernels.TLPPfetch:
+		return [2]trace.Program{k.spanWorker(), k.prefetcher()}, nil
+	default:
+		return [2]trace.Program{}, kernels.ErrUnsupportedMode{Kernel: k.Name(), Mode: mode}
+	}
+}
+
+func (k *Kernel) serialProgram() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for _, t := range k.tasks() {
+			if e.Stopped() {
+				return
+			}
+			k.emitTask(e, t, &seq)
+		}
+	})
+}
+
+// coarseProgram runs the dependence-ordered three-phase scheme: the
+// diagonal factorisation runs on thread 0, panel and trailing tiles split
+// between the threads by parity, with a barrier after every phase.
+func (k *Kernel) coarseProgram(tid int) trace.Program {
+	tn := k.cfg.N / k.cfg.Tile
+	return trace.Generate(func(e *trace.Emitter) {
+		var bars [3]*syncprim.Participant
+		for i := range bars {
+			bars[i] = k.phaseBars[i].Join(tid, syncprim.SpinPause)
+		}
+		var seq uint64
+		tasks := k.tasks()
+		i := 0
+		for s := 0; s < tn; s++ {
+			for ph := 1; ph <= 3; ph++ {
+				share := 0
+				for ; i < len(tasks) && tasks[i].step == s && tasks[i].phase == ph; i++ {
+					t := tasks[i]
+					owned := false
+					switch t.kind {
+					case diagTask:
+						owned = tid == 0
+					default:
+						owned = share&1 == tid
+						share++
+					}
+					if owned {
+						k.emitTask(e, t, &seq)
+					}
+					if e.Stopped() {
+						return
+					}
+				}
+				bars[ph-1].ArrivePlanned(e, k.cfg.WaitPlan)
+			}
+		}
+	})
+}
+
+// PhaseWaitCells returns, per computation phase, the cell that
+// participant tid waits on at that phase's barrier — the keys of a
+// selective-halting plan.
+func (k *Kernel) PhaseWaitCells(tid int) [3]isa.Cell {
+	var out [3]isa.Cell
+	for i := range out {
+		out[i] = k.phaseBars[i].Join(tid, syncprim.SpinPause).WaitCell()
+	}
+	return out
+}
+
+// spans chunks the task list into precomputation spans.
+func (k *Kernel) spans() [][]task {
+	all := k.tasks()
+	var out [][]task
+	for len(all) > 0 {
+		n := k.cfg.SpanTasks
+		if n > len(all) {
+			n = len(all)
+		}
+		out = append(out, all[:n])
+		all = all[n:]
+	}
+	return out
+}
+
+func (k *Kernel) spanWorker() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for σ, span := range k.spans() {
+			if e.Stopped() {
+				return
+			}
+			k.wkStart.Set(e, int64(σ)+1)
+			k.pfDone.Wait(e, syncprim.SpinPause, isa.CmpGE, int64(σ)+1)
+			for _, t := range span {
+				k.emitTask(e, t, &seq)
+			}
+		}
+	})
+}
+
+func (k *Kernel) prefetcher() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for σ, span := range k.spans() {
+			if e.Stopped() {
+				return
+			}
+			if σ > 0 {
+				k.wkStart.Wait(e, k.cfg.PrefetchWait, isa.CmpGE, int64(σ))
+			}
+			for _, t := range span {
+				k.emitPrefetchTask(e, t, &seq)
+			}
+			k.pfDone.Set(e, int64(σ)+1)
+		}
+	})
+}
+
+// TaskCount exposes the task-list length for tests.
+func (k *Kernel) TaskCount() int { return len(k.tasks()) }

@@ -1,0 +1,254 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/syncprim"
+	"smtexplore/internal/trace"
+)
+
+func testKernel(t *testing.T, n int) *Kernel {
+	t.Helper()
+	k, err := New(DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func scaledConfig() smt.Config {
+	cfg := smt.DefaultConfig()
+	cfg.Mem.L2 = mem.CacheConfig{Size: 32 << 10, LineSize: 64, Assoc: 8, Latency: 18}
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 20, Tile: 8, SpanTasks: 2}); err == nil {
+		t.Error("non-tiling config accepted")
+	}
+	if _, err := New(Config{N: 16, Tile: 8, SpanTasks: 0}); err == nil {
+		t.Error("zero span accepted")
+	}
+	if _, err := New(Config{N: 16, Tile: 8, SpanTasks: 1, AddrUopsPerIter: -1}); err == nil {
+		t.Error("negative addr µops accepted")
+	}
+}
+
+func TestTaskEnumeration(t *testing.T) {
+	k := testKernel(t, 64) // TN = 4
+	// Per step s: 1 diag + 2(TN-s-1) panel + (TN-s-1)^2 trailing.
+	want := 0
+	for s := 0; s < 4; s++ {
+		r := 4 - s - 1
+		want += 1 + 2*r + r*r
+	}
+	if got := k.TaskCount(); got != want {
+		t.Fatalf("task count = %d, want %d", got, want)
+	}
+}
+
+func TestSerialMixMatchesTable1(t *testing.T) {
+	k := testKernel(t, 32)
+	progs, err := k.Programs(kernels.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := trace.Mix(progs[0])
+	var total uint64
+	for _, n := range mix {
+		total += n
+	}
+	share := func(ops ...isa.Op) float64 {
+		var n uint64
+		for _, op := range ops {
+			n += mix[op]
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	// Table 1, LU serial column normalised to 100%: ALUs ≈32%, FP_ADD
+	// ≈9.2%, FP_MUL ≈9.2%, LOAD ≈40.7%, STORE ≈9.3%.
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+		tol  float64
+	}{
+		{"ALUs", share(isa.IAdd, isa.ILogic, isa.Branch), 32, 4},
+		{"FP_ADD", share(isa.FSub, isa.FAdd), 9.2, 2},
+		{"FP_MUL", share(isa.FMul), 9.2, 2},
+		{"LOAD", share(isa.Load), 40.7, 5},
+		{"STORE", share(isa.Store), 9.3, 2},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s share = %.2f%%, want %.1f±%.0f", c.name, c.got, c.want, c.tol)
+		}
+	}
+	// LU contains the factorisation's divides.
+	if mix[isa.FDiv] == 0 {
+		t.Error("no fdiv µops in LU factorisation")
+	}
+}
+
+func TestCoarsePartitionsBalance(t *testing.T) {
+	k := testKernel(t, 64)
+	progs, err := k.Programs(kernels.TLPCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, m1 := trace.Mix(progs[0]), trace.Mix(progs[1])
+	sp, _ := k.Programs(kernels.Serial)
+	serialFP := trace.Mix(sp[0])[isa.FSub]
+	if got := m0[isa.FSub] + m1[isa.FSub]; got != serialFP {
+		t.Errorf("partitioned fsub total = %d, want %d", got, serialFP)
+	}
+	// Thread 0 additionally owns the diagonal factorisation, so a modest
+	// imbalance is expected; it must stay under the diag task volume.
+	diff := float64(m0[isa.FSub]) - float64(m1[isa.FSub])
+	if math.Abs(diff) > 0.25*float64(serialFP) {
+		t.Errorf("partition imbalance too large: %v vs %v", m0[isa.FSub], m1[isa.FSub])
+	}
+}
+
+func TestPrefetcherUopVolumeNearWorker(t *testing.T) {
+	// The paper's LU prefetcher executes about as many instructions as
+	// the worker (3.26e9 vs 3.21e9). Our synthesis lands in the same
+	// regime: within 2x of the worker.
+	k := testKernel(t, 32)
+	progs, err := k.Programs(kernels.TLPPfetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Count(progs[0])
+	p := trace.Count(progs[1])
+	ratio := float64(p) / float64(w)
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("prefetcher/worker µop ratio = %.2f (%d vs %d), want ≈1 (heavy addressing)", ratio, p, w)
+	}
+}
+
+func TestAllModesRunToCompletion(t *testing.T) {
+	k := testKernel(t, 32)
+	for _, mode := range k.Modes() {
+		progs, err := k.Programs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := smt.New(scaledConfig())
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		res, err := m.Run(500_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v did not complete", mode)
+		}
+		if m.Counters().Get(perfmon.InstrRetired, 0) == 0 {
+			t.Fatalf("%v: worker retired nothing", mode)
+		}
+	}
+}
+
+func TestPrefetchReducesWorkerMisses(t *testing.T) {
+	// Paper: the LU worker's L2 misses drop ≈98% with a prefetcher.
+	run := func(mode kernels.Mode) *smt.Machine {
+		k := testKernel(t, 64)
+		progs, err := k.Programs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := smt.New(scaledConfig())
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		if res, err := m.Run(2_000_000_000); err != nil || !res.Completed {
+			t.Fatalf("%v: err=%v completed=%v", mode, err, res.Completed)
+		}
+		return m
+	}
+	serial := run(kernels.Serial)
+	pfetch := run(kernels.TLPPfetch)
+	sMiss := serial.Hierarchy().Thread(0).L2ReadMisses
+	wMiss := pfetch.Hierarchy().Thread(0).L2ReadMisses
+	if sMiss == 0 {
+		t.Fatal("serial produced no misses")
+	}
+	if reduction := 1 - float64(wMiss)/float64(sMiss); reduction < 0.5 {
+		t.Errorf("worker miss reduction = %.0f%% (%d → %d), want substantial (paper ≈98%%)",
+			reduction*100, sMiss, wMiss)
+	}
+	// And the SPR version must be slower despite the locality win (the
+	// paper's 1.61–1.96x slowdown from µop inflation).
+	if pfetch.Cycle() <= serial.Cycle() {
+		t.Errorf("lu tlp-pfetch (%d cycles) not slower than serial (%d): µop bloat should dominate",
+			pfetch.Cycle(), serial.Cycle())
+	}
+}
+
+func TestUnsupportedModes(t *testing.T) {
+	k := testKernel(t, 16)
+	for _, mode := range []kernels.Mode{kernels.TLPFine, kernels.TLPPfetchWork} {
+		if _, err := k.Programs(mode); err == nil {
+			t.Errorf("mode %v unexpectedly supported", mode)
+		}
+	}
+}
+
+func TestPhaseWaitCellsDistinct(t *testing.T) {
+	k := testKernel(t, 32)
+	c0 := k.PhaseWaitCells(0)
+	c1 := k.PhaseWaitCells(1)
+	seen := map[isa.Cell]bool{}
+	for i := 0; i < 3; i++ {
+		if c0[i] == c1[i] {
+			t.Errorf("phase %d: both participants wait on the same cell", i)
+		}
+		for _, c := range []isa.Cell{c0[i], c1[i]} {
+			if seen[c] {
+				t.Errorf("cell %d reused across phases", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestWaitPlanChangesCoarseWaits(t *testing.T) {
+	cfg := DefaultConfig(32)
+	k1 := testKernel(t, 32)
+	cfg.WaitPlan = syncprim.Plan{
+		k1.PhaseWaitCells(1)[0]: syncprim.HaltWait, // phase-1 barrier for thread 1
+	}
+	k2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := k2.Programs(kernels.TLPCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halts := 0
+	for _, in := range trace.Collect(progs[1]) {
+		if in.Op == isa.HaltWait {
+			halts++
+		}
+	}
+	if halts == 0 {
+		t.Fatal("wait plan did not produce halt waits on thread 1")
+	}
+	// Thread 0 keeps spinning everywhere (its cells are unplanned).
+	for _, in := range trace.Collect(progs[0]) {
+		if in.Op == isa.HaltWait {
+			t.Fatal("thread 0 unexpectedly halts")
+		}
+	}
+}

@@ -1,0 +1,428 @@
+// Package mm implements the paper's Matrix Multiplication microkernel:
+// tiled C = A·B over blocked array layouts with binary-mask fast indexing,
+// in the five execution modes of §5.1(i) — serial, fine- and coarse-grained
+// work partitioning (TLP), pure speculative precomputation (tlp-pfetch),
+// and the hybrid prefetch+work scheme.
+//
+// The generated per-element instruction pattern reproduces the Pin-profiled
+// dynamic mix of Table 1 (MM column): ≈27% ALU µops — most of them the
+// logical mask operations of the blocked layout, which execute only on
+// ALU0 — ≈12% FP_ADD, ≈12% FP_MUL, ≈37% LOAD and ≈12% STORE. The compiled
+// binary the paper profiles reloads all three operands per update, which is
+// why the kernel emits three loads per multiply-accumulate.
+package mm
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/layout"
+	"smtexplore/internal/syncprim"
+	"smtexplore/internal/trace"
+)
+
+// Static load sites, for delinquent-load profiling.
+const (
+	TagLoadA isa.Tag = kernels.TagBaseMM + iota
+	TagLoadB
+	TagLoadC
+	TagPrefetch
+)
+
+// Config parameterises the kernel.
+type Config struct {
+	// N is the matrix dimension (power of two).
+	N int
+	// Tile is the tile dimension (power of two dividing N); the paper
+	// chooses tiles that fit in L1.
+	Tile int
+	// SpanSteps is the precomputation-span length in (ti,tj,tk) tile
+	// steps: the prefetcher runs exactly one span ahead of the worker,
+	// regulated by the §3.2 barrier scheme.
+	SpanSteps int
+	// PrefetchWait selects how the prefetcher waits at span barriers
+	// (spin+pause by default; halt for the selective-halting variant).
+	PrefetchWait syncprim.WaitKind
+	// Base is the address-space base for the kernel's arrays.
+	Base uint64
+}
+
+// DefaultConfig returns the standard configuration for dimension n.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:            n,
+		Tile:         16,
+		SpanSteps:    2,
+		PrefetchWait: syncprim.SpinPause,
+		Base:         0x0100_0000,
+	}
+}
+
+// Kernel builds MM programs for every mode.
+type Kernel struct {
+	cfg     Config
+	a, b, c *layout.Blocked
+	cells   syncprim.CellAlloc
+
+	wkStart syncprim.Flag // worker's span progress
+	pfDone  syncprim.Flag // prefetcher's span progress
+	endBar  *syncprim.Barrier
+}
+
+// New validates cfg and lays out the matrices.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Tile <= 0 || cfg.N <= 0 || cfg.N%cfg.Tile != 0 {
+		return nil, fmt.Errorf("mm: tile %d does not tile N %d", cfg.Tile, cfg.N)
+	}
+	if cfg.SpanSteps <= 0 {
+		return nil, fmt.Errorf("mm: span %d not positive", cfg.SpanSteps)
+	}
+	ar := layout.NewArena(cfg.Base)
+	size := uint64(cfg.N) * uint64(cfg.N) * layout.ElemSize
+	k := &Kernel{cfg: cfg}
+	var err error
+	if k.a, err = layout.NewBlocked(ar.Alloc(size), cfg.N, cfg.Tile); err != nil {
+		return nil, fmt.Errorf("mm: %w", err)
+	}
+	if k.b, err = layout.NewBlocked(ar.Alloc(size), cfg.N, cfg.Tile); err != nil {
+		return nil, fmt.Errorf("mm: %w", err)
+	}
+	if k.c, err = layout.NewBlocked(ar.Alloc(size), cfg.N, cfg.Tile); err != nil {
+		return nil, fmt.Errorf("mm: %w", err)
+	}
+	k.wkStart = syncprim.NewFlag(&k.cells)
+	k.pfDone = syncprim.NewFlag(&k.cells)
+	k.endBar = syncprim.NewBarrier(&k.cells)
+	return k, nil
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return "mm" }
+
+// Modes lists the modes the paper evaluates for MM.
+func (k *Kernel) Modes() []kernels.Mode {
+	return []kernels.Mode{
+		kernels.Serial, kernels.TLPFine, kernels.TLPCoarse,
+		kernels.TLPPfetch, kernels.TLPPfetchWork, kernels.SerialPrefetch,
+	}
+}
+
+// step is one (ti, tj, tk) tile triple of the serial iteration order.
+type step struct{ ti, tj, tk int }
+
+func (k *Kernel) steps() []step {
+	tn := k.cfg.N / k.cfg.Tile
+	out := make([]step, 0, tn*tn*tn)
+	for ti := 0; ti < tn; ti++ {
+		for tj := 0; tj < tn; tj++ {
+			for tk := 0; tk < tn; tk++ {
+				out = append(out, step{ti, tj, tk})
+			}
+		}
+	}
+	return out
+}
+
+// emitElem emits one multiply-accumulate element update
+// C[gi,gj] += A[gi,gk]·B[gk,gj], with the Table 1 MM mix: two logical
+// mask µops for the blocked-layout index, three loads, fmul, fadd, store,
+// and loop overhead (iadd+branch) every eighth element.
+func (k *Kernel) emitElem(e *trace.Emitter, gi, gk, gj int, seq *uint64) {
+	s := *seq
+	*seq = s + 1
+	// Deep register rotation models the paper's aggressively unrolled
+	// serial code: enough independent chains that the 7-cycle fmul and
+	// 5-cycle fadd latencies never bind, leaving the load port as the
+	// kernel's structural bottleneck.
+	idxReg := isa.R(int(s) & 3)
+	cReg := isa.F(int(s) & 7)        // accumulator rotation F0..F7
+	tReg := isa.F(8 + (int(s) % 6))  // product rotation F8..F13
+	aReg := isa.F(14 + (int(s) & 3)) // F14..F17
+	bReg := isa.F(18 + (int(s) & 3)) // F18..F21
+
+	e.ALU(isa.ILogic, idxReg, idxReg, isa.R(30))
+	e.ALU(isa.ILogic, idxReg, idxReg, isa.R(30))
+	e.TaggedLoad(aReg, k.a.Addr(gi, gk), TagLoadA)
+	e.TaggedLoad(bReg, k.b.Addr(gk, gj), TagLoadB)
+	e.TaggedLoad(cReg, k.c.Addr(gi, gj), TagLoadC)
+	e.ALU(isa.FMul, tReg, aReg, bReg)
+	e.ALU(isa.FAdd, cReg, cReg, tReg)
+	e.Store(cReg, k.c.Addr(gi, gj))
+	if s&7 == 7 {
+		e.ALU(isa.IAdd, isa.R(4+(int(s>>3)&1)), isa.R(28), isa.R(29))
+		e.Branch()
+	}
+}
+
+// emitStep emits the full tile-step compute. filter selects which
+// intra-tile elements this thread computes (nil = all): it receives the
+// running element index within the tile pair.
+func (k *Kernel) emitStep(e *trace.Emitter, st step, seq *uint64, filter func(elem int) bool) {
+	t := k.cfg.Tile
+	elem := 0
+	for li := 0; li < t; li++ {
+		gi := st.ti*t + li
+		for lk := 0; lk < t; lk++ {
+			gk := st.tk*t + lk
+			for lj := 0; lj < t; lj++ {
+				gj := st.tj*t + lj
+				if filter == nil || filter(elem) {
+					k.emitElem(e, gi, gk, gj, seq)
+				}
+				elem++
+			}
+		}
+	}
+}
+
+// emitPrefetchStep emits the helper-thread prefetch of the tiles the
+// worker will consume in step st: one tagged load per cache line of the
+// A and B tiles, with a mask µop every other line for the blocked-layout
+// address arithmetic (the prefetcher is the distilled delinquent-load
+// slice — everything else was eliminated).
+func (k *Kernel) emitPrefetchStep(e *trace.Emitter, st step, seq *uint64) {
+	const lineBytes = 64
+	for n, base := range []uint64{
+		k.a.TileBase(st.ti, st.tk),
+		k.b.TileBase(st.tk, st.tj),
+	} {
+		tb := k.a.TileBytes()
+		for off := uint64(0); off < tb; off += lineBytes {
+			s := *seq
+			*seq = s + 1
+			if s&1 == 0 {
+				e.ALU(isa.ILogic, isa.R(6+n), isa.R(6+n), isa.R(30))
+			}
+			e.TaggedLoad(isa.F(10+(int(s)&3)), base+off, TagPrefetch)
+		}
+	}
+}
+
+// Programs builds the program pair for mode. Index kernels.WorkerTid is
+// the main/worker thread; kernels.HelperTid is the sibling (second worker
+// or prefetcher) or nil for serial execution.
+func (k *Kernel) Programs(mode kernels.Mode) ([2]trace.Program, error) {
+	switch mode {
+	case kernels.Serial:
+		return [2]trace.Program{k.serialProgram(), nil}, nil
+	case kernels.TLPFine:
+		return [2]trace.Program{k.fineProgram(0), k.fineProgram(1)}, nil
+	case kernels.TLPCoarse:
+		return [2]trace.Program{k.coarseProgram(0), k.coarseProgram(1)}, nil
+	case kernels.TLPPfetch:
+		return [2]trace.Program{k.spanWorker(nil, false), k.prefetcher()}, nil
+	case kernels.TLPPfetchWork:
+		fine := func(tid int) func(int) bool {
+			return func(elem int) bool { return elem&1 == tid }
+		}
+		return [2]trace.Program{
+			k.spanWorker(fine(0), true),
+			k.hybridHelper(fine(1)),
+		}, nil
+	case kernels.SerialPrefetch:
+		return [2]trace.Program{k.serialPrefetchProgram(), nil}, nil
+	default:
+		return [2]trace.Program{}, kernels.ErrUnsupportedMode{Kernel: k.Name(), Mode: mode}
+	}
+}
+
+func (k *Kernel) serialProgram() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for _, st := range k.steps() {
+			if e.Stopped() {
+				return
+			}
+			k.emitStep(e, st, &seq, nil)
+		}
+	})
+}
+
+// fineProgram partitions consecutive intra-tile elements circularly
+// between the threads (§5.1: "consecutive elements within a single tile of
+// C are assigned to different threads in a circular fashion").
+func (k *Kernel) fineProgram(tid int) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for _, st := range k.steps() {
+			if e.Stopped() {
+				return
+			}
+			k.emitStep(e, st, &seq, func(elem int) bool { return elem&1 == tid })
+		}
+		k.endBar.Join(tid, syncprim.SpinPause).Arrive(e)
+	})
+}
+
+// coarseProgram assigns consecutive C tiles to threads circularly; each
+// thread works in its own cache area.
+func (k *Kernel) coarseProgram(tid int) trace.Program {
+	tn := k.cfg.N / k.cfg.Tile
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for _, st := range k.steps() {
+			if e.Stopped() {
+				return
+			}
+			if (st.ti*tn+st.tj)&1 != tid {
+				continue
+			}
+			k.emitStep(e, st, &seq, nil)
+		}
+		k.endBar.Join(tid, syncprim.SpinPause).Arrive(e)
+	})
+}
+
+// spans groups the serial step sequence into precomputation spans.
+func (k *Kernel) spans() [][]step {
+	all := k.steps()
+	var out [][]step
+	for len(all) > 0 {
+		n := k.cfg.SpanSteps
+		if n > len(all) {
+			n = len(all)
+		}
+		out = append(out, all[:n])
+		all = all[n:]
+	}
+	return out
+}
+
+// spanWorker is the computation thread of the SPR schemes: before span σ
+// it publishes its progress and waits (briefly, in the common case) until
+// the prefetcher has covered span σ. In the hybrid scheme (spanBarrier)
+// the fine-grained partitioning additionally requires a completion barrier
+// after every span.
+func (k *Kernel) spanWorker(filter func(int) bool, spanBarrier bool) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		bar := k.endBar.Join(0, syncprim.SpinPause)
+		var seq uint64
+		for σ, span := range k.spans() {
+			if e.Stopped() {
+				return
+			}
+			k.wkStart.Set(e, int64(σ)+1)
+			k.pfDone.Wait(e, syncprim.SpinPause, isa.CmpGE, int64(σ)+1)
+			for _, st := range span {
+				k.emitStep(e, st, &seq, filter)
+			}
+			if spanBarrier {
+				bar.Arrive(e)
+			}
+		}
+	})
+}
+
+// prefetcher is the pure-SPR helper: it prefetches span σ's tiles after
+// the worker has started span σ-1, staying exactly one span ahead.
+func (k *Kernel) prefetcher() trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for σ, span := range k.spans() {
+			if e.Stopped() {
+				return
+			}
+			if σ > 0 {
+				k.wkStart.Wait(e, k.cfg.PrefetchWait, isa.CmpGE, int64(σ))
+			}
+			for _, st := range span {
+				k.emitPrefetchStep(e, st, &seq)
+			}
+			k.pfDone.Set(e, int64(σ)+1)
+		}
+	})
+}
+
+// hybridHelper both prefetches the upcoming span and computes its share of
+// the current one (tlp-pfetch+work): prefetch of span σ+1 overlaps the
+// worker's computation of span σ, and a completion barrier closes each
+// span of the fine-grained partitioning.
+func (k *Kernel) hybridHelper(filter func(int) bool) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		bar := k.endBar.Join(1, syncprim.SpinPause)
+		var seq uint64
+		spans := k.spans()
+		for σ, span := range spans {
+			if e.Stopped() {
+				return
+			}
+			if σ == 0 {
+				for _, st := range span {
+					k.emitPrefetchStep(e, st, &seq)
+				}
+				k.pfDone.Set(e, 1)
+			}
+			if σ+1 < len(spans) {
+				k.wkStart.Wait(e, k.cfg.PrefetchWait, isa.CmpGE, int64(σ)+1)
+				for _, st := range spans[σ+1] {
+					k.emitPrefetchStep(e, st, &seq)
+				}
+				k.pfDone.Set(e, int64(σ)+2)
+			}
+			for _, st := range span {
+				k.emitStep(e, st, &seq, filter)
+			}
+			bar.Arrive(e)
+		}
+	})
+}
+
+// tileLines returns the cache-line addresses of a step's A and B tiles.
+func (k *Kernel) tileLines(st step) []uint64 {
+	const lineBytes = 64
+	var out []uint64
+	for _, base := range []uint64{
+		k.a.TileBase(st.ti, st.tk),
+		k.b.TileBase(st.tk, st.tj),
+	} {
+		for off := uint64(0); off < k.a.TileBytes(); off += lineBytes {
+			out = append(out, base+off)
+		}
+	}
+	return out
+}
+
+// serialPrefetchProgram is the paper's conclusion made concrete: the
+// serial worker with non-binding prefetch instructions for the next tile
+// step interleaved into the element stream — SPR embodied in the working
+// thread, no helper, no barriers, minimal extra µops.
+func (k *Kernel) serialPrefetchProgram() trace.Program {
+	steps := k.steps()
+	t := k.cfg.Tile
+	return trace.Generate(func(e *trace.Emitter) {
+		var seq uint64
+		for si, st := range steps {
+			if e.Stopped() {
+				return
+			}
+			var pf []uint64
+			if si+1 < len(steps) {
+				pf = k.tileLines(steps[si+1])
+			}
+			elem := 0
+			for li := 0; li < t; li++ {
+				gi := st.ti*t + li
+				for lk := 0; lk < t; lk++ {
+					gk := st.tk*t + lk
+					for lj := 0; lj < t; lj++ {
+						gj := st.tj*t + lj
+						k.emitElem(e, gi, gk, gj, &seq)
+						// One prefetch hint every eighth element covers
+						// the next step's 64 lines well within its 4096
+						// elements.
+						if elem&7 == 0 && len(pf) > 0 {
+							e.Emit(isa.Pf(pf[0], TagPrefetch))
+							pf = pf[1:]
+						}
+						elem++
+					}
+				}
+			}
+		}
+	})
+}
+
+// Steps and Spans expose iteration geometry for tests.
+func (k *Kernel) StepCount() int { return len(k.steps()) }
+func (k *Kernel) SpanCount() int { return len(k.spans()) }

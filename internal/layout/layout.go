@@ -1,0 +1,210 @@
+// Package layout implements the array layouts used by the paper's
+// microkernels: blocked (tiled) array layouts with binary-mask fast
+// indexing — the technique of the authors' earlier work [2] that the MM
+// kernel employs, responsible for its heavy logical-operation (ALU0)
+// traffic — and plain row-major layouts for comparison.
+//
+// Layouts translate (i, j) element coordinates into simulated byte
+// addresses and know the instruction cost of their index arithmetic, which
+// the kernel generators emit as ILogic µops so that the dynamic mix
+// matches the profiled binaries of Table 1.
+package layout
+
+import (
+	"fmt"
+	"math/bits"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// ElemSize is the element size used throughout the kernels (64-bit
+// floating-point scalars).
+const ElemSize = 8
+
+// Blocked is a square matrix stored tile-by-tile: elements of one
+// Tile×Tile tile are contiguous, and tiles follow each other in row-major
+// tile order. With power-of-two dimensions every index expression reduces
+// to shifts, ands and ors over binary masks.
+type Blocked struct {
+	base uint64
+	n    int
+	tile int
+
+	loMask   uint64 // tile-local index mask
+	tileBits uint   // log2(tile)
+	nBits    uint   // log2(n)
+}
+
+// NewBlocked builds a blocked layout at base for an n×n matrix with t×t
+// tiles. n and t must be powers of two with t dividing n.
+func NewBlocked(base uint64, n, t int) (*Blocked, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("layout: n = %d is not a positive power of two", n)
+	}
+	if t <= 0 || t&(t-1) != 0 {
+		return nil, fmt.Errorf("layout: tile = %d is not a positive power of two", t)
+	}
+	if t > n {
+		return nil, fmt.Errorf("layout: tile %d exceeds matrix dimension %d", t, n)
+	}
+	return &Blocked{
+		base:     base,
+		n:        n,
+		tile:     t,
+		loMask:   uint64(t - 1),
+		tileBits: uint(bits.TrailingZeros(uint(t))),
+		nBits:    uint(bits.TrailingZeros(uint(n))),
+	}, nil
+}
+
+// MustBlocked is NewBlocked panicking on error (constructor misuse).
+func MustBlocked(base uint64, n, t int) *Blocked {
+	b, err := NewBlocked(base, n, t)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// N and Tile report the layout geometry.
+func (b *Blocked) N() int    { return b.n }
+func (b *Blocked) Tile() int { return b.tile }
+
+// Bytes is the total footprint of the matrix.
+func (b *Blocked) Bytes() uint64 { return uint64(b.n) * uint64(b.n) * ElemSize }
+
+// Base returns the matrix base address.
+func (b *Blocked) Base() uint64 { return b.base }
+
+// Addr maps element (i, j) to its byte address using the binary-mask
+// decomposition: tile coordinates from the high index bits, intra-tile
+// offset from the masked low bits.
+func (b *Blocked) Addr(i, j int) uint64 {
+	ti := uint64(i) >> b.tileBits
+	tj := uint64(j) >> b.tileBits
+	li := uint64(i) & b.loMask
+	lj := uint64(j) & b.loMask
+	tilesPerRow := uint64(b.n) >> b.tileBits
+	tileIdx := ti*tilesPerRow + tj
+	inTile := li<<b.tileBits | lj
+	return b.base + (tileIdx<<(2*b.tileBits)|inTile)*ElemSize
+}
+
+// TileBase returns the address of tile (ti, tj)'s first element.
+func (b *Blocked) TileBase(ti, tj int) uint64 {
+	return b.Addr(ti<<b.tileBits, tj<<b.tileBits)
+}
+
+// TileBytes is the footprint of one tile.
+func (b *Blocked) TileBytes() uint64 { return uint64(b.tile) * uint64(b.tile) * ElemSize }
+
+// IndexUops is the number of ILogic µops one mask-based address
+// computation costs in the generated instruction stream: mask the low
+// bits, shift/or the tile coordinates, and merge — the fast-indexing
+// recipe of [2]. Emitted per element access by the MM kernel, this yields
+// the ≈25% logical-op share Table 1 reports.
+const IndexUops = 2
+
+// EmitIndex emits the logical µops of one mask-based index computation
+// into dst (an integer register).
+func (b *Blocked) EmitIndex(e *trace.Emitter, dst isa.Reg) {
+	for k := 0; k < IndexUops; k++ {
+		e.ALU(isa.ILogic, dst, dst, isa.R(30))
+	}
+}
+
+// RowMajor is a plain row-major matrix layout, used by the non-blocked
+// kernels (CG vectors, BT grids) and as the MM baseline comparator.
+type RowMajor struct {
+	base uint64
+	rows int
+	cols int
+}
+
+// NewRowMajor builds a rows×cols layout at base.
+func NewRowMajor(base uint64, rows, cols int) (*RowMajor, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("layout: dimensions %dx%d not positive", rows, cols)
+	}
+	return &RowMajor{base: base, rows: rows, cols: cols}, nil
+}
+
+// MustRowMajor is NewRowMajor panicking on error.
+func MustRowMajor(base uint64, rows, cols int) *RowMajor {
+	r, err := NewRowMajor(base, rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Rows and Cols report the geometry.
+func (r *RowMajor) Rows() int { return r.rows }
+func (r *RowMajor) Cols() int { return r.cols }
+
+// Bytes is the total footprint.
+func (r *RowMajor) Bytes() uint64 { return uint64(r.rows) * uint64(r.cols) * ElemSize }
+
+// Addr maps element (i, j) to its byte address.
+func (r *RowMajor) Addr(i, j int) uint64 {
+	if i < 0 || i >= r.rows || j < 0 || j >= r.cols {
+		panic(fmt.Sprintf("layout: (%d,%d) outside %dx%d", i, j, r.rows, r.cols))
+	}
+	return r.base + (uint64(i)*uint64(r.cols)+uint64(j))*ElemSize
+}
+
+// Vec is a 1-D array layout.
+type Vec struct {
+	base uint64
+	n    int
+	elem int
+}
+
+// NewVec builds an n-element vector at base with elemSize-byte elements.
+func NewVec(base uint64, n, elemSize int) (*Vec, error) {
+	if n <= 0 || elemSize <= 0 {
+		return nil, fmt.Errorf("layout: vector n=%d elem=%d not positive", n, elemSize)
+	}
+	return &Vec{base: base, n: n, elem: elemSize}, nil
+}
+
+// MustVec is NewVec panicking on error.
+func MustVec(base uint64, n, elemSize int) *Vec {
+	v, err := NewVec(base, n, elemSize)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len reports the element count.
+func (v *Vec) Len() int { return v.n }
+
+// Bytes is the total footprint.
+func (v *Vec) Bytes() uint64 { return uint64(v.n) * uint64(v.elem) }
+
+// Addr maps element i to its byte address.
+func (v *Vec) Addr(i int) uint64 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("layout: index %d outside vector of %d", i, v.n))
+	}
+	return v.base + uint64(i)*uint64(v.elem)
+}
+
+// Arena hands out disjoint address regions for the simulated data
+// structures of a workload, 4 KiB-aligned with a guard gap.
+type Arena struct {
+	next uint64
+}
+
+// NewArena starts allocation at base.
+func NewArena(base uint64) *Arena { return &Arena{next: base} }
+
+// Alloc reserves size bytes and returns the region base.
+func (a *Arena) Alloc(size uint64) uint64 {
+	const align = 4096
+	base := a.next
+	a.next += (size + 2*align - 1) &^ (align - 1)
+	return base
+}

@@ -1,0 +1,136 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+func TestBlockedValidation(t *testing.T) {
+	if _, err := NewBlocked(0, 64, 16); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	for _, c := range []struct{ n, tile int }{{63, 16}, {64, 12}, {0, 16}, {16, 64}} {
+		if _, err := NewBlocked(0, c.n, c.tile); err == nil {
+			t.Errorf("NewBlocked(%d,%d) accepted", c.n, c.tile)
+		}
+	}
+}
+
+func TestBlockedAddrBijective(t *testing.T) {
+	b := MustBlocked(0x1000, 16, 4)
+	seen := map[uint64][2]int{}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			a := b.Addr(i, j)
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("(%d,%d) and (%d,%d) share address %#x", i, j, prev[0], prev[1], a)
+			}
+			seen[a] = [2]int{i, j}
+			if a < 0x1000 || a >= 0x1000+b.Bytes() {
+				t.Fatalf("(%d,%d) address %#x outside matrix", i, j, a)
+			}
+			if a%ElemSize != 0 {
+				t.Fatalf("(%d,%d) address %#x misaligned", i, j, a)
+			}
+		}
+	}
+}
+
+func TestBlockedTileContiguity(t *testing.T) {
+	// All elements of one tile occupy one contiguous TileBytes region.
+	b := MustBlocked(0, 64, 8)
+	base := b.TileBase(2, 3)
+	for li := 0; li < 8; li++ {
+		for lj := 0; lj < 8; lj++ {
+			a := b.Addr(2*8+li, 3*8+lj)
+			if a < base || a >= base+b.TileBytes() {
+				t.Fatalf("tile element (%d,%d) at %#x outside tile region [%#x,%#x)", li, lj, a, base, base+b.TileBytes())
+			}
+		}
+	}
+	// Consecutive j within a tile row are adjacent (blocked row-major).
+	if b.Addr(16, 25)-b.Addr(16, 24) != ElemSize {
+		t.Error("intra-tile row not contiguous")
+	}
+}
+
+func TestBlockedAddrProperty(t *testing.T) {
+	b := MustBlocked(0x4000, 64, 16)
+	f := func(i, j uint8) bool {
+		ii, jj := int(i)%64, int(j)%64
+		a := b.Addr(ii, jj)
+		// Recompute with plain arithmetic (no masks) as the oracle.
+		ti, tj, li, lj := ii/16, jj/16, ii%16, jj%16
+		want := uint64(0x4000) + uint64(((ti*4+tj)*256+li*16+lj)*ElemSize)
+		return a == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmitIndexCost(t *testing.T) {
+	b := MustBlocked(0, 64, 16)
+	p := trace.Generate(func(e *trace.Emitter) { b.EmitIndex(e, isa.R(5)) })
+	mix := trace.Mix(p)
+	if mix[isa.ILogic] != IndexUops {
+		t.Fatalf("EmitIndex produced %d ilogic µops, want %d", mix[isa.ILogic], IndexUops)
+	}
+}
+
+func TestRowMajor(t *testing.T) {
+	r := MustRowMajor(0x100, 4, 8)
+	if got := r.Addr(0, 0); got != 0x100 {
+		t.Errorf("Addr(0,0) = %#x", got)
+	}
+	if r.Addr(1, 0)-r.Addr(0, 7) != ElemSize {
+		t.Error("rows not contiguous")
+	}
+	if r.Bytes() != 4*8*ElemSize {
+		t.Errorf("Bytes = %d", r.Bytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Addr did not panic")
+		}
+	}()
+	r.Addr(4, 0)
+}
+
+func TestVec(t *testing.T) {
+	v := MustVec(0x200, 10, 4)
+	if v.Addr(3) != 0x200+12 {
+		t.Errorf("Addr(3) = %#x", v.Addr(3))
+	}
+	if v.Bytes() != 40 {
+		t.Errorf("Bytes = %d", v.Bytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative index did not panic")
+		}
+	}()
+	v.Addr(-1)
+}
+
+func TestArenaDisjointAligned(t *testing.T) {
+	a := NewArena(0x10000)
+	r1 := a.Alloc(100)
+	r2 := a.Alloc(8192)
+	r3 := a.Alloc(1)
+	if r1%4096 != 0 || r2%4096 != 0 || r3%4096 != 0 {
+		t.Error("arena regions not 4K aligned")
+	}
+	if r2 < r1+100 {
+		t.Error("regions overlap")
+	}
+	if r3 < r2+8192 {
+		t.Error("regions overlap")
+	}
+	if r2-r1 < 100+4096 {
+		t.Error("missing guard gap")
+	}
+}

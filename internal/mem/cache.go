@@ -1,0 +1,214 @@
+// Package mem models the data-memory hierarchy of the simulated processor:
+// set-associative L1D and L2 caches (shared between the two hardware
+// contexts, as on a hyper-threaded Xeon), a DRAM backend, a bounded pool of
+// miss-status holding registers (MSHRs), and an optional next-line hardware
+// prefetcher.
+//
+// The model is timing-oriented: caches track line presence and recency, not
+// data values. Accesses return a latency and the miss events they raised,
+// attributed to the accessing hardware context and to the static
+// instruction tag — the substrate for the paper's L2-miss counters and its
+// Valgrind-style delinquent-load profiling.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// LineSize is the block size in bytes (power of two).
+	LineSize int
+	// Assoc is the set associativity.
+	Assoc int
+	// Latency is the hit latency in cycles.
+	Latency int
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("mem: line size %d is not a positive power of two", c.LineSize)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("mem: associativity %d is not positive", c.Assoc)
+	}
+	if c.Size <= 0 || c.Size%(c.LineSize*c.Assoc) != 0 {
+		return fmt.Errorf("mem: size %d is not a positive multiple of line*assoc (%d)", c.Size, c.LineSize*c.Assoc)
+	}
+	sets := c.Size / (c.LineSize * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: set count %d is not a power of two", sets)
+	}
+	if c.Latency <= 0 {
+		return fmt.Errorf("mem: latency %d is not positive", c.Latency)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
+
+type way struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64 // LRU stamp
+}
+
+// Cache is a single set-associative cache level with true-LRU replacement
+// and write-allocate/write-back semantics.
+type Cache struct {
+	cfg        CacheConfig
+	ways       []way // sets*assoc, row-major by set
+	setShift   uint  // log2(LineSize)
+	setMask    uint64
+	stamp      uint64
+	accesses   uint64
+	misses     uint64
+	evictions  uint64
+	dirtyEvict uint64
+}
+
+// NewCache builds a cache level; it panics on invalid configuration (a
+// construction-time programming error, not a runtime condition).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		ways:    make([]way, sets*cfg.Assoc),
+		setMask: uint64(sets - 1),
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.setShift++
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr maps a byte address to its line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineSize) - 1)
+}
+
+func (c *Cache) setOf(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+// Lookup probes the cache for addr; on a hit it refreshes recency and, if
+// write, marks the line dirty. It never allocates.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	c.stamp++
+	c.accesses++
+	set := c.setOf(addr)
+	tag := addr >> c.setShift
+	base := set * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == tag {
+			w.lastUse = c.stamp
+			if write {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes without disturbing recency or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.setOf(addr)
+	tag := addr >> c.setShift
+	base := set * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert allocates the line holding addr, evicting the LRU way if the set
+// is full. It returns the evicted line address and whether anything valid
+// was evicted (and was dirty).
+func (c *Cache) Insert(addr uint64, write bool) (victim uint64, evicted, dirty bool) {
+	c.stamp++
+	set := c.setOf(addr)
+	tag := addr >> c.setShift
+	base := set * c.cfg.Assoc
+	lru := base
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == tag { // already present (racing fills)
+			w.lastUse = c.stamp
+			if write {
+				w.dirty = true
+			}
+			return 0, false, false
+		}
+		if !w.valid {
+			w.valid, w.tag, w.dirty, w.lastUse = true, tag, write, c.stamp
+			return 0, false, false
+		}
+		if c.ways[lru].lastUse > w.lastUse {
+			lru = base + i
+		}
+	}
+	w := &c.ways[lru]
+	// The stored tag is addr>>setShift (it retains the set index bits), so
+	// the full line address reconstructs by shifting back.
+	victim = w.tag << c.setShift
+	evicted, dirty = true, w.dirty
+	c.evictions++
+	if dirty {
+		c.dirtyEvict++
+	}
+	w.tag, w.dirty, w.lastUse = tag, write, c.stamp
+	return victim, evicted, dirty
+}
+
+// Invalidate drops the line holding addr if present.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set := c.setOf(addr)
+	tag := addr >> c.setShift
+	base := set * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == tag {
+			w.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+}
+
+// Stats reports accesses, misses and evictions since construction.
+func (c *Cache) Stats() (accesses, misses, evictions, dirtyEvictions uint64) {
+	return c.accesses, c.misses, c.evictions, c.dirtyEvict
+}
+
+// Occupancy returns the number of valid lines, for tests and debugging.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

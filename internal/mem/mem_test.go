@@ -1,0 +1,439 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtexplore/internal/isa"
+)
+
+func smallCache() *Cache {
+	// 4 sets * 2 ways * 64B lines = 512B.
+	return NewCache(CacheConfig{Size: 512, LineSize: 64, Assoc: 2, Latency: 2})
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Size: 8 << 10, LineSize: 64, Assoc: 4, Latency: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{Size: 8 << 10, LineSize: 48, Assoc: 4, Latency: 2},    // non-pow2 line
+		{Size: 8 << 10, LineSize: 64, Assoc: 0, Latency: 2},    // zero assoc
+		{Size: 1000, LineSize: 64, Assoc: 4, Latency: 2},       // not multiple
+		{Size: 64 * 4 * 3, LineSize: 64, Assoc: 4, Latency: 2}, // 3 sets
+		{Size: 8 << 10, LineSize: 64, Assoc: 4, Latency: 0},    // zero latency
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(0x1000, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Fatal("miss after insert")
+	}
+	// Same line, different offset.
+	if !c.Lookup(0x103f, false) {
+		t.Fatal("miss within line")
+	}
+	// Next line misses.
+	if c.Lookup(0x1040, false) {
+		t.Fatal("hit on neighbouring line")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache() // 4 sets, 2 ways
+	// Three lines in set 0: 0x000, 0x100, 0x200 (set = bits 6..7).
+	c.Insert(0x000, false)
+	c.Insert(0x100, false)
+	c.Lookup(0x000, false) // refresh 0x000 → LRU is 0x100
+	victim, evicted, _ := c.Insert(0x200, false)
+	if !evicted {
+		t.Fatal("expected eviction in full set")
+	}
+	if victim != 0x100 {
+		t.Fatalf("evicted %#x, want 0x100 (LRU)", victim)
+	}
+	if !c.Contains(0x000) || !c.Contains(0x200) || c.Contains(0x100) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := smallCache()
+	c.Insert(0x000, true) // dirty
+	c.Insert(0x100, false)
+	_, evicted, dirty := c.Insert(0x200, false) // evicts 0x000
+	if !evicted || !dirty {
+		t.Fatalf("evicted=%v dirty=%v, want true/true", evicted, dirty)
+	}
+	_, _, _, de := c.Stats()
+	if de != 1 {
+		t.Fatalf("dirty evictions = %d, want 1", de)
+	}
+}
+
+func TestCacheWriteMarksDirty(t *testing.T) {
+	c := smallCache()
+	c.Insert(0x000, false)
+	c.Lookup(0x000, true) // write hit dirties the line
+	c.Insert(0x100, false)
+	_, _, dirty := c.Insert(0x200, false)
+	if !dirty {
+		t.Fatal("write hit did not mark line dirty")
+	}
+}
+
+func TestCacheInvalidateAndFlush(t *testing.T) {
+	c := smallCache()
+	c.Insert(0x000, false)
+	c.Insert(0x040, false)
+	if !c.Invalidate(0x000) {
+		t.Fatal("invalidate missed present line")
+	}
+	if c.Contains(0x000) {
+		t.Fatal("line present after invalidate")
+	}
+	if c.Invalidate(0x000) {
+		t.Fatal("invalidate hit absent line")
+	}
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Fatal("flush left valid lines")
+	}
+}
+
+func TestCacheOccupancyNeverExceedsCapacity_Property(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := smallCache()
+		for _, a := range addrs {
+			addr := uint64(a)
+			if !c.Lookup(addr, false) {
+				c.Insert(addr, false)
+			}
+		}
+		return c.Occupancy() <= 8 // 4 sets * 2 ways
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheInclusionAfterAccess_Property(t *testing.T) {
+	// Property: immediately after Insert(a), Contains(a).
+	f := func(addrs []uint32) bool {
+		c := smallCache()
+		for _, a := range addrs {
+			addr := uint64(a)
+			c.Insert(addr, false)
+			if !c.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func tinyHierarchy() *Hierarchy {
+	cfg := HierarchyConfig{
+		L1:         CacheConfig{Size: 512, LineSize: 64, Assoc: 2, Latency: 2},
+		L2:         CacheConfig{Size: 4 << 10, LineSize: 64, Assoc: 4, Latency: 18},
+		MemLatency: 250,
+		MSHRs:      2,
+		Prefetch:   false,
+	}
+	return NewHierarchy(cfg)
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := tinyHierarchy()
+	cold := h.Access(0, 0, 0x10000, false, isa.NoTag)
+	if !cold.L1Miss || !cold.L2Miss || cold.Retry {
+		t.Fatalf("cold access events = %+v", cold)
+	}
+	wantCold := 2 + 18 + 250
+	if cold.Latency != wantCold {
+		t.Fatalf("cold latency = %d, want %d", cold.Latency, wantCold)
+	}
+	warm := h.Access(600, 0, 0x10000, false, isa.NoTag)
+	if warm.L1Miss || warm.Latency != 2 {
+		t.Fatalf("warm access = %+v, want L1 hit lat 2", warm)
+	}
+	// Evict from L1 (same L1 set: L1 has 4 sets → stride 256) but stay in
+	// L2; accesses are spaced past the fill latency so MSHRs drain.
+	h.Access(1200, 0, 0x10100, false, isa.NoTag)
+	h.Access(1800, 0, 0x10200, false, isa.NoTag)
+	l2hit := h.Access(2400, 0, 0x10000, false, isa.NoTag)
+	if !l2hit.L1Miss || l2hit.L2Miss {
+		t.Fatalf("expected L1-miss/L2-hit, got %+v", l2hit)
+	}
+	if l2hit.Latency != 2+18 {
+		t.Fatalf("L2 hit latency = %d, want 20", l2hit.Latency)
+	}
+}
+
+func TestHierarchyMSHRExhaustion(t *testing.T) {
+	h := tinyHierarchy() // 2 MSHRs
+	r1 := h.Access(0, 0, 0x00000, false, isa.NoTag)
+	r2 := h.Access(0, 0, 0x10000, false, isa.NoTag)
+	if r1.Retry || r2.Retry {
+		t.Fatal("first two fills should get MSHRs")
+	}
+	r3 := h.Access(0, 0, 0x20000, false, isa.NoTag)
+	if !r3.Retry {
+		t.Fatal("third concurrent fill should be rejected (MSHRs full)")
+	}
+	if h.Thread(0).MSHRRetries != 1 {
+		t.Fatalf("retries = %d, want 1", h.Thread(0).MSHRRetries)
+	}
+	// After the fills complete, a new miss gets an MSHR again.
+	later := uint64(0 + 2 + 18 + 251)
+	r4 := h.Access(later, 0, 0x20000, false, isa.NoTag)
+	if r4.Retry {
+		t.Fatal("fill after drain should succeed")
+	}
+	if h.InflightFills(later) != 1 {
+		t.Fatalf("inflight = %d, want 1", h.InflightFills(later))
+	}
+}
+
+func TestHierarchyMissMerging(t *testing.T) {
+	h := tinyHierarchy()
+	h.Access(0, 0, 0x40000, false, isa.NoTag)
+	// A second miss to the same line while the fill is in flight merges
+	// and pays only the remaining latency. With the immediate-fill model
+	// the line is already present, so it hits — both behaviours are
+	// acceptable; what must hold is that it does not consume a new MSHR.
+	h.Access(10, 1, 0x40000, false, isa.NoTag)
+	if got := h.InflightFills(10); got != 1 {
+		t.Fatalf("inflight fills = %d, want 1 (merged)", got)
+	}
+}
+
+func TestHierarchyPerThreadAttribution(t *testing.T) {
+	h := tinyHierarchy()
+	h.Access(0, 0, 0x0000, false, isa.NoTag)
+	h.Access(600, 1, 0x8000, false, isa.NoTag)
+	h.Access(1200, 1, 0x9000, true, isa.NoTag)
+	t0, t1 := h.Thread(0), h.Thread(1)
+	if t0.L2Misses != 1 || t0.L2ReadMisses != 1 {
+		t.Fatalf("thread0 stats %+v", t0)
+	}
+	if t1.L2Misses != 2 || t1.L2ReadMisses != 1 {
+		t.Fatalf("thread1 stats %+v (write miss must not count as read miss)", t1)
+	}
+}
+
+func TestHierarchyTagAttribution(t *testing.T) {
+	h := tinyHierarchy()
+	const hot isa.Tag = 7
+	for i := 0; i < 4; i++ {
+		h.Access(uint64(i*600), 0, uint64(i)*0x10000, false, hot)
+	}
+	h.Access(5000, 0, 0x900000, false, isa.Tag(9))
+	tags := h.TagMisses()
+	if tags[hot] != 4 {
+		t.Fatalf("tag 7 misses = %d, want 4", tags[hot])
+	}
+	if tags[9] != 1 {
+		t.Fatalf("tag 9 misses = %d, want 1", tags[9])
+	}
+}
+
+func TestHierarchyPrefetcher(t *testing.T) {
+	cfg := tinyHierarchy().Config()
+	cfg.Prefetch = true
+	cfg.PrefetchDepth = 2
+	cfg.MSHRs = 8
+	h := NewHierarchy(cfg)
+	// Two consecutive lines establish a stream; the second access triggers
+	// prefetch of the next two lines.
+	h.Access(0, 0, 0x0000, false, isa.NoTag)
+	h.Access(600, 0, 0x0040, false, isa.NoTag)
+	issued, useful := h.PrefetchStats()
+	if issued != 2 || useful != 0 {
+		t.Fatalf("prefetch stats issued=%d useful=%d, want 2/0", issued, useful)
+	}
+	if !h.L2().Contains(0x80) || !h.L2().Contains(0xc0) {
+		t.Fatal("stream-prefetched lines not in L2")
+	}
+	r := h.Access(1200, 0, 0x0080, false, isa.NoTag) // demand hits the prefetch
+	if r.L2Miss {
+		t.Fatal("demand on prefetched line missed L2")
+	}
+	if _, useful = h.PrefetchStats(); useful != 1 {
+		t.Fatalf("useful prefetches = %d, want 1", useful)
+	}
+	// Non-sequential access does not trigger the streamer.
+	before, _ := h.PrefetchStats()
+	h.Access(1800, 0, 0x90000, false, isa.NoTag)
+	after, _ := h.PrefetchStats()
+	if after != before {
+		t.Error("random access triggered stream prefetch")
+	}
+	// A prefetch with all MSHRs busy is dropped, not queued.
+	h2 := NewHierarchy(HierarchyConfig{
+		L1: cfg.L1, L2: cfg.L2, MemLatency: 250, MSHRs: 2,
+		Prefetch: true, PrefetchDepth: 2,
+	})
+	h2.Access(0, 0, 0x0000, false, isa.NoTag)
+	// Second sequential demand miss takes the last MSHR; its stream
+	// prefetches find none free and are dropped.
+	h2.Access(1, 0, 0x0040, false, isa.NoTag)
+	if h2.PrefetchSkipped() == 0 {
+		t.Error("saturated MSHRs did not drop stream fills")
+	}
+}
+
+func TestHierarchyInvalidThreadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid context id did not panic")
+		}
+	}()
+	tinyHierarchy().Access(0, 2, 0, false, isa.NoTag)
+}
+
+func TestHierarchyConfigValidate(t *testing.T) {
+	bad := DefaultHierarchy()
+	bad.L1.LineSize = 32
+	if err := bad.Validate(); err == nil {
+		t.Error("mixed line sizes accepted")
+	}
+	bad = DefaultHierarchy()
+	bad.MemLatency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+	bad = DefaultHierarchy()
+	bad.MSHRs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MSHRs accepted")
+	}
+	if err := DefaultHierarchy().Validate(); err != nil {
+		t.Errorf("default hierarchy invalid: %v", err)
+	}
+}
+
+func TestSequentialWalkMissRate_Property(t *testing.T) {
+	// Property: a sequential walk over a region much larger than L2
+	// misses L2 once per line (without prefetch), i.e. the demand L2 miss
+	// count equals the number of distinct lines touched.
+	f := func(seed uint8) bool {
+		h := tinyHierarchy()
+		lines := 64 + int(seed)%64
+		now := uint64(0)
+		for i := 0; i < lines; i++ {
+			r := h.Access(now, 0, uint64(i)*64+0x100000, false, isa.NoTag)
+			now += uint64(r.Latency) + 1 // drain MSHRs between accesses
+		}
+		return h.Thread(0).L2Misses == uint64(lines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2PortQueueing(t *testing.T) {
+	cfg := tinyHierarchy().Config()
+	cfg.L2Occupancy = 4
+	cfg.MSHRs = 16
+	h := NewHierarchy(cfg)
+	// Warm two lines into L2 (L1 is 512B/2-way: use same L1 set so both
+	// L1-miss later).
+	h.Access(0, 0, 0x0000, false, isa.NoTag)
+	h.Access(600, 0, 0x10000, false, isa.NoTag)
+	h.Access(1200, 0, 0x20000, false, isa.NoTag) // evicts 0x0000 from L1
+	// Back-to-back same-cycle L2 hits: the second queues behind the first.
+	a := h.Access(2000, 0, 0x0000, false, isa.NoTag)
+	b := h.Access(2000, 1, 0x10000, false, isa.NoTag)
+	if a.L2Miss || b.L2Miss {
+		t.Fatalf("expected L2 hits, got %+v %+v", a, b)
+	}
+	if b.Latency <= a.Latency {
+		t.Errorf("second same-cycle access (%d) not delayed behind first (%d)", b.Latency, a.Latency)
+	}
+	if h.L2QueueCycles() == 0 {
+		t.Error("no queue cycles recorded")
+	}
+}
+
+func TestL2PortDisabled(t *testing.T) {
+	cfg := tinyHierarchy().Config()
+	cfg.L2Occupancy = 0
+	h := NewHierarchy(cfg)
+	h.Access(0, 0, 0x0000, false, isa.NoTag)
+	h.Access(0, 1, 0x40000, false, isa.NoTag)
+	if h.L2QueueCycles() != 0 {
+		t.Error("queueing with occupancy disabled")
+	}
+}
+
+func TestPendingFillChargesEarlyDemand(t *testing.T) {
+	cfg := tinyHierarchy().Config()
+	cfg.Prefetch = true
+	cfg.PrefetchDepth = 2
+	cfg.MSHRs = 16
+	h := NewHierarchy(cfg)
+	// Establish a stream: lines 0x0 and 0x40 prefetch 0x80, 0xc0.
+	h.Access(0, 0, 0x0000, false, isa.NoTag)
+	h.Access(600, 0, 0x0040, false, isa.NoTag)
+	// Demand line 0x80 immediately: the fill is in flight → partial
+	// latency, counted as a demand miss.
+	early := h.Access(610, 0, 0x0080, false, isa.NoTag)
+	if !early.L2Miss {
+		t.Error("early demand on pending fill not counted as a miss")
+	}
+	if early.Latency <= cfg.L1.Latency+cfg.L2.Latency {
+		t.Errorf("early demand paid only %d cycles; fill was still on the bus", early.Latency)
+	}
+	full := cfg.L1.Latency + cfg.L2.Latency + cfg.MemLatency
+	if early.Latency >= full {
+		t.Errorf("early demand paid %d ≥ full miss %d: no benefit from the prefetch head start", early.Latency, full)
+	}
+	if h.PrefetchLate() != 1 {
+		t.Errorf("late prefetches = %d, want 1", h.PrefetchLate())
+	}
+	// Demand long after the fill completed: clean hit, counted useful.
+	late := h.Access(5000, 0, 0x00c0, false, isa.NoTag)
+	if late.L2Miss {
+		t.Error("completed prefetch still charged as a miss")
+	}
+	if _, useful := h.PrefetchStats(); useful != 1 {
+		t.Errorf("useful prefetches = %d, want 1", useful)
+	}
+}
+
+func TestMultiStreamTracking(t *testing.T) {
+	cfg := tinyHierarchy().Config()
+	cfg.Prefetch = true
+	cfg.PrefetchDepth = 1
+	cfg.MSHRs = 16
+	h := NewHierarchy(cfg)
+	// Interleave three distinct sequential streams far apart; all three
+	// must be followed (the single-tracker design would thrash).
+	bases := []uint64{0x100000, 0x200000, 0x300000}
+	now := uint64(0)
+	for step := 0; step < 4; step++ {
+		for _, b := range bases {
+			h.Access(now, 0, b+uint64(step)*64, false, isa.NoTag)
+			now += 600
+		}
+	}
+	issued, _ := h.PrefetchStats()
+	if issued < 6 {
+		t.Errorf("interleaved streams issued only %d prefetches; trackers thrashed", issued)
+	}
+}

@@ -1,0 +1,207 @@
+// Package memprobe characterises the simulated memory hierarchy the way
+// lmbench-style microbenchmarks characterise real machines: a dependent
+// pointer-chase walk measures the load-to-use latency of each cache level,
+// and an independent streaming walk measures sustainable bandwidth. The
+// probes double as validation of the simulator's memory model (the
+// latency plateaus must land on the configured L1/L2/DRAM costs) and as
+// examples of dependence-driven program generation.
+package memprobe
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+// ChaseProgram builds a dependent pointer-chase over a region of the
+// given size: loads visit the region's cache lines in a pseudo-random
+// permutation cycle, and each load's issue depends on the previous load's
+// result (the destination register feeds the next source), so the chain
+// exposes the full load-to-use latency of wherever the region lives.
+// Every hop carries tag, letting a measurement isolate the phase.
+func ChaseProgram(base uint64, sizeBytes int, hops int, seed int64, tag isa.Tag) trace.Program {
+	lines := sizeBytes / 64
+	if lines < 2 {
+		panic(fmt.Sprintf("memprobe: region %d too small to chase", sizeBytes))
+	}
+	perm := cyclePermutation(lines, seed)
+	return trace.Generate(func(e *trace.Emitter) {
+		reg := isa.R(1)
+		idx := 0
+		for h := 0; h < hops && !e.Stopped(); h++ {
+			// The next hop's load depends on this one's destination: a
+			// serialised chain, exactly like p = p->next.
+			e.Emit(isa.Instr{Op: isa.Load, Dst: reg, Src1: reg,
+				Addr: base + uint64(perm[idx])*64, Tag: tag})
+			idx = perm[idx]
+		}
+	})
+}
+
+// cyclePermutation returns a single-cycle permutation of [0,n) so the
+// chase visits every line before repeating (no short cycles that would
+// let a tiny subset cache-hit).
+func cyclePermutation(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	next := make([]int, n)
+	for i := 0; i < n; i++ {
+		next[order[i]] = order[(i+1)%n]
+	}
+	return next
+}
+
+// StreamProgram builds an independent sequential walk over the region:
+// loads carry no dependences, so throughput is bounded by the load port
+// and the memory system's parallelism — a bandwidth probe.
+func StreamProgram(base uint64, sizeBytes int, accesses int) trace.Program {
+	lines := sizeBytes / 64
+	if lines < 1 {
+		panic(fmt.Sprintf("memprobe: region %d too small to stream", sizeBytes))
+	}
+	return trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < accesses && !e.Stopped(); i++ {
+			e.Load(isa.F(i%8), base+uint64(i%lines)*64)
+		}
+	})
+}
+
+// LatencyPoint is one region-size measurement.
+type LatencyPoint struct {
+	SizeBytes int
+	// CyclesPerHop is the average dependent-load latency.
+	CyclesPerHop float64
+	// L1MissRate and L2MissRate locate the region in the hierarchy.
+	L1MissRate float64
+	L2MissRate float64
+}
+
+// Phase tags distinguishing the warm-up pass from the measured chase.
+const (
+	tagWarmup isa.Tag = 900
+	tagProbe  isa.Tag = 901
+)
+
+// LatencySweep chases regions of each size and reports the load-to-use
+// latency plateau per size. A warm-up pass first walks the whole region
+// (so it is resident wherever it fits); counters are snapshotted when the
+// first measured hop retires, excluding the warm-up from the average.
+func LatencySweep(mcfg smt.Config, sizes []int, hops int) ([]LatencyPoint, error) {
+	var out []LatencyPoint
+	for i, size := range sizes {
+		base := 0x4000_0000 + uint64(i)<<24
+		m := smt.New(mcfg)
+		var startSnap perfmon.Snapshot
+		started := false
+		m.OnRetire(func(ri smt.RetireInfo) {
+			if !started && ri.Instr.Tag == tagProbe {
+				started = true
+				startSnap = m.Counters().Snapshot()
+			}
+		})
+		m.LoadProgram(0, trace.Concat(
+			ChaseProgram(base, size, size/64, 42, tagWarmup),
+			ChaseProgram(base, size, hops, 42, tagProbe),
+		))
+		if _, err := m.Run(2_000_000_000); err != nil {
+			return nil, fmt.Errorf("memprobe: size %d: %w", size, err)
+		}
+		if !started {
+			return nil, fmt.Errorf("memprobe: size %d never reached the probe phase", size)
+		}
+		d := m.Counters().Snapshot().Delta(startSnap)
+		instr := d.Get(perfmon.InstrRetired, 0)
+		if instr == 0 {
+			return nil, fmt.Errorf("memprobe: size %d retired nothing in the probe phase", size)
+		}
+		ts := m.Hierarchy().Thread(0)
+		out = append(out, LatencyPoint{
+			SizeBytes:    size,
+			CyclesPerHop: float64(d.Get(perfmon.Cycles, 0)) / float64(instr),
+			L1MissRate:   float64(ts.L1Misses) / float64(ts.Accesses),
+			L2MissRate:   float64(ts.L2Misses) / float64(ts.Accesses),
+		})
+	}
+	return out, nil
+}
+
+// BandwidthPoint is one streaming measurement.
+type BandwidthPoint struct {
+	SizeBytes int
+	// BytesPerCycle is the sustained streaming rate (8 bytes per load).
+	BytesPerCycle float64
+	// Threads is the number of contexts streaming concurrently.
+	Threads int
+}
+
+// BandwidthSweep streams regions of each size with one and with two
+// contexts, exposing the shared L2 port and MSHR limits the paper's
+// dual-thread kernels contend on.
+func BandwidthSweep(mcfg smt.Config, sizes []int, accesses int) ([]BandwidthPoint, error) {
+	var out []BandwidthPoint
+	for _, size := range sizes {
+		for threads := 1; threads <= 2; threads++ {
+			m := smt.New(mcfg)
+			for t := 0; t < threads; t++ {
+				m.LoadProgram(t, StreamProgram(0x5000_0000+uint64(t)<<26, size, accesses))
+			}
+			if _, err := m.Run(2_000_000_000); err != nil {
+				return nil, fmt.Errorf("memprobe: stream %d/%d: %w", size, threads, err)
+			}
+			c := m.Counters()
+			var loads uint64
+			var cycles uint64
+			for t := 0; t < threads; t++ {
+				loads += c.Get(perfmon.InstrRetired, t)
+				if cyc := c.Get(perfmon.Cycles, t); cyc > cycles {
+					cycles = cyc
+				}
+			}
+			if cycles == 0 {
+				return nil, fmt.Errorf("memprobe: stream %d/%d ran zero cycles", size, threads)
+			}
+			out = append(out, BandwidthPoint{
+				SizeBytes:     size,
+				BytesPerCycle: 8 * float64(loads) / float64(cycles),
+				Threads:       threads,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatLatency renders a latency sweep.
+func FormatLatency(points []LatencyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %10s %10s\n", "region", "cycles/hop", "L1 miss", "L2 miss")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s %14.1f %9.0f%% %9.0f%%\n",
+			sizeLabel(p.SizeBytes), p.CyclesPerHop, p.L1MissRate*100, p.L2MissRate*100)
+	}
+	return b.String()
+}
+
+// FormatBandwidth renders a bandwidth sweep.
+func FormatBandwidth(points []BandwidthPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %14s\n", "region", "threads", "bytes/cycle")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s %8d %14.2f\n", sizeLabel(p.SizeBytes), p.Threads, p.BytesPerCycle)
+	}
+	return b.String()
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

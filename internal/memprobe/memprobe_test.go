@@ -1,0 +1,140 @@
+package memprobe
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+func TestCyclePermutationSingleCycle(t *testing.T) {
+	f := func(nSeed uint8, seed int64) bool {
+		n := 2 + int(nSeed)%200
+		next := cyclePermutation(n, seed)
+		// Following next from 0 must visit all n elements before looping.
+		seen := make([]bool, n)
+		idx := 0
+		for i := 0; i < n; i++ {
+			if seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			idx = next[idx]
+		}
+		return idx == 0 || seen[idx] // full cycle closes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChaseProgramIsDependent(t *testing.T) {
+	ins := trace.Collect(ChaseProgram(0x1000, 1024, 16, 7, 5))
+	if len(ins) != 16 {
+		t.Fatalf("hops = %d, want 16", len(ins))
+	}
+	for i, in := range ins {
+		if in.Op != isa.Load {
+			t.Fatalf("op %v", in.Op)
+		}
+		if in.Tag != 5 {
+			t.Fatalf("hop %d tag %d, want 5", i, in.Tag)
+		}
+		if in.Src1 != in.Dst {
+			t.Fatalf("hop %d not chained through the register", i)
+		}
+		if in.Addr < 0x1000 || in.Addr >= 0x1000+1024 {
+			t.Fatalf("hop %d outside region: %#x", i, in.Addr)
+		}
+	}
+	// All lines visited before repeating (single-cycle permutation).
+	seen := map[uint64]bool{}
+	for _, in := range ins {
+		if seen[in.Addr] {
+			t.Fatal("address repeated before covering the region")
+		}
+		seen[in.Addr] = true
+	}
+}
+
+func TestLatencySweepFindsHierarchyPlateaus(t *testing.T) {
+	cfg := smt.DefaultConfig()
+	// L1 8KB, L2 512KB: probe inside L1, inside L2, beyond L2.
+	points, err := LatencySweep(cfg, []int{4 << 10, 64 << 10, 2 << 20}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2, mem := points[0], points[1], points[2]
+	// Load-to-use in L1 ≈ the configured 2-cycle hit latency.
+	if l1.CyclesPerHop < 1.5 || l1.CyclesPerHop > 4 {
+		t.Errorf("L1 chase latency = %.1f, want ≈2", l1.CyclesPerHop)
+	}
+	// L2 plateau ≈ L1 + L2 latency (+ port occupancy): ≈20+.
+	if l2.CyclesPerHop < 15 || l2.CyclesPerHop > 35 {
+		t.Errorf("L2 chase latency = %.1f, want ≈20", l2.CyclesPerHop)
+	}
+	// Memory plateau ≈ L2 + 250.
+	if mem.CyclesPerHop < 180 || mem.CyclesPerHop > 350 {
+		t.Errorf("DRAM chase latency = %.1f, want ≈270", mem.CyclesPerHop)
+	}
+	if !(l1.CyclesPerHop < l2.CyclesPerHop && l2.CyclesPerHop < mem.CyclesPerHop) {
+		t.Error("latency plateaus not monotone")
+	}
+	if l2.L1MissRate < 0.9 {
+		t.Errorf("L2-sized chase L1 miss rate %.2f, want ≈1 (random walk)", l2.L1MissRate)
+	}
+}
+
+func TestBandwidthSweepSaturatesSharedPort(t *testing.T) {
+	cfg := smt.DefaultConfig()
+	points, err := BandwidthSweep(cfg, []int{4 << 10}, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solo, duo float64
+	for _, p := range points {
+		if p.Threads == 1 {
+			solo = p.BytesPerCycle
+		} else {
+			duo = p.BytesPerCycle
+		}
+	}
+	// L1-resident streams: the single load port bounds both (8 B/cycle);
+	// adding a second thread cannot raise aggregate bandwidth much.
+	if solo < 6 {
+		t.Errorf("solo L1 bandwidth %.2f B/cyc, want ≈8 (port bound)", solo)
+	}
+	if duo > solo*1.25 {
+		t.Errorf("dual bandwidth %.2f exceeds solo %.2f: shared port not modelled", duo, solo)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ChaseProgram(0, 64, 4, 1, 0) }, // 1 line: too small
+		func() { StreamProgram(0, 32, 4) },      // under a line
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("tiny region accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	lat := FormatLatency([]LatencyPoint{{SizeBytes: 4 << 10, CyclesPerHop: 2.1, L1MissRate: 0.01}})
+	if !strings.Contains(lat, "4KB") || !strings.Contains(lat, "2.1") {
+		t.Errorf("latency format wrong:\n%s", lat)
+	}
+	bw := FormatBandwidth([]BandwidthPoint{{SizeBytes: 2 << 20, Threads: 2, BytesPerCycle: 1.25}})
+	if !strings.Contains(bw, "2MB") || !strings.Contains(bw, "1.25") {
+		t.Errorf("bandwidth format wrong:\n%s", bw)
+	}
+}

@@ -1,0 +1,146 @@
+package perfmon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNamesUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ev := range Events() {
+		name := ev.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Fatalf("event %d has no name", ev)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate event name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(Events()) != NumEvents {
+		t.Fatalf("Events() returned %d, want %d", len(Events()), NumEvents)
+	}
+}
+
+func TestAddGetTotal(t *testing.T) {
+	var k Counters
+	k.Add(UopsRetired, 0, 10)
+	k.Add(UopsRetired, 1, 5)
+	k.Inc(UopsRetired, 1)
+	if got := k.Get(UopsRetired, 0); got != 10 {
+		t.Errorf("cpu0 = %d, want 10", got)
+	}
+	if got := k.Get(UopsRetired, 1); got != 6 {
+		t.Errorf("cpu1 = %d, want 6", got)
+	}
+	if got := k.Total(UopsRetired); got != 16 {
+		t.Errorf("total = %d, want 16", got)
+	}
+	if got := k.Total(L2ReadMisses); got != 0 {
+		t.Errorf("untouched event total = %d, want 0", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var k Counters
+	k.Add(Cycles, 0, 99)
+	k.Reset()
+	if k.Total(Cycles) != 0 {
+		t.Error("reset did not zero counters")
+	}
+}
+
+func TestPanicsOnInvalidArgs(t *testing.T) {
+	var k Counters
+	for name, fn := range map[string]func(){
+		"add invalid event": func() { k.Add(Event(200), 0, 1) },
+		"add invalid cpu":   func() { k.Add(Cycles, 2, 1) },
+		"add negative cpu":  func() { k.Add(Cycles, -1, 1) },
+		"get invalid event": func() { k.Get(Event(200), 0) },
+		"get invalid cpu":   func() { k.Get(Cycles, 7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var k Counters
+	k.Add(L2Misses, 0, 3)
+	s := k.Snapshot()
+	k.Add(L2Misses, 0, 4)
+	if s.Get(L2Misses, 0) != 3 {
+		t.Error("snapshot mutated by later Add")
+	}
+	if k.Get(L2Misses, 0) != 7 {
+		t.Error("live counter wrong")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	var k Counters
+	k.Add(Cycles, 0, 100)
+	before := k.Snapshot()
+	k.Add(Cycles, 0, 50)
+	k.Add(Cycles, 1, 7)
+	d := k.Snapshot().Delta(before)
+	if d.Get(Cycles, 0) != 50 || d.Get(Cycles, 1) != 7 {
+		t.Errorf("delta = %d/%d, want 50/7", d.Get(Cycles, 0), d.Get(Cycles, 1))
+	}
+}
+
+func TestDeltaUnderflowPanics(t *testing.T) {
+	var k Counters
+	k.Add(Cycles, 0, 5)
+	later := k.Snapshot()
+	k.Add(Cycles, 0, 5)
+	evenLater := k.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delta underflow did not panic")
+		}
+	}()
+	later.Delta(evenLater)
+}
+
+func TestFormatShowsOnlyNonZero(t *testing.T) {
+	var k Counters
+	k.Add(UopsRetired, 0, 42)
+	out := k.Snapshot().Format()
+	if !strings.Contains(out, "uops_retired") {
+		t.Error("format missing counted event")
+	}
+	if strings.Contains(out, "l2_read_misses") {
+		t.Error("format shows zero event")
+	}
+	if !strings.Contains(out, "42") {
+		t.Error("format missing value")
+	}
+}
+
+// Property: Total always equals the sum of per-CPU Gets, and Delta of a
+// snapshot with itself is zero.
+func TestCounterAlgebra_Property(t *testing.T) {
+	f := func(a, b uint32, evSeed uint8) bool {
+		ev := Event(int(evSeed) % NumEvents)
+		var k Counters
+		k.Add(ev, 0, uint64(a))
+		k.Add(ev, 1, uint64(b))
+		s := k.Snapshot()
+		if s.Total(ev) != uint64(a)+uint64(b) {
+			return false
+		}
+		z := s.Delta(s)
+		return z.Total(ev) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package profile reproduces the paper's two instrumentation methodologies
+// in simulator form:
+//
+//   - The Pin-based dynamic instruction-mix analysis behind Table 1: a
+//     Collector attached to the machine's retirement stage attributes every
+//     retired µop to the execution subunit it used, yielding per-thread
+//     utilisation percentages for ALUs, FP_ADD, FP_MUL, FP_MOVE, LOAD and
+//     STORE.
+//
+//   - The Valgrind-based memory profiling of §3.2 used to identify
+//     delinquent loads: static instruction sites (isa.Tag) are ranked by
+//     the demand L2 misses attributed to them, and the smallest prefix
+//     covering a target fraction (the paper isolates 92–96% of misses) is
+//     selected for precomputation-thread construction.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/smt"
+)
+
+// Collector accumulates the dynamic instruction mix per hardware context,
+// in the spirit of the paper's Pin tool. Spin-loop µops injected by the
+// simulator are counted separately — the paper's profiling of the original
+// executables likewise excluded the synchronisation primitives ("not
+// included in the profiling process").
+type Collector struct {
+	units [smt.NumContexts][isa.NumUnits]uint64
+	ops   [smt.NumContexts][isa.NumOps]uint64
+	total [smt.NumContexts]uint64
+	spin  [smt.NumContexts]uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Attach installs the collector on m's retirement observer. Only one
+// observer can be active per machine; Attach replaces any previous one.
+func (c *Collector) Attach(m *smt.Machine) {
+	m.OnRetire(c.Observe)
+}
+
+// Observe records one retirement (exported so callers can chain
+// observers).
+func (c *Collector) Observe(ri smt.RetireInfo) {
+	if ri.Spin {
+		c.spin[ri.Tid]++
+		return
+	}
+	c.total[ri.Tid]++
+	c.ops[ri.Tid][ri.Instr.Op]++
+	if ri.Unit != isa.UnitNone {
+		c.units[ri.Tid][ri.Unit]++
+	}
+}
+
+// Total returns the profiled (non-spin) instruction count of context tid.
+func (c *Collector) Total(tid int) uint64 { return c.total[tid] }
+
+// SpinUops returns the spin-loop µops excluded from the mix.
+func (c *Collector) SpinUops(tid int) uint64 { return c.spin[tid] }
+
+// UnitCount returns retired µops of context tid that used subunit u.
+func (c *Collector) UnitCount(tid int, u isa.Unit) uint64 { return c.units[tid][u] }
+
+// OpCount returns retired µops of context tid with op class o.
+func (c *Collector) OpCount(tid int, o isa.Op) uint64 { return c.ops[tid][o] }
+
+// Row is the Table 1 grouping of execution subunits.
+type Row uint8
+
+// Table 1 rows.
+const (
+	RowALUs Row = iota // ALU0 + ALU1 + slow int
+	RowFPAdd
+	RowFPMul
+	RowFPDiv
+	RowFPMove
+	RowLoad
+	RowStore
+	numRows
+)
+
+// NumRows is the number of Table 1 rows.
+const NumRows = int(numRows)
+
+var rowNames = [NumRows]string{
+	"ALUs", "FP_ADD", "FP_MUL", "FP_DIV", "FP_MOVE", "LOAD", "STORE",
+}
+
+func (r Row) String() string {
+	if int(r) < len(rowNames) {
+		return rowNames[r]
+	}
+	return fmt.Sprintf("row(%d)", uint8(r))
+}
+
+// Rows returns the Table 1 rows in order.
+func Rows() []Row {
+	out := make([]Row, NumRows)
+	for i := range out {
+		out[i] = Row(i)
+	}
+	return out
+}
+
+// rowUnits maps each row to its subunits.
+var rowUnits = [NumRows][]isa.Unit{
+	RowALUs:   {isa.UnitALU0, isa.UnitALU1, isa.UnitSlowInt},
+	RowFPAdd:  {isa.UnitFPAdd},
+	RowFPMul:  {isa.UnitFPMul},
+	RowFPDiv:  {isa.UnitFPDiv},
+	RowFPMove: {isa.UnitFPMove},
+	RowLoad:   {isa.UnitLoad},
+	RowStore:  {isa.UnitStore},
+}
+
+// RowShare returns the percentage of context tid's profiled instructions
+// that used the subunits of row r — the cells of Table 1.
+func (c *Collector) RowShare(tid int, r Row) float64 {
+	if c.total[tid] == 0 {
+		return 0
+	}
+	var n uint64
+	for _, u := range rowUnits[r] {
+		n += c.units[tid][u]
+	}
+	return 100 * float64(n) / float64(c.total[tid])
+}
+
+// ALU0Share returns the percentage of profiled instructions executed on
+// ALU0 specifically — the serialisation bottleneck §5.3 identifies for
+// logical-op-heavy code.
+func (c *Collector) ALU0Share(tid int) float64 {
+	if c.total[tid] == 0 {
+		return 0
+	}
+	return 100 * float64(c.units[tid][isa.UnitALU0]) / float64(c.total[tid])
+}
+
+// Format renders the per-context mix as an aligned table.
+func (c *Collector) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "EX. UNIT", "cpu0", "cpu1")
+	for _, r := range Rows() {
+		fmt.Fprintf(&b, "%-10s %11.2f%% %11.2f%%\n", r.String(), c.RowShare(0, r), c.RowShare(1, r))
+	}
+	fmt.Fprintf(&b, "%-10s %12d %12d\n", "Total", c.total[0], c.total[1])
+	return b.String()
+}
+
+// TagMiss pairs a static load site with its attributed demand L2 misses.
+type TagMiss struct {
+	Tag    isa.Tag
+	Misses uint64
+}
+
+// DelinquentLoads ranks static sites by attributed L2 misses and returns
+// the smallest prefix covering at least frac of all attributed misses —
+// the paper's delinquent-load selection (it isolates the instructions
+// causing 92–96% of L2 misses). frac must be in (0, 1].
+func DelinquentLoads(h *mem.Hierarchy, frac float64) []TagMiss {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("profile: coverage fraction %v out of (0,1]", frac))
+	}
+	all := h.TagMisses()
+	ranked := make([]TagMiss, 0, len(all))
+	var total uint64
+	for tag, n := range all {
+		ranked = append(ranked, TagMiss{Tag: tag, Misses: n})
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Misses != ranked[j].Misses {
+			return ranked[i].Misses > ranked[j].Misses
+		}
+		return ranked[i].Tag < ranked[j].Tag
+	})
+	need := uint64(frac * float64(total))
+	var acc uint64
+	for i, tm := range ranked {
+		acc += tm.Misses
+		if acc >= need {
+			return ranked[:i+1]
+		}
+	}
+	return ranked
+}
+
+// Coverage returns the fraction of all attributed misses covered by the
+// given tag set.
+func Coverage(h *mem.Hierarchy, tags []TagMiss) float64 {
+	all := h.TagMisses()
+	var total, covered uint64
+	for _, n := range all {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	for _, tm := range tags {
+		covered += all[tm.Tag]
+	}
+	return float64(covered) / float64(total)
+}

@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+func TestCollectorMix(t *testing.T) {
+	// 2 fadd, 1 fmul, 4 loads, 1 store, 2 ilogic = 10 instructions.
+	p := trace.Generate(func(e *trace.Emitter) {
+		e.ALU(isa.FAdd, isa.F(0), isa.F(6), isa.F(7))
+		e.ALU(isa.FAdd, isa.F(1), isa.F(6), isa.F(7))
+		e.ALU(isa.FMul, isa.F(2), isa.F(6), isa.F(7))
+		for i := 0; i < 4; i++ {
+			e.Load(isa.F(3), uint64(i)*64)
+		}
+		e.Store(isa.F(0), 4096)
+		e.ALU(isa.ILogic, isa.R(0), isa.R(6), isa.R(7))
+		e.ALU(isa.ILogic, isa.R(1), isa.R(6), isa.R(7))
+	})
+	m := smt.New(smt.DefaultConfig())
+	c := NewCollector()
+	c.Attach(m)
+	m.LoadProgram(0, p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total(0) != 10 {
+		t.Fatalf("total = %d, want 10", c.Total(0))
+	}
+	checks := map[Row]float64{
+		RowFPAdd: 20, RowFPMul: 10, RowLoad: 40, RowStore: 10, RowALUs: 20,
+	}
+	for row, want := range checks {
+		if got := c.RowShare(0, row); math.Abs(got-want) > 0.01 {
+			t.Errorf("%v share = %.2f%%, want %.0f%%", row, got, want)
+		}
+	}
+	// Logical ops execute only on ALU0.
+	if got := c.ALU0Share(0); math.Abs(got-20) > 0.01 {
+		t.Errorf("ALU0 share = %.2f%%, want 20%%", got)
+	}
+	out := c.Format()
+	if !strings.Contains(out, "FP_ADD") || !strings.Contains(out, "Total") {
+		t.Error("Format missing rows")
+	}
+}
+
+func TestCollectorExcludesSpinUops(t *testing.T) {
+	const cell = isa.Cell(1)
+	producer := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 2000; i++ {
+			e.ALU(isa.FAdd, isa.F(i%4), isa.F(6), isa.F(7))
+		}
+		e.SetFlag(cell, 1, isa.CellAddr(cell))
+	})
+	waiter := trace.Generate(func(e *trace.Emitter) {
+		e.Spin(cell, isa.CmpEQ, 1)
+		e.ALU(isa.IAdd, isa.R(0), isa.R(6), isa.R(7))
+	})
+	m := smt.New(smt.DefaultConfig())
+	c := NewCollector()
+	c.Attach(m)
+	m.LoadProgram(0, producer)
+	m.LoadProgram(1, waiter)
+	if _, err := m.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total(1) != 1 {
+		t.Errorf("waiter profiled total = %d, want 1 (spin µops excluded)", c.Total(1))
+	}
+	if c.SpinUops(1) == 0 {
+		t.Error("spin µops not tracked")
+	}
+}
+
+func delinquentFixture(t *testing.T) *mem.Hierarchy {
+	t.Helper()
+	h := mem.NewHierarchy(mem.HierarchyConfig{
+		L1:         mem.CacheConfig{Size: 512, LineSize: 64, Assoc: 2, Latency: 2},
+		L2:         mem.CacheConfig{Size: 4 << 10, LineSize: 64, Assoc: 4, Latency: 18},
+		MemLatency: 250,
+		MSHRs:      8,
+	})
+	now := uint64(0)
+	miss := func(tag isa.Tag, n int) {
+		for i := 0; i < n; i++ {
+			h.Access(now, 0, uint64(tag)<<24|uint64(i)<<12, false, tag)
+			now += 600
+		}
+	}
+	miss(1, 90) // dominant delinquent load
+	miss(2, 6)
+	miss(3, 3)
+	miss(4, 1)
+	return h
+}
+
+func TestDelinquentLoadsCoverage(t *testing.T) {
+	h := delinquentFixture(t)
+	top := DelinquentLoads(h, 0.90)
+	if len(top) != 1 || top[0].Tag != 1 {
+		t.Fatalf("top = %+v, want only tag 1", top)
+	}
+	if cov := Coverage(h, top); cov < 0.90 {
+		t.Errorf("coverage = %.2f, want ≥ 0.90", cov)
+	}
+	// Paper-style 96% needs the second site too.
+	top96 := DelinquentLoads(h, 0.96)
+	if len(top96) != 2 || top96[1].Tag != 2 {
+		t.Fatalf("96%% selection = %+v, want tags 1,2", top96)
+	}
+	all := DelinquentLoads(h, 1.0)
+	if len(all) != 4 {
+		t.Fatalf("full selection has %d sites, want 4", len(all))
+	}
+	if cov := Coverage(h, all); math.Abs(cov-1) > 1e-9 {
+		t.Errorf("full coverage = %v, want 1", cov)
+	}
+}
+
+func TestDelinquentLoadsEmptyAndInvalid(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchy())
+	if got := DelinquentLoads(h, 0.9); got != nil {
+		t.Errorf("no-miss hierarchy returned %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("frac 0 did not panic")
+		}
+	}()
+	DelinquentLoads(h, 0)
+}

@@ -1,0 +1,179 @@
+// Package sched is the thin OS-scheduler substrate of the reproduction:
+// the paper's testbed ran Linux 2.6 with one run queue per logical
+// processor and pinned threads with sched_setaffinity. This package
+// reproduces that arrangement for multiprogrammed experiments (the
+// Figure 2(c) motivation: "such mixes are more frequent in
+// multiprogrammed workloads"): N software programs are pinned round-robin
+// onto the two logical CPUs, and each CPU time-slices its own run queue
+// with a fixed instruction quantum, paying a context-switch overhead of
+// kernel µops at every switch.
+//
+// Scheduling is offline and deterministic: quanta are measured in
+// instructions (a deterministic stand-in for the timer tick), and the
+// result is one composite trace.Program per logical CPU. Composite
+// programs consume their inputs and are therefore SINGLE-USE — build a
+// fresh schedule for every run. Programs that synchronise with each other
+// must be pinned to different CPUs (a descheduled waiter cannot be
+// preempted mid-wait by the simulated hardware).
+package sched
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+// Config parameterises the scheduler.
+type Config struct {
+	// Quantum is the time-slice length in instructions.
+	Quantum int
+	// SwitchCost is the kernel overhead, in µops, charged at every
+	// context switch (save/restore, run-queue bookkeeping).
+	SwitchCost int
+	// KernelBase is the address region the switch overhead's memory
+	// traffic touches (the kernel stacks; they pollute the caches, which
+	// is part of the real cost).
+	KernelBase uint64
+}
+
+// DefaultConfig returns a plausible 2.6-era configuration: 10k-instruction
+// quanta and a 120-µop switch path.
+func DefaultConfig() Config {
+	return Config{Quantum: 10_000, SwitchCost: 120, KernelBase: 0xE000_0000}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Quantum <= 0 {
+		return fmt.Errorf("sched: quantum %d not positive", c.Quantum)
+	}
+	if c.SwitchCost < 0 {
+		return fmt.Errorf("sched: switch cost %d negative", c.SwitchCost)
+	}
+	return nil
+}
+
+// Schedule pins programs round-robin onto the two logical CPUs
+// (program i → CPU i%2, the paper's affinity discipline) and returns one
+// composite program per CPU. An empty run queue yields a nil program.
+func Schedule(cfg Config, programs ...trace.Program) ([smt.NumContexts]trace.Program, error) {
+	var out [smt.NumContexts]trace.Program
+	if err := cfg.Validate(); err != nil {
+		return out, err
+	}
+	if len(programs) == 0 {
+		return out, fmt.Errorf("sched: no programs")
+	}
+	var queues [smt.NumContexts][]trace.Program
+	for i, p := range programs {
+		if p == nil {
+			// A nil hole keeps the affinity slots of the remaining
+			// programs stable (useful when building asymmetric mixes).
+			continue
+		}
+		cpu := i % smt.NumContexts
+		queues[cpu] = append(queues[cpu], p)
+	}
+	for cpu := range queues {
+		if len(queues[cpu]) > 0 {
+			out[cpu] = runQueue(cfg, cpu, queues[cpu])
+		}
+	}
+	return out, nil
+}
+
+// runQueue builds the composite program of one CPU: round-robin over its
+// pinned programs in instruction quanta with switch overhead between
+// slices. Single-use (consumes the input programs).
+func runQueue(cfg Config, cpu int, programs []trace.Program) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		streams := make([]*trace.Stream, len(programs))
+		for i, p := range programs {
+			streams[i] = trace.NewStream(p)
+		}
+		defer func() {
+			for _, s := range streams {
+				s.Close()
+			}
+		}()
+		remaining := len(streams)
+		for remaining > 0 && !e.Stopped() {
+			for ti, s := range streams {
+				if s.Done() {
+					continue
+				}
+				for n := 0; n < cfg.Quantum; n++ {
+					in, ok := s.Next()
+					if !ok {
+						remaining--
+						break
+					}
+					e.Emit(in)
+					if e.Stopped() {
+						return
+					}
+				}
+				// A switch only happens when another runnable task
+				// exists on this queue.
+				if remaining > 1 || (remaining == 1 && !s.Done()) {
+					if countRunnable(streams) > 1 {
+						emitSwitch(e, cfg, cpu, ti)
+					}
+				}
+			}
+		}
+	})
+}
+
+func countRunnable(streams []*trace.Stream) int {
+	n := 0
+	for _, s := range streams {
+		if !s.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// emitSwitch emits the kernel context-switch path: register save/restore
+// traffic against the kernel stacks plus run-queue bookkeeping arithmetic.
+func emitSwitch(e *trace.Emitter, cfg Config, cpu, task int) {
+	base := cfg.KernelBase + uint64(cpu)<<16 + uint64(task)<<10
+	for i := 0; i < cfg.SwitchCost && !e.Stopped(); i++ {
+		switch i % 4 {
+		case 0:
+			e.Store(isa.F(24+(i&3)), base+uint64(i&31)*8)
+		case 1:
+			e.Load(isa.F(24+(i&3)), base+uint64((i+7)&31)*8)
+		case 2:
+			e.ALU(isa.IAdd, isa.R(20+(i&3)), isa.R(28), isa.R(29))
+		default:
+			e.ALU(isa.ILogic, isa.R(24+(i&1)), isa.R(24+(i&1)), isa.R(30))
+		}
+	}
+}
+
+// RunMultiprogrammed schedules the programs and executes them to
+// completion on a fresh machine, returning it for counter inspection.
+func RunMultiprogrammed(mcfg smt.Config, scfg Config, maxCycles uint64, programs ...trace.Program) (*smt.Machine, error) {
+	composite, err := Schedule(scfg, programs...)
+	if err != nil {
+		return nil, err
+	}
+	m := smt.New(mcfg)
+	for cpu, p := range composite {
+		if p != nil {
+			m.LoadProgram(cpu, p)
+		}
+	}
+	res, err := m.Run(maxCycles)
+	if err != nil {
+		return m, err
+	}
+	if !res.Completed {
+		return m, fmt.Errorf("sched: multiprogrammed run exceeded %d cycles", maxCycles)
+	}
+	return m, nil
+}

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+func workload(op isa.Op, n int) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		reg := isa.F
+		if !op.IsFP() {
+			reg = isa.R
+		}
+		for i := 0; i < n && !e.Stopped(); i++ {
+			e.ALU(op, reg(i%6), reg(8), reg(9))
+		}
+	})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Quantum: 0}).Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	if err := (Config{Quantum: 10, SwitchCost: -1}).Validate(); err == nil {
+		t.Error("negative switch cost accepted")
+	}
+}
+
+func TestScheduleAffinity(t *testing.T) {
+	// Four programs pin round-robin: 0,2 → cpu0 and 1,3 → cpu1.
+	cfg := Config{Quantum: 50, SwitchCost: 0}
+	composite, err := Schedule(cfg,
+		workload(isa.FAdd, 100), workload(isa.IAdd, 100),
+		workload(isa.FMul, 100), workload(isa.ISub, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu0 := trace.Mix(composite[0])
+	if cpu0[isa.FAdd] != 100 || cpu0[isa.FMul] != 100 || cpu0[isa.IAdd] != 0 {
+		t.Errorf("cpu0 mix wrong: %v", cpu0)
+	}
+	// Single-use: a second schedule is needed for the second CPU's mix.
+	composite2, _ := Schedule(cfg,
+		workload(isa.FAdd, 100), workload(isa.IAdd, 100),
+		workload(isa.FMul, 100), workload(isa.ISub, 100))
+	cpu1 := trace.Mix(composite2[1])
+	if cpu1[isa.IAdd] != 100 || cpu1[isa.ISub] != 100 || cpu1[isa.FAdd] != 0 {
+		t.Errorf("cpu1 mix wrong: %v", cpu1)
+	}
+}
+
+func TestTimeSlicingInterleavesQuanta(t *testing.T) {
+	cfg := Config{Quantum: 10, SwitchCost: 0}
+	composite, err := Schedule(cfg, workload(isa.FAdd, 30), nil, workload(isa.FMul, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cpu0 runs programs 0 and 2 in 10-instruction slices.
+	ins := trace.Collect(composite[0])
+	if len(ins) != 60 {
+		t.Fatalf("emitted %d, want 60", len(ins))
+	}
+	for i := 0; i < 10; i++ {
+		if ins[i].Op != isa.FAdd {
+			t.Fatalf("slice 1 instr %d is %v", i, ins[i].Op)
+		}
+		if ins[10+i].Op != isa.FMul {
+			t.Fatalf("slice 2 instr %d is %v", i, ins[10+i].Op)
+		}
+	}
+}
+
+func TestSwitchOverheadEmitted(t *testing.T) {
+	cfg := Config{Quantum: 10, SwitchCost: 8, KernelBase: 0xE000_0000}
+	composite, err := Schedule(cfg, workload(isa.FAdd, 20), nil, workload(isa.FMul, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := trace.Mix(composite[0])
+	// 40 program instructions plus switch paths.
+	total := uint64(0)
+	for _, n := range mix {
+		total += n
+	}
+	if total <= 40 {
+		t.Fatalf("no switch overhead: total %d", total)
+	}
+	if mix[isa.Store] == 0 || mix[isa.Load] == 0 {
+		t.Error("switch path lacks kernel save/restore traffic")
+	}
+}
+
+func TestNoSwitchCostWhenAlone(t *testing.T) {
+	cfg := Config{Quantum: 10, SwitchCost: 50}
+	composite, err := Schedule(cfg, workload(isa.FAdd, 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := trace.Count(composite[0]); n != 35 {
+		t.Fatalf("lone program emitted %d, want 35 (no switches)", n)
+	}
+	if composite[1] != nil {
+		t.Error("cpu1 should have no program")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(DefaultConfig()); err == nil {
+		t.Error("empty program list accepted")
+	}
+	if _, err := Schedule(Config{Quantum: 0}, workload(isa.FAdd, 1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunMultiprogrammed(t *testing.T) {
+	mcfg := smt.DefaultConfig()
+	scfg := Config{Quantum: 200, SwitchCost: 60, KernelBase: 0xE000_0000}
+	m, err := RunMultiprogrammed(mcfg, scfg, 100_000_000,
+		workload(isa.FAdd, 2000), workload(isa.IAdd, 2000),
+		workload(isa.FMul, 2000), workload(isa.ILogic, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	// Every program instruction retires, plus kernel overhead.
+	if got := c.Total(perfmon.InstrRetired); got < 8000 {
+		t.Fatalf("retired %d, want ≥ 8000", got)
+	}
+	if c.Get(perfmon.InstrRetired, 0) == 0 || c.Get(perfmon.InstrRetired, 1) == 0 {
+		t.Error("a logical CPU sat idle")
+	}
+}
+
+func TestMultiprogrammingCostsAgainstDedicated(t *testing.T) {
+	// The same four workloads run slower when time-sliced with switch
+	// overhead than as two back-to-back dedicated pairs... at minimum,
+	// the kernel µops must show up in the retired count.
+	mcfg := smt.DefaultConfig()
+	withCost, err := RunMultiprogrammed(mcfg, Config{Quantum: 100, SwitchCost: 200, KernelBase: 0xE000_0000},
+		100_000_000,
+		workload(isa.FAdd, 3000), workload(isa.IAdd, 3000),
+		workload(isa.FMul, 3000), workload(isa.ILogic, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := RunMultiprogrammed(mcfg, Config{Quantum: 100, SwitchCost: 0},
+		100_000_000,
+		workload(isa.FAdd, 3000), workload(isa.IAdd, 3000),
+		workload(isa.FMul, 3000), workload(isa.ILogic, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCost.Cycle() <= free.Cycle() {
+		t.Errorf("switch overhead free: %d vs %d cycles", withCost.Cycle(), free.Cycle())
+	}
+}

@@ -1,0 +1,138 @@
+// Package smt implements the cycle-level simulator of a two-context
+// simultaneous-multithreaded (hyper-threaded) out-of-order processor, the
+// hardware substrate of the reproduced paper.
+//
+// The model follows the NetBurst-style organisation the paper describes:
+// a front end that alternates between logical processors cycle-by-cycle,
+// an in-order allocator gated by statically partitioned buffers (reorder
+// buffer, load queue, store queue, scheduler window) that are halved when
+// both contexts are active and recombined when one halts, a dynamically
+// shared issue stage feeding the ports and execution subunits of
+// internal/isa, a shared data-cache hierarchy (internal/mem), and in-order
+// retirement. The paper's performance-monitoring events are counted in a
+// perfmon.Counters bank, qualified by logical CPU.
+//
+// Workloads are trace.Programs: lazily generated µop streams with real
+// register dependences and byte addresses. Synchronisation between the two
+// contexts uses cells — simulated shared words written by FlagStore µops at
+// retirement and observed by the declarative SpinWait/HaltWait operations,
+// which the front end expands into spin-loop µop traffic (with or without
+// the pause hint) or into halt/IPI sleep-wake transitions.
+package smt
+
+import (
+	"fmt"
+
+	"smtexplore/internal/mem"
+)
+
+// Config parameterises the simulated processor.
+type Config struct {
+	// Mem configures the shared data-memory hierarchy.
+	Mem mem.HierarchyConfig
+
+	// ROB, LoadQ, StoreQ and SchedWindow are the total entry counts of
+	// the statically partitioned buffers. When both hardware contexts
+	// are active each context may occupy at most half; when one context
+	// is halted (or finished) the survivor uses the full structure.
+	ROB         int
+	LoadQ       int
+	StoreQ      int
+	SchedWindow int
+
+	// AllocWidth is the per-cycle allocation (and trace-cache fetch)
+	// bandwidth in µops; the front end serves one context per cycle, so
+	// in dual-thread mode each context averages AllocWidth/2.
+	AllocWidth int
+	// IssueWidth bounds µops dispatched to all ports per cycle.
+	IssueWidth int
+	// RetireWidth bounds µops retired per cycle (alternating context
+	// priority, as in the front end).
+	RetireWidth int
+
+	// SpinExitFlushPenalty is the pipeline-flush cost, in cycles, paid
+	// when a spin-wait loop observes its exit condition: the memory-order
+	// violation replay the paper describes.
+	SpinExitFlushPenalty int
+
+	// HaltWakeLatency is the cost of waking a halted logical processor
+	// (IPI delivery plus pipeline re-partition), charged to the waking
+	// context.
+	HaltWakeLatency int
+
+	// PartitionFreeze is the allocation stall imposed on the *sibling*
+	// context when the partitioned resources are re-split on wake-up.
+	PartitionFreeze int
+
+	// RetryDelay is the scheduler replay delay for a load rejected by a
+	// full MSHR file.
+	RetryDelay int
+
+	// MachineClearPenalty is the replay cost added to a logical
+	// processor's in-flight load when the sibling retires a store to the
+	// same cache line — the memory-order machine clear that punishes
+	// fine-grained line sharing between hyper-threads. Zero disables the
+	// mechanism.
+	MachineClearPenalty int
+
+	// NoStaticPartition disables the halving of ROB/LoadQ/StoreQ/
+	// SchedWindow in dual-thread mode, making every buffer fully shared.
+	// This is an ablation knob (§5.3 of the paper attributes much of the
+	// TLP slowdown to static partitioning).
+	NoStaticPartition bool
+}
+
+// DefaultConfig returns the NetBurst-like configuration used throughout
+// the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Mem:                  mem.DefaultHierarchy(),
+		ROB:                  126,
+		LoadQ:                48,
+		StoreQ:               24,
+		SchedWindow:          64,
+		AllocWidth:           3,
+		IssueWidth:           6,
+		RetireWidth:          3,
+		SpinExitFlushPenalty: 30,
+		HaltWakeLatency:      1500,
+		PartitionFreeze:      20,
+		RetryDelay:           5,
+		MachineClearPenalty:  100,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Mem.Validate(); err != nil {
+		return fmt.Errorf("smt: %w", err)
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+		even bool
+	}{
+		{"ROB", c.ROB, true},
+		{"LoadQ", c.LoadQ, true},
+		{"StoreQ", c.StoreQ, true},
+		{"SchedWindow", c.SchedWindow, true},
+		{"AllocWidth", c.AllocWidth, false},
+		{"IssueWidth", c.IssueWidth, false},
+		{"RetireWidth", c.RetireWidth, false},
+		{"RetryDelay", c.RetryDelay, false},
+	} {
+		if p.v <= 0 {
+			return fmt.Errorf("smt: %s = %d, must be positive", p.name, p.v)
+		}
+		if p.even && p.v%2 != 0 {
+			return fmt.Errorf("smt: %s = %d, must be even (statically partitionable)", p.name, p.v)
+		}
+	}
+	if c.SpinExitFlushPenalty < 0 || c.HaltWakeLatency < 0 || c.PartitionFreeze < 0 || c.MachineClearPenalty < 0 {
+		return fmt.Errorf("smt: penalties must be non-negative")
+	}
+	if c.ROB > 1<<14 {
+		return fmt.Errorf("smt: ROB = %d unreasonably large (ring indices are 16-bit)", c.ROB)
+	}
+	return nil
+}

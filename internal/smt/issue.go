@@ -1,0 +1,179 @@
+package smt
+
+import (
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+)
+
+// issue dispatches ready µops from the shared scheduler window to the
+// execution ports, oldest first across both contexts, up to IssueWidth per
+// cycle. Port bandwidth is modelled in half-slots: the double-speed ALUs
+// accept two µops per cycle on their port, while any other µop (FP,
+// slow-int, load, store) occupies its port for the whole cycle.
+// Non-pipelined or partially pipelined units additionally enforce their
+// initiation interval through unitNextFree.
+func (m *Machine) issue() {
+	now := m.cycle
+	issued := 0
+	var portBudget [isa.NumPorts]int
+	for p := 1; p < isa.NumPorts; p++ {
+		portBudget[p] = 2 // two half-slots per port per cycle
+	}
+
+	// The select logic examines only the oldest scanLimit candidates per
+	// cycle, like the bounded wakeup/select of the modelled scheduler
+	// queues; younger entries wait until age brings them forward.
+	const scanLimit = 64
+
+	kept := m.sched[:0]
+	for i, ref := range m.sched {
+		if issued >= m.cfg.IssueWidth || len(kept) >= scanLimit {
+			// No more dispatch this cycle: retain the tail wholesale.
+			kept = append(kept, m.sched[i:]...)
+			break
+		}
+		u := m.resolve(ref)
+		if u == nil || u.cancelled || u.issued {
+			// Stale (flushed) or already dispatched: drop the entry and
+			// release the window slot.
+			m.threads[ref.tid].schedCount--
+			continue
+		}
+		if u.retryAt > now || !m.uopReady(u, now) {
+			kept = append(kept, ref)
+			continue
+		}
+		port, unit, cost, ok := m.pickPort(u, portBudget[:], now)
+		if !ok {
+			kept = append(kept, ref)
+			continue
+		}
+
+		if u.in.Op == isa.Load {
+			res := m.hier.Access(now, int(ref.tid), u.in.Addr, false, u.in.Tag)
+			if res.Retry {
+				// MSHR file full: the load replays later. The issue slot
+				// and port bandwidth are consumed regardless.
+				u.retryAt = now + uint64(m.cfg.RetryDelay)
+				m.ctr.Inc(perfmon.ReplayedUops, int(ref.tid))
+				portBudget[port] -= cost
+				issued++
+				kept = append(kept, ref)
+				continue
+			}
+			u.doneAt = now + uint64(res.Latency)
+			m.bookAccess(int(ref.tid), res, false)
+			if m.cfg.MachineClearPenalty > 0 {
+				t := &m.threads[ref.tid]
+				t.inflightLoads[t.loadRecPos&7] = loadRec{ref: ref, line: u.in.Addr &^ 63}
+				t.loadRecPos++
+			}
+		} else if u.in.Op == isa.Prefetch {
+			// Non-binding software prefetch: the fill starts (or the hint
+			// is dropped when the MSHR file is full) but the µop itself
+			// completes at address-generation latency — it never blocks.
+			res := m.hier.Access(now, int(ref.tid), u.in.Addr, false, u.in.Tag)
+			if !res.Retry {
+				m.bookAccess(int(ref.tid), res, false)
+			}
+			u.doneAt = now + uint64(isa.SpecOf(isa.Prefetch).Latency)
+		} else {
+			u.doneAt = now + uint64(isa.SpecOf(u.in.Op).Latency)
+		}
+
+		u.issued = true
+		u.issueAt = now
+		u.port, u.unit = port, unit
+		if rec := isa.SpecOf(u.in.Op).Recurrence; rec > 1 {
+			m.unitNextFree[unit] = now + uint64(rec)
+		}
+		portBudget[port] -= cost
+		issued++
+		m.ctr.Inc(perfmon.IssuedUops, int(ref.tid))
+		m.threads[ref.tid].schedCount--
+	}
+	m.sched = kept
+}
+
+// uopReady reports whether all dataflow dependences of u are satisfied.
+// Satisfied references are cleared and producer completion times memoised
+// in readyAt, so the per-cycle scheduler scan degenerates to a single
+// comparison for most waiting µops.
+func (m *Machine) uopReady(u *uop, now uint64) bool {
+	if u.readyAt > now {
+		return false
+	}
+	ok := true
+	if u.dep1.gen != 0 {
+		if m.depSettled(&u.dep1, u, now) {
+			u.dep1 = uopRef{}
+		} else {
+			ok = false
+		}
+	}
+	if u.dep2.gen != 0 {
+		if m.depSettled(&u.dep2, u, now) {
+			u.dep2 = uopRef{}
+		} else {
+			ok = false
+		}
+	}
+	if u.depW.gen != 0 {
+		if m.depSettled(&u.depW, u, now) {
+			u.depW = uopRef{}
+		} else {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// depSettled reports whether the dependence *r is complete at now; when the
+// producer has issued but not completed, the consumer's readyAt advances to
+// the producer's completion time.
+func (m *Machine) depSettled(r *uopRef, consumer *uop, now uint64) bool {
+	p := m.resolve(*r)
+	if p == nil || p.cancelled {
+		return true
+	}
+	if !p.issued {
+		// The scan is oldest-first and single-pass: a producer that has
+		// not issued by the time its consumer is examined cannot issue
+		// until next cycle, so with ≥1-cycle latency the consumer cannot
+		// be ready before now+2. Memoising this halves dependence walks
+		// without altering timing.
+		if now+2 > consumer.readyAt {
+			consumer.readyAt = now + 2
+		}
+		return false
+	}
+	if p.doneAt <= now {
+		return true
+	}
+	if p.doneAt > consumer.readyAt {
+		consumer.readyAt = p.doneAt
+	}
+	return false
+}
+
+// pickPort selects an issue port for u honouring per-cycle half-slot
+// budgets and unit initiation intervals. cost is 1 half-slot for
+// double-speed ALU µops, 2 (the full port) otherwise.
+func (m *Machine) pickPort(u *uop, portBudget []int, now uint64) (isa.Port, isa.Unit, int, bool) {
+	spec := isa.SpecOf(u.in.Op)
+	for _, p := range spec.Ports {
+		unit := spec.UnitFor[p]
+		cost := 1
+		if isa.PortWidth(p, unit) < 2 {
+			cost = 2
+		}
+		if portBudget[p] < cost {
+			continue
+		}
+		if m.unitNextFree[unit] > now {
+			continue
+		}
+		return p, unit, cost, true
+	}
+	return isa.PortNone, isa.UnitNone, 0, false
+}

@@ -1,0 +1,367 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/trace"
+)
+
+// NumContexts is the number of logical processors per physical package.
+const NumContexts = 2
+
+// spinReg is the architectural register used by injected spin-loop loads;
+// workload generators must not use it (syncprim reserves it).
+var spinReg = isa.R(31)
+
+// RetireInfo describes one retired µop, delivered to the OnRetire observer
+// (the substrate of the Pin-style instruction-mix profiler).
+type RetireInfo struct {
+	Tid   int
+	Instr isa.Instr
+	Unit  isa.Unit
+	Spin  bool // injected by spin-wait expansion
+	Cycle uint64
+
+	// Pipeline timestamps (cycle of allocation, issue and completion),
+	// the substrate of the pipeline tracer.
+	AllocCycle    uint64
+	IssueCycle    uint64
+	CompleteCycle uint64
+}
+
+// thread is the per-logical-processor state.
+type thread struct {
+	id      int
+	stream  *trace.Stream
+	started bool
+
+	pending      isa.Instr
+	pendingValid bool
+
+	rob *rob
+	ldq int
+	stq int
+	// stqFree holds completion times of stores draining to cache after
+	// retirement; the store-buffer entry is released only then.
+	stqFree []uint64
+	// schedCount is this context's occupancy of the scheduler window.
+	schedCount int
+
+	regPrev [isa.NumRegs]uopRef
+
+	// inflightLoads is a small ring of recently issued loads, scanned at
+	// sibling store retirement for memory-order machine clears.
+	inflightLoads [8]loadRec
+	loadRecPos    int
+
+	allocStallUntil uint64
+
+	spinning bool
+	halting  bool
+	halted   bool
+	wakeAt   uint64 // nonzero → wake in progress
+
+	done bool
+}
+
+// loadRec is one in-flight load record for machine-clear detection.
+type loadRec struct {
+	ref  uopRef
+	line uint64
+}
+
+// runnable reports whether the context holds partitioned resources (it is
+// started, unfinished and not halted).
+func (t *thread) runnable() bool {
+	return t.started && !t.done && !t.halted
+}
+
+// drained reports whether the context's pipeline holds no in-flight state.
+func (t *thread) drained() bool {
+	return t.rob.count == 0 && t.stq == 0 && len(t.stqFree) == 0 && t.ldq == 0
+}
+
+// Machine is one simulated physical processor package with two logical
+// processors.
+type Machine struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	ctr  perfmon.Counters
+
+	threads [NumContexts]thread
+	cells   map[isa.Cell]int64
+
+	cycle uint64
+	seq   uint64
+
+	sched        []uopRef
+	unitNextFree [isa.NumUnits]uint64
+
+	// cellWait attributes wait cycles (spinning, draining-to-halt or
+	// halted) to the synchronisation cell being awaited — the
+	// measurement behind the paper's selective-halting methodology
+	// ("we measured the times that precomputation threads spend on
+	// every barrier").
+	cellWait map[isa.Cell]uint64
+
+	onRetire func(RetireInfo)
+
+	// lastRetireCycle backs the deadlock watchdog.
+	lastRetireCycle uint64
+}
+
+// New builds a machine; it panics on invalid configuration (construction-
+// time programming error).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:      cfg,
+		hier:     mem.NewHierarchy(cfg.Mem),
+		cells:    make(map[isa.Cell]int64),
+		cellWait: make(map[isa.Cell]uint64),
+		sched:    make([]uopRef, 0, cfg.SchedWindow),
+	}
+	for i := range m.threads {
+		m.threads[i] = thread{id: i, rob: newROB(cfg.ROB)}
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Hierarchy exposes the shared memory system.
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// Counters exposes the performance-monitoring bank.
+func (m *Machine) Counters() *perfmon.Counters { return &m.ctr }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// LoadProgram binds program p to logical processor tid. It must be called
+// before the first Step for that context.
+func (m *Machine) LoadProgram(tid int, p trace.Program) {
+	t := m.thread(tid)
+	if t.started {
+		panic(fmt.Sprintf("smt: context %d already has a program", tid))
+	}
+	t.stream = trace.NewStream(p)
+	t.started = true
+}
+
+func (m *Machine) thread(tid int) *thread {
+	if tid < 0 || tid >= NumContexts {
+		panic(fmt.Sprintf("smt: invalid logical processor %d", tid))
+	}
+	return &m.threads[tid]
+}
+
+// SetCell initialises a synchronisation cell value.
+func (m *Machine) SetCell(c isa.Cell, v int64) { m.cells[c] = v }
+
+// CellValue reads a synchronisation cell.
+func (m *Machine) CellValue(c isa.Cell) int64 { return m.cells[c] }
+
+// OnRetire installs the retirement observer (profiling hook). A nil fn
+// removes it.
+func (m *Machine) OnRetire(fn func(RetireInfo)) { m.onRetire = fn }
+
+// WaitProfile returns the cycles spent waiting (spin or halt) per
+// synchronisation cell — the per-barrier wait-time measurement the paper
+// uses to decide where to embed the halt machinery.
+func (m *Machine) WaitProfile() map[isa.Cell]uint64 {
+	out := make(map[isa.Cell]uint64, len(m.cellWait))
+	for c, n := range m.cellWait {
+		out[c] = n
+	}
+	return out
+}
+
+// Done reports whether every loaded program has fully retired.
+func (m *Machine) Done() bool {
+	any := false
+	for i := range m.threads {
+		t := &m.threads[i]
+		if t.started {
+			any = true
+			if !t.done {
+				return false
+			}
+		}
+	}
+	return any
+}
+
+// bothActive reports whether both contexts currently hold partitioned
+// resources, i.e. the machine is in dual-thread (MT) mode.
+func (m *Machine) bothActive() bool {
+	return m.threads[0].runnable() && m.threads[1].runnable()
+}
+
+// limit returns the per-context occupancy bound for a buffer of the given
+// total size under the current partitioning mode.
+func (m *Machine) limit(total int) int {
+	if m.cfg.NoStaticPartition {
+		return total
+	}
+	if m.bothActive() {
+		return total / 2
+	}
+	return total
+}
+
+// cellHolds evaluates a wait predicate against the current cell state.
+func (m *Machine) cellHolds(in isa.Instr) bool {
+	return in.Cmp.Holds(m.cells[in.Cell], in.Val)
+}
+
+// Step advances the machine one cycle: housekeeping, retire, issue,
+// allocate — reverse pipeline order so results flow between stages with a
+// one-cycle delay.
+func (m *Machine) Step() {
+	m.housekeep()
+	m.retire()
+	m.issue()
+	m.allocate()
+	m.account()
+	m.cycle++
+}
+
+// housekeep releases timed store-buffer entries and drives the halt/wake
+// state machine.
+func (m *Machine) housekeep() {
+	now := m.cycle
+	for i := range m.threads {
+		t := &m.threads[i]
+
+		// Release drained store-buffer entries.
+		kept := t.stqFree[:0]
+		for _, at := range t.stqFree {
+			if at <= now {
+				t.stq--
+			} else {
+				kept = append(kept, at)
+			}
+		}
+		t.stqFree = kept
+
+		// A halting context becomes halted once its pipeline drains;
+		// its partitioned resources recombine for the sibling.
+		if t.halting && t.drained() {
+			t.halting = false
+			t.halted = true
+		}
+
+		// A halted context wakes when its awaited condition holds: the
+		// sibling's flag store stands in for the IPI. Wake-up costs
+		// HaltWakeLatency, and re-partitioning freezes the sibling's
+		// allocator briefly.
+		if t.halted {
+			if t.wakeAt == 0 && t.pendingValid && m.cellHolds(t.pending) {
+				t.wakeAt = now + uint64(m.cfg.HaltWakeLatency)
+			}
+			if t.wakeAt != 0 && now >= t.wakeAt {
+				t.halted = false
+				t.wakeAt = 0
+				t.pendingValid = false // consume the HaltWait
+				m.ctr.Inc(perfmon.HaltTransitions, t.id)
+				sib := &m.threads[1-t.id]
+				if until := now + uint64(m.cfg.PartitionFreeze); sib.runnable() && until > sib.allocStallUntil {
+					sib.allocStallUntil = until
+				}
+			}
+		}
+
+		// Completion: stream exhausted, nothing pending, pipeline dry.
+		if t.started && !t.done && !t.pendingValid && t.stream.Done() && t.drained() {
+			t.done = true
+			t.stream.Close()
+		}
+	}
+}
+
+// account books per-cycle counters.
+func (m *Machine) account() {
+	for i := range m.threads {
+		t := &m.threads[i]
+		if !t.started || t.done {
+			continue
+		}
+		if t.halted {
+			m.ctr.Inc(perfmon.HaltedCycles, t.id)
+		} else {
+			m.ctr.Inc(perfmon.Cycles, t.id)
+		}
+		if t.spinning || t.halting || t.halted {
+			m.ctr.Inc(perfmon.BarrierWaitCycles, t.id)
+			if t.pendingValid && t.pending.Cell != isa.NoCell {
+				m.cellWait[t.pending.Cell]++
+			}
+		}
+	}
+}
+
+// RunResult summarises a Run.
+type RunResult struct {
+	// Cycles is the total cycles stepped by this Run call.
+	Cycles uint64
+	// Completed reports whether every program retired fully (false when
+	// the cycle budget expired first — the normal case for Forever
+	// streams).
+	Completed bool
+}
+
+// ErrDeadlock is returned by Run when no µop retires for a long stretch
+// while no context is legitimately halted-waiting: a lost-wakeup or
+// never-satisfied spin in the workload.
+var ErrDeadlock = errors.New("smt: no forward progress (spin or halt wait never satisfied)")
+
+// deadlockWindow is the no-retirement span that triggers ErrDeadlock.
+const deadlockWindow = 4_000_000
+
+// Run steps the machine until every program completes or maxCycles elapse
+// (maxCycles 0 means no bound). It returns ErrDeadlock if the workload
+// stops making progress.
+func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
+	start := m.cycle
+	m.lastRetireCycle = m.cycle
+	for !m.Done() {
+		if maxCycles != 0 && m.cycle-start >= maxCycles {
+			return RunResult{Cycles: m.cycle - start}, nil
+		}
+		if m.cycle-m.lastRetireCycle > deadlockWindow {
+			return RunResult{Cycles: m.cycle - start}, fmt.Errorf("%w at cycle %d", ErrDeadlock, m.cycle)
+		}
+		m.Step()
+	}
+	return RunResult{Cycles: m.cycle - start, Completed: true}, nil
+}
+
+// resolve maps a uopRef to its µop, or nil when the reference is stale
+// (retired/flushed slot since recycled) or empty.
+func (m *Machine) resolve(r uopRef) *uop {
+	if r.gen == 0 {
+		return nil
+	}
+	u := m.threads[r.tid].rob.at(r.idx)
+	if u.gen != r.gen {
+		return nil
+	}
+	return u
+}
+
+// depDone reports whether the dependence r is satisfied at cycle now.
+func (m *Machine) depDone(r uopRef, now uint64) bool {
+	u := m.resolve(r)
+	if u == nil || u.cancelled {
+		return true
+	}
+	return u.issued && u.doneAt <= now
+}

@@ -1,0 +1,173 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/trace"
+)
+
+// randomProgram generates a structurally valid workload from a seed:
+// arbitrary arithmetic/memory µops, with optional producer-side flag
+// publication so paired consumers can wait safely.
+func randomProgram(seed int64, n int, publish []isa.Cell) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n && !e.Stopped(); i++ {
+			switch rng.Intn(10) {
+			case 0:
+				e.ALU(isa.IAdd, isa.R(rng.Intn(16)), isa.R(rng.Intn(30)), isa.R(rng.Intn(30)))
+			case 1:
+				e.ALU(isa.ILogic, isa.R(rng.Intn(16)), isa.R(rng.Intn(30)), isa.R(30))
+			case 2:
+				e.ALU(isa.FAdd, isa.F(rng.Intn(16)), isa.F(rng.Intn(32)), isa.F(rng.Intn(32)))
+			case 3:
+				e.ALU(isa.FMul, isa.F(rng.Intn(16)), isa.F(rng.Intn(32)), isa.F(rng.Intn(32)))
+			case 4:
+				e.ALU(isa.FDiv, isa.F(rng.Intn(16)), isa.F(rng.Intn(32)), isa.F(rng.Intn(32)))
+			case 5:
+				e.ALU(isa.IMul, isa.R(rng.Intn(16)), isa.R(rng.Intn(30)), isa.R(rng.Intn(30)))
+			case 6, 7:
+				e.Load(isa.F(rng.Intn(16)), uint64(rng.Intn(1<<22))&^7)
+			case 8:
+				e.Store(isa.F(rng.Intn(16)), uint64(rng.Intn(1<<22))&^7)
+			default:
+				e.Branch()
+			}
+		}
+		for _, c := range publish {
+			e.SetFlag(c, 1, isa.CellAddr(c))
+		}
+	})
+}
+
+// TestRandomProgramsConserveInstructions: for arbitrary valid programs on
+// both contexts, every generated instruction retires exactly once and the
+// run completes.
+func TestRandomProgramsConserveInstructions(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		n0 := 500 + int(seed*97)%1500
+		n1 := 500 + int(seed*61)%1500
+		m := New(testConfig())
+		m.LoadProgram(0, randomProgram(seed, n0, nil))
+		m.LoadProgram(1, randomProgram(seed+1000, n1, nil))
+		res, err := m.Run(200_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: did not complete", seed)
+		}
+		c := m.Counters()
+		if got := c.Get(perfmon.InstrRetired, 0); got != uint64(n0) {
+			t.Fatalf("seed %d: cpu0 retired %d, want %d", seed, got, n0)
+		}
+		if got := c.Get(perfmon.InstrRetired, 1); got != uint64(n1) {
+			t.Fatalf("seed %d: cpu1 retired %d, want %d", seed, got, n1)
+		}
+		// Issue count covers every executable µop exactly once plus
+		// replays; it can never be below the retired executable count.
+		if c.Total(perfmon.IssuedUops) < c.Total(perfmon.UopsRetired)-c.Total(perfmon.PauseUopsRetired) {
+			t.Fatalf("seed %d: issued %d < retired-executable", seed, c.Total(perfmon.IssuedUops))
+		}
+	}
+}
+
+// TestRandomProgramsAreDeterministic: identical seeds produce identical
+// runs, including co-scheduled sync traffic.
+func TestRandomProgramsAreDeterministic(t *testing.T) {
+	build := func() *Machine {
+		m := New(testConfig())
+		m.LoadProgram(0, trace.Concat(
+			randomProgram(7, 1200, []isa.Cell{5}),
+		))
+		m.LoadProgram(1, trace.Concat(
+			trace.Generate(func(e *trace.Emitter) { e.Spin(5, isa.CmpEQ, 1) }),
+			randomProgram(8, 700, nil),
+		))
+		if _, err := m.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	if a.Cycle() != b.Cycle() {
+		t.Fatalf("nondeterministic: %d vs %d cycles", a.Cycle(), b.Cycle())
+	}
+	sa, sb := a.Counters().Snapshot(), b.Counters().Snapshot()
+	for _, ev := range perfmon.Events() {
+		if sa.Total(ev) != sb.Total(ev) {
+			t.Errorf("%v: %d vs %d", ev, sa.Total(ev), sb.Total(ev))
+		}
+	}
+}
+
+// TestRandomProgramsWithSyncComplete: producer/consumer pairs with random
+// bodies and flag/spin (or halt) handshakes always terminate.
+func TestRandomProgramsWithSyncComplete(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		useHalt := seed%2 == 0
+		cell := isa.Cell(seed)
+		producer := trace.Concat(
+			randomProgram(seed*3, 800, []isa.Cell{cell}),
+			randomProgram(seed*3+1, 200, nil),
+		)
+		consumer := trace.Generate(func(e *trace.Emitter) {
+			if useHalt {
+				e.HaltUntil(cell, isa.CmpEQ, 1)
+			} else {
+				e.Spin(cell, isa.CmpEQ, 1)
+			}
+		})
+		consumer = trace.Concat(consumer, randomProgram(seed*5, 400, nil))
+		m := New(testConfig())
+		m.LoadProgram(0, producer)
+		m.LoadProgram(1, consumer)
+		res, err := m.Run(200_000_000)
+		if err != nil {
+			t.Fatalf("seed %d (halt=%v): %v", seed, useHalt, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d (halt=%v): hung", seed, useHalt)
+		}
+	}
+}
+
+// TestRetireNeverExceedsWidth: the per-cycle retirement bound holds under
+// random load (observed via the retirement stream).
+func TestRetireNeverExceedsWidth(t *testing.T) {
+	m := New(testConfig())
+	perCycle := map[uint64]int{}
+	m.OnRetire(func(ri RetireInfo) { perCycle[ri.Cycle]++ })
+	m.LoadProgram(0, randomProgram(42, 3000, nil))
+	m.LoadProgram(1, randomProgram(43, 3000, nil))
+	if _, err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for cyc, n := range perCycle {
+		if n > m.Config().RetireWidth {
+			t.Fatalf("cycle %d retired %d µops, width %d", cyc, n, m.Config().RetireWidth)
+		}
+	}
+}
+
+// TestPipelineTimestampsMonotone: alloc ≤ issue ≤ complete ≤ retire for
+// every retired µop under random load.
+func TestPipelineTimestampsMonotone(t *testing.T) {
+	m := New(testConfig())
+	violations := 0
+	m.OnRetire(func(ri RetireInfo) {
+		if ri.AllocCycle > ri.IssueCycle || ri.IssueCycle > ri.CompleteCycle || ri.CompleteCycle > ri.Cycle {
+			violations++
+		}
+	})
+	m.LoadProgram(0, randomProgram(99, 4000, nil))
+	if _, err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if violations > 0 {
+		t.Fatalf("%d stage-order violations", violations)
+	}
+}

@@ -1,0 +1,357 @@
+package smt
+
+import (
+	"errors"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/trace"
+)
+
+// TestDeterminism: the simulator is a pure function of (config, programs);
+// two runs of the same workload must produce identical counter banks.
+func TestDeterminism(t *testing.T) {
+	build := func() *Machine {
+		m := New(testConfig())
+		m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 3000; i++ {
+				e.Load(isa.F(i%6), uint64(i)*48+1<<22)
+				e.ALU(isa.FMul, isa.F(8+(i%4)), isa.F(i%6), isa.F(14))
+				e.ALU(isa.FAdd, isa.F(16+(i%4)), isa.F(16+(i%4)), isa.F(8+(i%4)))
+				e.Store(isa.F(16+(i%4)), uint64(i)*48+1<<23)
+			}
+		}))
+		m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 2000; i++ {
+				e.ALU(isa.ILogic, isa.R(i%4), isa.R(i%4), isa.R(30))
+				e.Load(isa.R(8+(i%4)), uint64(i)*32+1<<24)
+			}
+		}))
+		if _, err := m.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := build(), build()
+	if a.Cycle() != b.Cycle() {
+		t.Fatalf("cycle counts differ: %d vs %d", a.Cycle(), b.Cycle())
+	}
+	sa, sb := a.Counters().Snapshot(), b.Counters().Snapshot()
+	for _, ev := range perfmon.Events() {
+		for tid := 0; tid < NumContexts; tid++ {
+			if sa.Get(ev, tid) != sb.Get(ev, tid) {
+				t.Errorf("%v/cpu%d differs: %d vs %d", ev, tid, sa.Get(ev, tid), sb.Get(ev, tid))
+			}
+		}
+	}
+}
+
+// TestMachineClearFiresOnSharedLine: a store retiring into a line with a
+// sibling's in-flight load triggers the clear; disjoint lines do not.
+func TestMachineClearFiresOnSharedLine(t *testing.T) {
+	run := func(sharedLine bool) uint64 {
+		loadAddr := uint64(1 << 22)
+		storeAddr := loadAddr
+		if !sharedLine {
+			storeAddr += 1 << 20
+		}
+		m := New(testConfig())
+		// Context 0 keeps loads to the line in flight (L2-missing, so
+		// they stay in flight long).
+		m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 400; i++ {
+				e.Load(isa.F(i%6), loadAddr+uint64(i%2)*8)
+				for j := 0; j < 6; j++ {
+					e.ALU(isa.IAdd, isa.R(j), isa.R(10), isa.R(11))
+				}
+			}
+		}))
+		// Context 1 stores into the (shared or disjoint) line.
+		m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 400; i++ {
+				e.Store(isa.F(0), storeAddr+uint64(i%4)*8)
+				for j := 0; j < 6; j++ {
+					e.ALU(isa.IAdd, isa.R(j), isa.R(10), isa.R(11))
+				}
+			}
+		}))
+		if _, err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters().Get(perfmon.MachineClears, 0)
+	}
+	if got := run(true); got == 0 {
+		t.Error("no machine clears on shared-line store/load interleave")
+	}
+	if got := run(false); got != 0 {
+		t.Errorf("%d machine clears on disjoint lines", got)
+	}
+}
+
+// TestMachineClearDisabled: MachineClearPenalty 0 switches the mechanism
+// off.
+func TestMachineClearDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.MachineClearPenalty = 0
+	m := New(cfg)
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 200; i++ {
+			e.Load(isa.F(i%6), 1<<22)
+		}
+	}))
+	m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 200; i++ {
+			e.Store(isa.F(0), 1<<22)
+		}
+	}))
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counters().Total(perfmon.MachineClears); got != 0 {
+		t.Errorf("machine clears counted while disabled: %d", got)
+	}
+}
+
+// TestHaltWakeLatencyCharged: the waking context resumes only after the
+// configured wake latency.
+func TestHaltWakeLatencyCharged(t *testing.T) {
+	measure := func(wake int) uint64 {
+		cfg := testConfig()
+		cfg.HaltWakeLatency = wake
+		const cell = isa.Cell(3)
+		m := New(cfg)
+		m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 300; i++ {
+				e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+			}
+			e.SetFlag(cell, 1, isa.CellAddr(cell))
+		}))
+		m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+			e.HaltUntil(cell, isa.CmpEQ, 1)
+			e.ALU(isa.IAdd, isa.R(0), isa.R(10), isa.R(11))
+		}))
+		res, err := m.Run(5_000_000)
+		if err != nil || !res.Completed {
+			t.Fatalf("wake=%d: err=%v completed=%v", wake, err, res.Completed)
+		}
+		return m.Cycle()
+	}
+	fast := measure(100)
+	slow := measure(5000)
+	if slow < fast+4000 {
+		t.Errorf("wake latency not charged: %d vs %d cycles", fast, slow)
+	}
+}
+
+// TestBothThreadsHaltedDeadlocks: two contexts halting on cells only the
+// other would set is a lost-wakeup deadlock the watchdog must catch.
+func TestBothThreadsHaltedDeadlocks(t *testing.T) {
+	m := New(testConfig())
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		e.HaltUntil(isa.Cell(1), isa.CmpEQ, 1)
+		e.SetFlag(isa.Cell(2), 1, isa.CellAddr(2))
+	}))
+	m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+		e.HaltUntil(isa.Cell(2), isa.CmpEQ, 1)
+		e.SetFlag(isa.Cell(1), 1, isa.CellAddr(1))
+	}))
+	if _, err := m.Run(0); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestRetireOrderIsProgramOrder: per context, the observer sees exactly
+// the program sequence.
+func TestRetireOrderIsProgramOrder(t *testing.T) {
+	const n = 500
+	var tags []isa.Tag
+	m := New(testConfig())
+	m.OnRetire(func(ri RetireInfo) {
+		if ri.Tid == 0 && !ri.Spin {
+			tags = append(tags, ri.Instr.Tag)
+		}
+	})
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < n; i++ {
+			e.TaggedLoad(isa.F(i%6), uint64(i)*64, isa.Tag(i+1))
+		}
+	}))
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != n {
+		t.Fatalf("observed %d retires, want %d", len(tags), n)
+	}
+	for i, tag := range tags {
+		if tag != isa.Tag(i+1) {
+			t.Fatalf("retire %d has tag %d: out of program order", i, tag)
+		}
+	}
+}
+
+// TestPartitionFreezeOnWake: the sibling's allocator stalls briefly when a
+// halted context wakes and the buffers re-partition.
+func TestPartitionFreezeOnWake(t *testing.T) {
+	cfg := testConfig()
+	cfg.PartitionFreeze = 2000 // exaggerate to make it visible
+	const cell = isa.Cell(5)
+	m := New(cfg)
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 2000; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+		e.SetFlag(cell, 1, isa.CellAddr(cell))
+		for i := 0; i < 6000; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	}))
+	m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+		e.HaltUntil(cell, isa.CmpEQ, 1)
+		for i := 0; i < 100; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	}))
+	res, err := m.Run(10_000_000)
+	if err != nil || !res.Completed {
+		t.Fatalf("err=%v completed=%v", err, res.Completed)
+	}
+	// With a 2000-cycle freeze the total time must exceed the unfrozen
+	// variant noticeably.
+	cfg2 := testConfig()
+	cfg2.PartitionFreeze = 0
+	m2 := New(cfg2)
+	m2.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 2000; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+		e.SetFlag(cell, 1, isa.CellAddr(cell))
+		for i := 0; i < 6000; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	}))
+	m2.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+		e.HaltUntil(cell, isa.CmpEQ, 1)
+		for i := 0; i < 100; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	}))
+	if res2, err := m2.Run(10_000_000); err != nil || !res2.Completed {
+		t.Fatalf("err=%v", err)
+	}
+	if m.Cycle() <= m2.Cycle() {
+		t.Errorf("partition freeze had no effect: %d vs %d cycles", m.Cycle(), m2.Cycle())
+	}
+}
+
+// TestNoStaticPartitionSharesEverything: with the ablation knob on, a
+// single thread may fill the whole store queue even while its sibling
+// runs.
+func TestNoStaticPartitionSharesEverything(t *testing.T) {
+	run := func(shared bool) uint64 {
+		cfg := testConfig()
+		cfg.NoStaticPartition = shared
+		m := New(cfg)
+		m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 1500; i++ {
+				e.Store(isa.F(0), uint64(i)*64+1<<26)
+			}
+		}))
+		m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 1500; i++ {
+				e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+			}
+		}))
+		if _, err := m.Run(80_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters().Get(perfmon.ResourceStallCycles, 0)
+	}
+	if shared, static := run(true), run(false); shared >= static {
+		t.Errorf("shared buffers stalls (%d) not below static (%d)", shared, static)
+	}
+}
+
+// TestCellsVisibleOnlyAfterRetire: a FlagStore publishes its value at
+// retirement, not at issue.
+func TestCellsVisibleOnlyAfterRetire(t *testing.T) {
+	const cell = isa.Cell(7)
+	m := New(testConfig())
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		// A long-latency fdiv chain delays retirement of the flag store
+		// behind it.
+		for i := 0; i < 4; i++ {
+			e.ALU(isa.FDiv, isa.F(0), isa.F(0), isa.F(2))
+		}
+		e.SetFlag(cell, 1, isa.CellAddr(cell))
+	}))
+	for m.CellValue(cell) == 0 && !m.Done() {
+		m.Step()
+	}
+	// The four dependent fdivs serialise ≥ 4*38 cycles before the store
+	// can retire.
+	if m.Cycle() < 4*38 {
+		t.Errorf("flag visible at cycle %d, before the fdiv chain (≥152) could retire", m.Cycle())
+	}
+}
+
+// TestSoftwarePrefetchIsNonBlocking: a prefetch instruction completes at
+// AGU latency while its fill proceeds, so a later load to the line hits.
+func TestSoftwarePrefetchIsNonBlocking(t *testing.T) {
+	withPf := func(pf bool) (uint64, uint64) {
+		m := New(testConfig())
+		m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+			if pf {
+				e.Emit(isa.Pf(1<<25, 0))
+			}
+			// Enough independent work to cover the fill latency.
+			for i := 0; i < 400; i++ {
+				e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+			}
+			e.Load(isa.F(0), 1<<25)
+			e.ALU(isa.FAdd, isa.F(1), isa.F(0), isa.F(2))
+		}))
+		if res, err := m.Run(10_000_000); err != nil || !res.Completed {
+			t.Fatalf("err=%v", err)
+		}
+		return m.Cycle(), m.Hierarchy().Thread(0).L2ReadMisses
+	}
+	plainCycles, plainMisses := withPf(false)
+	pfCycles, pfMisses := withPf(true)
+	if pfCycles >= plainCycles {
+		t.Errorf("prefetch did not help: %d vs %d cycles", pfCycles, plainCycles)
+	}
+	// The prefetch takes the (attributed) miss; the demand load hits.
+	if pfMisses < plainMisses {
+		t.Errorf("miss accounting odd: %d vs %d", pfMisses, plainMisses)
+	}
+	// And the prefetch itself must not stall the front end for the fill:
+	// the run is far shorter than fill latency + work.
+	if pfCycles > plainCycles-100 {
+		t.Errorf("prefetch blocked the pipeline: %d vs %d", pfCycles, plainCycles)
+	}
+}
+
+// TestWaitProfileAttribution: wait cycles land on the awaited cell.
+func TestWaitProfileAttribution(t *testing.T) {
+	m := New(testConfig())
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 2000; i++ {
+			e.ALU(isa.FAdd, isa.F(i%6), isa.F(8), isa.F(9))
+		}
+		e.SetFlag(3, 1, isa.CellAddr(3))
+	}))
+	m.LoadProgram(1, trace.Generate(func(e *trace.Emitter) {
+		e.Spin(3, isa.CmpEQ, 1)
+	}))
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	wp := m.WaitProfile()
+	if wp[3] == 0 {
+		t.Fatal("no wait cycles attributed to cell 3")
+	}
+	if len(wp) != 1 {
+		t.Errorf("unexpected cells in profile: %v", wp)
+	}
+}

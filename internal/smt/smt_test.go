@@ -1,0 +1,528 @@
+package smt
+
+import (
+	"errors"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/trace"
+)
+
+// fastMem returns a config with a tiny, fast memory system so arithmetic
+// pipeline behaviour dominates.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Mem.Prefetch = false
+	return cfg
+}
+
+// runSingle executes p alone on context 0 and returns the machine.
+func runSingle(t *testing.T, cfg Config, p trace.Program) *Machine {
+	t.Helper()
+	m := New(cfg)
+	m.LoadProgram(0, p)
+	res, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("program did not complete within cycle budget")
+	}
+	return m
+}
+
+// chainProg emits n dependent ops of class op across k independent chains
+// (the paper's ILP knob: k target registers).
+func chainProg(op isa.Op, n, k int) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		reg := isa.F
+		if !op.IsFP() {
+			reg = isa.R
+		}
+		for i := 0; i < n; i++ {
+			d := reg(i % k)
+			e.ALU(op, d, reg(k+1), reg(k+2)) // sources disjoint from targets
+		}
+	})
+}
+
+func cpi(m *Machine, tid int) float64 {
+	c := m.Counters()
+	instr := c.Get(perfmon.InstrRetired, tid)
+	if instr == 0 {
+		return 0
+	}
+	return float64(c.Get(perfmon.Cycles, tid)) / float64(instr)
+}
+
+func TestSingleThreadRetiresAll(t *testing.T) {
+	const n = 1000
+	m := runSingle(t, testConfig(), chainProg(isa.FAdd, n, 6))
+	c := m.Counters()
+	if got := c.Get(perfmon.InstrRetired, 0); got != n {
+		t.Fatalf("retired %d instructions, want %d", got, n)
+	}
+	if got := c.Get(perfmon.InstrRetired, 1); got != 0 {
+		t.Fatalf("idle context retired %d instructions", got)
+	}
+	if c.Get(perfmon.Cycles, 0) == 0 {
+		t.Fatal("no cycles counted")
+	}
+}
+
+func TestILPKnobFAdd(t *testing.T) {
+	// fadd latency is 5, fully pipelined, one FP port: with 6 chains the
+	// port saturates (CPI→1); with 1 chain every op waits the full
+	// latency (CPI→5).
+	const n = 20_000
+	max := runSingle(t, testConfig(), chainProg(isa.FAdd, n, 6))
+	min := runSingle(t, testConfig(), chainProg(isa.FAdd, n, 1))
+	cpiMax, cpiMin := cpi(max, 0), cpi(min, 0)
+	if cpiMax > 1.3 {
+		t.Errorf("max-ILP fadd CPI = %.2f, want ≈1", cpiMax)
+	}
+	if cpiMin < 4.5 || cpiMin > 5.8 {
+		t.Errorf("min-ILP fadd CPI = %.2f, want ≈5", cpiMin)
+	}
+	if cpiMin <= cpiMax {
+		t.Errorf("min-ILP CPI %.2f not worse than max-ILP %.2f", cpiMin, cpiMax)
+	}
+}
+
+func TestIAddBoundByFrontEnd(t *testing.T) {
+	// Independent iadds: two double-speed ALUs could do 4/cycle, but
+	// alloc/retire width 3 bounds throughput → CPI ≈ 1/3.
+	const n = 30_000
+	m := runSingle(t, testConfig(), chainProg(isa.IAdd, n, 6))
+	got := cpi(m, 0)
+	if got < 0.30 || got > 0.45 {
+		t.Errorf("max-ILP iadd CPI = %.2f, want ≈0.33", got)
+	}
+}
+
+func TestUnpipelinedFDiv(t *testing.T) {
+	// fdiv is unpipelined with latency 38: even with max ILP the unit
+	// recurrence serialises ops → CPI ≈ 38.
+	const n = 2_000
+	m := runSingle(t, testConfig(), chainProg(isa.FDiv, n, 6))
+	got := cpi(m, 0)
+	if got < 35 || got > 42 {
+		t.Errorf("fdiv CPI = %.2f, want ≈38", got)
+	}
+}
+
+func TestLogicalOpsSerialiseOnALU0(t *testing.T) {
+	// Independent ilogic ops all need ALU0: 2/cycle max (double speed),
+	// so CPI ≥ 0.5; independent iadds spread over both ALUs reach the
+	// front-end bound 1/3.
+	const n = 30_000
+	logic := runSingle(t, testConfig(), chainProg(isa.ILogic, n, 6))
+	adds := runSingle(t, testConfig(), chainProg(isa.IAdd, n, 6))
+	cpiL, cpiA := cpi(logic, 0), cpi(adds, 0)
+	if cpiL < 0.48 || cpiL > 0.65 {
+		t.Errorf("ilogic CPI = %.2f, want ≈0.5 (ALU0 only)", cpiL)
+	}
+	if cpiL <= cpiA {
+		t.Errorf("ilogic CPI %.2f should exceed iadd CPI %.2f", cpiL, cpiA)
+	}
+}
+
+func TestDualThreadIAddHalvesThroughput(t *testing.T) {
+	// Front-end-bound streams see ~100% slowdown when co-scheduled (the
+	// paper's iadd×iadd observation: equivalent to serial execution).
+	const n = 30_000
+	solo := runSingle(t, testConfig(), chainProg(isa.IAdd, n, 6))
+	m := New(testConfig())
+	m.LoadProgram(0, chainProg(isa.IAdd, n, 6))
+	m.LoadProgram(1, chainProg(isa.IAdd, n, 6))
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	soloCPI, dualCPI := cpi(solo, 0), cpi(m, 0)
+	slowdown := dualCPI/soloCPI - 1
+	if slowdown < 0.8 || slowdown > 1.3 {
+		t.Errorf("iadd co-execution slowdown = %.0f%%, want ≈100%%", slowdown*100)
+	}
+}
+
+func TestDualThreadMinILPFAddCoexists(t *testing.T) {
+	// Min-ILP fadd streams leave the FP port mostly idle; co-execution
+	// should barely change per-thread CPI (the paper's Figure 1 insight).
+	const n = 20_000
+	solo := runSingle(t, testConfig(), chainProg(isa.FAdd, n, 1))
+	m := New(testConfig())
+	m.LoadProgram(0, chainProg(isa.FAdd, n, 1))
+	m.LoadProgram(1, chainProg(isa.FAdd, n, 1))
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	soloCPI, dualCPI := cpi(solo, 0), cpi(m, 0)
+	if dualCPI > soloCPI*1.15 {
+		t.Errorf("min-ILP fadd dual CPI %.2f vs solo %.2f: should coexist", dualCPI, soloCPI)
+	}
+}
+
+func TestLoadHitLatencyAndMisses(t *testing.T) {
+	cfg := testConfig()
+	// Walk far beyond L2 so every line misses to memory.
+	const lines = 2000
+	p := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < lines; i++ {
+			e.Load(isa.F(i%6), uint64(i)*64+1<<24)
+		}
+	})
+	m := runSingle(t, cfg, p)
+	th := m.Hierarchy().Thread(0)
+	if th.L2Misses != lines {
+		t.Errorf("L2 misses = %d, want %d", th.L2Misses, lines)
+	}
+	c := m.Counters()
+	if c.Get(perfmon.InstrRetired, 0) != lines {
+		t.Errorf("retired %d, want %d", c.Get(perfmon.InstrRetired, 0), lines)
+	}
+}
+
+func TestStoreBufferStalls(t *testing.T) {
+	// A dense store stream that misses L2 keeps store-buffer entries
+	// occupied for the full drain latency, stalling the allocator — the
+	// paper's resource-stall metric.
+	cfg := testConfig()
+	p := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 4000; i++ {
+			e.Store(isa.F(0), uint64(i)*64+1<<26)
+		}
+	})
+	m := runSingle(t, cfg, p)
+	if got := m.Counters().Get(perfmon.ResourceStallCycles, 0); got == 0 {
+		t.Error("expected store-buffer stall cycles for missing store stream")
+	}
+}
+
+func TestFlagStoreSpinHandshake(t *testing.T) {
+	// Context 1 spins until context 0 raises the flag after its work.
+	const cell = isa.Cell(1)
+	producer := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 500; i++ {
+			e.ALU(isa.FAdd, isa.F(0), isa.F(1), isa.F(2))
+		}
+		e.SetFlag(cell, 1, isa.CellAddr(cell))
+	})
+	consumer := trace.Generate(func(e *trace.Emitter) {
+		e.Spin(cell, isa.CmpEQ, 1)
+		for i := 0; i < 100; i++ {
+			e.ALU(isa.FAdd, isa.F(0), isa.F(1), isa.F(2))
+		}
+	})
+	m := New(testConfig())
+	m.LoadProgram(0, producer)
+	m.LoadProgram(1, consumer)
+	res, err := m.Run(10_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("handshake did not complete")
+	}
+	c := m.Counters()
+	if c.Get(perfmon.SpinUopsRetired, 1) == 0 {
+		t.Error("consumer retired no spin µops while waiting")
+	}
+	if c.Get(perfmon.PipelineFlushes, 1) == 0 {
+		t.Error("spin exit did not flush the pipeline")
+	}
+	if c.Get(perfmon.InstrRetired, 1) != 101 { // 100 fadds + flag-spin? no: 100 fadds + the FlagStore? consumer has no flagstore
+		// consumer retires exactly 100 program instructions
+		if c.Get(perfmon.InstrRetired, 1) != 100 {
+			t.Errorf("consumer retired %d program instrs, want 100", c.Get(perfmon.InstrRetired, 1))
+		}
+	}
+	if m.CellValue(cell) != 1 {
+		t.Errorf("cell = %d, want 1", m.CellValue(cell))
+	}
+}
+
+func TestSpinAlreadySatisfiedNoFlush(t *testing.T) {
+	const cell = isa.Cell(2)
+	p := trace.Generate(func(e *trace.Emitter) {
+		e.Spin(cell, isa.CmpEQ, 5)
+		e.ALU(isa.IAdd, isa.R(0), isa.R(1), isa.R(2))
+	})
+	m := New(testConfig())
+	m.SetCell(cell, 5)
+	m.LoadProgram(0, p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.Get(perfmon.PipelineFlushes, 0) != 0 {
+		t.Error("satisfied-on-arrival spin should not flush")
+	}
+	if c.Get(perfmon.SpinUopsRetired, 0) != 0 {
+		t.Error("satisfied-on-arrival spin should retire no spin µops")
+	}
+}
+
+func TestRawSpinConsumesMoreUopsThanPause(t *testing.T) {
+	const cell = isa.Cell(3)
+	mk := func(raw bool) *Machine {
+		producer := trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 3000; i++ {
+				e.ALU(isa.FAdd, isa.F(i%3), isa.F(4), isa.F(5))
+			}
+			e.SetFlag(cell, 1, isa.CellAddr(cell))
+		})
+		waiter := trace.Generate(func(e *trace.Emitter) {
+			if raw {
+				e.RawSpin(cell, isa.CmpEQ, 1)
+			} else {
+				e.Spin(cell, isa.CmpEQ, 1)
+			}
+		})
+		m := New(testConfig())
+		m.LoadProgram(0, producer)
+		m.LoadProgram(1, waiter)
+		if _, err := m.Run(20_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	raw := mk(true)
+	paused := mk(false)
+	rawSpin := raw.Counters().Get(perfmon.SpinUopsRetired, 1)
+	pausedSpin := paused.Counters().Get(perfmon.SpinUopsRetired, 1)
+	if rawSpin <= pausedSpin*2 {
+		t.Errorf("raw spin retired %d µops vs paused %d: pause should throttle the loop hard", rawSpin, pausedSpin)
+	}
+	// And the producer should finish no slower alongside the paused spin.
+	rawCyc := raw.Counters().Get(perfmon.Cycles, 0)
+	pausedCyc := paused.Counters().Get(perfmon.Cycles, 0)
+	if pausedCyc > rawCyc+rawCyc/10 {
+		t.Errorf("producer slower beside paused spin (%d) than raw spin (%d)", pausedCyc, rawCyc)
+	}
+}
+
+func TestHaltReleasesResourcesAndWakes(t *testing.T) {
+	const cell = isa.Cell(4)
+	worker := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 5000; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+		e.SetFlag(cell, 1, isa.CellAddr(cell))
+		for i := 0; i < 100; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	})
+	sleeper := trace.Generate(func(e *trace.Emitter) {
+		e.HaltUntil(cell, isa.CmpEQ, 1)
+		for i := 0; i < 100; i++ {
+			e.ALU(isa.IAdd, isa.R(i%6), isa.R(10), isa.R(11))
+		}
+	})
+	m := New(testConfig())
+	m.LoadProgram(0, worker)
+	m.LoadProgram(1, sleeper)
+	res, err := m.Run(10_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("halt workload did not complete")
+	}
+	c := m.Counters()
+	if c.Get(perfmon.HaltedCycles, 1) == 0 {
+		t.Error("sleeper never counted halted cycles")
+	}
+	if c.Get(perfmon.HaltTransitions, 1) != 1 {
+		t.Errorf("halt transitions = %d, want 1", c.Get(perfmon.HaltTransitions, 1))
+	}
+	if c.Get(perfmon.SpinUopsRetired, 1) != 0 {
+		t.Error("halted context should not retire spin µops")
+	}
+	if c.Get(perfmon.InstrRetired, 1) != 100 {
+		t.Errorf("sleeper retired %d, want 100", c.Get(perfmon.InstrRetired, 1))
+	}
+}
+
+func TestHaltGivesSiblingFullResources(t *testing.T) {
+	// A store-hungry worker should stall less on the store buffer while
+	// its sibling is halted (full 24 entries) than while the sibling
+	// spins (partitioned 12 entries).
+	const cell = isa.Cell(5)
+	mkWorker := func() trace.Program {
+		return trace.Generate(func(e *trace.Emitter) {
+			// Walk a 64 KB region repeatedly: after the first pass the
+			// stores hit L2, where the 20-cycle drain makes store-buffer
+			// depth (12 partitioned vs 24 recombined) the bottleneck —
+			// unlike memory-missing stores, which are MSHR-bound.
+			const lines = 1024
+			for pass := 0; pass < 4; pass++ {
+				for i := 0; i < lines; i++ {
+					e.Store(isa.F(0), uint64(i)*64+1<<26)
+				}
+			}
+			e.SetFlag(cell, 1, isa.CellAddr(cell))
+		})
+	}
+	mk := func(halt bool) uint64 {
+		waiter := trace.Generate(func(e *trace.Emitter) {
+			if halt {
+				e.HaltUntil(cell, isa.CmpEQ, 1)
+			} else {
+				e.Spin(cell, isa.CmpEQ, 1)
+			}
+		})
+		m := New(testConfig())
+		m.LoadProgram(0, mkWorker())
+		m.LoadProgram(1, waiter)
+		if _, err := m.Run(50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters().Get(perfmon.Cycles, 0)
+	}
+	spinCycles := mk(false)
+	haltCycles := mk(true)
+	if haltCycles >= spinCycles {
+		t.Errorf("worker beside halted sibling (%d cycles) not faster than beside spinning sibling (%d)", haltCycles, spinCycles)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	p := trace.Generate(func(e *trace.Emitter) {
+		e.Spin(isa.Cell(9), isa.CmpEQ, 42) // never satisfied
+	})
+	m := New(testConfig())
+	m.LoadProgram(0, p)
+	_, err := m.Run(0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestCycleBudgetStopsForeverStream(t *testing.T) {
+	m := New(testConfig())
+	m.LoadProgram(0, trace.Forever(chainProg(isa.IAdd, 64, 6)))
+	res, err := m.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("forever stream reported completion")
+	}
+	if res.Cycles != 10_000 {
+		t.Fatalf("ran %d cycles, want 10000", res.Cycles)
+	}
+	if m.Counters().Get(perfmon.InstrRetired, 0) == 0 {
+		t.Fatal("nothing retired within budget")
+	}
+}
+
+func TestOnRetireObserver(t *testing.T) {
+	var units []isa.Unit
+	m := New(testConfig())
+	m.OnRetire(func(ri RetireInfo) {
+		if ri.Tid == 0 && !ri.Spin {
+			units = append(units, ri.Unit)
+		}
+	})
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		e.ALU(isa.FAdd, isa.F(0), isa.F(1), isa.F(2))
+		e.ALU(isa.FMul, isa.F(1), isa.F(2), isa.F(3))
+		e.Load(isa.F(2), 64)
+	}))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Unit{isa.UnitFPAdd, isa.UnitFPMul, isa.UnitLoad}
+	if len(units) != len(want) {
+		t.Fatalf("observed %d retires, want %d", len(units), len(want))
+	}
+	for i := range want {
+		if units[i] != want[i] {
+			t.Errorf("retire %d unit = %v, want %v", i, units[i], want[i])
+		}
+	}
+}
+
+func TestStaticPartitioningAblation(t *testing.T) {
+	// With NoStaticPartition, a dual-thread store-heavy workload should
+	// see fewer store-buffer stalls than under static halving.
+	mkProg := func() trace.Program {
+		return trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 2000; i++ {
+				e.Store(isa.F(0), uint64(i)*64+1<<26)
+			}
+		})
+	}
+	run := func(shared bool) uint64 {
+		cfg := testConfig()
+		cfg.NoStaticPartition = shared
+		m := New(cfg)
+		m.LoadProgram(0, mkProg())
+		m.LoadProgram(1, mkProg())
+		if _, err := m.Run(80_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters().Total(perfmon.ResourceStallCycles)
+	}
+	partitioned := run(false)
+	shared := run(true)
+	if shared >= partitioned {
+		t.Errorf("shared buffers stalls (%d) not below partitioned (%d)", shared, partitioned)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.ROB = 125 // odd
+	if err := bad.Validate(); err == nil {
+		t.Error("odd ROB accepted")
+	}
+	bad = DefaultConfig()
+	bad.AllocWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero alloc width accepted")
+	}
+	bad = DefaultConfig()
+	bad.SpinExitFlushPenalty = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative penalty accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestLoadProgramTwicePanics(t *testing.T) {
+	m := New(testConfig())
+	m.LoadProgram(0, trace.Empty())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double LoadProgram did not panic")
+		}
+	}()
+	m.LoadProgram(0, trace.Empty())
+}
+
+func TestUopConservation(t *testing.T) {
+	// Every generated program instruction must retire exactly once.
+	const n = 5000
+	p := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < n; i++ {
+			switch i % 4 {
+			case 0:
+				e.ALU(isa.FAdd, isa.F(i%6), isa.F(7), isa.F(8))
+			case 1:
+				e.Load(isa.F(i%6), uint64(i)*8)
+			case 2:
+				e.Store(isa.F(i%6), uint64(i)*8)
+			case 3:
+				e.ALU(isa.ILogic, isa.R(i%6), isa.R(7), isa.R(8))
+			}
+		}
+	})
+	m := runSingle(t, testConfig(), p)
+	if got := m.Counters().Get(perfmon.InstrRetired, 0); got != n {
+		t.Fatalf("retired %d, want %d (µop conservation violated)", got, n)
+	}
+}

@@ -1,0 +1,20 @@
+package smt
+
+import (
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/trace"
+)
+
+func BenchmarkSimRate(b *testing.B) {
+	m := New(testConfig())
+	m.LoadProgram(0, trace.Forever(chainProg(isa.FAdd, 1024, 6)))
+	m.LoadProgram(1, trace.Forever(chainProg(isa.FMul, 1024, 6)))
+	b.ResetTimer()
+	if _, err := m.Run(uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.Counters().Total(perfmon.UopsRetired))/float64(b.N), "uops/cycle")
+}

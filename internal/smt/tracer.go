@@ -1,0 +1,150 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tracer records per-µop pipeline timestamps from the retirement stream
+// and renders gem5-pipeview-style timelines — the debugging companion of
+// the simulator. Attach it before running; it keeps at most max records
+// (oldest dropped), so tracing long runs stays bounded.
+type Tracer struct {
+	max  int
+	recs []RetireInfo
+	// Chain lets the tracer coexist with another observer (e.g. the
+	// profile collector).
+	chain func(RetireInfo)
+}
+
+// NewTracer builds a tracer bounded to max records (≤ 0 means 4096).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Tracer{max: max}
+}
+
+// Attach installs the tracer as the machine's retirement observer,
+// preserving any observer already installed by chaining to it.
+func (tr *Tracer) Attach(m *Machine) {
+	tr.chain = m.onRetire
+	m.OnRetire(tr.Observe)
+}
+
+// Observe records one retirement.
+func (tr *Tracer) Observe(ri RetireInfo) {
+	if len(tr.recs) == tr.max {
+		copy(tr.recs, tr.recs[1:])
+		tr.recs = tr.recs[:tr.max-1]
+	}
+	tr.recs = append(tr.recs, ri)
+	if tr.chain != nil {
+		tr.chain(ri)
+	}
+}
+
+// Records returns the captured retirements, oldest first.
+func (tr *Tracer) Records() []RetireInfo { return tr.recs }
+
+// Timeline renders the µops retiring in [from, to) as one row each:
+//
+//	c100 [0] load f0 <- [0x40]      A--I===C...R
+//
+// A = allocate, I = issue, C = complete, R = retire; '-' waits in the
+// scheduler, '=' executes, '.' waits for in-order retirement. Spin-loop
+// µops are marked with 's'. Rows are clipped to width columns.
+func (tr *Tracer) Timeline(from, to uint64, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	var b strings.Builder
+	for _, ri := range tr.recs {
+		if ri.Cycle < from || ri.Cycle >= to {
+			continue
+		}
+		marker := ' '
+		if ri.Spin {
+			marker = 's'
+		}
+		fmt.Fprintf(&b, "c%-8d [%d]%c %-28s %s\n",
+			ri.AllocCycle, ri.Tid, marker, clip(ri.Instr.String(), 28),
+			lane(ri, width))
+	}
+	return b.String()
+}
+
+// lane draws one µop's pipeline occupancy.
+func lane(ri RetireInfo, width int) string {
+	span := ri.Cycle - ri.AllocCycle
+	scale := uint64(1)
+	for span/scale >= uint64(width) {
+		scale *= 2
+	}
+	pos := func(c uint64) int { return int((c - ri.AllocCycle) / scale) }
+	buf := make([]byte, pos(ri.Cycle)+1)
+	for i := range buf {
+		buf[i] = '.'
+	}
+	for i := pos(ri.AllocCycle); i < pos(ri.IssueCycle) && i < len(buf); i++ {
+		buf[i] = '-'
+	}
+	for i := pos(ri.IssueCycle); i < pos(ri.CompleteCycle) && i < len(buf); i++ {
+		buf[i] = '='
+	}
+	buf[pos(ri.AllocCycle)] = 'A'
+	if p := pos(ri.IssueCycle); p < len(buf) {
+		buf[p] = 'I'
+	}
+	if p := pos(ri.CompleteCycle); p < len(buf) {
+		buf[p] = 'C'
+	}
+	buf[pos(ri.Cycle)] = 'R'
+	out := string(buf)
+	if scale > 1 {
+		out += fmt.Sprintf("  (1 col = %d cyc)", scale)
+	}
+	return out
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// StageStats summarises where retired µops spent their time: average
+// cycles from allocation to issue (queueing), issue to completion
+// (execution) and completion to retirement (commit wait).
+type StageStats struct {
+	Count       uint64
+	AvgQueue    float64
+	AvgExecute  float64
+	AvgCommit   float64
+	AvgLifetime float64
+}
+
+// Stats aggregates the captured records (spin µops excluded).
+func (tr *Tracer) Stats() StageStats {
+	var s StageStats
+	var q, e, c, l uint64
+	for _, ri := range tr.recs {
+		if ri.Spin {
+			continue
+		}
+		s.Count++
+		q += ri.IssueCycle - ri.AllocCycle
+		e += ri.CompleteCycle - ri.IssueCycle
+		c += ri.Cycle - ri.CompleteCycle
+		l += ri.Cycle - ri.AllocCycle
+	}
+	if s.Count > 0 {
+		n := float64(s.Count)
+		s.AvgQueue = float64(q) / n
+		s.AvgExecute = float64(e) / n
+		s.AvgCommit = float64(c) / n
+		s.AvgLifetime = float64(l) / n
+	}
+	return s
+}

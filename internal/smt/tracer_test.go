@@ -1,0 +1,90 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+func TestTracerCapturesAndBounds(t *testing.T) {
+	m := New(testConfig())
+	tr := NewTracer(8)
+	tr.Attach(m)
+	m.LoadProgram(0, chainProg(isa.FAdd, 50, 6))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("captured %d records, want bounded 8", len(recs))
+	}
+	for _, r := range recs {
+		if r.AllocCycle > r.IssueCycle || r.IssueCycle > r.CompleteCycle || r.CompleteCycle > r.Cycle {
+			t.Fatalf("stage order violated: %+v", r)
+		}
+	}
+}
+
+func TestTracerChainsObservers(t *testing.T) {
+	m := New(testConfig())
+	var chained int
+	m.OnRetire(func(RetireInfo) { chained++ })
+	tr := NewTracer(100)
+	tr.Attach(m)
+	m.LoadProgram(0, chainProg(isa.IAdd, 20, 6))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if chained != 20 {
+		t.Fatalf("chained observer saw %d retires, want 20", chained)
+	}
+	if len(tr.Records()) != 20 {
+		t.Fatalf("tracer saw %d retires, want 20", len(tr.Records()))
+	}
+}
+
+func TestTracerTimelineAndStats(t *testing.T) {
+	m := New(testConfig())
+	tr := NewTracer(0)
+	tr.Attach(m)
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		e.Load(isa.F(0), 1<<24) // cold miss: long execute phase
+		e.ALU(isa.FAdd, isa.F(1), isa.F(0), isa.F(2))
+	}))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Timeline(0, m.Cycle()+1, 64)
+	if !strings.Contains(out, "load") || !strings.Contains(out, "fadd") {
+		t.Fatalf("timeline missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "R") {
+		t.Fatalf("timeline missing stage markers:\n%s", out)
+	}
+	st := tr.Stats()
+	if st.Count != 2 {
+		t.Fatalf("stats count %d, want 2", st.Count)
+	}
+	// The cold-missing load executes for hundreds of cycles.
+	if st.AvgExecute < 50 {
+		t.Errorf("avg execute %.1f, want dominated by the miss", st.AvgExecute)
+	}
+	if st.AvgLifetime < st.AvgExecute {
+		t.Error("lifetime below execute phase")
+	}
+}
+
+func TestTracerTimelineWindowFilter(t *testing.T) {
+	m := New(testConfig())
+	tr := NewTracer(0)
+	tr.Attach(m)
+	m.LoadProgram(0, chainProg(isa.IAdd, 30, 6))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if out := tr.Timeline(1_000_000, 2_000_000, 64); out != "" {
+		t.Errorf("out-of-window timeline not empty:\n%s", out)
+	}
+}

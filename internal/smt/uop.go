@@ -1,0 +1,104 @@
+package smt
+
+import (
+	"smtexplore/internal/isa"
+)
+
+// uop is one in-flight micro-operation. µops live in a per-context reorder
+// ring; they are referenced across structures by uopRef with generation
+// checks, so retirement can recycle slots without dangling dependences.
+type uop struct {
+	gen uint32 // slot generation; bumped on reuse
+	in  isa.Instr
+	seq uint64 // global allocation order, drives oldest-first issue
+
+	issued    bool
+	cancelled bool // flushed spin µop: dependents treat as complete
+	doneAt    uint64
+	allocAt   uint64
+	issueAt   uint64
+
+	port isa.Port
+	unit isa.Unit
+
+	// Dataflow edges captured at allocation: latest older writers of the
+	// two sources (RAW) and of the destination (WAW). The machine has no
+	// rename stage — the paper's ILP knob is architectural-register
+	// pressure, which this models directly.
+	dep1, dep2, depW uopRef
+
+	// retryAt delays re-issue after an MSHR-full rejection.
+	retryAt uint64
+
+	// readyAt memoises the earliest cycle at which all captured
+	// dependences can be complete, discovered lazily as producers issue;
+	// it lets the scheduler scan skip repeated dependence walks.
+	readyAt uint64
+
+	// spin marks µops injected by spin-wait expansion; they are counted
+	// separately and flushed when the wait completes.
+	spin bool
+}
+
+// uopRef is a generation-checked reference to a ROB slot. The zero value
+// is "no dependence".
+type uopRef struct {
+	gen uint32 // 0 = nil reference
+	idx int16
+	tid int8
+}
+
+// rob is a fixed-capacity in-order ring of µops for one context.
+type rob struct {
+	buf   []uop
+	head  int
+	count int
+}
+
+func newROB(capacity int) *rob {
+	return &rob{buf: make([]uop, capacity)}
+}
+
+// push allocates the next slot and returns it with its reference. The
+// caller must have checked occupancy.
+func (r *rob) push() (*uop, uopRef, bool) {
+	if r.count == len(r.buf) {
+		return nil, uopRef{}, false
+	}
+	idx := (r.head + r.count) % len(r.buf)
+	r.count++
+	u := &r.buf[idx]
+	gen := u.gen + 1
+	if gen == 0 { // generation 0 is the nil reference; skip it on wrap
+		gen = 1
+	}
+	*u = uop{gen: gen}
+	return u, uopRef{gen: gen, idx: int16(idx)}, true
+}
+
+// peek returns the oldest µop, if any.
+func (r *rob) peek() *uop {
+	if r.count == 0 {
+		return nil
+	}
+	return &r.buf[r.head]
+}
+
+// pop retires the oldest µop.
+func (r *rob) pop() {
+	if r.count == 0 {
+		panic("smt: pop from empty ROB")
+	}
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+}
+
+// at resolves a slot index to its µop.
+func (r *rob) at(idx int16) *uop { return &r.buf[idx] }
+
+// each visits the in-flight µops oldest-first.
+func (r *rob) each(fn func(*uop)) {
+	for i := 0; i < r.count; i++ {
+		fn(&r.buf[(r.head+i)%len(r.buf)])
+	}
+}

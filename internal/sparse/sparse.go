@@ -1,0 +1,119 @@
+// Package sparse provides the compressed-sparse-row substrate of the CG
+// benchmark: a CSR matrix with a deterministic random sparsity pattern
+// (NAS CG builds its matrix from random sequences; the paper highlights
+// CG's "random memory access patterns"), plus the address geometry the
+// kernel generators need to emit the gather traffic of a sparse
+// matrix-vector product.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row pattern: only the structure is stored —
+// the simulator is address-faithful, not value-faithful.
+type CSR struct {
+	N      int
+	RowPtr []int32 // length N+1
+	Col    []int32 // length NNZ, column indices ascending within a row
+}
+
+// NewRandomCSR builds an n×n pattern with about nnzPerRow nonzeros per row
+// placed uniformly at random (always including the diagonal, as CG's
+// matrix is positive definite), deterministically from seed.
+func NewRandomCSR(n, nnzPerRow int, seed int64) (*CSR, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sparse: n = %d not positive", n)
+	}
+	if nnzPerRow <= 0 || nnzPerRow > n {
+		return nil, fmt.Errorf("sparse: nnzPerRow = %d outside [1, %d]", nnzPerRow, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	cols := make(map[int32]struct{}, nnzPerRow)
+	for i := 0; i < n; i++ {
+		clear(cols)
+		cols[int32(i)] = struct{}{} // diagonal
+		for len(cols) < nnzPerRow {
+			cols[int32(rng.Intn(n))] = struct{}{}
+		}
+		row := make([]int32, 0, len(cols))
+		for cidx := range cols {
+			row = append(row, cidx)
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		c.Col = append(c.Col, row...)
+		c.RowPtr[i+1] = int32(len(c.Col))
+	}
+	return c, nil
+}
+
+// MustRandomCSR is NewRandomCSR panicking on error.
+func MustRandomCSR(n, nnzPerRow int, seed int64) *CSR {
+	c, err := NewRandomCSR(n, nnzPerRow, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NNZ is the number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.Col) }
+
+// Row returns the column indices of row i.
+func (c *CSR) Row(i int) []int32 {
+	return c.Col[c.RowPtr[i]:c.RowPtr[i+1]]
+}
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// ascending columns, diagonal present.
+func (c *CSR) Validate() error {
+	if len(c.RowPtr) != c.N+1 {
+		return fmt.Errorf("sparse: rowptr length %d, want %d", len(c.RowPtr), c.N+1)
+	}
+	if c.RowPtr[0] != 0 || int(c.RowPtr[c.N]) != len(c.Col) {
+		return fmt.Errorf("sparse: rowptr endpoints %d..%d, want 0..%d", c.RowPtr[0], c.RowPtr[c.N], len(c.Col))
+	}
+	for i := 0; i < c.N; i++ {
+		if c.RowPtr[i] > c.RowPtr[i+1] {
+			return fmt.Errorf("sparse: rowptr not monotone at row %d", i)
+		}
+		row := c.Row(i)
+		hasDiag := false
+		for k, col := range row {
+			if col < 0 || int(col) >= c.N {
+				return fmt.Errorf("sparse: row %d col %d out of range", i, col)
+			}
+			if k > 0 && row[k-1] >= col {
+				return fmt.Errorf("sparse: row %d columns not strictly ascending", i)
+			}
+			if int(col) == i {
+				hasDiag = true
+			}
+		}
+		if !hasDiag {
+			return fmt.Errorf("sparse: row %d missing diagonal", i)
+		}
+	}
+	return nil
+}
+
+// Geometry carries the byte addresses of the CSR arrays and the dense
+// vectors of a CG iteration, as placed by the workload's arena.
+type Geometry struct {
+	Val    uint64 // float64[NNZ]
+	Col    uint64 // int32[NNZ]
+	RowPtr uint64 // int32[N+1]
+	X      uint64 // float64[N], gather source
+	Y      uint64 // float64[N], result
+}
+
+// ValAddr, ColAddr, RowPtrAddr, XAddr and YAddr map indices to simulated
+// byte addresses.
+func (g Geometry) ValAddr(k int) uint64    { return g.Val + uint64(k)*8 }
+func (g Geometry) ColAddr(k int) uint64    { return g.Col + uint64(k)*4 }
+func (g Geometry) RowPtrAddr(i int) uint64 { return g.RowPtr + uint64(i)*4 }
+func (g Geometry) XAddr(i int) uint64      { return g.X + uint64(i)*8 }
+func (g Geometry) YAddr(i int) uint64      { return g.Y + uint64(i)*8 }

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomCSRValid(t *testing.T) {
+	c := MustRandomCSR(500, 12, 42)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("generated CSR invalid: %v", err)
+	}
+	if c.NNZ() != 500*12 {
+		t.Fatalf("nnz = %d, want %d", c.NNZ(), 500*12)
+	}
+	for i := 0; i < c.N; i++ {
+		if len(c.Row(i)) != 12 {
+			t.Fatalf("row %d has %d nonzeros, want 12", i, len(c.Row(i)))
+		}
+	}
+}
+
+func TestRandomCSRDeterministic(t *testing.T) {
+	a := MustRandomCSR(200, 8, 7)
+	b := MustRandomCSR(200, 8, 7)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different nnz")
+	}
+	for k := range a.Col {
+		if a.Col[k] != b.Col[k] {
+			t.Fatalf("same seed, different pattern at %d", k)
+		}
+	}
+	c := MustRandomCSR(200, 8, 8)
+	same := true
+	for k := range a.Col {
+		if a.Col[k] != c.Col[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+func TestRandomCSRErrors(t *testing.T) {
+	if _, err := NewRandomCSR(0, 4, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewRandomCSR(10, 0, 1); err == nil {
+		t.Error("nnzPerRow=0 accepted")
+	}
+	if _, err := NewRandomCSR(10, 11, 1); err == nil {
+		t.Error("nnzPerRow>n accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := MustRandomCSR(50, 5, 3)
+	c.Col[0] = 99 // out of range
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	c = MustRandomCSR(50, 5, 3)
+	c.RowPtr[10] = c.RowPtr[11] + 1
+	if err := c.Validate(); err == nil {
+		t.Error("non-monotone rowptr accepted")
+	}
+}
+
+func TestCSRProperty(t *testing.T) {
+	f := func(nSeed, nnzSeed uint8, seed int64) bool {
+		n := 10 + int(nSeed)%100
+		nnz := 1 + int(nnzSeed)%10
+		if nnz > n {
+			nnz = n
+		}
+		c := MustRandomCSR(n, nnz, seed)
+		return c.Validate() == nil && c.NNZ() == n*nnz
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryAddresses(t *testing.T) {
+	g := Geometry{Val: 0x1000, Col: 0x2000, RowPtr: 0x3000, X: 0x4000, Y: 0x5000}
+	if g.ValAddr(2) != 0x1010 {
+		t.Errorf("ValAddr(2) = %#x", g.ValAddr(2))
+	}
+	if g.ColAddr(2) != 0x2008 {
+		t.Errorf("ColAddr(2) = %#x", g.ColAddr(2))
+	}
+	if g.RowPtrAddr(1) != 0x3004 {
+		t.Errorf("RowPtrAddr(1) = %#x", g.RowPtrAddr(1))
+	}
+	if g.XAddr(3) != 0x4018 || g.YAddr(3) != 0x5018 {
+		t.Error("vector addresses wrong")
+	}
+}

@@ -1,0 +1,196 @@
+// Package syncprim provides the user-level synchronisation primitives of
+// the paper (§3.1) as instruction-stream builders: shared flags, spin-wait
+// loops with and without the pause hint, halt-based long-duration waits
+// that relinquish the logical processor's statically partitioned resources,
+// and two-participant sense-reversing barriers in spin and halt flavours.
+//
+// Primitives operate on synchronisation cells — simulated shared words
+// updated at store retirement — and therefore compose with any
+// trace.Program. The barrier implementation generalises the paper's
+// sense-reversing construction with per-participant arrival epochs: a
+// participant publishes its arrival count and waits until its sibling's
+// count reaches the same epoch, which is reuse-safe without a reset phase.
+package syncprim
+
+import (
+	"fmt"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// WaitKind selects how a primitive waits on a condition.
+type WaitKind uint8
+
+const (
+	// SpinPause is the paper's recommended spin-wait loop with the pause
+	// instruction embedded: it de-pipelines the loop, limiting the shared
+	// resources the waiting context consumes.
+	SpinPause WaitKind = iota
+	// SpinRaw is an aggressive spin-wait without pause; it floods the
+	// front end and issue ports — the behaviour §3.1 warns against.
+	SpinRaw
+	// HaltWait puts the logical processor into the halted state via the
+	// paper's kernel extensions: its partitioned resources recombine for
+	// the sibling, and wake-up (IPI) pays a large transition cost. Meant
+	// for long-duration waits.
+	HaltWait
+)
+
+func (k WaitKind) String() string {
+	switch k {
+	case SpinPause:
+		return "spin+pause"
+	case SpinRaw:
+		return "spin"
+	case HaltWait:
+		return "halt"
+	}
+	return fmt.Sprintf("waitkind(%d)", uint8(k))
+}
+
+// emitWait emits the chosen wait flavour on cell cmp val.
+func emitWait(e *trace.Emitter, k WaitKind, cell isa.Cell, cmp isa.CmpKind, val int64) {
+	switch k {
+	case SpinPause:
+		e.Spin(cell, cmp, val)
+	case SpinRaw:
+		e.RawSpin(cell, cmp, val)
+	case HaltWait:
+		e.HaltUntil(cell, cmp, val)
+	default:
+		panic(fmt.Sprintf("syncprim: unknown wait kind %d", uint8(k)))
+	}
+}
+
+// CellAlloc hands out distinct synchronisation cells. Cell 0 is reserved
+// (isa.NoCell), so allocation starts at 1. The zero value is ready to use.
+type CellAlloc struct {
+	next isa.Cell
+}
+
+// New returns a fresh cell.
+func (a *CellAlloc) New() isa.Cell {
+	a.next++
+	return a.next
+}
+
+// Flag is a single shared word used for one-way signalling.
+type Flag struct {
+	cell isa.Cell
+}
+
+// NewFlag allocates a flag from a.
+func NewFlag(a *CellAlloc) Flag { return Flag{cell: a.New()} }
+
+// Cell exposes the underlying cell (for Machine.SetCell initialisation and
+// test inspection).
+func (f Flag) Cell() isa.Cell { return f.cell }
+
+// Set emits a flag store publishing val.
+func (f Flag) Set(e *trace.Emitter, val int64) {
+	e.SetFlag(f.cell, val, isa.CellAddr(f.cell))
+}
+
+// Wait emits a wait of kind k until the flag satisfies cmp val.
+func (f Flag) Wait(e *trace.Emitter, k WaitKind, cmp isa.CmpKind, val int64) {
+	emitWait(e, k, f.cell, cmp, val)
+}
+
+// Barrier is a two-participant sense-reversing barrier. Each participant
+// owns an arrival cell holding its epoch count; crossing the barrier means
+// publishing one's own epoch and waiting until the sibling's epoch catches
+// up. Participants may use different wait flavours — the paper's selective
+// scheme gives the (usually early) precomputation thread a halt-based wait
+// on long-duration barriers while the computation thread keeps a cheap
+// spin.
+type Barrier struct {
+	cells [2]isa.Cell
+}
+
+// NewBarrier allocates a two-participant barrier from a.
+func NewBarrier(a *CellAlloc) *Barrier {
+	return &Barrier{cells: [2]isa.Cell{a.New(), a.New()}}
+}
+
+// Cells exposes the two arrival cells (tests and diagnostics).
+func (b *Barrier) Cells() [2]isa.Cell { return b.cells }
+
+// Participant is one side of a barrier, carrying its arrival epoch. The
+// two participants must be obtained with distinct ids and used by distinct
+// contexts' programs.
+type Participant struct {
+	b     *Barrier
+	me    int
+	kind  WaitKind
+	epoch int64
+}
+
+// Join binds participant id (0 or 1) with wait flavour k.
+func (b *Barrier) Join(id int, k WaitKind) *Participant {
+	if id != 0 && id != 1 {
+		panic(fmt.Sprintf("syncprim: barrier participant id %d", id))
+	}
+	return &Participant{b: b, me: id, kind: k}
+}
+
+// Epoch returns the number of barrier crossings emitted so far.
+func (p *Participant) Epoch() int64 { return p.epoch }
+
+// Arrive emits one barrier crossing: publish the new epoch, then wait for
+// the sibling to reach it.
+func (p *Participant) Arrive(e *trace.Emitter) {
+	p.epoch++
+	own := p.b.cells[p.me]
+	e.SetFlag(own, p.epoch, isa.CellAddr(own))
+	emitWait(e, p.kind, p.b.cells[1-p.me], isa.CmpGE, p.epoch)
+}
+
+// ArriveKind is Arrive with a per-crossing wait flavour override, used by
+// the paper's selective halting: only "long duration" barriers embed the
+// halt machinery.
+func (p *Participant) ArriveKind(e *trace.Emitter, k WaitKind) {
+	p.epoch++
+	own := p.b.cells[p.me]
+	e.SetFlag(own, p.epoch, isa.CellAddr(own))
+	emitWait(e, k, p.b.cells[1-p.me], isa.CmpGE, p.epoch)
+}
+
+// WaitCell returns the cell this participant waits on when crossing the
+// barrier (its sibling's arrival cell) — the key into a Machine's
+// WaitProfile and into a Plan.
+func (p *Participant) WaitCell() isa.Cell { return p.b.cells[1-p.me] }
+
+// ArrivePlanned crosses the barrier using the flavour the plan assigns to
+// this participant's wait cell (falling back to the participant's default
+// kind) — the paper's selective-halting execution step.
+func (p *Participant) ArrivePlanned(e *trace.Emitter, plan Plan) {
+	k := p.kind
+	if plan != nil {
+		if planned, ok := plan[p.WaitCell()]; ok {
+			k = planned
+		}
+	}
+	p.ArriveKind(e, k)
+}
+
+// Plan assigns a wait flavour per synchronisation cell.
+type Plan map[isa.Cell]WaitKind
+
+// PlanFromProfile implements the paper's §3.1 methodology: given the
+// measured per-cell wait cycles of a profiling run, waits that consumed
+// at least threshold cycles in total are marked for halt-based waiting
+// (they are "long duration" — the resources the waiter would burn
+// spinning, or hold partitioned, outweigh the halt/IPI transition cost);
+// everything else keeps the base flavour.
+func PlanFromProfile(profile map[isa.Cell]uint64, threshold uint64, base WaitKind) Plan {
+	plan := make(Plan, len(profile))
+	for cell, cycles := range profile {
+		if cycles >= threshold {
+			plan[cell] = HaltWait
+		} else {
+			plan[cell] = base
+		}
+	}
+	return plan
+}

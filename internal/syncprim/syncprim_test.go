@@ -1,0 +1,265 @@
+package syncprim
+
+import (
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+func TestCellAllocDistinct(t *testing.T) {
+	var a CellAlloc
+	seen := map[isa.Cell]bool{isa.NoCell: true}
+	for i := 0; i < 100; i++ {
+		c := a.New()
+		if seen[c] {
+			t.Fatalf("cell %d handed out twice (or is NoCell)", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestWaitKindStrings(t *testing.T) {
+	for _, k := range []WaitKind{SpinPause, SpinRaw, HaltWait} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestFlagSignalling(t *testing.T) {
+	var a CellAlloc
+	f := NewFlag(&a)
+	producer := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 200; i++ {
+			e.ALU(isa.IAdd, isa.R(0), isa.R(1), isa.R(2))
+		}
+		f.Set(e, 7)
+	})
+	consumer := trace.Generate(func(e *trace.Emitter) {
+		f.Wait(e, SpinPause, isa.CmpEQ, 7)
+		e.ALU(isa.IAdd, isa.R(0), isa.R(1), isa.R(2))
+	})
+	m := smt.New(smt.DefaultConfig())
+	m.LoadProgram(0, producer)
+	m.LoadProgram(1, consumer)
+	res, err := m.Run(5_000_000)
+	if err != nil || !res.Completed {
+		t.Fatalf("run: %v completed=%v", err, res.Completed)
+	}
+	if m.CellValue(f.Cell()) != 7 {
+		t.Errorf("flag cell = %d, want 7", m.CellValue(f.Cell()))
+	}
+}
+
+// barrierProgram emits rounds of work separated by barrier crossings, with
+// each round's first instruction tagged so the test can observe ordering.
+func barrierProgram(p *Participant, rounds, work int, tagBase isa.Tag) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		for r := 0; r < rounds; r++ {
+			e.TaggedLoad(isa.F(0), uint64(r)*64, tagBase+isa.Tag(r))
+			for w := 0; w < work; w++ {
+				e.ALU(isa.FAdd, isa.F(1+w%4), isa.F(6), isa.F(7))
+			}
+			p.Arrive(e)
+		}
+	})
+}
+
+func TestBarrierLockstep(t *testing.T) {
+	for _, kind := range []WaitKind{SpinPause, SpinRaw, HaltWait} {
+		t.Run(kind.String(), func(t *testing.T) {
+			var a CellAlloc
+			b := NewBarrier(&a)
+			const rounds = 5
+			// Asymmetric work: context 1 finishes each round much sooner
+			// and must wait at the barrier.
+			p0 := barrierProgram(b.Join(0, kind), rounds, 400, 100)
+			p1 := barrierProgram(b.Join(1, kind), rounds, 10, 200)
+
+			type arrival struct {
+				tid   int
+				round int
+				cycle uint64
+			}
+			var arrivals []arrival
+			m := smt.New(smt.DefaultConfig())
+			m.OnRetire(func(ri smt.RetireInfo) {
+				if ri.Instr.Tag >= 100 && ri.Instr.Tag < 200 {
+					arrivals = append(arrivals, arrival{ri.Tid, int(ri.Instr.Tag - 100), ri.Cycle})
+				} else if ri.Instr.Tag >= 200 {
+					arrivals = append(arrivals, arrival{ri.Tid, int(ri.Instr.Tag - 200), ri.Cycle})
+				}
+			})
+			m.LoadProgram(0, p0)
+			m.LoadProgram(1, p1)
+			res, err := m.Run(50_000_000)
+			if err != nil || !res.Completed {
+				t.Fatalf("run: err=%v completed=%v", err, res.Completed)
+			}
+
+			// Lockstep property: round r+1 of either context begins only
+			// after round r of *both* contexts began (barriers separate
+			// the rounds; retirement order of the tagged loads witnesses
+			// it).
+			roundStart := map[int]map[int]uint64{0: {}, 1: {}}
+			for _, ar := range arrivals {
+				if _, dup := roundStart[ar.tid][ar.round]; !dup {
+					roundStart[ar.tid][ar.round] = ar.cycle
+				}
+			}
+			for r := 0; r+1 < rounds; r++ {
+				for tid := 0; tid < 2; tid++ {
+					next, ok1 := roundStart[tid][r+1]
+					prev0, ok2 := roundStart[0][r]
+					prev1, ok3 := roundStart[1][r]
+					if !ok1 || !ok2 || !ok3 {
+						t.Fatalf("missing round markers (r=%d tid=%d)", r, tid)
+					}
+					if next < prev0 || next < prev1 {
+						t.Errorf("kind %v: context %d round %d started at %d before both round-%d starts (%d, %d)",
+							kind, tid, r+1, next, r, prev0, prev1)
+					}
+				}
+			}
+
+			// Epoch cells record all crossings.
+			cells := b.Cells()
+			if m.CellValue(cells[0]) != rounds || m.CellValue(cells[1]) != rounds {
+				t.Errorf("epochs = %d/%d, want %d/%d",
+					m.CellValue(cells[0]), m.CellValue(cells[1]), rounds, rounds)
+			}
+		})
+	}
+}
+
+func TestHaltBarrierHaltsEarlyArriver(t *testing.T) {
+	var a CellAlloc
+	b := NewBarrier(&a)
+	const rounds = 3
+	p0 := barrierProgram(b.Join(0, SpinPause), rounds, 3000, 100) // slow worker spins
+	p1 := barrierProgram(b.Join(1, HaltWait), rounds, 5, 200)     // fast helper halts
+	m := smt.New(smt.DefaultConfig())
+	m.LoadProgram(0, p0)
+	m.LoadProgram(1, p1)
+	if res, err := m.Run(80_000_000); err != nil || !res.Completed {
+		t.Fatalf("run: err=%v completed=%v", err, res.Completed)
+	}
+	c := m.Counters()
+	if c.Get(perfmon.HaltedCycles, 1) == 0 {
+		t.Error("early arriver never halted")
+	}
+	if got := c.Get(perfmon.HaltTransitions, 1); got != rounds {
+		t.Errorf("halt transitions = %d, want %d", got, rounds)
+	}
+	if c.Get(perfmon.HaltedCycles, 0) != 0 {
+		t.Error("spinning participant should never halt")
+	}
+}
+
+func TestBarrierJoinValidation(t *testing.T) {
+	var a CellAlloc
+	b := NewBarrier(&a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Join(2) did not panic")
+		}
+	}()
+	b.Join(2, SpinPause)
+}
+
+func TestArriveKindOverride(t *testing.T) {
+	var a CellAlloc
+	b := NewBarrier(&a)
+	p0 := b.Join(0, SpinPause)
+	p1 := b.Join(1, SpinPause)
+	prog := func(p *Participant, haltRound int) trace.Program {
+		return trace.Generate(func(e *trace.Emitter) {
+			for r := 0; r < 3; r++ {
+				e.ALU(isa.IAdd, isa.R(0), isa.R(1), isa.R(2))
+				if r == haltRound {
+					p.ArriveKind(e, HaltWait)
+				} else {
+					p.Arrive(e)
+				}
+			}
+		})
+	}
+	m := smt.New(smt.DefaultConfig())
+	m.LoadProgram(0, prog(p0, -1))
+	m.LoadProgram(1, prog(p1, 1))
+	if res, err := m.Run(50_000_000); err != nil || !res.Completed {
+		t.Fatalf("run: err=%v completed=%v", err, res.Completed)
+	}
+	if p0.Epoch() != 3 || p1.Epoch() != 3 {
+		t.Errorf("epochs %d/%d, want 3/3", p0.Epoch(), p1.Epoch())
+	}
+}
+
+func TestPlanFromProfile(t *testing.T) {
+	profile := map[isa.Cell]uint64{
+		1: 50_000, // long wait → halt
+		2: 100,    // short wait → base
+		3: 10_000, // exactly at threshold → halt
+	}
+	plan := PlanFromProfile(profile, 10_000, SpinPause)
+	if plan[1] != HaltWait {
+		t.Errorf("cell 1 (50k cycles) planned %v, want halt", plan[1])
+	}
+	if plan[2] != SpinPause {
+		t.Errorf("cell 2 (100 cycles) planned %v, want spin+pause", plan[2])
+	}
+	if plan[3] != HaltWait {
+		t.Errorf("cell 3 (at threshold) planned %v, want halt", plan[3])
+	}
+	if len(plan) != 3 {
+		t.Errorf("plan has %d entries", len(plan))
+	}
+}
+
+func TestArrivePlannedUsesPlan(t *testing.T) {
+	var a CellAlloc
+	b := NewBarrier(&a)
+	p0 := b.Join(0, SpinPause)
+	p1 := b.Join(1, SpinPause)
+	// Plan: participant 1's wait cell → halt.
+	plan := Plan{p1.WaitCell(): HaltWait}
+
+	prog := func(p *Participant) trace.Program {
+		return trace.Generate(func(e *trace.Emitter) {
+			e.ALU(isa.IAdd, isa.R(0), isa.R(1), isa.R(2))
+			p.ArrivePlanned(e, plan)
+		})
+	}
+	ins1 := trace.Collect(prog(b.Join(1, SpinPause)))
+	foundHalt := false
+	for _, in := range ins1 {
+		if in.Op == isa.HaltWait {
+			foundHalt = true
+		}
+	}
+	if !foundHalt {
+		t.Error("planned participant did not emit a halt wait")
+	}
+	ins0 := trace.Collect(prog(b.Join(0, SpinPause)))
+	for _, in := range ins0 {
+		if in.Op == isa.HaltWait {
+			t.Error("unplanned participant emitted a halt wait")
+		}
+	}
+	_ = p0
+}
+
+func TestWaitCellIsSiblings(t *testing.T) {
+	var a CellAlloc
+	b := NewBarrier(&a)
+	cells := b.Cells()
+	if b.Join(0, SpinPause).WaitCell() != cells[1] {
+		t.Error("participant 0 should wait on cell 1")
+	}
+	if b.Join(1, SpinPause).WaitCell() != cells[0] {
+		t.Error("participant 1 should wait on cell 0")
+	}
+}

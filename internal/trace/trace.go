@@ -1,0 +1,257 @@
+// Package trace provides the workload representation consumed by the SMT
+// simulator: a Program is a lazily evaluated µop sequence for one hardware
+// context, written as ordinary sequential Go code against an Emitter.
+//
+// Programs are *address-faithful generators*: they produce the exact µop
+// classes, register dependences and byte addresses a kernel would execute,
+// without interpreting data values. Data-dependent control flow — which in
+// the paper's loop-based scientific kernels occurs only at synchronisation
+// points — is expressed through the declarative SpinWait/HaltWait/FlagStore
+// operations interpreted by the simulator, so a Program's instruction
+// sequence is fixed and the simulation fully deterministic.
+package trace
+
+import (
+	"fmt"
+	"iter"
+
+	"smtexplore/internal/isa"
+)
+
+// Program is a lazily generated instruction stream for one hardware
+// context. The simulator pulls µops one at a time; generation cost is
+// incurred on demand so arbitrarily long workloads run in constant memory.
+type Program = iter.Seq[isa.Instr]
+
+// Stream adapts a Program to the pull interface used by the simulator
+// front end. Close must be called when the stream is abandoned before
+// exhaustion (e.g. a bounded measurement window).
+type Stream struct {
+	next func() (isa.Instr, bool)
+	stop func()
+
+	// Generated counts instructions pulled so far.
+	Generated uint64
+	done      bool
+}
+
+// NewStream starts pulling from p.
+func NewStream(p Program) *Stream {
+	next, stop := iter.Pull(p)
+	return &Stream{next: next, stop: stop}
+}
+
+// Next returns the next instruction, or ok=false at end of program.
+func (s *Stream) Next() (isa.Instr, bool) {
+	if s.done {
+		return isa.Instr{}, false
+	}
+	in, ok := s.next()
+	if !ok {
+		s.done = true
+		return isa.Instr{}, false
+	}
+	s.Generated++
+	return in, true
+}
+
+// Done reports whether the program is exhausted.
+func (s *Stream) Done() bool { return s.done }
+
+// Close releases the generator. Safe to call multiple times.
+func (s *Stream) Close() {
+	if !s.done {
+		s.done = true
+	}
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
+
+// Emitter is the DSL handed to workload generator functions. All Emit*
+// methods validate the instruction in debug builds of a program (always —
+// validation is cheap relative to pipeline simulation) and panic with a
+// descriptive message on generator bugs, which tests surface immediately.
+type Emitter struct {
+	yield   func(isa.Instr) bool
+	stopped bool
+	// Count is the number of instructions emitted through this Emitter.
+	Count uint64
+}
+
+// Generate turns a generator function into a Program.
+func Generate(fn func(e *Emitter)) Program {
+	return func(yield func(isa.Instr) bool) {
+		e := &Emitter{yield: yield}
+		fn(e)
+	}
+}
+
+// Stopped reports whether the consumer stopped pulling; generator loops
+// should return promptly once true (Emit keeps discarding after stop, so
+// correctness does not depend on it, but wasted generation does).
+func (e *Emitter) Stopped() bool { return e.stopped }
+
+// Emit yields one instruction.
+func (e *Emitter) Emit(in isa.Instr) {
+	if err := in.Validate(); err != nil {
+		panic(fmt.Sprintf("trace: emitted invalid instruction: %v", err))
+	}
+	if e.stopped {
+		return
+	}
+	e.Count++
+	if !e.yield(in) {
+		e.stopped = true
+	}
+}
+
+// EmitAll yields a sequence of instructions in order.
+func (e *Emitter) EmitAll(ins ...isa.Instr) {
+	for _, in := range ins {
+		e.Emit(in)
+	}
+}
+
+// ALU emits a register-to-register arithmetic µop.
+func (e *Emitter) ALU(op isa.Op, dst, src1, src2 isa.Reg) {
+	e.Emit(isa.ALU(op, dst, src1, src2))
+}
+
+// Load emits a load of addr into dst.
+func (e *Emitter) Load(dst isa.Reg, addr uint64) { e.Emit(isa.Ld(dst, addr)) }
+
+// TaggedLoad emits a load carrying a static-site tag for delinquent-load
+// profiling.
+func (e *Emitter) TaggedLoad(dst isa.Reg, addr uint64, tag isa.Tag) {
+	e.Emit(isa.TaggedLd(dst, addr, tag))
+}
+
+// Store emits a store of src to addr.
+func (e *Emitter) Store(src isa.Reg, addr uint64) { e.Emit(isa.St(src, addr)) }
+
+// Branch emits a loop-closing branch µop.
+func (e *Emitter) Branch() { e.Emit(isa.Instr{Op: isa.Branch}) }
+
+// Nop emits a no-op.
+func (e *Emitter) Nop() { e.Emit(isa.Instr{Op: isa.Nop}) }
+
+// Pause emits the spin-wait hint.
+func (e *Emitter) Pause() { e.Emit(isa.Instr{Op: isa.Pause}) }
+
+// Spin emits a pause-augmented spin wait on cell.
+func (e *Emitter) Spin(cell isa.Cell, cmp isa.CmpKind, val int64) {
+	e.Emit(isa.Spin(cell, cmp, val))
+}
+
+// RawSpin emits a spin wait without the pause hint.
+func (e *Emitter) RawSpin(cell isa.Cell, cmp isa.CmpKind, val int64) {
+	e.Emit(isa.RawSpin(cell, cmp, val))
+}
+
+// HaltUntil emits a halt-based wait on cell.
+func (e *Emitter) HaltUntil(cell isa.Cell, cmp isa.CmpKind, val int64) {
+	e.Emit(isa.Halt(cell, cmp, val))
+}
+
+// SetFlag emits a FlagStore of val to cell backed by address addr.
+func (e *Emitter) SetFlag(cell isa.Cell, val int64, addr uint64) {
+	e.Emit(isa.Flag(cell, val, addr))
+}
+
+// Combinators.
+
+// Empty is the zero-instruction program.
+func Empty() Program { return func(func(isa.Instr) bool) {} }
+
+// Concat runs programs back to back on the same context.
+func Concat(ps ...Program) Program {
+	return func(yield func(isa.Instr) bool) {
+		for _, p := range ps {
+			stopped := false
+			p(func(in isa.Instr) bool {
+				if !yield(in) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+		}
+	}
+}
+
+// Repeat replays p n times. p must be a pure generator (replayable), which
+// all workload generators in this repository are.
+func Repeat(p Program, n int) Program {
+	if n < 0 {
+		panic("trace: Repeat with negative count")
+	}
+	ps := make([]Program, n)
+	for i := range ps {
+		ps[i] = p
+	}
+	return Concat(ps...)
+}
+
+// Forever replays p endlessly; callers bound execution with a measurement
+// window (cycle or instruction budget), as the paper does with its 10 s
+// stream runs.
+func Forever(p Program) Program {
+	return func(yield func(isa.Instr) bool) {
+		for {
+			stopped := false
+			p(func(in isa.Instr) bool {
+				if !yield(in) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+		}
+	}
+}
+
+// Limit truncates p to at most n instructions.
+func Limit(p Program, n uint64) Program {
+	return func(yield func(isa.Instr) bool) {
+		var count uint64
+		p(func(in isa.Instr) bool {
+			if count >= n {
+				return false
+			}
+			count++
+			return yield(in)
+		})
+	}
+}
+
+// Count fully evaluates p and returns its instruction count. Intended for
+// tests and profiling of finite programs.
+func Count(p Program) uint64 {
+	var n uint64
+	p(func(isa.Instr) bool { n++; return true })
+	return n
+}
+
+// Collect fully evaluates p into a slice. Intended for tests on small
+// programs.
+func Collect(p Program) []isa.Instr {
+	var out []isa.Instr
+	p(func(in isa.Instr) bool { out = append(out, in); return true })
+	return out
+}
+
+// Mix counts instructions of p per op class. Intended for tests validating
+// generator instruction mixes against Table 1 targets.
+func Mix(p Program) map[isa.Op]uint64 {
+	m := make(map[isa.Op]uint64)
+	p(func(in isa.Instr) bool { m[in.Op]++; return true })
+	return m
+}

@@ -1,0 +1,94 @@
+package uasm
+
+import (
+	"fmt"
+	"strings"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// Disassemble renders a finite Program back into assembler text that
+// Parse accepts (the round-trip property the tests pin down). Loops are
+// not reconstructed — the expansion is emitted flat — so disassembling is
+// intended for inspection and for materialising generated workloads, not
+// for compression.
+func Disassemble(p trace.Program) (string, error) {
+	var b strings.Builder
+	var derr error
+	p(func(in isa.Instr) bool {
+		line, err := disasmInstr(in)
+		if err != nil {
+			derr = err
+			return false
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+		return true
+	})
+	return b.String(), derr
+}
+
+var arithNames = func() map[isa.Op]string {
+	m := make(map[isa.Op]string, len(arithOps))
+	for name, op := range arithOps {
+		m[op] = name
+	}
+	return m
+}()
+
+func disasmInstr(in isa.Instr) (string, error) {
+	if name, ok := arithNames[in.Op]; ok {
+		return fmt.Sprintf("%s %s, %s, %s", name, regName(in.Dst), regName(in.Src1), regName(in.Src2)), nil
+	}
+	switch in.Op {
+	case isa.Nop:
+		return "nop", nil
+	case isa.Branch:
+		return "branch", nil
+	case isa.Pause:
+		return "pause", nil
+	case isa.Load:
+		s := fmt.Sprintf("load %s, [%#x]", regName(in.Dst), in.Addr)
+		if in.Tag != isa.NoTag {
+			s += fmt.Sprintf(" @%d", in.Tag)
+		}
+		return s, nil
+	case isa.Store:
+		s := fmt.Sprintf("store %s, [%#x]", regName(in.Src1), in.Addr)
+		if in.Tag != isa.NoTag {
+			s += fmt.Sprintf(" @%d", in.Tag)
+		}
+		return s, nil
+	case isa.Prefetch:
+		s := fmt.Sprintf("prefetch [%#x]", in.Addr)
+		if in.Tag != isa.NoTag {
+			s += fmt.Sprintf(" @%d", in.Tag)
+		}
+		return s, nil
+	case isa.FlagStore:
+		return fmt.Sprintf("flag c%d = %d", in.Cell, in.Val), nil
+	case isa.SpinWait:
+		op := "spin"
+		if !in.UsePause {
+			op = "rawspin"
+		}
+		return fmt.Sprintf("%s c%d %s %d", op, in.Cell, in.Cmp, in.Val), nil
+	case isa.HaltWait:
+		return fmt.Sprintf("halt c%d %s %d", in.Cell, in.Cmp, in.Val), nil
+	}
+	return "", fmt.Errorf("uasm: cannot disassemble op %v", in.Op)
+}
+
+// regName renders a register in assembler form. RegNone renders as the
+// placeholder f0 to keep stores of untracked sources parseable; callers
+// never emit it for operands that matter.
+func regName(r isa.Reg) string {
+	switch r.Bank() {
+	case isa.BankInt:
+		return fmt.Sprintf("r%d", int(r)-1)
+	case isa.BankFP:
+		return fmt.Sprintf("f%d", int(r)-1-isa.NumIntRegs)
+	}
+	return "f0"
+}

@@ -1,0 +1,73 @@
+package uasm
+
+import (
+	"strings"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	fadd f0, f1, f2
+	iadd r3, r4, r5
+	load f6, [0x1000] @3
+	store f6, [0x2000]
+	flag c2 = 9
+	spin c2 == 9
+	rawspin c3 != 0
+	halt c4 >= 1
+	branch
+	nop
+	pause
+	`
+	p := MustParse(src)
+	text, err := Disassemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	a, b := trace.Collect(MustParse(src)), trace.Collect(p2)
+	if len(a) != len(b) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("instr %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDisassembleLoopsFlat(t *testing.T) {
+	text, err := Disassemble(MustParse("loop 3\nnop\nend"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(text, "nop") != 3 {
+		t.Fatalf("loop not expanded:\n%s", text)
+	}
+}
+
+func TestDisassembleGeneratedProgram(t *testing.T) {
+	// A Go-generated program materialises to valid assembler.
+	p := trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 4; i++ {
+			e.TaggedLoad(isa.F(i), uint64(i)*64, isa.Tag(i+1))
+			e.ALU(isa.FMul, isa.F(8+i), isa.F(i), isa.F(16))
+		}
+	})
+	text, err := Disassemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("generated text not parseable: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, "@1") {
+		t.Error("tags lost in disassembly")
+	}
+}

@@ -1,0 +1,376 @@
+// Package uasm is a tiny assembler for the simulator's µop vocabulary:
+// it parses human-writable text programs into trace.Programs, so custom
+// workloads can be driven through cmd/smtsim without writing Go.
+//
+// Syntax (one instruction per line; '#' or ';' start a comment):
+//
+//	fadd   f0, f1, f2          # arithmetic: op dst, src1, src2
+//	iadd   r4, r5, r6          # r* integer registers, f* floating point
+//	load   f3, [0x1000]        # memory: byte addresses in [] (hex or dec)
+//	load   f3, [0x1000] @7     # optional static tag for profiling
+//	store  f3, [0x2000]
+//	prefetch [0x3000]          # non-binding software prefetch
+//	branch                     # loop-closing branch
+//	nop
+//	pause                      # spin-wait hint
+//	flag   c1 = 42             # publish 42 to synchronisation cell 1
+//	spin   c1 == 42            # pause-augmented spin-wait (==, !=, >=)
+//	rawspin c1 != 0            # aggressive spin-wait
+//	halt   c1 >= 5             # halt until the condition holds
+//	loop 100                   # repeat the enclosed block 100 times
+//	  fmul f0, f1, f2
+//	end
+//
+// Loops nest. Cell flag stores take their backing address automatically
+// (isa.CellAddr).
+package uasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// stmt is one parsed statement: either an instruction or a loop block.
+type stmt struct {
+	in    isa.Instr
+	block []stmt
+	count int
+	isIns bool
+}
+
+// Parse assembles src into a replayable Program.
+func Parse(src string) (trace.Program, error) {
+	stmts, err := parseBlock(newLexer(src), false)
+	if err != nil {
+		return nil, err
+	}
+	return programOf(stmts), nil
+}
+
+// MustParse is Parse panicking on error, for embedded programs.
+func MustParse(src string) trace.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Count returns the number of instructions src expands to (loops
+// multiplied out).
+func Count(src string) (uint64, error) {
+	stmts, err := parseBlock(newLexer(src), false)
+	if err != nil {
+		return 0, err
+	}
+	return countOf(stmts), nil
+}
+
+func countOf(stmts []stmt) uint64 {
+	var n uint64
+	for _, s := range stmts {
+		if s.isIns {
+			n++
+		} else {
+			n += uint64(s.count) * countOf(s.block)
+		}
+	}
+	return n
+}
+
+func programOf(stmts []stmt) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		emitBlock(e, stmts)
+	})
+}
+
+func emitBlock(e *trace.Emitter, stmts []stmt) {
+	for _, s := range stmts {
+		if e.Stopped() {
+			return
+		}
+		if s.isIns {
+			e.Emit(s.in)
+			continue
+		}
+		for i := 0; i < s.count && !e.Stopped(); i++ {
+			emitBlock(e, s.block)
+		}
+	}
+}
+
+// lexer walks lines with position tracking.
+type lexer struct {
+	lines []string
+	pos   int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{lines: strings.Split(src, "\n")}
+}
+
+// next returns the next non-empty, comment-stripped line.
+func (lx *lexer) next() (line string, num int, ok bool) {
+	for lx.pos < len(lx.lines) {
+		raw := lx.lines[lx.pos]
+		lx.pos++
+		if i := strings.IndexAny(raw, "#;"); i >= 0 {
+			raw = raw[:i]
+		}
+		raw = strings.TrimSpace(raw)
+		if raw != "" {
+			return raw, lx.pos, true
+		}
+	}
+	return "", lx.pos, false
+}
+
+func parseBlock(lx *lexer, inLoop bool) ([]stmt, error) {
+	var out []stmt
+	for {
+		line, num, ok := lx.next()
+		if !ok {
+			if inLoop {
+				return nil, fmt.Errorf("uasm: line %d: unterminated loop (missing end)", num)
+			}
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		op := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+
+		switch op {
+		case "end":
+			if !inLoop {
+				return nil, fmt.Errorf("uasm: line %d: end outside loop", num)
+			}
+			return out, nil
+		case "loop":
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("uasm: line %d: bad loop count %q", num, rest)
+			}
+			body, err := parseBlock(lx, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmt{block: body, count: n})
+		default:
+			in, err := parseInstr(op, rest, num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmt{in: in, isIns: true})
+		}
+	}
+}
+
+var arithOps = map[string]isa.Op{
+	"iadd": isa.IAdd, "isub": isa.ISub, "ilogic": isa.ILogic,
+	"imul": isa.IMul, "idiv": isa.IDiv,
+	"fadd": isa.FAdd, "fsub": isa.FSub, "fmul": isa.FMul,
+	"fdiv": isa.FDiv, "fmove": isa.FMove,
+}
+
+func parseInstr(op, rest string, num int) (isa.Instr, error) {
+	fail := func(format string, args ...any) (isa.Instr, error) {
+		return isa.Instr{}, fmt.Errorf("uasm: line %d: "+format, append([]any{num}, args...)...)
+	}
+
+	if aop, ok := arithOps[op]; ok {
+		regs, err := splitOperands(rest, 3)
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		var r [3]isa.Reg
+		for i, s := range regs {
+			if r[i], err = parseReg(s); err != nil {
+				return fail("%s: %v", op, err)
+			}
+		}
+		in := isa.ALU(aop, r[0], r[1], r[2])
+		if err := in.Validate(); err != nil {
+			return fail("%v", err)
+		}
+		return in, nil
+	}
+
+	switch op {
+	case "nop":
+		return isa.Instr{Op: isa.Nop}, nil
+	case "branch":
+		return isa.Instr{Op: isa.Branch}, nil
+	case "pause":
+		return isa.Instr{Op: isa.Pause}, nil
+
+	case "prefetch":
+		body, tag, err := splitTag(rest)
+		if err != nil {
+			return fail("prefetch: %v", err)
+		}
+		addr, err := parseAddr(body)
+		if err != nil {
+			return fail("prefetch: %v", err)
+		}
+		return isa.Pf(addr, tag), nil
+
+	case "load", "store":
+		body, tag, err := splitTag(rest)
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		parts, err := splitOperands(body, 2)
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		reg, err := parseReg(parts[0])
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		addr, err := parseAddr(parts[1])
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		var in isa.Instr
+		if op == "load" {
+			in = isa.TaggedLd(reg, addr, tag)
+		} else {
+			in = isa.St(reg, addr)
+			in.Tag = tag
+		}
+		if err := in.Validate(); err != nil {
+			return fail("%v", err)
+		}
+		return in, nil
+
+	case "flag":
+		// flag cN = value
+		lhs, rhs, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fail("flag: want cN = value")
+		}
+		cell, err := parseCell(strings.TrimSpace(lhs))
+		if err != nil {
+			return fail("flag: %v", err)
+		}
+		val, err := strconv.ParseInt(strings.TrimSpace(rhs), 0, 64)
+		if err != nil {
+			return fail("flag: bad value %q", strings.TrimSpace(rhs))
+		}
+		return isa.Flag(cell, val, isa.CellAddr(cell)), nil
+
+	case "spin", "rawspin", "halt":
+		cell, cmp, val, err := parseCond(rest)
+		if err != nil {
+			return fail("%s: %v", op, err)
+		}
+		switch op {
+		case "spin":
+			return isa.Spin(cell, cmp, val), nil
+		case "rawspin":
+			return isa.RawSpin(cell, cmp, val), nil
+		default:
+			return isa.Halt(cell, cmp, val), nil
+		}
+	}
+	return fail("unknown instruction %q", op)
+}
+
+// splitOperands splits a comma list, requiring exactly n parts.
+func splitOperands(s string, n int) ([]string, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d operands, got %d", n, len(parts))
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, fmt.Errorf("empty operand %d", i+1)
+		}
+	}
+	return parts, nil
+}
+
+// splitTag strips a trailing "@N" profiling tag.
+func splitTag(s string) (body string, tag isa.Tag, err error) {
+	if i := strings.LastIndex(s, "@"); i >= 0 {
+		n, perr := strconv.ParseUint(strings.TrimSpace(s[i+1:]), 0, 32)
+		if perr != nil {
+			return "", 0, fmt.Errorf("bad tag %q", s[i+1:])
+		}
+		return strings.TrimSpace(s[:i]), isa.Tag(n), nil
+	}
+	return strings.TrimSpace(s), isa.NoTag, nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= isa.NumIntRegs {
+			return isa.RegNone, fmt.Errorf("integer register %q out of range", s)
+		}
+		return isa.R(n), nil
+	case 'f':
+		if n < 0 || n >= isa.NumFPRegs {
+			return isa.RegNone, fmt.Errorf("fp register %q out of range", s)
+		}
+		return isa.F(n), nil
+	}
+	return isa.RegNone, fmt.Errorf("bad register %q", s)
+}
+
+func parseAddr(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("address %q must be bracketed", s)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s[1:len(s)-1]), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return v, nil
+}
+
+func parseCell(s string) (isa.Cell, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "c") {
+		return isa.NoCell, fmt.Errorf("bad cell %q", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 0, 32)
+	if err != nil || n == 0 {
+		return isa.NoCell, fmt.Errorf("bad cell %q (cells are c1, c2, ...)", s)
+	}
+	return isa.Cell(n), nil
+}
+
+func parseCond(s string) (isa.Cell, isa.CmpKind, int64, error) {
+	for _, c := range []struct {
+		tok string
+		cmp isa.CmpKind
+	}{{"==", isa.CmpEQ}, {"!=", isa.CmpNE}, {">=", isa.CmpGE}} {
+		if lhs, rhs, ok := strings.Cut(s, c.tok); ok {
+			cell, err := parseCell(lhs)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			val, err := strconv.ParseInt(strings.TrimSpace(rhs), 0, 64)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("bad comparison value %q", strings.TrimSpace(rhs))
+			}
+			return cell, c.cmp, val, nil
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("want cN ==|!=|>= value, got %q", s)
+}

@@ -1,0 +1,192 @@
+package uasm
+
+import (
+	"strings"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+func TestParseArithmetic(t *testing.T) {
+	p := MustParse(`
+		fadd f0, f1, f2
+		iadd r3, r4, r5
+		fmove f6, f0, f1
+	`)
+	ins := trace.Collect(p)
+	if len(ins) != 3 {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	if ins[0].Op != isa.FAdd || ins[0].Dst != isa.F(0) || ins[0].Src1 != isa.F(1) {
+		t.Errorf("fadd parsed wrong: %v", ins[0])
+	}
+	if ins[1].Op != isa.IAdd || ins[1].Dst != isa.R(3) {
+		t.Errorf("iadd parsed wrong: %v", ins[1])
+	}
+}
+
+func TestParseMemoryAndTags(t *testing.T) {
+	p := MustParse(`
+		load  f1, [0x1000]
+		load  f2, [4096] @9
+		store f1, [0x2000]
+	`)
+	ins := trace.Collect(p)
+	if ins[0].Op != isa.Load || ins[0].Addr != 0x1000 || ins[0].Tag != isa.NoTag {
+		t.Errorf("plain load wrong: %v", ins[0])
+	}
+	if ins[1].Addr != 4096 || ins[1].Tag != 9 {
+		t.Errorf("tagged load wrong: %v", ins[1])
+	}
+	if ins[2].Op != isa.Store || ins[2].Src1 != isa.F(1) {
+		t.Errorf("store wrong: %v", ins[2])
+	}
+}
+
+func TestParseSyncOps(t *testing.T) {
+	p := MustParse(`
+		flag c1 = 42
+		spin c1 == 42
+		rawspin c2 != 0
+		halt c3 >= 5
+		pause
+	`)
+	ins := trace.Collect(p)
+	if ins[0].Op != isa.FlagStore || ins[0].Cell != 1 || ins[0].Val != 42 {
+		t.Errorf("flag wrong: %v", ins[0])
+	}
+	if ins[0].Addr != isa.CellAddr(1) {
+		t.Errorf("flag backing address wrong: %#x", ins[0].Addr)
+	}
+	if ins[1].Op != isa.SpinWait || !ins[1].UsePause || ins[1].Cmp != isa.CmpEQ {
+		t.Errorf("spin wrong: %v", ins[1])
+	}
+	if ins[2].Op != isa.SpinWait || ins[2].UsePause || ins[2].Cmp != isa.CmpNE {
+		t.Errorf("rawspin wrong: %v", ins[2])
+	}
+	if ins[3].Op != isa.HaltWait || ins[3].Cmp != isa.CmpGE || ins[3].Val != 5 {
+		t.Errorf("halt wrong: %v", ins[3])
+	}
+}
+
+func TestLoopsAndNesting(t *testing.T) {
+	src := `
+	loop 3
+	  fadd f0, f1, f2
+	  loop 2
+	    iadd r0, r1, r2
+	  end
+	end
+	nop
+	`
+	n, err := Count(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*(1+2)+1 {
+		t.Fatalf("count = %d, want 10", n)
+	}
+	ins := trace.Collect(MustParse(src))
+	if len(ins) != 10 {
+		t.Fatalf("emitted %d, want 10", len(ins))
+	}
+	if ins[0].Op != isa.FAdd || ins[1].Op != isa.IAdd || ins[2].Op != isa.IAdd || ins[3].Op != isa.FAdd {
+		t.Errorf("loop expansion order wrong: %v %v %v %v", ins[0].Op, ins[1].Op, ins[2].Op, ins[3].Op)
+	}
+	if ins[9].Op != isa.Nop {
+		t.Errorf("trailing nop missing: %v", ins[9])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := MustParse(`
+		# a comment
+		fadd f0, f1, f2   ; trailing comment
+
+		nop # another
+	`)
+	if n := trace.Count(p); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bogus f0, f1, f2":   "unknown instruction",
+		"fadd f0, f1":        "want 3 operands",
+		"fadd r0, f1, f2":    "not an fp register",
+		"load f1, 0x1000":    "must be bracketed",
+		"load f99, [0x10]":   "out of range",
+		"spin c0 == 1":       "bad cell",
+		"spin c1 < 1":        "want cN",
+		"loop x\nnop\nend":   "bad loop count",
+		"loop 2\nnop":        "unterminated loop",
+		"end":                "end outside loop",
+		"flag c1 : 3":        "want cN = value",
+		"load f1, [0x10] @x": "bad tag",
+	}
+	for src, wantErr := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("Parse(%q) error %q, want containing %q", src, err, wantErr)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("Parse(%q) error lacks line number: %q", src, err)
+		}
+	}
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	producer := MustParse(`
+	loop 500
+	  fadd f0, f1, f2
+	end
+	flag c1 = 1
+	`)
+	consumer := MustParse(`
+	spin c1 == 1
+	loop 10
+	  iadd r0, r1, r2
+	end
+	`)
+	m := smt.New(smt.DefaultConfig())
+	m.LoadProgram(0, producer)
+	m.LoadProgram(1, consumer)
+	res, err := m.Run(5_000_000)
+	if err != nil || !res.Completed {
+		t.Fatalf("assembled workload failed: err=%v completed=%v", err, res.Completed)
+	}
+	if m.CellValue(1) != 1 {
+		t.Error("flag not published")
+	}
+}
+
+func TestProgramIsReplayable(t *testing.T) {
+	p := MustParse("loop 5\nnop\nend")
+	if a, b := trace.Count(p), trace.Count(p); a != b || a != 5 {
+		t.Fatalf("replay mismatch: %d vs %d", a, b)
+	}
+}
+
+func TestParsePrefetch(t *testing.T) {
+	ins := trace.Collect(MustParse("prefetch [0x3000]\nprefetch [0x3040] @4"))
+	if ins[0].Op != isa.Prefetch || ins[0].Addr != 0x3000 {
+		t.Errorf("prefetch wrong: %v", ins[0])
+	}
+	if ins[1].Tag != 4 {
+		t.Errorf("tagged prefetch wrong: %v", ins[1])
+	}
+	text, err := Disassemble(MustParse("prefetch [0x3000] @4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("prefetch round-trip failed: %v\n%s", err, text)
+	}
+}
