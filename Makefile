@@ -1,0 +1,33 @@
+# Local mirror of .github/workflows/ci.yml — `make ci` runs the exact
+# gate a PR must pass; the finer targets match the individual CI steps.
+
+GO ?= go
+
+.PHONY: ci build fmt vet test race bench-smoke
+
+ci: build fmt vet test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -timeout 30m ./...
+
+race:
+	$(GO) test -race -timeout 50m ./...
+
+# One end-to-end regeneration of every figure/table, plus the runner's
+# synthetic speedup benchmark (CI uploads the combined log as the
+# bench-smoke artifact).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 40m . | tee bench-smoke.txt
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/runner | tee -a bench-smoke.txt

@@ -8,7 +8,9 @@ package smtexplore_test
 // diffs.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/kernels"
@@ -16,13 +18,16 @@ import (
 	"smtexplore/internal/streams"
 )
 
+// bgCtx is the shared context of the figure benchmarks.
+var bgCtx = context.Background()
+
 // BenchmarkFig1StreamCPI regenerates Figure 1: average CPI of the paper's
 // representative streams under the six TLP×ILP execution modes.
 func BenchmarkFig1StreamCPI(b *testing.B) {
 	var rows []experiments.Fig1Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig1(experiments.StreamMachineConfig(), experiments.Fig1Kinds())
+		rows, err = experiments.Fig1(bgCtx, experiments.DefaultOptions(), experiments.StreamMachineConfig(), experiments.Fig1Kinds())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +48,7 @@ func BenchmarkFig2FPPairs(b *testing.B) {
 	var cells []experiments.Fig2Cell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = experiments.Fig2a(experiments.StreamMachineConfig())
+		cells, err = experiments.Fig2a(bgCtx, experiments.DefaultOptions(), experiments.StreamMachineConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +68,7 @@ func BenchmarkFig2IntPairs(b *testing.B) {
 	var cells []experiments.Fig2Cell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = experiments.Fig2b(experiments.StreamMachineConfig())
+		cells, err = experiments.Fig2b(bgCtx, experiments.DefaultOptions(), experiments.StreamMachineConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +84,7 @@ func BenchmarkFig2IntPairs(b *testing.B) {
 // floating-point arithmetic pairs.
 func BenchmarkFig2MixedPairs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig2c(experiments.StreamMachineConfig()); err != nil {
+		if _, err := experiments.Fig2c(bgCtx, experiments.DefaultOptions(), experiments.StreamMachineConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +117,7 @@ func BenchmarkFig3MM(b *testing.B) {
 	var ms []experiments.KernelMetrics
 	for i := 0; i < b.N; i++ {
 		var err error
-		ms, err = experiments.Fig3MM(experiments.MMSizes())
+		ms, err = experiments.Fig3MM(bgCtx, experiments.DefaultOptions(), experiments.MMSizes())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +130,7 @@ func BenchmarkFig4LU(b *testing.B) {
 	var ms []experiments.KernelMetrics
 	for i := 0; i < b.N; i++ {
 		var err error
-		ms, err = experiments.Fig4LU(experiments.LUSizes())
+		ms, err = experiments.Fig4LU(bgCtx, experiments.DefaultOptions(), experiments.LUSizes())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +143,7 @@ func BenchmarkFig5CG(b *testing.B) {
 	var ms []experiments.KernelMetrics
 	for i := 0; i < b.N; i++ {
 		var err error
-		ms, err = experiments.Fig5CG()
+		ms, err = experiments.Fig5CG(bgCtx, experiments.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +159,7 @@ func BenchmarkFig5BT(b *testing.B) {
 	var ms []experiments.KernelMetrics
 	for i := 0; i < b.N; i++ {
 		var err error
-		ms, err = experiments.Fig5BT()
+		ms, err = experiments.Fig5BT(bgCtx, experiments.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +176,7 @@ func BenchmarkTable1Mix(b *testing.B) {
 	var cols []experiments.Table1Column
 	for i := 0; i < b.N; i++ {
 		var err error
-		cols, err = experiments.Table1()
+		cols, err = experiments.Table1(bgCtx, experiments.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +194,7 @@ func BenchmarkAblationSync(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.AblateSync()
+		rows, err = experiments.AblateSync(bgCtx, experiments.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +207,7 @@ func BenchmarkAblationSync(b *testing.B) {
 // BenchmarkAblationSpan regenerates the §3.2 precomputation-span sweep.
 func BenchmarkAblationSpan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblateSpan(); err != nil {
+		if _, err := experiments.AblateSpan(bgCtx, experiments.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,10 +216,31 @@ func BenchmarkAblationSpan(b *testing.B) {
 // BenchmarkAblationPartition regenerates the §5.3 partitioning contrast.
 func BenchmarkAblationPartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AblatePartition(); err != nil {
+		if _, err := experiments.AblatePartition(bgCtx, experiments.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFigRegenSpeedup regenerates Figure 2(a) twice — strictly
+// serially (one worker, no cache) and with the default concurrent
+// options — and reports the wall-clock speedup of the parallel+cached
+// path. On an N-core machine the fan-out contributes up to ×N; the
+// result cache contributes its hit savings even on one core.
+func BenchmarkFigRegenSpeedup(b *testing.B) {
+	run := func(opt experiments.Options) time.Duration {
+		start := time.Now()
+		if _, err := experiments.Fig2a(bgCtx, opt, experiments.StreamMachineConfig()); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += run(experiments.Options{Workers: 1, Cache: nil})
+		parallel += run(experiments.DefaultOptions())
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }
 
 // BenchmarkSelectiveHalt regenerates the §3.1 selective-halting two-pass
@@ -223,7 +249,7 @@ func BenchmarkSelectiveHalt(b *testing.B) {
 	var r experiments.SelectiveHaltResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = experiments.SelectiveHaltLU(64)
+		r, err = experiments.SelectiveHaltLU(bgCtx, experiments.DefaultOptions(), 64)
 		if err != nil {
 			b.Fatal(err)
 		}

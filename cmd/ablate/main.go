@@ -5,24 +5,41 @@
 //
 // Usage:
 //
-//	ablate -study sync|span|partition|all
+//	ablate -study sync|span|partition|selective|all
+//	ablate -workers 4      # bound the concurrent simulation cells
+//
+// Simulation cells fan out over -workers (default: all cores); one
+// result cache spans the invocation, so configurations repeated across
+// studies (e.g. the default MM prefetch cell) simulate once. Output is
+// byte-identical to -workers 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"smtexplore/internal/experiments"
+	"smtexplore/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablate: ")
 	study := flag.String("study", "all", "study to run: sync, span, partition, selective or all")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "ablate: invalid -workers %d (must be >= 1)\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
+	ctx := context.Background()
+	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache()}
 	run := func(name string) {
 		var rows []experiments.AblationRow
 		var title string
@@ -30,15 +47,15 @@ func main() {
 		switch name {
 		case "sync":
 			title = "Ablation §3.1 — wait primitive of the MM prefetcher"
-			rows, err = experiments.AblateSync()
+			rows, err = experiments.AblateSync(ctx, opt)
 		case "span":
 			title = "Ablation §3.2 — precomputation span of the MM prefetcher"
-			rows, err = experiments.AblateSpan()
+			rows, err = experiments.AblateSpan(ctx, opt)
 		case "partition":
 			title = "Ablation §5.3 — static partitioning vs fully shared buffers"
-			rows, err = experiments.AblatePartition()
+			rows, err = experiments.AblatePartition(ctx, opt)
 		case "selective":
-			r, serr := experiments.SelectiveHaltLU(64)
+			r, serr := experiments.SelectiveHaltLU(ctx, opt, 64)
 			if serr != nil {
 				log.Fatal(serr)
 			}

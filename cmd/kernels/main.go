@@ -11,15 +11,23 @@
 //	kernels -bench bt         # Figure 5, BT panels
 //	kernels -bench all        # all figures
 //	kernels -table 1          # Table 1
+//	kernels -workers 4        # bound the concurrent simulation cells
+//
+// Simulation cells fan out over -workers (default: all cores); one
+// result cache spans the invocation. Output is byte-identical to
+// -workers 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"smtexplore/internal/experiments"
+	"smtexplore/internal/runner"
 )
 
 func main() {
@@ -27,35 +35,43 @@ func main() {
 	log.SetPrefix("kernels: ")
 	bench := flag.String("bench", "", "benchmark figure to regenerate: mm, lu, cg, bt or all")
 	table := flag.Int("table", 0, "table to regenerate (1)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "kernels: invalid -workers %d (must be >= 1)\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *bench == "" && *table == 0 {
 		*bench = "all"
 		*table = 1
 	}
 
+	ctx := context.Background()
+	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache()}
 	run := func(name string) {
 		switch name {
 		case "mm":
-			ms, err := experiments.Fig3MM(experiments.MMSizes())
+			ms, err := experiments.Fig3MM(ctx, opt, experiments.MMSizes())
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", ms))
 		case "lu":
-			ms, err := experiments.Fig4LU(experiments.LUSizes())
+			ms, err := experiments.Fig4LU(ctx, opt, experiments.LUSizes())
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatKernelFigure("Figure 4 — LU decomposition", ms))
 		case "cg":
-			ms, err := experiments.Fig5CG()
+			ms, err := experiments.Fig5CG(ctx, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS CG", ms))
 		case "bt":
-			ms, err := experiments.Fig5BT()
+			ms, err := experiments.Fig5BT(ctx, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -79,7 +95,7 @@ func main() {
 	}
 
 	if *table == 1 {
-		cols, err := experiments.Table1()
+		cols, err := experiments.Table1(ctx, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,12 +7,20 @@
 //	report            # full collection (several minutes of simulation)
 //	report -quick     # smaller kernel instances, streams/ablations skipped
 //	report -verbose   # additionally print every figure and table
+//	report -workers 4 # bound the concurrent simulation cells
+//
+// Simulation cells fan out over -workers (default: all cores); one
+// result cache spans the whole collection. Output is byte-identical to
+// -workers 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/report"
@@ -23,19 +31,26 @@ func main() {
 	log.SetPrefix("report: ")
 	quick := flag.Bool("quick", false, "reduced collection: small kernels, no streams/ablations")
 	verbose := flag.Bool("verbose", false, "also print the collected figures and tables")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "report: invalid -workers %d (must be >= 1)\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	opt := report.Options{}
+	opt := report.Options{Workers: *workers}
 	if *quick {
 		opt = report.Options{
 			MMSizes:       []int{32, 64},
 			LUSizes:       []int{32, 64},
 			SkipStreams:   true,
 			SkipAblations: true,
+			Workers:       *workers,
 		}
 	}
 
-	d, err := report.Collect(opt)
+	d, err := report.Collect(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,12 +7,19 @@
 //
 //	sensitivity                       # MM tlp-coarse under the default sweep
 //	sensitivity -kernel cg -mode tlp-pfetch
+//	sensitivity -workers 4            # bound the concurrent sweep points
+//
+// Sweep points fan out over -workers (default: all cores). Output is
+// byte-identical to -workers 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	"smtexplore/internal/core"
 	"smtexplore/internal/experiments"
@@ -25,7 +32,13 @@ func main() {
 	kernel := flag.String("kernel", "mm", "benchmark: mm, lu, cg, bt")
 	modeName := flag.String("mode", "tlp-coarse", "execution mode")
 	size := flag.Int("size", 64, "problem size for mm/lu (ignored otherwise)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (must be >= 1)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "sensitivity: invalid -workers %d (must be >= 1)\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var b core.Benchmark
 	switch *kernel {
@@ -51,7 +64,8 @@ func main() {
 		log.Fatalf("unknown mode %q", *modeName)
 	}
 
-	points, err := experiments.Sensitivity(func() (experiments.Builder, error) {
+	opt := experiments.Options{Workers: *workers}
+	points, err := experiments.Sensitivity(context.Background(), opt, func() (experiments.Builder, error) {
 		return core.NewBuilder(b, *size)
 	}, mode, experiments.DefaultVariants())
 	if err != nil {

@@ -9,15 +9,23 @@
 //	streams -fig 2b         # int × int slowdown matrix
 //	streams -fig 2c         # fp-arith × int-arith matrix
 //	streams -fig all        # everything
+//	streams -workers 4      # bound the concurrent simulation cells
+//
+// Simulation cells fan out over -workers (default: all cores); one
+// result cache spans the invocation, so baselines shared between
+// figures simulate once. Output is byte-identical to -workers 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"smtexplore/internal/experiments"
+	"smtexplore/internal/runner"
 	"smtexplore/internal/streams"
 )
 
@@ -26,8 +34,16 @@ func main() {
 	log.SetPrefix("streams: ")
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c or all")
 	full := flag.Bool("full", false, "Figure 1 over all stream kinds, not just the paper's selection")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "streams: invalid -workers %d (must be >= 1)\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
+	ctx := context.Background()
+	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache()}
 	mcfg := experiments.StreamMachineConfig()
 	run := func(name string) {
 		switch name {
@@ -36,25 +52,25 @@ func main() {
 			if *full {
 				kinds = streams.All()
 			}
-			rows, err := experiments.Fig1(mcfg, kinds)
+			rows, err := experiments.Fig1(ctx, opt, mcfg, kinds)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatFig1(rows))
 		case "2a":
-			cells, err := experiments.Fig2a(mcfg)
+			cells, err := experiments.Fig2a(ctx, opt, mcfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatFig2("Figure 2(a) — floating-point streams", cells))
 		case "2b":
-			cells, err := experiments.Fig2b(mcfg)
+			cells, err := experiments.Fig2b(ctx, opt, mcfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Print(experiments.FormatFig2("Figure 2(b) — integer streams", cells))
 		case "2c":
-			cells, err := experiments.Fig2c(mcfg)
+			cells, err := experiments.Fig2c(ctx, opt, mcfg)
 			if err != nil {
 				log.Fatal(err)
 			}

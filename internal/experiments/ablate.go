@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"smtexplore/internal/kernels"
 	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/runner"
 	"smtexplore/internal/syncprim"
 )
 
@@ -21,79 +23,82 @@ type AblationRow struct {
 // waits at every span): an aggressive spin-wait, the pause-augmented spin
 // the paper recommends, and the halt-based wait that relinquishes the
 // partitioned resources.
-func AblateSync() ([]AblationRow, error) {
-	var out []AblationRow
-	for _, kind := range []syncprim.WaitKind{syncprim.SpinRaw, syncprim.SpinPause, syncprim.HaltWait} {
+func AblateSync(ctx context.Context, opt Options) ([]AblationRow, error) {
+	kinds := []syncprim.WaitKind{syncprim.SpinRaw, syncprim.SpinPause, syncprim.HaltWait}
+	mcfg := KernelMachineConfig()
+	return runner.Map(ctx, opt.Workers, kinds, func(_ context.Context, kind syncprim.WaitKind) (AblationRow, error) {
 		cfg := mm.DefaultConfig(64)
 		cfg.PrefetchWait = kind
-		k, err := mm.New(cfg)
+		met, err := opt.runKernel(
+			runner.Key("kernel", mcfg, "mm", cfg, kernels.TLPPfetch, "mm N=64"),
+			func() (Builder, error) { return mm.New(cfg) },
+			kernels.TLPPfetch, mcfg, "mm N=64")
 		if err != nil {
-			return nil, err
+			return AblationRow{}, fmt.Errorf("ablate sync %v: %w", kind, err)
 		}
-		met, err := RunKernel(k, kernels.TLPPfetch, KernelMachineConfig(), "mm N=64")
-		if err != nil {
-			return nil, fmt.Errorf("ablate sync %v: %w", kind, err)
-		}
-		out = append(out, AblationRow{Study: "sync", Variant: kind.String(), Metrics: met})
-	}
-	return out, nil
+		return AblationRow{Study: "sync", Variant: kind.String(), Metrics: met}, nil
+	})
 }
 
 // AblateSpan sweeps the precomputation-span size of the MM SPR scheme
 // (§3.2: the span must be large enough to stay ahead but small enough that
 // prefetched lines survive until consumed; the paper bounds it between
 // 1/A and 1/2 of the L2 capacity).
-func AblateSpan() ([]AblationRow, error) {
-	var out []AblationRow
-	for _, span := range []int{1, 2, 4, 8, 16} {
+func AblateSpan(ctx context.Context, opt Options) ([]AblationRow, error) {
+	mcfg := KernelMachineConfig()
+	return runner.Map(ctx, opt.Workers, []int{1, 2, 4, 8, 16}, func(_ context.Context, span int) (AblationRow, error) {
 		cfg := mm.DefaultConfig(64)
 		cfg.SpanSteps = span
-		k, err := mm.New(cfg)
+		met, err := opt.runKernel(
+			runner.Key("kernel", mcfg, "mm", cfg, kernels.TLPPfetch, "mm N=64"),
+			func() (Builder, error) { return mm.New(cfg) },
+			kernels.TLPPfetch, mcfg, "mm N=64")
 		if err != nil {
-			return nil, err
+			return AblationRow{}, fmt.Errorf("ablate span %d: %w", span, err)
 		}
-		met, err := RunKernel(k, kernels.TLPPfetch, KernelMachineConfig(), "mm N=64")
-		if err != nil {
-			return nil, fmt.Errorf("ablate span %d: %w", span, err)
-		}
-		out = append(out, AblationRow{
+		return AblationRow{
 			Study:   "span",
 			Variant: fmt.Sprintf("%d steps (%d KB)", span, span*2*2048/1024),
 			Metrics: met,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // AblatePartition contrasts the statically partitioned buffers of the
 // hyper-threaded core against a hypothetical fully shared organisation
 // (§5.3 blames static partitioning for much of the observed contention).
-func AblatePartition() ([]AblationRow, error) {
-	var out []AblationRow
+func AblatePartition(ctx context.Context, opt Options) ([]AblationRow, error) {
+	type cell struct {
+		shared bool
+		mode   kernels.Mode
+	}
+	var cells []cell
 	for _, shared := range []bool{false, true} {
-		mcfg := KernelMachineConfig()
-		mcfg.NoStaticPartition = shared
-		variant := "static (halved per thread)"
-		if shared {
-			variant = "fully shared"
-		}
 		for _, mode := range []kernels.Mode{kernels.TLPCoarse, kernels.TLPPfetch} {
-			k, err := mm.New(mm.DefaultConfig(64))
-			if err != nil {
-				return nil, err
-			}
-			met, err := RunKernel(k, mode, mcfg, "mm N=64")
-			if err != nil {
-				return nil, fmt.Errorf("ablate partition %v/%v: %w", shared, mode, err)
-			}
-			out = append(out, AblationRow{
-				Study:   "partition",
-				Variant: fmt.Sprintf("%s, %v", variant, mode),
-				Metrics: met,
-			})
+			cells = append(cells, cell{shared, mode})
 		}
 	}
-	return out, nil
+	return runner.Map(ctx, opt.Workers, cells, func(_ context.Context, c cell) (AblationRow, error) {
+		mcfg := KernelMachineConfig()
+		mcfg.NoStaticPartition = c.shared
+		variant := "static (halved per thread)"
+		if c.shared {
+			variant = "fully shared"
+		}
+		cfg := mm.DefaultConfig(64)
+		met, err := opt.runKernel(
+			runner.Key("kernel", mcfg, "mm", cfg, c.mode, "mm N=64"),
+			func() (Builder, error) { return mm.New(cfg) },
+			c.mode, mcfg, "mm N=64")
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("ablate partition %v/%v: %w", c.shared, c.mode, err)
+		}
+		return AblationRow{
+			Study:   "partition",
+			Variant: fmt.Sprintf("%s, %v", variant, c.mode),
+			Metrics: met,
+		}, nil
+	})
 }
 
 // FormatAblation renders ablation rows.

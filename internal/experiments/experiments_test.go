@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestMeasureCPIValidation(t *testing.T) {
 }
 
 func TestFig1ShapesMatchPaper(t *testing.T) {
-	rows, err := Fig1(StreamMachineConfig(), []streams.Kind{streams.FAddS, streams.IAddS, streams.ILoadS})
+	rows, err := Fig1(context.Background(), DefaultOptions(), StreamMachineConfig(), []streams.Kind{streams.FAddS, streams.IAddS, streams.ILoadS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFig1ShapesMatchPaper(t *testing.T) {
 }
 
 func TestFig2FPPanelShapes(t *testing.T) {
-	cells, err := Fig2(StreamMachineConfig(),
+	cells, err := Fig2(context.Background(), DefaultOptions(), StreamMachineConfig(),
 		[]streams.Kind{streams.FAddS, streams.FDivS},
 		[]streams.Kind{streams.FAddS, streams.FMulS, streams.FDivS})
 	if err != nil {
@@ -120,7 +121,7 @@ func TestFig2FPPanelShapes(t *testing.T) {
 }
 
 func TestFig2IntPanelShapes(t *testing.T) {
-	cells, err := Fig2(StreamMachineConfig(),
+	cells, err := Fig2(context.Background(), DefaultOptions(), StreamMachineConfig(),
 		[]streams.Kind{streams.IAddS, streams.IMulS},
 		[]streams.Kind{streams.IAddS, streams.IMulS})
 	if err != nil {
@@ -196,7 +197,7 @@ func TestFormatFig1AndFig2(t *testing.T) {
 }
 
 func TestSelectiveHaltLU(t *testing.T) {
-	r, err := SelectiveHaltLU(64)
+	r, err := SelectiveHaltLU(context.Background(), DefaultOptions(), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestSensitivitySweep(t *testing.T) {
 		DefaultVariants()[0], // baseline
 		{"alloc-width", "2", func(c *smt.Config) { c.AllocWidth = 2; c.RetireWidth = 2 }},
 	}
-	points, err := Sensitivity(func() (Builder, error) {
+	points, err := Sensitivity(context.Background(), DefaultOptions(), func() (Builder, error) {
 		return mm.New(mm.DefaultConfig(32))
 	}, kernels.TLPCoarse, variants)
 	if err != nil {
@@ -243,7 +244,7 @@ func TestSensitivitySweep(t *testing.T) {
 }
 
 func TestSensitivityRejectsInvalidVariant(t *testing.T) {
-	_, err := Sensitivity(func() (Builder, error) {
+	_, err := Sensitivity(context.Background(), DefaultOptions(), func() (Builder, error) {
 		return mm.New(mm.DefaultConfig(32))
 	}, kernels.Serial, []Variant{{"bad", "rob=0", func(c *smt.Config) { c.ROB = 0 }}})
 	if err == nil {
@@ -252,14 +253,14 @@ func TestSensitivityRejectsInvalidVariant(t *testing.T) {
 }
 
 func TestFigureSweepsSmall(t *testing.T) {
-	ms, err := Fig3MM([]int{32})
+	ms, err := Fig3MM(context.Background(), DefaultOptions(), []int{32})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ms) != 6 { // six MM modes including serial+pf
 		t.Fatalf("fig3 rows = %d, want 6", len(ms))
 	}
-	lu, err := Fig4LU([]int{32})
+	lu, err := Fig4LU(context.Background(), DefaultOptions(), []int{32})
 	if err != nil {
 		t.Fatal(err)
 	}

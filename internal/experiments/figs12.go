@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smtexplore/internal/perfmon"
+	"smtexplore/internal/runner"
 	"smtexplore/internal/smt"
 	"smtexplore/internal/streams"
 )
@@ -59,25 +61,39 @@ func MeasureCPI(mcfg smt.Config, specs []streams.Spec, window uint64) ([]float64
 
 // Fig1 measures the Figure 1 matrix: for each stream and ILP degree, the
 // single-threaded CPI and the per-thread CPI when two copies co-execute.
-func Fig1(mcfg smt.Config, kinds []streams.Kind) ([]Fig1Row, error) {
-	var rows []Fig1Row
+// Cells fan out over opt.Workers simulations; rows come back in the
+// paper's presentation order regardless of completion order.
+func Fig1(ctx context.Context, opt Options, mcfg smt.Config, kinds []streams.Kind) ([]Fig1Row, error) {
+	type cell struct {
+		kind    streams.Kind
+		ilp     streams.ILP
+		threads int
+	}
+	var cells []cell
 	for _, k := range kinds {
 		for _, ilp := range streams.Levels() {
-			solo, err := MeasureCPI(mcfg, []streams.Spec{{Kind: k, ILP: ilp}}, StreamWindowCycles)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %v/%v solo: %w", k, ilp, err)
-			}
-			rows = append(rows, Fig1Row{Stream: k, ILP: ilp, Threads: 1, CPI: solo[0]})
-			duo, err := MeasureCPI(mcfg, []streams.Spec{
-				{Kind: k, ILP: ilp}, {Kind: k, ILP: ilp},
-			}, StreamWindowCycles)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %v/%v duo: %w", k, ilp, err)
-			}
-			rows = append(rows, Fig1Row{Stream: k, ILP: ilp, Threads: 2, CPI: (duo[0] + duo[1]) / 2})
+			cells = append(cells, cell{k, ilp, 1}, cell{k, ilp, 2})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opt.Workers, cells, func(_ context.Context, c cell) (Fig1Row, error) {
+		specs := make([]streams.Spec, c.threads)
+		for i := range specs {
+			specs[i] = streams.Spec{Kind: c.kind, ILP: c.ilp}
+		}
+		cpi, err := opt.measureCPI(mcfg, specs, StreamWindowCycles)
+		if err != nil {
+			word := "solo"
+			if c.threads == 2 {
+				word = "duo"
+			}
+			return Fig1Row{}, fmt.Errorf("fig1 %v/%v %s: %w", c.kind, c.ilp, word, err)
+		}
+		avg := cpi[0]
+		if c.threads == 2 {
+			avg = (cpi[0] + cpi[1]) / 2
+		}
+		return Fig1Row{Stream: c.kind, ILP: c.ilp, Threads: c.threads, CPI: avg}, nil
+	})
 }
 
 // Fig2Cell is one point of Figure 2: the slowdown factor of Subject when
@@ -94,41 +110,66 @@ type Fig2Cell struct {
 
 // Fig2 measures the pairwise co-execution matrix over the given subject
 // and partner stream sets (Figure 2a: FP×FP; 2b: int×int; 2c: int×fp
-// arithmetic).
-func Fig2(mcfg smt.Config, subjects, partners []streams.Kind) ([]Fig2Cell, error) {
-	solo := map[[2]int]float64{}
+// arithmetic). Solo baselines fan out first (one per kind×ILP — they
+// are also the divisors of every matrix cell), then the pairwise duos.
+// Duo cells are keyed on the *ordered* pair: the simulated core is not
+// exactly symmetric in its hardware-context index, so (a,b) and (b,a)
+// are distinct simulations, exactly as in the serial sweep.
+func Fig2(ctx context.Context, opt Options, mcfg smt.Config, subjects, partners []streams.Kind) ([]Fig2Cell, error) {
+	type soloCell struct {
+		kind streams.Kind
+		ilp  streams.ILP
+	}
+	var soloCells []soloCell
 	for _, ilp := range streams.Levels() {
 		for _, k := range allKindsUnion(subjects, partners) {
-			c, err := MeasureCPI(mcfg, []streams.Spec{{Kind: k, ILP: ilp}}, StreamWindowCycles)
-			if err != nil {
-				return nil, fmt.Errorf("fig2 solo %v/%v: %w", k, ilp, err)
-			}
-			solo[[2]int{int(k), int(ilp)}] = c[0]
+			soloCells = append(soloCells, soloCell{k, ilp})
 		}
 	}
-	var cells []Fig2Cell
+	soloCPI, err := runner.Map(ctx, opt.Workers, soloCells, func(_ context.Context, c soloCell) (float64, error) {
+		cpi, err := opt.measureCPI(mcfg, []streams.Spec{{Kind: c.kind, ILP: c.ilp}}, StreamWindowCycles)
+		if err != nil {
+			return 0, fmt.Errorf("fig2 solo %v/%v: %w", c.kind, c.ilp, err)
+		}
+		return cpi[0], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	solo := map[[2]int]float64{}
+	for i, c := range soloCells {
+		solo[[2]int{int(c.kind), int(c.ilp)}] = soloCPI[i]
+	}
+
+	type duoCell struct {
+		subj, part streams.Kind
+		ilp        streams.ILP
+	}
+	var duoCells []duoCell
 	for _, ilp := range streams.Levels() {
 		for _, subj := range subjects {
 			for _, part := range partners {
-				duo, err := MeasureCPI(mcfg, []streams.Spec{
-					{Kind: subj, ILP: ilp}, {Kind: part, ILP: ilp},
-				}, StreamWindowCycles)
-				if err != nil {
-					return nil, fmt.Errorf("fig2 %v+%v/%v: %w", subj, part, ilp, err)
-				}
-				s := solo[[2]int{int(subj), int(ilp)}]
-				cells = append(cells, Fig2Cell{
-					Subject:  subj,
-					Partner:  part,
-					ILP:      ilp,
-					SoloCPI:  s,
-					CoCPI:    duo[0],
-					Slowdown: duo[0]/s - 1,
-				})
+				duoCells = append(duoCells, duoCell{subj, part, ilp})
 			}
 		}
 	}
-	return cells, nil
+	return runner.Map(ctx, opt.Workers, duoCells, func(_ context.Context, c duoCell) (Fig2Cell, error) {
+		duo, err := opt.measureCPI(mcfg, []streams.Spec{
+			{Kind: c.subj, ILP: c.ilp}, {Kind: c.part, ILP: c.ilp},
+		}, StreamWindowCycles)
+		if err != nil {
+			return Fig2Cell{}, fmt.Errorf("fig2 %v+%v/%v: %w", c.subj, c.part, c.ilp, err)
+		}
+		s := solo[[2]int{int(c.subj), int(c.ilp)}]
+		return Fig2Cell{
+			Subject:  c.subj,
+			Partner:  c.part,
+			ILP:      c.ilp,
+			SoloCPI:  s,
+			CoCPI:    duo[0],
+			Slowdown: duo[0]/s - 1,
+		}, nil
+	})
 }
 
 func allKindsUnion(a, b []streams.Kind) []streams.Kind {
@@ -144,12 +185,12 @@ func allKindsUnion(a, b []streams.Kind) []streams.Kind {
 }
 
 // Fig2a/Fig2b/Fig2c run the three panels of Figure 2.
-func Fig2a(mcfg smt.Config) ([]Fig2Cell, error) {
-	return Fig2(mcfg, streams.FPKinds(), streams.FPKinds())
+func Fig2a(ctx context.Context, opt Options, mcfg smt.Config) ([]Fig2Cell, error) {
+	return Fig2(ctx, opt, mcfg, streams.FPKinds(), streams.FPKinds())
 }
-func Fig2b(mcfg smt.Config) ([]Fig2Cell, error) {
-	return Fig2(mcfg, streams.IntKinds(), streams.IntKinds())
+func Fig2b(ctx context.Context, opt Options, mcfg smt.Config) ([]Fig2Cell, error) {
+	return Fig2(ctx, opt, mcfg, streams.IntKinds(), streams.IntKinds())
 }
-func Fig2c(mcfg smt.Config) ([]Fig2Cell, error) {
-	return Fig2(mcfg, streams.FPArith(), streams.IntArith())
+func Fig2c(ctx context.Context, opt Options, mcfg smt.Config) ([]Fig2Cell, error) {
+	return Fig2(ctx, opt, mcfg, streams.FPArith(), streams.IntArith())
 }

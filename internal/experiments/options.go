@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/runner"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+)
+
+// Options configures the concurrent execution of a harness. The zero
+// value runs on all cores with no result reuse; DefaultOptions adds a
+// fresh cache. Every harness is deterministic under any Options value:
+// cells are isolated simulations returned in submission order, so the
+// output is byte-identical whether Workers is 1 or 100 and whether the
+// cache is shared, fresh or nil.
+type Options struct {
+	// Workers bounds the concurrent simulation cells (≤0 → GOMAXPROCS).
+	Workers int
+	// Cache reuses results of identical cells — shared solo baselines,
+	// Figure 1 duos reappearing as Figure 2 diagonals, default kernel
+	// configurations repeated across ablation studies. Share one cache
+	// across harness calls to dedup between figures; nil disables reuse.
+	Cache *runner.Cache
+}
+
+// DefaultOptions is all cores plus a fresh per-call cache.
+func DefaultOptions() Options {
+	return Options{Cache: runner.NewCache()}
+}
+
+// measureCPI is the cached single-cell stream measurement. The key is
+// the full cell content: machine configuration, ordered stream specs
+// (order matters — the simulated core is not perfectly symmetric in its
+// context index) and window.
+func (o Options) measureCPI(mcfg smt.Config, specs []streams.Spec, window uint64) ([]float64, error) {
+	return runner.Cached(o.Cache, runner.Key("measure-cpi", mcfg, specs, window), func() ([]float64, error) {
+		return MeasureCPI(mcfg, specs, window)
+	})
+}
+
+// runKernel is the cached single-cell kernel run. The builder is
+// constructed inside the cell so concurrent cells share no state; key
+// identifies the cell content (machine config, kernel config, mode,
+// label) and may be empty to bypass the cache (opaque builders).
+func (o Options) runKernel(key string, build func() (Builder, error), mode kernels.Mode, mcfg smt.Config, label string) (KernelMetrics, error) {
+	compute := func() (KernelMetrics, error) {
+		b, err := build()
+		if err != nil {
+			return KernelMetrics{}, err
+		}
+		return RunKernel(b, mode, mcfg, label)
+	}
+	if key == "" {
+		return compute()
+	}
+	return runner.Cached(o.Cache, key, compute)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"smtexplore/internal/runner"
+)
+
+// The determinism contract of the concurrent runner: for every harness,
+// the parallel path must produce output byte-identical to -workers=1,
+// with and without the result cache. The tests compare the *formatted*
+// figures — the exact bytes a user sees — not just the row structs.
+
+func fig1Parity(t *testing.T, opt Options) string {
+	t.Helper()
+	rows, err := Fig1(context.Background(), opt, StreamMachineConfig(), Fig1Kinds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FormatFig1(rows)
+}
+
+func TestFig1ParallelByteIdenticalToSerial(t *testing.T) {
+	serial := fig1Parity(t, Options{Workers: 1})
+	for _, opt := range []Options{
+		{Workers: 8},
+		{Workers: 8, Cache: runner.NewCache()},
+		{Workers: 3, Cache: runner.NewCache()},
+	} {
+		if got := fig1Parity(t, opt); got != serial {
+			t.Errorf("Fig1 with %+v diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", opt, serial, got)
+		}
+	}
+}
+
+func TestFig2aParallelByteIdenticalToSerial(t *testing.T) {
+	run := func(opt Options) string {
+		cells, err := Fig2a(context.Background(), opt, StreamMachineConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFig2("Figure 2(a) — floating-point streams", cells)
+	}
+	serial := run(Options{Workers: 1})
+	cache := runner.NewCache()
+	if got := run(Options{Workers: 8, Cache: cache}); got != serial {
+		t.Errorf("Fig2a workers=8 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", serial, got)
+	}
+	// A second pass over a warm cache must serve every cell from memory
+	// and still render the same bytes.
+	before := cache.Stats()
+	if got := run(Options{Workers: 8, Cache: cache}); got != serial {
+		t.Error("warm-cache rerun diverged")
+	}
+	after := cache.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("warm-cache rerun recomputed %d cells", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Error("warm-cache rerun recorded no hits")
+	}
+}
+
+func TestKernelFigureParallelByteIdenticalToSerial(t *testing.T) {
+	run := func(opt Options) string {
+		ms, err := Fig3MM(context.Background(), opt, []int{32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lu, err := Fig4LU(context.Background(), opt, []int{32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatKernelFigure("Figure 3 — MM", ms) + FormatKernelFigure("Figure 4 — LU", lu)
+	}
+	serial := run(Options{Workers: 1})
+	if got := run(Options{Workers: 8, Cache: runner.NewCache()}); got != serial {
+		t.Errorf("kernel figures diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", serial, got)
+	}
+}
+
+func TestFig2SharedCacheReusesFig1Cells(t *testing.T) {
+	// Fig1's duo cells reappear as Fig2 diagonal cells and its solos as
+	// Fig2 baselines; a shared cache must serve them without recompute.
+	cache := runner.NewCache()
+	opt := Options{Workers: 4, Cache: cache}
+	if _, err := Fig2(context.Background(), opt, StreamMachineConfig(), Fig1Kinds(), Fig1Kinds()); err != nil {
+		t.Fatal(err)
+	}
+	afterFig2 := cache.Stats()
+	if _, err := Fig1(context.Background(), opt, StreamMachineConfig(), Fig1Kinds()); err != nil {
+		t.Fatal(err)
+	}
+	afterFig1 := cache.Stats()
+	// Fig1 adds no simulations beyond what Fig2 already ran: every solo
+	// and every (k,k) duo is a repeat.
+	if afterFig1.Misses != afterFig2.Misses {
+		t.Errorf("Fig1 after Fig2 recomputed %d cells, want 0 (full overlap)", afterFig1.Misses-afterFig2.Misses)
+	}
+	if afterFig1.Hits <= afterFig2.Hits {
+		t.Error("Fig1 after Fig2 recorded no cache hits")
+	}
+}
+
+func TestHarnessCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig1(ctx, DefaultOptions(), StreamMachineConfig(), Fig1Kinds()); err == nil {
+		t.Error("Fig1 ignored a cancelled context")
+	}
+	if _, err := Fig3MM(ctx, DefaultOptions(), []int{32}); err == nil {
+		t.Error("Fig3MM ignored a cancelled context")
+	}
+	if _, err := SelectiveHaltLU(ctx, DefaultOptions(), 32); err == nil {
+		t.Error("SelectiveHaltLU ignored a cancelled context")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smtexplore/internal/isa"
@@ -34,8 +35,13 @@ type SelectiveHaltResult struct {
 // first an all-spin profiling pass measuring the time the threads spend
 // on every barrier, then a rerun with processor halting embedded only in
 // the barriers where the waits are a considerable portion of execution
-// time.
-func SelectiveHaltLU(n int) (SelectiveHaltResult, error) {
+// time. The passes are inherently sequential (the second consumes the
+// first's wait profile), so opt contributes no fan-out here; ctx is
+// checked between the passes.
+func SelectiveHaltLU(ctx context.Context, opt Options, n int) (SelectiveHaltResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SelectiveHaltResult{}, err
+	}
 	// Pass 1: profile with the default spin+pause barriers.
 	base, err := lu.New(lu.DefaultConfig(n))
 	if err != nil {
@@ -57,6 +63,9 @@ func SelectiveHaltLU(n int) (SelectiveHaltResult, error) {
 	}
 	profile := m.WaitProfile()
 	baseline := metricsFromMachine(m, "lu", kernels.TLPCoarse, fmt.Sprintf("N=%d", n))
+	if err := ctx.Err(); err != nil {
+		return SelectiveHaltResult{}, err
+	}
 
 	// The paper's criterion: halt where threads "spin for a considerable
 	// portion of their total execution time". Use 2% of the profiled
@@ -71,16 +80,14 @@ func SelectiveHaltLU(n int) (SelectiveHaltResult, error) {
 	}
 
 	// Pass 2: rerun with the plan. The kernel is rebuilt identically
-	// (same cell allocation order), so the plan's cells line up.
-	planned, err := lu.New(func() lu.Config {
+	// (same cell allocation order), so the plan's cells line up. The
+	// cell is uncached (key ""): the plan's map has no deterministic
+	// rendering to key on.
+	met, err := opt.runKernel("", func() (Builder, error) {
 		cfg := lu.DefaultConfig(n)
 		cfg.WaitPlan = plan
-		return cfg
-	}())
-	if err != nil {
-		return SelectiveHaltResult{}, err
-	}
-	met, err := RunKernel(planned, kernels.TLPCoarse, KernelMachineConfig(), fmt.Sprintf("N=%d", n))
+		return lu.New(cfg)
+	}, kernels.TLPCoarse, KernelMachineConfig(), fmt.Sprintf("N=%d", n))
 	if err != nil {
 		return SelectiveHaltResult{}, err
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"smtexplore/internal/kernels"
 	"smtexplore/internal/mem"
+	"smtexplore/internal/runner"
 	"smtexplore/internal/smt"
 )
 
@@ -48,26 +50,28 @@ func DefaultVariants() []Variant {
 }
 
 // Sensitivity runs the builder in the given mode under every variant of
-// the scaled kernel machine.
-func Sensitivity(mkBuilder func() (Builder, error), mode kernels.Mode, variants []Variant) ([]SensitivityPoint, error) {
-	var out []SensitivityPoint
-	for _, v := range variants {
+// the scaled kernel machine, one concurrent cell per variant. mkBuilder
+// is invoked inside each cell and must be safe for concurrent use
+// (i.e. construct a fresh Builder per call, as every harness closure
+// does). Points are uncached: the builder is opaque, so no content key
+// can identify the cell.
+func Sensitivity(ctx context.Context, opt Options, mkBuilder func() (Builder, error), mode kernels.Mode, variants []Variant) ([]SensitivityPoint, error) {
+	return runner.Map(ctx, opt.Workers, variants, func(_ context.Context, v Variant) (SensitivityPoint, error) {
 		mcfg := KernelMachineConfig()
 		v.Apply(&mcfg)
 		if err := mcfg.Validate(); err != nil {
-			return nil, fmt.Errorf("sensitivity %s=%s: %w", v.Param, v.Value, err)
+			return SensitivityPoint{}, fmt.Errorf("sensitivity %s=%s: %w", v.Param, v.Value, err)
 		}
 		b, err := mkBuilder()
 		if err != nil {
-			return nil, err
+			return SensitivityPoint{}, err
 		}
 		met, err := RunKernel(b, mode, mcfg, fmt.Sprintf("%s=%s", v.Param, v.Value))
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity %s=%s: %w", v.Param, v.Value, err)
+			return SensitivityPoint{}, fmt.Errorf("sensitivity %s=%s: %w", v.Param, v.Value, err)
 		}
-		out = append(out, SensitivityPoint{Param: v.Param, Value: v.Value, Metrics: met})
-	}
-	return out, nil
+		return SensitivityPoint{Param: v.Param, Value: v.Value, Metrics: met}, nil
+	})
 }
 
 // FormatSensitivity renders a sweep with each point's cycle delta against

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smtexplore/internal/kernels"
@@ -9,6 +10,7 @@ import (
 	"smtexplore/internal/kernels/lu"
 	"smtexplore/internal/kernels/mm"
 	"smtexplore/internal/profile"
+	"smtexplore/internal/runner"
 	"smtexplore/internal/smt"
 )
 
@@ -30,80 +32,74 @@ type Table1Column struct {
 }
 
 // table1Instance binds a kernel to the instance used for profiling
-// (smaller than the Figure runs: mixes are size-invariant).
+// (smaller than the Figure runs: mixes are size-invariant). The builder
+// is constructed per profiling cell — deterministically, from cfg — so
+// the three columns of an instance can run concurrently.
 type table1Instance struct {
-	name    string
-	builder Builder
+	name  string
+	cfg   any // the kernel's Config value, for the cache key
+	build func() (Builder, error)
 	// tlpMode is the work-partitioning mode profiled in the "tlp" column.
 	tlpMode kernels.Mode
 	// sprMode is the precomputation mode profiled in the "spr" column.
 	sprMode kernels.Mode
 }
 
-func table1Instances() ([]table1Instance, error) {
-	mmK, err := mm.New(mm.DefaultConfig(32))
-	if err != nil {
-		return nil, err
-	}
-	luK, err := lu.New(lu.DefaultConfig(32))
-	if err != nil {
-		return nil, err
-	}
+func table1Instances() []table1Instance {
 	cgCfg := cg.DefaultConfig()
 	cgCfg.Iters = 2
-	cgK, err := cg.New(cgCfg)
-	if err != nil {
-		return nil, err
-	}
 	btCfg := bt.DefaultConfig()
 	btCfg.G = 6
 	btCfg.Steps = 1
-	btK, err := bt.New(btCfg)
-	if err != nil {
-		return nil, err
-	}
 	return []table1Instance{
-		{"MM", mmK, kernels.TLPCoarse, kernels.TLPPfetch},
-		{"LU", luK, kernels.TLPCoarse, kernels.TLPPfetch},
-		{"CG", cgK, kernels.TLPCoarse, kernels.TLPPfetch},
-		{"BT", btK, kernels.TLPCoarse, kernels.TLPPfetch},
-	}, nil
+		{"MM", mm.DefaultConfig(32), func() (Builder, error) { return mm.New(mm.DefaultConfig(32)) }, kernels.TLPCoarse, kernels.TLPPfetch},
+		{"LU", lu.DefaultConfig(32), func() (Builder, error) { return lu.New(lu.DefaultConfig(32)) }, kernels.TLPCoarse, kernels.TLPPfetch},
+		{"CG", cgCfg, func() (Builder, error) { return cg.New(cgCfg) }, kernels.TLPCoarse, kernels.TLPPfetch},
+		{"BT", btCfg, func() (Builder, error) { return bt.New(btCfg) }, kernels.TLPCoarse, kernels.TLPPfetch},
+	}
 }
 
 // Table1 regenerates the paper's Table 1: for each kernel, the dynamic
 // instruction-mix breakdown of the serial thread, of one TLP work thread,
 // and of the SPR prefetcher thread, as collected by the Pin-analogue
-// profiler on the retirement stream.
-func Table1() ([]Table1Column, error) {
-	insts, err := table1Instances()
-	if err != nil {
-		return nil, err
+// profiler on the retirement stream. The twelve profiling cells fan out
+// over opt.Workers.
+func Table1(ctx context.Context, opt Options) ([]Table1Column, error) {
+	type cell struct {
+		inst   table1Instance
+		mode   kernels.Mode
+		column string // "serial", "tlp" or "spr"
+		tid    int
 	}
-	var out []Table1Column
-	for _, inst := range insts {
-		serial, err := profileThread(inst.builder, kernels.Serial, kernels.WorkerTid)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s serial: %w", inst.name, err)
-		}
-		serial.Kernel, serial.Mode = inst.name, "serial"
-		tlp, err := profileThread(inst.builder, inst.tlpMode, kernels.WorkerTid)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s tlp: %w", inst.name, err)
-		}
-		tlp.Kernel, tlp.Mode = inst.name, "tlp"
-		spr, err := profileThread(inst.builder, inst.sprMode, kernels.HelperTid)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s spr: %w", inst.name, err)
-		}
-		spr.Kernel, spr.Mode = inst.name, "spr"
-		out = append(out, serial, tlp, spr)
+	var cells []cell
+	for _, inst := range table1Instances() {
+		cells = append(cells,
+			cell{inst, kernels.Serial, "serial", kernels.WorkerTid},
+			cell{inst, inst.tlpMode, "tlp", kernels.WorkerTid},
+			cell{inst, inst.sprMode, "spr", kernels.HelperTid},
+		)
 	}
-	return out, nil
+	mcfg := KernelMachineConfig()
+	return runner.Map(ctx, opt.Workers, cells, func(_ context.Context, c cell) (Table1Column, error) {
+		key := runner.Key("table1", mcfg, c.inst.name, c.inst.cfg, c.mode, c.tid)
+		col, err := runner.Cached(opt.Cache, key, func() (Table1Column, error) {
+			return profileThread(c.inst.build, c.mode, c.tid)
+		})
+		if err != nil {
+			return Table1Column{}, fmt.Errorf("table1 %s %s: %w", c.inst.name, c.column, err)
+		}
+		col.Kernel, col.Mode = c.inst.name, c.column
+		return col, nil
+	})
 }
 
 // profileThread runs the kernel in the given mode and profiles the
 // instrumented thread's retired instruction mix.
-func profileThread(b Builder, mode kernels.Mode, tid int) (Table1Column, error) {
+func profileThread(build func() (Builder, error), mode kernels.Mode, tid int) (Table1Column, error) {
+	b, err := build()
+	if err != nil {
+		return Table1Column{}, err
+	}
 	progs, err := b.Programs(mode)
 	if err != nil {
 		return Table1Column{}, err

@@ -9,11 +9,13 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/kernels"
+	"smtexplore/internal/runner"
 	"smtexplore/internal/streams"
 )
 
@@ -44,23 +46,31 @@ type Options struct {
 	SkipStreams bool
 	// SkipAblations skips the §3.1/§3.2 studies.
 	SkipAblations bool
+	// Workers bounds the concurrent simulation cells within each
+	// experiment (≤0 → GOMAXPROCS).
+	Workers int
 }
 
 // Collect runs every experiment needed by the claim set. With the zero
 // Options this regenerates the complete evaluation (several minutes of
-// simulation).
-func Collect(opt Options) (*Data, error) {
+// simulation serially; the cells of each figure fan out over
+// opt.Workers, and one result cache spans the whole collection so cells
+// shared between figures — solo stream baselines, Figure 1 duos
+// reappearing as Figure 2 diagonals, repeated kernel configurations —
+// simulate once).
+func Collect(ctx context.Context, opt Options) (*Data, error) {
 	d := &Data{}
 	var err error
+	eopt := experiments.Options{Workers: opt.Workers, Cache: runner.NewCache()}
 
 	if !opt.SkipStreams {
-		if d.Fig1, err = experiments.Fig1(experiments.StreamMachineConfig(), experiments.Fig1Kinds()); err != nil {
+		if d.Fig1, err = experiments.Fig1(ctx, eopt, experiments.StreamMachineConfig(), experiments.Fig1Kinds()); err != nil {
 			return nil, fmt.Errorf("report: fig1: %w", err)
 		}
-		if d.Fig2a, err = experiments.Fig2a(experiments.StreamMachineConfig()); err != nil {
+		if d.Fig2a, err = experiments.Fig2a(ctx, eopt, experiments.StreamMachineConfig()); err != nil {
 			return nil, fmt.Errorf("report: fig2a: %w", err)
 		}
-		if d.Fig2b, err = experiments.Fig2b(experiments.StreamMachineConfig()); err != nil {
+		if d.Fig2b, err = experiments.Fig2b(ctx, eopt, experiments.StreamMachineConfig()); err != nil {
 			return nil, fmt.Errorf("report: fig2b: %w", err)
 		}
 	}
@@ -76,30 +86,30 @@ func Collect(opt Options) (*Data, error) {
 	d.MMLabel = fmt.Sprintf("N=%d", mmSizes[len(mmSizes)-1])
 	d.LULabel = fmt.Sprintf("N=%d", luSizes[len(luSizes)-1])
 
-	if d.MM, err = experiments.Fig3MM(mmSizes); err != nil {
+	if d.MM, err = experiments.Fig3MM(ctx, eopt, mmSizes); err != nil {
 		return nil, fmt.Errorf("report: fig3: %w", err)
 	}
-	if d.LU, err = experiments.Fig4LU(luSizes); err != nil {
+	if d.LU, err = experiments.Fig4LU(ctx, eopt, luSizes); err != nil {
 		return nil, fmt.Errorf("report: fig4: %w", err)
 	}
-	if d.CG, err = experiments.Fig5CG(); err != nil {
+	if d.CG, err = experiments.Fig5CG(ctx, eopt); err != nil {
 		return nil, fmt.Errorf("report: fig5 cg: %w", err)
 	}
-	if d.BT, err = experiments.Fig5BT(); err != nil {
+	if d.BT, err = experiments.Fig5BT(ctx, eopt); err != nil {
 		return nil, fmt.Errorf("report: fig5 bt: %w", err)
 	}
-	if d.Table1, err = experiments.Table1(); err != nil {
+	if d.Table1, err = experiments.Table1(ctx, eopt); err != nil {
 		return nil, fmt.Errorf("report: table1: %w", err)
 	}
 
 	if !opt.SkipAblations {
-		if d.Sync, err = experiments.AblateSync(); err != nil {
+		if d.Sync, err = experiments.AblateSync(ctx, eopt); err != nil {
 			return nil, fmt.Errorf("report: ablate sync: %w", err)
 		}
-		if d.Span, err = experiments.AblateSpan(); err != nil {
+		if d.Span, err = experiments.AblateSpan(ctx, eopt); err != nil {
 			return nil, fmt.Errorf("report: ablate span: %w", err)
 		}
-		if d.Selective, err = experiments.SelectiveHaltLU(64); err != nil {
+		if d.Selective, err = experiments.SelectiveHaltLU(ctx, eopt, 64); err != nil {
 			return nil, fmt.Errorf("report: selective halt: %w", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -149,7 +150,7 @@ func TestCollectQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("collection is slow")
 	}
-	d, err := Collect(Options{
+	d, err := Collect(context.Background(), Options{
 		MMSizes:       []int{32},
 		LUSizes:       []int{32},
 		SkipStreams:   true,

@@ -1,0 +1,43 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// busyCell is a CPU-bound stand-in for one simulation cell.
+func busyCell(_ context.Context, seed int) (uint64, error) {
+	x := uint64(seed)*2654435761 + 1
+	for range 2_000_000 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x, nil
+}
+
+// BenchmarkMapSpeedup measures the pool's parallel speedup over the
+// workers=1 path on CPU-bound cells, reporting it as a metric (≈ core
+// count on an idle machine; ≈1 guarantees no regression on 1 core).
+func BenchmarkMapSpeedup(b *testing.B) {
+	specs := make([]int, 4*runtime.GOMAXPROCS(0))
+	for i := range specs {
+		specs[i] = i
+	}
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := Map(context.Background(), workers, specs, busyCell); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for b.Loop() {
+		serial += run(1)
+		parallel += run(0)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Cache is a content-keyed, in-memory result cache with single-flight
+// semantics: concurrent lookups of the same key block on one
+// computation instead of duplicating it. The simulations it fronts are
+// deterministic, so a cached value is byte-identical to a recomputed
+// one; failed computations are not cached (a cancellation must not
+// poison the key for a later retry).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache, safe for concurrent use.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	// Hits counts lookups served from a completed or in-flight entry.
+	Hits uint64
+	// Misses counts lookups that had to compute.
+	Misses uint64
+	// Entries is the number of stored results.
+	Entries int
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// do returns the cached value for key, computing it via compute on the
+// first (or first-after-failure) lookup. Concurrent callers of the same
+// key wait for the in-flight computation.
+func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Cached runs compute through the cache under key. A nil cache computes
+// directly, so callers can thread an optional cache without branching.
+func Cached[R any](c *Cache, key string, compute func() (R, error)) (R, error) {
+	if c == nil {
+		return compute()
+	}
+	v, err := c.do(key, func() (any, error) { return compute() })
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	r, ok := v.(R)
+	if !ok {
+		var zero R
+		return zero, fmt.Errorf("runner: cache key %q holds %T, caller wants %T", key, v, zero)
+	}
+	return r, nil
+}
+
+// Key builds a deterministic content key from the cell's identifying
+// parts (machine configuration, kernel configuration, mode, label, …)
+// by hashing their %#v renderings. Parts must render deterministically:
+// plain values, structs and slices qualify; maps with more than one
+// entry and pointers do not (pass a canonicalised form instead).
+func Key(parts ...any) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,135 @@
+// Package runner schedules independent, deterministic experiment cells
+// over a bounded worker pool. It is the concurrency layer under
+// internal/experiments: every figure and table of the reproduction is a
+// fan-out of isolated simulations (one machine, one cell, no shared
+// state), which Map executes on up to GOMAXPROCS workers while
+// preserving the exact submission order of the results — the parallel
+// output of a harness is byte-identical to its serial output.
+//
+// Guarantees:
+//
+//   - Ordering: Map returns results indexed exactly like the input
+//     specs, regardless of completion order.
+//   - Isolation: a panic inside one cell is recovered into a *PanicError
+//     for that cell; the remaining cells still run.
+//   - Cancellation: cells observe ctx between runs; once ctx is done no
+//     new cell starts (a cell already simulating completes — the
+//     simulator has no preemption points).
+//   - Determinism: the first error in submission order is returned, so a
+//     failing configuration reports the same error the serial loop
+//     would, independent of scheduling. Context errors are only
+//     reported when no cell failed on its own.
+//
+// The companion Cache (cache.go) adds content-keyed result reuse with
+// single-flight semantics, so identical cells submitted concurrently —
+// shared solo baselines, repeated default configurations — simulate
+// once.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Func computes one cell. It must be safe to call concurrently with
+// other cells (the experiment harnesses construct all mutable state —
+// builders, machines — inside the cell).
+type Func[S, R any] func(ctx context.Context, spec S) (R, error)
+
+// PanicError wraps a panic recovered from a cell so one bad
+// configuration cannot kill a whole figure.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: cell panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Workers resolves a worker-count setting: n if positive, otherwise
+// GOMAXPROCS (the default for every -workers flag).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn over every spec on at most Workers(workers) goroutines and
+// returns the results in submission order. On failure it returns the
+// first error in submission order (preferring cell errors over
+// cancellation; see the package comment).
+func Map[S, R any](ctx context.Context, workers int, specs []S, fn Func[S, R]) ([]R, error) {
+	n := len(specs)
+	out := make([]R, n)
+	errs := make([]error, n)
+
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = runCell(ctx, specs[i], fn)
+			}
+		}()
+	}
+	next := 0
+feed:
+	for ; next < n; next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for i := next; i < n; i++ {
+		errs[i] = ctx.Err()
+	}
+
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return out, nil
+}
+
+// runCell executes one cell with panic recovery and a cancellation
+// check before starting.
+func runCell[S, R any](ctx context.Context, spec S, fn Func[S, R]) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return r, err
+	}
+	return fn(ctx, spec)
+}

@@ -1,0 +1,215 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	// Later cells finish first (earlier indices sleep longer); results
+	// must still come back in submission order.
+	specs := make([]int, 64)
+	for i := range specs {
+		specs[i] = i
+	}
+	out, err := Map(context.Background(), 8, specs, func(_ context.Context, i int) (string, error) {
+		time.Sleep(time.Duration(len(specs)-i) * 100 * time.Microsecond)
+		return fmt.Sprintf("cell-%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if want := fmt.Sprintf("cell-%d", i); v != want {
+			t.Fatalf("out[%d] = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestMapEmptyAndWorkerBounds(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+	// More workers than cells, and the ≤0 → GOMAXPROCS default.
+	for _, w := range []int{100, 0, -3} {
+		out, err := Map(context.Background(), w, []int{1, 2, 3}, func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 1 || out[1] != 4 || out[2] != 9 {
+			t.Fatalf("workers=%d: out=%v", w, out)
+		}
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("Workers must default to at least one")
+	}
+	if Workers(7) != 7 {
+		t.Error("Workers must pass positive values through")
+	}
+}
+
+func TestMapFirstErrorInSubmissionOrder(t *testing.T) {
+	errA := errors.New("cell 3 failed")
+	errB := errors.New("cell 9 failed")
+	_, err := Map(context.Background(), 4, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 3:
+			time.Sleep(20 * time.Millisecond) // the earlier error finishes last
+			return 0, errA
+		case 9:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want the submission-order first error %v", err, errA)
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	ran := atomic.Int32{}
+	_, err := Map(context.Background(), 2, []int{0, 1, 2, 3}, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 1 {
+			panic("bad configuration")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if !strings.Contains(pe.Error(), "bad configuration") || len(pe.Stack) == 0 {
+		t.Errorf("panic error lacks value or stack: %v", pe)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Errorf("%d cells ran, want all 4 (one panic must not kill the figure)", got)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	var ran atomic.Int32
+	specs := make([]int, 100)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, 2, specs, func(ctx context.Context, _ int) (int, error) {
+		once.Do(func() { close(started) })
+		ran.Add(1)
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 4 {
+		t.Errorf("%d cells started after cancellation, want ≤ workers+in-flight", got)
+	}
+}
+
+func TestMapCellErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	real := errors.New("simulation diverged")
+	_, err := Map(ctx, 2, []int{0, 1, 2, 3}, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			cancel() // a later harness would observe ctx done
+			return 0, real
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, real) {
+		t.Fatalf("got %v, want the cell error to win over cancellation", err)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	var computed atomic.Int32
+	var wg sync.WaitGroup
+	for range 16 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Cached(c, "k", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("got (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computed.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1 (single flight)", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 15 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 15 hits / 1 entry", s)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewCache()
+	fail := true
+	compute := func() (int, error) {
+		if fail {
+			return 0, errors.New("cancelled mid-cell")
+		}
+		return 7, nil
+	}
+	if _, err := Cached(c, "k", compute); err == nil {
+		t.Fatal("first compute should fail")
+	}
+	fail = false
+	v, err := Cached(c, "k", compute)
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error got (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestCacheNilAndTypeMismatch(t *testing.T) {
+	v, err := Cached[int](nil, "k", func() (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("nil cache pass-through got (%d, %v)", v, err)
+	}
+	c := NewCache()
+	if _, err := Cached(c, "k", func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Cached(c, "k", func() (string, error) { return "x", nil }); err == nil {
+		t.Error("type-mismatched reuse of a key must error, not mis-cast")
+	}
+}
+
+func TestKeyDeterminismAndDistinctness(t *testing.T) {
+	type cfg struct {
+		N    int
+		Mode string
+	}
+	a := Key("kernel", cfg{64, "serial"}, "N=64")
+	b := Key("kernel", cfg{64, "serial"}, "N=64")
+	if a != b {
+		t.Error("identical parts must key identically")
+	}
+	if a == Key("kernel", cfg{128, "serial"}, "N=128") {
+		t.Error("distinct parts must key distinctly")
+	}
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("part boundaries must be preserved")
+	}
+}
