@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race bench-smoke
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke obs-artifacts
 
-ci: build fmt vet test race bench-smoke
+ci: build fmt vet test race fuzz-smoke bench-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,19 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test -timeout 30m ./...
+	$(GO) test -shuffle=on -timeout 30m ./...
 
 race:
 	$(GO) test -race -timeout 50m ./...
+
+# Short coverage-guided runs of every fuzz target (the committed seed
+# corpora replay in `make test`; this hunts for new inputs).
+fuzz-smoke:
+	$(GO) test ./internal/uasm -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/uasm -fuzz FuzzDisasmRoundTrip -fuzztime 10s
+	$(GO) test ./internal/uasm -fuzz FuzzCount -fuzztime 10s
+	$(GO) test ./internal/isa -fuzz FuzzInstrValidate -fuzztime 10s
+	$(GO) test ./internal/isa -fuzz FuzzInstrConstruct -fuzztime 10s
 
 # One end-to-end regeneration of every figure/table, plus the runner's
 # synthetic speedup benchmark (CI uploads the combined log as the
@@ -31,3 +40,16 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 40m . | tee bench-smoke.txt
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/runner | tee -a bench-smoke.txt
+
+# Sample observability bundle: a Perfetto-loadable pipeline trace, an
+# occupancy CSV and a metrics snapshot (CI uploads obs-sample/).
+obs-artifacts:
+	mkdir -p obs-sample
+	$(GO) run ./cmd/smtsim -kernel mm -mode tlp-fine -size 32 \
+		-trace obs-sample/mm-tlp-fine.trace.json \
+		-occupancy obs-sample/mm-tlp-fine.occupancy.csv \
+		-metrics obs-sample/mm-tlp-fine.metrics.json > obs-sample/mm-tlp-fine.stdout.txt
+	$(GO) run ./cmd/smtsim -stream fadd,iload -cycles 50000 \
+		-trace obs-sample/fadd-iload.trace.json \
+		-occupancy obs-sample/fadd-iload.occupancy.csv \
+		-metrics obs-sample/fadd-iload.metrics.json > obs-sample/fadd-iload.stdout.txt

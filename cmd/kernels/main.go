@@ -11,36 +11,108 @@
 //	kernels -bench bt         # Figure 5, BT panels
 //	kernels -bench all        # all figures
 //	kernels -table 1          # Table 1
+//	kernels -sizes 32,64      # override the MM/LU problem sizes
 //	kernels -workers 4        # bound the concurrent simulation cells
+//	kernels -bench mm -observe obs/        # per-cell trace/occupancy/metrics
+//	kernels -observe obs/ -observe-match tlp-fine
 //
 // Simulation cells fan out over -workers (default: all cores); one
 // result cache spans the invocation. Output is byte-identical to
-// -workers 1.
+// -workers 1. With -observe, matching cells additionally write pipeline
+// traces, occupancy series and metrics snapshots into the directory
+// (those cells bypass the cache — a cache hit has nothing to trace).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/runner"
 )
 
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kernels: ")
-	bench := flag.String("bench", "", "benchmark figure to regenerate: mm, lu, cg, bt or all")
-	table := flag.Int("table", 0, "table to regenerate (1)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// parseSizes parses a comma-separated size list ("32,64").
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// observeFlags assembles the optional artifact sink shared by the
+// experiment CLIs.
+func observeFlags(fs *flag.FlagSet) func() *experiments.Observe {
+	dir := fs.String("observe", "", "write per-cell trace/occupancy/metrics artifacts into this directory")
+	match := fs.String("observe-match", "", "observe only cells whose label contains this substring")
+	return func() *experiments.Observe {
+		if *dir == "" {
+			return nil
+		}
+		ob := &experiments.Observe{Dir: *dir}
+		if *match != "" {
+			ob.Match = experiments.MatchSubstring(*match)
+		}
+		return ob
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kernels", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark figure to regenerate: mm, lu, cg, bt or all")
+	table := fs.Int("table", 0, "table to regenerate (1)")
+	sizes := fs.String("sizes", "", "comma-separated MM/LU problem sizes (default: the paper's 32,64,128)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	observe := observeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "kernels: invalid -workers %d (must be >= 1)\n", *workers)
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
+	}
+	mmSizes, luSizes := experiments.MMSizes(), experiments.LUSizes()
+	if ns, err := parseSizes(*sizes); err != nil {
+		return err
+	} else if ns != nil {
+		mmSizes, luSizes = ns, ns
 	}
 
 	if *bench == "" && *table == 0 {
@@ -49,58 +121,62 @@ func main() {
 	}
 
 	ctx := context.Background()
-	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache()}
-	run := func(name string) {
+	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache(), Observe: observe()}
+	runFig := func(name string) error {
 		switch name {
 		case "mm":
-			ms, err := experiments.Fig3MM(ctx, opt, experiments.MMSizes())
+			ms, err := experiments.Fig3MM(ctx, opt, mmSizes)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", ms))
+			fmt.Fprint(out, experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", ms))
 		case "lu":
-			ms, err := experiments.Fig4LU(ctx, opt, experiments.LUSizes())
+			ms, err := experiments.Fig4LU(ctx, opt, luSizes)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatKernelFigure("Figure 4 — LU decomposition", ms))
+			fmt.Fprint(out, experiments.FormatKernelFigure("Figure 4 — LU decomposition", ms))
 		case "cg":
 			ms, err := experiments.Fig5CG(ctx, opt)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS CG", ms))
+			fmt.Fprint(out, experiments.FormatKernelFigure("Figure 5 — NAS CG", ms))
 		case "bt":
 			ms, err := experiments.Fig5BT(ctx, opt)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS BT", ms))
+			fmt.Fprint(out, experiments.FormatKernelFigure("Figure 5 — NAS BT", ms))
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
-			flag.Usage()
-			os.Exit(2)
+			return fmt.Errorf("unknown benchmark %q", name)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
+		return nil
 	}
 
 	switch *bench {
 	case "all":
 		for _, b := range []string{"mm", "lu", "cg", "bt"} {
-			run(b)
+			if err := runFig(b); err != nil {
+				return err
+			}
 		}
 	case "":
 	default:
-		run(*bench)
+		if err := runFig(*bench); err != nil {
+			return err
+		}
 	}
 
 	if *table == 1 {
 		cols, err := experiments.Table1(ctx, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Print(experiments.FormatTable1(cols))
+		fmt.Fprint(out, experiments.FormatTable1(cols))
 	} else if *table != 0 {
-		log.Fatalf("unknown table %d", *table)
+		return fmt.Errorf("unknown table %d", *table)
 	}
+	return nil
 }

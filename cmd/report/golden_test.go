@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden test pins the exact verdict table of the quick collection:
+// any change to the timing model, the evaluation thresholds or the
+// formatter — intended or not — shows up as a diff. Regenerate with:
+//
+//	go test ./cmd/report -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func TestGoldenQuickReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the quick collection still simulates CG and BT; skipped in -short")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-sizes", "16,32"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "quick-report", buf.Bytes())
+}

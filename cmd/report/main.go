@@ -6,6 +6,7 @@
 //
 //	report            # full collection (several minutes of simulation)
 //	report -quick     # smaller kernel instances, streams/ablations skipped
+//	report -sizes 16,32  # override the quick/full MM and LU problem sizes
 //	report -verbose   # additionally print every figure and table
 //	report -workers 4 # bound the concurrent simulation cells
 //
@@ -16,27 +17,69 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/report"
 )
 
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
-	quick := flag.Bool("quick", false, "reduced collection: small kernels, no streams/ablations")
-	verbose := flag.Bool("verbose", false, "also print the collected figures and tables")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced collection: small kernels, no streams/ablations")
+	sizes := fs.String("sizes", "", "comma-separated MM/LU problem sizes (overrides the -quick defaults)")
+	verbose := fs.Bool("verbose", false, "also print the collected figures and tables")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "report: invalid -workers %d (must be >= 1)\n", *workers)
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 
 	opt := report.Options{Workers: *workers}
@@ -49,28 +92,34 @@ func main() {
 			Workers:       *workers,
 		}
 	}
+	if ns, err := parseSizes(*sizes); err != nil {
+		return err
+	} else if ns != nil {
+		opt.MMSizes, opt.LUSizes = ns, ns
+	}
 
 	d, err := report.Collect(context.Background(), opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *verbose {
 		if d.Fig1 != nil {
-			fmt.Print(experiments.FormatFig1(d.Fig1))
-			fmt.Println()
+			fmt.Fprint(out, experiments.FormatFig1(d.Fig1))
+			fmt.Fprintln(out)
 		}
-		fmt.Print(experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", d.MM))
-		fmt.Println()
-		fmt.Print(experiments.FormatKernelFigure("Figure 4 — LU decomposition", d.LU))
-		fmt.Println()
-		fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS CG", d.CG))
-		fmt.Println()
-		fmt.Print(experiments.FormatKernelFigure("Figure 5 — NAS BT", d.BT))
-		fmt.Println()
-		fmt.Print(experiments.FormatTable1(d.Table1))
-		fmt.Println()
+		fmt.Fprint(out, experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", d.MM))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiments.FormatKernelFigure("Figure 4 — LU decomposition", d.LU))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiments.FormatKernelFigure("Figure 5 — NAS CG", d.CG))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiments.FormatKernelFigure("Figure 5 — NAS BT", d.BT))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, experiments.FormatTable1(d.Table1))
+		fmt.Fprintln(out)
 	}
 
-	fmt.Print(report.Format(report.Evaluate(d)))
+	fmt.Fprint(out, report.Format(report.Evaluate(d)))
+	return nil
 }

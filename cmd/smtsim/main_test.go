@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOnce drives the full flag pipeline in-process and returns the file
+// written to out.
+func runOnce(t *testing.T, extra []string, outName string) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, outName)
+	args := append([]string{}, extra...)
+	args = append(args, path)
+	if err := run(args, io.Discard); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+var streamArgs = []string{"-stream", "fadd,iload", "-cycles", "3000"}
+
+// TestTraceFlagEmitsValidChromeJSON checks the -trace export is a
+// well-formed Chrome trace-event document: object form, known phases
+// only, required fields on every event, at least one slice per context.
+func TestTraceFlagEmitsValidChromeJSON(t *testing.T) {
+	data := runOnce(t, append(streamArgs, "-trace"), "out.json")
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *uint64        `json:"ts"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	slices := map[int]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing ts/pid/tid", i)
+		}
+		switch ev.Ph {
+		case "X":
+			slices[*ev.Pid]++
+			if ev.Name == "" {
+				t.Fatalf("slice %d unnamed", i)
+			}
+		case "C", "M":
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	for _, pid := range []int{0, 1} {
+		if slices[pid] == 0 {
+			t.Errorf("no pipeline slices for cpu%d", pid)
+		}
+	}
+}
+
+// TestTraceFlagDeterministic reruns the identical workload and demands
+// byte-identical trace files.
+func TestTraceFlagDeterministic(t *testing.T) {
+	a := runOnce(t, append(streamArgs, "-trace"), "a.json")
+	b := runOnce(t, append(streamArgs, "-trace"), "b.json")
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical invocations produced different trace files")
+	}
+}
+
+func TestOccupancyFlagCSV(t *testing.T) {
+	data := runOnce(t, append(streamArgs, "-sample", "64", "-occupancy"), "occ.csv")
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("occupancy CSV has %d lines, want header + samples", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "cycle,window,") {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != cols {
+			t.Fatalf("row %d column count differs from header", i+1)
+		}
+	}
+}
+
+func TestOccupancyFlagJSON(t *testing.T) {
+	data := runOnce(t, append(streamArgs, "-occupancy"), "occ.json")
+	var doc struct {
+		Schema  string            `json:"schema"`
+		Samples []json.RawMessage `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "smtexplore/occupancy/v1" || len(doc.Samples) == 0 {
+		t.Fatalf("schema %q with %d samples", doc.Schema, len(doc.Samples))
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	data := runOnce(t, append(streamArgs, "-metrics"), "m.json")
+	var doc struct {
+		Schema   string `json:"schema"`
+		Label    string `json:"label"`
+		Counters []struct {
+			Event string `json:"event"`
+			Total uint64 `json:"total"`
+		} `json:"counters"`
+		Meta []struct {
+			Key string `json:"key"`
+		} `json:"meta"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "smtexplore/metrics/v1" {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if !strings.Contains(doc.Label, "fadd,iload") {
+		t.Fatalf("label %q does not identify the workload", doc.Label)
+	}
+	events := map[string]uint64{}
+	for _, c := range doc.Counters {
+		events[c.Event] = c.Total
+	}
+	if events["uops_retired"] == 0 || events["cycles"] == 0 {
+		t.Fatalf("core counters missing or zero: %v", events)
+	}
+	keys := map[string]bool{}
+	for _, m := range doc.Meta {
+		keys[m.Key] = true
+	}
+	if !keys["wall_seconds"] {
+		t.Fatalf("meta lacks wall_seconds: %v", keys)
+	}
+}
+
+// TestKernelModeObserved exercises the kernel path with all three exports
+// at once on a small matrix multiply.
+func TestKernelModeObserved(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.json")
+	occ := filepath.Join(dir, "o.csv")
+	metrics := filepath.Join(dir, "m.json")
+	args := []string{"-kernel", "mm", "-mode", "tlp-fine", "-size", "16",
+		"-trace", trace, "-occupancy", occ, "-metrics", metrics}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{trace, occ, metrics} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("export %s missing or empty (err=%v)", p, err)
+		}
+	}
+	var doc struct {
+		Run struct {
+			Completed bool `json:"completed"`
+		} `json:"run"`
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Run.Completed {
+		t.Fatal("mm/tlp-fine run did not complete")
+	}
+}

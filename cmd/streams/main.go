@@ -10,16 +10,22 @@
 //	streams -fig 2c         # fp-arith × int-arith matrix
 //	streams -fig all        # everything
 //	streams -workers 4      # bound the concurrent simulation cells
+//	streams -fig 1 -observe obs/ -observe-match fadd
 //
 // Simulation cells fan out over -workers (default: all cores); one
 // result cache spans the invocation, so baselines shared between
-// figures simulate once. Output is byte-identical to -workers 1.
+// figures simulate once. Output is byte-identical to -workers 1. With
+// -observe, matching cells additionally write pipeline traces, occupancy
+// series and metrics snapshots into the directory (those cells bypass
+// the cache — a cache hit has nothing to trace).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -29,23 +35,63 @@ import (
 	"smtexplore/internal/streams"
 )
 
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("streams: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c or all")
-	full := flag.Bool("full", false, "Figure 1 over all stream kinds, not just the paper's selection")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// observeFlags assembles the optional artifact sink shared by the
+// experiment CLIs.
+func observeFlags(fs *flag.FlagSet) func() *experiments.Observe {
+	dir := fs.String("observe", "", "write per-cell trace/occupancy/metrics artifacts into this directory")
+	match := fs.String("observe-match", "", "observe only cells whose label contains this substring")
+	return func() *experiments.Observe {
+		if *dir == "" {
+			return nil
+		}
+		ob := &experiments.Observe{Dir: *dir}
+		if *match != "" {
+			ob.Match = experiments.MatchSubstring(*match)
+		}
+		return ob
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("streams", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c or all")
+	full := fs.Bool("full", false, "Figure 1 over all stream kinds, not just the paper's selection")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	observe := observeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "streams: invalid -workers %d (must be >= 1)\n", *workers)
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 
 	ctx := context.Background()
-	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache()}
+	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache(), Observe: observe()}
 	mcfg := experiments.StreamMachineConfig()
-	run := func(name string) {
+	runFig := func(name string) error {
 		switch name {
 		case "1":
 			kinds := experiments.Fig1Kinds()
@@ -54,40 +100,41 @@ func main() {
 			}
 			rows, err := experiments.Fig1(ctx, opt, mcfg, kinds)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatFig1(rows))
+			fmt.Fprint(out, experiments.FormatFig1(rows))
 		case "2a":
 			cells, err := experiments.Fig2a(ctx, opt, mcfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatFig2("Figure 2(a) — floating-point streams", cells))
+			fmt.Fprint(out, experiments.FormatFig2("Figure 2(a) — floating-point streams", cells))
 		case "2b":
 			cells, err := experiments.Fig2b(ctx, opt, mcfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatFig2("Figure 2(b) — integer streams", cells))
+			fmt.Fprint(out, experiments.FormatFig2("Figure 2(b) — integer streams", cells))
 		case "2c":
 			cells, err := experiments.Fig2c(ctx, opt, mcfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Print(experiments.FormatFig2("Figure 2(c) — mixed fp×int arithmetic", cells))
+			fmt.Fprint(out, experiments.FormatFig2("Figure 2(c) — mixed fp×int arithmetic", cells))
 		default:
-			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
-			flag.Usage()
-			os.Exit(2)
+			return fmt.Errorf("unknown figure %q", name)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
+		return nil
 	}
 
 	if *fig == "all" {
 		for _, f := range []string{"1", "2a", "2b", "2c"} {
-			run(f)
+			if err := runFig(f); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	run(*fig)
+	return runFig(*fig)
 }

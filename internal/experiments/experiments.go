@@ -17,6 +17,7 @@ import (
 
 	"smtexplore/internal/kernels"
 	"smtexplore/internal/mem"
+	"smtexplore/internal/obs"
 	"smtexplore/internal/perfmon"
 	"smtexplore/internal/smt"
 	"smtexplore/internal/trace"
@@ -91,11 +92,23 @@ const maxKernelCycles = 8_000_000_000
 // RunKernel executes one (kernel, mode) configuration to completion on a
 // fresh machine and collects the monitored events.
 func RunKernel(b Builder, mode kernels.Mode, mcfg smt.Config, label string) (KernelMetrics, error) {
+	return runKernelWith(b, mode, mcfg, label, nil)
+}
+
+// runKernelWith is RunKernel with an optional instrument bundle attached
+// to the machine for the duration of the run.
+func runKernelWith(b Builder, mode kernels.Mode, mcfg smt.Config, label string, ins *obs.Instruments) (KernelMetrics, error) {
 	progs, err := b.Programs(mode)
 	if err != nil {
 		return KernelMetrics{}, err
 	}
 	m := smt.New(mcfg)
+	// Close releases abandoned stream generators when the run errors out
+	// (deadlock, budget); a completed run has already closed its own.
+	defer m.Close()
+	if ins != nil {
+		ins.Attach(m)
+	}
 	m.LoadProgram(kernels.WorkerTid, progs[0])
 	if progs[1] != nil {
 		m.LoadProgram(kernels.HelperTid, progs[1])

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"smtexplore/internal/obs"
 	"smtexplore/internal/perfmon"
 	"smtexplore/internal/runner"
 	"smtexplore/internal/smt"
@@ -36,10 +37,22 @@ func Fig1Kinds() []streams.Kind {
 // the per-context CPI over the measurement window (cycles/instructions of
 // that context, as the paper computes it).
 func MeasureCPI(mcfg smt.Config, specs []streams.Spec, window uint64) ([]float64, error) {
+	return measureCPIWith(mcfg, specs, window, nil)
+}
+
+// measureCPIWith is MeasureCPI with an optional instrument bundle
+// attached to the machine for the duration of the run.
+func measureCPIWith(mcfg smt.Config, specs []streams.Spec, window uint64, ins *obs.Instruments) ([]float64, error) {
 	if len(specs) == 0 || len(specs) > smt.NumContexts {
 		return nil, fmt.Errorf("experiments: %d streams (want 1 or 2)", len(specs))
 	}
 	m := smt.New(mcfg)
+	// Streams typically outlive the measurement window; Close releases
+	// their abandoned generators.
+	defer m.Close()
+	if ins != nil {
+		ins.Attach(m)
+	}
 	for i, sp := range specs {
 		sp.Base = streams.DisjointBase(i)
 		m.LoadProgram(i, streams.Build(sp))

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smtexplore/internal/obs"
+	"smtexplore/internal/streams"
+)
+
+// Observe requests per-cell observability artifacts from a harness: each
+// matching cell writes a Chrome pipeline trace, an occupancy CSV and a
+// metrics JSON (named after the cell label) into Dir. Observed cells
+// bypass the result cache — a cache hit skips the simulation, and a
+// skipped simulation has nothing to trace.
+type Observe struct {
+	// Dir receives the artifacts (created if missing).
+	Dir string
+	// Match selects which cell labels to observe; nil observes every
+	// cell. Observing everything across a large harness is expensive in
+	// both time (cache bypass) and disk — prefer a predicate.
+	Match func(label string) bool
+	// TraceMax bounds retained trace spans per cell (≤0 → default).
+	TraceMax int
+	// SampleEvery is the occupancy sampling period (≤0 → default).
+	SampleEvery uint64
+}
+
+// MatchSubstring is a convenience Match predicate: observe cells whose
+// label contains sub.
+func MatchSubstring(sub string) func(string) bool {
+	return func(label string) bool { return strings.Contains(label, sub) }
+}
+
+// wants reports whether label should be observed (false for a nil sink).
+func (ob *Observe) wants(label string) bool {
+	if ob == nil || ob.Dir == "" {
+		return false
+	}
+	return ob.Match == nil || ob.Match(label)
+}
+
+// instruments builds the per-cell instrument bundle.
+func (ob *Observe) instruments() *obs.Instruments {
+	return obs.NewInstruments(ob.TraceMax, ob.SampleEvery)
+}
+
+// export writes the artifacts of one observed cell, annotating the
+// metrics document with harness-level cache statistics when a cache is
+// in play.
+func (o Options) export(ins *obs.Instruments, label string, completed bool) error {
+	meta := map[string]any{}
+	if o.Cache != nil {
+		st := o.Cache.Stats()
+		meta["cache_hits"] = st.Hits
+		meta["cache_misses"] = st.Misses
+		meta["cache_entries"] = st.Entries
+	}
+	if err := ins.Export(o.Observe.Dir, label, completed, meta); err != nil {
+		return fmt.Errorf("experiments: observe %s: %w", label, err)
+	}
+	return nil
+}
+
+// StreamCellLabel names a stream-measurement cell for observation
+// matching and artifact naming: "fadd-maxILP+iload-medILP@120000".
+func StreamCellLabel(specs []streams.Spec, window uint64) string {
+	parts := make([]string, len(specs))
+	for i, sp := range specs {
+		parts[i] = fmt.Sprintf("%v-%v", sp.Kind, sp.ILP)
+	}
+	return fmt.Sprintf("%s@%d", strings.Join(parts, "+"), window)
+}

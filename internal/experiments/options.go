@@ -21,6 +21,11 @@ type Options struct {
 	// configurations repeated across ablation studies. Share one cache
 	// across harness calls to dedup between figures; nil disables reuse.
 	Cache *runner.Cache
+	// Observe emits per-cell observability artifacts (pipeline trace,
+	// occupancy series, metrics snapshot) for matching cells; nil
+	// observes nothing. Observed cells always simulate — the cache is
+	// bypassed for them in both directions.
+	Observe *Observe
 }
 
 // DefaultOptions is all cores plus a fresh per-call cache.
@@ -33,6 +38,14 @@ func DefaultOptions() Options {
 // (order matters — the simulated core is not perfectly symmetric in its
 // context index) and window.
 func (o Options) measureCPI(mcfg smt.Config, specs []streams.Spec, window uint64) ([]float64, error) {
+	if label := StreamCellLabel(specs, window); o.Observe.wants(label) {
+		ins := o.Observe.instruments()
+		cpi, err := measureCPIWith(mcfg, specs, window, ins)
+		if err != nil {
+			return nil, err
+		}
+		return cpi, o.export(ins, label, false)
+	}
 	return runner.Cached(o.Cache, runner.Key("measure-cpi", mcfg, specs, window), func() ([]float64, error) {
 		return MeasureCPI(mcfg, specs, window)
 	})
@@ -43,6 +56,18 @@ func (o Options) measureCPI(mcfg smt.Config, specs []streams.Spec, window uint64
 // identifies the cell content (machine config, kernel config, mode,
 // label) and may be empty to bypass the cache (opaque builders).
 func (o Options) runKernel(key string, build func() (Builder, error), mode kernels.Mode, mcfg smt.Config, label string) (KernelMetrics, error) {
+	if o.Observe.wants(label) {
+		b, err := build()
+		if err != nil {
+			return KernelMetrics{}, err
+		}
+		ins := o.Observe.instruments()
+		km, err := runKernelWith(b, mode, mcfg, label, ins)
+		if err != nil {
+			return KernelMetrics{}, err
+		}
+		return km, o.export(ins, label, true)
+	}
 	compute := func() (KernelMetrics, error) {
 		b, err := build()
 		if err != nil {

@@ -1,0 +1,78 @@
+package isa
+
+import "testing"
+
+// FuzzInstrValidate throws arbitrary bytes at the Instr structure:
+// Validate and String must classify or reject anything without
+// panicking, and accepted instructions must print non-empty.
+func FuzzInstrValidate(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint64(0), uint32(0), int64(0), uint8(0), false, uint32(0))
+	f.Add(uint8(6), uint8(33), uint8(34), uint8(35), uint64(0x1000), uint32(1), int64(42), uint8(1), true, uint32(7))
+	f.Add(uint8(255), uint8(255), uint8(255), uint8(255), ^uint64(0), ^uint32(0), int64(-1), uint8(255), false, ^uint32(0))
+	f.Fuzz(func(t *testing.T, op, dst, s1, s2 uint8, addr uint64, cell uint32, val int64, cmp uint8, pause bool, tag uint32) {
+		in := Instr{
+			Op: Op(op), Dst: Reg(dst), Src1: Reg(s1), Src2: Reg(s2),
+			Addr: addr, Cell: Cell(cell), Val: val, Cmp: CmpKind(cmp),
+			UsePause: pause, Tag: Tag(tag),
+		}
+		err := in.Validate()
+		if s := in.String(); s == "" {
+			t.Fatalf("empty rendering for %#v (validate: %v)", in, err)
+		}
+	})
+}
+
+// FuzzInstrConstruct drives every convenience constructor with sanitized
+// operands: whatever a constructor builds must pass Validate — the
+// property workload generators rely on when they emit unchecked.
+func FuzzInstrConstruct(f *testing.F) {
+	f.Add(uint8(0), uint8(0), 0, 1, 2, uint64(0), uint32(0), int64(0), uint8(0), uint32(0))
+	f.Add(uint8(3), uint8(4), 5, 6, 7, uint64(0xfff0), uint32(9), int64(-3), uint8(2), uint32(12))
+	f.Add(uint8(7), uint8(9), 31, 31, 31, ^uint64(0), ^uint32(0), int64(1)<<62, uint8(1), ^uint32(0))
+	f.Fuzz(func(t *testing.T, kind, opSel uint8, di, si, ti int, addr uint64, cell uint32, val int64, cmpSel uint8, tag uint32) {
+		intOps := []Op{IAdd, ISub, ILogic, IMul, IDiv}
+		fpOps := []Op{FAdd, FSub, FMul, FDiv, FMove}
+		reg := func(i int, fp bool) Reg {
+			i &= 31 // both banks hold 32 registers
+			if fp {
+				return F(i)
+			}
+			return R(i)
+		}
+		c := Cell(cell%1024 + 1) // constructors require a real cell
+		cmp := CmpKind(cmpSel % 3)
+
+		var in Instr
+		switch kind % 8 {
+		case 0:
+			in = ALU(intOps[int(opSel)%len(intOps)], reg(di, false), reg(si, false), reg(ti, false))
+		case 1:
+			in = ALU(fpOps[int(opSel)%len(fpOps)], reg(di, true), reg(si, true), reg(ti, true))
+		case 2:
+			in = Ld(reg(di, opSel%2 == 0), addr)
+		case 3:
+			in = St(reg(si, opSel%2 == 0), addr)
+		case 4:
+			in = TaggedLd(reg(di, true), addr, Tag(tag))
+		case 5:
+			in = Pf(addr, Tag(tag))
+		case 6:
+			in = Flag(c, val, CellAddr(c))
+		case 7:
+			switch opSel % 3 {
+			case 0:
+				in = Spin(c, cmp, val)
+			case 1:
+				in = RawSpin(c, cmp, val)
+			default:
+				in = Halt(c, cmp, val)
+			}
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("constructor produced invalid instruction %v: %v", in, err)
+		}
+		if in.String() == "" {
+			t.Fatalf("constructor produced unprintable instruction %#v", in)
+		}
+	})
+}

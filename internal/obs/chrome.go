@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"smtexplore/internal/smt"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps are nominally microseconds; the exporter writes core cycles
+// directly, so one trace microsecond reads as one cycle.
+type TraceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object flavour of the trace container, the
+// form Perfetto and chrome://tracing both load.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// sharedPid is the trace "process" holding resources shared by both
+// hardware contexts (MSHR/outstanding-fill counters).
+const sharedPid = smt.NumContexts
+
+// BuildChromeTrace lays the lifecycle spans out as one Perfetto process
+// per hardware context with non-overlapping lanes (threads): each µop is
+// a complete slice from allocation to retirement, carrying its issue and
+// completion cycles, execution unit and spin provenance as args. An
+// optional occupancy series adds counter tracks (per-context buffer
+// occupancy, shared outstanding fills) to the same trace. The layout is
+// deterministic: identical inputs yield identical traces.
+func BuildChromeTrace(spans []smt.RetireInfo, occ []Sample) ChromeTrace {
+	ct := ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"source": "smtexplore pipeline tracer", "time_unit": "cycles"},
+		TraceEvents:     []TraceEvent{},
+	}
+
+	// Stable presentation order: by allocation cycle, retirement order
+	// breaking ties (SliceStable keeps the deterministic input order).
+	ordered := append([]smt.RetireInfo(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].AllocCycle < ordered[j].AllocCycle
+	})
+
+	// Greedy first-fit lane assignment per context: a lane is free once
+	// its previous µop has retired, so slices on one lane never overlap
+	// and Perfetto renders each lane as a clean row.
+	laneEnd := [smt.NumContexts][]uint64{}
+	for _, ri := range ordered {
+		lanes := laneEnd[ri.Tid]
+		lane := -1
+		for l, end := range lanes {
+			if end <= ri.AllocCycle {
+				lane = l
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(lanes)
+			laneEnd[ri.Tid] = append(lanes, 0)
+		}
+		laneEnd[ri.Tid][lane] = ri.Cycle
+		cat := "uop"
+		if ri.Spin {
+			cat = "spin"
+		}
+		ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+			Name: ri.Instr.String(),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   ri.AllocCycle,
+			Dur:  ri.Cycle - ri.AllocCycle,
+			Pid:  ri.Tid,
+			Tid:  lane,
+			Args: map[string]any{
+				"alloc":    ri.AllocCycle,
+				"issue":    ri.IssueCycle,
+				"complete": ri.CompleteCycle,
+				"retire":   ri.Cycle,
+				"unit":     ri.Unit.String(),
+				"spin":     ri.Spin,
+			},
+		})
+	}
+
+	// Occupancy counter tracks ride along when a series is supplied.
+	for _, s := range occ {
+		for tid := 0; tid < smt.NumContexts; tid++ {
+			ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+				Name: "occupancy",
+				Ph:   "C",
+				Ts:   s.Cycle,
+				Pid:  tid,
+				Tid:  0,
+				Args: map[string]any{
+					"sched":  s.State.Sched[tid],
+					"rob":    s.State.ROB[tid],
+					"loadq":  s.State.LoadQ[tid],
+					"storeq": s.State.StoreQ[tid],
+				},
+			})
+		}
+		ct.TraceEvents = append(ct.TraceEvents, TraceEvent{
+			Name: "outstanding fills",
+			Ph:   "C",
+			Ts:   s.Cycle,
+			Pid:  sharedPid,
+			Tid:  0,
+			Args: map[string]any{"mshr": s.State.InflightFills},
+		})
+	}
+
+	// Metadata names the processes and lanes.
+	for tid := 0; tid < smt.NumContexts; tid++ {
+		ct.TraceEvents = append(ct.TraceEvents, metaEvent("process_name", tid, 0, fmt.Sprintf("cpu%d", tid)))
+		for lane := range laneEnd[tid] {
+			ct.TraceEvents = append(ct.TraceEvents, metaEvent("thread_name", tid, lane, fmt.Sprintf("lane %02d", lane)))
+		}
+	}
+	if len(occ) > 0 {
+		ct.TraceEvents = append(ct.TraceEvents, metaEvent("process_name", sharedPid, 0, "shared"))
+	}
+	return ct
+}
+
+func metaEvent(kind string, pid, tid int, name string) TraceEvent {
+	return TraceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+// Write emits the trace as JSON. Marshalling is deterministic (struct
+// field order; map keys sorted by encoding/json).
+func (ct ChromeTrace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// WriteChromeTrace is the one-call export: spans (plus an optional
+// occupancy series) to Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []smt.RetireInfo, occ []Sample) error {
+	return BuildChromeTrace(spans, occ).Write(w)
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+)
+
+// checkConservation reconciles what the instruments recorded against the
+// machine's own counter bank:
+//
+//   - per-context span count equals the uops_retired counter (the tracer
+//     observed every retirement and invented none);
+//   - every span's stages are ordered alloc ≤ issue ≤ complete ≤ retire;
+//   - the occupancy series' active/halted cycle sums equal the cycles and
+//     halted_cycles counters, and its windows tile the whole run.
+func checkConservation(t *testing.T, m *smt.Machine, tr *Tracer, sp *Sampler) {
+	t.Helper()
+	snap := m.Counters().Snapshot()
+
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d spans; sized too small for this run", tr.Dropped())
+	}
+	var perTid [smt.NumContexts]uint64
+	for _, s := range tr.Spans() {
+		perTid[s.Tid]++
+		if s.IssueCycle < s.AllocCycle || s.CompleteCycle < s.IssueCycle || s.Cycle < s.CompleteCycle {
+			t.Fatalf("span stages out of order: %+v", s)
+		}
+	}
+	for tid := 0; tid < smt.NumContexts; tid++ {
+		if want := snap.Get(perfmon.UopsRetired, tid); perTid[tid] != want {
+			t.Errorf("cpu%d: %d spans, uops_retired counter says %d", tid, perTid[tid], want)
+		}
+	}
+
+	var active, halted [smt.NumContexts]uint64
+	var covered uint64
+	for _, s := range sp.Samples() {
+		covered += s.Window
+		for tid := 0; tid < smt.NumContexts; tid++ {
+			active[tid] += s.ActiveCycles[tid]
+			halted[tid] += s.HaltedCycles[tid]
+		}
+	}
+	if covered != m.Cycle() {
+		t.Errorf("occupancy windows cover %d cycles, machine ran %d", covered, m.Cycle())
+	}
+	for tid := 0; tid < smt.NumContexts; tid++ {
+		if want := snap.Get(perfmon.Cycles, tid); active[tid] != want {
+			t.Errorf("cpu%d: occupancy sums %d active cycles, counter says %d", tid, active[tid], want)
+		}
+		if want := snap.Get(perfmon.HaltedCycles, tid); halted[tid] != want {
+			t.Errorf("cpu%d: occupancy sums %d halted cycles, counter says %d", tid, halted[tid], want)
+		}
+	}
+}
+
+// TestConservationStreamPair co-runs two of the paper's synthetic streams
+// (an FP arithmetic stream against an integer load stream) under a cycle
+// budget and reconciles instruments against counters.
+func TestConservationStreamPair(t *testing.T) {
+	m := smt.New(smt.DefaultConfig())
+	defer m.Close()
+	tr := NewTracer(TracerConfig{Max: 1 << 20})
+	tr.Attach(m)
+	sp := NewSampler(SamplerConfig{Every: 1, Max: 1 << 16})
+	sp.Attach(m)
+
+	m.LoadProgram(0, streams.Build(streams.Spec{Kind: streams.FAddS, ILP: streams.MaxILP}))
+	m.LoadProgram(1, streams.Build(streams.Spec{
+		Kind: streams.ILoadS, ILP: streams.MedILP, Base: streams.DisjointBase(1),
+	}))
+	if _, err := m.Run(20_000); err != nil {
+		t.Fatal(err)
+	}
+	sp.Finish()
+	checkConservation(t, m, tr, sp)
+}
+
+// TestConservationKernelMode runs a small matrix-multiply in the
+// fine-grained TLP mode (both contexts live, with halt/wakeup traffic on
+// the synchronisation cells) to completion and reconciles the same way.
+func TestConservationKernelMode(t *testing.T) {
+	k, err := mm.New(mm.DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := k.Programs(kernels.TLPFine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := smt.New(smt.DefaultConfig())
+	defer m.Close()
+	tr := NewTracer(TracerConfig{Max: 1 << 21})
+	tr.Attach(m)
+	sp := NewSampler(SamplerConfig{Every: 1, Max: 1 << 16})
+	sp.Attach(m)
+
+	m.LoadProgram(kernels.WorkerTid, progs[0])
+	if progs[1] != nil {
+		m.LoadProgram(kernels.HelperTid, progs[1])
+	}
+	res, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("kernel did not complete")
+	}
+	sp.Finish()
+	checkConservation(t, m, tr, sp)
+}

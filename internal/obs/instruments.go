@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"smtexplore/internal/smt"
+)
+
+// Instruments bundles the full instrument set — pipeline tracer plus
+// occupancy sampler — for callers that observe a whole cell at once (the
+// experiment harnesses). Attach before the run; Export afterwards writes
+// the three artifacts (Chrome trace, occupancy CSV, metrics JSON) side by
+// side in one directory.
+type Instruments struct {
+	Tracer  *Tracer
+	Sampler *Sampler
+
+	m       *smt.Machine
+	started time.Time
+}
+
+// NewInstruments builds the bundle. traceMax ≤0 and sampleEvery ≤0 take
+// the package defaults.
+func NewInstruments(traceMax int, sampleEvery uint64) *Instruments {
+	return &Instruments{
+		Tracer:  NewTracer(TracerConfig{Max: traceMax}),
+		Sampler: NewSampler(SamplerConfig{Every: sampleEvery}),
+	}
+}
+
+// Attach installs both instruments on m, chaining to any observers
+// already present.
+func (ins *Instruments) Attach(m *smt.Machine) {
+	ins.m = m
+	ins.started = time.Now()
+	ins.Tracer.Attach(m)
+	ins.Sampler.Attach(m)
+}
+
+// Slug turns a cell label into a filesystem-safe artifact basename.
+func Slug(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, label)
+}
+
+// Export flushes the sampler and writes <slug>.trace.json,
+// <slug>.occupancy.csv and <slug>.metrics.json under dir (created if
+// missing). meta entries (wall time, cache statistics, ...) land in the
+// metrics document.
+func (ins *Instruments) Export(dir, label string, completed bool, meta map[string]any) error {
+	if ins.m == nil {
+		return fmt.Errorf("obs: instruments never attached")
+	}
+	wall := time.Since(ins.started)
+	ins.Sampler.Finish()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := Slug(label)
+	err := writeArtifact(filepath.Join(dir, slug+".trace.json"), func(w io.Writer) error {
+		return WriteChromeTrace(w, ins.Tracer.Spans(), ins.Sampler.Samples())
+	})
+	if err != nil {
+		return err
+	}
+	err = writeArtifact(filepath.Join(dir, slug+".occupancy.csv"), ins.Sampler.WriteCSV)
+	if err != nil {
+		return err
+	}
+	x := CollectMetrics(ins.m, label, completed)
+	x.Put("wall_seconds", wall.Seconds())
+	x.Put("trace_spans", len(ins.Tracer.Spans()))
+	x.Put("trace_spans_dropped", ins.Tracer.Dropped())
+	for k, v := range meta {
+		x.Put(k, v)
+	}
+	return writeArtifact(filepath.Join(dir, slug+".metrics.json"), x.WriteJSON)
+}
+
+func writeArtifact(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

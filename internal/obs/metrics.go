@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+)
+
+// MetricsSchema identifies the JSON export format.
+const MetricsSchema = "smtexplore/metrics/v1"
+
+// Metrics is the structured snapshot of one run: the full
+// performance-monitoring bank, the memory-system attribution and any
+// runner-level meta-metrics (wall time, cache effectiveness), in one
+// machine-readable document — the artifact counterpart of the paper's
+// per-experiment PMC tables.
+type Metrics struct {
+	Schema string `json:"schema"`
+	// Label identifies the measured cell (kernel/mode/size, stream pair,
+	// program list, ...).
+	Label string  `json:"label,omitempty"`
+	Run   RunInfo `json:"run"`
+	// Counters lists every perfmon event in declaration order,
+	// qualified per logical CPU and summed, zeros included — the schema
+	// is stable across workloads.
+	Counters []CounterRow `json:"counters"`
+	Memory   []MemoryRow  `json:"memory"`
+	// Meta holds caller-supplied metrics, sorted by key at export.
+	Meta []MetaEntry `json:"meta,omitempty"`
+}
+
+// RunInfo describes the simulation extent.
+type RunInfo struct {
+	Cycles    uint64 `json:"cycles"`
+	Completed bool   `json:"completed"`
+}
+
+// CounterRow is one perfmon event across both logical CPUs.
+type CounterRow struct {
+	Event string                  `json:"event"`
+	CPU   [smt.NumContexts]uint64 `json:"cpu"`
+	Total uint64                  `json:"total"`
+}
+
+// MemoryRow is one context's view of the shared cache hierarchy.
+type MemoryRow struct {
+	CPU          int    `json:"cpu"`
+	Accesses     uint64 `json:"accesses"`
+	L1Misses     uint64 `json:"l1_misses"`
+	L2Misses     uint64 `json:"l2_misses"`
+	L2ReadMisses uint64 `json:"l2_read_misses"`
+	MSHRRetries  uint64 `json:"mshr_retries"`
+}
+
+// MetaEntry is one caller-supplied metric. Values must be JSON scalars
+// for the export to stay deterministic.
+type MetaEntry struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// CollectMetrics snapshots machine m into a document labelled label.
+// completed reports whether every loaded program retired (callers get it
+// from RunResult).
+func CollectMetrics(m *smt.Machine, label string, completed bool) *Metrics {
+	x := &Metrics{
+		Schema: MetricsSchema,
+		Label:  label,
+		Run:    RunInfo{Cycles: m.Cycle(), Completed: completed},
+	}
+	snap := m.Counters().Snapshot()
+	for _, ev := range perfmon.Events() {
+		row := CounterRow{Event: ev.String(), Total: snap.Total(ev)}
+		for tid := 0; tid < smt.NumContexts; tid++ {
+			row.CPU[tid] = snap.Get(ev, tid)
+		}
+		x.Counters = append(x.Counters, row)
+	}
+	for tid := 0; tid < smt.NumContexts; tid++ {
+		ts := m.Hierarchy().Thread(tid)
+		x.Memory = append(x.Memory, MemoryRow{
+			CPU:          tid,
+			Accesses:     ts.Accesses,
+			L1Misses:     ts.L1Misses,
+			L2Misses:     ts.L2Misses,
+			L2ReadMisses: ts.L2ReadMisses,
+			MSHRRetries:  ts.MSHRRetries,
+		})
+	}
+	return x
+}
+
+// Put adds (or replaces) a meta-metric.
+func (x *Metrics) Put(key string, value any) {
+	for i := range x.Meta {
+		if x.Meta[i].Key == key {
+			x.Meta[i].Value = value
+			return
+		}
+	}
+	x.Meta = append(x.Meta, MetaEntry{Key: key, Value: value})
+}
+
+// WriteJSON emits the document, meta entries sorted by key.
+func (x *Metrics) WriteJSON(w io.Writer) error {
+	sort.Slice(x.Meta, func(i, j int) bool { return x.Meta[i].Key < x.Meta[j].Key })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(x)
+}

@@ -1,0 +1,105 @@
+// Package obs is the observability layer of the simulator: it turns runs
+// into inspectable artifacts, the way the paper's custom
+// performance-monitoring library and Pin-based profiles turned the
+// Xeon's opaque pipeline into measurable behaviour (§5, Table 1).
+//
+// Three instruments compose freely on one smt.Machine:
+//
+//   - Tracer records per-µop alloc→issue→complete→retire lifecycle spans
+//     per hardware context (bounded ring, optional cycle window) and
+//     exports Chrome trace-event JSON loadable in Perfetto or
+//     chrome://tracing.
+//   - Sampler produces per-cycle time series of shared-resource
+//     occupancy — issue-slot consumption, allocator/store-buffer
+//     occupancy, outstanding L2 fills, halted vs. active cycles per
+//     context — exported as CSV or JSON, with adaptive decimation so
+//     arbitrarily long runs stay bounded.
+//   - Metrics snapshots the full perfmon counter bank plus run- and
+//     runner-level meta-metrics into one machine-readable JSON document.
+//
+// All exports are deterministic: identical runs produce byte-identical
+// artifacts, which the golden and conservation tests rely on.
+package obs
+
+import (
+	"smtexplore/internal/smt"
+)
+
+// DefaultTracerMax bounds the tracer ring when the configuration leaves
+// it zero.
+const DefaultTracerMax = 1 << 16
+
+// TracerConfig parameterises a Tracer.
+type TracerConfig struct {
+	// Max bounds the retained spans; once full, the oldest span is
+	// dropped per new arrival (≤0 → DefaultTracerMax).
+	Max int
+	// From/To restrict recording to µops retiring in [From, To); To of
+	// zero leaves the window open-ended. Windowing long runs keeps the
+	// artifact small without touching the ring bound.
+	From, To uint64
+}
+
+// Tracer records the pipeline lifecycle of retired µops from the
+// machine's retirement stream. Attach it before running.
+type Tracer struct {
+	cfg     TracerConfig
+	max     int
+	ring    []smt.RetireInfo
+	start   int // index of the oldest span
+	count   int
+	dropped uint64
+	chain   func(smt.RetireInfo)
+}
+
+// NewTracer builds a tracer for the given configuration.
+func NewTracer(cfg TracerConfig) *Tracer {
+	max := cfg.Max
+	if max <= 0 {
+		max = DefaultTracerMax
+	}
+	return &Tracer{cfg: cfg, max: max}
+}
+
+// Attach installs the tracer as the machine's retirement observer,
+// chaining to any observer already installed (profile collectors, the
+// timeline tracer of internal/smt) so instruments stack.
+func (t *Tracer) Attach(m *smt.Machine) {
+	t.chain = m.RetireObserver()
+	m.OnRetire(t.Observe)
+}
+
+// Observe records one retirement. It is the raw observer hook; most
+// callers use Attach.
+func (t *Tracer) Observe(ri smt.RetireInfo) {
+	if t.chain != nil {
+		defer t.chain(ri)
+	}
+	if ri.Cycle < t.cfg.From || (t.cfg.To != 0 && ri.Cycle >= t.cfg.To) {
+		return
+	}
+	if t.ring == nil {
+		t.ring = make([]smt.RetireInfo, t.max)
+	}
+	if t.count == t.max {
+		t.ring[t.start] = ri
+		t.start = (t.start + 1) % t.max
+		t.dropped++
+		return
+	}
+	t.ring[(t.start+t.count)%t.max] = ri
+	t.count++
+}
+
+// Spans returns the retained spans in retirement order (oldest first).
+func (t *Tracer) Spans() []smt.RetireInfo {
+	out := make([]smt.RetireInfo, t.count)
+	for i := 0; i < t.count; i++ {
+		out[i] = t.ring[(t.start+i)%t.max]
+	}
+	return out
+}
+
+// Dropped reports how many in-window spans were evicted by the ring
+// bound — nonzero means the artifact is a suffix of the window.
+func (t *Tracer) Dropped() uint64 { return t.dropped }

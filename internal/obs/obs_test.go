@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+// chainProg emits n dependent-chain ALU ops spread over width registers.
+func chainProg(op isa.Op, n, width int) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < n && !e.Stopped(); i++ {
+			if op == isa.IAdd {
+				e.ALU(op, isa.R(i%width), isa.R(20), isa.R(21))
+			} else {
+				e.ALU(op, isa.F(i%width), isa.F(20), isa.F(21))
+			}
+		}
+	})
+}
+
+// runTraced runs a small dual-context workload with a tracer and a
+// per-cycle sampler attached and returns all three.
+func runTraced(t *testing.T, tcfg TracerConfig, scfg SamplerConfig) (*smt.Machine, *Tracer, *Sampler) {
+	t.Helper()
+	m := smt.New(smt.DefaultConfig())
+	tr := NewTracer(tcfg)
+	tr.Attach(m)
+	sp := NewSampler(scfg)
+	sp.Attach(m)
+	m.LoadProgram(0, chainProg(isa.FAdd, 400, 6))
+	m.LoadProgram(1, chainProg(isa.IAdd, 300, 6))
+	res, err := m.Run(1_000_000)
+	if err != nil || !res.Completed {
+		t.Fatalf("run: err=%v completed=%v", err, res.Completed)
+	}
+	sp.Finish()
+	return m, tr, sp
+}
+
+func TestTracerRecordsAllRetirements(t *testing.T) {
+	_, tr, _ := runTraced(t, TracerConfig{}, SamplerConfig{Every: 1})
+	spans := tr.Spans()
+	if len(spans) != 700 {
+		t.Fatalf("got %d spans, want 700", len(spans))
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d spans with roomy ring", tr.Dropped())
+	}
+	// Retirement order is monotone in the retire cycle.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Cycle < spans[i-1].Cycle {
+			t.Fatalf("span %d retires at %d before predecessor at %d", i, spans[i].Cycle, spans[i-1].Cycle)
+		}
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	_, tr, _ := runTraced(t, TracerConfig{Max: 64}, SamplerConfig{})
+	spans := tr.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("ring kept %d spans, want 64", len(spans))
+	}
+	if tr.Dropped() != 700-64 {
+		t.Fatalf("dropped %d, want %d", tr.Dropped(), 700-64)
+	}
+	// The ring keeps the newest suffix: its last span is the last
+	// retirement overall.
+	all := NewTracer(TracerConfig{})
+	m := smt.New(smt.DefaultConfig())
+	all.Attach(m)
+	m.LoadProgram(0, chainProg(isa.FAdd, 400, 6))
+	m.LoadProgram(1, chainProg(isa.IAdd, 300, 6))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	full := all.Spans()
+	if got, want := spans[len(spans)-1], full[len(full)-1]; got != want {
+		t.Fatalf("ring tail %+v != run tail %+v", got, want)
+	}
+}
+
+func TestTracerWindow(t *testing.T) {
+	_, full, _ := runTraced(t, TracerConfig{}, SamplerConfig{})
+	mid := full.Spans()[350].Cycle
+	_, windowed, _ := runTraced(t, TracerConfig{From: mid, To: mid + 50}, SamplerConfig{})
+	spans := windowed.Spans()
+	if len(spans) == 0 {
+		t.Fatal("window captured nothing")
+	}
+	for _, s := range spans {
+		if s.Cycle < mid || s.Cycle >= mid+50 {
+			t.Fatalf("span retiring at %d escaped window [%d, %d)", s.Cycle, mid, mid+50)
+		}
+	}
+}
+
+func TestTracerChainsExistingObserver(t *testing.T) {
+	m := smt.New(smt.DefaultConfig())
+	var chained int
+	m.OnRetire(func(smt.RetireInfo) { chained++ })
+	tr := NewTracer(TracerConfig{})
+	tr.Attach(m)
+	m.LoadProgram(0, chainProg(isa.FAdd, 50, 6))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if chained != len(tr.Spans()) || chained == 0 {
+		t.Fatalf("chained observer saw %d, tracer %d", chained, len(tr.Spans()))
+	}
+}
+
+// chromeDoc mirrors the trace container for schema validation with
+// unknown fields rejected.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   *uint64        `json:"ts"`
+		Dur  uint64         `json:"dur"`
+		Pid  *int           `json:"pid"`
+		Tid  *int           `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// validateChrome checks structural validity of a serialized trace:
+// parseable, known phases only, required fields present, X slices with
+// sane stage ordering inside args.
+func validateChrome(t *testing.T, data []byte) chromeDoc {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc chromeDoc
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace does not parse under strict schema: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing required field: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "X":
+			alloc, aok := ev.Args["alloc"].(float64)
+			issue, iok := ev.Args["issue"].(float64)
+			complete, cok := ev.Args["complete"].(float64)
+			retire, rok := ev.Args["retire"].(float64)
+			if !aok || !iok || !cok || !rok {
+				t.Fatalf("slice %d lacks stage args: %+v", i, ev.Args)
+			}
+			if issue < alloc || complete < issue || retire < complete {
+				t.Fatalf("slice %d stages out of order: %+v", i, ev.Args)
+			}
+		case "C":
+			if len(ev.Args) == 0 {
+				t.Fatalf("counter event %d without series", i)
+			}
+		case "M":
+			if ev.Args["name"] == "" {
+				t.Fatalf("metadata event %d without name", i)
+			}
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, ev.Ph)
+		}
+	}
+	return doc
+}
+
+func TestChromeTraceSchemaAndDeterminism(t *testing.T) {
+	render := func() []byte {
+		_, tr, sp := runTraced(t, TracerConfig{}, SamplerConfig{Every: 32})
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, tr.Spans(), sp.Samples()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	validateChrome(t, a)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different traces")
+	}
+}
+
+func TestChromeTraceLanesNeverOverlap(t *testing.T) {
+	_, tr, _ := runTraced(t, TracerConfig{}, SamplerConfig{})
+	ct := BuildChromeTrace(tr.Spans(), nil)
+	type key struct{ pid, tid int }
+	end := map[key]uint64{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		k := key{ev.Pid, ev.Tid}
+		if ev.Ts < end[k] {
+			t.Fatalf("lane %v: slice at %d overlaps previous ending %d", k, ev.Ts, end[k])
+		}
+		end[k] = ev.Ts + ev.Dur
+	}
+}
+
+func TestSamplerFullCoverage(t *testing.T) {
+	m, _, sp := runTraced(t, TracerConfig{}, SamplerConfig{Every: 7})
+	var covered uint64
+	for _, s := range sp.Samples() {
+		covered += s.Window
+	}
+	if covered != m.Cycle() {
+		t.Fatalf("windows cover %d cycles, run took %d", covered, m.Cycle())
+	}
+}
+
+func TestSamplerDecimation(t *testing.T) {
+	sp := NewSampler(SamplerConfig{Every: 1, Max: 16})
+	m := smt.New(smt.DefaultConfig())
+	sp.Attach(m)
+	m.LoadProgram(0, chainProg(isa.FAdd, 2000, 6))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	sp.Finish()
+	if n := len(sp.Samples()); n >= 16 || n == 0 {
+		t.Fatalf("decimated series has %d samples, want within (0, 16)", n)
+	}
+	if sp.Every() <= 1 {
+		t.Fatalf("period %d did not grow under decimation", sp.Every())
+	}
+	var covered, retired uint64
+	for _, s := range sp.Samples() {
+		covered += s.Window
+		retired += s.UopsRetired[0]
+	}
+	if covered != m.Cycle() {
+		t.Fatalf("decimated windows cover %d cycles, run took %d", covered, m.Cycle())
+	}
+	if retired != 2000 {
+		t.Fatalf("decimated series retains %d retirements, want 2000", retired)
+	}
+}
+
+func TestSamplerCSVShape(t *testing.T) {
+	_, _, sp := runTraced(t, TracerConfig{}, SamplerConfig{Every: 64})
+	var buf bytes.Buffer
+	if err := sp.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(sp.Samples())+1 {
+		t.Fatalf("CSV has %d lines, want header + %d samples", len(lines), len(sp.Samples()))
+	}
+	cols := strings.Count(lines[0], ",") + 1
+	for i, l := range lines {
+		if c := strings.Count(l, ",") + 1; c != cols {
+			t.Fatalf("line %d has %d columns, header has %d", i, c, cols)
+		}
+	}
+}
+
+func TestSamplerJSONRoundTrip(t *testing.T) {
+	_, _, sp := runTraced(t, TracerConfig{}, SamplerConfig{Every: 64})
+	var buf bytes.Buffer
+	if err := sp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string   `json:"schema"`
+		Every   uint64   `json:"every"`
+		Samples []Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != OccupancySchema {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if len(doc.Samples) != len(sp.Samples()) {
+		t.Fatalf("round trip kept %d samples, want %d", len(doc.Samples), len(sp.Samples()))
+	}
+}
+
+func TestMetricsDocument(t *testing.T) {
+	m, _, _ := runTraced(t, TracerConfig{}, SamplerConfig{})
+	x := CollectMetrics(m, "test-cell", true)
+	x.Put("wall_seconds", 1.25)
+	x.Put("cache_hits", 3)
+	x.Put("wall_seconds", 2.5) // replace, not duplicate
+	var buf bytes.Buffer
+	if err := x.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc Metrics
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != MetricsSchema || doc.Label != "test-cell" || !doc.Run.Completed {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if doc.Run.Cycles != m.Cycle() {
+		t.Fatalf("cycles %d != %d", doc.Run.Cycles, m.Cycle())
+	}
+	byName := map[string]CounterRow{}
+	for _, row := range doc.Counters {
+		byName[row.Event] = row
+	}
+	if row := byName["uops_retired"]; row.Total != 700 || row.CPU[0]+row.CPU[1] != row.Total {
+		t.Fatalf("uops_retired row %+v, want total 700", row)
+	}
+	if len(doc.Meta) != 2 || doc.Meta[0].Key != "cache_hits" || doc.Meta[1].Key != "wall_seconds" {
+		t.Fatalf("meta not sorted/deduped: %+v", doc.Meta)
+	}
+	if v, ok := doc.Meta[1].Value.(float64); !ok || v != 2.5 {
+		t.Fatalf("replaced meta value %v", doc.Meta[1].Value)
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smtexplore/internal/perfmon"
+	"smtexplore/internal/smt"
+)
+
+// SamplerConfig parameterises a Sampler.
+type SamplerConfig struct {
+	// Every is the sampling period in cycles (≤0 → 128). A period of 1
+	// samples every cycle, which the conservation tests use to reconcile
+	// the series against the counter bank exactly.
+	Every uint64
+	// Max bounds the retained samples (≤0 → 4096, must be even). When
+	// the series fills, the period doubles and the series decimates in
+	// place — accumulated deltas fold into the surviving samples, so
+	// window sums stay exact over arbitrarily long runs at bounded
+	// memory.
+	Max int
+}
+
+// Sample is one point of the occupancy time series: the instantaneous
+// resource state at its cycle plus event deltas accumulated over the
+// window since the previous sample. Delta fields are conserved across
+// decimation — summing any of them over the whole series equals the
+// final counter value.
+type Sample struct {
+	// Cycle is the cycle the instantaneous state was captured at.
+	Cycle uint64 `json:"cycle"`
+	// Window is the number of cycles the delta fields cover.
+	Window uint64 `json:"window"`
+	// State is the instantaneous occupancy snapshot.
+	State smt.OccState `json:"state"`
+	// Per-context counter deltas over the window.
+	ActiveCycles [smt.NumContexts]uint64 `json:"active_cycles"`
+	HaltedCycles [smt.NumContexts]uint64 `json:"halted_cycles"`
+	IssuedUops   [smt.NumContexts]uint64 `json:"issued_uops"`
+	UopsRetired  [smt.NumContexts]uint64 `json:"uops_retired"`
+	L2Misses     [smt.NumContexts]uint64 `json:"l2_misses"`
+	ResourceSt   [smt.NumContexts]uint64 `json:"resource_stall_cycles"`
+}
+
+// Sampler produces the occupancy time series of a run. Attach it before
+// running and call Finish afterwards to flush the final partial window.
+type Sampler struct {
+	every   uint64
+	max     int
+	m       *smt.Machine
+	samples []Sample
+	last    perfmon.Snapshot
+	ticks   uint64 // cycles observed since Attach
+	lastTck uint64 // ticks at the previous sample
+	chain   func()
+}
+
+// NewSampler builds a sampler for the given configuration.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	every := cfg.Every
+	if every == 0 {
+		every = 128
+	}
+	max := cfg.Max
+	if max <= 0 {
+		max = 4096
+	}
+	if max%2 != 0 {
+		max++ // decimation halves the series; keep it pairable
+	}
+	return &Sampler{every: every, max: max}
+}
+
+// Every returns the current sampling period (grows under decimation).
+func (s *Sampler) Every() uint64 { return s.every }
+
+// Attach installs the sampler as the machine's per-cycle observer,
+// chaining to any observer already installed.
+func (s *Sampler) Attach(m *smt.Machine) {
+	s.m = m
+	s.last = m.Counters().Snapshot()
+	s.chain = m.CycleObserver()
+	m.OnCycle(s.tick)
+}
+
+func (s *Sampler) tick() {
+	s.ticks++
+	if s.ticks%s.every == 0 {
+		s.take()
+	}
+	if s.chain != nil {
+		s.chain()
+	}
+}
+
+// take captures one sample at the current machine state.
+func (s *Sampler) take() {
+	snap := s.m.Counters().Snapshot()
+	d := snap.Delta(s.last)
+	smp := Sample{
+		Cycle:  s.m.Cycle(),
+		Window: s.ticks - s.lastTck,
+		State:  s.m.OccState(),
+	}
+	for tid := 0; tid < smt.NumContexts; tid++ {
+		smp.ActiveCycles[tid] = d.Get(perfmon.Cycles, tid)
+		smp.HaltedCycles[tid] = d.Get(perfmon.HaltedCycles, tid)
+		smp.IssuedUops[tid] = d.Get(perfmon.IssuedUops, tid)
+		smp.UopsRetired[tid] = d.Get(perfmon.UopsRetired, tid)
+		smp.L2Misses[tid] = d.Get(perfmon.L2Misses, tid)
+		smp.ResourceSt[tid] = d.Get(perfmon.ResourceStallCycles, tid)
+	}
+	s.last = snap
+	s.lastTck = s.ticks
+	s.samples = append(s.samples, smp)
+	if len(s.samples) >= s.max {
+		s.decimate()
+	}
+}
+
+// decimate halves the series, folding each dropped sample's deltas into
+// its surviving successor (windows merge; instantaneous state keeps the
+// survivor's), and doubles the sampling period.
+func (s *Sampler) decimate() {
+	half := len(s.samples) / 2
+	for j := 0; j < half; j++ {
+		keep := s.samples[2*j+1]
+		drop := s.samples[2*j]
+		keep.Window += drop.Window
+		for tid := 0; tid < smt.NumContexts; tid++ {
+			keep.ActiveCycles[tid] += drop.ActiveCycles[tid]
+			keep.HaltedCycles[tid] += drop.HaltedCycles[tid]
+			keep.IssuedUops[tid] += drop.IssuedUops[tid]
+			keep.UopsRetired[tid] += drop.UopsRetired[tid]
+			keep.L2Misses[tid] += drop.L2Misses[tid]
+			keep.ResourceSt[tid] += drop.ResourceSt[tid]
+		}
+		s.samples[j] = keep
+	}
+	s.samples = s.samples[:half]
+	s.every *= 2
+}
+
+// Finish flushes the partial window since the last periodic sample, so
+// the series covers the full run exactly. Call once after the run;
+// further cycles keep sampling normally.
+func (s *Sampler) Finish() {
+	if s.m != nil && s.ticks > s.lastTck {
+		s.take()
+	}
+}
+
+// Samples returns the retained series, oldest first.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// csvHeader matches the WriteCSV row layout.
+var csvHeader = "cycle,window," +
+	"sched0,sched1,rob0,rob1,loadq0,loadq1,storeq0,storeq1,mshr_inflight," +
+	"active0,active1,halted0,halted1," +
+	"active_cycles0,active_cycles1,halted_cycles0,halted_cycles1," +
+	"issued0,issued1,retired0,retired1,l2_misses0,l2_misses1," +
+	"resource_stall0,resource_stall1"
+
+// WriteCSV emits the series as one CSV row per sample.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for _, p := range s.samples {
+		st := p.State
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Cycle, p.Window,
+			st.Sched[0], st.Sched[1], st.ROB[0], st.ROB[1],
+			st.LoadQ[0], st.LoadQ[1], st.StoreQ[0], st.StoreQ[1], st.InflightFills,
+			b01(st.Active[0]), b01(st.Active[1]), b01(st.Halted[0]), b01(st.Halted[1]),
+			p.ActiveCycles[0], p.ActiveCycles[1], p.HaltedCycles[0], p.HaltedCycles[1],
+			p.IssuedUops[0], p.IssuedUops[1], p.UopsRetired[0], p.UopsRetired[1],
+			p.L2Misses[0], p.L2Misses[1], p.ResourceSt[0], p.ResourceSt[1])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// occupancyDoc is the JSON container of a series.
+type occupancyDoc struct {
+	Schema  string   `json:"schema"`
+	Every   uint64   `json:"every"`
+	Samples []Sample `json:"samples"`
+}
+
+// OccupancySchema identifies the JSON export format.
+const OccupancySchema = "smtexplore/occupancy/v1"
+
+// WriteJSON emits the series as one JSON document.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	samples := s.samples
+	if samples == nil {
+		samples = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(occupancyDoc{Schema: OccupancySchema, Every: s.every, Samples: samples})
+}

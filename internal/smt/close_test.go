@@ -1,0 +1,72 @@
+package smt
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// waitGoroutines polls until the live goroutine count drops back to at
+// most want, tolerating scheduler lag, and returns the settled count.
+func waitGoroutines(want int) int {
+	var n int
+	for i := 0; i < 200; i++ {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n
+}
+
+// TestCloseReleasesAbandonedStreams pins the abandonment path of the
+// bounded measurement window: a Forever program stopped by a cycle
+// budget leaves its iter.Pull generator goroutine parked, and
+// Machine.Close must release it.
+func TestCloseReleasesAbandonedStreams(t *testing.T) {
+	forever := func() trace.Program {
+		return trace.Forever(trace.Generate(func(e *trace.Emitter) {
+			for i := 0; i < 64 && !e.Stopped(); i++ {
+				e.ALU(isa.FAdd, isa.F(i%6), isa.F(8), isa.F(9))
+			}
+		}))
+	}
+	before := runtime.NumGoroutine()
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		m := New(DefaultConfig())
+		m.LoadProgram(0, forever())
+		m.LoadProgram(1, forever())
+		res, err := m.Run(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			t.Fatal("Forever program reported completion")
+		}
+		m.Close()
+		m.Close() // idempotent
+	}
+	if after := waitGoroutines(before); after > before {
+		t.Errorf("leaked %d goroutines over %d windowed runs (before=%d after=%d)",
+			after-before, rounds, before, after)
+	}
+}
+
+// TestCloseAfterCompletionIsHarmless checks Close on a machine whose
+// programs retired fully (streams already closed by housekeeping).
+func TestCloseAfterCompletionIsHarmless(t *testing.T) {
+	m := New(DefaultConfig())
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		e.ALU(isa.IAdd, isa.R(0), isa.R(1), isa.R(2))
+	}))
+	res, err := m.Run(0)
+	if err != nil || !res.Completed {
+		t.Fatalf("run: err=%v completed=%v", err, res.Completed)
+	}
+	m.Close()
+}

@@ -109,6 +109,7 @@ type Machine struct {
 	cellWait map[isa.Cell]uint64
 
 	onRetire func(RetireInfo)
+	onCycle  func()
 
 	// lastRetireCycle backs the deadlock watchdog.
 	lastRetireCycle uint64
@@ -173,6 +174,76 @@ func (m *Machine) CellValue(c isa.Cell) int64 { return m.cells[c] }
 // removes it.
 func (m *Machine) OnRetire(fn func(RetireInfo)) { m.onRetire = fn }
 
+// RetireObserver returns the installed retirement observer (nil when
+// absent), so external instruments can chain to it instead of
+// displacing it.
+func (m *Machine) RetireObserver() func(RetireInfo) { return m.onRetire }
+
+// CycleObserver returns the installed per-cycle observer (nil when
+// absent); see RetireObserver.
+func (m *Machine) CycleObserver() func() { return m.onCycle }
+
+// OnCycle installs the per-cycle observer, invoked at the end of every
+// Step after the cycle's counters are booked but before the cycle number
+// advances — OccState() read from the hook is consistent with the
+// perfmon accounting of that cycle. A nil fn removes it. The hook is the
+// substrate of the occupancy sampler (internal/obs); it costs one nil
+// check per cycle when absent.
+func (m *Machine) OnCycle(fn func()) { m.onCycle = fn }
+
+// OccState is a read-only per-cycle view of the shared and partitioned
+// pipeline resources — the dynamic counterpart of the paper's static
+// resource-partitioning table (§2).
+type OccState struct {
+	// Cycle is the cycle this state describes.
+	Cycle uint64
+	// Sched is the per-context occupancy of the shared scheduler window.
+	Sched [NumContexts]int
+	// ROB, LoadQ and StoreQ are the per-context occupancies of the
+	// statically partitioned buffers.
+	ROB    [NumContexts]int
+	LoadQ  [NumContexts]int
+	StoreQ [NumContexts]int
+	// Active and Halted mirror the perfmon Cycles/HaltedCycles
+	// accounting: a started, unfinished context is in exactly one of the
+	// two states each cycle.
+	Active [NumContexts]bool
+	Halted [NumContexts]bool
+	// InflightFills is the number of busy MSHRs (outstanding L2 misses).
+	InflightFills int
+}
+
+// OccState snapshots the current occupancy of every modelled resource.
+func (m *Machine) OccState() OccState {
+	s := OccState{Cycle: m.cycle, InflightFills: m.hier.InflightFills(m.cycle)}
+	for i := range m.threads {
+		t := &m.threads[i]
+		s.Sched[i] = t.schedCount
+		s.ROB[i] = t.rob.count
+		s.LoadQ[i] = t.ldq
+		s.StoreQ[i] = t.stq
+		live := t.started && !t.done
+		s.Active[i] = live && !t.halted
+		s.Halted[i] = live && t.halted
+	}
+	return s
+}
+
+// Close releases the instruction-stream generators of every loaded
+// program. Streams of programs that retire fully are closed by the
+// machine itself; Close covers the abandonment paths — a bounded
+// measurement window expiring or a deadlocked run — where the underlying
+// iter.Pull goroutines would otherwise leak. Safe to call multiple
+// times; the machine must not be stepped afterwards.
+func (m *Machine) Close() {
+	for i := range m.threads {
+		t := &m.threads[i]
+		if t.stream != nil {
+			t.stream.Close()
+		}
+	}
+}
+
 // WaitProfile returns the cycles spent waiting (spin or halt) per
 // synchronisation cell — the per-barrier wait-time measurement the paper
 // uses to decide where to embed the halt machinery.
@@ -231,6 +302,9 @@ func (m *Machine) Step() {
 	m.issue()
 	m.allocate()
 	m.account()
+	if m.onCycle != nil {
+		m.onCycle()
+	}
 	m.cycle++
 }
 

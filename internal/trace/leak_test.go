@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"smtexplore/internal/isa"
+)
+
+// TestStreamCloseReleasesGoroutine pins the resource contract of
+// Stream.Close: abandoning a stream mid-program (the bounded
+// measurement window case) must release the iter.Pull generator
+// goroutine, and Next after Close must report exhaustion rather than
+// resurrect it.
+func TestStreamCloseReleasesGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		s := NewStream(Forever(Generate(func(e *Emitter) {
+			e.Nop()
+		})))
+		for k := 0; k < 3; k++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatal("Forever stream ended")
+			}
+		}
+		s.Close()
+		s.Close() // idempotent
+		if _, ok := s.Next(); ok {
+			t.Fatal("Next after Close returned an instruction")
+		}
+		if !s.Done() {
+			t.Fatal("closed stream not Done")
+		}
+	}
+	after := runtime.NumGoroutine()
+	for i := 0; i < 200 && after > before; i++ {
+		time.Sleep(time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Errorf("leaked %d goroutines over %d close cycles (before=%d after=%d)",
+			after-before, rounds, before, after)
+	}
+}
+
+// TestStreamCloseUnpulled closes a stream that was never pulled from.
+func TestStreamCloseUnpulled(t *testing.T) {
+	s := NewStream(Generate(func(e *Emitter) {
+		e.Emit(isa.Instr{Op: isa.Nop})
+	}))
+	s.Close()
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next after Close returned an instruction")
+	}
+}

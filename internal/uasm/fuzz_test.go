@@ -1,0 +1,113 @@
+package uasm
+
+import (
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// fuzzSeeds are well-formed programs exercising every statement kind, so
+// the fuzzer starts from syntax-shaped inputs rather than noise.
+var fuzzSeeds = []string{
+	"fadd f0, f1, f2\n",
+	"iadd r4, r5, r6\nilogic r0, r1, r2\n",
+	"load f3, [0x1000]\nload f3, [0x1000] @7\nstore f3, [0x2000]\n",
+	"prefetch [0x3000]\nbranch\nnop\npause\n",
+	"flag c1 = 42\nspin c1 == 42\nrawspin c2 != 0\nhalt c1 >= 5\n",
+	"loop 3\n  fmul f0, f1, f2\n  loop 2\n    idiv r1, r2, r3\n  end\nend\n",
+	"# comment\nfadd f0, f1, f2 ; trailing comment\n",
+	"loop 100000000\n  nop\nend\n", // loop counts far beyond what tests pull
+}
+
+// materialize pulls at most n instructions out of p.
+func materialize(p trace.Program, n uint64) []isa.Instr {
+	return trace.Collect(trace.Limit(p, n))
+}
+
+// FuzzParse asserts the assembler's safety contract on arbitrary input:
+// never panic, and on acceptance emit only structurally valid
+// instructions (bounded prefix — loops may be astronomically long).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for i, in := range materialize(p, 512) {
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("accepted program emits invalid instruction %d (%v): %v\nsource:\n%s",
+					i, in, verr, src)
+			}
+		}
+	})
+}
+
+// FuzzDisasmRoundTrip asserts Parse∘Disassemble is the identity on parsed
+// programs: whatever the assembler accepted, the disassembler must render
+// back into text the assembler accepts again, yielding the same µops.
+func FuzzDisasmRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		first := materialize(p, 256)
+		text, err := Disassemble(sliceProgram(first))
+		if err != nil {
+			t.Fatalf("parsed program does not disassemble: %v\nsource:\n%s", err, src)
+		}
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("disassembly does not reparse: %v\ndisassembly:\n%s", err, text)
+		}
+		second := materialize(p2, 256)
+		if len(first) != len(second) {
+			t.Fatalf("round trip changed length: %d -> %d\ndisassembly:\n%s", len(first), len(second), text)
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("round trip changed instruction %d: %v -> %v", i, first[i], second[i])
+			}
+		}
+	})
+}
+
+// FuzzCount asserts the static counter agrees with dynamic emission for
+// programs it accepts (bounded: only checked when the count is small
+// enough to enumerate).
+func FuzzCount(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Count(src)
+		if err != nil || n > 4096 {
+			return
+		}
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Count accepted but Parse rejected: %v\nsource:\n%s", err, src)
+		}
+		if got := uint64(len(materialize(p, n+1))); got != n {
+			t.Fatalf("Count says %d, program emits %d\nsource:\n%s", n, got, src)
+		}
+	})
+}
+
+// sliceProgram replays a materialized instruction slice as a Program.
+func sliceProgram(ins []isa.Instr) trace.Program {
+	return func(yield func(isa.Instr) bool) {
+		for _, in := range ins {
+			if !yield(in) {
+				return
+			}
+		}
+	}
+}
