@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke service-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke service-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 40m . | tee bench-smoke.txt
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/runner | tee -a bench-smoke.txt
+
+# End-to-end daemon smoke: smtd + smtctl against a disk store, including
+# the byte-identical-to-CLI check and the warm-restart zero-simulation
+# check (CI runs the same script).
+service-smoke:
+	./scripts/service-smoke.sh
 
 # Sample observability bundle: a Perfetto-loadable pipeline trace, an
 # occupancy CSV and a metrics snapshot (CI uploads obs-sample/).

@@ -7,6 +7,7 @@
 //
 //	ablate -study sync|span|partition|selective|all
 //	ablate -workers 4      # bound the concurrent simulation cells
+//	ablate -store cells/   # reuse the disk-backed result store
 //
 // Simulation cells fan out over -workers (default: all cores); one
 // result cache spans the invocation, so configurations repeated across
@@ -16,31 +17,65 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/runner"
+	"smtexplore/internal/store"
 )
+
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablate: ")
-	study := flag.String("study", "all", "study to run: sync, span, partition, selective or all")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	study := fs.String("study", "all", "study to run: sync, span, partition, selective or all")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	storeDir := fs.String("store", "", "disk-backed result store directory, shared with smtd and the other CLIs")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "ablate: invalid -workers %d (must be >= 1)\n", *workers)
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
+	}
+	cache := runner.NewCache()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, 0)
+		if err != nil {
+			return err
+		}
+		cache.WithTier(st)
 	}
 
 	ctx := context.Background()
-	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache()}
-	run := func(name string) {
+	opt := experiments.Options{Workers: *workers, Cache: cache}
+	runStudy := func(name string) error {
 		var rows []experiments.AblationRow
 		var title string
 		var err error
@@ -57,28 +92,31 @@ func main() {
 		case "selective":
 			r, serr := experiments.SelectiveHaltLU(ctx, opt, 64)
 			if serr != nil {
-				log.Fatal(serr)
+				return serr
 			}
-			fmt.Print(experiments.FormatSelectiveHalt(r))
-			fmt.Println()
-			return
+			fmt.Fprint(out, experiments.FormatSelectiveHalt(r))
+			fmt.Fprintln(out)
+			return nil
 		default:
 			fmt.Fprintf(os.Stderr, "unknown study %q\n", name)
-			flag.Usage()
-			os.Exit(2)
+			fs.Usage()
+			return errUsage
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Print(experiments.FormatAblation(title, rows))
-		fmt.Println()
+		fmt.Fprint(out, experiments.FormatAblation(title, rows))
+		fmt.Fprintln(out)
+		return nil
 	}
 
 	if *study == "all" {
 		for _, s := range []string{"sync", "span", "partition", "selective"} {
-			run(s)
+			if err := runStudy(s); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	run(*study)
+	return runStudy(*study)
 }

@@ -37,6 +37,7 @@ import (
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/runner"
+	"smtexplore/internal/store"
 )
 
 // errUsage marks a command-line error already reported to stderr; the
@@ -96,6 +97,7 @@ func run(args []string, out io.Writer) error {
 	table := fs.Int("table", 0, "table to regenerate (1)")
 	sizes := fs.String("sizes", "", "comma-separated MM/LU problem sizes (default: the paper's 32,64,128)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	storeDir := fs.String("store", "", "disk-backed result store directory, shared with smtd and the other CLIs")
 	observe := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -114,6 +116,14 @@ func run(args []string, out io.Writer) error {
 	} else if ns != nil {
 		mmSizes, luSizes = ns, ns
 	}
+	cache := runner.NewCache()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, 0)
+		if err != nil {
+			return err
+		}
+		cache.WithTier(st)
+	}
 
 	if *bench == "" && *table == 0 {
 		*bench = "all"
@@ -121,7 +131,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ctx := context.Background()
-	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache(), Observe: observe()}
+	opt := experiments.Options{Workers: *workers, Cache: cache, Observe: observe()}
 	runFig := func(name string) error {
 		switch name {
 		case "mm":

@@ -12,23 +12,48 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"smtexplore/internal/core"
 	"smtexplore/internal/memprobe"
 	"smtexplore/internal/smt"
 )
 
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("memprobe: ")
-	machine := flag.String("machine", "stream", "machine config: stream (512 KB L2) or kernel (32 KB L2)")
-	latOnly := flag.Bool("lat", false, "latency sweep only")
-	bwOnly := flag.Bool("bw", false, "bandwidth sweep only")
-	hops := flag.Int("hops", 4000, "chase hops per latency point")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("memprobe", flag.ContinueOnError)
+	machine := fs.String("machine", "stream", "machine config: stream (512 KB L2) or kernel (32 KB L2)")
+	latOnly := fs.Bool("lat", false, "latency sweep only")
+	bwOnly := fs.Bool("bw", false, "bandwidth sweep only")
+	hops := fs.Int("hops", 4000, "chase hops per latency point")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
 
 	var mcfg smt.Config
 	switch *machine {
@@ -37,28 +62,31 @@ func main() {
 	case "kernel":
 		mcfg = core.KernelMachine()
 	default:
-		log.Fatalf("unknown machine %q", *machine)
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		fs.Usage()
+		return errUsage
 	}
 
 	l2 := mcfg.Mem.L2.Size
 	sizes := []int{1 << 10, 4 << 10, 16 << 10, l2 / 2, l2, 4 * l2, 16 * l2}
 
 	if !*bwOnly {
-		fmt.Printf("dependent pointer-chase latency (%s machine, L1 %dKB, L2 %dKB):\n",
+		fmt.Fprintf(out, "dependent pointer-chase latency (%s machine, L1 %dKB, L2 %dKB):\n",
 			*machine, mcfg.Mem.L1.Size>>10, l2>>10)
 		points, err := memprobe.LatencySweep(mcfg, sizes, *hops)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Print(memprobe.FormatLatency(points))
-		fmt.Println()
+		fmt.Fprint(out, memprobe.FormatLatency(points))
+		fmt.Fprintln(out)
 	}
 	if !*latOnly {
-		fmt.Println("streaming bandwidth (independent loads):")
+		fmt.Fprintln(out, "streaming bandwidth (independent loads):")
 		points, err := memprobe.BandwidthSweep(mcfg, []int{4 << 10, l2, 8 * l2}, 40_000)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Print(memprobe.FormatBandwidth(points))
+		fmt.Fprint(out, memprobe.FormatBandwidth(points))
 	}
+	return nil
 }

@@ -29,6 +29,8 @@ import (
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/report"
+	"smtexplore/internal/runner"
+	"smtexplore/internal/store"
 )
 
 // errUsage marks a command-line error already reported to stderr; the
@@ -70,6 +72,7 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("sizes", "", "comma-separated MM/LU problem sizes (overrides the -quick defaults)")
 	verbose := fs.Bool("verbose", false, "also print the collected figures and tables")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	storeDir := fs.String("store", "", "disk-backed result store directory, shared with smtd and the other CLIs")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -82,7 +85,16 @@ func run(args []string, out io.Writer) error {
 		return errUsage
 	}
 
-	opt := report.Options{Workers: *workers}
+	cache := runner.NewCache()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, 0)
+		if err != nil {
+			return err
+		}
+		cache.WithTier(st)
+	}
+
+	opt := report.Options{Workers: *workers, Cache: cache}
 	if *quick {
 		opt = report.Options{
 			MMSizes:       []int{32, 64},
@@ -90,6 +102,7 @@ func run(args []string, out io.Writer) error {
 			SkipStreams:   true,
 			SkipAblations: true,
 			Workers:       *workers,
+			Cache:         cache,
 		}
 	}
 	if ns, err := parseSizes(*sizes); err != nil {

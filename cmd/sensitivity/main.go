@@ -15,8 +15,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -26,18 +28,40 @@ import (
 	"smtexplore/internal/kernels"
 )
 
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sensitivity: ")
-	kernel := flag.String("kernel", "mm", "benchmark: mm, lu, cg, bt")
-	modeName := flag.String("mode", "tlp-coarse", "execution mode")
-	size := flag.Int("size", 64, "problem size for mm/lu (ignored otherwise)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (must be >= 1)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
+	kernel := fs.String("kernel", "mm", "benchmark: mm, lu, cg, bt")
+	modeName := fs.String("mode", "tlp-coarse", "execution mode")
+	size := fs.Int("size", 64, "problem size for mm/lu (ignored otherwise)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent sweep points (must be >= 1)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "sensitivity: invalid -workers %d (must be >= 1)\n", *workers)
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
 	}
 
 	var b core.Benchmark
@@ -51,7 +75,9 @@ func main() {
 	case "bt":
 		b, *size = core.BenchmarkBT, 0
 	default:
-		log.Fatalf("unknown kernel %q", *kernel)
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		fs.Usage()
+		return errUsage
 	}
 	var mode kernels.Mode
 	found := false
@@ -61,7 +87,9 @@ func main() {
 		}
 	}
 	if !found {
-		log.Fatalf("unknown mode %q", *modeName)
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		fs.Usage()
+		return errUsage
 	}
 
 	opt := experiments.Options{Workers: *workers}
@@ -69,8 +97,9 @@ func main() {
 		return core.NewBuilder(b, *size)
 	}, mode, experiments.DefaultVariants())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(experiments.FormatSensitivity(
+	fmt.Fprint(out, experiments.FormatSensitivity(
 		fmt.Sprintf("µarchitecture sensitivity — %s / %s", *kernel, mode), points))
+	return nil
 }

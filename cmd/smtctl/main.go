@@ -1,0 +1,392 @@
+// Command smtctl is the client for the smtd simulation daemon: it
+// submits cell batches, watches progress over the daemon's SSE stream,
+// and fetches results — the scriptable path CI uses to smoke-test the
+// service end to end.
+//
+// Usage:
+//
+//	smtctl [-addr host:port] <command> [args]
+//
+//	smtctl submit -fig 1                     # one harness cell; prints the job ID
+//	smtctl submit -stream fadd,iload -ilp max -window 120000
+//	smtctl submit -kernel mm -mode tlp-fine -size 64
+//	smtctl submit -f batch.json              # raw batch ("-" reads stdin)
+//	smtctl status j0001                      # job status JSON
+//	smtctl wait j0001                        # stream events until terminal
+//	smtctl result j0001 [-cell 0] [-text]    # results (terminal jobs)
+//	smtctl cancel j0001                      # abort
+//
+// wait exits 0 only when the job completed: a failed job prints the
+// failing cell's error and exits 1; a cancelled job prints the
+// cancellation and exits 3 — silence is never a masked failure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"smtexplore/internal/service"
+)
+
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
+// errJobFailed and errJobCancelled mark terminal job outcomes that must
+// not exit 0: the details were already printed, main only maps the exit
+// status (1 and 3 respectively).
+var (
+	errJobFailed    = errors.New("job failed")
+	errJobCancelled = errors.New("job cancelled")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smtctl: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		switch {
+		case errors.Is(err, flag.ErrHelp):
+			os.Exit(0)
+		case errors.Is(err, errUsage):
+			os.Exit(2)
+		case errors.Is(err, errJobFailed):
+			log.Print(err)
+			os.Exit(1)
+		case errors.Is(err, errJobCancelled):
+			log.Print(err)
+			os.Exit(3)
+		}
+		log.Fatal(err)
+	}
+}
+
+func usage(fs *flag.FlagSet, format string, v ...any) error {
+	fmt.Fprintf(os.Stderr, "smtctl: "+format+"\n", v...)
+	fs.Usage()
+	return errUsage
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smtctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8377", "smtd address (host:port)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] submit|status|wait|result|cancel [args]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return usage(fs, "missing command")
+	}
+	c := client{base: "http://" + *addr, out: out}
+	switch rest[0] {
+	case "submit":
+		return c.submit(rest[1:])
+	case "status":
+		return c.status(rest[1:])
+	case "wait":
+		return c.wait(rest[1:])
+	case "result":
+		return c.result(rest[1:])
+	case "cancel":
+		return c.cancel(rest[1:])
+	}
+	return usage(fs, "unknown command %q", rest[0])
+}
+
+type client struct {
+	base string
+	out  io.Writer
+}
+
+// apiError extracts the service's {"error": ...} body.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c client) getJSON(path string, v any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// submit builds a one-cell batch from flags (or reads a raw batch from
+// -f) and prints the assigned job ID.
+func (c client) submit(args []string) error {
+	fs := flag.NewFlagSet("smtctl submit", flag.ContinueOnError)
+	fig := fs.String("fig", "", "harness cell: a named figure/table/study (fig1, fig2a, fig3, table1, sync, ...)")
+	stream := fs.String("stream", "", "stream cell: comma-separated stream kinds to co-run (e.g. fadd,iload)")
+	ilp := fs.String("ilp", "max", "stream cell ILP degree: min, med or max")
+	window := fs.Uint64("window", 0, "stream cell measurement window in cycles (0: harness default)")
+	kernel := fs.String("kernel", "", "kernel cell: mm, lu, cg or bt")
+	mode := fs.String("mode", "serial", "kernel cell execution mode")
+	size := fs.Int("size", 0, "kernel cell problem size (mm/lu matrix dimension)")
+	file := fs.String("f", "", "submit a raw JSON batch from this file (\"-\": stdin)")
+	observe := fs.Bool("observe", false, "request per-cell obs artifacts (stream/kernel cells)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
+
+	var req service.SubmitRequest
+	switch {
+	case *file != "":
+		var data []byte
+		var err error
+		if *file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &req); err != nil {
+			return fmt.Errorf("parsing %s: %w", *file, err)
+		}
+	case *fig != "":
+		name := *fig
+		// Accept the CLI figure spellings too: "1" → fig1, "2a" → fig2a.
+		if name != "" && name[0] >= '0' && name[0] <= '9' {
+			name = "fig" + name
+		}
+		req.Cells = []service.CellSpec{{Type: service.TypeHarness, Harness: name}}
+	case *stream != "":
+		var cell service.CellSpec
+		cell.Type = service.TypeStream
+		cell.Window = *window
+		cell.Observe = *observe
+		for _, k := range strings.Split(*stream, ",") {
+			cell.Streams = append(cell.Streams, service.StreamSpec{Kind: strings.TrimSpace(k), ILP: *ilp})
+		}
+		req.Cells = []service.CellSpec{cell}
+	case *kernel != "":
+		req.Cells = []service.CellSpec{{
+			Type: service.TypeKernel, Kernel: *kernel, Mode: *mode, Size: *size, Observe: *observe,
+		}}
+	default:
+		return usage(fs, "submit needs one of -fig, -stream, -kernel or -f")
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		if ra := resp.Header.Get("Retry-After"); ra != "" && resp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("%w (retry after %ss)", apiError(resp), ra)
+		}
+		return apiError(resp)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Fprintln(c.out, st.ID)
+	return nil
+}
+
+func jobArg(fs *flag.FlagSet, what string) (string, error) {
+	if fs.NArg() != 1 {
+		return "", usage(fs, "%s needs exactly one job ID", what)
+	}
+	return fs.Arg(0), nil
+}
+
+func (c client) status(args []string) error {
+	fs := flag.NewFlagSet("smtctl status", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	id, err := jobArg(fs, "status")
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := c.getJSON("/v1/jobs/"+id, &st); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(c.out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// wait follows the job's SSE stream until the terminal event, printing
+// per-cell progress, and maps the outcome onto the exit status: done →
+// 0, failed → 1 (with the failing cell's error), cancelled → 3. A cell
+// error is surfaced the moment its event arrives, not at the end.
+func (c client) wait(args []string) error {
+	fs := flag.NewFlagSet("smtctl wait", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	id, err := jobArg(fs, "wait")
+	if err != nil {
+		return err
+	}
+	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "cell":
+				var ev service.Event
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return fmt.Errorf("bad event payload: %w", err)
+				}
+				if ev.State == service.CellFailed {
+					fmt.Fprintf(os.Stderr, "smtctl: cell %d (%s) failed: %s\n", ev.Cell, ev.Label, ev.Error)
+				} else if !*quiet {
+					fmt.Fprintf(c.out, "cell %d (%s): %s\n", ev.Cell, ev.Label, ev.State)
+				}
+			case "end":
+				var end struct {
+					State string `json:"state"`
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal([]byte(data), &end); err != nil {
+					return fmt.Errorf("bad end payload: %w", err)
+				}
+				switch end.State {
+				case service.JobDone:
+					if !*quiet {
+						fmt.Fprintf(c.out, "%s done\n", id)
+					}
+					return nil
+				case service.JobCancelled:
+					return fmt.Errorf("%w: %s: %s", errJobCancelled, id, end.Error)
+				default:
+					return fmt.Errorf("%w: %s: %s", errJobFailed, id, end.Error)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("event stream interrupted: %w", err)
+	}
+	return fmt.Errorf("event stream ended before the job finished")
+}
+
+func (c client) result(args []string) error {
+	fs := flag.NewFlagSet("smtctl result", flag.ContinueOnError)
+	cell := fs.Int("cell", -1, "fetch one cell's result instead of the whole job")
+	text := fs.Bool("text", false, "print a harness cell's formatted text verbatim (requires -cell)")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	id, err := jobArg(fs, "result")
+	if err != nil {
+		return err
+	}
+	if *text && *cell < 0 {
+		return usage(fs, "-text requires -cell")
+	}
+	if *cell >= 0 {
+		path := fmt.Sprintf("/v1/jobs/%s/cells/%d/result", id, *cell)
+		if *text {
+			resp, err := http.Get(c.base + path + "?format=text")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return apiError(resp)
+			}
+			_, err = io.Copy(c.out, resp.Body)
+			return err
+		}
+		var res service.CellResult
+		if err := c.getJSON(path, &res); err != nil {
+			return err
+		}
+		enc := json.NewEncoder(c.out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	var res service.JobResult
+	if err := c.getJSON("/v1/jobs/"+id+"/result", &res); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(c.out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func (c client) cancel(args []string) error {
+	fs := flag.NewFlagSet("smtctl cancel", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	id, err := jobArg(fs, "cancel")
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "%s %s\n", st.ID, st.State)
+	return nil
+}

@@ -1,0 +1,157 @@
+// Command smtd is the simulation-as-a-service daemon: it exposes the
+// reproduction's simulator over HTTP/JSON. Clients submit batches of
+// cells — stream-pair CPI measurements, kernel runs, or whole named
+// harnesses like fig1 — and poll or stream progress while a bounded job
+// queue executes them through the shared result cache, optionally
+// backed by a disk store shared with the CLI tools.
+//
+// Usage:
+//
+//	smtd                                  # listen on 127.0.0.1:8377
+//	smtd -addr 127.0.0.1:0 -addr-file a  # random port, written to a
+//	smtd -store cells/                    # persist results across restarts
+//	smtd -jobs 2 -queue 16 -workers 4     # concurrency and backpressure
+//	smtd -artifacts obs/                  # enable observe cells
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/events|/result]],
+// DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
+// On SIGINT/SIGTERM the daemon stops intake (healthz turns 503),
+// finishes every accepted job within -drain-timeout, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"smtexplore/internal/runner"
+	"smtexplore/internal/service"
+	"smtexplore/internal/store"
+)
+
+// errUsage marks a command-line error already reported to stderr; the
+// process exits with the conventional usage status 2.
+var errUsage = errors.New("usage")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smtd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run configures and serves the daemon until ctx is cancelled (signal)
+// or the listener fails. Tests drive it with their own context.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("smtd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8377", "listen address (host:port; :0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file (for scripts using -addr :0)")
+	storeDir := fs.String("store", "", "disk-backed result store directory (empty: in-memory only)")
+	storeMax := fs.Int64("store-max-bytes", 256<<20, "disk store size bound before LRU eviction (<=0: unbounded)")
+	cacheEntries := fs.Int("cache-entries", 4096, "in-memory cache entry bound before LRU eviction (<=0: unbounded)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells per job (must be >= 1)")
+	jobs := fs.Int("jobs", 2, "concurrent jobs (must be >= 1)")
+	queue := fs.Int("queue", 16, "queued jobs beyond the active ones before 429 backpressure (must be >= 1)")
+	artifacts := fs.String("artifacts", "", "observability artifact directory (empty: observe cells rejected)")
+	drain := fs.Duration("drain-timeout", time.Minute, "graceful shutdown budget for accepted jobs")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage // the flag package already reported the problem
+	}
+	bad := func(format string, v ...any) error {
+		fmt.Fprintf(os.Stderr, "smtd: "+format+"\n", v...)
+		fs.Usage()
+		return errUsage
+	}
+	if *workers < 1 {
+		return bad("invalid -workers %d (must be >= 1)", *workers)
+	}
+	if *jobs < 1 {
+		return bad("invalid -jobs %d (must be >= 1)", *jobs)
+	}
+	if *queue < 1 {
+		return bad("invalid -queue %d (must be >= 1)", *queue)
+	}
+
+	cache := runner.NewCache().WithLimit(*cacheEntries)
+	cfg := service.Config{
+		Workers:     *workers,
+		MaxActive:   *jobs,
+		QueueDepth:  *queue,
+		Cache:       cache,
+		ArtifactDir: *artifacts,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeMax)
+		if err != nil {
+			return err
+		}
+		cache.WithTier(st)
+		cfg.Store = st
+		ss := st.Stats()
+		fmt.Fprintf(out, "smtd: store %s: %d entries, %d bytes\n", *storeDir, ss.Entries, ss.Bytes)
+	}
+
+	svc := service.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			svc.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(out, "smtd: listening on %s\n", bound)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop intake first so /healthz flips to 503 and new
+	// submissions are refused, finish accepted jobs, then close the
+	// listener (late pollers can still read results until the very end).
+	fmt.Fprintf(out, "smtd: draining (budget %v)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintf(out, "smtd: drain incomplete: %v\n", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	srv.Shutdown(sctx)
+	fmt.Fprintln(out, "smtd: bye")
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startSmtd runs the daemon with a random port and returns its bound
+// address plus a shutdown func that triggers the graceful drain and
+// returns run's output.
+func startSmtd(t *testing.T, extra ...string) (addr string, shutdown func() string) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	runErr := make(chan error, 1)
+	go func() {
+		args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+		mu.Lock()
+		w := &lockedWriter{mu: &mu, w: &buf}
+		mu.Unlock()
+		runErr <- run(ctx, args, w)
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && len(data) > 0 {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		select {
+		case err := <-runErr:
+			t.Fatalf("smtd exited before binding: %v", err)
+		case <-deadline:
+			t.Fatal("smtd never wrote the addr file")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	return addr, func() string {
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Errorf("run returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("smtd did not shut down")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.String()
+	}
+}
+
+// lockedWriter serialises the daemon goroutine's writes against the
+// test's final read.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	store := t.TempDir()
+	addr, shutdown := startSmtd(t, "-store", store)
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/jobs", "application/json",
+		strings.NewReader(`{"cells":[{"type":"stream","window":2000,"streams":[{"kind":"fadd"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+
+	out := shutdown()
+	for _, want := range []string{"listening on " + addr, "draining", "smtd: bye"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon output lacks %q:\n%s", want, out)
+		}
+	}
+	// The graceful drain finished the accepted job; its result reached the
+	// disk store.
+	des, err := os.ReadDir(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells int
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".cell") {
+			cells++
+		}
+	}
+	if cells == 0 {
+		t.Error("no store entries written by the drained job")
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-jobs", "0"},
+		{"-queue", "0"},
+		{"-no-such-flag"},
+	} {
+		if err := run(context.Background(), args, io.Discard); !errors.Is(err, errUsage) {
+			t.Errorf("run(%q) = %v, want errUsage", args, err)
+		}
+	}
+}

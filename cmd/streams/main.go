@@ -32,6 +32,7 @@ import (
 
 	"smtexplore/internal/experiments"
 	"smtexplore/internal/runner"
+	"smtexplore/internal/store"
 	"smtexplore/internal/streams"
 )
 
@@ -75,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	fig := fs.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c or all")
 	full := fs.Bool("full", false, "Figure 1 over all stream kinds, not just the paper's selection")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation cells (must be >= 1)")
+	storeDir := fs.String("store", "", "disk-backed result store directory, shared with smtd and the other CLIs")
 	observe := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -87,9 +89,17 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return errUsage
 	}
+	cache := runner.NewCache()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, 0)
+		if err != nil {
+			return err
+		}
+		cache.WithTier(st)
+	}
 
 	ctx := context.Background()
-	opt := experiments.Options{Workers: *workers, Cache: runner.NewCache(), Observe: observe()}
+	opt := experiments.Options{Workers: *workers, Cache: cache, Observe: observe()}
 	mcfg := experiments.StreamMachineConfig()
 	runFig := func(name string) error {
 		switch name {

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/bt"
+	"smtexplore/internal/kernels/cg"
+	"smtexplore/internal/kernels/lu"
+	"smtexplore/internal/kernels/mm"
+	"smtexplore/internal/runner"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/streams"
+)
+
+// StreamCell measures one stream cell — one or two co-executed streams
+// over a cycle window — through the options' cache and observe sink.
+// This is the exact primitive the Figure 1/2 harnesses use, under the
+// same content key, so an external caller (the smtd service) shares
+// results with the figure sweeps in both directions.
+func (o Options) StreamCell(mcfg smt.Config, specs []streams.Spec, window uint64) ([]float64, error) {
+	return o.measureCPI(mcfg, specs, window)
+}
+
+// NamedKernelCell runs the canonical (kernel, size, mode) cell on the
+// scaled kernel machine through the options' cache, under the same
+// content key the Figure 3/4/5 harnesses use — a service request for
+// "mm N=64 tlp-pfetch" reuses a Figure 3 result and vice versa. size
+// selects the matrix dimension for mm/lu (required > 0) and overrides
+// the instance defaults for cg (N) and bt (G) when non-zero.
+func NamedKernelCell(o Options, kernel string, size int, mode kernels.Mode) (KernelMetrics, error) {
+	mcfg := KernelMachineConfig()
+	var (
+		cfg   any
+		build func() (Builder, error)
+		label string
+	)
+	switch kernel {
+	case "mm":
+		if size <= 0 {
+			return KernelMetrics{}, fmt.Errorf("experiments: mm needs a size > 0")
+		}
+		c := mm.DefaultConfig(size)
+		cfg, label = c, fmt.Sprintf("N=%d", size)
+		build = func() (Builder, error) { return mm.New(c) }
+	case "lu":
+		if size <= 0 {
+			return KernelMetrics{}, fmt.Errorf("experiments: lu needs a size > 0")
+		}
+		c := lu.DefaultConfig(size)
+		cfg, label = c, fmt.Sprintf("N=%d", size)
+		build = func() (Builder, error) { return lu.New(c) }
+	case "cg":
+		c := cg.DefaultConfig()
+		if size > 0 {
+			c.N = size
+		}
+		cfg, label = c, fmt.Sprintf("n=%d nnz/row=%d iters=%d", c.N, c.NNZPerRow, c.Iters)
+		build = func() (Builder, error) { return cg.New(c) }
+	case "bt":
+		c := bt.DefaultConfig()
+		if size > 0 {
+			c.G = size
+		}
+		cfg, label = c, fmt.Sprintf("G=%d steps=%d", c.G, c.Steps)
+		build = func() (Builder, error) { return bt.New(c) }
+	default:
+		return KernelMetrics{}, fmt.Errorf("experiments: unknown kernel %q", kernel)
+	}
+	key := runner.Key("kernel", mcfg, kernel, cfg, mode, label)
+	return o.runKernel(key, build, mode, mcfg, label)
+}

@@ -49,6 +49,10 @@ type Options struct {
 	// Workers bounds the concurrent simulation cells within each
 	// experiment (≤0 → GOMAXPROCS).
 	Workers int
+	// Cache overrides the per-collection result cache (nil → a fresh
+	// in-memory one). Attach a runner.Tier-backed cache to reuse results
+	// across invocations and with the smtd daemon.
+	Cache *runner.Cache
 }
 
 // Collect runs every experiment needed by the claim set. With the zero
@@ -61,7 +65,11 @@ type Options struct {
 func Collect(ctx context.Context, opt Options) (*Data, error) {
 	d := &Data{}
 	var err error
-	eopt := experiments.Options{Workers: opt.Workers, Cache: runner.NewCache()}
+	cache := opt.Cache
+	if cache == nil {
+		cache = runner.NewCache()
+	}
+	eopt := experiments.Options{Workers: opt.Workers, Cache: cache}
 
 	if !opt.SkipStreams {
 		if d.Fig1, err = experiments.Fig1(ctx, eopt, experiments.StreamMachineConfig(), experiments.Fig1Kinds()); err != nil {

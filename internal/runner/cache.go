@@ -1,11 +1,24 @@
 package runner
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 )
+
+// Tier is an optional persistent layer under the in-memory cache: a
+// byte-oriented key-value store consulted on in-memory misses
+// (read-through) and populated on successful computes (write-through).
+// Implementations must be safe for concurrent use; internal/store
+// provides the disk-backed one. Both methods are best-effort — a Load
+// miss triggers a compute and a failed Store loses nothing but reuse.
+type Tier interface {
+	Load(key string) (data []byte, ok bool)
+	Store(key string, data []byte)
+}
 
 // Cache is a content-keyed, in-memory result cache with single-flight
 // semantics: concurrent lookups of the same key block on one
@@ -13,30 +26,65 @@ import (
 // deterministic, so a cached value is byte-identical to a recomputed
 // one; failed computations are not cached (a cancellation must not
 // poison the key for a later retry).
+//
+// Two optional knobs make it safe as a long-lived shared cache (the
+// smtd daemon's default): WithLimit bounds the resident entries with
+// LRU eviction, and WithTier layers a persistent store underneath so
+// evicted or restart-lost results are one disk read away instead of a
+// re-simulation.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	lru       *list.List // completed entries, front = most recently used
+	limit     int
+	tier      Tier
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
+	key  string
 	done chan struct{}
 	val  any
 	err  error
+	elem *list.Element // nil while the computation is in flight
 }
 
 // NewCache returns an empty cache, safe for concurrent use.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*cacheEntry)}
+	return &Cache{entries: make(map[string]*cacheEntry), lru: list.New()}
+}
+
+// WithLimit bounds the resident completed entries; inserting beyond n
+// evicts the least recently used. n <= 0 means unbounded (the default).
+// In-flight computations are never evicted. Returns c for chaining at
+// construction; do not change the limit once lookups have started.
+func (c *Cache) WithLimit(n int) *Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	return c
+}
+
+// WithTier attaches the persistent layer consulted on in-memory misses.
+// Returns c for chaining at construction; do not change the tier once
+// lookups have started.
+func (c *Cache) WithTier(t Tier) *Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tier = t
+	return c
 }
 
 // CacheStats reports cache effectiveness.
 type CacheStats struct {
 	// Hits counts lookups served from a completed or in-flight entry.
 	Hits uint64
-	// Misses counts lookups that had to compute.
+	// Misses counts lookups that had to compute (or read the tier).
 	Misses uint64
+	// Evictions counts completed entries dropped to honour WithLimit.
+	Evictions uint64
 	// Entries is the number of stored results.
 	Entries int
 }
@@ -45,7 +93,7 @@ type CacheStats struct {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
 }
 
 // do returns the cached value for key, computing it via compute on the
@@ -55,32 +103,93 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		<-e.done
 		return e.val, e.err
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
 
 	e.val, e.err = compute()
+	c.mu.Lock()
 	if e.err != nil {
-		c.mu.Lock()
 		delete(c.entries, key)
-		c.mu.Unlock()
+	} else {
+		e.elem = c.lru.PushFront(e)
+		c.evictOverLimitLocked()
 	}
+	c.mu.Unlock()
 	close(e.done)
 	return e.val, e.err
 }
 
+// evictOverLimitLocked drops least-recently-used completed entries until
+// the resident set fits the limit. Only entries in the LRU list (i.e.
+// completed) are candidates; waiters holding an evicted entry pointer
+// still read its value — eviction only forgets the key.
+func (c *Cache) evictOverLimitLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for c.lru.Len() > c.limit {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.evictions++
+	}
+}
+
+// tierSnapshot reads the tier pointer under the lock (WithTier may run
+// on another goroutine during setup; lookups must not race it).
+func (c *Cache) tierSnapshot() Tier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tier
+}
+
 // Cached runs compute through the cache under key. A nil cache computes
 // directly, so callers can thread an optional cache without branching.
+//
+// With a tier attached, an in-memory miss first tries the tier
+// (read-through): a stored payload is decoded as JSON into R. On a tier
+// miss — or an undecodable payload, e.g. after a schema change — the
+// value is computed and written back (write-through). The decode/encode
+// round-trip is exact for the result types in play (integers, strings
+// and finite float64s), so a tier hit is byte-identical to a recompute.
 func Cached[R any](c *Cache, key string, compute func() (R, error)) (R, error) {
 	if c == nil {
 		return compute()
 	}
-	v, err := c.do(key, func() (any, error) { return compute() })
+	v, err := c.do(key, func() (any, error) {
+		tier := c.tierSnapshot()
+		if tier != nil {
+			if data, ok := tier.Load(key); ok {
+				var r R
+				if err := json.Unmarshal(data, &r); err == nil {
+					return r, nil
+				}
+			}
+		}
+		r, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if tier != nil {
+			if data, err := json.Marshal(r); err == nil {
+				tier.Store(key, data)
+			}
+		}
+		return r, nil
+	})
 	if err != nil {
 		var zero R
 		return zero, err

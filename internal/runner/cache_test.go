@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeTier is an in-memory Tier recording its traffic.
+type fakeTier struct {
+	mu     sync.Mutex
+	data   map[string][]byte
+	loads  int
+	stores int
+}
+
+func newFakeTier() *fakeTier { return &fakeTier{data: make(map[string][]byte)} }
+
+func (f *fakeTier) Load(key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	d, ok := f.data[key]
+	return d, ok
+}
+
+func (f *fakeTier) Store(key string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	f.data[key] = append([]byte(nil), data...)
+}
+
+func TestCacheLimitEvictsLRU(t *testing.T) {
+	c := NewCache().WithLimit(2)
+	get := func(key string) (string, error) {
+		return Cached(c, key, func() (string, error) { return "v-" + key, nil })
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, err := get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the least recently used, then overflow.
+	if _, err := get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := get("c"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v, want 2 entries, 1 eviction", st)
+	}
+	// "a" survived (recently used), "b" did not.
+	misses := st.Misses
+	if _, err := get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != misses {
+		t.Errorf("lookup of retained key missed (misses %d -> %d)", misses, got)
+	}
+	if _, err := get("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != misses+1 {
+		t.Errorf("lookup of evicted key should miss (misses %d -> %d)", misses, got)
+	}
+}
+
+func TestCacheLimitSkipsInFlight(t *testing.T) {
+	c := NewCache().WithLimit(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Cached(c, "slow", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	// Complete other keys while "slow" is in flight; the limit of 1 must
+	// evict among the completed entries only.
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := Cached(c, key, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	<-done
+	// The slow entry completed after the churn and must be resident.
+	hits := c.Stats().Hits
+	v, err := Cached(c, "slow", func() (int, error) {
+		t.Error("in-flight entry was evicted; recomputed")
+		return -1, nil
+	})
+	if err != nil || v != 1 {
+		t.Fatalf("slow = %d, %v, want 1, nil", v, err)
+	}
+	if got := c.Stats().Hits; got != hits+1 {
+		t.Errorf("expected a hit on the completed in-flight entry (hits %d -> %d)", hits, got)
+	}
+}
+
+func TestCacheTierReadThroughAndWriteThrough(t *testing.T) {
+	tier := newFakeTier()
+
+	// A cold cache computes and writes through.
+	c1 := NewCache().WithTier(tier)
+	computes := 0
+	v, err := Cached(c1, "k", func() (float64, error) { computes++; return 3.25, nil })
+	if err != nil || v != 3.25 {
+		t.Fatalf("cold = %v, %v", v, err)
+	}
+	if computes != 1 || tier.stores != 1 {
+		t.Fatalf("computes=%d stores=%d, want 1, 1", computes, tier.stores)
+	}
+
+	// A fresh cache over the same tier reads through without computing.
+	c2 := NewCache().WithTier(tier)
+	v, err = Cached(c2, "k", func() (float64, error) { computes++; return -1, nil })
+	if err != nil || v != 3.25 {
+		t.Fatalf("warm = %v, %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatalf("warm lookup recomputed (computes=%d)", computes)
+	}
+
+	// An undecodable payload falls through to compute and is rewritten.
+	tier.data["k"] = []byte("{not json")
+	c3 := NewCache().WithTier(tier)
+	v, err = Cached(c3, "k", func() (float64, error) { computes++; return 3.25, nil })
+	if err != nil || v != 3.25 || computes != 2 {
+		t.Fatalf("corrupt payload: v=%v err=%v computes=%d, want recompute", v, err, computes)
+	}
+	if string(tier.data["k"]) != "3.25" {
+		t.Errorf("tier not rewritten after corrupt payload: %q", tier.data["k"])
+	}
+}
+
+func TestCacheEvictedKeyRefilledFromTier(t *testing.T) {
+	tier := newFakeTier()
+	c := NewCache().WithLimit(1).WithTier(tier)
+	computes := 0
+	get := func(key string) {
+		t.Helper()
+		want := "v-" + key
+		v, err := Cached(c, key, func() (string, error) { computes++; return want, nil })
+		if err != nil || v != want {
+			t.Fatalf("get(%q) = %q, %v", key, v, err)
+		}
+	}
+	get("a")
+	get("b") // evicts "a" from memory; tier still holds it
+	before := computes
+	get("a") // in-memory miss, tier hit
+	if computes != before {
+		t.Errorf("evicted key recomputed instead of tier read-through (computes %d -> %d)", before, computes)
+	}
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"smtexplore/internal/experiments"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/obs"
+	"smtexplore/internal/streams"
+)
+
+// harnessFunc regenerates one named figure or study, returning the exact
+// bytes the corresponding CLI prints (including its trailing blank line,
+// where the CLI emits one).
+type harnessFunc func(ctx context.Context, opt experiments.Options, sizes []int) (string, error)
+
+// harnesses maps harness-cell names onto the figure/table/study entry
+// points. The formatted output is the service's result: byte-identical
+// to `streams -fig X`, `kernels -bench Y`, `kernels -table 1` and
+// `ablate -study Z`, which is what makes the daemon path verifiable
+// against the serial CLI path.
+var harnesses = map[string]harnessFunc{
+	"fig1": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		rows, err := experiments.Fig1(ctx, opt, experiments.StreamMachineConfig(), experiments.Fig1Kinds())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig1(rows) + "\n", nil
+	},
+	"fig2a": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		cells, err := experiments.Fig2a(ctx, opt, experiments.StreamMachineConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig2("Figure 2(a) — floating-point streams", cells) + "\n", nil
+	},
+	"fig2b": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		cells, err := experiments.Fig2b(ctx, opt, experiments.StreamMachineConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig2("Figure 2(b) — integer streams", cells) + "\n", nil
+	},
+	"fig2c": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		cells, err := experiments.Fig2c(ctx, opt, experiments.StreamMachineConfig())
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFig2("Figure 2(c) — mixed fp×int arithmetic", cells) + "\n", nil
+	},
+	"fig3": func(ctx context.Context, opt experiments.Options, sizes []int) (string, error) {
+		if sizes == nil {
+			sizes = experiments.MMSizes()
+		}
+		ms, err := experiments.Fig3MM(ctx, opt, sizes)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatKernelFigure("Figure 3 — Matrix Multiplication", ms) + "\n", nil
+	},
+	"fig4": func(ctx context.Context, opt experiments.Options, sizes []int) (string, error) {
+		if sizes == nil {
+			sizes = experiments.LUSizes()
+		}
+		ms, err := experiments.Fig4LU(ctx, opt, sizes)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatKernelFigure("Figure 4 — LU decomposition", ms) + "\n", nil
+	},
+	"fig5cg": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		ms, err := experiments.Fig5CG(ctx, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatKernelFigure("Figure 5 — NAS CG", ms) + "\n", nil
+	},
+	"fig5bt": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		ms, err := experiments.Fig5BT(ctx, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatKernelFigure("Figure 5 — NAS BT", ms) + "\n", nil
+	},
+	"table1": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		cols, err := experiments.Table1(ctx, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable1(cols), nil
+	},
+	"sync": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		rows, err := experiments.AblateSync(ctx, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatAblation("Ablation §3.1 — wait primitive of the MM prefetcher", rows) + "\n", nil
+	},
+	"span": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		rows, err := experiments.AblateSpan(ctx, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatAblation("Ablation §3.2 — precomputation span of the MM prefetcher", rows) + "\n", nil
+	},
+	"partition": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		rows, err := experiments.AblatePartition(ctx, opt)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatAblation("Ablation §5.3 — static partitioning vs fully shared buffers", rows) + "\n", nil
+	},
+	"selective": func(ctx context.Context, opt experiments.Options, _ []int) (string, error) {
+		r, err := experiments.SelectiveHaltLU(ctx, opt, 64)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatSelectiveHalt(r) + "\n", nil
+	},
+}
+
+// HarnessNames lists the valid harness-cell names (for usage messages).
+func HarnessNames() []string {
+	names := make([]string, 0, len(harnesses))
+	for n := range harnesses {
+		names = append(names, n)
+	}
+	return names
+}
+
+// artifactSuffixes are the files obs.Instruments.Export writes per cell.
+var artifactSuffixes = []string{".trace.json", ".occupancy.csv", ".metrics.json"}
+
+// execCell runs one cell to completion and returns its result; it never
+// propagates errors or panics — both become the cell's failure state, so
+// one bad cell cannot take down its batch (let alone the daemon).
+// Cancellation of ctx is reported as a distinct cancelled state.
+func (s *Service) execCell(ctx context.Context, spec CellSpec, artifactDir string) (res CellResult) {
+	res = CellResult{Label: spec.Label()}
+	defer func() {
+		if p := recover(); p != nil {
+			res.State = CellFailed
+			res.Error = fmt.Sprintf("cell panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+
+	opt := experiments.Options{Workers: s.cfg.Workers, Cache: s.cfg.Cache}
+	var innerLabel string
+	if spec.Observe {
+		opt.Observe = &experiments.Observe{Dir: artifactDir}
+	}
+
+	var err error
+	switch spec.Type {
+	case TypeStream:
+		var specs []streams.Spec
+		if specs, err = spec.streamSpecs(); err == nil {
+			innerLabel = experiments.StreamCellLabel(specs, spec.window())
+			res.CPI, err = opt.StreamCell(experiments.StreamMachineConfig(), specs, spec.window())
+		}
+	case TypeKernel:
+		var mode = kernelMode(spec.Mode)
+		var km experiments.KernelMetrics
+		km, err = experiments.NamedKernelCell(opt, spec.Kernel, spec.Size, mode)
+		if err == nil {
+			innerLabel = km.Label
+			res.Kernel = &km
+		}
+	case TypeHarness:
+		res.Text, err = harnesses[spec.Harness](ctx, opt, spec.Sizes)
+	default:
+		err = fmt.Errorf("unknown cell type %q", spec.Type)
+	}
+
+	switch {
+	case err == nil:
+		res.State = CellDone
+		if spec.Observe {
+			slug := obs.Slug(innerLabel)
+			for _, suf := range artifactSuffixes {
+				res.Artifacts = append(res.Artifacts, slug+suf)
+			}
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		res.State = CellCancelled
+		res.Error = err.Error()
+	default:
+		res.State = CellFailed
+		res.Error = err.Error()
+	}
+	return res
+}
+
+// kernelMode resolves a pre-validated mode name (Validate already ran).
+func kernelMode(name string) kernels.Mode {
+	m, err := parseMode(name)
+	if err != nil {
+		panic(err) // unreachable after Validate
+	}
+	return m
+}

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Cells []CellSpec `json:"cells"`
+}
+
+// CellStatus is the progress view of one cell (results stripped).
+type CellStatus struct {
+	Index int    `json:"index"`
+	Label string `json:"label"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body (and the submit response).
+type JobStatus struct {
+	ID      string         `json:"id"`
+	State   string         `json:"state"`
+	Error   string         `json:"error,omitempty"`
+	Created time.Time      `json:"created"`
+	Cells   []CellStatus   `json:"cells"`
+	Counts  map[string]int `json:"counts"`
+}
+
+// JobResult is the GET /v1/jobs/{id}/result body.
+type JobResult struct {
+	ID    string       `json:"id"`
+	State string       `json:"state"`
+	Error string       `json:"error,omitempty"`
+	Cells []CellResult `json:"cells"`
+}
+
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.ID,
+		State:   j.state,
+		Error:   j.errMsg,
+		Created: j.created,
+		Counts:  map[string]int{},
+	}
+	for _, c := range j.cells {
+		st.Cells = append(st.Cells, CellStatus{Index: c.Index, Label: c.Label, State: c.State, Error: c.Error})
+		st.Counts[c.State]++
+	}
+	return st
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs                                  submit a batch
+//	GET    /v1/jobs                                  list jobs
+//	GET    /v1/jobs/{id}                             job status
+//	DELETE /v1/jobs/{id}                             cancel
+//	GET    /v1/jobs/{id}/events                      SSE progress stream
+//	GET    /v1/jobs/{id}/result                      full results (terminal jobs)
+//	GET    /v1/jobs/{id}/cells/{cell}/result         one cell's result (?format=text)
+//	GET    /v1/jobs/{id}/cells/{cell}/artifacts/{name}  obs artifact of an observed cell
+//	GET    /healthz                                  liveness (503 while draining)
+//	GET    /metrics                                  Prometheus text metrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/cells/{cell}/result", s.handleCellResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/cells/{cell}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.Submit(req.Cells)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client when to come back. One second is
+		// the right order of magnitude for cell-sized work.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []JobStatus
+	for _, j := range s.Jobs() {
+		out = append(out, j.status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	state, errMsg := j.State()
+	switch state {
+	case JobDone, JobFailed, JobCancelled:
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; results are available once it is terminal", j.ID, state))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResult{ID: j.ID, State: state, Error: errMsg, Cells: j.Results()})
+}
+
+func (s *Service) cell(w http.ResponseWriter, r *http.Request) (*Job, CellResult, bool) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return nil, CellResult{}, false
+	}
+	i, err := strconv.Atoi(r.PathValue("cell"))
+	results := j.Results()
+	if err != nil || i < 0 || i >= len(results) {
+		writeError(w, http.StatusNotFound, "unknown cell "+r.PathValue("cell"))
+		return nil, CellResult{}, false
+	}
+	return j, results[i], true
+}
+
+func (s *Service) handleCellResult(w http.ResponseWriter, r *http.Request) {
+	_, res, ok := s.cell(w, r)
+	if !ok {
+		return
+	}
+	switch res.State {
+	case CellDone, CellFailed, CellCancelled:
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("cell %d is %s", res.Index, res.State))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		if res.State != CellDone {
+			writeError(w, http.StatusConflict, fmt.Sprintf("cell %d %s: %s", res.Index, res.State, res.Error))
+			return
+		}
+		if res.Text == "" {
+			writeError(w, http.StatusBadRequest, "text format is only available for harness cells")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Text)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, res, ok := s.cell(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	listed := false
+	for _, a := range res.Artifacts {
+		if a == name {
+			listed = true
+			break
+		}
+	}
+	if !listed {
+		writeError(w, http.StatusNotFound, "unknown artifact "+name)
+		return
+	}
+	// Names come from the artifact list the service built itself (a slug
+	// plus a fixed suffix), never from path-traversable client input.
+	path := filepath.Join(s.cfg.ArtifactDir, j.ID, fmt.Sprintf("cell-%d", res.Index), name)
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "artifact not on disk: "+name)
+		return
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	http.ServeContent(w, r, name, info.ModTime(), f)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleEvents streams job progress as Server-Sent Events: the full
+// event history replays first, then live events as cells complete. The
+// stream ends with an "end" event carrying the terminal job state, so a
+// client can distinguish done / failed / cancelled without a second
+// request.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		evs, notify, terminal := j.EventsSince(next)
+		for _, ev := range evs {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			next++
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			// Re-check freshness: only finish once every event is out.
+			if evs2, _, _ := j.EventsSince(next); len(evs2) == 0 {
+				state, errMsg := j.State()
+				data, _ := json.Marshal(map[string]string{"job": j.ID, "state": state, "error": errMsg})
+				fmt.Fprintf(w, "event: end\ndata: %s\n\n", data)
+				flusher.Flush()
+				return
+			}
+			continue
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Job states. "queued" and "running" are live; "done", "failed" and
+// "cancelled" are terminal.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Event is one progress notification of a job, delivered in order over
+// the SSE stream (and kept for replay, so late subscribers see the full
+// history). Type "job" carries a job state transition; type "cell"
+// carries one cell's terminal state.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Type  string `json:"type"` // "job" or "cell"
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Cell fields (type "cell" only).
+	Cell  int    `json:"cell,omitempty"`
+	Label string `json:"label,omitempty"`
+}
+
+// Job is one submitted batch of cells and its execution state.
+type Job struct {
+	// ID is the service-assigned identifier ("j0001", …).
+	ID string
+	// Specs are the submitted cells, in submission order.
+	Specs []CellSpec
+
+	mu      sync.Mutex
+	state   string
+	errMsg  string
+	cells   []CellResult
+	cancel  context.CancelFunc // set while running
+	events  []Event
+	notify  chan struct{} // closed and replaced on every event append
+	done    chan struct{} // closed on terminal state
+	created time.Time
+}
+
+func newJob(id string, specs []CellSpec) *Job {
+	j := &Job{
+		ID:      id,
+		Specs:   specs,
+		state:   JobQueued,
+		cells:   make([]CellResult, len(specs)),
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	for i, sp := range specs {
+		j.cells[i] = CellResult{Index: i, Label: sp.Label(), State: CellPending}
+	}
+	return j
+}
+
+// emitLocked appends an event and wakes subscribers. Callers hold j.mu.
+func (j *Job) emitLocked(ev Event) {
+	ev.Seq = len(j.events)
+	ev.Job = j.ID
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setState transitions the job and emits a job event; entering a
+// terminal state closes Done. Returns false if the job was already
+// terminal (transitions out of terminal states are ignored).
+func (j *Job) setState(state, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminalLocked() {
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.emitLocked(Event{Type: "job", State: state, Error: errMsg})
+	if j.terminalLocked() {
+		close(j.done)
+	}
+	return true
+}
+
+func (j *Job) terminalLocked() bool {
+	switch j.state {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// markCellRunning flips a cell to running for status displays (no event:
+// subscribers care about completions).
+func (j *Job) markCellRunning(i int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cells[i].State == CellPending {
+		j.cells[i].State = CellRunning
+	}
+}
+
+// cancelPendingCells marks every not-yet-started cell cancelled (no
+// events: the job-level cancellation event covers them).
+func (j *Job) cancelPendingCells(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.cells {
+		if j.cells[i].State == CellPending {
+			j.cells[i].State = CellCancelled
+			j.cells[i].Error = msg
+		}
+	}
+}
+
+// setCell records a cell's terminal result and emits a cell event.
+func (j *Job) setCell(i int, res CellResult) {
+	res.Index = i
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cells[i] = res
+	j.emitLocked(Event{Type: "cell", Cell: i, Label: res.Label, State: res.State, Error: res.Error})
+}
+
+// State returns the job state and error message.
+func (j *Job) State() (string, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Results snapshots the per-cell results.
+func (j *Job) Results() []CellResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]CellResult, len(j.cells))
+	copy(out, j.cells)
+	return out
+}
+
+// EventsSince returns the events at and after seq, plus the channel that
+// will be closed when further events arrive and whether the job is
+// terminal as of this snapshot.
+func (j *Job) EventsSince(seq int) (evs []Event, notify <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < len(j.events) {
+		evs = append(evs, j.events[seq:]...)
+	}
+	return evs, j.notify, j.terminalLocked()
+}

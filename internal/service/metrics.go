@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Metrics is a point-in-time snapshot of the service, cache and store
+// counters (the structured form behind /metrics).
+type Metrics struct {
+	JobsDone, JobsFailed, JobsCancelled    uint64
+	CellsDone, CellsFailed, CellsCancelled uint64
+	JobsActive                             int
+	QueueDepth                             int
+	QueueCapacity                          int
+
+	CacheHits, CacheMisses, CacheEvictions uint64
+	CacheEntries                           int
+
+	HasStore                               bool
+	StoreHits, StoreMisses, StoreEvictions uint64
+	StoreCorrupt, StoreWrites              uint64
+	StoreEntries                           int
+	StoreBytes                             int64
+	// CellsSimulated is the number of cells that actually ran the
+	// simulator: in-memory cache misses the disk store could not serve.
+	// A fully warm store keeps this at zero across a whole batch.
+	CellsSimulated uint64
+
+	UptimeSeconds float64
+}
+
+// Snapshot collects the current metrics.
+func (s *Service) Snapshot() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		JobsDone:       s.jobsDone,
+		JobsFailed:     s.jobsFailed,
+		JobsCancelled:  s.jobsCancelled,
+		CellsDone:      s.cellsDone,
+		CellsFailed:    s.cellsFailed,
+		CellsCancelled: s.cellsCancelled,
+		JobsActive:     s.active,
+		QueueDepth:     len(s.queue),
+		QueueCapacity:  cap(s.queue),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+	}
+	s.mu.Unlock()
+
+	cs := s.cfg.Cache.Stats()
+	m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries = cs.Hits, cs.Misses, cs.Evictions, cs.Entries
+	m.CellsSimulated = cs.Misses
+	if s.cfg.Store != nil {
+		m.HasStore = true
+		ss := s.cfg.Store.Stats()
+		m.StoreHits, m.StoreMisses, m.StoreEvictions = ss.Hits, ss.Misses, ss.Evictions
+		m.StoreCorrupt, m.StoreWrites = ss.Corrupt, ss.Writes
+		m.StoreEntries, m.StoreBytes = ss.Entries, ss.Bytes
+		// Every in-memory miss consulted the store; the store's hits are
+		// the ones that skipped simulation.
+		if ss.Hits <= m.CellsSimulated {
+			m.CellsSimulated -= ss.Hits
+		} else {
+			m.CellsSimulated = 0
+		}
+	}
+	return m
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+func (m Metrics) WriteProm(w *strings.Builder) {
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP smtd_jobs_total Jobs finished, by terminal state.\n# TYPE smtd_jobs_total counter\n")
+	fmt.Fprintf(w, "smtd_jobs_total{state=\"done\"} %d\n", m.JobsDone)
+	fmt.Fprintf(w, "smtd_jobs_total{state=\"failed\"} %d\n", m.JobsFailed)
+	fmt.Fprintf(w, "smtd_jobs_total{state=\"cancelled\"} %d\n", m.JobsCancelled)
+	fmt.Fprintf(w, "# HELP smtd_cells_total Cells finished, by terminal state.\n# TYPE smtd_cells_total counter\n")
+	fmt.Fprintf(w, "smtd_cells_total{state=\"done\"} %d\n", m.CellsDone)
+	fmt.Fprintf(w, "smtd_cells_total{state=\"failed\"} %d\n", m.CellsFailed)
+	fmt.Fprintf(w, "smtd_cells_total{state=\"cancelled\"} %d\n", m.CellsCancelled)
+
+	gauge("smtd_jobs_active", "Jobs currently executing.", m.JobsActive)
+	gauge("smtd_queue_depth", "Jobs waiting in the bounded queue.", m.QueueDepth)
+	gauge("smtd_queue_capacity", "Capacity of the bounded queue.", m.QueueCapacity)
+
+	counter("smtd_cache_hits_total", "In-memory result cache hits.", m.CacheHits)
+	counter("smtd_cache_misses_total", "In-memory result cache misses.", m.CacheMisses)
+	counter("smtd_cache_evictions_total", "In-memory cache LRU evictions.", m.CacheEvictions)
+	gauge("smtd_cache_entries", "Resident in-memory cache entries.", m.CacheEntries)
+
+	counter("smtd_cells_simulated_total", "Cells that actually ran the simulator (missed every cache tier).", m.CellsSimulated)
+
+	if m.HasStore {
+		counter("smtd_store_hits_total", "Disk store hits.", m.StoreHits)
+		counter("smtd_store_misses_total", "Disk store misses.", m.StoreMisses)
+		counter("smtd_store_evictions_total", "Disk store LRU evictions.", m.StoreEvictions)
+		counter("smtd_store_corrupt_total", "Disk store entries dropped as corrupt.", m.StoreCorrupt)
+		counter("smtd_store_writes_total", "Disk store entries written.", m.StoreWrites)
+		gauge("smtd_store_entries", "Resident disk store entries.", m.StoreEntries)
+		gauge("smtd_store_bytes", "Resident disk store bytes.", m.StoreBytes)
+	}
+
+	gauge("smtd_uptime_seconds", "Seconds since the service started.", m.UptimeSeconds)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.Snapshot().WriteProm(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"smtexplore/internal/runner"
+	"smtexplore/internal/store"
+)
+
+// Submission errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull reports backpressure: the bounded job queue is at
+	// capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining reports a service that has stopped intake for
+	// shutdown (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrent simulation cells within one job
+	// (≤0 → GOMAXPROCS), exactly like the CLIs' -workers flag.
+	Workers int
+	// MaxActive is the number of jobs executing concurrently
+	// (≤0 → 1).
+	MaxActive int
+	// QueueDepth bounds jobs accepted beyond the active ones; a full
+	// queue rejects submissions with ErrQueueFull (≤0 → 16).
+	QueueDepth int
+	// Cache is the shared result cache (nil → a fresh unbounded one).
+	// Give it a WithLimit bound for long-lived daemons and a WithTier
+	// store for persistence.
+	Cache *runner.Cache
+	// Store, when set, is reported in /metrics (hit/miss/evict/bytes).
+	// It should be the same store attached to Cache as its tier.
+	Store *store.Store
+	// ArtifactDir, when set, enables observe cells: per-cell obs
+	// artifacts land under ArtifactDir/<job>/cell-<i>/.
+	ArtifactDir string
+}
+
+// Service owns the job registry, the bounded queue and the worker pool.
+// Create with New, serve its Handler, stop with Drain (graceful) or
+// Close (abandon).
+type Service struct {
+	cfg     Config
+	baseCtx context.Context
+	abort   context.CancelFunc
+	queue   chan *Job
+	workers sync.WaitGroup
+	started time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+	active   int
+
+	// Terminal-outcome counters for /metrics.
+	jobsDone, jobsFailed, jobsCancelled    uint64
+	cellsDone, cellsFailed, cellsCancelled uint64
+
+	// runCell is the cell executor; tests substitute it to make queue
+	// and drain behaviour deterministic.
+	runCell func(ctx context.Context, spec CellSpec, artifactDir string) CellResult
+}
+
+// New starts a service with cfg.MaxActive workers. The caller owns the
+// lifecycle: Drain or Close it when done.
+func New(cfg Config) *Service {
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = runner.NewCache()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		baseCtx: ctx,
+		abort:   cancel,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		started: time.Now(),
+		jobs:    make(map[string]*Job),
+	}
+	s.runCell = s.execCell
+	for range cfg.MaxActive {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates and enqueues a batch. It never blocks: a full queue
+// returns ErrQueueFull immediately (the HTTP layer translates that into
+// 429 + Retry-After so clients can apply backpressure).
+func (s *Service) Submit(specs []CellSpec) (*Job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("service: empty batch")
+	}
+	for i, sp := range specs {
+		if err := sp.Validate(s.cfg.ArtifactDir != ""); err != nil {
+			return nil, fmt.Errorf("service: cell %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j%04d", s.seq), specs)
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job is marked cancelled before it ever
+// starts (the worker skips it); a running job has its context cancelled,
+// which stops feeding new cells through the runner's existing ctx path —
+// cells already simulating complete, later ones report cancelled.
+// Returns false for unknown IDs; cancelling a terminal job is a no-op.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		j.cancelPendingCells("cancelled before start")
+		if j.setState(JobCancelled, "cancelled before start") {
+			s.count(JobCancelled)
+		}
+		return true
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// runJob executes one job's cells over the runner pool, streaming
+// per-cell completion events as they land.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return // cancelled while queued
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+
+	j.setState(JobRunning, "")
+
+	idxs := make([]int, len(j.Specs))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	// The job context is handled inside the cell function (so cancelled
+	// cells are recorded per cell instead of discarding the whole
+	// batch); Map itself runs to completion over every index.
+	results, err := runner.Map(context.Background(), s.cfg.Workers, idxs, func(_ context.Context, i int) (CellResult, error) {
+		spec := j.Specs[i]
+		if ctx.Err() != nil {
+			res := CellResult{Label: spec.Label(), State: CellCancelled, Error: ctx.Err().Error()}
+			j.setCell(i, res)
+			return res, nil
+		}
+		j.markCellRunning(i)
+		res := s.runCell(ctx, spec, filepath.Join(s.cfg.ArtifactDir, j.ID, fmt.Sprintf("cell-%d", i)))
+		j.setCell(i, res)
+		return res, nil
+	})
+	if err != nil {
+		// Unreachable in practice (the cell fn never errors and execCell
+		// recovers panics), but a runner failure must still terminate
+		// the job.
+		if j.setState(JobFailed, err.Error()) {
+			s.count(JobFailed)
+		}
+		return
+	}
+
+	state, msg := JobDone, ""
+	var failed, cancelled int
+	for _, r := range results {
+		switch r.State {
+		case CellFailed:
+			failed++
+			if msg == "" {
+				msg = fmt.Sprintf("cell %d (%s): %s", r.Index, r.Label, r.Error)
+			}
+		case CellCancelled:
+			cancelled++
+		}
+	}
+	s.countCells(results)
+	switch {
+	case failed > 0:
+		state = JobFailed
+	case cancelled > 0:
+		state, msg = JobCancelled, fmt.Sprintf("%d of %d cells cancelled", cancelled, len(results))
+	}
+	if j.setState(state, msg) {
+		s.count(state)
+	}
+}
+
+func (s *Service) count(state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch state {
+	case JobDone:
+		s.jobsDone++
+	case JobFailed:
+		s.jobsFailed++
+	case JobCancelled:
+		s.jobsCancelled++
+	}
+}
+
+func (s *Service) countCells(results []CellResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range results {
+		switch r.State {
+		case CellDone:
+			s.cellsDone++
+		case CellFailed:
+			s.cellsFailed++
+		case CellCancelled:
+			s.cellsCancelled++
+		}
+	}
+}
+
+// stopIntake flips the service into draining mode and closes the queue
+// exactly once, so workers exit after finishing what was accepted.
+func (s *Service) stopIntake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+}
+
+// Draining reports whether intake has stopped.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops intake and waits for every accepted job to finish. If ctx
+// expires first, outstanding job contexts are cancelled (running cells
+// complete, pending ones are skipped as cancelled) and Drain keeps
+// waiting for the workers to wind down before returning ctx's error.
+func (s *Service) Drain(ctx context.Context) error {
+	s.stopIntake()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close aborts everything immediately: intake stops, job contexts are
+// cancelled, and workers are waited out (cells already inside the
+// simulator finish — it has no preemption points).
+func (s *Service) Close() {
+	s.stopIntake()
+	s.abort()
+	s.workers.Wait()
+}

@@ -1,0 +1,317 @@
+// Package store is a disk-backed, content-addressed result store: the
+// persistent tier under runner.Cache. Every entry is one deterministic
+// simulation result, serialised by the cache layer and written as one
+// file whose name is derived from the content key — so results survive
+// restarts and are shared between the CLI tools and the smtd daemon
+// pointing at the same directory.
+//
+// Guarantees:
+//
+//   - Atomicity: entries appear via write-to-temp + rename, so a crash
+//     mid-write never leaves a half-entry under an entry name.
+//   - Corruption tolerance: every load re-checks the embedded payload
+//     checksum, length fields and key; a truncated, torn or tampered
+//     file is deleted and reported as a miss, and the next write simply
+//     recreates it.
+//   - Bounded size: when MaxBytes is set, inserting beyond the budget
+//     evicts least-recently-used entries (recency survives restarts via
+//     file mtimes). Loads hold the store lock for the duration of the
+//     read, so eviction can never truncate an entry out from under an
+//     in-flight load.
+//
+// The store deliberately has no in-memory value cache and no
+// single-flight logic: runner.Cache provides both, and layering keeps
+// each tier independently testable.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// entryExt is the store-file suffix; everything else in the directory is
+// ignored (temp files, artifact subdirectories, stray editor droppings).
+const entryExt = ".cell"
+
+// header is the first token of every entry file; bumping the version
+// invalidates old layouts (they fail the parse and are evicted as
+// corrupt).
+const header = "smtstore1"
+
+// Store is a size-bounded, LRU-evicting directory of result files. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*entry // filename -> entry
+	lru     *list.List        // front = most recently used; values are *entry
+	bytes   int64
+	stats   Stats
+}
+
+type entry struct {
+	name string // filename within dir
+	size int64
+	elem *list.Element
+}
+
+// Stats reports store effectiveness since Open.
+type Stats struct {
+	// Hits counts loads served from disk.
+	Hits uint64
+	// Misses counts loads that found no usable entry.
+	Misses uint64
+	// Evictions counts entries removed to stay under MaxBytes.
+	Evictions uint64
+	// Corrupt counts entries dropped because their checksum, lengths or
+	// key failed verification (a corrupt load also counts as a miss).
+	Corrupt uint64
+	// Writes counts successful Put/Store calls.
+	Writes uint64
+	// Entries and Bytes describe the current resident set.
+	Entries int
+	Bytes   int64
+}
+
+// Open opens (creating if needed) the store rooted at dir. maxBytes
+// bounds the resident set; <= 0 means unbounded. Existing entries are
+// indexed by file mtime so LRU order survives restarts; unparseable
+// files are removed immediately.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	type aged struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var found []aged
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), entryExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, aged{de.Name(), info.Size(), info.ModTime()})
+	}
+	// Oldest first, so pushing to the LRU front leaves the most recent
+	// there. Ties break on name for determinism.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].name < found[j].name
+	})
+	for _, f := range found {
+		e := &entry{name: f.name, size: f.size}
+		e.elem = s.lru.PushFront(e)
+		s.entries[f.name] = e
+		s.bytes += f.size
+	}
+	s.evictOverBudgetLocked()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName derives the entry filename for a key. Keys are arbitrary
+// strings (in practice runner.Key hex digests), so they are re-hashed
+// rather than trusted as path components.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + entryExt
+}
+
+// encode renders an entry file: a checksummed header line, the key on
+// its own line, then the raw payload.
+//
+//	smtstore1 <sha256(payload)> <len(key)> <len(payload)>\n
+//	<key>\n
+//	<payload>
+func encode(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	head := fmt.Sprintf("%s %s %d %d\n%s\n", header, hex.EncodeToString(sum[:]), len(key), len(payload), key)
+	out := make([]byte, 0, len(head)+len(payload))
+	out = append(out, head...)
+	out = append(out, payload...)
+	return out
+}
+
+// decode verifies an entry file against the expected key and returns the
+// payload, or an error describing the corruption.
+func decode(data []byte, key string) ([]byte, error) {
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	var gotSum string
+	var keyLen, payLen int
+	var name string
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %s %d %d", &name, &gotSum, &keyLen, &payLen); err != nil {
+		return nil, fmt.Errorf("bad header: %v", err)
+	}
+	if name != header {
+		return nil, fmt.Errorf("bad magic %q", name)
+	}
+	rest := data[nl+1:]
+	if len(rest) != keyLen+1+payLen {
+		return nil, fmt.Errorf("length mismatch: have %d bytes, header claims %d", len(rest), keyLen+1+payLen)
+	}
+	gotKey := string(rest[:keyLen])
+	if rest[keyLen] != '\n' {
+		return nil, fmt.Errorf("malformed key terminator")
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("key mismatch")
+	}
+	payload := rest[keyLen+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != gotSum {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Load implements runner.Tier: it returns the stored payload for key, or
+// ok=false on a miss. A corrupt entry is deleted and reported as a miss.
+// The read happens under the store lock, so a concurrent eviction cannot
+// interleave with it.
+func (s *Store) Load(key string) ([]byte, bool) {
+	name := fileName(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		// The index said present but the file is gone or unreadable —
+		// treat like corruption: drop the entry, report a miss.
+		s.dropLocked(e, true)
+		s.stats.Misses++
+		return nil, false
+	}
+	payload, err := decode(data, key)
+	if err != nil {
+		s.dropLocked(e, true)
+		s.stats.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	// Refresh the mtime so LRU order survives a restart. Best-effort.
+	now := time.Now()
+	_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
+	s.stats.Hits++
+	return payload, true
+}
+
+// Store implements runner.Tier: it persists payload under key via an
+// atomic rename, then evicts LRU entries until the store fits MaxBytes
+// again. Failures are silent — the store is a best-effort tier and the
+// caller already holds the computed value.
+func (s *Store) Store(key string, payload []byte) {
+	name := fileName(key)
+	data := encode(key, payload)
+
+	f, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if old, ok := s.entries[name]; ok {
+		// Overwrite (e.g. rewrite after corruption): replace in place.
+		s.bytes -= old.size
+		s.lru.Remove(old.elem)
+	}
+	e := &entry{name: name, size: int64(len(data))}
+	e.elem = s.lru.PushFront(e)
+	s.entries[name] = e
+	s.bytes += e.size
+	s.stats.Writes++
+	s.evictOverBudgetLocked()
+}
+
+// evictOverBudgetLocked removes least-recently-used entries until the
+// resident set fits the byte budget. The most recent entry is always
+// kept, so a single oversized result still persists.
+func (s *Store) evictOverBudgetLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		s.dropLocked(e, false)
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked removes an entry from the index and the directory.
+func (s *Store) dropLocked(e *entry, corrupt bool) {
+	delete(s.entries, e.name)
+	s.lru.Remove(e.elem)
+	s.bytes -= e.size
+	os.Remove(filepath.Join(s.dir, e.name))
+	if corrupt {
+		s.stats.Corrupt++
+	}
+}
+
+// Stats snapshots the counters and resident-set size.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smtexplore/internal/runner"
+)
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	if _, ok := s.Load("k"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	payload := []byte(`{"cpi":[1.25,2.5]}`)
+	s.Store("k", payload)
+	got, ok := s.Load("k")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Load = %q, %v, want %q, true", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want 1 hit, 1 miss, 1 write, 1 entry", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, 0)
+	s1.Store("k", []byte("payload"))
+
+	s2 := mustOpen(t, dir, 0)
+	got, ok := s2.Load("k")
+	if !ok || string(got) != "payload" {
+		t.Fatalf("after reopen: Load = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Errorf("reopen indexed %d entries, want 1", st.Entries)
+	}
+}
+
+// corrupt truncated or tampered files must read as misses, and the next
+// write must recreate a loadable entry.
+func TestCorruptEntryIsMissAndRewritten(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(path string, t *testing.T)
+	}{
+		{"truncated", func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-payload-byte", func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xff
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-magic", func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("not-a-store-file\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(path string, t *testing.T) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, 0)
+			s.Store("k", []byte("payload"))
+			tc.mangle(filepath.Join(dir, fileName("k")), t)
+
+			if _, ok := s.Load("k"); ok {
+				t.Fatal("corrupt entry reported as a hit")
+			}
+			if st := s.Stats(); st.Corrupt != 1 || st.Entries != 0 {
+				t.Fatalf("stats %+v, want 1 corrupt, 0 entries", st)
+			}
+			if _, err := os.Stat(filepath.Join(dir, fileName("k"))); !os.IsNotExist(err) {
+				t.Errorf("corrupt file not removed: %v", err)
+			}
+
+			// The rewrite path: the next Store recreates the entry.
+			s.Store("k", []byte("payload"))
+			got, ok := s.Load("k")
+			if !ok || string(got) != "payload" {
+				t.Fatalf("after rewrite: Load = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// A file stored under one key must not satisfy another key even if an
+// attacker (or a bug) renames it into place.
+func TestKeyMismatchIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	s.Store("a", []byte("payload"))
+	if err := os.Rename(filepath.Join(dir, fileName("a")), filepath.Join(dir, fileName("b"))); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, 0) // reindex picks the renamed file up
+	if _, ok := s2.Load("b"); ok {
+		t.Fatal("entry with mismatched embedded key reported as a hit")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats %+v, want 1 corrupt", st)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Budget for roughly two entries: each entry is header (~89 bytes +
+	// key) + payload; use a generous fixed budget and equal payloads.
+	payload := bytes.Repeat([]byte("x"), 100)
+	s := mustOpen(t, dir, 0)
+	s.Store("a", payload)
+	entrySize := s.Stats().Bytes
+	s = mustOpen(t, dir, 2*entrySize+entrySize/2) // fits 2, not 3
+
+	s.Store("b", payload)
+	if _, ok := s.Load("a"); !ok { // a most recently used now
+		t.Fatal("entry a missing before overflow")
+	}
+	s.Store("c", payload) // evicts b (LRU), keeps a and c
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction, 2 entries", st)
+	}
+	if _, ok := s.Load("a"); !ok {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, ok := s.Load("b"); ok {
+		t.Error("least recently used entry b survived")
+	}
+	if _, ok := s.Load("c"); !ok {
+		t.Error("just-written entry c was evicted")
+	}
+}
+
+func TestOversizedEntryStillPersists(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 10) // smaller than any entry
+	s.Store("k", bytes.Repeat([]byte("x"), 100))
+	if _, ok := s.Load("k"); !ok {
+		t.Fatal("single oversized entry was evicted; the most recent write must survive")
+	}
+}
+
+func TestLRUOrderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	s := mustOpen(t, dir, 0)
+	s.Store("a", payload)
+	entrySize := s.Stats().Bytes
+	time.Sleep(10 * time.Millisecond) // distinct mtimes
+	s.Store("b", payload)
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := s.Load("a"); !ok { // refreshes a's mtime
+		t.Fatal("entry a missing")
+	}
+
+	// Reopen with room for both, then overflow: b (older mtime) goes.
+	s2 := mustOpen(t, dir, 2*entrySize+entrySize/2)
+	s2.Store("c", payload)
+	if _, ok := s2.Load("a"); !ok {
+		t.Error("entry a (recent mtime) evicted after reopen")
+	}
+	if _, ok := s2.Load("b"); ok {
+		t.Error("entry b (oldest mtime) survived after reopen")
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "artifacts"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 0)
+	if st := s.Stats(); st.Entries != 0 {
+		t.Errorf("foreign files indexed as entries: %+v", st)
+	}
+}
+
+// Parallel read-through misses on the same key must collapse to one
+// compute and one store write: the single-flight lives in runner.Cache,
+// the store is the tier beneath it.
+func TestParallelReadThroughSingleFlight(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	cache := runner.NewCache().WithTier(s)
+	var computes atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := runner.Cached(cache, "shared-key", func() (string, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return "value", nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v != "value" {
+				errs <- fmt.Errorf("got %q", v)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("%d computes, want 1 (single-flight)", n)
+	}
+	if st := s.Stats(); st.Writes != 1 {
+		t.Errorf("%d store writes, want 1", st.Writes)
+	}
+}
+
+// Eviction must never break an in-flight read: loads hold the store lock
+// for the whole file read, so hammering writes (forcing evictions) while
+// hammering loads must never yield a torn payload — only clean hits or
+// clean misses.
+func TestEvictionNeverBreaksInFlightRead(t *testing.T) {
+	payload := bytes.Repeat([]byte("p"), 256)
+	s := mustOpen(t, t.TempDir(), 1200) // a handful of entries
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		s.Store(fmt.Sprintf("k%d", i), payload)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers churn the store, forcing continuous eviction.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Store(fmt.Sprintf("k%d", (i+w)%keys), payload)
+			}
+		}(w)
+	}
+	// Readers must only ever see the full payload or a miss.
+	var torn atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if data, ok := s.Load(fmt.Sprintf("k%d", (i+r)%keys)); ok && !bytes.Equal(data, payload) {
+					torn.Add(1)
+				}
+			}
+		}(r)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn reads", n)
+	}
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Errorf("eviction churn produced %d corrupt loads", st.Corrupt)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	key := "some-key"
+	payload := []byte("payload\nwith\nnewlines\x00and binary")
+	got, err := decode(encode(key, payload), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round-trip = %q, want %q", got, payload)
+	}
+	if _, err := decode(encode(key, payload), "other-key"); err == nil {
+		t.Fatal("decode with wrong key succeeded")
+	}
+}
