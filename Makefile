@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke service-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke service-smoke chaos-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke service-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke service-smoke chaos-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ bench-smoke:
 # check (CI runs the same script).
 service-smoke:
 	./scripts/service-smoke.sh
+
+# Failure-hardening smoke: deterministic fault plans drive cell panics,
+# wedged cells, disk errors, a SIGKILL mid-job and queue backpressure
+# through smtd; every job must end terminal and the recovered Figure 1
+# text must be byte-identical to the fault-free run (CI runs the same
+# script).
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # Sample observability bundle: a Perfetto-loadable pipeline trace, an
 # occupancy CSV and a metrics snapshot (CI uploads obs-sample/).

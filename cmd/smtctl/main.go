@@ -24,6 +24,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -32,6 +33,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	"smtexplore/internal/service"
@@ -78,8 +80,9 @@ func usage(fs *flag.FlagSet, format string, v ...any) error {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smtctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8377", "smtd address (host:port)")
+	maxRetries := fs.Int("max-retries", 5, "retries for transient failures (429/502/503/504, dropped connections); 0 disables")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] submit|status|wait|result|cancel [args]")
+		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] submit|status|wait|result|cancel [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -92,7 +95,7 @@ func run(args []string, out io.Writer) error {
 	if len(rest) == 0 {
 		return usage(fs, "missing command")
 	}
-	c := client{base: "http://" + *addr, out: out}
+	c := client{base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries)}
 	switch rest[0] {
 	case "submit":
 		return c.submit(rest[1:])
@@ -109,8 +112,9 @@ func run(args []string, out io.Writer) error {
 }
 
 type client struct {
-	base string
-	out  io.Writer
+	base  string
+	out   io.Writer
+	retry retrier
 }
 
 // apiError extracts the service's {"error": ...} body.
@@ -126,7 +130,9 @@ func apiError(resp *http.Response) error {
 }
 
 func (c client) getJSON(path string, v any) error {
-	resp, err := http.Get(c.base + path)
+	resp, err := c.retry.do("get "+path, func() (*http.Response, error) {
+		return http.Get(c.base + path)
+	})
 	if err != nil {
 		return err
 	}
@@ -201,7 +207,19 @@ func (c client) submit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	// The idempotency key is the content hash of the batch: if a retried
+	// submit reaches a daemon that already accepted the first attempt,
+	// the daemon hands back the live job instead of running it twice.
+	idemKey := fmt.Sprintf("%x", sha256.Sum256(body))
+	resp, err := c.retry.do("submit", func() (*http.Response, error) {
+		hreq, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Idempotency-Key", idemKey)
+		return http.DefaultClient.Do(hreq)
+	})
 	if err != nil {
 		return err
 	}
@@ -249,6 +267,11 @@ func (c client) status(args []string) error {
 // per-cell progress, and maps the outcome onto the exit status: done →
 // 0, failed → 1 (with the failing cell's error), cancelled → 3. A cell
 // error is surfaced the moment its event arrives, not at the end.
+//
+// A dropped stream is not an error: wait tracks the id of the last
+// event it saw and reconnects with Last-Event-ID, so the daemon replays
+// exactly the missed events and the outcome mapping is unaffected (up
+// to -max-retries reconnects).
 func (c client) wait(args []string) error {
 	fs := flag.NewFlagSet("smtctl wait", flag.ContinueOnError)
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
@@ -259,21 +282,52 @@ func (c client) wait(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Get(c.base + "/v1/jobs/" + id + "/events")
-	if err != nil {
-		return err
+	lastID := -1
+	for try := 0; ; try++ {
+		resp, err := c.retry.do("wait "+id, func() (*http.Response, error) {
+			hreq, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+			if err != nil {
+				return nil, err
+			}
+			if lastID >= 0 {
+				hreq.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+			}
+			return http.DefaultClient.Do(hreq)
+		})
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return apiError(resp)
+		}
+		done, outcome, cause := c.followEvents(resp.Body, id, *quiet, &lastID)
+		resp.Body.Close()
+		if done {
+			return outcome
+		}
+		if try >= c.retry.max {
+			return fmt.Errorf("event stream interrupted: %v", cause)
+		}
+		log.Printf("wait %s: %v; retrying from event %d (%d/%d)", id, cause, lastID, try+1, c.retry.max)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
-	}
+}
 
+// followEvents consumes one SSE connection. done reports that a
+// terminal end event arrived, with the mapped outcome; otherwise cause
+// says why the stream stopped early. lastID advances past every event
+// seen, so the caller can resume without duplicates.
+func (c client) followEvents(body io.Reader, id string, quiet bool, lastID *int) (done bool, outcome, cause error) {
 	var event string
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimPrefix(line, "id: ")); err == nil {
+				*lastID = n
+			}
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -282,11 +336,11 @@ func (c client) wait(args []string) error {
 			case "cell":
 				var ev service.Event
 				if err := json.Unmarshal([]byte(data), &ev); err != nil {
-					return fmt.Errorf("bad event payload: %w", err)
+					return true, fmt.Errorf("bad event payload: %w", err), nil
 				}
 				if ev.State == service.CellFailed {
 					fmt.Fprintf(os.Stderr, "smtctl: cell %d (%s) failed: %s\n", ev.Cell, ev.Label, ev.Error)
-				} else if !*quiet {
+				} else if !quiet {
 					fmt.Fprintf(c.out, "cell %d (%s): %s\n", ev.Cell, ev.Label, ev.State)
 				}
 			case "end":
@@ -295,26 +349,26 @@ func (c client) wait(args []string) error {
 					Error string `json:"error"`
 				}
 				if err := json.Unmarshal([]byte(data), &end); err != nil {
-					return fmt.Errorf("bad end payload: %w", err)
+					return true, fmt.Errorf("bad end payload: %w", err), nil
 				}
 				switch end.State {
 				case service.JobDone:
-					if !*quiet {
+					if !quiet {
 						fmt.Fprintf(c.out, "%s done\n", id)
 					}
-					return nil
+					return true, nil, nil
 				case service.JobCancelled:
-					return fmt.Errorf("%w: %s: %s", errJobCancelled, id, end.Error)
+					return true, fmt.Errorf("%w: %s: %s", errJobCancelled, id, end.Error), nil
 				default:
-					return fmt.Errorf("%w: %s: %s", errJobFailed, id, end.Error)
+					return true, fmt.Errorf("%w: %s: %s", errJobFailed, id, end.Error), nil
 				}
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("event stream interrupted: %w", err)
+		return false, nil, err
 	}
-	return fmt.Errorf("event stream ended before the job finished")
+	return false, nil, errors.New("stream ended before the job finished")
 }
 
 func (c client) result(args []string) error {
@@ -371,11 +425,15 @@ func (c client) cancel(args []string) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	// Cancelling an already-cancelled job is a no-op server-side, so the
+	// DELETE is safe to retry.
+	resp, err := c.retry.do("cancel "+id, func() (*http.Response, error) {
+		hreq, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		return http.DefaultClient.Do(hreq)
+	})
 	if err != nil {
 		return err
 	}

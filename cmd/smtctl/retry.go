@@ -1,0 +1,80 @@
+package main
+
+import (
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retrier retries transient HTTP failures with capped exponential
+// backoff and full jitter, honouring Retry-After when the server names
+// a delay. Transport errors, 429 and 502/503/504 are transient (the
+// daemon uses 429 for queue backpressure and 503 for a journal that
+// could not persist the job — both explicitly safe to retry); anything
+// else is the caller's problem on the first try.
+type retrier struct {
+	max   int           // retries after the first attempt
+	base  time.Duration // first backoff step
+	cap   time.Duration // backoff ceiling
+	sleep func(time.Duration)
+}
+
+func newRetrier(max int) retrier {
+	return retrier{max: max, base: 200 * time.Millisecond, cap: 5 * time.Second, sleep: time.Sleep}
+}
+
+// retryable reports whether the outcome is worth retrying and the
+// server-mandated delay, if any.
+func retryable(resp *http.Response, err error) (bool, time.Duration) {
+	if err != nil {
+		return true, 0
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, aerr := strconv.Atoi(s); aerr == nil && n >= 0 {
+				return true, time.Duration(n) * time.Second
+			}
+		}
+		return true, 0
+	}
+	return false, 0
+}
+
+// do runs attempt until it yields a non-retryable outcome or the budget
+// is spent, logging each retry to stderr. The attempt closure must
+// build a fresh request every call (bodies are single-use). The caller
+// owns the final response's body; intermediate ones are closed here.
+func (r retrier) do(what string, attempt func() (*http.Response, error)) (*http.Response, error) {
+	delay := r.base
+	for try := 0; ; try++ {
+		resp, err := attempt()
+		again, mandated := retryable(resp, err)
+		if !again || try >= r.max {
+			return resp, err
+		}
+		wait := delay
+		if mandated > 0 {
+			wait = mandated
+		}
+		// Full jitter: a uniform draw from (0, wait] spreads a herd of
+		// retrying clients out instead of letting it reconverge.
+		wait = time.Duration(1 + rand.Int64N(int64(wait)))
+		if err != nil {
+			log.Printf("%s: %v; retrying in %s (%d/%d)", what, err, wait.Round(time.Millisecond), try+1, r.max)
+		} else {
+			resp.Body.Close()
+			log.Printf("%s: %s; retrying in %s (%d/%d)", what, resp.Status, wait.Round(time.Millisecond), try+1, r.max)
+		}
+		r.sleep(wait)
+		if delay < r.cap {
+			delay *= 2
+			if delay > r.cap {
+				delay = r.cap
+			}
+		}
+	}
+}

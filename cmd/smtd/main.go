@@ -12,6 +12,9 @@
 //	smtd -store cells/                    # persist results across restarts
 //	smtd -jobs 2 -queue 16 -workers 4     # concurrency and backpressure
 //	smtd -artifacts obs/                  # enable observe cells
+//	smtd -journal jobs/                   # crash-safe job journal
+//	smtd -cell-timeout 30s                # per-cell watchdog
+//	smtd -fault-plan plan.json            # arm a fault-injection plan (chaos testing)
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/events|/result]],
 // DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
@@ -34,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"smtexplore/internal/faultinject"
 	"smtexplore/internal/runner"
 	"smtexplore/internal/service"
 	"smtexplore/internal/store"
@@ -73,6 +77,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	queue := fs.Int("queue", 16, "queued jobs beyond the active ones before 429 backpressure (must be >= 1)")
 	artifacts := fs.String("artifacts", "", "observability artifact directory (empty: observe cells rejected)")
 	drain := fs.Duration("drain-timeout", time.Minute, "graceful shutdown budget for accepted jobs")
+	journalDir := fs.String("journal", "", "crash-safe job journal directory (empty: accepted jobs are lost on crash)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog budget (0: no watchdog)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive store I/O failures before degrading to memory-only caching")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "wait before probing a degraded store again")
+	faultPlan := fs.String("fault-plan", "", "fault-injection plan JSON (chaos testing only; never set in production)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -94,6 +103,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return bad("invalid -queue %d (must be >= 1)", *queue)
 	}
 
+	if *faultPlan != "" {
+		if _, err := faultinject.ArmFile(*faultPlan); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "smtd: fault plan %s armed (chaos mode)\n", *faultPlan)
+	}
+
 	cache := runner.NewCache().WithLimit(*cacheEntries)
 	cfg := service.Config{
 		Workers:     *workers,
@@ -101,19 +117,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		QueueDepth:  *queue,
 		Cache:       cache,
 		ArtifactDir: *artifacts,
+		CellTimeout: *cellTimeout,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeMax)
 		if err != nil {
 			return err
 		}
-		cache.WithTier(st)
+		// The breaker sits between the cache and the disk: a sick disk
+		// degrades the daemon to memory-only caching instead of failing
+		// cells, and /healthz reports (and probes) the degradation.
+		br := store.NewBreaker(st, *breakerThreshold, *breakerCooldown)
+		cache.WithTier(br)
 		cfg.Store = st
+		cfg.Breaker = br
 		ss := st.Stats()
 		fmt.Fprintf(out, "smtd: store %s: %d entries, %d bytes\n", *storeDir, ss.Entries, ss.Bytes)
 	}
+	if *journalDir != "" {
+		jl, err := service.OpenJournal(*journalDir)
+		if err != nil {
+			return err
+		}
+		cfg.Journal = jl
+	}
 
 	svc := service.New(cfg)
+	if cfg.Journal != nil {
+		if m := svc.Snapshot(); m.JobsRecovered+m.JobsAbandoned > 0 {
+			fmt.Fprintf(out, "smtd: journal %s: recovered %d jobs, abandoned %d\n", *journalDir, m.JobsRecovered, m.JobsAbandoned)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		svc.Close()

@@ -1,0 +1,297 @@
+// Package faultinject is a deterministic, seed-driven fault-plan
+// framework: named fault points in production code paths (disk I/O,
+// cell execution, queue admission, journal writes) consult an armed
+// plan and inject errors, latency or panics according to per-point
+// rules. It exists so failure handling — circuit breakers, watchdogs,
+// journal recovery, client retries — can be exercised end to end by
+// the chaos-smoke harness and by unit tests, with byte-reproducible
+// fault sequences.
+//
+// Design constraints:
+//
+//   - Zero overhead when disarmed: Hit is a single atomic load and a
+//     nil check, so the fault points can stay in the hot paths
+//     permanently.
+//   - Determinism: each point draws from its own RNG, seeded from the
+//     plan seed and the point name, so adding calls to one point never
+//     perturbs another point's fault sequence, and a given plan
+//     produces the same faults run after run (given the same per-point
+//     call order).
+//   - One armed plan at a time, process-wide: the daemon arms a plan at
+//     startup from -fault-plan; tests Arm/Disarm around themselves.
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault-point names. Each constant is referenced by exactly the code
+// path it describes; a plan rule whose Point matches injects there.
+const (
+	// PointStoreRead fires inside store.(*Store).Get before the entry
+	// file is read; an error action is indistinguishable from a failing
+	// disk read.
+	PointStoreRead = "store.read"
+	// PointStoreWrite fires inside store.(*Store).Put before the temp
+	// file is created; an error action is indistinguishable from a
+	// failing disk write.
+	PointStoreWrite = "store.write"
+	// PointExecCell fires at the start of every service cell execution,
+	// inside the panic-isolation and watchdog scope: error fails the
+	// cell, latency simulates a wedged cell, panic exercises isolation.
+	PointExecCell = "exec.cell"
+	// PointQueueAdmit fires during job submission; an error action is
+	// reported as queue-full backpressure (HTTP 429 + Retry-After).
+	PointQueueAdmit = "queue.admit"
+	// PointJournalWrite fires inside journal record writes; an error
+	// action makes the write fail as if the disk did.
+	PointJournalWrite = "journal.write"
+)
+
+// Actions a rule can take when it fires.
+const (
+	// ActionError makes Hit return a *Fault carrying the rule's Error
+	// message.
+	ActionError = "error"
+	// ActionLatency makes Hit sleep LatencyMS milliseconds, then keep
+	// evaluating later rules (so latency composes with error/panic).
+	ActionLatency = "latency"
+	// ActionPanic makes Hit panic, exercising the caller's isolation.
+	ActionPanic = "panic"
+)
+
+// Rule injects one kind of fault at one point. Triggering is governed
+// by After (skip the first After calls to the point), Count (fire at
+// most Count times; 0 = unlimited) and Prob (fire with this
+// probability on eligible calls; 0 or absent = always).
+type Rule struct {
+	Point     string  `json:"point"`
+	Action    string  `json:"action"`
+	Error     string  `json:"error,omitempty"`
+	LatencyMS int     `json:"latency_ms,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+	After     int     `json:"after,omitempty"`
+	Count     int     `json:"count,omitempty"`
+}
+
+// Plan is a reproducible fault schedule: a seed plus the rules.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// Fault is the error Hit returns for error actions.
+type Fault struct {
+	Point string
+	Msg   string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("injected fault at %s: %s", f.Point, f.Msg)
+}
+
+// IsFault reports whether err is an injected fault.
+func IsFault(err error) bool {
+	_, ok := err.(*Fault)
+	return ok
+}
+
+type ruleState struct {
+	rule  Rule
+	fired int
+}
+
+type pointState struct {
+	calls int
+	rng   *rand.Rand
+	rules []*ruleState
+}
+
+// Injector is a compiled, armable plan. Safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	points map[string]*pointState
+	fires  uint64
+}
+
+// New validates and compiles a plan.
+func New(p Plan) (*Injector, error) {
+	in := &Injector{points: make(map[string]*pointState)}
+	for i, r := range p.Rules {
+		if r.Point == "" {
+			return nil, fmt.Errorf("faultinject: rule %d: empty point", i)
+		}
+		switch r.Action {
+		case ActionError:
+			if r.Error == "" {
+				r.Error = "injected fault"
+			}
+		case ActionPanic:
+			if r.Error == "" {
+				r.Error = "injected panic"
+			}
+		case ActionLatency:
+			if r.LatencyMS <= 0 {
+				return nil, fmt.Errorf("faultinject: rule %d: latency action needs latency_ms > 0", i)
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: rule %d: unknown action %q (want error, latency or panic)", i, r.Action)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return nil, fmt.Errorf("faultinject: rule %d: prob %v outside [0,1]", i, r.Prob)
+		}
+		ps := in.points[r.Point]
+		if ps == nil {
+			h := fnv.New64a()
+			h.Write([]byte(r.Point))
+			ps = &pointState{rng: rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64())))}
+			in.points[r.Point] = ps
+		}
+		ps.rules = append(ps.rules, &ruleState{rule: r})
+	}
+	return in, nil
+}
+
+// LoadPlan reads a JSON plan file.
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faultinject: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("faultinject: parsing %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Hit evaluates the point against this injector: latency rules sleep
+// (and accumulate), the first error rule returns a *Fault, the first
+// panic rule panics. Nil when nothing fires.
+func (in *Injector) Hit(point string) error {
+	in.mu.Lock()
+	ps := in.points[point]
+	if ps == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	ps.calls++
+	var sleep time.Duration
+	var fired *ruleState
+	for _, rs := range ps.rules {
+		if ps.calls <= rs.rule.After {
+			continue
+		}
+		if rs.rule.Count > 0 && rs.fired >= rs.rule.Count {
+			continue
+		}
+		if rs.rule.Prob > 0 && rs.rule.Prob < 1 && ps.rng.Float64() >= rs.rule.Prob {
+			continue
+		}
+		rs.fired++
+		in.fires++
+		if rs.rule.Action == ActionLatency {
+			sleep += time.Duration(rs.rule.LatencyMS) * time.Millisecond
+			continue
+		}
+		fired = rs
+		break
+	}
+	in.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fired == nil {
+		return nil
+	}
+	if fired.rule.Action == ActionPanic {
+		panic(fmt.Sprintf("faultinject: %s: %s", point, fired.rule.Error))
+	}
+	return &Fault{Point: point, Msg: fired.rule.Error}
+}
+
+// Fires returns the total number of rule firings so far.
+func (in *Injector) Fires() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires
+}
+
+// Snapshot reports per-point call and fire counts, sorted by point
+// name, for logs and assertions.
+func (in *Injector) Snapshot() []PointStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]PointStats, 0, len(in.points))
+	for name, ps := range in.points {
+		st := PointStats{Point: name, Calls: ps.calls}
+		for _, rs := range ps.rules {
+			st.Fires += rs.fired
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// PointStats is one point's activity in a Snapshot.
+type PointStats struct {
+	Point string
+	Calls int
+	Fires int
+}
+
+// armed is the process-wide injector; nil means every Hit is free.
+var armed atomic.Pointer[Injector]
+
+// Arm installs in as the process-wide injector (nil disarms).
+func Arm(in *Injector) { armed.Store(in) }
+
+// Disarm removes the process-wide injector.
+func Disarm() { armed.Store(nil) }
+
+// Armed returns the process-wide injector, or nil.
+func Armed() *Injector { return armed.Load() }
+
+// ArmFile loads, compiles and arms a JSON plan file, returning the
+// injector for inspection.
+func ArmFile(path string) (*Injector, error) {
+	p, err := LoadPlan(path)
+	if err != nil {
+		return nil, err
+	}
+	in, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	Arm(in)
+	return in, nil
+}
+
+// Hit evaluates point against the armed plan; it is a no-op (one
+// atomic load) when nothing is armed.
+func Hit(point string) error {
+	in := armed.Load()
+	if in == nil {
+		return nil
+	}
+	return in.Hit(point)
+}
+
+// Fires returns the armed injector's total firings (0 when disarmed).
+func Fires() uint64 {
+	in := armed.Load()
+	if in == nil {
+		return 0
+	}
+	return in.Fires()
+}

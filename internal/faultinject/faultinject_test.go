@@ -1,0 +1,241 @@
+package faultinject
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"os"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Disarm()
+	if err := Hit(PointStoreRead); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if Fires() != 0 {
+		t.Errorf("disarmed Fires = %d, want 0", Fires())
+	}
+}
+
+func TestErrorActionAfterAndCount(t *testing.T) {
+	in, err := New(Plan{Rules: []Rule{
+		{Point: "p", Action: ActionError, Error: "disk on fire", After: 2, Count: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults int
+	for i := range 10 {
+		err := in.Hit("p")
+		if err != nil {
+			faults++
+			if !IsFault(err) {
+				t.Fatalf("call %d: error %v is not a *Fault", i, err)
+			}
+			if !strings.Contains(err.Error(), "disk on fire") || !strings.Contains(err.Error(), "p") {
+				t.Errorf("fault message %q lacks rule error or point", err)
+			}
+			if i < 2 {
+				t.Errorf("rule fired on call %d despite after=2", i)
+			}
+		}
+	}
+	if faults != 3 {
+		t.Errorf("%d faults over 10 calls, want exactly 3 (after=2, count=3)", faults)
+	}
+	if in.Fires() != 3 {
+		t.Errorf("Fires = %d, want 3", in.Fires())
+	}
+	snap := in.Snapshot()
+	if len(snap) != 1 || snap[0].Point != "p" || snap[0].Calls != 10 || snap[0].Fires != 3 {
+		t.Errorf("Snapshot = %+v, want p with 10 calls and 3 fires", snap)
+	}
+}
+
+// Same seed, same call sequence, same fault sequence — and a second
+// point's presence must not perturb the first point's draws.
+func TestProbDeterminismAndIsolation(t *testing.T) {
+	sequence := func(rules []Rule) []bool {
+		in, err := New(Plan{Seed: 42, Rules: rules})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for range 200 {
+			out = append(out, in.Hit("a") != nil)
+		}
+		return out
+	}
+	base := []Rule{{Point: "a", Action: ActionError, Prob: 0.3}}
+	first := sequence(base)
+	second := sequence(base)
+	withB := sequence(append([]Rule{{Point: "b", Action: ActionError, Prob: 0.9}}, base...))
+
+	var fires int
+	for i := range first {
+		if first[i] {
+			fires++
+		}
+		if first[i] != second[i] {
+			t.Fatalf("call %d differs between identical runs", i)
+		}
+		if first[i] != withB[i] {
+			t.Fatalf("call %d of point a perturbed by point b's rule", i)
+		}
+	}
+	if fires < 30 || fires > 90 {
+		t.Errorf("prob 0.3 fired %d/200 times; outside a plausible band", fires)
+	}
+}
+
+func TestLatencyAction(t *testing.T) {
+	in, err := New(Plan{Rules: []Rule{
+		{Point: "slow", Action: ActionLatency, LatencyMS: 30, Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := in.Hit("slow"); err != nil {
+		t.Fatalf("latency action returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("latency action slept %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	in.Hit("slow") // count exhausted
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("exhausted latency rule still slept %v", d)
+	}
+}
+
+// Latency composes with a later error rule on the same point.
+func TestLatencyThenError(t *testing.T) {
+	in, err := New(Plan{Rules: []Rule{
+		{Point: "p", Action: ActionLatency, LatencyMS: 10},
+		{Point: "p", Action: ActionError, Error: "late and broken"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	herr := in.Hit("p")
+	if herr == nil || !strings.Contains(herr.Error(), "late and broken") {
+		t.Fatalf("Hit = %v, want the error rule's fault", herr)
+	}
+	if d := time.Since(start); d < 8*time.Millisecond {
+		t.Errorf("latency rule skipped: slept only %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	in, err := New(Plan{Rules: []Rule{
+		{Point: "boom", Action: ActionPanic, Error: "kaboom"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic action did not panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "kaboom") {
+			t.Errorf("panic value %v lacks the rule message", p)
+		}
+	}()
+	in.Hit("boom")
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"empty point", Plan{Rules: []Rule{{Action: ActionError}}}, "empty point"},
+		{"bad action", Plan{Rules: []Rule{{Point: "p", Action: "explode"}}}, "unknown action"},
+		{"latency without ms", Plan{Rules: []Rule{{Point: "p", Action: ActionLatency}}}, "latency_ms"},
+		{"bad prob", Plan{Rules: []Rule{{Point: "p", Action: ActionError, Prob: 1.5}}}, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.plan); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestArmFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed":7,"rules":[{"point":"store.read","action":"error","count":2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := ArmFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	if Armed() != in {
+		t.Fatal("ArmFile did not arm its injector")
+	}
+	if err := Hit(PointStoreRead); err == nil {
+		t.Error("armed plan did not fire on store.read")
+	}
+	if Fires() != 1 {
+		t.Errorf("Fires = %d, want 1", Fires())
+	}
+	Disarm()
+	if err := Hit(PointStoreRead); err != nil {
+		t.Errorf("Hit after Disarm = %v, want nil", err)
+	}
+
+	if _, err := ArmFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("ArmFile on a missing file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := ArmFile(bad); err == nil {
+		t.Error("ArmFile on malformed JSON succeeded")
+	}
+}
+
+// Hammering one injector from many goroutines must be race-free and
+// must respect Count exactly.
+func TestConcurrentHits(t *testing.T) {
+	in, err := New(Plan{Rules: []Rule{
+		{Point: "p", Action: ActionError, Count: 50},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var faults int
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 100 {
+				if err := in.Hit("p"); err != nil {
+					var f *Fault
+					if !errors.As(err, &f) {
+						t.Error("non-Fault error from Hit")
+					}
+					mu.Lock()
+					faults++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if faults != 50 {
+		t.Errorf("%d faults, want exactly count=50", faults)
+	}
+}

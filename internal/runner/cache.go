@@ -98,7 +98,10 @@ func (c *Cache) Stats() CacheStats {
 
 // do returns the cached value for key, computing it via compute on the
 // first (or first-after-failure) lookup. Concurrent callers of the same
-// key wait for the in-flight computation.
+// key wait for the in-flight computation. A panicking compute is
+// converted to an error for the waiters (so they unblock instead of
+// hanging on a forever-in-flight entry) and then re-raised for the
+// panicking caller, whose own isolation decides what it means.
 func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -115,7 +118,20 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.misses++
 	c.mu.Unlock()
 
+	panicked := true
+	defer func() {
+		if !panicked {
+			return
+		}
+		e.err = fmt.Errorf("runner: cache compute for %q panicked", key)
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+	}()
 	e.val, e.err = compute()
+	panicked = false
+
 	c.mu.Lock()
 	if e.err != nil {
 		delete(c.entries, key)

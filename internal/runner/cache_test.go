@@ -2,6 +2,7 @@ package runner
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -163,5 +164,50 @@ func TestCacheEvictedKeyRefilledFromTier(t *testing.T) {
 	get("a") // in-memory miss, tier hit
 	if computes != before {
 		t.Errorf("evicted key recomputed instead of tier read-through (computes %d -> %d)", before, computes)
+	}
+}
+
+// A panicking compute must not wedge its key: concurrent waiters on the
+// in-flight entry unblock with an error instead of hanging forever, the
+// panic still propagates to the panicking caller, and a later lookup of
+// the same key recomputes cleanly.
+func TestCachePanickingComputeUnblocksWaiters(t *testing.T) {
+	c := NewCache()
+	started := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-started
+		_, err := Cached(c, "k", func() (int, error) { return 7, nil })
+		waiterErr <- err
+	}()
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		Cached(c, "k", func() (int, error) {
+			close(started)
+			// Wait until the waiter has attached to the in-flight entry
+			// (its lookup counts as a hit) before blowing up.
+			for c.Stats().Hits == 0 {
+			}
+			panic("boom")
+		})
+	}()
+	if recovered != "boom" {
+		t.Fatalf("panic did not propagate to the computing caller: %v", recovered)
+	}
+
+	err := <-waiterErr
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("waiter got %v, want a compute-panicked error", err)
+	}
+
+	// The key is not poisoned: a fresh lookup computes normally.
+	v, err := Cached(c, "k", func() (int, error) { return 11, nil })
+	if err != nil || v != 11 {
+		t.Fatalf("post-panic lookup = %v, %v; want 11", v, err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d after recovery, want 1", st.Entries)
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"smtexplore/internal/experiments"
+	"smtexplore/internal/faultinject"
 	"smtexplore/internal/kernels"
 	"smtexplore/internal/obs"
 	"smtexplore/internal/streams"
@@ -138,7 +140,40 @@ var artifactSuffixes = []string{".trace.json", ".occupancy.csv", ".metrics.json"
 // propagates errors or panics — both become the cell's failure state, so
 // one bad cell cannot take down its batch (let alone the daemon).
 // Cancellation of ctx is reported as a distinct cancelled state.
-func (s *Service) execCell(ctx context.Context, spec CellSpec, artifactDir string) (res CellResult) {
+//
+// With CellTimeout configured it also arms a watchdog: the computation
+// runs in a child goroutine and a cell that blows its budget is failed
+// immediately, its goroutine abandoned to finish (or leak — the
+// simulator has no preemption points, which is exactly why the watchdog
+// exists) in the background. The channel is buffered so a late finisher
+// parks its result and exits instead of blocking forever.
+func (s *Service) execCell(ctx context.Context, spec CellSpec, artifactDir string) CellResult {
+	if s.cfg.CellTimeout <= 0 {
+		return s.computeCell(ctx, spec, artifactDir)
+	}
+	ch := make(chan CellResult, 1)
+	go func() { ch <- s.computeCell(ctx, spec, artifactDir) }()
+	timer := time.NewTimer(s.cfg.CellTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res
+	case <-timer.C:
+		s.mu.Lock()
+		s.cellsTimedOut++
+		s.mu.Unlock()
+		return CellResult{
+			Label: spec.Label(),
+			State: CellFailed,
+			Error: fmt.Sprintf("cell exceeded the %s watchdog budget", s.cfg.CellTimeout),
+		}
+	}
+}
+
+// computeCell is the watchdog-free executor: the recover is installed
+// before anything else (including the fault point, so an injected panic
+// exercises the same isolation as a real one).
+func (s *Service) computeCell(ctx context.Context, spec CellSpec, artifactDir string) (res CellResult) {
 	res = CellResult{Label: spec.Label()}
 	defer func() {
 		if p := recover(); p != nil {
@@ -146,6 +181,11 @@ func (s *Service) execCell(ctx context.Context, spec CellSpec, artifactDir strin
 			res.Error = fmt.Sprintf("cell panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
+	if err := faultinject.Hit(faultinject.PointExecCell); err != nil {
+		res.State = CellFailed
+		res.Error = err.Error()
+		return res
+	}
 
 	opt := experiments.Options{Workers: s.cfg.Workers, Cache: s.cfg.Cache}
 	var innerLabel string

@@ -104,7 +104,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	j, err := s.Submit(req.Cells)
+	j, err := s.SubmitIdem(req.Cells, r.Header.Get("Idempotency-Key"))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: tell the client when to come back. One second is
@@ -113,6 +113,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrJournal):
+		// The job was refused, not lost: retrying is safe and the store
+		// may have recovered by then.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
@@ -250,6 +256,17 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if b := s.cfg.Breaker; b != nil && b.Degraded() {
+		// Degraded is still alive (memory-only caching), so the status
+		// stays 200 — a restart would not help. Each poll doubles as a
+		// recovery probe, so health checking drives the breaker closed
+		// again once the disk heals.
+		b.Probe()
+		if b.Degraded() {
+			fmt.Fprintln(w, "degraded")
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -258,6 +275,13 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // stream ends with an "end" event carrying the terminal job state, so a
 // client can distinguish done / failed / cancelled without a second
 // request.
+//
+// Every progress event carries an SSE id (its sequence number), and a
+// reconnecting client resumes where it left off via the standard
+// Last-Event-ID header (or ?since=<seq>, for clients without header
+// control): events after that point replay, then the stream follows
+// live — no duplicates, no gaps. The end event carries no id, so a
+// reconnect after it replays from the right spot instead of past it.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -268,16 +292,25 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	next := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			next = n + 1
+		}
+	} else if v := r.URL.Query().Get("since"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			next = n + 1
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	next := 0
 	for {
 		evs, notify, terminal := j.EventsSince(next)
 		for _, ev := range evs {
 			data, _ := json.Marshal(ev)
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
 			next++
 		}
 		if len(evs) > 0 {

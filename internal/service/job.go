@@ -123,6 +123,20 @@ func (j *Job) cancelPendingCells(msg string) {
 	}
 }
 
+// failPendingCells marks every non-terminal cell failed (used when a
+// job cannot run at all, e.g. a journaled job that could not be
+// re-admitted after a restart).
+func (j *Job) failPendingCells(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.cells {
+		if j.cells[i].State == CellPending || j.cells[i].State == CellRunning {
+			j.cells[i].State = CellFailed
+			j.cells[i].Error = msg
+		}
+	}
+}
+
 // setCell records a cell's terminal result and emits a cell event.
 func (j *Job) setCell(i int, res CellResult) {
 	res.Index = i

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"smtexplore/internal/faultinject"
+)
+
+// recordExt is the journal-file suffix; one file per job.
+const recordExt = ".job"
+
+// Record is one journaled job: enough to re-run it after a crash. The
+// journal stores specs, not results — results are recomputable (and
+// usually disk-cached), acceptance is not.
+type Record struct {
+	ID      string     `json:"id"`
+	IdemKey string     `json:"idem_key,omitempty"`
+	Specs   []CellSpec `json:"specs"`
+	State   string     `json:"state"`
+	Error   string     `json:"error,omitempty"`
+	Created time.Time  `json:"created"`
+}
+
+// Terminal reports whether the record's state is terminal.
+func (r Record) Terminal() bool {
+	switch r.State {
+	case JobDone, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// Journal is a crash-safe directory of job records: every accepted job
+// is persisted before the submitter hears "accepted", and its terminal
+// state is recorded when it finishes — so a daemon restart can tell
+// finished work from work that was lost mid-flight and re-run it.
+// Writes use the store's atomic idiom (temp file + fsync + rename), so
+// a crash mid-write never corrupts a record: the old version survives.
+type Journal struct {
+	dir string
+
+	mu     sync.Mutex
+	writes uint64
+	errs   uint64
+}
+
+// JournalStats reports journal write activity.
+type JournalStats struct {
+	// Writes counts successful record writes (accept + terminal).
+	Writes uint64
+	// Errors counts failed writes. A failed accept write rejects the
+	// submission; a failed terminal write is logged in the counters
+	// only (the job already ran).
+	Errors uint64
+}
+
+// OpenJournal opens (creating if needed) the journal rooted at dir.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the journal's root directory.
+func (jl *Journal) Dir() string { return jl.dir }
+
+// write persists rec atomically under <id>.job.
+func (jl *Journal) write(rec Record) error {
+	fail := func(err error) error {
+		jl.mu.Lock()
+		jl.errs++
+		jl.mu.Unlock()
+		return fmt.Errorf("journal: %s: %w", rec.ID, err)
+	}
+	if err := faultinject.Hit(faultinject.PointJournalWrite); err != nil {
+		return fail(err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	f, err := os.CreateTemp(jl.dir, "tmp-*")
+	if err != nil {
+		return fail(err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(append(data, '\n'))
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
+		return fail(fmt.Errorf("write: %v/%v/%v", werr, serr, cerr))
+	}
+	if err := os.Rename(tmp, filepath.Join(jl.dir, rec.ID+recordExt)); err != nil {
+		os.Remove(tmp)
+		return fail(err)
+	}
+	jl.mu.Lock()
+	jl.writes++
+	jl.mu.Unlock()
+	return nil
+}
+
+// remove deletes a record (used to roll back an accept whose enqueue
+// failed). Best-effort.
+func (jl *Journal) remove(id string) {
+	os.Remove(filepath.Join(jl.dir, id+recordExt))
+}
+
+// Load reads every parseable record, sorted by job ID. Unparseable
+// records are removed (half-written files cannot exist thanks to the
+// atomic rename, so anything unparseable is foreign or damaged beyond
+// the journal's own doing).
+func (jl *Journal) Load() ([]Record, error) {
+	des, err := os.ReadDir(jl.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var out []Record
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), recordExt) {
+			continue
+		}
+		path := filepath.Join(jl.dir, de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID == "" {
+			os.Remove(path)
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Stats snapshots the write counters.
+func (jl *Journal) Stats() JournalStats {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return JournalStats{Writes: jl.writes, Errors: jl.errs}
+}
+
+// idNum extracts the numeric part of a job ID ("j0012" -> 12), or 0.
+func idNum(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n
+}

@@ -3,8 +3,12 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
+
+	"smtexplore/internal/faultinject"
+	"smtexplore/internal/store"
 )
 
 // Metrics is a point-in-time snapshot of the service, cache and store
@@ -22,6 +26,7 @@ type Metrics struct {
 	HasStore                               bool
 	StoreHits, StoreMisses, StoreEvictions uint64
 	StoreCorrupt, StoreWrites              uint64
+	StoreIOErrors                          uint64
 	StoreEntries                           int
 	StoreBytes                             int64
 	// CellsSimulated is the number of cells that actually ran the
@@ -29,6 +34,29 @@ type Metrics struct {
 	// A fully warm store keeps this at zero across a whole batch.
 	CellsSimulated uint64
 
+	// Robustness counters.
+	SubmitRejectedFull     uint64
+	SubmitRejectedDraining uint64
+	IdemHits               uint64
+	CellsTimedOut          uint64
+	JobsRecovered          uint64
+	JobsAbandoned          uint64
+
+	HasBreaker           bool
+	BreakerState         string
+	StoreDegraded        bool
+	BreakerTrips         uint64
+	BreakerShortCircuits uint64
+	BreakerProbes        uint64
+
+	HasJournal    bool
+	JournalWrites uint64
+	JournalErrors uint64
+
+	// FaultsInjected counts fires of the armed fault plan (0 when none).
+	FaultsInjected uint64
+
+	Goroutines    int
 	UptimeSeconds float64
 }
 
@@ -46,8 +74,17 @@ func (s *Service) Snapshot() Metrics {
 		QueueDepth:     len(s.queue),
 		QueueCapacity:  cap(s.queue),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
+
+		SubmitRejectedFull:     s.rejectedFull,
+		SubmitRejectedDraining: s.rejectedDraining,
+		IdemHits:               s.idemHits,
+		CellsTimedOut:          s.cellsTimedOut,
+		JobsRecovered:          s.jobsRecovered,
+		JobsAbandoned:          s.jobsAbandoned,
 	}
 	s.mu.Unlock()
+	m.Goroutines = runtime.NumGoroutine()
+	m.FaultsInjected = faultinject.Fires()
 
 	cs := s.cfg.Cache.Stats()
 	m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries = cs.Hits, cs.Misses, cs.Evictions, cs.Entries
@@ -57,6 +94,7 @@ func (s *Service) Snapshot() Metrics {
 		ss := s.cfg.Store.Stats()
 		m.StoreHits, m.StoreMisses, m.StoreEvictions = ss.Hits, ss.Misses, ss.Evictions
 		m.StoreCorrupt, m.StoreWrites = ss.Corrupt, ss.Writes
+		m.StoreIOErrors = ss.IOErrors
 		m.StoreEntries, m.StoreBytes = ss.Entries, ss.Bytes
 		// Every in-memory miss consulted the store; the store's hits are
 		// the ones that skipped simulation.
@@ -65,6 +103,18 @@ func (s *Service) Snapshot() Metrics {
 		} else {
 			m.CellsSimulated = 0
 		}
+	}
+	if b := s.cfg.Breaker; b != nil {
+		m.HasBreaker = true
+		bs := b.Stats()
+		m.BreakerState = bs.State
+		m.StoreDegraded = bs.State != store.BreakerClosed
+		m.BreakerTrips, m.BreakerShortCircuits, m.BreakerProbes = bs.Trips, bs.ShortCircuits, bs.Probes
+	}
+	if jl := s.cfg.Journal; jl != nil {
+		m.HasJournal = true
+		js := jl.Stats()
+		m.JournalWrites, m.JournalErrors = js.Writes, js.Errors
 	}
 	return m
 }
@@ -104,10 +154,45 @@ func (m Metrics) WriteProm(w *strings.Builder) {
 		counter("smtd_store_evictions_total", "Disk store LRU evictions.", m.StoreEvictions)
 		counter("smtd_store_corrupt_total", "Disk store entries dropped as corrupt.", m.StoreCorrupt)
 		counter("smtd_store_writes_total", "Disk store entries written.", m.StoreWrites)
+		counter("smtd_store_io_errors_total", "Disk store filesystem errors (reads and writes).", m.StoreIOErrors)
 		gauge("smtd_store_entries", "Resident disk store entries.", m.StoreEntries)
 		gauge("smtd_store_bytes", "Resident disk store bytes.", m.StoreBytes)
 	}
 
+	fmt.Fprintf(w, "# HELP smtd_submit_rejected_total Submissions refused, by reason.\n# TYPE smtd_submit_rejected_total counter\n")
+	fmt.Fprintf(w, "smtd_submit_rejected_total{reason=\"queue_full\"} %d\n", m.SubmitRejectedFull)
+	fmt.Fprintf(w, "smtd_submit_rejected_total{reason=\"draining\"} %d\n", m.SubmitRejectedDraining)
+	counter("smtd_idempotent_hits_total", "Submissions deduplicated onto a live job via Idempotency-Key.", m.IdemHits)
+	counter("smtd_cells_timed_out_total", "Cells failed by the watchdog timeout.", m.CellsTimedOut)
+	counter("smtd_jobs_recovered_total", "Journaled jobs re-enqueued after a restart.", m.JobsRecovered)
+	counter("smtd_jobs_abandoned_total", "Journaled jobs marked failed-with-cause after a restart.", m.JobsAbandoned)
+
+	if m.HasBreaker {
+		degraded := 0
+		if m.StoreDegraded {
+			degraded = 1
+		}
+		gauge("smtd_store_degraded", "1 while the store circuit breaker is not closed (memory-only caching).", degraded)
+		fmt.Fprintf(w, "# HELP smtd_store_breaker_state Circuit state (1 on exactly one of the three).\n# TYPE smtd_store_breaker_state gauge\n")
+		for _, st := range []string{store.BreakerClosed, store.BreakerOpen, store.BreakerHalfOpen} {
+			v := 0
+			if m.BreakerState == st {
+				v = 1
+			}
+			fmt.Fprintf(w, "smtd_store_breaker_state{state=%q} %d\n", st, v)
+		}
+		counter("smtd_store_breaker_trips_total", "Circuit transitions to open.", m.BreakerTrips)
+		counter("smtd_store_breaker_short_circuits_total", "Store operations refused while the circuit was open.", m.BreakerShortCircuits)
+		counter("smtd_store_breaker_probes_total", "Half-open probe operations admitted.", m.BreakerProbes)
+	}
+
+	if m.HasJournal {
+		counter("smtd_journal_writes_total", "Journal records persisted.", m.JournalWrites)
+		counter("smtd_journal_errors_total", "Journal writes that failed.", m.JournalErrors)
+	}
+
+	counter("smtd_faults_injected_total", "Fault-plan rule fires (0 unless a plan is armed).", m.FaultsInjected)
+	gauge("smtd_goroutines", "Goroutines in the daemon process.", m.Goroutines)
 	gauge("smtd_uptime_seconds", "Seconds since the service started.", m.UptimeSeconds)
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"smtexplore/internal/faultinject"
 	"smtexplore/internal/runner"
 	"smtexplore/internal/store"
 )
@@ -20,6 +21,11 @@ var (
 	// ErrDraining reports a service that has stopped intake for
 	// shutdown (HTTP 503).
 	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrJournal reports a submission refused because its journal
+	// record could not be persisted: accepting a job the daemon could
+	// lose on crash would break the durability contract (HTTP 503 so
+	// the client retries).
+	ErrJournal = errors.New("service: journal write failed")
 )
 
 // Config sizes the service.
@@ -43,6 +49,21 @@ type Config struct {
 	// ArtifactDir, when set, enables observe cells: per-cell obs
 	// artifacts land under ArtifactDir/<job>/cell-<i>/.
 	ArtifactDir string
+	// Breaker, when set, is the circuit breaker wrapped around Store
+	// (and attached to Cache as its tier). /healthz reports "degraded"
+	// while it is open and probes it toward recovery; /metrics exposes
+	// its state and counters.
+	Breaker *store.Breaker
+	// Journal, when set, makes accepted jobs crash-safe: every submit
+	// is journaled before it is acknowledged, terminal states are
+	// recorded, and New re-runs (or marks failed-with-cause) any job
+	// the previous process lost mid-flight.
+	Journal *Journal
+	// CellTimeout, when > 0, arms a per-cell watchdog: a cell that has
+	// not returned within this budget is failed (and its goroutine
+	// abandoned to finish in the background) so one wedged cell cannot
+	// stall its job, let alone the daemon.
+	CellTimeout time.Duration
 }
 
 // Service owns the job registry, the bounded queue and the worker pool.
@@ -59,6 +80,7 @@ type Service struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
+	idem     map[string]string // Idempotency-Key -> job ID
 	seq      int
 	draining bool
 	active   int
@@ -66,6 +88,11 @@ type Service struct {
 	// Terminal-outcome counters for /metrics.
 	jobsDone, jobsFailed, jobsCancelled    uint64
 	cellsDone, cellsFailed, cellsCancelled uint64
+	// Robustness counters for /metrics.
+	rejectedFull, rejectedDraining uint64
+	idemHits                       uint64
+	cellsTimedOut                  uint64
+	jobsRecovered, jobsAbandoned   uint64
 
 	// runCell is the cell executor; tests substitute it to make queue
 	// and drain behaviour deterministic.
@@ -92,6 +119,7 @@ func New(cfg Config) *Service {
 		queue:   make(chan *Job, cfg.QueueDepth),
 		started: time.Now(),
 		jobs:    make(map[string]*Job),
+		idem:    make(map[string]string),
 	}
 	s.runCell = s.execCell
 	for range cfg.MaxActive {
@@ -103,13 +131,86 @@ func New(cfg Config) *Service {
 			}
 		}()
 	}
+	if cfg.Journal != nil {
+		s.recoverJournal()
+	}
 	return s
+}
+
+// recoverJournal replays the journal after a restart: jobs the previous
+// process accepted but never finished are re-enqueued under their
+// original IDs (their cells are deterministic, and usually one disk
+// read away), or — when re-admission is impossible — registered as
+// failed with an explicit cause, so no accepted job ever silently
+// vanishes. Terminal records are left on disk untouched.
+func (s *Service) recoverJournal() {
+	recs, err := s.cfg.Journal.Load()
+	if err != nil {
+		return
+	}
+	for _, rec := range recs {
+		if n := idNum(rec.ID); n > s.seq {
+			s.seq = n
+		}
+	}
+	for _, rec := range recs {
+		if rec.Terminal() {
+			continue
+		}
+		cause := ""
+		for i, sp := range rec.Specs {
+			if err := sp.Validate(s.cfg.ArtifactDir != ""); err != nil {
+				cause = fmt.Sprintf("not recovered after restart: cell %d: %v", i, err)
+				break
+			}
+		}
+		if len(rec.Specs) == 0 {
+			cause = "not recovered after restart: empty record"
+		}
+		j := newJob(rec.ID, rec.Specs)
+		enqueued := false
+		s.mu.Lock()
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if rec.IdemKey != "" {
+			s.idem[rec.IdemKey] = j.ID
+		}
+		if cause == "" {
+			select {
+			case s.queue <- j:
+				enqueued = true
+				s.jobsRecovered++
+			default:
+				cause = "not recovered after restart: queue full"
+			}
+		}
+		if !enqueued {
+			s.jobsAbandoned++
+		}
+		s.mu.Unlock()
+		if !enqueued {
+			j.failPendingCells(cause)
+			s.finish(j, JobFailed, cause)
+		}
+	}
 }
 
 // Submit validates and enqueues a batch. It never blocks: a full queue
 // returns ErrQueueFull immediately (the HTTP layer translates that into
 // 429 + Retry-After so clients can apply backpressure).
 func (s *Service) Submit(specs []CellSpec) (*Job, error) {
+	return s.SubmitIdem(specs, "")
+}
+
+// SubmitIdem is Submit with an optional idempotency key (the HTTP layer
+// passes the Idempotency-Key header; smtctl derives it from the request
+// content). While a job submitted under the same key is still live, a
+// duplicate submission returns that job instead of enqueuing a second
+// copy — so a client retrying a submit whose response it never saw
+// cannot duplicate work. Once the matching job is terminal, the key is
+// fair game again (a deliberate resubmission is then served from the
+// result caches anyway).
+func (s *Service) SubmitIdem(specs []CellSpec, idemKey string) (*Job, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: empty batch")
 	}
@@ -118,21 +219,54 @@ func (s *Service) Submit(specs []CellSpec) (*Job, error) {
 			return nil, fmt.Errorf("service: cell %d: %w", i, err)
 		}
 	}
+	if err := faultinject.Hit(faultinject.PointQueueAdmit); err != nil {
+		s.mu.Lock()
+		s.rejectedFull++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%v)", ErrQueueFull, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.rejectedDraining++
 		return nil, ErrDraining
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			if j := s.jobs[id]; j != nil {
+				if state, _ := j.State(); state == JobQueued || state == JobRunning {
+					s.idemHits++
+					return j, nil
+				}
+			}
+		}
 	}
 	s.seq++
 	j := newJob(fmt.Sprintf("j%04d", s.seq), specs)
+	if jl := s.cfg.Journal; jl != nil {
+		// Journal before enqueue: a job must be durable before anyone
+		// is told it was accepted. The fsync happens under s.mu, which
+		// serialises submissions — milliseconds, and correct.
+		if err := jl.write(Record{ID: j.ID, IdemKey: idemKey, Specs: specs, State: JobQueued, Created: time.Now()}); err != nil {
+			s.seq--
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	select {
 	case s.queue <- j:
 	default:
 		s.seq--
+		s.rejectedFull++
+		if jl := s.cfg.Journal; jl != nil {
+			jl.remove(j.ID)
+		}
 		return nil, ErrQueueFull
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	if idemKey != "" {
+		s.idem[idemKey] = j.ID
+	}
 	return j, nil
 }
 
@@ -171,9 +305,7 @@ func (s *Service) Cancel(id string) bool {
 	j.mu.Unlock()
 	if queued {
 		j.cancelPendingCells("cancelled before start")
-		if j.setState(JobCancelled, "cancelled before start") {
-			s.count(JobCancelled)
-		}
+		s.finish(j, JobCancelled, "cancelled before start")
 		return true
 	}
 	if cancel != nil {
@@ -229,9 +361,7 @@ func (s *Service) runJob(j *Job) {
 		// Unreachable in practice (the cell fn never errors and execCell
 		// recovers panics), but a runner failure must still terminate
 		// the job.
-		if j.setState(JobFailed, err.Error()) {
-			s.count(JobFailed)
-		}
+		s.finish(j, JobFailed, err.Error())
 		return
 	}
 
@@ -255,8 +385,22 @@ func (s *Service) runJob(j *Job) {
 	case cancelled > 0:
 		state, msg = JobCancelled, fmt.Sprintf("%d of %d cells cancelled", cancelled, len(results))
 	}
-	if j.setState(state, msg) {
-		s.count(state)
+	s.finish(j, state, msg)
+}
+
+// finish drives j to a terminal state exactly once: counts the outcome
+// and journals it so a restart will not re-run finished work. A no-op
+// if the job is already terminal.
+func (s *Service) finish(j *Job, state, msg string) {
+	if !j.setState(state, msg) {
+		return
+	}
+	s.count(state)
+	if jl := s.cfg.Journal; jl != nil {
+		// Best-effort: a failed terminal write means the next restart
+		// re-runs a finished (deterministic, cached) job — wasteful but
+		// correct. The journal's error counter records it.
+		jl.write(Record{ID: j.ID, Specs: j.Specs, State: state, Error: msg, Created: time.Now()})
 	}
 }
 

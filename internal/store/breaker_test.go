@@ -1,0 +1,233 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"smtexplore/internal/faultinject"
+)
+
+// armRules arms a fault plan for the test and disarms on cleanup.
+func armRules(t *testing.T, rules ...faultinject.Rule) *faultinject.Injector {
+	t.Helper()
+	in, err := faultinject.New(faultinject.Plan{Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(in)
+	t.Cleanup(faultinject.Disarm)
+	return in
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Injected read errors surface through Get as errors (entry retained),
+// count as IOErrors, and stay invisible to the Tier-shaped Load.
+func TestGetReportsInjectedIOError(t *testing.T) {
+	s := openStore(t)
+	s.Store("k", []byte("v"))
+
+	armRules(t, faultinject.Rule{Point: faultinject.PointStoreRead, Action: faultinject.ActionError, Count: 1})
+	if _, ok, err := s.Get("k"); err == nil || ok {
+		t.Fatalf("Get under injected read fault = (ok=%v, err=%v), want error", ok, err)
+	}
+	if st := s.Stats(); st.IOErrors != 1 || st.Entries != 1 {
+		t.Errorf("after injected read error: %+v, want 1 IOError and the entry retained", st)
+	}
+	// Fault exhausted: the entry is still there and readable.
+	if data, ok, err := s.Get("k"); err != nil || !ok || string(data) != "v" {
+		t.Fatalf("Get after fault window = (%q, %v, %v), want the value back", data, ok, err)
+	}
+}
+
+func TestPutReportsInjectedIOError(t *testing.T) {
+	s := openStore(t)
+	armRules(t, faultinject.Rule{Point: faultinject.PointStoreWrite, Action: faultinject.ActionError, Count: 1})
+	if err := s.Put("k", []byte("v")); err == nil {
+		t.Fatal("Put under injected write fault succeeded")
+	}
+	if st := s.Stats(); st.IOErrors != 1 || st.Writes != 0 {
+		t.Errorf("after injected write error: %+v, want 1 IOError, 0 writes", st)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put after fault window: %v", err)
+	}
+}
+
+// newTestBreaker wires a breaker with a controllable clock.
+func newTestBreaker(s *Store, threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	b := NewBreaker(s, threshold, cooldown)
+	now := time.Now()
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsShortCircuitsAndRecovers(t *testing.T) {
+	s := openStore(t)
+	s.Store("k", []byte("v"))
+	b, now := newTestBreaker(s, 3, time.Minute)
+
+	// Healthy pass-through.
+	if data, ok := b.Load("k"); !ok || string(data) != "v" {
+		t.Fatalf("healthy Load = (%q, %v)", data, ok)
+	}
+	if b.State() != BreakerClosed || b.Degraded() {
+		t.Fatalf("state %s after healthy load", b.State())
+	}
+
+	// Three consecutive injected read failures trip the circuit.
+	armRules(t, faultinject.Rule{Point: faultinject.PointStoreRead, Action: faultinject.ActionError, Count: 3})
+	for i := range 3 {
+		if _, ok := b.Load("k"); ok {
+			t.Fatalf("Load %d under fault returned ok", i)
+		}
+	}
+	if b.State() != BreakerOpen || !b.Degraded() {
+		t.Fatalf("state %s after %d failures, want open", b.State(), 3)
+	}
+	if st := b.Stats(); st.Trips != 1 {
+		t.Errorf("Trips = %d, want 1", st.Trips)
+	}
+
+	// Open within the cooldown: everything short-circuits without
+	// touching the store (the fault window is exhausted, so a real read
+	// would succeed — proving these are short-circuits).
+	before := s.Stats()
+	if _, ok := b.Load("k"); ok {
+		t.Error("open breaker served a load")
+	}
+	b.Store("k2", []byte("dropped"))
+	if after := s.Stats(); after.Hits != before.Hits || after.Writes != before.Writes {
+		t.Errorf("open breaker touched the store: %+v -> %+v", before, after)
+	}
+	if st := b.Stats(); st.ShortCircuits < 2 {
+		t.Errorf("ShortCircuits = %d, want >= 2", st.ShortCircuits)
+	}
+
+	// Past the cooldown the next op is the half-open probe; it succeeds
+	// and closes the circuit.
+	*now = now.Add(2 * time.Minute)
+	if data, ok := b.Load("k"); !ok || string(data) != "v" {
+		t.Fatalf("half-open probe load = (%q, %v), want the value", data, ok)
+	}
+	if b.State() != BreakerClosed || b.Degraded() {
+		t.Fatalf("state %s after successful probe, want closed", b.State())
+	}
+	if st := b.Stats(); st.Probes != 1 {
+		t.Errorf("Probes = %d, want 1", st.Probes)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	s := openStore(t)
+	s.Store("k", []byte("v"))
+	b, now := newTestBreaker(s, 1, time.Minute)
+
+	armRules(t, faultinject.Rule{Point: faultinject.PointStoreRead, Action: faultinject.ActionError, Count: 2})
+	b.Load("k") // trips (threshold 1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s, want open", b.State())
+	}
+	*now = now.Add(2 * time.Minute)
+	b.Load("k") // half-open probe, second injected failure -> re-open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe %s, want open", b.State())
+	}
+	if st := b.Stats(); st.Trips != 2 {
+		t.Errorf("Trips = %d, want 2 (initial + failed probe)", st.Trips)
+	}
+	// Next cooldown's probe succeeds (fault window exhausted).
+	*now = now.Add(2 * time.Minute)
+	if _, ok := b.Load("k"); !ok {
+		t.Fatal("recovered probe load missed")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after recovery, want closed", b.State())
+	}
+}
+
+// Probe() drives recovery without organic traffic: the healthz path.
+func TestBreakerProbeRecovers(t *testing.T) {
+	s := openStore(t)
+	b, now := newTestBreaker(s, 1, time.Minute)
+
+	armRules(t, faultinject.Rule{Point: faultinject.PointStoreWrite, Action: faultinject.ActionError, Count: 1})
+	b.Store("k", []byte("v")) // trips
+	if !b.Degraded() {
+		t.Fatal("breaker not degraded after write failure")
+	}
+	b.Probe() // inside cooldown: short-circuits, stays degraded
+	if !b.Degraded() {
+		t.Fatal("in-cooldown probe recovered the breaker")
+	}
+	*now = now.Add(2 * time.Minute)
+	b.Probe() // half-open probe write succeeds
+	if b.Degraded() {
+		t.Fatal("post-cooldown probe did not recover the breaker")
+	}
+}
+
+// Misses and corruption are not failures: they never trip the circuit.
+func TestBreakerIgnoresMissesAndCorruption(t *testing.T) {
+	s := openStore(t)
+	b, _ := newTestBreaker(s, 1, time.Minute)
+	if _, ok := b.Load("absent"); ok {
+		t.Fatal("miss returned ok")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after miss, want closed", b.State())
+	}
+	// Corrupt an entry on disk; the load is a miss, not a trip.
+	s.Store("k", []byte("v"))
+	if err := os.WriteFile(filepath.Join(s.dir, fileName("k")), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Load("k"); ok {
+		t.Fatal("corrupt entry returned ok")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after corrupt load, want closed", b.State())
+	}
+}
+
+// Concurrent traffic across a trip and recovery must be race-free.
+func TestBreakerConcurrent(t *testing.T) {
+	s := openStore(t)
+	s.Store("k", []byte("v"))
+	b := NewBreaker(s, 3, time.Millisecond)
+
+	armRules(t, faultinject.Rule{Point: faultinject.PointStoreRead, Action: faultinject.ActionError, Count: 10})
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 50 {
+				b.Load("k")
+				b.Store("k", []byte("v"))
+			}
+		}()
+	}
+	wg.Wait()
+	// The fault window is finite and the cooldown tiny, so the breaker
+	// must end up (or settle) closed under fresh traffic.
+	deadline := time.After(5 * time.Second)
+	for b.Degraded() {
+		b.Probe()
+		select {
+		case <-deadline:
+			t.Fatalf("breaker stuck %s after fault window", b.State())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

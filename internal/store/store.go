@@ -28,13 +28,17 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"smtexplore/internal/faultinject"
 )
 
 // entryExt is the store-file suffix; everything else in the directory is
@@ -76,6 +80,10 @@ type Stats struct {
 	// Corrupt counts entries dropped because their checksum, lengths or
 	// key failed verification (a corrupt load also counts as a miss).
 	Corrupt uint64
+	// IOErrors counts reads and writes that failed at the filesystem
+	// (not corruption, not a missing entry): the signal a circuit
+	// breaker keys off. A failed read also counts as a miss.
+	IOErrors uint64
 	// Writes counts successful Put/Store calls.
 	Writes uint64
 	// Entries and Bytes describe the current resident set.
@@ -202,39 +210,59 @@ func decode(data []byte, key string) ([]byte, error) {
 	return payload, nil
 }
 
-// Load implements runner.Tier: it returns the stored payload for key, or
-// ok=false on a miss. A corrupt entry is deleted and reported as a miss.
-// The read happens under the store lock, so a concurrent eviction cannot
-// interleave with it.
+// Load implements runner.Tier: it returns the stored payload for key,
+// or ok=false on a miss. I/O failures are folded into misses — callers
+// that need to distinguish them (the circuit breaker) use Get.
 func (s *Store) Load(key string) ([]byte, bool) {
+	data, ok, _ := s.Get(key)
+	return data, ok
+}
+
+// Get is the error-aware load: (payload, true, nil) on a hit,
+// (nil, false, nil) on a miss — including corrupt entries, which are
+// deleted and recomputable — and (nil, false, err) when the filesystem
+// itself failed, leaving the entry in place for a retry. The read
+// happens under the store lock, so a concurrent eviction cannot
+// interleave with it.
+func (s *Store) Get(key string) ([]byte, bool, error) {
 	name := fileName(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
 	if !ok {
 		s.stats.Misses++
-		return nil, false
+		return nil, false, nil
 	}
 	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err == nil {
+		err = faultinject.Hit(faultinject.PointStoreRead)
+	}
 	if err != nil {
-		// The index said present but the file is gone or unreadable —
-		// treat like corruption: drop the entry, report a miss.
-		s.dropLocked(e, true)
+		if errors.Is(err, fs.ErrNotExist) {
+			// The index said present but the file is gone — treat like
+			// corruption: drop the entry, report a miss.
+			s.dropLocked(e, true)
+			s.stats.Misses++
+			return nil, false, nil
+		}
+		// A real I/O failure: the entry may be fine once the disk
+		// recovers, so keep it indexed and surface the error.
+		s.stats.IOErrors++
 		s.stats.Misses++
-		return nil, false
+		return nil, false, fmt.Errorf("store: read %s: %w", name, err)
 	}
 	payload, err := decode(data, key)
 	if err != nil {
 		s.dropLocked(e, true)
 		s.stats.Misses++
-		return nil, false
+		return nil, false, nil
 	}
 	s.lru.MoveToFront(e.elem)
 	// Refresh the mtime so LRU order survives a restart. Best-effort.
 	now := time.Now()
 	_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
 	s.stats.Hits++
-	return payload, true
+	return payload, true, nil
 }
 
 // Store implements runner.Tier: it persists payload under key via an
@@ -242,12 +270,27 @@ func (s *Store) Load(key string) ([]byte, bool) {
 // again. Failures are silent — the store is a best-effort tier and the
 // caller already holds the computed value.
 func (s *Store) Store(key string, payload []byte) {
+	_ = s.Put(key, payload)
+}
+
+// Put is the error-aware write behind Store: it reports filesystem
+// failures so the circuit breaker can count them.
+func (s *Store) Put(key string, payload []byte) error {
 	name := fileName(key)
 	data := encode(key, payload)
 
+	ioErr := func(op string, err error) error {
+		s.mu.Lock()
+		s.stats.IOErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: %s %s: %w", op, name, err)
+	}
+	if err := faultinject.Hit(faultinject.PointStoreWrite); err != nil {
+		return ioErr("write", err)
+	}
 	f, err := os.CreateTemp(s.dir, "tmp-*")
 	if err != nil {
-		return
+		return ioErr("create", err)
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
@@ -255,14 +298,15 @@ func (s *Store) Store(key string, payload []byte) {
 	cerr := f.Close()
 	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp)
-		return
+		return ioErr("write", errors.Join(werr, serr, cerr))
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
 		os.Remove(tmp)
-		return
+		s.stats.IOErrors++
+		return fmt.Errorf("store: rename %s: %w", name, err)
 	}
 	if old, ok := s.entries[name]; ok {
 		// Overwrite (e.g. rewrite after corruption): replace in place.
@@ -275,6 +319,7 @@ func (s *Store) Store(key string, payload []byte) {
 	s.bytes += e.size
 	s.stats.Writes++
 	s.evictOverBudgetLocked()
+	return nil
 }
 
 // evictOverBudgetLocked removes least-recently-used entries until the
