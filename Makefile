@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test ./internal/uasm -fuzz FuzzCount -fuzztime 10s
 	$(GO) test ./internal/isa -fuzz FuzzInstrValidate -fuzztime 10s
 	$(GO) test ./internal/isa -fuzz FuzzInstrConstruct -fuzztime 10s
+	$(GO) test ./internal/checkpoint -fuzz FuzzDecode -fuzztime 10s
 
 # One end-to-end regeneration of every figure/table, plus the runner's
 # synthetic speedup benchmark (CI uploads the combined log as the

@@ -10,6 +10,7 @@
 //	smtctl submit -fig 1                     # one harness cell; prints the job ID
 //	smtctl submit -stream fadd,iload -ilp max -window 120000
 //	smtctl submit -kernel mm -mode tlp-fine -size 64
+//	smtctl submit -kernel lu -size 64 -deadline 90s -priority 5
 //	smtctl submit -f batch.json              # raw batch ("-" reads stdin)
 //	smtctl status j0001                      # job status JSON
 //	smtctl wait j0001                        # stream events until terminal
@@ -156,6 +157,8 @@ func (c client) submit(args []string) error {
 	size := fs.Int("size", 0, "kernel cell problem size (mm/lu matrix dimension)")
 	file := fs.String("f", "", "submit a raw JSON batch from this file (\"-\": stdin)")
 	observe := fs.Bool("observe", false, "request per-cell obs artifacts (stream/kernel cells)")
+	deadline := fs.String("deadline", "", "fail the job with an explicit cause if not done within this duration (e.g. 90s)")
+	priority := fs.Int("priority", 0, "queue priority: higher runs first and may preempt lower-priority checkpointable jobs")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -201,6 +204,14 @@ func (c client) submit(args []string) error {
 		}}
 	default:
 		return usage(fs, "submit needs one of -fig, -stream, -kernel or -f")
+	}
+	// Flags layer over -f batches too, so a scripted batch can still get a
+	// per-invocation deadline or priority.
+	if *deadline != "" {
+		req.Deadline = *deadline
+	}
+	if *priority != 0 {
+		req.Priority = *priority
 	}
 
 	body, err := json.Marshal(req)
@@ -338,9 +349,15 @@ func (c client) followEvents(body io.Reader, id string, quiet bool, lastID *int)
 				if err := json.Unmarshal([]byte(data), &ev); err != nil {
 					return true, fmt.Errorf("bad event payload: %w", err), nil
 				}
-				if ev.State == service.CellFailed {
+				switch {
+				case ev.State == service.CellFailed:
 					fmt.Fprintf(os.Stderr, "smtctl: cell %d (%s) failed: %s\n", ev.Cell, ev.Label, ev.Error)
-				} else if !quiet {
+				case quiet:
+				case (ev.State == service.CellPreempted || ev.State == service.CellResumed) && ev.Error != "":
+					// Preemption/resume events carry a detail message (why the
+					// cell yielded, how many cycles the checkpoint saved).
+					fmt.Fprintf(c.out, "cell %d (%s): %s: %s\n", ev.Cell, ev.Label, ev.State, ev.Error)
+				default:
 					fmt.Fprintf(c.out, "cell %d (%s): %s\n", ev.Cell, ev.Label, ev.State)
 				}
 			case "end":

@@ -14,6 +14,8 @@
 //	smtd -artifacts obs/                  # enable observe cells
 //	smtd -journal jobs/                   # crash-safe job journal
 //	smtd -cell-timeout 30s                # per-cell watchdog
+//	smtd -checkpoint-cycles 100000        # pausable kernel cells: preemption, drain/restart resume
+//	smtd -queue-wait-target 2s            # AIMD admission: shed load when queue waits exceed this
 //	smtd -fault-plan plan.json            # arm a fault-injection plan (chaos testing)
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/events|/result]],
@@ -79,6 +81,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	drain := fs.Duration("drain-timeout", time.Minute, "graceful shutdown budget for accepted jobs")
 	journalDir := fs.String("journal", "", "crash-safe job journal directory (empty: accepted jobs are lost on crash)")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog budget (0: no watchdog)")
+	checkpointCycles := fs.Uint64("checkpoint-cycles", 0, "kernel cell pause-point interval in simulated cycles (0: checkpointing off)")
+	stopGrace := fs.Duration("stop-grace", 0, "watchdog wait for a stopping cell's final checkpoint (0: 2s default)")
+	queueWaitTarget := fs.Duration("queue-wait-target", 0, "queue wait above which the AIMD limiter sheds load (0: no adaptive shedding)")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive store I/O failures before degrading to memory-only caching")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "wait before probing a degraded store again")
 	faultPlan := fs.String("fault-plan", "", "fault-injection plan JSON (chaos testing only; never set in production)")
@@ -112,12 +117,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	cache := runner.NewCache().WithLimit(*cacheEntries)
 	cfg := service.Config{
-		Workers:     *workers,
-		MaxActive:   *jobs,
-		QueueDepth:  *queue,
-		Cache:       cache,
-		ArtifactDir: *artifacts,
-		CellTimeout: *cellTimeout,
+		Workers:         *workers,
+		MaxActive:       *jobs,
+		QueueDepth:      *queue,
+		Cache:           cache,
+		ArtifactDir:     *artifacts,
+		CellTimeout:     *cellTimeout,
+		CheckpointEvery: *checkpointCycles,
+		StopGrace:       *stopGrace,
+		QueueWaitTarget: *queueWaitTarget,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeMax)
@@ -131,6 +139,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cache.WithTier(br)
 		cfg.Store = st
 		cfg.Breaker = br
+		// Checkpoints ride the same degradation-tolerant disk path as
+		// results, which is what lets a restarted daemon resume cells the
+		// previous process parked mid-run.
+		cfg.CheckpointSink = br
 		ss := st.Stats()
 		fmt.Fprintf(out, "smtd: store %s: %d entries, %d bytes\n", *storeDir, ss.Entries, ss.Bytes)
 	}

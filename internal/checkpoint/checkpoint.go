@@ -1,0 +1,165 @@
+// Package checkpoint is the versioned, checksummed codec for paused
+// simulation cells. A checkpoint binds a full smt.Machine snapshot to
+// the identity of the experiment cell that owns it (the runner cache
+// key plus the human-readable kernel/mode/label), so a daemon restarted
+// after a crash — or a job preempted by a higher-priority burst — can
+// resume the cell from its last pause point instead of cycle zero.
+//
+// The wire format is deliberately boring:
+//
+//	"smtckpt1" (8-byte magic+version)
+//	sha256(payload) (32 bytes)
+//	len(payload) as big-endian uint64 (8 bytes)
+//	payload: JSON-encoded CellCheckpoint
+//
+// JSON keeps Decode total (arbitrary bytes can never panic it, which
+// the fuzz target enforces) and deterministic (struct fields encode in
+// declaration order, map keys sorted), so Encode∘Decode is the identity
+// on bytes — the property the resume-parity guarantee leans on.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"smtexplore/internal/smt"
+)
+
+// magic identifies the format and its version; bump the trailing digit
+// on any incompatible change so stale checkpoints read as corrupt, not
+// as garbage state.
+const magic = "smtckpt1"
+
+// headerLen is magic + sha256 + payload length.
+const headerLen = len(magic) + sha256.Size + 8
+
+// maxPayload bounds the declared payload length Decode will trust, so a
+// corrupt header cannot provoke a huge allocation. Real checkpoints are
+// a few hundred KB (dominated by the cache ways of the 512 KB L2).
+const maxPayload = 1 << 30
+
+// CellCheckpoint is one paused experiment cell.
+type CellCheckpoint struct {
+	// Key is the runner cache key of the owning cell; resume refuses a
+	// checkpoint whose key does not match the cell being computed.
+	Key string `json:"key"`
+	// Kernel, Mode, Size and Label describe the cell for operators and
+	// logs; they are informational, Key is authoritative.
+	Kernel string `json:"kernel,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+	Size   int    `json:"size,omitempty"`
+	Label  string `json:"label,omitempty"`
+	// Cycle is the machine cycle at capture — the cycles a resumed run
+	// does not re-simulate (the resume_cycles_saved metric).
+	Cycle uint64 `json:"cycle"`
+	// Machine is the full simulator state.
+	Machine *smt.Snapshot `json:"machine"`
+}
+
+// Encode renders c into the checksummed wire format.
+func Encode(c *CellCheckpoint) ([]byte, error) {
+	if c == nil || c.Machine == nil {
+		return nil, fmt.Errorf("checkpoint: encode without a machine snapshot")
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, headerLen+len(payload))
+	out = append(out, magic...)
+	out = append(out, sum[:]...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// Decode parses a checkpoint produced by Encode. It is total: arbitrary
+// input yields an error, never a panic, and anything that fails the
+// checksum or schema is rejected wholesale — a torn or bit-rotted
+// checkpoint must read as absent, not as plausible simulator state.
+func Decode(data []byte) (*CellCheckpoint, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("checkpoint: %d bytes is shorter than the %d-byte header", len(data), headerLen)
+	}
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", data[:len(magic)])
+	}
+	sum := data[len(magic) : len(magic)+sha256.Size]
+	n := binary.BigEndian.Uint64(data[len(magic)+sha256.Size : headerLen])
+	if n > maxPayload {
+		return nil, fmt.Errorf("checkpoint: declared payload of %d bytes exceeds the %d limit", n, maxPayload)
+	}
+	payload := data[headerLen:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("checkpoint: have %d payload bytes, header claims %d", len(payload), n)
+	}
+	got := sha256.Sum256(payload)
+	if !bytes.Equal(got[:], sum) {
+		return nil, fmt.Errorf("checkpoint: payload checksum mismatch")
+	}
+	c := new(CellCheckpoint)
+	if err := json.Unmarshal(payload, c); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if c.Machine == nil {
+		return nil, fmt.Errorf("checkpoint: no machine snapshot in payload")
+	}
+	return c, nil
+}
+
+// Sink is where checkpoints live between the pause and the resume. The
+// disk-backed result store (optionally behind its circuit breaker)
+// satisfies it, giving checkpoints the same tmp+fsync+rename atomicity
+// and checksum-verified reads as cached results.
+type Sink interface {
+	Load(key string) ([]byte, bool)
+	Store(key string, data []byte)
+	Delete(key string)
+}
+
+// SinkKey namespaces a cell's cache key for checkpoint storage, so a
+// checkpoint and the cell's eventual result never collide in the shared
+// store. The key survives across jobs: any later job computing the same
+// cell resumes from the same checkpoint.
+func SinkKey(cellKey string) string { return "checkpoint\n" + cellKey }
+
+// MemSink is an in-process Sink for daemons running without a disk
+// store (and for tests). Checkpoints in it do not survive the process,
+// but watchdog retries and preemption resumes within one still work.
+type MemSink struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink { return &MemSink{m: make(map[string][]byte)} }
+
+// Load returns the stored bytes for key.
+func (s *MemSink) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Store saves bytes under key.
+func (s *MemSink) Store(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), data...)
+}
+
+// Delete drops the entry for key.
+func (s *MemSink) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}

@@ -1,0 +1,143 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/store"
+	"smtexplore/internal/trace"
+)
+
+// The disk store and its circuit breaker must remain usable as
+// checkpoint sinks.
+var (
+	_ Sink = (*store.Store)(nil)
+	_ Sink = (*store.Breaker)(nil)
+	_ Sink = (*MemSink)(nil)
+)
+
+// testCheckpoint captures a small machine mid-run.
+func testCheckpoint(t *testing.T) *CellCheckpoint {
+	t.Helper()
+	m := smt.New(smt.DefaultConfig())
+	defer m.Close()
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 4000; i++ {
+			e.Load(isa.R(1), uint64(i)*64)
+			e.ALU(isa.IAdd, isa.R(2), isa.R(1), isa.R(2))
+		}
+	}))
+	res, err := m.RunPausable(0, 500, func() bool { return true })
+	if err != nil || !res.Paused {
+		t.Fatalf("pause: res=%+v err=%v", res, err)
+	}
+	return &CellCheckpoint{
+		Key:     "test-cell-key",
+		Kernel:  "mm",
+		Mode:    "tlp-fine",
+		Size:    64,
+		Label:   "kernel:mm/tlp-fine/N=64",
+		Cycle:   m.Cycle(),
+		Machine: m.Snapshot(),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := testCheckpoint(t)
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatal("decoded checkpoint differs from the original")
+	}
+	again, err := Encode(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoding a decoded checkpoint changed the bytes (encoding not deterministic)")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	c := testCheckpoint(t)
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"short":         data[:headerLen-1],
+		"truncated":     data[:len(data)-1],
+		"extra tail":    append(append([]byte(nil), data...), 'x'),
+		"bad magic":     append([]byte("XXXXXXXX"), data[8:]...),
+		"flipped byte":  flip(data, headerLen+10),
+		"flipped sum":   flip(data, len(magic)+3),
+		"huge length":   flip(data, len(magic)+32), // high byte of the length field
+		"header only":   data[:headerLen],
+		"not json body": append(append([]byte(nil), data[:headerLen]...), []byte("not json")...),
+	}
+	for name, bad := range cases {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func flip(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestEncodeRequiresMachine(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Error("encode accepted nil checkpoint")
+	}
+	if _, err := Encode(&CellCheckpoint{Key: "k"}); err == nil {
+		t.Error("encode accepted checkpoint without machine snapshot")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	c := testCheckpoint(t)
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	for name, sink := range map[string]Sink{"mem": NewMemSink(), "store": st} {
+		key := SinkKey("cell-key")
+		if _, ok := sink.Load(key); ok {
+			t.Errorf("%s: hit before store", name)
+		}
+		sink.Store(key, data)
+		got, ok := sink.Load(key)
+		if !ok {
+			t.Fatalf("%s: miss after store", name)
+		}
+		if c2, err := Decode(got); err != nil || !reflect.DeepEqual(c, c2) {
+			t.Errorf("%s: loaded checkpoint does not round-trip: %v", name, err)
+		}
+		sink.Delete(key)
+		if _, ok := sink.Load(key); ok {
+			t.Errorf("%s: hit after delete", name)
+		}
+	}
+}
+
+func TestSinkKeyNamespaces(t *testing.T) {
+	if SinkKey("abc") == "abc" {
+		t.Fatal("SinkKey must not collide with the raw cell key")
+	}
+}

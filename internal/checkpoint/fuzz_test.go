@@ -1,0 +1,69 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/mem"
+	"smtexplore/internal/smt"
+	"smtexplore/internal/trace"
+)
+
+// fuzzSeed is a small valid encoding added to the corpus at runtime (a
+// full machine snapshot is too large to commit as a seed file; the
+// committed testdata seeds cover the header and corruption space).
+func fuzzSeed(f *testing.F) []byte {
+	f.Helper()
+	cfg := smt.DefaultConfig()
+	// Tiny caches and buffers: the seed stays a few KB, so the mutation
+	// loop sustains a useful exec rate during the CI fuzz smoke.
+	cfg.Mem.L1 = mem.CacheConfig{Size: 1 << 10, LineSize: 64, Assoc: 2, Latency: 2}
+	cfg.Mem.L2 = mem.CacheConfig{Size: 8 << 10, LineSize: 64, Assoc: 4, Latency: 6}
+	cfg.Mem.MSHRs = 4
+	cfg.ROB = 32
+	m := smt.New(cfg)
+	defer m.Close()
+	m.LoadProgram(0, trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < 200; i++ {
+			e.Load(isa.R(1), uint64(i)*64)
+		}
+	}))
+	res, err := m.RunPausable(0, 50, func() bool { return true })
+	if err != nil || !res.Paused {
+		f.Fatalf("pause: res=%+v err=%v", res, err)
+	}
+	data, err := Encode(&CellCheckpoint{Key: "seed", Cycle: m.Cycle(), Machine: m.Snapshot()})
+	if err != nil {
+		f.Fatalf("encode seed: %v", err)
+	}
+	return data
+}
+
+// FuzzDecode asserts the codec's two safety properties: Decode never
+// panics on arbitrary bytes, and any input it accepts canonicalizes —
+// re-encoding the decoded checkpoint and decoding again is the
+// identity.
+func FuzzDecode(f *testing.F) {
+	valid := fuzzSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(c)
+		if err != nil {
+			t.Fatalf("decoded checkpoint failed to re-encode: %v", err)
+		}
+		c2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatal("encode/decode round trip is not the identity")
+		}
+	})
+}

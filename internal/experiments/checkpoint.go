@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"smtexplore/internal/checkpoint"
+	"smtexplore/internal/faultinject"
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/smt"
+)
+
+// ErrCellPreempted marks a kernel cell that stopped cooperatively at a
+// checkpoint instead of completing: the scheduler asked for its worker
+// back (priority preemption, drain, watchdog). The cell's state is in
+// the checkpoint sink; re-running the same cell resumes from it.
+var ErrCellPreempted = errors.New("cell preempted at a checkpoint")
+
+// CheckpointStats aggregates checkpoint activity across every cell
+// sharing one Checkpointing configuration (the daemon's /metrics and
+// the obs registry read it).
+type CheckpointStats struct {
+	written      atomic.Uint64
+	restored     atomic.Uint64
+	bytesWritten atomic.Uint64
+	cyclesSaved  atomic.Uint64
+}
+
+// Snapshot reads the counters: checkpoints written and restored, total
+// encoded bytes written, and simulated cycles that restores skipped
+// re-running.
+func (s *CheckpointStats) Snapshot() (written, restored, bytesWritten, cyclesSaved uint64) {
+	return s.written.Load(), s.restored.Load(), s.bytesWritten.Load(), s.cyclesSaved.Load()
+}
+
+// Checkpointing makes kernel cells pausable and resumable. A cell under
+// checkpointing writes its machine state to Sink every Every cycles and,
+// when ShouldStop asks, abandons the run with ErrCellPreempted right
+// after a final checkpoint — never mid-cycle, never losing state.
+type Checkpointing struct {
+	// Every is the pause-point interval in simulated cycles.
+	Every uint64
+	// Sink stores encoded checkpoints, keyed by checkpoint.SinkKey of
+	// the cell's cache key.
+	Sink checkpoint.Sink
+	// ShouldStop is polled at every pause point; returning stop=true
+	// preempts the cell, with reason quoted in the error. Nil never
+	// stops.
+	ShouldStop func() (reason string, stop bool)
+	// OnRestore is called when a cell resumes from a checkpoint instead
+	// of starting at cycle zero, with the simulated cycles skipped. Nil
+	// is fine.
+	OnRestore func(cyclesSaved uint64)
+	// Stats, when non-nil, accumulates cross-cell counters.
+	Stats *CheckpointStats
+}
+
+// enabled reports whether c actually checkpoints.
+func (c *Checkpointing) enabled() bool {
+	return c != nil && c.Sink != nil && c.Every > 0
+}
+
+// forCell derives a per-cell control block sharing c's sink, interval
+// and stats but with the cell's own stop predicate and resume
+// notification. The service uses it to give every cell its own
+// preemption wiring without duplicating configuration.
+func (c *Checkpointing) ForCell(shouldStop func() (string, bool), onRestore func(uint64)) *Checkpointing {
+	if c == nil {
+		return nil
+	}
+	return &Checkpointing{
+		Every:      c.Every,
+		Sink:       c.Sink,
+		ShouldStop: shouldStop,
+		OnRestore:  onRestore,
+		Stats:      c.Stats,
+	}
+}
+
+// runKernelCheckpointed is the checkpoint-aware variant of RunKernel:
+// it resumes from a stored checkpoint when one exists (a corrupt or
+// mismatched one is discarded and the run starts clean — resilience
+// over reuse), writes a checkpoint every pause interval, and deletes
+// the checkpoint once the cell completes so the sink never serves a
+// stale machine for a finished cell.
+func runKernelCheckpointed(b Builder, mode kernels.Mode, mcfg smt.Config, label, key string, ck *Checkpointing) (KernelMetrics, error) {
+	newMachine := func() (*smt.Machine, error) {
+		progs, err := b.Programs(mode)
+		if err != nil {
+			return nil, err
+		}
+		m := smt.New(mcfg)
+		m.LoadProgram(kernels.WorkerTid, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(kernels.HelperTid, progs[1])
+		}
+		return m, nil
+	}
+	m, err := newMachine()
+	if err != nil {
+		return KernelMetrics{}, err
+	}
+	// Close releases abandoned stream generators on the error and
+	// preemption paths; a completed run has already closed its own.
+	defer func() { m.Close() }()
+
+	skey := checkpoint.SinkKey(key)
+	if data, ok := ck.Sink.Load(skey); ok {
+		restoreErr := faultinject.Hit(faultinject.PointCheckpointRestore)
+		var cc *checkpoint.CellCheckpoint
+		if restoreErr == nil {
+			cc, restoreErr = checkpoint.Decode(data)
+		}
+		if restoreErr == nil && cc.Key != key {
+			restoreErr = fmt.Errorf("checkpoint belongs to cell %q", cc.Key)
+		}
+		if restoreErr == nil {
+			restoreErr = m.Restore(cc.Machine)
+		}
+		if restoreErr == nil {
+			if ck.Stats != nil {
+				ck.Stats.restored.Add(1)
+				ck.Stats.cyclesSaved.Add(m.Cycle())
+			}
+			if ck.OnRestore != nil {
+				ck.OnRestore(m.Cycle())
+			}
+		} else {
+			// The checkpoint is unusable (bit rot, version skew, injected
+			// fault, partial restore). Drop it and start from cycle zero
+			// on a clean machine — Restore may have half-written state.
+			ck.Sink.Delete(skey)
+			m.Close()
+			if m, err = newMachine(); err != nil {
+				return KernelMetrics{}, err
+			}
+		}
+	}
+
+	var preemptReason string
+	pause := func() bool {
+		if err := faultinject.Hit(faultinject.PointCheckpointWrite); err == nil {
+			cc := &checkpoint.CellCheckpoint{
+				Key:     key,
+				Kernel:  b.Name(),
+				Mode:    fmt.Sprintf("%v", mode),
+				Label:   label,
+				Cycle:   m.Cycle(),
+				Machine: m.Snapshot(),
+			}
+			if data, err := checkpoint.Encode(cc); err == nil {
+				ck.Sink.Store(skey, data)
+				if ck.Stats != nil {
+					ck.Stats.written.Add(1)
+					ck.Stats.bytesWritten.Add(uint64(len(data)))
+				}
+			}
+		}
+		if ck.ShouldStop != nil {
+			if reason, stop := ck.ShouldStop(); stop {
+				preemptReason = reason
+				return true
+			}
+		}
+		return false
+	}
+
+	// A resumed run keeps the absolute cycle ceiling of an uninterrupted
+	// one: the budget shrinks by the cycles already simulated.
+	if m.Cycle() >= maxKernelCycles {
+		return KernelMetrics{}, fmt.Errorf("experiments: %s/%v did not complete within %d cycles", b.Name(), mode, uint64(maxKernelCycles))
+	}
+	res, err := m.RunPausable(maxKernelCycles-m.Cycle(), ck.Every, pause)
+	if err != nil {
+		return KernelMetrics{}, fmt.Errorf("experiments: %s/%v: %w", b.Name(), mode, err)
+	}
+	if res.Paused {
+		if preemptReason == "" {
+			preemptReason = "stop requested"
+		}
+		return KernelMetrics{}, fmt.Errorf("experiments: %s/%v %w (%s) at cycle %d", b.Name(), mode, ErrCellPreempted, preemptReason, m.Cycle())
+	}
+	if !res.Completed {
+		return KernelMetrics{}, fmt.Errorf("experiments: %s/%v did not complete within %d cycles", b.Name(), mode, uint64(maxKernelCycles))
+	}
+	ck.Sink.Delete(skey)
+	return collectKernelMetrics(b, mode, label, m), nil
+}

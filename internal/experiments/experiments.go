@@ -120,6 +120,11 @@ func runKernelWith(b Builder, mode kernels.Mode, mcfg smt.Config, label string, 
 	if !res.Completed {
 		return KernelMetrics{}, fmt.Errorf("experiments: %s/%v did not complete within %d cycles", b.Name(), mode, uint64(maxKernelCycles))
 	}
+	return collectKernelMetrics(b, mode, label, m), nil
+}
+
+// collectKernelMetrics reads the monitored events off a completed run.
+func collectKernelMetrics(b Builder, mode kernels.Mode, label string, m *smt.Machine) KernelMetrics {
 	c := m.Counters()
 	h := m.Hierarchy()
 	return KernelMetrics{
@@ -137,7 +142,7 @@ func runKernelWith(b Builder, mode kernels.Mode, mcfg smt.Config, label string, 
 		PipelineFlushes:     c.Total(perfmon.PipelineFlushes),
 		WorkerInstr:         c.Get(perfmon.InstrRetired, kernels.WorkerTid),
 		HelperInstr:         c.Get(perfmon.InstrRetired, kernels.HelperTid),
-	}, nil
+	}
 }
 
 // Relative returns the execution-time factor of m against the serial

@@ -56,6 +56,13 @@ func (o Options) export(ins *obs.Instruments, label string, completed bool) erro
 		meta["cache_misses"] = st.Misses
 		meta["cache_entries"] = st.Entries
 	}
+	if o.Checkpoint != nil && o.Checkpoint.Stats != nil {
+		written, restored, bytes, saved := o.Checkpoint.Stats.Snapshot()
+		meta["checkpoints_written"] = written
+		meta["checkpoints_restored"] = restored
+		meta["checkpoint_bytes"] = bytes
+		meta["resume_cycles_saved"] = saved
+	}
 	if err := ins.Export(o.Observe.Dir, label, completed, meta); err != nil {
 		return fmt.Errorf("experiments: observe %s: %w", label, err)
 	}

@@ -26,6 +26,13 @@ type Options struct {
 	// observes nothing. Observed cells always simulate — the cache is
 	// bypassed for them in both directions.
 	Observe *Observe
+	// Checkpoint makes keyed kernel cells pausable: they periodically
+	// snapshot the machine into the sink, resume from a stored snapshot
+	// instead of cycle zero, and yield ErrCellPreempted when asked to
+	// stop. Nil (or a disabled config) runs cells uninterruptibly.
+	// Observed cells are never checkpointed (instruments hold live
+	// callbacks a snapshot cannot carry).
+	Checkpoint *Checkpointing
 }
 
 // DefaultOptions is all cores plus a fresh per-call cache.
@@ -72,6 +79,9 @@ func (o Options) runKernel(key string, build func() (Builder, error), mode kerne
 		b, err := build()
 		if err != nil {
 			return KernelMetrics{}, err
+		}
+		if key != "" && o.Checkpoint.enabled() {
+			return runKernelCheckpointed(b, mode, mcfg, label, key, o.Checkpoint)
 		}
 		return RunKernel(b, mode, mcfg, label)
 	}

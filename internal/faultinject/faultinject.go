@@ -54,6 +54,14 @@ const (
 	// PointJournalWrite fires inside journal record writes; an error
 	// action makes the write fail as if the disk did.
 	PointJournalWrite = "journal.write"
+	// PointCheckpointWrite fires before a cell checkpoint is encoded and
+	// stored; an error action drops that checkpoint (the cell keeps
+	// running and the previous checkpoint, if any, stays current).
+	PointCheckpointWrite = "checkpoint.write"
+	// PointCheckpointRestore fires before a stored checkpoint is decoded
+	// and restored; an error action makes the cell run from cycle zero,
+	// as if no checkpoint existed.
+	PointCheckpointRestore = "checkpoint.restore"
 )
 
 // Actions a rule can take when it fires.

@@ -185,10 +185,21 @@ func (k *Counters) Snapshot() Snapshot {
 	return s
 }
 
+// Restore overwrites the bank with a previously captured snapshot —
+// the inverse of Snapshot, used when a checkpointed machine is resumed.
+func (k *Counters) Restore(s Snapshot) { k.c = s.c }
+
 // Snapshot is an immutable copy of a counter bank.
 type Snapshot struct {
 	c [NumEvents][NumContexts]uint64
 }
+
+// Raw exposes the counter matrix, indexed [event][cpu]. Checkpoint
+// codecs serialize it; FromRaw rebuilds the snapshot on restore.
+func (s Snapshot) Raw() [NumEvents][NumContexts]uint64 { return s.c }
+
+// FromRaw rebuilds a snapshot from a Raw counter matrix.
+func FromRaw(raw [NumEvents][NumContexts]uint64) Snapshot { return Snapshot{c: raw} }
 
 // Get reads event ev for logical CPU tid from the snapshot.
 func (s Snapshot) Get(ev Event, tid int) uint64 { return s.c[ev][tid] }

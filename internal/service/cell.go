@@ -77,13 +77,19 @@ type CellSpec struct {
 }
 
 // Cell states. A cell is "pending" until a worker picks it up and
-// terminal once "done", "failed" or "cancelled".
+// terminal once "done", "failed" or "cancelled". "preempted" is a
+// checkpointable cell that yielded at a pause point (its job goes back
+// to the queue and the cell to pending); "resumed" appears only as an
+// event, marking a cell that picked up from its checkpoint instead of
+// cycle zero.
 const (
 	CellPending   = "pending"
 	CellRunning   = "running"
 	CellDone      = "done"
 	CellFailed    = "failed"
 	CellCancelled = "cancelled"
+	CellPreempted = "preempted"
+	CellResumed   = "resumed"
 )
 
 // CellResult is the outcome of one cell. Exactly one of CPI, Kernel or

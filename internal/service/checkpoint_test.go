@@ -1,0 +1,406 @@
+package service
+
+// Tests for the checkpoint/preemption/overload layer: the priority
+// queue and AIMD limiter in isolation, then the service-level flows —
+// deadline admission and expiry, priority preemption with resume
+// parity, watchdog final checkpoints, and drain-then-restart resume.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"smtexplore/internal/checkpoint"
+	"smtexplore/internal/experiments"
+)
+
+// mmSpec is a kernel cell big enough (~100k cycles) that a running
+// instance reliably straddles preemption requests, watchdog budgets and
+// short deadlines, yet completes in well under a second.
+func mmSpec() CellSpec {
+	return CellSpec{Type: TypeKernel, Kernel: "mm", Mode: "tlp-fine", Size: 32}
+}
+
+// mmControl computes the uninterrupted reference result for mmSpec.
+func mmControl(t *testing.T) experiments.KernelMetrics {
+	t.Helper()
+	m, err := experiments.NamedKernelCell(experiments.Options{}, "mm", 32, kernelMode("tlp-fine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestJobQueuePriorityOrder(t *testing.T) {
+	q := newJobQueue(8)
+	mk := func(id string, prio int) *Job {
+		j := newJob(id, []CellSpec{validSpec()})
+		j.Priority = prio
+		return j
+	}
+	a, b, c, d := mk("a", 0), mk("b", 5), mk("c", 0), mk("d", 5)
+	for _, j := range []*Job{a, b, c, d} {
+		if !q.push(j) {
+			t.Fatalf("push %s refused", j.ID)
+		}
+	}
+	// Higher priority first; FIFO within a priority class.
+	for _, want := range []string{"b", "d", "a", "c"} {
+		j, _, ok := q.pop()
+		if !ok || j.ID != want {
+			t.Fatalf("pop = %v, want %s", j, want)
+		}
+	}
+}
+
+func TestJobQueueCapacityAndClose(t *testing.T) {
+	q := newJobQueue(1)
+	a := newJob("a", []CellSpec{validSpec()})
+	b := newJob("b", []CellSpec{validSpec()})
+	if !q.push(a) {
+		t.Fatal("push into empty queue refused")
+	}
+	if q.push(b) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if !q.forcePush(b) {
+		t.Fatal("forcePush beyond capacity refused")
+	}
+	q.close()
+	if q.push(a) || q.forcePush(a) {
+		t.Fatal("push into closed queue accepted")
+	}
+	// Entries already queued still drain after close.
+	for range 2 {
+		if _, _, ok := q.pop(); !ok {
+			t.Fatal("queued entry lost on close")
+		}
+	}
+	if _, _, ok := q.pop(); ok {
+		t.Fatal("pop on drained closed queue reported an entry")
+	}
+}
+
+func TestAIMDControlLoop(t *testing.T) {
+	a := newAIMD(10*time.Millisecond, 4)
+	if !a.admit(3) {
+		t.Fatal("admit below limit refused")
+	}
+	if a.admit(4) || a.admit(5) {
+		t.Fatal("admit at/above limit accepted")
+	}
+	a.observe(20 * time.Millisecond) // 4 -> 2
+	a.observe(20 * time.Millisecond) // 2 -> 1
+	a.observe(20 * time.Millisecond) // floor at 1
+	if limit, sheds := a.snapshot(); limit != 1 || sheds != 2 {
+		t.Fatalf("after decrease: limit %v sheds %d, want 1 and 2", limit, sheds)
+	}
+	for range 10 {
+		a.observe(time.Millisecond) // additive increase, capped at max
+	}
+	if limit, _ := a.snapshot(); limit != 4 {
+		t.Fatalf("after recovery: limit %v, want cap 4", limit)
+	}
+}
+
+func TestSubmitExpiredDeadlineShed(t *testing.T) {
+	s := stubService(Config{}, instantDone)
+	defer s.Close()
+	_, err := s.SubmitWith([]CellSpec{validSpec()}, SubmitOptions{Deadline: time.Now().Add(-time.Second)})
+	if !errors.Is(err, ErrDeadlineExpired) {
+		t.Fatalf("SubmitWith(past deadline) = %v, want ErrDeadlineExpired", err)
+	}
+	if m := s.Snapshot(); m.ShedDeadline != 1 {
+		t.Fatalf("ShedDeadline = %d, want 1", m.ShedDeadline)
+	}
+}
+
+// A job whose deadline expires while it waits in the queue must fail
+// promptly with an explicit cause — never hang, never run late.
+func TestDeadlineExpiresWhileQueued(t *testing.T) {
+	block := make(chan struct{})
+	s := stubService(Config{MaxActive: 1, QueueDepth: 4}, func(_ context.Context, spec CellSpec, _ string) CellResult {
+		<-block
+		return CellResult{Label: spec.Label(), State: CellDone}
+	})
+	defer s.Close()
+	a, err := s.Submit([]CellSpec{validSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, a, JobRunning)
+	deadline := time.Now().Add(30 * time.Millisecond)
+	b, err := s.SubmitWith([]CellSpec{validSpec()}, SubmitOptions{Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Until(deadline) + 20*time.Millisecond)
+	close(block)
+	waitDone(t, b)
+	const want = "deadline expired before the job started"
+	if state, msg := b.State(); state != JobFailed || msg != want {
+		t.Fatalf("queued-past-deadline job = %s %q, want failed %q", state, msg, want)
+	}
+	if res := b.Results()[0]; res.State != CellFailed || res.Error != want {
+		t.Fatalf("cell = %s %q, want failed with explicit cause", res.State, res.Error)
+	}
+	waitDone(t, a)
+}
+
+// A deadline that expires mid-run reaches the cell through its stop
+// predicate: the cell parks a checkpoint, yields, and is failed with an
+// explicit deadline cause rather than left running (or hanging).
+func TestDeadlineExpiresMidRun(t *testing.T) {
+	s := New(Config{
+		Workers: 1, MaxActive: 1,
+		CheckpointEvery: 2000, CheckpointSink: checkpoint.NewMemSink(),
+	})
+	defer s.Close()
+	j, err := s.SubmitWith([]CellSpec{mmSpec()}, SubmitOptions{Deadline: time.Now().Add(30 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	state, msg := j.State()
+	if state != JobFailed || !strings.Contains(msg, "deadline") {
+		t.Fatalf("mid-run deadline job = %s %q, want failed with a deadline cause", state, msg)
+	}
+	if res := j.Results()[0]; res.State != CellFailed || !strings.Contains(res.Error, "deadline") {
+		t.Fatalf("cell = %s %q, want failed with a deadline cause", res.State, res.Error)
+	}
+}
+
+// The AIMD limiter sheds a submission once measured queue wait exceeds
+// the (deliberately unreachable) target and the outstanding count hits
+// the halved limit.
+func TestAIMDShedsUnderLoad(t *testing.T) {
+	block := make(chan struct{})
+	s := stubService(Config{MaxActive: 1, QueueDepth: 2, QueueWaitTarget: time.Nanosecond},
+		func(_ context.Context, spec CellSpec, _ string) CellResult {
+			<-block
+			return CellResult{Label: spec.Label(), State: CellDone}
+		})
+	defer s.Close()
+	a, err := s.Submit([]CellSpec{validSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Once a is running, its pop fed the limiter one over-target wait:
+	// the limit is down from 3 (MaxActive+QueueDepth) to 1.5.
+	waitState(t, a, JobRunning)
+	b, err := s.Submit([]CellSpec{validSpec()}) // outstanding 1 < 1.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit([]CellSpec{validSpec()}); !errors.Is(err, ErrShedLoad) {
+		t.Fatalf("third submit = %v, want ErrShedLoad", err) // outstanding 2 >= 1.5
+	}
+	m := s.Snapshot()
+	if !m.HasAIMD || m.ShedAIMD != 1 {
+		t.Fatalf("HasAIMD %v ShedAIMD %d, want true and 1", m.HasAIMD, m.ShedAIMD)
+	}
+	if m.QueueWaitPops == 0 {
+		t.Fatal("QueueWaitPops = 0, want the pop wait to be recorded")
+	}
+	close(block)
+	waitDone(t, a)
+	waitDone(t, b)
+}
+
+// The tentpole flow: a high-priority submission preempts the running
+// low-priority job, which checkpoints, re-queues behind it, resumes
+// from the checkpoint and still produces exactly the uninterrupted
+// result.
+func TestPriorityPreemptionResumesWithParity(t *testing.T) {
+	s := New(Config{
+		Workers: 1, MaxActive: 1, QueueDepth: 4,
+		CheckpointEvery: 2000, CheckpointSink: checkpoint.NewMemSink(),
+	})
+	defer s.Close()
+	low, err := s.SubmitWith([]CellSpec{mmSpec()}, SubmitOptions{Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, low, JobRunning)
+	high, err := s.SubmitWith([]CellSpec{{Type: TypeStream, Streams: []StreamSpec{{Kind: "fadd"}}, Window: 2000}},
+		SubmitOptions{Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, high)
+	if state, msg := high.State(); state != JobDone {
+		t.Fatalf("high-priority job = %s %q, want done", state, msg)
+	}
+	waitDone(t, low)
+	if state, msg := low.State(); state != JobDone {
+		t.Fatalf("preempted job = %s %q, want done after resume", state, msg)
+	}
+
+	m := s.Snapshot()
+	if m.Preemptions < 1 {
+		t.Fatalf("Preemptions = %d, want >= 1", m.Preemptions)
+	}
+	if m.CheckpointsRestored < 1 || m.ResumeCyclesSaved == 0 {
+		t.Fatalf("restored %d, cycles saved %d: resume did not use the checkpoint", m.CheckpointsRestored, m.ResumeCyclesSaved)
+	}
+	evs, _, _ := low.EventsSince(0)
+	var sawPreempted, sawResumed bool
+	for _, ev := range evs {
+		sawPreempted = sawPreempted || ev.State == CellPreempted
+		sawResumed = sawResumed || ev.State == CellResumed
+	}
+	if !sawPreempted || !sawResumed {
+		t.Fatalf("events preempted=%v resumed=%v, want both on the victim's stream", sawPreempted, sawResumed)
+	}
+
+	got := low.Results()[0]
+	if got.Kernel == nil {
+		t.Fatalf("preempted-then-resumed cell has no kernel result: %+v", got)
+	}
+	if want := mmControl(t); !reflect.DeepEqual(*got.Kernel, want) {
+		t.Fatalf("resume parity violated:\n got %+v\nwant %+v", *got.Kernel, want)
+	}
+}
+
+// The watchdog on a checkpointable cell secures a final checkpoint
+// before failing it, so a retry would resume instead of restarting.
+func TestWatchdogTakesFinalCheckpoint(t *testing.T) {
+	s := New(Config{
+		Workers: 1, MaxActive: 1,
+		CellTimeout: 25 * time.Millisecond, StopGrace: 10 * time.Second,
+		CheckpointEvery: 2000, CheckpointSink: checkpoint.NewMemSink(),
+	})
+	defer s.Close()
+	j, err := s.Submit([]CellSpec{mmSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if state, _ := j.State(); state != JobFailed {
+		t.Fatalf("watchdogged job = %s, want failed", state)
+	}
+	res := j.Results()[0]
+	if res.State != CellFailed || !strings.Contains(res.Error, "checkpointed; a re-run resumes") {
+		t.Fatalf("cell = %s %q, want watchdog failure advertising the checkpoint", res.State, res.Error)
+	}
+	m := s.Snapshot()
+	if m.CellsTimedOut < 1 || m.CheckpointsOnTimeout < 1 {
+		t.Fatalf("timed out %d, checkpoints on timeout %d, want both >= 1", m.CellsTimedOut, m.CheckpointsOnTimeout)
+	}
+	if m.CheckpointsWritten < 1 {
+		t.Fatal("no checkpoint written before the watchdog abandoned the cell")
+	}
+}
+
+// Drain with checkpointing parks running work instead of waiting for
+// it: the job checkpoints, stays queued and non-terminal in the
+// journal, and a new service on the same journal and sink resumes it
+// to the exact uninterrupted result.
+func TestDrainThenRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	sink := checkpoint.NewMemSink()
+	jl1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{
+		Workers: 1, MaxActive: 1, Journal: jl1,
+		CheckpointEvery: 2000, CheckpointSink: sink,
+	})
+	j, err := s1.Submit([]CellSpec{mmSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the cell reach its first pause point before draining, so the
+	// sink holds real progress to resume from.
+	deadline := time.Now().Add(5 * time.Second)
+	for s1.Snapshot().CheckpointsWritten == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint written within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if state, _ := j.State(); state != JobQueued {
+		t.Fatalf("drained job = %s, want queued (parked for the next process)", state)
+	}
+	s1.Close()
+
+	jl2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{
+		Workers: 1, MaxActive: 1, Journal: jl2,
+		CheckpointEvery: 2000, CheckpointSink: sink,
+	})
+	defer s2.Close()
+	j2, ok := s2.Job(j.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered by the restarted service", j.ID)
+	}
+	waitDone(t, j2)
+	if state, msg := j2.State(); state != JobDone {
+		t.Fatalf("recovered job = %s %q, want done", state, msg)
+	}
+	m := s2.Snapshot()
+	if m.JobsRecovered < 1 {
+		t.Fatalf("JobsRecovered = %d, want >= 1", m.JobsRecovered)
+	}
+	if m.CheckpointsRestored < 1 || m.ResumeCyclesSaved == 0 {
+		t.Fatalf("restored %d, cycles saved %d: restart re-ran from cycle zero", m.CheckpointsRestored, m.ResumeCyclesSaved)
+	}
+	got := j2.Results()[0]
+	if got.Kernel == nil {
+		t.Fatalf("recovered cell has no kernel result: %+v", got)
+	}
+	if want := mmControl(t); !reflect.DeepEqual(*got.Kernel, want) {
+		t.Fatalf("drain/restart resume parity violated:\n got %+v\nwant %+v", *got.Kernel, want)
+	}
+}
+
+// The HTTP admission surface for the new fields: priority and relative
+// deadline land on the job, a malformed deadline is a 400, and an
+// already-expired one is shed with 429.
+func TestHTTPSubmitDeadlineAndPriority(t *testing.T) {
+	s := stubService(Config{}, instantDone)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/v1/jobs", SubmitRequest{
+		Cells: []CellSpec{validSpec()}, Priority: 7, Deadline: "1h",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	st := decodeBody[JobStatus](t, resp)
+	j, ok := s.Job(st.ID)
+	if !ok {
+		t.Fatal("submitted job not in registry")
+	}
+	if j.Priority != 7 || j.Deadline.IsZero() {
+		t.Fatalf("job priority %d deadline %v, want 7 and nonzero", j.Priority, j.Deadline)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/jobs", SubmitRequest{Cells: []CellSpec{validSpec()}, Deadline: "soonish"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/jobs", SubmitRequest{Cells: []CellSpec{validSpec()}, Deadline: "-1s"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expired deadline status %d, want 429", resp.StatusCode)
+	}
+}

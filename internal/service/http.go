@@ -14,6 +14,13 @@ import (
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
 	Cells []CellSpec `json:"cells"`
+	// Priority orders the queue (higher first, default 0); a
+	// high-priority job may preempt running lower-priority work when
+	// checkpointing is enabled.
+	Priority int `json:"priority,omitempty"`
+	// Deadline is a Go duration ("30s", "5m") measured from admission;
+	// empty means none. It becomes an absolute deadline on the job.
+	Deadline string `json:"deadline,omitempty"`
 }
 
 // CellStatus is the progress view of one cell (results stripped).
@@ -104,12 +111,26 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	j, err := s.SubmitIdem(req.Cells, r.Header.Get("Idempotency-Key"))
+	opts := SubmitOptions{IdemKey: r.Header.Get("Idempotency-Key"), Priority: req.Priority}
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad deadline: "+err.Error())
+			return
+		}
+		opts.Deadline = time.Now().Add(d)
+	}
+	j, err := s.SubmitWith(req.Cells, opts)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShedLoad):
 		// Backpressure: tell the client when to come back. One second is
 		// the right order of magnitude for cell-sized work.
 		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDeadlineExpired):
+		// Shed, but pointless to retry as-is: the client must send a
+		// fresh (positive) deadline.
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrDraining):

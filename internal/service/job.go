@@ -37,6 +37,15 @@ type Job struct {
 	ID string
 	// Specs are the submitted cells, in submission order.
 	Specs []CellSpec
+	// Priority orders the queue: higher runs first, and a high-priority
+	// submission may preempt (checkpoint and re-queue) a running
+	// lower-priority job. Immutable after submission.
+	Priority int
+	// Deadline, when nonzero, bounds the job: it propagates into cell
+	// execution as a context deadline, and a job still queued past it
+	// fails with an explicit cause instead of running late. Immutable
+	// after submission.
+	Deadline time.Time
 
 	mu      sync.Mutex
 	state   string
@@ -47,6 +56,11 @@ type Job struct {
 	notify  chan struct{} // closed and replaced on every event append
 	done    chan struct{} // closed on terminal state
 	created time.Time
+
+	// Cooperative-stop request (preemption, drain): checkpointable
+	// cells observe it at their next pause point and yield.
+	stopSet    bool
+	stopReason string
 }
 
 func newJob(id string, specs []CellSpec) *Job {
@@ -98,6 +112,67 @@ func (j *Job) terminalLocked() bool {
 		return true
 	}
 	return false
+}
+
+// requestStop asks the job's cells to yield at their next checkpoint;
+// the first reason wins. Cells without pause points (streams, harness
+// cells, checkpointing disabled) ignore it and run to completion.
+func (j *Job) requestStop(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.stopSet {
+		j.stopSet = true
+		j.stopReason = reason
+	}
+}
+
+// stopRequested reports a pending cooperative-stop request.
+func (j *Job) stopRequested() (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stopReason, j.stopSet
+}
+
+// clearStop resets the stop request (on re-admission after a requeue).
+func (j *Job) clearStop() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stopSet = false
+	j.stopReason = ""
+}
+
+// cellSnapshot reads one cell's current result.
+func (j *Job) cellSnapshot(i int) CellResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cells[i]
+}
+
+// noteCellEvent emits a transient cell event ("resumed") without
+// changing the cell's stored state.
+func (j *Job) noteCellEvent(i int, state, msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(Event{Type: "cell", Cell: i, Label: j.cells[i].Label, State: state, Error: msg})
+}
+
+// prepareRequeue readies a preempted job for another trip through the
+// queue: preempted and still-running cells go back to pending (their
+// progress lives in the checkpoint sink, keyed by cell content, so the
+// re-run resumes rather than restarts), finished cells keep their
+// results, and the job returns to the queued state.
+func (j *Job) prepareRequeue(reason string) {
+	j.mu.Lock()
+	for i := range j.cells {
+		switch j.cells[i].State {
+		case CellPreempted, CellRunning:
+			j.cells[i] = CellResult{Index: i, Label: j.Specs[i].Label(), State: CellPending}
+		}
+	}
+	j.stopSet = false
+	j.stopReason = ""
+	j.mu.Unlock()
+	j.setState(JobQueued, reason)
 }
 
 // markCellRunning flips a cell to running for status displays (no event:

@@ -24,9 +24,15 @@ type Record struct {
 	ID      string     `json:"id"`
 	IdemKey string     `json:"idem_key,omitempty"`
 	Specs   []CellSpec `json:"specs"`
-	State   string     `json:"state"`
-	Error   string     `json:"error,omitempty"`
-	Created time.Time  `json:"created"`
+	// Priority and Deadline survive the restart with the job: a
+	// recovered job keeps its place in the priority order, and one
+	// whose deadline passed while the daemon was down fails with that
+	// cause instead of running late.
+	Priority int       `json:"priority,omitempty"`
+	Deadline time.Time `json:"deadline,omitzero"`
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
 }
 
 // Terminal reports whether the record's state is terminal.

@@ -42,6 +42,21 @@ type Metrics struct {
 	JobsRecovered          uint64
 	JobsAbandoned          uint64
 
+	// Checkpoint and overload-control counters.
+	HasCheckpoint        bool
+	CheckpointsWritten   uint64
+	CheckpointsRestored  uint64
+	CheckpointBytes      uint64
+	ResumeCyclesSaved    uint64
+	CheckpointsOnTimeout uint64
+	Preemptions          uint64
+	QueueWaitSeconds     float64
+	QueueWaitPops        uint64
+	ShedDeadline         uint64
+	ShedAIMD             uint64
+	HasAIMD              bool
+	AIMDLimit            float64
+
 	HasBreaker           bool
 	BreakerState         string
 	StoreDegraded        bool
@@ -71,8 +86,7 @@ func (s *Service) Snapshot() Metrics {
 		CellsFailed:    s.cellsFailed,
 		CellsCancelled: s.cellsCancelled,
 		JobsActive:     s.active,
-		QueueDepth:     len(s.queue),
-		QueueCapacity:  cap(s.queue),
+		QueueCapacity:  s.cfg.QueueDepth,
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 
 		SubmitRejectedFull:     s.rejectedFull,
@@ -81,8 +95,23 @@ func (s *Service) Snapshot() Metrics {
 		CellsTimedOut:          s.cellsTimedOut,
 		JobsRecovered:          s.jobsRecovered,
 		JobsAbandoned:          s.jobsAbandoned,
+
+		CheckpointsOnTimeout: s.checkpointsOnTimeout,
+		Preemptions:          s.preemptions,
+		QueueWaitSeconds:     s.queueWaitSeconds,
+		QueueWaitPops:        s.queueWaitPops,
+		ShedDeadline:         s.shedDeadline,
 	}
 	s.mu.Unlock()
+	m.QueueDepth = s.queue.len()
+	if s.ckStats != nil {
+		m.HasCheckpoint = true
+		m.CheckpointsWritten, m.CheckpointsRestored, m.CheckpointBytes, m.ResumeCyclesSaved = s.ckStats.Snapshot()
+	}
+	if s.limiter != nil {
+		m.HasAIMD = true
+		m.AIMDLimit, m.ShedAIMD = s.limiter.snapshot()
+	}
 	m.Goroutines = runtime.NumGoroutine()
 	m.FaultsInjected = faultinject.Fires()
 
@@ -166,6 +195,24 @@ func (m Metrics) WriteProm(w *strings.Builder) {
 	counter("smtd_cells_timed_out_total", "Cells failed by the watchdog timeout.", m.CellsTimedOut)
 	counter("smtd_jobs_recovered_total", "Journaled jobs re-enqueued after a restart.", m.JobsRecovered)
 	counter("smtd_jobs_abandoned_total", "Journaled jobs marked failed-with-cause after a restart.", m.JobsAbandoned)
+
+	fmt.Fprintf(w, "# HELP smtd_shed_total Submissions or jobs shed by overload control, by reason.\n# TYPE smtd_shed_total counter\n")
+	fmt.Fprintf(w, "smtd_shed_total{reason=\"deadline\"} %d\n", m.ShedDeadline)
+	fmt.Fprintf(w, "smtd_shed_total{reason=\"aimd\"} %d\n", m.ShedAIMD)
+	counter("smtd_queue_wait_seconds_total", "Cumulative time jobs spent queued before a worker picked them up.", m.QueueWaitSeconds)
+	counter("smtd_queue_pops_total", "Jobs handed to workers (denominator for mean queue wait).", m.QueueWaitPops)
+	if m.HasAIMD {
+		gauge("smtd_aimd_limit", "Current AIMD limit on outstanding (queued+active) jobs.", m.AIMDLimit)
+	}
+
+	if m.HasCheckpoint {
+		counter("smtd_checkpoints_written_total", "Cell checkpoints written to the sink.", m.CheckpointsWritten)
+		counter("smtd_checkpoints_restored_total", "Cells resumed from a checkpoint instead of cycle zero.", m.CheckpointsRestored)
+		counter("smtd_checkpoint_bytes_total", "Encoded checkpoint bytes written.", m.CheckpointBytes)
+		counter("smtd_resume_cycles_saved_total", "Simulated cycles restores skipped re-running.", m.ResumeCyclesSaved)
+		counter("smtd_checkpoints_on_timeout_total", "Watchdog timeouts that secured a final checkpoint before abandoning the cell.", m.CheckpointsOnTimeout)
+		counter("smtd_preemptions_total", "Jobs checkpointed and re-queued to make room for higher-priority work.", m.Preemptions)
+	}
 
 	if m.HasBreaker {
 		degraded := 0

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// queuedJob is one queue entry: the job plus its admission order, so
+// equal priorities run first-come-first-served, and its enqueue time,
+// so pops can report how long the job waited.
+type queuedJob struct {
+	job      *Job
+	seq      uint64
+	enqueued time.Time
+}
+
+// jobHeap orders entries by priority (higher first), then admission
+// order within a priority class.
+type jobHeap []queuedJob
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queuedJob)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queuedJob{}
+	*h = old[:n-1]
+	return it
+}
+
+// jobQueue is the bounded priority queue feeding the worker pool. It
+// replaces the plain channel the service started with: a high-priority
+// burst runs ahead of queued low-priority work instead of behind it.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	cap    int
+	seq    uint64
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j; false when the queue is closed or at capacity.
+func (q *jobQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.heap) >= q.cap {
+		return false
+	}
+	q.pushLocked(j)
+	return true
+}
+
+// forcePush enqueues j even at capacity — for re-queuing a preempted
+// job, which was already admitted once and must not be lost to
+// backpressure. Only a closed queue refuses.
+func (q *jobQueue) forcePush(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.pushLocked(j)
+	return true
+}
+
+func (q *jobQueue) pushLocked(j *Job) {
+	q.seq++
+	heap.Push(&q.heap, queuedJob{job: j, seq: q.seq, enqueued: time.Now()})
+	q.cond.Signal()
+}
+
+// pop blocks until an entry is available (returning it and its queue
+// wait) or the queue is closed and empty (returning ok=false).
+func (q *jobQueue) pop() (j *Job, wait time.Duration, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, 0, false
+	}
+	it := heap.Pop(&q.heap).(queuedJob)
+	return it.job, time.Since(it.enqueued), true
+}
+
+// close stops intake and wakes every blocked pop; entries already
+// queued still drain.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// len reports the queued entries.
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// aimd is an additive-increase/multiplicative-decrease admission
+// limiter on the number of outstanding (queued + active) jobs, driven
+// by measured queue wait: every pop whose wait exceeded the target
+// halves the limit, every pop within target raises it by one. The
+// effect is the classic sawtooth — the service sheds just enough load
+// to keep queue wait near the target instead of letting the queue run
+// at capacity with unbounded latency.
+type aimd struct {
+	mu     sync.Mutex
+	target time.Duration
+	limit  float64
+	max    float64
+	sheds  uint64
+}
+
+// newAIMD builds a limiter targeting the given queue wait, starting
+// wide open at max outstanding jobs.
+func newAIMD(target time.Duration, max int) *aimd {
+	return &aimd{target: target, limit: float64(max), max: float64(max)}
+}
+
+// observe feeds one measured queue wait into the control loop.
+func (a *aimd) observe(wait time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if wait > a.target {
+		a.limit = max(a.limit/2, 1)
+	} else {
+		a.limit = min(a.limit+1, a.max)
+	}
+}
+
+// admit reports whether a submission may enter given the current
+// outstanding job count, counting refusals.
+func (a *aimd) admit(outstanding int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if float64(outstanding) >= a.limit {
+		a.sheds++
+		return false
+	}
+	return true
+}
+
+// snapshot returns the current limit and the shed count.
+func (a *aimd) snapshot() (limit float64, sheds uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit, a.sheds
+}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"smtexplore/internal/checkpoint"
+	"smtexplore/internal/experiments"
 	"smtexplore/internal/faultinject"
 	"smtexplore/internal/runner"
 	"smtexplore/internal/store"
@@ -26,6 +29,14 @@ var (
 	// lose on crash would break the durability contract (HTTP 503 so
 	// the client retries).
 	ErrJournal = errors.New("service: journal write failed")
+	// ErrShedLoad reports the AIMD limiter shedding a submission
+	// because measured queue wait is above target (HTTP 429 +
+	// Retry-After).
+	ErrShedLoad = errors.New("service: shedding load, queue wait above target")
+	// ErrDeadlineExpired reports a submission whose deadline had
+	// already passed at admission (HTTP 429: running it would only
+	// waste the workers the deadline was meant to protect).
+	ErrDeadlineExpired = errors.New("service: deadline already expired")
 )
 
 // Config sizes the service.
@@ -62,8 +73,30 @@ type Config struct {
 	// CellTimeout, when > 0, arms a per-cell watchdog: a cell that has
 	// not returned within this budget is failed (and its goroutine
 	// abandoned to finish in the background) so one wedged cell cannot
-	// stall its job, let alone the daemon.
+	// stall its job, let alone the daemon. With checkpointing enabled
+	// the watchdog first requests a cooperative stop and grants
+	// StopGrace for a final checkpoint, so a retried cell resumes
+	// instead of restarting.
 	CellTimeout time.Duration
+	// StopGrace bounds how long the watchdog waits for a stopping cell
+	// to park its final checkpoint before abandoning it (≤0 → 2s).
+	StopGrace time.Duration
+	// CheckpointEvery, when > 0, makes kernel cells pausable: every
+	// CheckpointEvery simulated cycles the cell snapshots its machine
+	// into CheckpointSink and polls for a cooperative stop. This is
+	// what turns preemption, drain and watchdog timeouts from "lose
+	// the work" into "resume from the last pause point".
+	CheckpointEvery uint64
+	// CheckpointSink stores cell checkpoints; nil with CheckpointEvery
+	// set falls back to an in-memory sink (resumes survive preemption
+	// but not the process). Point it at the disk store (or its
+	// breaker) to survive crashes.
+	CheckpointSink checkpoint.Sink
+	// QueueWaitTarget, when > 0, arms the AIMD admission limiter:
+	// queue waits above the target halve the allowed outstanding jobs,
+	// waits within it add one back, and submissions beyond the limit
+	// are shed with ErrShedLoad.
+	QueueWaitTarget time.Duration
 }
 
 // Service owns the job registry, the bounded queue and the worker pool.
@@ -73,7 +106,10 @@ type Service struct {
 	cfg     Config
 	baseCtx context.Context
 	abort   context.CancelFunc
-	queue   chan *Job
+	queue   *jobQueue
+	limiter *aimd // nil unless QueueWaitTarget > 0
+	ckpt    *experiments.Checkpointing
+	ckStats *experiments.CheckpointStats
 	workers sync.WaitGroup
 	started time.Time
 
@@ -93,10 +129,17 @@ type Service struct {
 	idemHits                       uint64
 	cellsTimedOut                  uint64
 	jobsRecovered, jobsAbandoned   uint64
+	// Checkpoint/overload counters for /metrics.
+	preemptions          uint64
+	checkpointsOnTimeout uint64
+	shedDeadline         uint64
+	queueWaitSeconds     float64
+	queueWaitPops        uint64
 
 	// runCell is the cell executor; tests substitute it to make queue
-	// and drain behaviour deterministic.
-	runCell func(ctx context.Context, spec CellSpec, artifactDir string) CellResult
+	// and drain behaviour deterministic. ctl (nil when checkpointing
+	// is off) carries the cell's preemption wiring.
+	runCell func(ctx context.Context, spec CellSpec, artifactDir string, ctl *cellCtl) CellResult
 }
 
 // New starts a service with cfg.MaxActive workers. The caller owns the
@@ -116,17 +159,33 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		baseCtx: ctx,
 		abort:   cancel,
-		queue:   make(chan *Job, cfg.QueueDepth),
+		queue:   newJobQueue(cfg.QueueDepth),
 		started: time.Now(),
 		jobs:    make(map[string]*Job),
 		idem:    make(map[string]string),
+	}
+	if cfg.QueueWaitTarget > 0 {
+		s.limiter = newAIMD(cfg.QueueWaitTarget, cfg.MaxActive+cfg.QueueDepth)
+	}
+	if cfg.CheckpointEvery > 0 {
+		sink := cfg.CheckpointSink
+		if sink == nil {
+			sink = checkpoint.NewMemSink()
+		}
+		s.ckStats = &experiments.CheckpointStats{}
+		s.ckpt = &experiments.Checkpointing{Every: cfg.CheckpointEvery, Sink: sink, Stats: s.ckStats}
 	}
 	s.runCell = s.execCell
 	for range cfg.MaxActive {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			for j := range s.queue {
+			for {
+				j, wait, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.noteQueueWait(wait)
 				s.runJob(j)
 			}
 		}()
@@ -135,6 +194,18 @@ func New(cfg Config) *Service {
 		s.recoverJournal()
 	}
 	return s
+}
+
+// noteQueueWait records one measured queue wait and feeds the AIMD
+// control loop.
+func (s *Service) noteQueueWait(wait time.Duration) {
+	s.mu.Lock()
+	s.queueWaitSeconds += wait.Seconds()
+	s.queueWaitPops++
+	s.mu.Unlock()
+	if s.limiter != nil {
+		s.limiter.observe(wait)
+	}
 }
 
 // recoverJournal replays the journal after a restart: jobs the previous
@@ -167,7 +238,12 @@ func (s *Service) recoverJournal() {
 		if len(rec.Specs) == 0 {
 			cause = "not recovered after restart: empty record"
 		}
+		if cause == "" && !rec.Deadline.IsZero() && !rec.Deadline.After(time.Now()) {
+			cause = "deadline expired before the job could be recovered"
+		}
 		j := newJob(rec.ID, rec.Specs)
+		j.Priority = rec.Priority
+		j.Deadline = rec.Deadline
 		enqueued := false
 		s.mu.Lock()
 		s.jobs[j.ID] = j
@@ -176,11 +252,10 @@ func (s *Service) recoverJournal() {
 			s.idem[rec.IdemKey] = j.ID
 		}
 		if cause == "" {
-			select {
-			case s.queue <- j:
+			if s.queue.push(j) {
 				enqueued = true
 				s.jobsRecovered++
-			default:
+			} else {
 				cause = "not recovered after restart: queue full"
 			}
 		}
@@ -195,11 +270,22 @@ func (s *Service) recoverJournal() {
 	}
 }
 
+// SubmitOptions carries the optional admission parameters of a batch.
+type SubmitOptions struct {
+	// IdemKey deduplicates retried submissions onto the live job.
+	IdemKey string
+	// Priority orders the queue (higher first, default 0) and lets the
+	// job preempt running lower-priority checkpointable work.
+	Priority int
+	// Deadline, when nonzero, bounds the job (see Job.Deadline).
+	Deadline time.Time
+}
+
 // Submit validates and enqueues a batch. It never blocks: a full queue
 // returns ErrQueueFull immediately (the HTTP layer translates that into
 // 429 + Retry-After so clients can apply backpressure).
 func (s *Service) Submit(specs []CellSpec) (*Job, error) {
-	return s.SubmitIdem(specs, "")
+	return s.SubmitWith(specs, SubmitOptions{})
 }
 
 // SubmitIdem is Submit with an optional idempotency key (the HTTP layer
@@ -211,6 +297,15 @@ func (s *Service) Submit(specs []CellSpec) (*Job, error) {
 // fair game again (a deliberate resubmission is then served from the
 // result caches anyway).
 func (s *Service) SubmitIdem(specs []CellSpec, idemKey string) (*Job, error) {
+	return s.SubmitWith(specs, SubmitOptions{IdemKey: idemKey})
+}
+
+// SubmitWith is the full admission path: validation, overload control
+// (deadline already expired, AIMD limit, queue capacity), idempotency,
+// journaling, priority enqueue and — when the new job outranks running
+// work while every worker is busy — preemption of the lowest-priority
+// running checkpointable job.
+func (s *Service) SubmitWith(specs []CellSpec, opts SubmitOptions) (*Job, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: empty batch")
 	}
@@ -231,8 +326,15 @@ func (s *Service) SubmitIdem(specs []CellSpec, idemKey string) (*Job, error) {
 		s.rejectedDraining++
 		return nil, ErrDraining
 	}
-	if idemKey != "" {
-		if id, ok := s.idem[idemKey]; ok {
+	if !opts.Deadline.IsZero() && !opts.Deadline.After(time.Now()) {
+		s.shedDeadline++
+		return nil, ErrDeadlineExpired
+	}
+	if s.limiter != nil && !s.limiter.admit(s.queue.len()+s.active) {
+		return nil, ErrShedLoad
+	}
+	if opts.IdemKey != "" {
+		if id, ok := s.idem[opts.IdemKey]; ok {
 			if j := s.jobs[id]; j != nil {
 				if state, _ := j.State(); state == JobQueued || state == JobRunning {
 					s.idemHits++
@@ -243,18 +345,18 @@ func (s *Service) SubmitIdem(specs []CellSpec, idemKey string) (*Job, error) {
 	}
 	s.seq++
 	j := newJob(fmt.Sprintf("j%04d", s.seq), specs)
+	j.Priority = opts.Priority
+	j.Deadline = opts.Deadline
 	if jl := s.cfg.Journal; jl != nil {
 		// Journal before enqueue: a job must be durable before anyone
 		// is told it was accepted. The fsync happens under s.mu, which
 		// serialises submissions — milliseconds, and correct.
-		if err := jl.write(Record{ID: j.ID, IdemKey: idemKey, Specs: specs, State: JobQueued, Created: time.Now()}); err != nil {
+		if err := jl.write(Record{ID: j.ID, IdemKey: opts.IdemKey, Specs: specs, Priority: opts.Priority, Deadline: opts.Deadline, State: JobQueued, Created: time.Now()}); err != nil {
 			s.seq--
 			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if !s.queue.push(j) {
 		s.seq--
 		s.rejectedFull++
 		if jl := s.cfg.Journal; jl != nil {
@@ -264,10 +366,41 @@ func (s *Service) SubmitIdem(specs []CellSpec, idemKey string) (*Job, error) {
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
-	if idemKey != "" {
-		s.idem[idemKey] = j.ID
+	if opts.IdemKey != "" {
+		s.idem[opts.IdemKey] = j.ID
 	}
+	s.maybePreemptLocked(j)
 	return j, nil
+}
+
+// maybePreemptLocked asks the lowest-priority running job to yield when
+// the newly queued job outranks it and no worker is free. The victim
+// checkpoints at its next pause point and re-queues — work is deferred,
+// never lost. Preemption needs checkpointing: without pause points a
+// stop request would change nothing. Caller holds s.mu.
+func (s *Service) maybePreemptLocked(newJob *Job) {
+	if s.ckpt == nil || s.active < s.cfg.MaxActive {
+		return
+	}
+	var victim *Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil || j == newJob {
+			continue
+		}
+		if state, _ := j.State(); state != JobRunning {
+			continue
+		}
+		if j.Priority >= newJob.Priority {
+			continue
+		}
+		if victim == nil || j.Priority < victim.Priority {
+			victim = j
+		}
+	}
+	if victim != nil {
+		victim.requestStop(fmt.Sprintf("preempted by %s (priority %d > %d)", newJob.ID, newJob.Priority, victim.Priority))
+	}
 }
 
 // Job looks up a job by ID.
@@ -315,14 +448,41 @@ func (s *Service) Cancel(id string) bool {
 }
 
 // runJob executes one job's cells over the runner pool, streaming
-// per-cell completion events as they land.
+// per-cell completion events as they land. A job whose deadline has
+// already passed fails with an explicit cause before simulating
+// anything; a job asked to stop mid-run (preemption, drain) checkpoints
+// its cells at their pause points and goes back to the queue.
 func (s *Service) runJob(j *Job) {
 	j.mu.Lock()
 	if j.state != JobQueued {
 		j.mu.Unlock()
 		return // cancelled while queued
 	}
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.mu.Unlock()
+	if !j.Deadline.IsZero() && !j.Deadline.After(time.Now()) {
+		msg := "deadline expired before the job started"
+		j.failPendingCells(msg)
+		s.mu.Lock()
+		s.shedDeadline++
+		s.mu.Unlock()
+		s.finish(j, JobFailed, msg)
+		return
+	}
+	j.clearStop()
+	base := s.baseCtx
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.Deadline.IsZero() {
+		ctx, cancel = context.WithCancel(base)
+	} else {
+		ctx, cancel = context.WithDeadline(base, j.Deadline)
+	}
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		cancel()
+		return
+	}
 	j.cancel = cancel
 	j.mu.Unlock()
 	defer cancel()
@@ -347,13 +507,38 @@ func (s *Service) runJob(j *Job) {
 	// batch); Map itself runs to completion over every index.
 	results, err := runner.Map(context.Background(), s.cfg.Workers, idxs, func(_ context.Context, i int) (CellResult, error) {
 		spec := j.Specs[i]
-		if ctx.Err() != nil {
-			res := CellResult{Label: spec.Label(), State: CellCancelled, Error: ctx.Err().Error()}
+		// A requeued job re-runs only what the preemption interrupted:
+		// cells that finished before it keep their results.
+		if prev := j.cellSnapshot(i); prev.State == CellDone || prev.State == CellFailed {
+			return prev, nil
+		}
+		if err := ctx.Err(); err != nil {
+			res := CellResult{Label: spec.Label(), State: CellCancelled, Error: err.Error()}
+			if errors.Is(err, context.DeadlineExceeded) {
+				res.State = CellFailed
+				res.Error = "deadline expired before cell started"
+			}
 			j.setCell(i, res)
 			return res, nil
 		}
 		j.markCellRunning(i)
-		res := s.runCell(ctx, spec, filepath.Join(s.cfg.ArtifactDir, j.ID, fmt.Sprintf("cell-%d", i)))
+		res := s.runCell(ctx, spec, filepath.Join(s.cfg.ArtifactDir, j.ID, fmt.Sprintf("cell-%d", i)), s.cellControl(ctx, j, i))
+		if res.State == CellPreempted {
+			if _, stopped := j.stopRequested(); !stopped {
+				// Not a preemption: the cell's stop predicate fired off the
+				// job context (deadline or cancel). The checkpoint is parked
+				// either way; the outcome must be terminal and explicit.
+				switch {
+				case errors.Is(ctx.Err(), context.DeadlineExceeded):
+					res.State = CellFailed
+					res.Error = "deadline exceeded: " + res.Error
+				case errors.Is(ctx.Err(), context.Canceled):
+					res.State = CellCancelled
+				default:
+					res.State = CellFailed
+				}
+			}
+		}
 		j.setCell(i, res)
 		return res, nil
 	})
@@ -362,6 +547,27 @@ func (s *Service) runJob(j *Job) {
 		// recovers panics), but a runner failure must still terminate
 		// the job.
 		s.finish(j, JobFailed, err.Error())
+		return
+	}
+
+	var preempted int
+	for _, r := range results {
+		if r.State == CellPreempted {
+			preempted++
+		}
+	}
+	if reason, stopped := j.stopRequested(); stopped && preempted > 0 {
+		// Cooperative stop honoured: the interrupted cells are in the
+		// checkpoint sink. Re-queue the job (jumping the capacity bound —
+		// it was admitted once already); if the queue is closed (drain),
+		// the job simply stays queued in the registry with its journal
+		// record non-terminal, so a restart resumes it.
+		j.prepareRequeue(reason)
+		if s.queue.forcePush(j) {
+			s.mu.Lock()
+			s.preemptions++
+			s.mu.Unlock()
+		}
 		return
 	}
 
@@ -386,6 +592,34 @@ func (s *Service) runJob(j *Job) {
 		state, msg = JobCancelled, fmt.Sprintf("%d of %d cells cancelled", cancelled, len(results))
 	}
 	s.finish(j, state, msg)
+}
+
+// cellControl builds one cell's preemption wiring: a stop predicate
+// combining the watchdog's per-cell request, the job context (deadline,
+// cancel) and the job-level stop, and the resume notification that
+// surfaces as a "resumed" cell event. Nil when checkpointing is
+// disabled.
+func (s *Service) cellControl(ctx context.Context, j *Job, i int) *cellCtl {
+	if s.ckpt == nil {
+		return nil
+	}
+	var cellStop atomic.Pointer[string]
+	shouldStop := func() (string, bool) {
+		if r := cellStop.Load(); r != nil {
+			return *r, true
+		}
+		if err := ctx.Err(); err != nil {
+			return err.Error(), true
+		}
+		return j.stopRequested()
+	}
+	onRestore := func(saved uint64) {
+		j.noteCellEvent(i, CellResumed, fmt.Sprintf("resumed from checkpoint, %d cycles saved", saved))
+	}
+	return &cellCtl{
+		ck:   s.ckpt.ForCell(shouldStop, onRestore),
+		stop: func(reason string) { r := reason; cellStop.Store(&r) },
+	}
 }
 
 // finish drives j to a terminal state exactly once: counts the outcome
@@ -439,7 +673,18 @@ func (s *Service) stopIntake() {
 	defer s.mu.Unlock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.close()
+	}
+}
+
+// requestStopAll asks every running job to yield at its next checkpoint
+// (drain): interrupted cells park their state in the sink, the jobs
+// stay non-terminal in the journal, and the next process resumes them.
+func (s *Service) requestStopAll(reason string) {
+	for _, j := range s.Jobs() {
+		if state, _ := j.State(); state == JobRunning {
+			j.requestStop(reason)
+		}
 	}
 }
 
@@ -450,12 +695,19 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
-// Drain stops intake and waits for every accepted job to finish. If ctx
-// expires first, outstanding job contexts are cancelled (running cells
-// complete, pending ones are skipped as cancelled) and Drain keeps
-// waiting for the workers to wind down before returning ctx's error.
+// Drain stops intake and waits for every accepted job to finish. With
+// checkpointing enabled, running jobs are asked to stop at their next
+// pause point: their cells checkpoint, the jobs stay queued/non-terminal
+// in the journal, and the next daemon process resumes them — graceful
+// shutdown defers work instead of blocking on it. If ctx expires first,
+// outstanding job contexts are cancelled (running cells complete,
+// pending ones are skipped as cancelled) and Drain keeps waiting for
+// the workers to wind down before returning ctx's error.
 func (s *Service) Drain(ctx context.Context) error {
 	s.stopIntake()
+	if s.ckpt != nil {
+		s.requestStopAll("daemon draining")
+	}
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()

@@ -23,7 +23,9 @@ func validSpec() CellSpec {
 // simulator. fn is installed before any Submit, so workers observe it.
 func stubService(cfg Config, fn func(ctx context.Context, spec CellSpec, artifactDir string) CellResult) *Service {
 	s := New(cfg)
-	s.runCell = fn
+	s.runCell = func(ctx context.Context, spec CellSpec, artifactDir string, _ *cellCtl) CellResult {
+		return fn(ctx, spec, artifactDir)
+	}
 	return s
 }
 
@@ -47,11 +49,14 @@ func waitState(t *testing.T, j *Job, want string) {
 	}
 }
 
+// waitDone bounds a test's wait for a terminal job. The cap is generous
+// because the slowest cells (a full LU-64 ablation) run 40s+ under the
+// race detector on a slow machine; a genuine hang still fails.
 func waitDone(t *testing.T, j *Job) {
 	t.Helper()
 	select {
 	case <-j.Done():
-	case <-time.After(30 * time.Second):
+	case <-time.After(3 * time.Minute):
 		state, _ := j.State()
 		t.Fatalf("job %s never became terminal (state %q)", j.ID, state)
 	}

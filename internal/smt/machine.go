@@ -390,6 +390,9 @@ type RunResult struct {
 	// the cycle budget expired first — the normal case for Forever
 	// streams).
 	Completed bool
+	// Paused reports that a RunPausable pause hook stopped the run at a
+	// cycle boundary; the machine is still valid and resumable.
+	Paused bool
 }
 
 // ErrDeadlock is returned by Run when no µop retires for a long stretch
@@ -404,18 +407,7 @@ const deadlockWindow = 4_000_000
 // (maxCycles 0 means no bound). It returns ErrDeadlock if the workload
 // stops making progress.
 func (m *Machine) Run(maxCycles uint64) (RunResult, error) {
-	start := m.cycle
-	m.lastRetireCycle = m.cycle
-	for !m.Done() {
-		if maxCycles != 0 && m.cycle-start >= maxCycles {
-			return RunResult{Cycles: m.cycle - start}, nil
-		}
-		if m.cycle-m.lastRetireCycle > deadlockWindow {
-			return RunResult{Cycles: m.cycle - start}, fmt.Errorf("%w at cycle %d", ErrDeadlock, m.cycle)
-		}
-		m.Step()
-	}
-	return RunResult{Cycles: m.cycle - start, Completed: true}, nil
+	return m.RunPausable(maxCycles, 0, nil)
 }
 
 // resolve maps a uopRef to its µop, or nil when the reference is stale

@@ -1,0 +1,198 @@
+package smt
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"smtexplore/internal/isa"
+	"smtexplore/internal/trace"
+)
+
+// snapProg is a memory-heavy dual-phase program: a strided array walk
+// (exercises caches, MSHRs and the stream prefetcher), a flag/halt
+// rendezvous (exercises cells, spin/halt state) and a dependent tail.
+func snapProg(tid, n int) trace.Program {
+	return trace.Generate(func(e *trace.Emitter) {
+		base := uint64(1<<20) * uint64(tid+1)
+		for i := 0; i < n; i++ {
+			e.Load(isa.R(1), base+uint64(i)*64)
+			e.ALU(isa.IAdd, isa.R(2), isa.R(1), isa.R(2))
+			if i%8 == 0 {
+				e.Store(isa.R(2), base+uint64(i)*64)
+			}
+		}
+		if tid == 0 {
+			e.SetFlag(isa.Cell(1), 1, isa.CellAddr(1))
+			e.HaltUntil(isa.Cell(2), isa.CmpEQ, 1)
+		} else {
+			e.HaltUntil(isa.Cell(1), isa.CmpEQ, 1)
+			e.SetFlag(isa.Cell(2), 1, isa.CellAddr(2))
+		}
+		for i := 0; i < n/2; i++ {
+			e.ALU(isa.FMul, isa.F(3), isa.F(1), isa.F(2))
+			e.ALU(isa.FAdd, isa.F(4), isa.F(3), isa.F(2))
+		}
+	})
+}
+
+// newSnapMachine builds the dual-thread machine every test in this file
+// restores into. Restore requires the target to be prepared exactly like
+// the original: same config, same programs.
+func newSnapMachine(cfg Config) *Machine {
+	m := New(cfg)
+	m.LoadProgram(0, snapProg(0, 600))
+	m.LoadProgram(1, snapProg(1, 500))
+	return m
+}
+
+// pauseAt runs m until the first pause point at or after cycle c and
+// stops there.
+func pauseAt(t *testing.T, m *Machine, c uint64) {
+	t.Helper()
+	res, err := m.RunPausable(0, c, func() bool { return true })
+	if err != nil {
+		t.Fatalf("run to pause: %v", err)
+	}
+	if !res.Paused {
+		t.Fatalf("machine completed before the pause point at cycle %d", c)
+	}
+}
+
+func finish(t *testing.T, m *Machine) RunResult {
+	t.Helper()
+	res, err := m.Run(50_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("program did not complete within cycle budget")
+	}
+	return res
+}
+
+// TestSnapshotRestoreRoundTrip pauses a machine mid-flight (with µops in
+// every queue), restores the snapshot into a fresh machine — through a
+// JSON round trip, as the checkpoint codec will — and requires the
+// restored machine to re-produce the snapshot bit-for-bit.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	a := newSnapMachine(cfg)
+	defer a.Close()
+	pauseAt(t, a, 2000)
+	snap := a.Snapshot()
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	decoded := new(Snapshot)
+	if err := json.Unmarshal(raw, decoded); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+
+	b := newSnapMachine(cfg)
+	defer b.Close()
+	if err := b.Restore(decoded); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	again := b.Snapshot()
+	if !reflect.DeepEqual(snap, again) {
+		t.Fatal("restored machine's snapshot differs from the original")
+	}
+}
+
+// TestRestoreParity is the determinism guarantee behind checkpointed
+// cells: an interrupted-and-resumed run must finish with state identical
+// to an uninterrupted one — same cycle count, counters, memory-system
+// statistics and wait profile.
+func TestRestoreParity(t *testing.T) {
+	cfg := DefaultConfig()
+
+	control := newSnapMachine(cfg)
+	defer control.Close()
+	finish(t, control)
+
+	// Interrupt at a few different depths, including one inside the
+	// halt-wait rendezvous region.
+	for _, at := range []uint64{100, 1500, 4000} {
+		a := newSnapMachine(cfg)
+		pauseAt(t, a, at)
+		snap := a.Snapshot()
+		a.Close()
+
+		b := newSnapMachine(cfg)
+		if err := b.Restore(snap); err != nil {
+			b.Close()
+			t.Fatalf("restore at cycle %d: %v", at, err)
+		}
+		finish(t, b)
+		if got, want := b.Snapshot(), control.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Errorf("resume from cycle %d: final state differs from uninterrupted run (cycle %d vs %d)",
+				at, b.Cycle(), control.Cycle())
+		}
+		b.Close()
+	}
+}
+
+// TestRunPausableResumesAcrossCalls checks that a pause is a clean stop:
+// continuing the same machine completes with exactly the state of a
+// never-paused run.
+func TestRunPausableResumesAcrossCalls(t *testing.T) {
+	cfg := DefaultConfig()
+	control := newSnapMachine(cfg)
+	defer control.Close()
+	finish(t, control)
+
+	m := newSnapMachine(cfg)
+	defer m.Close()
+	pauses := 0
+	res, err := m.RunPausable(0, 700, func() bool { pauses++; return pauses >= 3 })
+	if err != nil {
+		t.Fatalf("paused run: %v", err)
+	}
+	if !res.Paused || pauses != 3 {
+		t.Fatalf("expected to stop at the third pause point, got paused=%v pauses=%d", res.Paused, pauses)
+	}
+	finish(t, m)
+	if !reflect.DeepEqual(m.Snapshot(), control.Snapshot()) {
+		t.Fatal("paused-and-continued run differs from uninterrupted run")
+	}
+}
+
+func TestRestoreRejectsMismatches(t *testing.T) {
+	cfg := DefaultConfig()
+	a := newSnapMachine(cfg)
+	defer a.Close()
+	pauseAt(t, a, 500)
+	snap := a.Snapshot()
+
+	other := cfg
+	other.ROB = cfg.ROB - 2
+	m1 := newSnapMachine(other)
+	if err := m1.Restore(snap); err == nil {
+		t.Error("restore accepted a config mismatch")
+	}
+	m1.Close()
+
+	m2 := New(cfg) // no programs loaded
+	if err := m2.Restore(snap); err == nil {
+		t.Error("restore accepted a machine with no programs")
+	}
+	m2.Close()
+
+	m3 := New(cfg)
+	m3.LoadProgram(0, trace.Generate(func(e *trace.Emitter) { e.Nop() }))
+	m3.LoadProgram(1, trace.Generate(func(e *trace.Emitter) { e.Nop() }))
+	if err := m3.Restore(snap); err == nil {
+		t.Error("restore accepted a program shorter than the snapshot position")
+	}
+	m3.Close()
+
+	m4 := newSnapMachine(cfg)
+	m4.Step() // not fresh any more
+	if err := m4.Restore(snap); err == nil {
+		t.Error("restore accepted a machine that had already stepped")
+	}
+	m4.Close()
+}

@@ -136,6 +136,16 @@ func (b *Breaker) Store(key string, data []byte) {
 	b.record(b.under.Put(key, data))
 }
 
+// Delete removes key from the underlying store. Short-circuited
+// deletes are dropped — a stale entry costs disk space, not
+// correctness, and the next overwrite or eviction reclaims it.
+func (b *Breaker) Delete(key string) {
+	if !b.allow() {
+		return
+	}
+	b.under.Delete(key)
+}
+
 // Probe nudges a degraded circuit toward recovery with a sentinel
 // write through the normal gate: inside the cooldown it short-circuits
 // and costs nothing; past it, it becomes the half-open probe whose

@@ -351,6 +351,17 @@ func (s *Store) dropLocked(e *entry, corrupt bool) {
 	}
 }
 
+// Delete removes the entry for key, if present. Checkpoint sinks use
+// it: once a resumed cell completes, its checkpoint is garbage.
+func (s *Store) Delete(key string) {
+	name := fileName(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[name]; ok {
+		s.dropLocked(e, false)
+	}
+}
+
 // Stats snapshots the counters and resident-set size.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -12,7 +12,11 @@
 #      memory-only caching (healthz "degraded", jobs keep succeeding
 #      with identical results), then heals through healthz probes;
 #   C. queue backpressure: a full queue 429s a submission and smtctl
-#      retries with backoff until it is accepted.
+#      retries with backoff until it is accepted;
+#   D. checkpoint resume: SIGKILL the daemon mid-kernel-run with
+#      -checkpoint-cycles armed; the restarted daemon must resume the
+#      recovered job from the on-disk checkpoint (not cycle zero) and
+#      produce a result byte-identical to an uninterrupted control run.
 #
 # Every phase ends with all jobs terminal; nothing may be stuck.
 set -eu
@@ -233,4 +237,45 @@ done
 all_terminal
 stop_daemon
 
-echo "chaos smoke OK: panic isolated, watchdog fired, crash recovered (fig1 byte-identical), store degraded and healed, 429 retried"
+echo "== phase D: control run for the checkpoint-resume comparison"
+start_daemon smtd-d.log -store "$work/store-d-control"
+jd_control="$(ctl submit -kernel mm -mode tlp-fine -size 64)"
+ctl wait -q "$jd_control"
+ctl result -cell 0 "$jd_control" >"$work/kernel-control.json"
+stop_daemon
+
+echo "== phase D: SIGKILL mid-kernel-run, restart resumes from checkpoint"
+start_daemon smtd-d.log -store "$work/store-d" -journal "$work/journal-d" \
+	-jobs 1 -workers 1 -checkpoint-cycles 5000
+jd="$(ctl submit -kernel mm -mode tlp-fine -size 64)"
+# Wait for the cell to park at least one checkpoint in the store, then
+# kill the daemon hard while the kernel is still mid-run.
+i=0
+until [ "$(metric smtd_checkpoints_written_total)" -ge 1 ] 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "no checkpoint written before the kill" >&2
+		curl -s "http://$ADDR/metrics" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+kill9_daemon
+
+start_daemon smtd-d.log -store "$work/store-d" -journal "$work/journal-d" \
+	-jobs 1 -workers 1 -checkpoint-cycles 5000
+grep -q "recovered" "$work/smtd-d.log"
+ctl wait -q "$jd"
+restored="$(metric smtd_checkpoints_restored_total)"
+saved="$(metric smtd_resume_cycles_saved_total)"
+if [ "$restored" -lt 1 ] || [ "$saved" -le 0 ]; then
+	echo "restored=$restored cycles_saved=$saved: restart re-ran from cycle zero" >&2
+	curl -s "http://$ADDR/metrics" >&2
+	exit 1
+fi
+ctl result -cell 0 "$jd" >"$work/kernel-resumed.json"
+diff "$work/kernel-control.json" "$work/kernel-resumed.json"
+all_terminal
+stop_daemon
+
+echo "chaos smoke OK: panic isolated, watchdog fired, crash recovered (fig1 byte-identical), store degraded and healed, 429 retried, SIGKILL'd kernel resumed from checkpoint byte-identical"
