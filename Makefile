@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke service-smoke chaos-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke service-smoke chaos-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ fuzz-smoke:
 # synthetic speedup benchmark (CI uploads the combined log as the
 # bench-smoke artifact).
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 40m . | tee bench-smoke.txt
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . | tee bench-smoke.txt
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/runner | tee -a bench-smoke.txt
 
 # End-to-end daemon smoke: smtd + smtctl against a disk store, including
@@ -68,3 +68,16 @@ obs-artifacts:
 		-trace obs-sample/fadd-iload.trace.json \
 		-occupancy obs-sample/fadd-iload.occupancy.csv \
 		-metrics obs-sample/fadd-iload.metrics.json > obs-sample/fadd-iload.stdout.txt
+
+# Benchmark-regression gate (mirrors the bench-gate CI job): the gated
+# benchmark set must hold time/op within 10% of the committed
+# BENCH_0006.json baseline and allocs/op at zero. Use
+# `scripts/bench-gate.sh --against REF` for a same-machine A/B when the
+# local box differs from the one that recorded the baseline.
+bench-gate:
+	./scripts/bench-gate.sh --selftest
+	./scripts/bench-gate.sh
+
+# Re-record the committed benchmark baseline (run on a quiet machine).
+bench-record:
+	./scripts/bench-record.sh

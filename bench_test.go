@@ -40,6 +40,11 @@ func BenchmarkFig1StreamCPI(b *testing.B) {
 			b.ReportMetric(r.CPI, "iadd-2thr-maxILP-CPI")
 		}
 	}
+	// Cold-simulation throughput: every row of the figure is one
+	// simulation cell (no result cache inside Fig1's own sweep).
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(len(rows)*b.N)/sec, "cells/s")
+	}
 }
 
 // BenchmarkFig2FPPairs regenerates Figure 2(a): pairwise slowdown factors

@@ -1,0 +1,144 @@
+// Command benchgate records and gates Go benchmark results without any
+// external tooling. It parses the standard `go test -bench` text output,
+// reduces repeated runs per benchmark (min time/op, median otherwise),
+// and either
+// writes a committed JSON record or compares a fresh run against one and
+// fails on regression.
+//
+// Usage:
+//
+//	go test -bench ... | benchgate record -out BENCH_0006.json -commit $(git rev-parse HEAD)
+//	go test -bench ... | benchgate gate -baseline BENCH_0006.json [-threshold 0.10]
+//
+// The gate fails (exit 1) when any benchmark present in both the
+// baseline and the fresh run is more than threshold slower in time/op,
+// or allocates more per op at all: steady-state zero allocation is a
+// hard property of the simulator core, not a statistic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"smtexplore/internal/benchgate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "gate":
+		err = gate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == benchgate.ErrRegression {
+			os.Exit(1)
+		}
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchgate record -out FILE [-commit SHA] [-note TEXT]  < bench-output
+  benchgate gate -baseline FILE [-threshold 0.10]        < bench-output`)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "", "output JSON file (default stdout)")
+	commit := fs.String("commit", "", "commit hash to stamp")
+	note := fs.String("note", "", "free-form annotation")
+	fs.Parse(args)
+
+	runs, err := benchgate.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	rec := benchgate.Record{
+		Schema:     benchgate.SchemaV1,
+		Commit:     *commit,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Note:       *note,
+		Benchmarks: benchgate.Reduce(runs),
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func gate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "baseline JSON record (required)")
+	threshold := fs.Float64("threshold", 0.10, "max fractional time/op regression")
+	fs.Parse(args)
+	if *baseline == "" {
+		return fmt.Errorf("gate: -baseline is required")
+	}
+
+	base, err := loadRecord(*baseline)
+	if err != nil {
+		return err
+	}
+	runs, err := benchgate.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	fresh := benchgate.Reduce(runs)
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	report := benchgate.Compare(base.Benchmarks, fresh, *threshold)
+	fmt.Print(report.Format())
+	if report.Failed() {
+		return benchgate.ErrRegression
+	}
+	return nil
+}
+
+func loadRecord(path string) (*benchgate.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	var rec benchgate.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != benchgate.SchemaV1 {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
+	}
+	return &rec, nil
+}

@@ -1,0 +1,243 @@
+// Package benchgate parses `go test -bench` output and compares runs
+// against a committed baseline: the in-repo benchmark-regression gate.
+// It needs nothing beyond the standard library, so CI and local `make
+// bench-gate` run the identical comparator.
+package benchgate
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaV1 identifies the committed BENCH_*.json layout.
+const SchemaV1 = "smtexplore-bench/v1"
+
+// ErrRegression is returned by the gate when any benchmark regressed.
+var ErrRegression = errors.New("benchgate: regression detected")
+
+// Record is the committed benchmark snapshot for one commit.
+type Record struct {
+	Schema     string  `json:"schema"`
+	Commit     string  `json:"commit"`
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's reduced result over repeated runs: the
+// minimum time/op (scheduling noise is strictly additive, so the min
+// approximates the uncontended runtime — a real code regression raises
+// every run including the fastest), the median of allocation stats and
+// of every custom metric the benchmark reported (shape metrics like
+// CPI values and cells/s).
+type Bench struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs"`
+	Iterations int                `json:"iterations"`
+	TimeOpNs   float64            `json:"time_op_ns"`
+	BytesOp    float64            `json:"bytes_op"`
+	AllocsOp   float64            `json:"allocs_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one raw benchmark output line.
+type Run struct {
+	Name       string
+	Iterations int
+	// Measurements maps unit → value for every "value unit" pair on the
+	// line: ns/op, B/op, allocs/op and custom metrics alike.
+	Measurements map[string]float64
+}
+
+// benchLine matches "BenchmarkName[-P] <tab> N <tab> measurements...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` text output and returns every benchmark
+// result line, in order. Non-benchmark lines (goos/pkg headers, PASS,
+// shuffle seeds) are ignored.
+func Parse(r io.Reader) ([]Run, error) {
+	var out []Run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		run := Run{Name: m[1], Iterations: iters, Measurements: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad measurement %q on %s", fields[i], run.Name)
+			}
+			run.Measurements[fields[i+1]] = v
+		}
+		out = append(out, run)
+	}
+	return out, sc.Err()
+}
+
+// Reduce groups runs by benchmark name and collapses repeated runs:
+// min for ns/op (robust against steal-time bursts on a shared box —
+// noise only ever adds time), median for everything else. Benchmarks
+// appear in first-seen order.
+func Reduce(runs []Run) []Bench {
+	byName := map[string][]Run{}
+	var order []string
+	for _, r := range runs {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	var out []Bench
+	for _, name := range order {
+		group := byName[name]
+		units := map[string][]float64{}
+		iters := 0
+		for _, r := range group {
+			iters += r.Iterations
+			for u, v := range r.Measurements {
+				units[u] = append(units[u], v)
+			}
+		}
+		b := Bench{Name: name, Runs: len(group), Iterations: iters, Metrics: map[string]float64{}}
+		for u, vs := range units {
+			med := median(vs)
+			switch u {
+			case "ns/op":
+				b.TimeOpNs = minOf(vs)
+			case "B/op":
+				b.BytesOp = med
+			case "allocs/op":
+				b.AllocsOp = med
+			default:
+				b.Metrics[u] = med
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func minOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Row is one benchmark's comparison outcome.
+type Row struct {
+	Name      string
+	Base      Bench
+	Fresh     Bench
+	TimeDelta float64 // fractional change in time/op; + is slower
+	TimeFail  bool
+	AllocFail bool
+	Missing   bool // in baseline but absent from the fresh run
+}
+
+// Report is the gate's verdict over every baseline benchmark.
+type Report struct {
+	Rows      []Row
+	Threshold float64
+}
+
+// Compare evaluates fresh against base: time/op may not regress by more
+// than threshold, and allocs/op may not increase at all. Benchmarks only
+// present on one side never fail the gate (the baseline is extended by
+// re-recording), but baseline entries missing from the fresh run are
+// flagged in the report so a silently skipped benchmark is visible.
+func Compare(base, fresh []Bench, threshold float64) Report {
+	freshBy := map[string]Bench{}
+	for _, b := range fresh {
+		freshBy[b.Name] = b
+	}
+	rep := Report{Threshold: threshold}
+	for _, b := range base {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			rep.Rows = append(rep.Rows, Row{Name: b.Name, Base: b, Missing: true})
+			continue
+		}
+		row := Row{Name: b.Name, Base: b, Fresh: f}
+		if b.TimeOpNs > 0 {
+			row.TimeDelta = f.TimeOpNs/b.TimeOpNs - 1
+			row.TimeFail = row.TimeDelta > threshold
+		}
+		row.AllocFail = f.AllocsOp > b.AllocsOp
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Failed reports whether any row trips the gate.
+func (r Report) Failed() bool {
+	for _, row := range r.Rows {
+		if row.TimeFail || row.AllocFail {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the verdict table.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %14s %14s %8s %10s  %s\n",
+		"benchmark", "base ns/op", "fresh ns/op", "Δtime", "allocs/op", "verdict")
+	for _, row := range r.Rows {
+		if row.Missing {
+			fmt.Fprintf(&b, "%-40s %14.0f %14s %8s %10s  %s\n",
+				row.Name, row.Base.TimeOpNs, "-", "-", "-", "MISSING (not run)")
+			continue
+		}
+		verdict := "ok"
+		if row.TimeFail && row.AllocFail {
+			verdict = fmt.Sprintf("FAIL (time > +%.0f%%, allocs up)", r.Threshold*100)
+		} else if row.TimeFail {
+			verdict = fmt.Sprintf("FAIL (time > +%.0f%%)", r.Threshold*100)
+		} else if row.AllocFail {
+			verdict = "FAIL (allocs up)"
+		}
+		fmt.Fprintf(&b, "%-40s %14.0f %14.0f %+7.1f%% %10.0f  %s\n",
+			row.Name, row.Base.TimeOpNs, row.Fresh.TimeOpNs,
+			row.TimeDelta*100, row.Fresh.AllocsOp, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: smtexplore
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+-test.shuffle 1754500000000000000
+BenchmarkFig1StreamCPI 	       3	 533506210 ns/op	        56.23 cells/s	         1.000 fadd-1thr-maxILP-CPI	         0.6667 iadd-2thr-maxILP-CPI
+BenchmarkFig1StreamCPI 	       3	 508005206 ns/op	        59.05 cells/s	         1.000 fadd-1thr-maxILP-CPI	         0.6667 iadd-2thr-maxILP-CPI
+BenchmarkFig1StreamCPI 	       3	 576824453 ns/op	        52.01 cells/s	         1.000 fadd-1thr-maxILP-CPI	         0.6667 iadd-2thr-maxILP-CPI
+BenchmarkStepCompute/ctx=2-8         	  300000	       331.7 ns/op	         2.500 uops/cycle	       0 B/op	       0 allocs/op
+PASS
+ok  	smtexplore	9.502s
+`
+
+func TestParseAndReduce(t *testing.T) {
+	runs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("parsed %d runs, want 4", len(runs))
+	}
+	benches := Reduce(runs)
+	if len(benches) != 2 {
+		t.Fatalf("reduced to %d benchmarks, want 2", len(benches))
+	}
+
+	fig1 := benches[0]
+	if fig1.Name != "BenchmarkFig1StreamCPI" || fig1.Runs != 3 {
+		t.Fatalf("unexpected first benchmark: %+v", fig1)
+	}
+	if fig1.TimeOpNs != 508005206 { // min of the three runs
+		t.Errorf("min time/op = %v, want 508005206", fig1.TimeOpNs)
+	}
+	if got := fig1.Metrics["cells/s"]; got != 56.23 {
+		t.Errorf("cells/s = %v, want 56.23", got)
+	}
+	if got := fig1.Metrics["iadd-2thr-maxILP-CPI"]; got != 0.6667 {
+		t.Errorf("shape metric = %v, want 0.6667", got)
+	}
+
+	step := benches[1]
+	if step.Name != "BenchmarkStepCompute/ctx=2" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", step.Name)
+	}
+	if step.AllocsOp != 0 || step.BytesOp != 0 {
+		t.Errorf("alloc stats not extracted: %+v", step)
+	}
+}
+
+func bench(name string, ns, allocs float64) Bench {
+	return Bench{Name: name, Runs: 1, TimeOpNs: ns, AllocsOp: allocs}
+}
+
+// TestGateRedOnTenPercentSlowdown is the gate's self-test: an injected
+// slowdown just over the threshold must fail, one just under must pass.
+func TestGateRedOnTenPercentSlowdown(t *testing.T) {
+	base := []Bench{bench("BenchmarkFig1StreamCPI", 1_000_000, 0)}
+
+	slow := []Bench{bench("BenchmarkFig1StreamCPI", 1_101_000, 0)} // +10.1%
+	if rep := Compare(base, slow, 0.10); !rep.Failed() {
+		t.Fatalf("gate stayed green on +10.1%% slowdown:\n%s", rep.Format())
+	}
+
+	ok := []Bench{bench("BenchmarkFig1StreamCPI", 1_099_000, 0)} // +9.9%
+	if rep := Compare(base, ok, 0.10); rep.Failed() {
+		t.Fatalf("gate went red on +9.9%% (under threshold):\n%s", rep.Format())
+	}
+
+	faster := []Bench{bench("BenchmarkFig1StreamCPI", 500_000, 0)}
+	if rep := Compare(base, faster, 0.10); rep.Failed() {
+		t.Fatalf("gate went red on an improvement:\n%s", rep.Format())
+	}
+}
+
+// TestGateRedOnAnyAllocRegression: allocs/op is a hard zero-tolerance
+// property — a single new allocation per op fails regardless of time.
+func TestGateRedOnAnyAllocRegression(t *testing.T) {
+	base := []Bench{bench("BenchmarkStepCompute/ctx=2", 330, 0)}
+	fresh := []Bench{bench("BenchmarkStepCompute/ctx=2", 320, 1)}
+	rep := Compare(base, fresh, 0.10)
+	if !rep.Failed() {
+		t.Fatalf("gate stayed green on allocs/op 0 → 1:\n%s", rep.Format())
+	}
+	if !rep.Rows[0].AllocFail || rep.Rows[0].TimeFail {
+		t.Fatalf("wrong failure attribution: %+v", rep.Rows[0])
+	}
+}
+
+// TestGateFlagsMissingBenchmarks: a baseline entry the fresh run never
+// executed is reported (but does not fail the gate by itself).
+func TestGateFlagsMissingBenchmarks(t *testing.T) {
+	base := []Bench{bench("BenchmarkGone", 100, 0), bench("BenchmarkKept", 100, 0)}
+	fresh := []Bench{bench("BenchmarkKept", 101, 0)}
+	rep := Compare(base, fresh, 0.10)
+	if rep.Failed() {
+		t.Fatalf("missing benchmark failed the gate:\n%s", rep.Format())
+	}
+	if !rep.Rows[0].Missing {
+		t.Fatalf("missing benchmark not flagged: %+v", rep.Rows[0])
+	}
+	if !strings.Contains(rep.Format(), "MISSING") {
+		t.Fatalf("report does not surface the missing row:\n%s", rep.Format())
+	}
+}
+
+// TestGateIgnoresNewBenchmarks: fresh-only benchmarks don't gate — the
+// baseline is extended by re-recording, not implicitly.
+func TestGateIgnoresNewBenchmarks(t *testing.T) {
+	base := []Bench{bench("BenchmarkOld", 100, 0)}
+	fresh := []Bench{bench("BenchmarkOld", 100, 0), bench("BenchmarkNew", 1, 5)}
+	if rep := Compare(base, fresh, 0.10); rep.Failed() {
+		t.Fatalf("new benchmark failed the gate:\n%s", rep.Format())
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := median([]float64{4, 1}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+// TestReduceTimeUsesMin: a steal-time burst that slows two of three
+// passes must not move the reduced time/op — only the fastest pass
+// (the closest approximation of uncontended runtime) counts.
+func TestReduceTimeUsesMin(t *testing.T) {
+	runs := []Run{
+		{Name: "BenchmarkX", Iterations: 1, Measurements: map[string]float64{"ns/op": 330}},
+		{Name: "BenchmarkX", Iterations: 1, Measurements: map[string]float64{"ns/op": 176}},
+		{Name: "BenchmarkX", Iterations: 1, Measurements: map[string]float64{"ns/op": 610}},
+	}
+	b := Reduce(runs)
+	if len(b) != 1 || b[0].TimeOpNs != 176 {
+		t.Fatalf("reduced time/op = %+v, want min 176", b)
+	}
+}

@@ -55,7 +55,7 @@ func measureCPIWith(mcfg smt.Config, specs []streams.Spec, window uint64, ins *o
 	}
 	for i, sp := range specs {
 		sp.Base = streams.DisjointBase(i)
-		m.LoadProgram(i, streams.Build(sp))
+		m.LoadStream(i, streams.Open(sp))
 	}
 	if _, err := m.Run(window); err != nil {
 		return nil, err

@@ -39,12 +39,12 @@ func (m *Machine) allocate() {
 
 		switch in.Op {
 		case isa.SpinWait:
-			if m.cellHolds(in) {
+			if m.cellHolds(*in) {
 				m.finishSpin(t, now)
 				continue
 			}
 			t.spinning = true
-			n, ok := m.injectSpinIteration(t, in, now, budget)
+			n, ok := m.injectSpinIteration(t, *in, now, budget)
 			budget -= n
 			if !ok {
 				return
@@ -52,7 +52,7 @@ func (m *Machine) allocate() {
 			continue
 
 		case isa.HaltWait:
-			if m.cellHolds(in) {
+			if m.cellHolds(*in) {
 				// Condition already true: no halt happens, no penalty.
 				t.pendingValid = false
 				continue
@@ -61,7 +61,7 @@ func (m *Machine) allocate() {
 			return
 
 		case isa.Pause:
-			u, ok := m.allocSimple(t, in, now, false)
+			u, ok := m.allocSimple(t, *in, now, false)
 			if !ok {
 				return
 			}
@@ -72,7 +72,7 @@ func (m *Machine) allocate() {
 			budget--
 
 		case isa.Nop:
-			u, ok := m.allocSimple(t, in, now, false)
+			u, ok := m.allocSimple(t, *in, now, false)
 			if !ok {
 				return
 			}
@@ -82,7 +82,7 @@ func (m *Machine) allocate() {
 			budget--
 
 		default:
-			if !m.allocExec(t, in, now, false) {
+			if !m.allocExec(t, *in, now, false) {
 				return
 			}
 			t.pendingValid = false
@@ -113,17 +113,18 @@ func (m *Machine) allocPick(pref int) *thread {
 }
 
 // peekInstr exposes the next unallocated instruction of t, fetching from
-// the stream into the pending slot as needed.
-func (m *Machine) peekInstr(t *thread) (isa.Instr, bool) {
+// the stream into the pending slot as needed. The returned pointer is
+// into t.pending and is valid until the instruction is consumed.
+func (m *Machine) peekInstr(t *thread) (*isa.Instr, bool) {
 	if !t.pendingValid {
 		in, ok := t.stream.Next()
 		if !ok {
-			return isa.Instr{}, false
+			return nil, false
 		}
 		t.pending = in
 		t.pendingValid = true
 	}
-	return t.pending, true
+	return &t.pending, true
 }
 
 // allocSimple claims a ROB slot for a non-scheduled µop (nop/pause and
@@ -131,7 +132,7 @@ func (m *Machine) peekInstr(t *thread) (isa.Instr, bool) {
 // latter). It returns false without consuming the instruction when the
 // ROB partition is full.
 func (m *Machine) allocSimple(t *thread, in isa.Instr, now uint64, spin bool) (*uop, bool) {
-	if t.rob.count >= m.limit(m.cfg.ROB) {
+	if t.rob.count >= m.limROB {
 		m.ctr.Inc(perfmon.ROBStallCycles, t.id)
 		return nil, false
 	}
@@ -157,19 +158,19 @@ func (m *Machine) allocSimple(t *thread, in isa.Instr, now uint64, spin bool) (*
 // dependences against the architectural register file. It returns false
 // (and books the blocking stall event) when any resource is exhausted.
 func (m *Machine) allocExec(t *thread, in isa.Instr, now uint64, spin bool) bool {
-	if t.rob.count >= m.limit(m.cfg.ROB) {
+	if t.rob.count >= m.limROB {
 		m.ctr.Inc(perfmon.ROBStallCycles, t.id)
 		return false
 	}
-	if t.schedCount >= m.limit(m.cfg.SchedWindow) {
+	if t.schedCount >= m.limSched {
 		m.ctr.Inc(perfmon.SchedStallCycles, t.id)
 		return false
 	}
-	if in.Op == isa.Load && t.ldq >= m.limit(m.cfg.LoadQ) {
+	if in.Op == isa.Load && t.ldq >= m.limLDQ {
 		m.ctr.Inc(perfmon.LoadBufStallCycles, t.id)
 		return false
 	}
-	if in.Op.IsStore() && t.stq >= m.limit(m.cfg.StoreQ) {
+	if in.Op.IsStore() && t.stq >= m.limSTQ {
 		// The paper's "resource stall cycles": the allocator waits for a
 		// store-buffer entry.
 		m.ctr.Inc(perfmon.ResourceStallCycles, t.id)
@@ -192,13 +193,13 @@ func (m *Machine) allocExec(t *thread, in isa.Instr, now uint64, spin bool) bool
 	// Producers that have already issued collapse into a readyAt bound at
 	// birth, so the scheduler never has to walk them.
 	if in.Src1 != isa.RegNone {
-		u.dep1 = m.captureDep(t.regPrev[in.Src1], u)
+		u.dep1 = m.captureDep(t.regPrev[in.Src1], u, ref, 1)
 	}
 	if in.Src2 != isa.RegNone {
-		u.dep2 = m.captureDep(t.regPrev[in.Src2], u)
+		u.dep2 = m.captureDep(t.regPrev[in.Src2], u, ref, 2)
 	}
 	if in.Dst != isa.RegNone {
-		u.depW = m.captureDep(t.regPrev[in.Dst], u)
+		u.depW = m.captureDep(t.regPrev[in.Dst], u, ref, 4)
 		t.regPrev[in.Dst] = ref
 	}
 
@@ -209,14 +210,24 @@ func (m *Machine) allocExec(t *thread, in isa.Instr, now uint64, spin bool) bool
 		t.stq++
 	}
 	t.schedCount++
-	m.sched = append(m.sched, ref)
+	wake := u.readyAt
+	if u.regBits != 0 &&
+		(u.dep1.gen == 0 || u.regBits&1 != 0) &&
+		(u.dep2.gen == 0 || u.regBits&2 != 0) &&
+		(u.depW.gen == 0 || u.regBits&4 != 0) {
+		// Every outstanding producer is registered to prod this µop on
+		// dispatch: it can sleep from birth with no wake bound at all.
+		wake = schedAsleep
+	}
+	m.schedInsert(ref, in.Op, wake)
 	return true
 }
 
 // captureDep folds an already-resolved producer into the consumer's
 // readyAt memo, returning the empty reference; unresolved producers keep
-// the reference for the scheduler to track.
-func (m *Machine) captureDep(r uopRef, consumer *uop) uopRef {
+// the reference for the scheduler to track, registering the consumer for
+// a dispatch prod when the producer's list has room.
+func (m *Machine) captureDep(r uopRef, consumer *uop, consRef uopRef, bit uint8) uopRef {
 	p := m.resolve(r)
 	if p == nil || p.cancelled {
 		return uopRef{}
@@ -226,6 +237,17 @@ func (m *Machine) captureDep(r uopRef, consumer *uop) uopRef {
 			consumer.readyAt = p.doneAt
 		}
 		return uopRef{}
+	}
+	// Allocation runs after the issue stage, so an unissued producer
+	// cannot dispatch before next cycle; seed the consumer's readyAt with
+	// the completion bound so its scheduler entry sleeps from birth.
+	if b := unissuedBound(p, m.cycle); b > consumer.readyAt {
+		consumer.readyAt = b
+	}
+	if int(p.nCons) < len(p.cons) {
+		p.cons[p.nCons] = consRef
+		p.nCons++
+		consumer.regBits |= bit
 	}
 	return r
 }
@@ -295,7 +317,7 @@ func (m *Machine) finishSpin(t *thread, now uint64) {
 func (m *Machine) flushSpinTail(t *thread) int {
 	flushed := 0
 	for t.rob.count > 0 {
-		idx := (t.rob.head + t.rob.count - 1) % len(t.rob.buf)
+		idx := (t.rob.head + t.rob.count - 1) & t.rob.mask
 		u := &t.rob.buf[idx]
 		if !u.spin {
 			break
@@ -309,6 +331,11 @@ func (m *Machine) flushSpinTail(t *thread) int {
 		u.gen++ // invalidate outstanding references
 		t.rob.count--
 		flushed++
+	}
+	if flushed > 0 {
+		// Invalidated references may be sleeping under a wake bound; zero
+		// it so the issue scan reaps them on schedule.
+		m.schedWakeStale()
 	}
 	return flushed
 }

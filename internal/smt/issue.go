@@ -1,9 +1,197 @@
 package smt
 
 import (
+	"math/bits"
+
 	"smtexplore/internal/isa"
 	"smtexplore/internal/perfmon"
 )
+
+// schedEntry is one scheduler-window slot: the µop reference plus a
+// conservative wake bound — a cycle before which examining the µop is
+// provably a no-op (dependences cannot have completed, a retry delay is
+// pending, or every candidate execution unit is busy). The bound lets
+// the select scan skip the entry — and, via the per-word schedMin
+// summary, whole uint64 words of entries — without resolving it. Wake
+// bounds are advisory: a stale-low bound re-examines harmlessly (every
+// skipped examination path is mutation-free), so they are neither
+// serialized in snapshots nor consulted for anything but scan pruning.
+type schedEntry struct {
+	ref uopRef
+	// op mirrors the µop's opcode so the port-budget probe of a
+	// ready-but-port-starved entry needs no ROB access.
+	op isa.Op
+	// ready caches a true uopReady verdict. Readiness is sticky — a
+	// satisfied dependence is cleared from the µop and readyAt never
+	// rises afterwards — so the flag is invalidated only by the
+	// spin-exit flush, via schedWakeStale.
+	ready bool
+	wake  uint64
+}
+
+// debugNoWake (tests only) disables wake-bound pruning so every entry is
+// examined every cycle, the pre-bitmap behaviour.
+var debugNoWake = false
+
+// schedAsleep is the wake bound of an entry with no scheduled
+// re-examination: it sleeps until a producer dispatch prods it.
+const schedAsleep = ^uint64(0)
+
+// schedInsert appends a reference to the scheduler ring in allocation
+// order. wake is the entry's initial wake bound (the consumer's readyAt
+// memo captured at allocation) and op the µop's opcode.
+func (m *Machine) schedInsert(ref uopRef, op isa.Op, wake uint64) {
+	// Compact one bitmap word short of capacity: the scan walks
+	// 64-aligned absolute windows, and keeping the span under
+	// capacity-64 guarantees no two windows alias the same physical
+	// word — otherwise the oldest and newest entries would share a word
+	// and be visited out of age order.
+	if m.schedTail-m.schedHead >= uint64(len(m.schedRing)-64) {
+		m.schedCompact()
+	}
+	slot := m.schedTail & uint64(len(m.schedRing)-1)
+	m.schedRing[slot] = schedEntry{ref: ref, op: op, wake: wake}
+	if u := m.resolve(ref); u != nil {
+		u.schedSlot = uint32(slot)
+	}
+	w := slot >> 6
+	if m.schedLive[w] == 0 {
+		m.schedWordOp[w] = op
+		m.schedWordMixed[w] = false
+	} else if m.schedWordOp[w] != op {
+		m.schedWordMixed[w] = true
+	}
+	m.schedLive[w] |= 1 << (slot & 63)
+	if wake == schedAsleep {
+		m.schedDeep[w] |= 1 << (slot & 63)
+	} else {
+		m.schedDeep[w] &^= 1 << (slot & 63)
+	}
+	if wake < m.schedMin[w] {
+		m.schedMin[w] = wake
+	}
+	m.schedTail++
+}
+
+// schedCompact squeezes the holes out of the ring when the absolute span
+// reaches capacity. Live entries keep their relative (age) order, so the
+// scan — and therefore simulated timing — is unaffected. Amortised cost
+// is O(1) per insertion: at least half the span is holes when it fires.
+func (m *Machine) schedCompact() {
+	mask := uint64(len(m.schedRing) - 1)
+	n := uint64(0)
+	for pos := m.schedHead; pos < m.schedTail; pos++ {
+		slot := pos & mask
+		if m.schedLive[slot>>6]&(1<<(slot&63)) != 0 {
+			m.schedScratch[n] = m.schedRing[slot]
+			n++
+		}
+	}
+	for i := range m.schedLive {
+		m.schedLive[i] = 0
+		m.schedMin[i] = ^uint64(0)
+		m.schedDeep[i] = 0
+	}
+	copy(m.schedRing, m.schedScratch[:n])
+	for i := uint64(0); i < n; i++ {
+		w := i >> 6
+		if m.schedLive[w] == 0 {
+			m.schedWordOp[w] = m.schedRing[i].op
+			m.schedWordMixed[w] = false
+		} else if m.schedWordOp[w] != m.schedRing[i].op {
+			m.schedWordMixed[w] = true
+		}
+		m.schedLive[w] |= 1 << (i & 63)
+		if m.schedRing[i].wake == schedAsleep {
+			m.schedDeep[w] |= 1 << (i & 63)
+		}
+		if wk := m.schedRing[i].wake; wk < m.schedMin[w] {
+			m.schedMin[w] = wk
+		}
+		// Keep the µop's back-pointer valid so dispatch prods land.
+		if u := m.resolve(m.schedRing[i].ref); u != nil {
+			u.schedSlot = uint32(i)
+		}
+	}
+	m.schedHead, m.schedTail = 0, n
+}
+
+// schedEach visits the live scheduler entries oldest-first (snapshot and
+// introspection path; the hot scan in issue is hand-rolled).
+func (m *Machine) schedEach(fn func(schedEntry)) {
+	mask := uint64(len(m.schedRing) - 1)
+	for pos := m.schedHead; pos < m.schedTail; pos++ {
+		slot := pos & mask
+		if m.schedLive[slot>>6]&(1<<(slot&63)) != 0 {
+			fn(m.schedRing[slot])
+		}
+	}
+}
+
+// schedLen counts the live scheduler entries.
+func (m *Machine) schedLen() int {
+	n := 0
+	for _, w := range m.schedLive {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// schedReset empties the ring (Restore path). Entries are re-inserted
+// with wake 0 — examined immediately, exactly as the pre-wake-bound scan
+// treated every entry — so a restored machine steps identically.
+func (m *Machine) schedReset() {
+	for i := range m.schedLive {
+		m.schedLive[i] = 0
+		m.schedMin[i] = ^uint64(0)
+		m.schedDeep[i] = 0
+	}
+	m.schedHead, m.schedTail = 0, 0
+	m.portBlockedAt = [len(m.portBlockedAt)]uint64{}
+	m.portBlockedWake = [len(m.portBlockedWake)]uint64{}
+}
+
+// schedWakeStale zeroes the wake bound of entries whose reference went
+// stale (spin-flush invalidation), so the next scan drops them — and
+// releases their window slots — on the same cycle the per-slot scan
+// always did, keeping allocation timing byte-identical.
+func (m *Machine) schedWakeStale() {
+	mask := uint64(len(m.schedRing) - 1)
+	for pos := m.schedHead; pos < m.schedTail; pos++ {
+		slot := pos & mask
+		w := slot >> 6
+		if m.schedLive[w]&(1<<(slot&63)) == 0 {
+			continue
+		}
+		e := &m.schedRing[slot]
+		if u := m.resolve(e.ref); u == nil || u.cancelled || u.issued {
+			e.wake = 0
+			e.ready = false
+			m.schedMin[w] = 0
+			m.schedDeep[w] &^= 1 << (slot & 63)
+		}
+	}
+}
+
+// nextPortFree returns a lower bound on the next cycle a µop of opcode op
+// could acquire an issue port: next cycle if any candidate unit is (or is
+// about to be) free — per-cycle port budgets reset every cycle —
+// otherwise the earliest initiation-interval expiry among the candidate
+// units. unitNextFree only grows, so the bound can go stale low (harmless
+// re-examination) but never high.
+func (m *Machine) nextPortFree(op isa.Op, now uint64) uint64 {
+	earliest := ^uint64(0)
+	for _, c := range opPorts[op] {
+		nf := m.unitNextFree[c.unit]
+		if nf <= now+1 {
+			return now + 1
+		}
+		if nf < earliest {
+			earliest = nf
+		}
+	}
+	return earliest
+}
 
 // issue dispatches ready µops from the shared scheduler window to the
 // execution ports, oldest first across both contexts, up to IssueWidth per
@@ -22,158 +210,440 @@ func (m *Machine) issue() {
 
 	// The select logic examines only the oldest scanLimit candidates per
 	// cycle, like the bounded wakeup/select of the modelled scheduler
-	// queues; younger entries wait until age brings them forward.
+	// queues; younger entries wait until age brings them forward. kept
+	// counts retained candidates — skipping a sleeping entry (or a whole
+	// word of them) retains it, so wake-bound pruning leaves the
+	// scan-window accounting identical to the per-slot loop.
 	const scanLimit = 64
 
-	kept := m.sched[:0]
-	for i, ref := range m.sched {
-		if issued >= m.cfg.IssueWidth || len(kept) >= scanLimit {
-			// No more dispatch this cycle: retain the tail wholesale.
-			kept = append(kept, m.sched[i:]...)
-			break
-		}
-		u := m.resolve(ref)
-		if u == nil || u.cancelled || u.issued {
-			// Stale (flushed) or already dispatched: drop the entry and
-			// release the window slot.
-			m.threads[ref.tid].schedCount--
-			continue
-		}
-		if u.retryAt > now || !m.uopReady(u, now) {
-			kept = append(kept, ref)
-			continue
-		}
-		port, unit, cost, ok := m.pickPort(u, portBudget[:], now)
-		if !ok {
-			kept = append(kept, ref)
-			continue
-		}
+	width := m.cfg.IssueWidth
+	kept := 0
+	mask := uint64(len(m.schedRing) - 1)
+	stopped := false
+	var issuedBy [NumContexts]uint64
 
-		if u.in.Op == isa.Load {
-			res := m.hier.Access(now, int(ref.tid), u.in.Addr, false, u.in.Tag)
-			if res.Retry {
-				// MSHR file full: the load replays later. The issue slot
-				// and port bandwidth are consumed regardless.
-				u.retryAt = now + uint64(m.cfg.RetryDelay)
-				m.ctr.Inc(perfmon.ReplayedUops, int(ref.tid))
-				portBudget[port] -= cost
-				issued++
-				kept = append(kept, ref)
+	// Walk 64-aligned absolute windows; each maps to exactly one bitmap
+	// word (the span never exceeds ring capacity, and bits outside
+	// [head, tail) are clear).
+	for base := m.schedHead &^ 63; base < m.schedTail && !stopped; base += 64 {
+		w := (base & mask) >> 6
+		liveW := m.schedLive[w]
+		if liveW == 0 {
+			continue
+		}
+		if m.schedMin[w] > now && !debugNoWake {
+			// Every entry in this word sleeps past now: retain them all
+			// with one compare. They still occupy scan-window slots.
+			kept += bits.OnesCount64(liveW)
+			if kept >= scanLimit {
+				break
+			}
+			continue
+		}
+		newMin := ^uint64(0)
+		wordPartial := false
+		// Deep sleepers (wake == schedAsleep) re-arm only via a dispatch
+		// prod, so the scan retains them by popcount — interleaved in age
+		// order with the awake entries so the scan-window accounting stays
+		// identical to the per-slot loop (their ^0 wake never lowers
+		// newMin, and their examination would be a pure skip).
+		deepPending := m.schedDeep[w] & liveW
+		if debugNoWake {
+			deepPending = 0
+		}
+		for bm := liveW &^ deepPending; bm != 0; bm &= bm - 1 {
+			b := bits.TrailingZeros64(bm)
+			if older := deepPending & (1<<uint(b) - 1); older != 0 {
+				kept += bits.OnesCount64(older)
+				// A dispatch at an earlier awake bit may have prodded one
+				// of these sleepers, giving it a finite wake (> now, so it
+				// needs no exam this cycle) that the exact-min update must
+				// see — the per-slot loop would have visited it here.
+				if prodded := older &^ m.schedDeep[w]; prodded != 0 {
+					for bm2 := prodded; bm2 != 0; bm2 &= bm2 - 1 {
+						slot2 := w<<6 | uint64(bits.TrailingZeros64(bm2))
+						if wk := m.schedRing[slot2].wake; wk < newMin {
+							newMin = wk
+						}
+					}
+				}
+				deepPending &^= older
+			}
+			if issued >= width || kept >= scanLimit {
+				// No more dispatch this cycle: retain the tail wholesale.
+				stopped = true
+				break
+			}
+			slot := w<<6 | uint64(b)
+			e := &m.schedRing[slot]
+			if e.wake > now && !debugNoWake {
+				kept++
+				if e.wake < newMin {
+					newMin = e.wake
+				}
 				continue
 			}
-			u.doneAt = now + uint64(res.Latency)
-			m.bookAccess(int(ref.tid), res, false)
-			if m.cfg.MachineClearPenalty > 0 {
-				t := &m.threads[ref.tid]
-				t.inflightLoads[t.loadRecPos&7] = loadRec{ref: ref, line: u.in.Addr &^ 63}
-				t.loadRecPos++
+			ref := e.ref
+			var u *uop
+			if !e.ready {
+				u = m.resolve(ref)
+				if u == nil || u.cancelled || u.issued {
+					// Stale (flushed) or already dispatched: drop the
+					// entry and release the window slot.
+					m.schedLive[w] &^= 1 << uint64(b)
+					m.threads[ref.tid].schedCount--
+					continue
+				}
+				if u.retryAt > now {
+					wk := u.readyAt
+					if u.retryAt > wk {
+						wk = u.retryAt
+					}
+					e.wake = wk
+					kept++
+					if wk < newMin {
+						newMin = wk
+					}
+					continue
+				}
+				if ready, deep := m.uopReady(u, ref, now); !ready {
+					// Not ready: sleep until the memoised bound — or,
+					// when every outstanding producer will prod this
+					// entry on dispatch, without any bound at all. A
+					// false uopReady always leaves readyAt > now, and in
+					// between the per-slot loop's examination was a
+					// no-op, so the skip is timing-exact.
+					wk := u.readyAt
+					if deep {
+						wk = schedAsleep
+						m.schedDeep[w] |= 1 << uint64(b)
+					}
+					e.wake = wk
+					kept++
+					if wk < newMin {
+						newMin = wk
+					}
+					continue
+				}
+				e.ready = true
 			}
-		} else if u.in.Op == isa.Prefetch {
-			// Non-binding software prefetch: the fill starts (or the hint
-			// is dropped when the MSHR file is full) but the µop itself
-			// completes at address-generation latency — it never blocks.
-			res := m.hier.Access(now, int(ref.tid), u.in.Addr, false, u.in.Tag)
-			if !res.Retry {
-				m.bookAccess(int(ref.tid), res, false)
+			if m.portBlockedAt[e.op] == now+1 {
+				// A same-class candidate already found the ports
+				// exhausted this cycle; reuse its wake bound.
+				wk := m.portBlockedWake[e.op]
+				e.wake = wk
+				kept++
+				if wk < newMin {
+					newMin = wk
+				}
+				if !m.schedWordMixed[w] {
+					// Opcode-uniform word: every remaining candidate
+					// hits the same exhausted port class (ready or not,
+					// none can dispatch this cycle), so retain the
+					// remainder wholesale — the unvisited awake bits and
+					// the still-pending deep sleepers. Skipped
+					// examinations are pure memo updates — timing-exact
+					// to defer.
+					kept += bits.OnesCount64(bm&(bm-1)) + bits.OnesCount64(deepPending)
+					wordPartial = true
+					break
+				}
+				continue
 			}
-			u.doneAt = now + uint64(isa.SpecOf(isa.Prefetch).Latency)
-		} else {
-			u.doneAt = now + uint64(isa.SpecOf(u.in.Op).Latency)
-		}
+			port, unit, cost, ok := m.pickPort(e.op, portBudget[:], now)
+			if !ok {
+				// Port-starved: probe again next time a candidate unit
+				// can be free. A cached-ready entry reaches this point
+				// without touching the ROB at all.
+				wk := m.nextPortFree(e.op, now)
+				m.portBlockedAt[e.op] = now + 1
+				m.portBlockedWake[e.op] = wk
+				e.wake = wk
+				kept++
+				if wk < newMin {
+					newMin = wk
+				}
+				if !m.schedWordMixed[w] {
+					kept += bits.OnesCount64(bm&(bm-1)) + bits.OnesCount64(deepPending)
+					wordPartial = true
+					break
+				}
+				continue
+			}
+			if u == nil {
+				u = m.resolve(ref)
+			}
 
-		u.issued = true
-		u.issueAt = now
-		u.port, u.unit = port, unit
-		if rec := isa.SpecOf(u.in.Op).Recurrence; rec > 1 {
-			m.unitNextFree[unit] = now + uint64(rec)
+			if u.in.Op == isa.Load {
+				res := m.hier.Access(now, int(ref.tid), u.in.Addr, false, u.in.Tag)
+				if res.Retry {
+					// MSHR file full: the load replays later. The issue
+					// slot and port bandwidth are consumed regardless.
+					u.retryAt = now + uint64(m.cfg.RetryDelay)
+					m.ctr.Inc(perfmon.ReplayedUops, int(ref.tid))
+					portBudget[port] -= cost
+					issued++
+					e.wake = u.retryAt
+					kept++
+					if e.wake < newMin {
+						newMin = e.wake
+					}
+					continue
+				}
+				u.doneAt = now + uint64(res.Latency)
+				m.bookAccess(int(ref.tid), res, false)
+				if m.cfg.MachineClearPenalty > 0 {
+					t := &m.threads[ref.tid]
+					t.inflightLoads[t.loadRecPos&7] = loadRec{ref: ref, line: u.in.Addr &^ 63}
+					t.loadRecPos++
+				}
+			} else if u.in.Op == isa.Prefetch {
+				// Non-binding software prefetch: the fill starts (or the
+				// hint is dropped when the MSHR file is full) but the µop
+				// itself completes at address-generation latency — it
+				// never blocks.
+				res := m.hier.Access(now, int(ref.tid), u.in.Addr, false, u.in.Tag)
+				if !res.Retry {
+					m.bookAccess(int(ref.tid), res, false)
+				}
+				u.doneAt = now + uint64(isa.SpecOf(isa.Prefetch).Latency)
+			} else {
+				u.doneAt = now + opLatency[u.in.Op]
+			}
+
+			u.issued = true
+			u.issueAt = now
+			u.port, u.unit = port, unit
+			if rec := opRecurrence[e.op]; rec > 1 {
+				m.unitNextFree[unit] = now + rec
+			}
+			portBudget[port] -= cost
+			issued++
+			issuedBy[ref.tid]++
+			m.schedLive[w] &^= 1 << uint64(b)
+			m.threads[ref.tid].schedCount--
+			if u.nCons != 0 {
+				m.prodConsumers(u)
+			}
 		}
-		portBudget[port] -= cost
-		issued++
-		m.ctr.Inc(perfmon.IssuedUops, int(ref.tid))
-		m.threads[ref.tid].schedCount--
+		if !stopped && !wordPartial && deepPending != 0 {
+			// Deep sleepers younger than the last examined awake entry
+			// still occupy scan-window slots.
+			kept += bits.OnesCount64(deepPending)
+			// A dispatch above may have prodded a younger deep sleeper in
+			// this same word, giving it a finite wake the exact-min update
+			// below must see (the per-slot loop would have visited it).
+			if prodded := deepPending &^ m.schedDeep[w]; prodded != 0 {
+				for bm := prodded; bm != 0; bm &= bm - 1 {
+					slot := w<<6 | uint64(bits.TrailingZeros64(bm))
+					if wk := m.schedRing[slot].wake; wk < newMin {
+						newMin = wk
+					}
+				}
+			}
+		}
+		switch {
+		case wordPartial:
+			// The retained remainder may hold entries with wake bounds at
+			// or below now; re-examine the word next cycle.
+			if newMin > now+1 {
+				newMin = now + 1
+			}
+			m.schedMin[w] = newMin
+			if kept >= scanLimit {
+				stopped = true
+			}
+		case !stopped:
+			// The whole word was examined: its minimum wake is now exact.
+			// On an early stop the stale (lower) bound stays — wakes only
+			// rise, so it remains a valid lower bound.
+			m.schedMin[w] = newMin
+		}
 	}
-	m.sched = kept
+
+	for tid, n := range issuedBy {
+		if n != 0 {
+			m.ctr.Add(perfmon.IssuedUops, tid, n)
+		}
+	}
+
+	// Advance past leading holes so the span — and compaction pressure —
+	// tracks the live window. Amortised O(1): head only moves forward.
+	for m.schedHead < m.schedTail {
+		slot := m.schedHead & mask
+		if m.schedLive[slot>>6]&(1<<(slot&63)) != 0 {
+			break
+		}
+		m.schedHead++
+	}
 }
+
+// Dependence examination outcomes beyond plain settled/unsettled, used to
+// decide whether an unready µop may sleep until prodded rather than poll.
+const (
+	depDone     = iota // settled: producer complete or gone
+	depPending         // issued; completion bound folded into readyAt
+	depWillProd        // unissued, registered: producer dispatch will prod
+	depPoll            // unissued, unregistered: consumer must poll
+)
 
 // uopReady reports whether all dataflow dependences of u are satisfied.
 // Satisfied references are cleared and producer completion times memoised
 // in readyAt, so the per-cycle scheduler scan degenerates to a single
-// comparison for most waiting µops.
-func (m *Machine) uopReady(u *uop, now uint64) bool {
+// comparison for most waiting µops. deep reports that an unready µop may
+// sleep without a finite wake bound: at least one outstanding producer is
+// registered to prod it on dispatch, and none requires polling — pending
+// (already-issued) producers are safe to oversleep because their
+// completion is folded into readyAt, which every future prod honours.
+func (m *Machine) uopReady(u *uop, ref uopRef, now uint64) (ready, deep bool) {
 	if u.readyAt > now {
-		return false
+		return false, false
 	}
-	ok := true
+	ready = true
+	willProd, poll := false, false
 	if u.dep1.gen != 0 {
-		if m.depSettled(&u.dep1, u, now) {
+		switch m.depSettled(&u.dep1, u, ref, 1, now) {
+		case depDone:
 			u.dep1 = uopRef{}
-		} else {
-			ok = false
+		case depWillProd:
+			ready, willProd = false, true
+		case depPoll:
+			ready, poll = false, true
+		default:
+			ready = false
 		}
 	}
 	if u.dep2.gen != 0 {
-		if m.depSettled(&u.dep2, u, now) {
+		switch m.depSettled(&u.dep2, u, ref, 2, now) {
+		case depDone:
 			u.dep2 = uopRef{}
-		} else {
-			ok = false
+		case depWillProd:
+			ready, willProd = false, true
+		case depPoll:
+			ready, poll = false, true
+		default:
+			ready = false
 		}
 	}
 	if u.depW.gen != 0 {
-		if m.depSettled(&u.depW, u, now) {
+		switch m.depSettled(&u.depW, u, ref, 4, now) {
+		case depDone:
 			u.depW = uopRef{}
-		} else {
-			ok = false
+		case depWillProd:
+			ready, willProd = false, true
+		case depPoll:
+			ready, poll = false, true
+		default:
+			ready = false
 		}
 	}
-	return ok
+	return ready, willProd && !poll
 }
 
-// depSettled reports whether the dependence *r is complete at now; when the
-// producer has issued but not completed, the consumer's readyAt advances to
-// the producer's completion time.
-func (m *Machine) depSettled(r *uopRef, consumer *uop, now uint64) bool {
+// depSettled examines the dependence *r at cycle now, advancing the
+// consumer's readyAt to the best known completion bound and registering
+// the consumer for a dispatch prod when the producer has room.
+func (m *Machine) depSettled(r *uopRef, consumer *uop, consRef uopRef, bit uint8, now uint64) int {
 	p := m.resolve(*r)
 	if p == nil || p.cancelled {
-		return true
+		return depDone
 	}
 	if !p.issued {
-		// The scan is oldest-first and single-pass: a producer that has
-		// not issued by the time its consumer is examined cannot issue
-		// until next cycle, so with ≥1-cycle latency the consumer cannot
-		// be ready before now+2. Memoising this halves dependence walks
-		// without altering timing.
-		if now+2 > consumer.readyAt {
-			consumer.readyAt = now + 2
+		if b := unissuedBound(p, now); b > consumer.readyAt {
+			consumer.readyAt = b
 		}
-		return false
+		if consumer.regBits&bit == 0 {
+			if int(p.nCons) == len(p.cons) {
+				return depPoll
+			}
+			p.cons[p.nCons] = consRef
+			p.nCons++
+			consumer.regBits |= bit
+		}
+		return depWillProd
 	}
 	if p.doneAt <= now {
-		return true
+		return depDone
 	}
 	if p.doneAt > consumer.readyAt {
 		consumer.readyAt = p.doneAt
 	}
-	return false
+	return depPending
 }
 
-// pickPort selects an issue port for u honouring per-cycle half-slot
-// budgets and unit initiation intervals. cost is 1 half-slot for
-// double-speed ALU µops, 2 (the full port) otherwise.
-func (m *Machine) pickPort(u *uop, portBudget []int, now uint64) (isa.Port, isa.Unit, int, bool) {
-	spec := isa.SpecOf(u.in.Op)
-	for _, p := range spec.Ports {
-		unit := spec.UnitFor[p]
-		cost := 1
-		if isa.PortWidth(p, unit) < 2 {
-			cost = 2
-		}
-		if portBudget[p] < cost {
+// prodConsumers wakes the registered consumers of a µop that just
+// dispatched: each gets its readyAt raised to the producer's completion
+// time and its scheduler entry re-armed to examine at that cycle. The
+// slot is validated against the consumer's reference, so a recycled or
+// compacted ring can never be corrupted by a stale prod.
+func (m *Machine) prodConsumers(p *uop) {
+	for i := 0; i < int(p.nCons); i++ {
+		ref := p.cons[i]
+		c := m.resolve(ref)
+		if c == nil || c.cancelled || c.issued {
 			continue
 		}
-		if m.unitNextFree[unit] > now {
+		if p.doneAt > c.readyAt {
+			c.readyAt = p.doneAt
+		}
+		slot := uint64(c.schedSlot)
+		e := &m.schedRing[slot]
+		if e.ref == ref {
+			// readyAt is always a valid wake bound for an unissued µop,
+			// so set it unconditionally — raising a deep-asleep entry's
+			// sentinel down, or a stale-low poll bound up.
+			e.wake = c.readyAt
+			w := slot >> 6
+			m.schedDeep[w] &^= 1 << (slot & 63)
+			if c.readyAt < m.schedMin[w] {
+				m.schedMin[w] = c.readyAt
+			}
+		}
+	}
+	p.nCons = 0
+}
+
+// unissuedBound returns a lower bound on the completion time of the
+// unissued producer p as observed at cycle now: p cannot acquire a port
+// before max(now+1, readyAt, retryAt) — the issue scan is oldest-first
+// and single-pass, so a producer seen unissued cannot dispatch until the
+// next cycle — and completion follows no sooner than its fixed latency
+// (1 for loads, whose latency is decided by the cache at issue). The
+// bound lets a dependence chain sleep each consumer until the first
+// cycle its producer could possibly have finished, collapsing the
+// re-memoisation walks that otherwise recur every other cycle.
+// Cancellation cannot settle a dependence ahead of this bound: the only
+// cancellation path is the spin-exit flush, and spin µops are consumed
+// exclusively by other spin µops flushed in the same call.
+func unissuedBound(p *uop, now uint64) uint64 {
+	earliest := now + 1
+	if p.readyAt > earliest {
+		earliest = p.readyAt
+	}
+	if p.retryAt > earliest {
+		earliest = p.retryAt
+	}
+	lat := uint64(1)
+	if op := p.in.Op; op != isa.Load {
+		if l := opLatency[op]; l > 1 {
+			lat = l
+		}
+	}
+	return earliest + lat
+}
+
+// pickPort selects an issue port for a µop of opcode op honouring
+// per-cycle half-slot budgets and unit initiation intervals. cost is 1
+// half-slot for double-speed ALU µops, 2 (the full port) otherwise.
+func (m *Machine) pickPort(op isa.Op, portBudget []int, now uint64) (isa.Port, isa.Unit, int, bool) {
+	for _, c := range opPorts[op] {
+		if portBudget[c.port] < c.cost {
 			continue
 		}
-		return p, unit, cost, true
+		if m.unitNextFree[c.unit] > now {
+			continue
+		}
+		return c.port, c.unit, c.cost, true
 	}
 	return isa.PortNone, isa.UnitNone, 0, false
 }

@@ -98,8 +98,48 @@ type Machine struct {
 	cycle uint64
 	seq   uint64
 
-	sched        []uopRef
+	// The scheduler window is a power-of-two ring of generation-checked
+	// µop references in allocation-age order, indexed by the absolute
+	// counters schedHead/schedTail (slot = counter & mask). Occupancy is
+	// bit-packed: schedLive holds one bit per slot, scanned a uint64 word
+	// at a time with math/bits, and schedMin caches a per-word lower
+	// bound on the earliest wake cycle of the word's live entries, so the
+	// per-cycle select skips whole words of provably-sleeping µops with a
+	// single compare instead of a per-slot dependence walk. Wake bounds
+	// are scan-private bookkeeping (never serialized): a too-low bound
+	// only costs a harmless re-examination, never a timing change.
+	schedRing    []schedEntry
+	schedScratch []schedEntry
+	schedLive    []uint64
+	schedMin     []uint64
+	// schedDeep marks live entries whose wake bound is schedAsleep: they
+	// re-arm only via a producer's dispatch prod, so the scan retains
+	// them wholesale by popcount (in age order, interleaved with the
+	// awake entries) instead of visiting each bit.
+	schedDeep []uint64
+	schedHead uint64
+	schedTail uint64
+
+	// schedWordOp/schedWordMixed summarise the opcodes of each bitmap
+	// word's live entries: while a word stays opcode-uniform (the common
+	// case for the paper's homogeneous streams), a port-exhaustion memo
+	// hit lets the scan retain the word's whole remainder with one
+	// popcount instead of visiting every ready-but-starved entry.
+	// Mixedness is sticky until the word empties or compaction rebuilds.
+	schedWordOp    []isa.Op
+	schedWordMixed []bool
+
 	unitNextFree [isa.NumUnits]uint64
+
+	// Per-cycle port-starvation memo keyed by opcode: when pickPort has
+	// already failed for an opcode this cycle (portBlockedAt[op] ==
+	// cycle+1), every later same-class candidate fails too — budgets
+	// only decrease and initiation intervals only grow within a cycle —
+	// so the scan reuses the recorded wake bound without re-probing.
+	// Cleared by schedReset: a restore may rewind the cycle counter,
+	// which would otherwise let a stale marker collide.
+	portBlockedAt   [isa.NumOps]uint64
+	portBlockedWake [isa.NumOps]uint64
 
 	// cellWait attributes wait cycles (spinning, draining-to-halt or
 	// halted) to the synchronisation cell being awaited — the
@@ -110,10 +150,37 @@ type Machine struct {
 
 	onRetire func(RetireInfo)
 	onCycle  func()
+	// armed packs the observer arming state into one plain byte so the
+	// disarmed hot path is a single predictable branch on an immediate
+	// test (the faultinject.Hit pattern) instead of func-value compares
+	// against nil on every cycle and every retirement.
+	armed uint8
+
+	// ff enables the event-driven fast-forward in RunPausable (see
+	// fastforward.go). On by default; SetFastForward(false) forces the
+	// machine to step every cycle.
+	ff bool
+	// ffNextTry suppresses re-attempting a failed fast-forward until the
+	// given cycle: a machine that could make progress this cycle usually
+	// still can next cycle, and skipping the attempt is always correct —
+	// the slow path is exact. Not serialized; purely a scan throttle.
+	ffNextTry uint64
+
+	// Partition limits for the current cycle, refreshed after housekeep
+	// (the only stage that changes runnable/halted state) so the
+	// allocator's repeated occupancy probes avoid re-deriving the
+	// dual-thread mode on every µop.
+	limROB, limSched, limLDQ, limSTQ int
 
 	// lastRetireCycle backs the deadlock watchdog.
 	lastRetireCycle uint64
 }
+
+// Observer arming bits in Machine.armed.
+const (
+	armRetire uint8 = 1 << iota
+	armCycle
+)
 
 // New builds a machine; it panics on invalid configuration (construction-
 // time programming error).
@@ -126,7 +193,28 @@ func New(cfg Config) *Machine {
 		hier:     mem.NewHierarchy(cfg.Mem),
 		cells:    make(map[isa.Cell]int64),
 		cellWait: make(map[isa.Cell]uint64),
-		sched:    make([]uopRef, 0, cfg.SchedWindow),
+		ff:       true,
+	}
+	// Ring capacity: up to 2×SchedWindow entries can be live (the
+	// NoStaticPartition ablation un-halves the per-context limit), and
+	// issued/flushed entries leave age-ordered holes until the head
+	// passes them, so double again for slack — compaction then triggers
+	// only when at least half the span is holes. The floor of 128 keeps
+	// the compaction threshold (capacity minus one bitmap word; see
+	// schedInsert) at or above the live bound for small windows.
+	schedCap := 128
+	for schedCap < 4*cfg.SchedWindow {
+		schedCap <<= 1
+	}
+	m.schedRing = make([]schedEntry, schedCap)
+	m.schedScratch = make([]schedEntry, schedCap)
+	m.schedLive = make([]uint64, schedCap/64)
+	m.schedMin = make([]uint64, schedCap/64)
+	m.schedDeep = make([]uint64, schedCap/64)
+	m.schedWordOp = make([]isa.Op, schedCap/64)
+	m.schedWordMixed = make([]bool, schedCap/64)
+	for i := range m.schedMin {
+		m.schedMin[i] = ^uint64(0)
 	}
 	for i := range m.threads {
 		m.threads[i] = thread{id: i, rob: newROB(cfg.ROB)}
@@ -149,11 +237,18 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // LoadProgram binds program p to logical processor tid. It must be called
 // before the first Step for that context.
 func (m *Machine) LoadProgram(tid int, p trace.Program) {
+	m.LoadStream(tid, trace.NewStream(p))
+}
+
+// LoadStream binds an already-constructed instruction stream to logical
+// processor tid — the entry point for slice-backed loop streams
+// (trace.NewLoop), which bypass the generator goroutine entirely.
+func (m *Machine) LoadStream(tid int, s *trace.Stream) {
 	t := m.thread(tid)
 	if t.started {
 		panic(fmt.Sprintf("smt: context %d already has a program", tid))
 	}
-	t.stream = trace.NewStream(p)
+	t.stream = s
 	t.started = true
 }
 
@@ -172,7 +267,14 @@ func (m *Machine) CellValue(c isa.Cell) int64 { return m.cells[c] }
 
 // OnRetire installs the retirement observer (profiling hook). A nil fn
 // removes it.
-func (m *Machine) OnRetire(fn func(RetireInfo)) { m.onRetire = fn }
+func (m *Machine) OnRetire(fn func(RetireInfo)) {
+	m.onRetire = fn
+	if fn != nil {
+		m.armed |= armRetire
+	} else {
+		m.armed &^= armRetire
+	}
+}
 
 // RetireObserver returns the installed retirement observer (nil when
 // absent), so external instruments can chain to it instead of
@@ -187,9 +289,27 @@ func (m *Machine) CycleObserver() func() { return m.onCycle }
 // Step after the cycle's counters are booked but before the cycle number
 // advances — OccState() read from the hook is consistent with the
 // perfmon accounting of that cycle. A nil fn removes it. The hook is the
-// substrate of the occupancy sampler (internal/obs); it costs one nil
-// check per cycle when absent.
-func (m *Machine) OnCycle(fn func()) { m.onCycle = fn }
+// substrate of the occupancy sampler (internal/obs); it costs one
+// armed-bit test per cycle when absent. An armed cycle observer also
+// disables the event-driven fast-forward — the hook's contract is one
+// call per simulated cycle.
+func (m *Machine) OnCycle(fn func()) {
+	m.onCycle = fn
+	if fn != nil {
+		m.armed |= armCycle
+	} else {
+		m.armed &^= armCycle
+	}
+}
+
+// SetFastForward enables or disables the event-driven cycle skip in
+// RunPausable. The skip is timing- and counter-exact (see fastforward.go),
+// so the toggle exists for differential testing and benchmarking, not
+// correctness.
+func (m *Machine) SetFastForward(on bool) { m.ff = on }
+
+// FastForward reports whether the event-driven cycle skip is enabled.
+func (m *Machine) FastForward() bool { return m.ff }
 
 // OccState is a read-only per-cycle view of the shared and partitioned
 // pipeline resources — the dynamic counterpart of the paper's static
@@ -298,11 +418,15 @@ func (m *Machine) cellHolds(in isa.Instr) bool {
 // one-cycle delay.
 func (m *Machine) Step() {
 	m.housekeep()
+	m.limROB = m.limit(m.cfg.ROB)
+	m.limSched = m.limit(m.cfg.SchedWindow)
+	m.limLDQ = m.limit(m.cfg.LoadQ)
+	m.limSTQ = m.limit(m.cfg.StoreQ)
 	m.retire()
 	m.issue()
 	m.allocate()
 	m.account()
-	if m.onCycle != nil {
+	if m.armed&armCycle != 0 {
 		m.onCycle()
 	}
 	m.cycle++
@@ -316,15 +440,17 @@ func (m *Machine) housekeep() {
 		t := &m.threads[i]
 
 		// Release drained store-buffer entries.
-		kept := t.stqFree[:0]
-		for _, at := range t.stqFree {
-			if at <= now {
-				t.stq--
-			} else {
-				kept = append(kept, at)
+		if len(t.stqFree) != 0 {
+			kept := t.stqFree[:0]
+			for _, at := range t.stqFree {
+				if at <= now {
+					t.stq--
+				} else {
+					kept = append(kept, at)
+				}
 			}
+			t.stqFree = kept
 		}
-		t.stqFree = kept
 
 		// A halting context becomes halted once its pipeline drains;
 		// its partitioned resources recombine for the sibling.

@@ -1,0 +1,39 @@
+package smt
+
+import "smtexplore/internal/isa"
+
+// Flattened per-opcode execution tables. isa.SpecOf returns the full Spec
+// struct by value (ports slice, port→unit table, latencies) — fine for
+// construction-time code, but the issue stage consults latency,
+// recurrence and port candidates on every dispatch and every dependence
+// examination, so the hot loops read these precomputed arrays instead.
+var (
+	opLatency    [isa.NumOps]uint64
+	opRecurrence [isa.NumOps]uint64
+	opPorts      [isa.NumOps][]portCand
+)
+
+// portCand is one (port, unit, cost) issue choice for an opcode, in
+// spec order. cost is in half-slots: 1 for double-speed ALU µops, 2 (the
+// whole port) otherwise.
+type portCand struct {
+	port isa.Port
+	unit isa.Unit
+	cost int
+}
+
+func init() {
+	for op := 0; op < isa.NumOps; op++ {
+		spec := isa.SpecOf(isa.Op(op))
+		opLatency[op] = uint64(spec.Latency)
+		opRecurrence[op] = uint64(spec.Recurrence)
+		for _, p := range spec.Ports {
+			unit := spec.UnitFor[p]
+			cost := 1
+			if isa.PortWidth(p, unit) < 2 {
+				cost = 2
+			}
+			opPorts[op] = append(opPorts[op], portCand{port: p, unit: unit, cost: cost})
+		}
+	}
+}

@@ -17,6 +17,7 @@ func (m *Machine) retire() {
 	first := int(m.cycle % NumContexts)
 	for k := 0; k < NumContexts && budget > 0; k++ {
 		t := &m.threads[(first+k)%NumContexts]
+		var uops, spin, instr, pause uint64
 		for budget > 0 {
 			u := t.rob.peek()
 			if u == nil || !u.issued || u.doneAt > now {
@@ -42,9 +43,49 @@ func (m *Machine) retire() {
 			if u.in.Op == isa.Load {
 				t.ldq--
 			}
-			m.bookRetire(t, u, now)
+			uops++
+			if u.spin {
+				spin++
+			} else {
+				instr++
+				// Only program µops count as forward progress: a spin
+				// loop on a never-satisfied cell retires µops forever
+				// without progressing, and the deadlock watchdog must
+				// still fire for it.
+				m.lastRetireCycle = now
+			}
+			if u.in.Op == isa.Pause {
+				pause++
+			}
+			if m.armed&armRetire != 0 {
+				// An armed observer may read the counters mid-cycle (e.g.
+				// snapshotting at a tagged retirement), so the batched
+				// deltas must be visible before it runs — flush them and
+				// reset the accumulators.
+				m.ctr.Add(perfmon.UopsRetired, t.id, uops)
+				m.ctr.Add(perfmon.InstrRetired, t.id, instr)
+				m.ctr.Add(perfmon.SpinUopsRetired, t.id, spin)
+				m.ctr.Add(perfmon.PauseUopsRetired, t.id, pause)
+				uops, spin, instr, pause = 0, 0, 0, 0
+				m.onRetire(RetireInfo{
+					Tid: t.id, Instr: u.in, Unit: u.unit, Spin: u.spin, Cycle: now,
+					AllocCycle: u.allocAt, IssueCycle: u.issueAt, CompleteCycle: u.doneAt,
+				})
+			}
 			t.rob.pop()
 			budget--
+		}
+		if uops != 0 {
+			m.ctr.Add(perfmon.UopsRetired, t.id, uops)
+			if instr != 0 {
+				m.ctr.Add(perfmon.InstrRetired, t.id, instr)
+			}
+			if spin != 0 {
+				m.ctr.Add(perfmon.SpinUopsRetired, t.id, spin)
+			}
+			if pause != 0 {
+				m.ctr.Add(perfmon.PauseUopsRetired, t.id, pause)
+			}
 		}
 	}
 }
@@ -88,28 +129,5 @@ func (m *Machine) machineClearCheck(tid int, line uint64, now uint64) {
 		}
 		m.ctr.Inc(perfmon.MachineClears, sib.id)
 		m.ctr.Add(perfmon.MachineClearCycles, sib.id, uint64(m.cfg.MachineClearPenalty))
-	}
-}
-
-// bookRetire updates counters and fires the profiling observer.
-func (m *Machine) bookRetire(t *thread, u *uop, now uint64) {
-	m.ctr.Inc(perfmon.UopsRetired, t.id)
-	if u.spin {
-		m.ctr.Inc(perfmon.SpinUopsRetired, t.id)
-	} else {
-		m.ctr.Inc(perfmon.InstrRetired, t.id)
-		// Only program µops count as forward progress: a spin loop on a
-		// never-satisfied cell retires µops forever without progressing,
-		// and the deadlock watchdog must still fire for it.
-		m.lastRetireCycle = now
-	}
-	if u.in.Op == isa.Pause {
-		m.ctr.Inc(perfmon.PauseUopsRetired, t.id)
-	}
-	if m.onRetire != nil {
-		m.onRetire(RetireInfo{
-			Tid: t.id, Instr: u.in, Unit: u.unit, Spin: u.spin, Cycle: now,
-			AllocCycle: u.allocAt, IssueCycle: u.issueAt, CompleteCycle: u.doneAt,
-		})
 	}
 }

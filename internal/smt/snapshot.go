@@ -167,11 +167,11 @@ func (m *Machine) Snapshot() *Snapshot {
 			s.CellWait[k] = v
 		}
 	}
-	if len(m.sched) > 0 {
-		s.Sched = make([]SnapRef, len(m.sched))
-		for i, r := range m.sched {
-			s.Sched[i] = snapRef(r)
-		}
+	if n := m.schedLen(); n > 0 {
+		s.Sched = make([]SnapRef, 0, n)
+		m.schedEach(func(e schedEntry) {
+			s.Sched = append(s.Sched, snapRef(e.ref))
+		})
 	}
 	for i := range m.threads {
 		t := &m.threads[i]
@@ -240,10 +240,8 @@ func (m *Machine) Restore(s *Snapshot) error {
 		if t.stream.Generated != 0 {
 			return fmt.Errorf("smt: restore context %d: stream already consumed %d instructions (machine not fresh)", i, t.stream.Generated)
 		}
-		for n := uint64(0); n < ts.StreamGenerated; n++ {
-			if _, ok := t.stream.Next(); !ok {
-				return fmt.Errorf("smt: restore context %d: program ended after %d instructions, snapshot consumed %d (program mismatch)", i, n, ts.StreamGenerated)
-			}
+		if n := t.stream.Skip(ts.StreamGenerated); n != ts.StreamGenerated {
+			return fmt.Errorf("smt: restore context %d: program ended after %d instructions, snapshot consumed %d (program mismatch)", i, n, ts.StreamGenerated)
 		}
 		if ts.StreamDone {
 			t.stream.Close()
@@ -287,9 +285,14 @@ func (m *Machine) Restore(s *Snapshot) error {
 	for k, v := range s.CellWait {
 		m.cellWait[k] = v
 	}
-	m.sched = m.sched[:0]
+	m.schedReset()
 	for _, r := range s.Sched {
-		m.sched = append(m.sched, r.ref())
+		ref := r.ref()
+		var op isa.Op
+		if u := m.resolve(ref); u != nil {
+			op = u.in.Op
+		}
+		m.schedInsert(ref, op, 0)
 	}
 	m.unitNextFree = s.UnitNextFree
 	m.lastRetireCycle = s.LastRetire
@@ -325,6 +328,26 @@ func (m *Machine) RunPausable(maxCycles, pauseEvery uint64, pause func() bool) (
 		}
 		if m.cycle-m.lastRetireCycle > deadlockWindow {
 			return RunResult{Cycles: m.cycle - start}, fmt.Errorf("%w at cycle %d", ErrDeadlock, m.cycle)
+		}
+		if m.ff && m.armed&armCycle == 0 && !debugNoWake && m.cycle >= m.ffNextTry {
+			// Event-driven skip over quiet cycles (fastforward.go),
+			// clamped so every loop condition above re-fires on the
+			// exact cycle it would have under per-cycle stepping.
+			bound := m.lastRetireCycle + deadlockWindow + 1
+			if maxCycles != 0 && start+maxCycles < bound {
+				bound = start + maxCycles
+			}
+			if nextPause != 0 && nextPause < bound {
+				bound = nextPause
+			}
+			if m.ffSkip(bound) {
+				continue
+			}
+			// A busy machine stays busy: throttle the next attempt so a
+			// saturated pipeline doesn't pay the quiescence probe every
+			// cycle. Worst case a quiet span starts up to 15 cycles late
+			// and is stepped exactly by the slow path — never skipped.
+			m.ffNextTry = m.cycle + 16
 		}
 		m.Step()
 	}

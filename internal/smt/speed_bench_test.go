@@ -10,11 +10,103 @@ import (
 
 func BenchmarkSimRate(b *testing.B) {
 	m := New(testConfig())
+	defer m.Close()
 	m.LoadProgram(0, trace.Forever(chainProg(isa.FAdd, 1024, 6)))
 	m.LoadProgram(1, trace.Forever(chainProg(isa.FMul, 1024, 6)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := m.Run(uint64(b.N)); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(m.Counters().Total(perfmon.UopsRetired))/float64(b.N), "uops/cycle")
+}
+
+// loadChainBody is one pass of a dependent load chain striding line by
+// line through a region far larger than the L2: every hop misses, so the
+// machine spends long spans with nothing to do but wait — the fast-
+// forward path's best case and the issue scan's worst.
+func loadChainBody(base uint64, sizeBytes int) trace.Program {
+	lines := sizeBytes / 64
+	return trace.Generate(func(e *trace.Emitter) {
+		for i := 0; i < lines && !e.Stopped(); i++ {
+			e.Emit(isa.Instr{Op: isa.Load, Dst: isa.R(1), Src1: isa.R(1),
+				Addr: base + uint64(i)*64})
+		}
+	})
+}
+
+// benchCycles drives m for b.N cycles and reports the retire rate.
+func benchCycles(b *testing.B, m *Machine) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := m.Run(uint64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.Counters().Total(perfmon.UopsRetired))/float64(b.N), "uops/cycle")
+}
+
+// BenchmarkStepCompute measures the per-cycle stepping cost on a compute-
+// bound ILP-6 chain with one and with two hardware contexts.
+func BenchmarkStepCompute(b *testing.B) {
+	b.Run("ctx=1", func(b *testing.B) {
+		m := New(testConfig())
+		defer m.Close()
+		m.LoadProgram(0, trace.Forever(chainProg(isa.FAdd, 1024, 6)))
+		benchCycles(b, m)
+	})
+	b.Run("ctx=2", func(b *testing.B) {
+		m := New(testConfig())
+		defer m.Close()
+		m.LoadProgram(0, trace.Forever(chainProg(isa.FAdd, 1024, 6)))
+		m.LoadProgram(1, trace.Forever(chainProg(isa.IAdd, 1024, 6)))
+		benchCycles(b, m)
+	})
+}
+
+// BenchmarkStepObserver compares the disarmed observer fast path (one
+// predictable flag test per cycle) against armed no-op per-cycle and
+// per-retire hooks, which force the exact slow path.
+func BenchmarkStepObserver(b *testing.B) {
+	mk := func() *Machine {
+		m := New(testConfig())
+		m.LoadProgram(0, trace.Forever(chainProg(isa.FAdd, 1024, 6)))
+		m.LoadProgram(1, trace.Forever(chainProg(isa.IAdd, 1024, 6)))
+		return m
+	}
+	b.Run("disarmed", func(b *testing.B) {
+		m := mk()
+		defer m.Close()
+		benchCycles(b, m)
+	})
+	b.Run("armed=cycle", func(b *testing.B) {
+		m := mk()
+		defer m.Close()
+		m.OnCycle(func() {})
+		benchCycles(b, m)
+	})
+	b.Run("armed=retire", func(b *testing.B) {
+		m := mk()
+		defer m.Close()
+		m.OnRetire(func(RetireInfo) {})
+		benchCycles(b, m)
+	})
+}
+
+// BenchmarkStepMemBound measures a miss-dominated dependent load chain
+// with the event-driven fast-forward off and on: with it on, the long
+// quiet spans between fills collapse into single skips.
+func BenchmarkStepMemBound(b *testing.B) {
+	for _, ff := range []struct {
+		name string
+		on   bool
+	}{{"ff=off", false}, {"ff=on", true}} {
+		b.Run(ff.name, func(b *testing.B) {
+			m := New(testConfig())
+			defer m.Close()
+			m.SetFastForward(ff.on)
+			m.LoadProgram(0, trace.Forever(loadChainBody(0x4000_0000, 8<<20)))
+			benchCycles(b, m)
+		})
+	}
 }

@@ -1,0 +1,70 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+
+	"smtexplore/internal/kernels"
+	"smtexplore/internal/kernels/mm"
+)
+
+// TestWakePruningParity locksteps two machines over the MM tlp-fine
+// kernel — one with wake-bound pruning (bitmap word skips, deep sleepers,
+// port-block memos), one examining every scheduler entry every cycle —
+// and requires identical occupancy and counters at every cycle. Pruning
+// is a pure scan optimisation; any divergence is a timing bug.
+func TestWakePruningParity(t *testing.T) {
+	mk := func() *Machine {
+		m := New(DefaultConfig())
+		k, err := mm.New(mm.DefaultConfig(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs, err := k.Programs(kernels.TLPPfetchWork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LoadProgram(0, progs[0])
+		if progs[1] != nil {
+			m.LoadProgram(1, progs[1])
+		}
+		return m
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	defer func() { debugNoWake = false }()
+	for c := 0; c < 200000; c++ {
+		if a.Done() && b.Done() {
+			break
+		}
+		debugNoWake = false
+		a.Step()
+		debugNoWake = true
+		b.Step()
+		debugNoWake = false
+		sa, sb := a.OccState(), b.OccState()
+		if sa != sb {
+			t.Fatalf("cycle %d: occupancy diverged\n  pruned:   %+v\n  per-slot: %+v\nsched(pruned)=%s\nsched(per-slot)=%s",
+				c, sa, sb, dumpSched(a), dumpSched(b))
+		}
+		ca, cb := a.Counters().Snapshot().Raw(), b.Counters().Snapshot().Raw()
+		if ca != cb {
+			t.Fatalf("cycle %d: counters diverged\n pruned=%v\n per-slot=%v", c, ca, cb)
+		}
+	}
+}
+
+func dumpSched(m *Machine) string {
+	out := ""
+	m.schedEach(func(e schedEntry) {
+		u := m.resolve(e.ref)
+		if u == nil {
+			out += fmt.Sprintf("[stale t%d wake=%d]", e.ref.tid, e.wake)
+			return
+		}
+		out += fmt.Sprintf("[t%d %v seq=%d wake=%d rdy=%d retry=%d canc=%v iss=%v]",
+			e.ref.tid, u.in.Op, u.seq, e.wake, u.readyAt, u.retryAt, u.cancelled, u.issued)
+	})
+	return out
+}

@@ -16,6 +16,7 @@ package streams
 
 import (
 	"fmt"
+	"sync"
 
 	"smtexplore/internal/isa"
 	"smtexplore/internal/trace"
@@ -161,6 +162,42 @@ func Build(s Spec) trace.Program {
 	default:
 		return buildArith(s, arithOp(s.Kind))
 	}
+}
+
+// Body returns one full period of the endless stream described by s: the
+// instruction sequence after which the stream repeats exactly (the
+// unrolled block for arithmetic streams, one whole private-vector walk
+// for memory streams). Collecting the period once lets the simulator
+// serve the stream from a slice instead of re-running the generator —
+// see Open.
+func Body(s Spec) []isa.Instr {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	period := uint64(unrollBody)
+	if s.Kind.IsMem() {
+		// The address pattern wraps after one vector walk.
+		period = VectorBytes / elemStride
+	}
+	return trace.Collect(trace.Limit(Build(s), period))
+}
+
+// bodyCache memoises Body per spec: the bodies are immutable (Stream
+// serves them by value), so co-executed and repeated cells share one
+// allocation — memory-stream periods are tens of thousands of
+// instructions.
+var bodyCache sync.Map // Spec → []isa.Instr
+
+// Open builds the endless instruction stream described by s as a
+// slice-backed loop stream, the fast equivalent of
+// trace.NewStream(Build(s)). Bodies are cached per spec and shared.
+func Open(s Spec) *trace.Stream {
+	if b, ok := bodyCache.Load(s); ok {
+		return trace.NewLoop(b.([]isa.Instr))
+	}
+	b := Body(s)
+	bodyCache.Store(s, b)
+	return trace.NewLoop(b)
 }
 
 // Validate reports specification errors.

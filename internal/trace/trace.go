@@ -23,12 +23,32 @@ import (
 // incurred on demand so arbitrarily long workloads run in constant memory.
 type Program = iter.Seq[isa.Instr]
 
+// streamBatch is how many instructions a Stream pulls from its generator
+// per coroutine switch. iter.Pull costs one goroutine round trip per
+// yield, which profiles as ~15% of simulation time when paid per
+// instruction; batching amortises it to one switch per streamBatch µops
+// while keeping generation lazy at batch granularity.
+const streamBatch = 256
+
 // Stream adapts a Program to the pull interface used by the simulator
 // front end. Close must be called when the stream is abandoned before
 // exhaustion (e.g. a bounded measurement window).
 type Stream struct {
-	next func() (isa.Instr, bool)
+	next func() ([]isa.Instr, bool)
 	stop func()
+
+	// buf is the current batch on loan from the generator goroutine; the
+	// generator is suspended until the next pull, so reading (never
+	// retaining) it here is race-free even though the backing array is
+	// reused across batches.
+	buf []isa.Instr
+	pos int
+
+	// loop, when non-nil, is an endless cyclic program served straight
+	// from the slice (NewLoop): no generator goroutine, no per-batch
+	// hand-off — Next is an array index and a wrap test. buf/pos double
+	// as the cursor (buf == loop).
+	loop []isa.Instr
 
 	// Generated counts instructions pulled so far.
 	Generated uint64
@@ -37,22 +57,95 @@ type Stream struct {
 
 // NewStream starts pulling from p.
 func NewStream(p Program) *Stream {
-	next, stop := iter.Pull(p)
+	next, stop := iter.Pull(batches(p, streamBatch))
 	return &Stream{next: next, stop: stop}
+}
+
+// NewLoop builds the endless program that cycles through body, serving
+// instructions directly from the slice. It is observationally identical
+// to NewStream(Forever(<emit body>)) but removes the generator goroutine
+// and the per-instruction emit/validate path from the simulation loop —
+// the workload generators of this repository are all periodic, so their
+// streams collapse to one precomputed period. The body is validated here,
+// once, and must not be mutated afterwards (it may be shared across
+// streams).
+func NewLoop(body []isa.Instr) *Stream {
+	if len(body) == 0 {
+		panic("trace: NewLoop with empty body")
+	}
+	for _, in := range body {
+		if err := in.Validate(); err != nil {
+			panic(fmt.Sprintf("trace: invalid loop-body instruction: %v", err))
+		}
+	}
+	return &Stream{loop: body, buf: body}
+}
+
+// batches regroups p into slices of at most n instructions, reusing one
+// backing buffer. The buffer hand-off is safe under iter.Pull because the
+// generator only resumes — and overwrites the buffer — after the consumer
+// asks for the next batch.
+func batches(p Program, n int) iter.Seq[[]isa.Instr] {
+	return func(yield func([]isa.Instr) bool) {
+		buf := make([]isa.Instr, 0, n)
+		stopped := false
+		p(func(in isa.Instr) bool {
+			buf = append(buf, in)
+			if len(buf) == n {
+				if !yield(buf) {
+					stopped = true
+					return false
+				}
+				buf = buf[:0]
+			}
+			return true
+		})
+		if !stopped && len(buf) > 0 {
+			yield(buf)
+		}
+	}
 }
 
 // Next returns the next instruction, or ok=false at end of program.
 func (s *Stream) Next() (isa.Instr, bool) {
-	if s.done {
-		return isa.Instr{}, false
+	if s.pos >= len(s.buf) {
+		if s.loop != nil && !s.done {
+			s.pos = 0
+		} else {
+			if s.done {
+				return isa.Instr{}, false
+			}
+			b, ok := s.next()
+			if !ok {
+				s.done = true
+				return isa.Instr{}, false
+			}
+			s.buf, s.pos = b, 0
+		}
 	}
-	in, ok := s.next()
-	if !ok {
-		s.done = true
-		return isa.Instr{}, false
-	}
+	in := s.buf[s.pos]
+	s.pos++
 	s.Generated++
 	return in, true
+}
+
+// Skip advances the stream past n instructions, as if Next had been
+// called n times discarding the results (the snapshot-restore
+// fast-forward). Loop streams jump by modular arithmetic; generated
+// streams replay. It reports how many instructions were actually skipped
+// (short only when a finite program ends).
+func (s *Stream) Skip(n uint64) uint64 {
+	if s.loop != nil && !s.done {
+		s.pos = int((uint64(s.pos) + n) % uint64(len(s.loop)))
+		s.Generated += n
+		return n
+	}
+	for k := uint64(0); k < n; k++ {
+		if _, ok := s.Next(); !ok {
+			return k
+		}
+	}
+	return n
 }
 
 // Done reports whether the program is exhausted.
@@ -60,9 +153,8 @@ func (s *Stream) Done() bool { return s.done }
 
 // Close releases the generator. Safe to call multiple times.
 func (s *Stream) Close() {
-	if !s.done {
-		s.done = true
-	}
+	s.done = true
+	s.buf, s.pos, s.loop = nil, 0, nil
 	if s.stop != nil {
 		s.stop()
 		s.stop = nil
