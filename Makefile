@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,14 @@ service-smoke:
 # script).
 chaos-smoke:
 	./scripts/chaos-smoke.sh
+
+# Cluster smoke: a coordinator plus three -join workers on a shared
+# store. Asserts coordinator/CLI byte parity, a warm-restarted fleet
+# simulating zero cells, work stealing off an overloaded worker, and a
+# SIGKILL'd worker's kernel cell resuming from the shared checkpoint on
+# a survivor with a byte-identical result (CI runs the same script).
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # Sample observability bundle: a Perfetto-loadable pipeline trace, an
 # occupancy CSV and a metrics snapshot (CI uploads obs-sample/).

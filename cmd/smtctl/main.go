@@ -16,15 +16,22 @@
 //	smtctl wait j0001                        # stream events until terminal
 //	smtctl result j0001 [-cell 0] [-text]    # results (terminal jobs)
 //	smtctl cancel j0001                      # abort
+//	smtctl cluster                           # cluster topology (coordinators only)
+//
+// Every command works identically against a single smtd and a cluster
+// coordinator — the coordinator serves the same job API — except
+// cluster, which only a coordinator answers.
 //
 // wait exits 0 only when the job completed: a failed job prints the
 // failing cell's error and exits 1; a cancelled job prints the
 // cancellation and exits 3 — silence is never a masked failure.
+// SIGINT/SIGTERM cancel promptly, even mid-backoff during a retry wait.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -34,9 +41,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"smtexplore/internal/cluster"
 	"smtexplore/internal/service"
 )
 
@@ -55,7 +65,9 @@ var (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smtctl: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		switch {
 		case errors.Is(err, flag.ErrHelp):
 			os.Exit(0)
@@ -78,12 +90,12 @@ func usage(fs *flag.FlagSet, format string, v ...any) error {
 	return errUsage
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smtctl", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:8377", "smtd address (host:port)")
+	addr := fs.String("addr", "127.0.0.1:8377", "smtd or coordinator address (host:port)")
 	maxRetries := fs.Int("max-retries", 5, "retries for transient failures (429/502/503/504, dropped connections); 0 disables")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] submit|status|wait|result|cancel [args]")
+		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] submit|status|wait|result|cancel|cluster [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -96,7 +108,7 @@ func run(args []string, out io.Writer) error {
 	if len(rest) == 0 {
 		return usage(fs, "missing command")
 	}
-	c := client{base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries)}
+	c := client{ctx: ctx, base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries)}
 	switch rest[0] {
 	case "submit":
 		return c.submit(rest[1:])
@@ -108,14 +120,27 @@ func run(args []string, out io.Writer) error {
 		return c.result(rest[1:])
 	case "cancel":
 		return c.cancel(rest[1:])
+	case "cluster":
+		return c.cluster(rest[1:])
 	}
 	return usage(fs, "unknown command %q", rest[0])
 }
 
 type client struct {
+	ctx   context.Context
 	base  string
 	out   io.Writer
 	retry retrier
+}
+
+// get issues a ctx-bound GET so a signal cancels in-flight requests,
+// not just backoff waits.
+func (c client) get(path string) (*http.Response, error) {
+	hreq, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(hreq)
 }
 
 // apiError extracts the service's {"error": ...} body.
@@ -131,8 +156,8 @@ func apiError(resp *http.Response) error {
 }
 
 func (c client) getJSON(path string, v any) error {
-	resp, err := c.retry.do("get "+path, func() (*http.Response, error) {
-		return http.Get(c.base + path)
+	resp, err := c.retry.do(c.ctx, "get "+path, func() (*http.Response, error) {
+		return c.get(path)
 	})
 	if err != nil {
 		return err
@@ -222,8 +247,8 @@ func (c client) submit(args []string) error {
 	// submit reaches a daemon that already accepted the first attempt,
 	// the daemon hands back the live job instead of running it twice.
 	idemKey := fmt.Sprintf("%x", sha256.Sum256(body))
-	resp, err := c.retry.do("submit", func() (*http.Response, error) {
-		hreq, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	resp, err := c.retry.do(c.ctx, "submit", func() (*http.Response, error) {
+		hreq, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -295,8 +320,8 @@ func (c client) wait(args []string) error {
 	}
 	lastID := -1
 	for try := 0; ; try++ {
-		resp, err := c.retry.do("wait "+id, func() (*http.Response, error) {
-			hreq, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+		resp, err := c.retry.do(c.ctx, "wait "+id, func() (*http.Response, error) {
+			hreq, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 			if err != nil {
 				return nil, err
 			}
@@ -405,7 +430,7 @@ func (c client) result(args []string) error {
 	if *cell >= 0 {
 		path := fmt.Sprintf("/v1/jobs/%s/cells/%d/result", id, *cell)
 		if *text {
-			resp, err := http.Get(c.base + path + "?format=text")
+			resp, err := c.get(path + "?format=text")
 			if err != nil {
 				return err
 			}
@@ -444,8 +469,8 @@ func (c client) cancel(args []string) error {
 	}
 	// Cancelling an already-cancelled job is a no-op server-side, so the
 	// DELETE is safe to retry.
-	resp, err := c.retry.do("cancel "+id, func() (*http.Response, error) {
-		hreq, err := http.NewRequest(http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	resp, err := c.retry.do(c.ctx, "cancel "+id, func() (*http.Response, error) {
+		hreq, err := http.NewRequestWithContext(c.ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -463,5 +488,43 @@ func (c client) cancel(args []string) error {
 		return err
 	}
 	fmt.Fprintf(c.out, "%s %s\n", st.ID, st.State)
+	return nil
+}
+
+// cluster prints a coordinator's fleet topology: one line per worker
+// plus the routing counters. A plain smtd answers 404 here — the one
+// place the coordinator and daemon APIs differ.
+func (c client) cluster(args []string) error {
+	fs := flag.NewFlagSet("smtctl cluster", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw topology JSON")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
+	if fs.NArg() != 0 {
+		return usage(fs, "cluster takes no arguments")
+	}
+	var top cluster.Topology
+	if err := c.getJSON("/v1/cluster", &top); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(c.out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(top)
+	}
+	fmt.Fprintf(c.out, "%-12s %-21s %-6s %11s %12s\n", "worker", "addr", "alive", "outstanding", "qwait-ewma")
+	for _, w := range top.Workers {
+		alive := "yes"
+		if !w.Alive {
+			alive = "no"
+		}
+		fmt.Fprintf(c.out, "%-12s %-21s %-6s %11d %11.3fs\n",
+			w.Name, w.Addr, alive, w.Outstanding, w.QueueWaitEWMASeconds)
+	}
+	fmt.Fprintf(c.out, "live %d/%d · vnodes %d · forwarded %d · steals %d · recovered %d · lost %d\n",
+		top.Live, len(top.Workers), top.Vnodes, top.CellsForwarded, top.Steals, top.JobsRecovered, top.WorkersLost)
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http/httptest"
 	"os"
@@ -28,7 +29,7 @@ func startDaemon(t *testing.T, cfg service.Config) string {
 func ctl(t *testing.T, addr string, args ...string) (string, error) {
 	t.Helper()
 	var buf bytes.Buffer
-	err := run(append([]string{"-addr", addr}, args...), &buf)
+	err := run(context.Background(), append([]string{"-addr", addr}, args...), &buf)
 	return buf.String(), err
 }
 
@@ -153,7 +154,7 @@ func TestUsageErrors(t *testing.T) {
 		{"-no-such-flag"},
 	} {
 		var buf bytes.Buffer
-		if err := run(args, &buf); !errors.Is(err, errUsage) {
+		if err := run(context.Background(), args, &buf); !errors.Is(err, errUsage) {
 			t.Errorf("run(%q) = %v, want errUsage", args, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"log"
 	"math/rand/v2"
 	"net/http"
@@ -15,14 +16,29 @@ import (
 // could not persist the job — both explicitly safe to retry); anything
 // else is the caller's problem on the first try.
 type retrier struct {
-	max   int           // retries after the first attempt
-	base  time.Duration // first backoff step
-	cap   time.Duration // backoff ceiling
-	sleep func(time.Duration)
+	max  int           // retries after the first attempt
+	base time.Duration // first backoff step
+	cap  time.Duration // backoff ceiling
+	// sleep waits between attempts; the default aborts the wait the
+	// moment ctx is cancelled, so ^C interrupts a long mandated
+	// Retry-After instead of serving it out. Tests stub it.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 func newRetrier(max int) retrier {
-	return retrier{max: max, base: 200 * time.Millisecond, cap: 5 * time.Second, sleep: time.Sleep}
+	return retrier{max: max, base: 200 * time.Millisecond, cap: 5 * time.Second, sleep: sleepCtx}
+}
+
+// sleepCtx pauses for d or until ctx is cancelled, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // retryable reports whether the outcome is worth retrying and the
@@ -44,11 +60,12 @@ func retryable(resp *http.Response, err error) (bool, time.Duration) {
 	return false, 0
 }
 
-// do runs attempt until it yields a non-retryable outcome or the budget
-// is spent, logging each retry to stderr. The attempt closure must
-// build a fresh request every call (bodies are single-use). The caller
-// owns the final response's body; intermediate ones are closed here.
-func (r retrier) do(what string, attempt func() (*http.Response, error)) (*http.Response, error) {
+// do runs attempt until it yields a non-retryable outcome, the budget
+// is spent, or ctx is cancelled mid-backoff, logging each retry to
+// stderr. The attempt closure must build a fresh request every call
+// (bodies are single-use). The caller owns the final response's body;
+// intermediate ones are closed here.
+func (r retrier) do(ctx context.Context, what string, attempt func() (*http.Response, error)) (*http.Response, error) {
 	delay := r.base
 	for try := 0; ; try++ {
 		resp, err := attempt()
@@ -69,7 +86,11 @@ func (r retrier) do(what string, attempt func() (*http.Response, error)) (*http.
 			resp.Body.Close()
 			log.Printf("%s: %s; retrying in %s (%d/%d)", what, resp.Status, wait.Round(time.Millisecond), try+1, r.max)
 		}
-		r.sleep(wait)
+		if serr := r.sleep(ctx, wait); serr != nil {
+			// Cancelled mid-backoff: surface the cancellation, not the
+			// transient failure the retry would have papered over.
+			return nil, serr
+		}
 		if delay < r.cap {
 			delay *= 2
 			if delay > r.cap {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -35,13 +37,14 @@ func fakeAttempt(t *testing.T, codes []int, calls *int) func() (*http.Response, 
 }
 
 func TestRetrierBackoffAndOutcomes(t *testing.T) {
+	ctx := context.Background()
 	var slept []time.Duration
 	r := newRetrier(3)
-	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	r.sleep = func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }
 
 	// Transport error, then 503, then success: two retries, then done.
 	calls := 0
-	resp, err := r.do("x", fakeAttempt(t, []int{0, http.StatusServiceUnavailable, http.StatusOK}, &calls))
+	resp, err := r.do(ctx, "x", fakeAttempt(t, []int{0, http.StatusServiceUnavailable, http.StatusOK}, &calls))
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("do = (%v, %v), want 200", resp, err)
 	}
@@ -58,7 +61,7 @@ func TestRetrierBackoffAndOutcomes(t *testing.T) {
 	// server's mandate as its ceiling.
 	slept = nil
 	calls = 0
-	resp, err = r.do("x", fakeAttempt(t, []int{http.StatusTooManyRequests, http.StatusOK}, &calls))
+	resp, err = r.do(ctx, "x", fakeAttempt(t, []int{http.StatusTooManyRequests, http.StatusOK}, &calls))
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("429 do = (%v, %v)", resp, err)
 	}
@@ -68,16 +71,16 @@ func TestRetrierBackoffAndOutcomes(t *testing.T) {
 
 	// Non-retryable statuses return on the first attempt.
 	calls = 0
-	resp, _ = r.do("x", fakeAttempt(t, []int{http.StatusBadRequest}, &calls))
+	resp, _ = r.do(ctx, "x", fakeAttempt(t, []int{http.StatusBadRequest}, &calls))
 	if calls != 1 || resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("400: %d calls, status %d; want 1 call passing it through", calls, resp.StatusCode)
 	}
 
 	// An exhausted budget hands back the last failing response.
 	r2 := newRetrier(1)
-	r2.sleep = func(time.Duration) {}
+	r2.sleep = func(context.Context, time.Duration) error { return nil }
 	calls = 0
-	resp, _ = r2.do("x", fakeAttempt(t, []int{http.StatusServiceUnavailable, http.StatusServiceUnavailable}, &calls))
+	resp, _ = r2.do(ctx, "x", fakeAttempt(t, []int{http.StatusServiceUnavailable, http.StatusServiceUnavailable}, &calls))
 	if calls != 2 || resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("exhausted: %d calls, status %d; want 2 calls and the 503", calls, resp.StatusCode)
 	}
@@ -85,8 +88,37 @@ func TestRetrierBackoffAndOutcomes(t *testing.T) {
 	// max 0 disables retrying entirely.
 	r3 := newRetrier(0)
 	calls = 0
-	if _, err := r3.do("x", fakeAttempt(t, []int{0}, &calls)); err == nil || calls != 1 {
+	if _, err := r3.do(ctx, "x", fakeAttempt(t, []int{0}, &calls)); err == nil || calls != 1 {
 		t.Errorf("max-retries 0: err=%v calls=%d, want the transport error after 1 call", err, calls)
+	}
+}
+
+// The regression the cluster smoke depends on: a cancellation (^C)
+// during a long server-mandated Retry-After returns promptly with the
+// context error, instead of sleeping out the full mandate. Before the
+// fix, the jittered wait used time.Sleep and a 1-hour Retry-After held
+// the process hostage.
+func TestRetrierCancelledMidBackoffReturnsPromptly(t *testing.T) {
+	r := newRetrier(3) // real sleepCtx, no stub: the select is under test
+	ctx, cancel := context.WithCancel(context.Background())
+	attempt := func() (*http.Response, error) {
+		rec := httptest.NewRecorder()
+		rec.Header().Set("Retry-After", "3600")
+		rec.WriteHeader(http.StatusTooManyRequests)
+		return rec.Result(), nil
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	resp, err := r.do(ctx, "x", attempt)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("do under cancellation = (%v, %v), want context.Canceled", resp, err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to surface; the backoff wait is not honouring ctx", elapsed)
 	}
 }
 

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"smtexplore/internal/cluster"
+)
+
+// runCoordinator serves the cluster coordinator: the single-daemon job
+// API over a fleet of workers, plus /v1/cluster for topology and
+// registration. Seeds is the -workers-list value — comma-separated
+// name=addr (or bare addr) entries admitted before listening; workers
+// started with -join register themselves afterwards.
+func runCoordinator(ctx context.Context, out io.Writer, addr, addrFile, seeds string, cfg cluster.Config) error {
+	c := cluster.New(cfg)
+	defer c.Close()
+	for _, seed := range strings.Split(seeds, ",") {
+		seed = strings.TrimSpace(seed)
+		if seed == "" {
+			continue
+		}
+		name, waddr := seed, seed
+		if i := strings.IndexByte(seed, '='); i >= 0 {
+			name, waddr = seed[:i], seed[i+1:]
+		}
+		c.AddWorker(cluster.NewRemote(name, waddr))
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(out, "smtd: coordinating on %s (%d seed workers)\n", bound, len(c.Topology().Workers))
+
+	srv := &http.Server{Handler: c.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	fmt.Fprintln(out, "smtd: bye")
+	return nil
+}
+
+// heartbeat re-registers this worker with the coordinator until ctx is
+// cancelled. Registration is idempotent on the coordinator side, so a
+// steady beat doubles as liveness advertising and as automatic re-join
+// after a coordinator restart (whose fresh ring starts empty).
+func heartbeat(ctx context.Context, coordinator, name, addr string) {
+	body, err := json.Marshal(map[string]string{"name": name, "addr": addr})
+	if err != nil {
+		panic(err) // a map[string]string always marshals
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(300 * time.Millisecond)
+	defer t.Stop()
+	registered := false
+	for {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost,
+			"http://"+coordinator+"/v1/cluster/register", bytes.NewReader(body))
+		if rerr == nil {
+			req.Header.Set("Content-Type", "application/json")
+			resp, derr := client.Do(req)
+			ok := derr == nil && resp.StatusCode == http.StatusOK
+			if derr == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			// Log only the transitions, not the steady state.
+			if ok && !registered {
+				log.Printf("registered with coordinator %s as %s", coordinator, name)
+			}
+			if !ok && registered {
+				log.Printf("coordinator %s unreachable; will keep retrying", coordinator)
+			}
+			registered = ok
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

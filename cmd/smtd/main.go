@@ -17,9 +17,21 @@
 //	smtd -checkpoint-cycles 100000        # pausable kernel cells: preemption, drain/restart resume
 //	smtd -queue-wait-target 2s            # AIMD admission: shed load when queue waits exceed this
 //	smtd -fault-plan plan.json            # arm a fault-injection plan (chaos testing)
+//	smtd -coordinator -workers-list w0=127.0.0.1:9000,w1=127.0.0.1:9001
+//	                                      # shard jobs across a worker fleet
+//	smtd -join 127.0.0.1:8370 -name w0    # worker: register with a coordinator
+//
+// In -coordinator mode the daemon runs no simulations itself: it
+// consistent-hashes each submitted cell to a worker, forwards it over
+// the same HTTP/JSON API, and mirrors progress — so clients cannot tell
+// a coordinator from a single daemon. Workers join the fleet either via
+// the -workers-list seed or by running with -join, which heartbeats a
+// registration so fleets survive coordinator restarts.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/events|/result]],
 // DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
+// Coordinators additionally serve GET /v1/cluster (topology) and
+// POST /v1/cluster/register (worker admission).
 // On SIGINT/SIGTERM the daemon stops intake (healthz turns 503),
 // finishes every accepted job within -drain-timeout, then exits.
 package main
@@ -39,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"smtexplore/internal/cluster"
 	"smtexplore/internal/faultinject"
 	"smtexplore/internal/runner"
 	"smtexplore/internal/service"
@@ -87,6 +100,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive store I/O failures before degrading to memory-only caching")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "wait before probing a degraded store again")
 	faultPlan := fs.String("fault-plan", "", "fault-injection plan JSON (chaos testing only; never set in production)")
+	coordinator := fs.Bool("coordinator", false, "run as a cluster coordinator instead of a simulating daemon")
+	workersList := fs.String("workers-list", "", "coordinator: comma-separated seed workers (name=addr or addr)")
+	vnodes := fs.Int("vnodes", 0, "coordinator: virtual nodes per worker on the hash ring (0: default 128)")
+	healthInterval := fs.Duration("health-interval", 0, "coordinator: worker health/telemetry probe interval (0: default 500ms)")
+	stealMargin := fs.Int("steal-margin", 0, "coordinator: outstanding-jobs divergence before work stealing (0: default 2)")
+	join := fs.String("join", "", "worker: coordinator address to heartbeat registrations to")
+	name := fs.String("name", "", "worker: name to register under with -join (default: the bound address)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -97,6 +117,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "smtd: "+format+"\n", v...)
 		fs.Usage()
 		return errUsage
+	}
+	if *coordinator && *join != "" {
+		return bad("-coordinator and -join are mutually exclusive: a daemon is either the coordinator or a worker")
+	}
+	if !*coordinator && *workersList != "" {
+		return bad("-workers-list requires -coordinator")
+	}
+	if *coordinator {
+		return runCoordinator(ctx, out, *addr, *addrFile, *workersList, cluster.Config{
+			Vnodes:         *vnodes,
+			HealthInterval: *healthInterval,
+			StealMargin:    *stealMargin,
+		})
 	}
 	if *workers < 1 {
 		return bad("invalid -workers %d (must be >= 1)", *workers)
@@ -174,6 +207,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "smtd: listening on %s\n", bound)
+	if *join != "" {
+		wname := *name
+		if wname == "" {
+			wname = bound
+		}
+		go heartbeat(ctx, *join, wname, bound)
+	}
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"smtexplore/internal/cluster"
 )
 
 // startSmtd runs the daemon with a random port and returns its bound
@@ -127,11 +130,87 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// The full cluster lifecycle through the real binary entry point: a
+// coordinator process, two workers that -join it via heartbeat, a job
+// submitted to the coordinator and executed by the fleet.
+func TestCoordinatorJoinLifecycle(t *testing.T) {
+	coordAddr, shutCoord := startSmtd(t, "-coordinator", "-health-interval", "50ms")
+	_, shutW1 := startSmtd(t, "-join", coordAddr, "-name", "w1")
+	_, shutW2 := startSmtd(t, "-join", coordAddr, "-name", "w2")
+	defer func() { shutW1(); shutW2() }()
+
+	get := func(path string, v any) int {
+		t.Helper()
+		resp, err := http.Get("http://" + coordAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if v != nil {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Both workers register through the -join heartbeat.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var top cluster.Topology
+		get("/v1/cluster", &top)
+		if top.Live == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered: %+v", top)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A job submitted to the coordinator runs on the fleet and finishes.
+	resp, err := http.Post("http://"+coordAddr+"/v1/jobs", "application/json",
+		strings.NewReader(`{"cells":[{"type":"stream","window":2000,"streams":[{"kind":"fadd"}]},`+
+			`{"type":"stream","window":2001,"streams":[{"kind":"iload"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || status.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, status)
+	}
+	for deadline = time.Now().Add(30 * time.Second); ; time.Sleep(10 * time.Millisecond) {
+		get("/v1/jobs/"+status.ID, &status)
+		if status.State == "done" {
+			break
+		}
+		if status.State == "failed" || status.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("cluster job state %q", status.State)
+		}
+	}
+
+	out := shutCoord()
+	for _, want := range []string{"coordinating on " + coordAddr, "smtd: bye"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coordinator output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestDaemonFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-workers", "0"},
 		{"-jobs", "0"},
 		{"-queue", "0"},
+		{"-coordinator", "-join", "127.0.0.1:1"},
+		{"-workers-list", "a=127.0.0.1:1"},
 		{"-no-such-flag"},
 	} {
 		if err := run(context.Background(), args, io.Discard); !errors.Is(err, errUsage) {

@@ -1,0 +1,731 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"smtexplore/internal/service"
+)
+
+// ErrNoWorkers reports a submission that cannot be placed because the
+// ring has no live members (HTTP 503: retrying is reasonable — a worker
+// may join or recover).
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// Config tunes the coordinator. The zero value is production-sane.
+type Config struct {
+	// Vnodes is the per-worker virtual-node count (<= 0 → DefaultVnodes).
+	Vnodes int
+	// HealthInterval paces the health/telemetry loop (<= 0 → 500ms).
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive failed probes declare a
+	// worker dead (<= 0 → 3). Death removes it from the ring and
+	// migrates its in-flight groups.
+	HealthFailures int
+	// StealMargin is the outstanding-jobs (queued+active) divergence
+	// between a cell's ring owner and the least-loaded worker beyond
+	// which the group is routed to the latter (<= 0 → 2).
+	StealMargin int
+	// StealWaitFactor steals on queue-wait telemetry: an owner whose
+	// recent queue-wait EWMA exceeds the least-loaded worker's by this
+	// factor (and is above StealMinWait in absolute terms) is considered
+	// overloaded (<= 0 → 4).
+	StealWaitFactor float64
+	// StealMinWait is the absolute queue-wait floor below which EWMA
+	// divergence is noise, not overload (<= 0 → 200ms).
+	StealMinWait time.Duration
+	// PollInterval paces remote-job progress polling (<= 0 → 75ms).
+	PollInterval time.Duration
+	// PollFailures is how many consecutive poll errors on a group's
+	// worker trigger checkpoint-migration to a survivor (<= 0 → 3).
+	PollFailures int
+}
+
+func (c *Config) fill() {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.HealthFailures <= 0 {
+		c.HealthFailures = 3
+	}
+	if c.StealMargin <= 0 {
+		c.StealMargin = 2
+	}
+	if c.StealWaitFactor <= 0 {
+		c.StealWaitFactor = 4
+	}
+	if c.StealMinWait <= 0 {
+		c.StealMinWait = 200 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 75 * time.Millisecond
+	}
+	if c.PollFailures <= 0 {
+		c.PollFailures = 3
+	}
+}
+
+// member is one registered worker plus the coordinator's view of it:
+// liveness from the health loop and the last telemetry snapshot the
+// steal heuristic and metric aggregates read.
+type member struct {
+	w       Worker
+	alive   bool
+	fails   int
+	stats   service.Metrics
+	statsOK bool
+	// lastStats is when stats was refreshed (steals want fresh numbers).
+	lastStats time.Time
+}
+
+// group is one coordinator job's sub-batch on one worker. idxs are the
+// coordinator-job cell indices, in the order they were forwarded.
+type group struct {
+	idxs     []int
+	worker   string // current assignee (may change across migrations)
+	remoteID string // current remote job ID ("" until submitted)
+	done     bool
+}
+
+// cjob is a coordinator job: the client-visible tracker plus the fan-out
+// bookkeeping.
+type cjob struct {
+	tracker *service.Job
+	mu      sync.Mutex
+	groups  []*group
+	pending int
+	cancel  bool // client requested cancellation
+}
+
+// Coordinator fronts a fleet of worker smtds behind the single-daemon
+// API. Create with New, register workers (statically or via the
+// /v1/cluster/register endpoint), serve Handler, Close when done.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	baseCtx context.Context
+	abort   context.CancelFunc
+	wg      sync.WaitGroup
+	started time.Time
+
+	mu      sync.Mutex
+	members map[string]*member
+	jobs    map[string]*cjob
+	order   []string
+	idem    map[string]string
+	seq     int
+
+	// Counters for /metrics.
+	jobsDone, jobsFailed, jobsCancelled uint64
+	cellsForwarded                      uint64
+	steals                              uint64
+	jobsRecovered                       uint64
+	migratedCells                       uint64
+	registrations, workersLost          uint64
+}
+
+// New starts a coordinator (and its health loop). The caller owns the
+// lifecycle: Close when done.
+func New(cfg Config) *Coordinator {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Vnodes),
+		baseCtx: ctx,
+		abort:   cancel,
+		started: time.Now(),
+		members: make(map[string]*member),
+		jobs:    make(map[string]*cjob),
+		idem:    make(map[string]string),
+	}
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c
+}
+
+// Close stops the health loop and every group goroutine (their remote
+// jobs keep running on the workers; the coordinator just stops
+// watching).
+func (c *Coordinator) Close() {
+	c.abort()
+	c.wg.Wait()
+}
+
+// AddWorker registers (or revives, or re-addresses) a worker and puts
+// it on the ring. Safe to call repeatedly — the join heartbeat does.
+func (c *Coordinator) AddWorker(w Worker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[w.Name()]
+	if !ok {
+		c.members[w.Name()] = &member{w: w, alive: true}
+		c.registrations++
+	} else {
+		// A re-registration is a live worker announcing itself: reset the
+		// failure count and adopt the (possibly new) address.
+		m.w = w
+		m.fails = 0
+		if !m.alive {
+			m.alive = true
+			c.registrations++
+		}
+	}
+	c.ring.Add(w.Name())
+}
+
+// RemoveWorker drains a worker out of the ring deliberately (operator
+// action); in-flight groups on it migrate exactly as if it had died.
+func (c *Coordinator) RemoveWorker(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markDeadLocked(name)
+}
+
+func (c *Coordinator) markDeadLocked(name string) {
+	if m, ok := c.members[name]; ok && m.alive {
+		m.alive = false
+		c.workersLost++
+	}
+	c.ring.Remove(name)
+}
+
+// healthLoop probes every member each interval: liveness via /healthz,
+// telemetry via /v1/stats. HealthFailures consecutive failures remove
+// the worker from the ring — group goroutines watching their own polls
+// migrate the in-flight work.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-tick.C:
+		}
+		c.probeAll()
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.members))
+	for n, m := range c.members {
+		if m.alive {
+			names = append(names, n)
+		}
+	}
+	c.mu.Unlock()
+	for _, n := range names {
+		c.probe(n)
+	}
+}
+
+func (c *Coordinator) probe(name string) {
+	c.mu.Lock()
+	m, ok := c.members[name]
+	if !ok || !m.alive {
+		c.mu.Unlock()
+		return
+	}
+	w := m.w
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.HealthInterval)
+	err := w.Health(ctx)
+	var stats service.Metrics
+	var statsErr error
+	if err == nil {
+		stats, statsErr = w.Stats(ctx)
+	}
+	cancel()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok = c.members[name]
+	if !ok || !m.alive || m.w != w {
+		return // re-registered or removed while we probed
+	}
+	if err != nil {
+		m.fails++
+		if m.fails >= c.cfg.HealthFailures {
+			c.markDeadLocked(name)
+		}
+		return
+	}
+	m.fails = 0
+	if statsErr == nil {
+		m.stats = stats
+		m.statsOK = true
+		m.lastStats = time.Now()
+	}
+}
+
+// refreshStats synchronously updates telemetry older than maxAge for
+// every live member, so routing decisions see the current queue state
+// rather than the last health tick's. Best-effort: a worker that fails
+// the refresh keeps its stale snapshot (and the health loop will deal
+// with it).
+func (c *Coordinator) refreshStats(maxAge time.Duration) {
+	c.mu.Lock()
+	type target struct {
+		name string
+		w    Worker
+	}
+	var stale []target
+	for n, m := range c.members {
+		if m.alive && time.Since(m.lastStats) > maxAge {
+			stale = append(stale, target{n, m.w})
+		}
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, t := range stale {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(c.baseCtx, 500*time.Millisecond)
+			defer cancel()
+			stats, err := t.w.Stats(ctx)
+			if err != nil {
+				return
+			}
+			c.mu.Lock()
+			if m, ok := c.members[t.name]; ok && m.w == t.w {
+				m.stats = stats
+				m.statsOK = true
+				m.lastStats = time.Now()
+			}
+			c.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// outstanding is the load proxy behind stealing: jobs a new submission
+// would queue behind.
+func outstanding(m *member) int {
+	return m.stats.JobsActive + m.stats.QueueDepth
+}
+
+// leastLoadedLocked picks the live member with the fewest outstanding
+// jobs (ties break on name for determinism), skipping names in avoid.
+func (c *Coordinator) leastLoadedLocked(avoid map[string]bool) string {
+	best := ""
+	bestLoad := 0
+	for _, n := range sortedNamesLocked(c.members) {
+		m := c.members[n]
+		if !m.alive || avoid[n] {
+			continue
+		}
+		load := outstanding(m)
+		if best == "" || load < bestLoad {
+			best, bestLoad = n, load
+		}
+	}
+	return best
+}
+
+func sortedNamesLocked(members map[string]*member) []string {
+	names := make([]string, 0, len(members))
+	for n := range members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// chooseWorker routes one group: the ring owner unless it is gone
+// (fallback to the least-loaded live worker) or overloaded relative to
+// the least-loaded worker — outstanding jobs diverging by StealMargin,
+// or recent queue-wait EWMA diverging by StealWaitFactor above the
+// StealMinWait floor — in which case the group is stolen by the idle
+// worker.
+func (c *Coordinator) chooseWorker(owner string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	om, ok := c.members[owner]
+	if !ok || !om.alive {
+		// Dead owner: not a steal, just routing around a hole in the ring
+		// the health loop has not (or has) already closed.
+		return c.leastLoadedLocked(nil)
+	}
+	idle := c.leastLoadedLocked(nil)
+	if idle == "" || idle == owner {
+		return owner
+	}
+	im := c.members[idle]
+	switch {
+	case outstanding(om)-outstanding(im) >= c.cfg.StealMargin:
+	case om.stats.QueueWaitEWMASeconds > c.cfg.StealWaitFactor*im.stats.QueueWaitEWMASeconds &&
+		om.stats.QueueWaitEWMASeconds > c.cfg.StealMinWait.Seconds():
+	default:
+		return owner
+	}
+	c.steals++
+	return idle
+}
+
+// Submit validates a batch, splits it by ring owner (with stealing),
+// forwards the groups to workers, and returns the mirrored job. The
+// same admission shapes as the single daemon: empty batches and bad
+// cells are rejected; no live workers maps to 503.
+func (c *Coordinator) Submit(specs []service.CellSpec, opts service.SubmitOptions) (*service.Job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: empty batch")
+	}
+	for i, sp := range specs {
+		// The coordinator serves no artifacts, so observe cells are
+		// rejected at this edge exactly as on an artifact-less daemon.
+		if err := sp.Validate(false); err != nil {
+			return nil, fmt.Errorf("cluster: cell %d: %w", i, err)
+		}
+	}
+	if c.ring.Len() == 0 {
+		return nil, ErrNoWorkers
+	}
+	// Fresh telemetry before routing: a steal decision made on a stale
+	// queue snapshot is just load imbalance with extra steps.
+	c.refreshStats(c.cfg.HealthInterval / 2)
+
+	c.mu.Lock()
+	if opts.IdemKey != "" {
+		if id, ok := c.idem[opts.IdemKey]; ok {
+			if cj := c.jobs[id]; cj != nil {
+				if state, _ := cj.tracker.State(); state == service.JobQueued || state == service.JobRunning {
+					c.mu.Unlock()
+					return cj.tracker, nil
+				}
+			}
+		}
+	}
+	c.seq++
+	id := fmt.Sprintf("c%04d", c.seq)
+	if opts.IdemKey != "" {
+		c.idem[opts.IdemKey] = id
+	}
+	c.mu.Unlock()
+
+	j := service.NewRemoteJob(id, specs)
+	j.Priority = opts.Priority
+	j.Deadline = opts.Deadline
+	cj := &cjob{tracker: j}
+
+	// Group cells by ring owner of their content label, then let the
+	// steal heuristic reroute whole groups.
+	byOwner := make(map[string][]int)
+	var owners []string
+	for i, sp := range specs {
+		o := c.ring.Owner(sp.Label())
+		if _, ok := byOwner[o]; !ok {
+			owners = append(owners, o)
+		}
+		byOwner[o] = append(byOwner[o], i)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		cj.groups = append(cj.groups, &group{idxs: byOwner[o], worker: c.chooseWorker(o)})
+	}
+	cj.pending = len(cj.groups)
+
+	c.mu.Lock()
+	c.jobs[id] = cj
+	c.order = append(c.order, id)
+	c.cellsForwarded += uint64(len(specs))
+	c.mu.Unlock()
+
+	j.Conclude(service.JobRunning, "")
+	for _, g := range cj.groups {
+		c.wg.Add(1)
+		go func(g *group) {
+			defer c.wg.Done()
+			c.runGroup(cj, g)
+			c.groupDone(cj)
+		}(g)
+	}
+	return j, nil
+}
+
+// groupDone finalizes the job once its last group lands, folding cell
+// outcomes into the job state exactly like the single daemon does.
+func (c *Coordinator) groupDone(cj *cjob) {
+	cj.mu.Lock()
+	cj.pending--
+	last := cj.pending == 0
+	cj.mu.Unlock()
+	if !last {
+		return
+	}
+	state, msg := service.JobDone, ""
+	var failed, cancelled int
+	results := cj.tracker.Results()
+	for _, r := range results {
+		switch r.State {
+		case service.CellFailed:
+			failed++
+			if msg == "" {
+				msg = fmt.Sprintf("cell %d (%s): %s", r.Index, r.Label, r.Error)
+			}
+		case service.CellCancelled:
+			cancelled++
+		}
+	}
+	switch {
+	case failed > 0:
+		state = service.JobFailed
+	case cancelled > 0:
+		state, msg = service.JobCancelled, fmt.Sprintf("%d of %d cells cancelled", cancelled, len(results))
+	}
+	if cj.tracker.Conclude(state, msg) {
+		c.mu.Lock()
+		switch state {
+		case service.JobDone:
+			c.jobsDone++
+		case service.JobFailed:
+			c.jobsFailed++
+		case service.JobCancelled:
+			c.jobsCancelled++
+		}
+		c.mu.Unlock()
+	}
+}
+
+// groupReq builds the forwarded submission for a group: the subset of
+// cells, the job's priority, and whatever remains of its deadline.
+func (cj *cjob) groupReq(g *group) service.SubmitRequest {
+	req := service.SubmitRequest{Priority: cj.tracker.Priority}
+	for _, i := range g.idxs {
+		req.Cells = append(req.Cells, cj.tracker.Specs[i])
+	}
+	if !cj.tracker.Deadline.IsZero() {
+		// Forward the remaining budget; a migration re-derives it, so the
+		// deadline holds across worker deaths too.
+		d := time.Until(cj.tracker.Deadline)
+		if d < time.Millisecond {
+			d = time.Millisecond // let the worker shed it explicitly
+		}
+		req.Deadline = d.String()
+	}
+	return req
+}
+
+// groupIdemKey makes a forwarded submit safe to repeat against the same
+// worker without double-enqueueing. Keying on the coordinator job ID
+// (not just cell content) keeps two coordinator jobs with identical
+// cells from aliasing one remote job — cancelling one must not cancel
+// the other.
+func groupIdemKey(jobID string, g *group, req service.SubmitRequest) string {
+	b, _ := json.Marshal(req)
+	sum := sha256.Sum256(fmt.Appendf(b, "|%s|%d", jobID, g.idxs[0]))
+	return fmt.Sprintf("%x", sum)
+}
+
+// failGroup records a terminal failure for every unfinished cell of g.
+func (cj *cjob) failGroup(g *group, msg string) {
+	for _, i := range g.idxs {
+		cj.tracker.RecordCell(i, service.CellResult{State: service.CellFailed, Error: msg})
+	}
+}
+
+// runGroup drives one group to completion: submit to its worker, poll
+// progress (mirroring per-cell state into the tracker), fetch results
+// when terminal — and, when the worker dies mid-flight, migrate the
+// group to a survivor, which resumes checkpointed cells from the shared
+// store instead of cycle zero.
+func (c *Coordinator) runGroup(cj *cjob, g *group) {
+	const maxAttempts = 8 // death-and-migration cycles before giving up
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			// A previous worker died (or refused): re-place the group on a
+			// surviving member, preferring the ring's new owner view.
+			cj.mu.Lock()
+			cancelled := cj.cancel
+			cj.mu.Unlock()
+			if cancelled {
+				cj.failGroup(g, "worker lost after cancellation")
+				return
+			}
+			c.mu.Lock()
+			next := c.leastLoadedLocked(map[string]bool{g.worker: true})
+			if next == "" {
+				next = c.leastLoadedLocked(nil) // sole survivor: retry it
+			}
+			c.mu.Unlock()
+			if next == "" {
+				cj.failGroup(g, ErrNoWorkers.Error()+" (worker died mid-job, none left to migrate to)")
+				return
+			}
+			c.mu.Lock()
+			c.jobsRecovered++
+			c.migratedCells += uint64(len(g.idxs))
+			c.mu.Unlock()
+			g.worker = next
+			g.remoteID = ""
+		}
+		if c.runGroupOn(cj, g) {
+			return
+		}
+	}
+	cj.failGroup(g, "cluster: group migration budget exhausted")
+}
+
+// worker returns the (current) Worker handle for name, nil if unknown.
+func (c *Coordinator) worker(name string) Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.members[name]; ok {
+		return m.w
+	}
+	return nil
+}
+
+// runGroupOn runs the group on its currently-assigned worker. It
+// returns true when the group is finished (results recorded or failed
+// terminally) and false when the worker must be replaced (migration).
+func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
+	w := c.worker(g.worker)
+	if w == nil {
+		return false
+	}
+	req := cj.groupReq(g)
+	attemptKey := groupIdemKey(cj.tracker.ID, g, req)
+
+	// Submit with a couple of in-place retries (the idempotency key
+	// makes a lost 202 harmless), then declare the worker suspect.
+	var remoteID string
+	var err error
+	for try := 0; try < 3; try++ {
+		sctx, cancel := context.WithTimeout(c.baseCtx, 10*time.Second)
+		remoteID, err = w.Submit(sctx, req, attemptKey)
+		cancel()
+		if err == nil {
+			break
+		}
+		select {
+		case <-c.baseCtx.Done():
+			cj.failGroup(g, "coordinator shut down")
+			return true
+		case <-time.After(c.cfg.PollInterval):
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.markDeadLocked(g.worker)
+		c.mu.Unlock()
+		return false
+	}
+	g.remoteID = remoteID
+	for _, i := range g.idxs {
+		cj.tracker.MarkCellRunning(i)
+	}
+
+	// Poll until the remote job is terminal.
+	fails := 0
+	tick := time.NewTicker(c.cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			cj.failGroup(g, "coordinator shut down")
+			return true
+		case <-tick.C:
+		}
+		// Forward a client cancellation exactly once per assignment.
+		cj.mu.Lock()
+		wantCancel := cj.cancel
+		cj.mu.Unlock()
+		if wantCancel {
+			cctx, cancel := context.WithTimeout(c.baseCtx, 5*time.Second)
+			w.Cancel(cctx, remoteID) // idempotent server-side
+			cancel()
+		}
+
+		sctx, cancel := context.WithTimeout(c.baseCtx, 5*time.Second)
+		st, err := w.Status(sctx, remoteID)
+		cancel()
+		if err != nil {
+			fails++
+			if fails >= c.cfg.PollFailures || !c.isAlive(g.worker) {
+				c.mu.Lock()
+				c.markDeadLocked(g.worker)
+				c.mu.Unlock()
+				return false
+			}
+			continue
+		}
+		fails = 0
+		switch st.State {
+		case service.JobDone, service.JobFailed, service.JobCancelled:
+			rctx, cancel := context.WithTimeout(c.baseCtx, 10*time.Second)
+			res, err := w.Result(rctx, remoteID)
+			cancel()
+			if err != nil {
+				// Terminal but unfetchable: treat like a death — the worker
+				// may have crashed between the status and the result.
+				c.mu.Lock()
+				c.markDeadLocked(g.worker)
+				c.mu.Unlock()
+				return false
+			}
+			for k, cell := range res.Cells {
+				if k < len(g.idxs) {
+					cj.tracker.RecordCell(g.idxs[k], cell)
+				}
+			}
+			g.done = true
+			return true
+		}
+	}
+}
+
+func (c *Coordinator) isAlive(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[name]
+	return ok && m.alive
+}
+
+// Job looks up a coordinator job's tracker.
+func (c *Coordinator) Job(id string) (*service.Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cj, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return cj.tracker, true
+}
+
+// Jobs lists trackers in submission order.
+func (c *Coordinator) Jobs() []*service.Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*service.Job, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.jobs[id].tracker)
+	}
+	return out
+}
+
+// Cancel aborts a coordinator job: the cancellation fans out to every
+// group's remote job; the mirrored outcomes conclude the tracker.
+func (c *Coordinator) Cancel(id string) bool {
+	c.mu.Lock()
+	cj, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	cj.mu.Lock()
+	cj.cancel = true
+	cj.mu.Unlock()
+	// The group poll loops forward the cancel on their next tick.
+	return true
+}

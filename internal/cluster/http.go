@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"smtexplore/internal/service"
+)
+
+// WorkerInfo is one worker's row in the topology view.
+type WorkerInfo struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// Outstanding is the coordinator's last view of the worker's queued
+	// plus active jobs (the steal heuristic's load proxy).
+	Outstanding int `json:"outstanding"`
+	// QueueWaitEWMASeconds is the worker's recent queue-wait telemetry.
+	QueueWaitEWMASeconds float64 `json:"queue_wait_ewma_seconds"`
+}
+
+// Topology is the GET /v1/cluster body: the fleet as the coordinator
+// sees it.
+type Topology struct {
+	Workers []WorkerInfo `json:"workers"`
+	Live    int          `json:"live"`
+	Vnodes  int          `json:"vnodes"`
+
+	CellsForwarded uint64 `json:"cells_forwarded"`
+	Steals         uint64 `json:"steals"`
+	JobsRecovered  uint64 `json:"jobs_recovered"`
+	MigratedCells  uint64 `json:"migrated_cells"`
+	WorkersLost    uint64 `json:"workers_lost"`
+	Registrations  uint64 `json:"registrations"`
+}
+
+// Topology snapshots the fleet for /v1/cluster and smtctl cluster.
+func (c *Coordinator) Topology() Topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := Topology{
+		Vnodes:         c.ring.vnodes,
+		CellsForwarded: c.cellsForwarded,
+		Steals:         c.steals,
+		JobsRecovered:  c.jobsRecovered,
+		MigratedCells:  c.migratedCells,
+		WorkersLost:    c.workersLost,
+		Registrations:  c.registrations,
+	}
+	for _, n := range sortedNamesLocked(c.members) {
+		m := c.members[n]
+		t.Workers = append(t.Workers, WorkerInfo{
+			Name:                 n,
+			Addr:                 m.w.Addr(),
+			Alive:                m.alive,
+			Outstanding:          outstanding(m),
+			QueueWaitEWMASeconds: m.stats.QueueWaitEWMASeconds,
+		})
+		if m.alive {
+			t.Live++
+		}
+	}
+	return t
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// Handler serves the coordinator's HTTP API. The job surface is
+// byte-for-byte the single daemon's (submit/list/status/cancel/events/
+// result/cell result), which is what makes smtctl and every existing
+// client cluster-transparent; /v1/cluster and /v1/cluster/register are
+// the only coordinator-specific additions.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/cells/{cell}/result", c.handleCellResult)
+	mux.HandleFunc("GET /v1/cluster", c.handleTopology)
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	opts := service.SubmitOptions{IdemKey: r.Header.Get("Idempotency-Key"), Priority: req.Priority}
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad deadline: "+err.Error())
+			return
+		}
+		opts.Deadline = time.Now().Add(d)
+	}
+	j, err := c.Submit(req.Cells, opts)
+	switch {
+	case errors.Is(err, ErrNoWorkers):
+		// The fleet may be mid-restart; workers re-register on their next
+		// heartbeat, so retrying shortly is the right client move.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []service.JobStatus
+	for _, j := range c.Jobs() {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (c *Coordinator) job(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
+	j, ok := c.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := c.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !c.Cancel(id) {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	j, _ := c.Job(id)
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(w, r)
+	if !ok {
+		return
+	}
+	service.ServeJobEvents(w, r, j)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(w, r)
+	if !ok {
+		return
+	}
+	state, errMsg := j.State()
+	switch state {
+	case service.JobDone, service.JobFailed, service.JobCancelled:
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; results are available once it is terminal", j.ID, state))
+		return
+	}
+	writeJSON(w, http.StatusOK, service.JobResult{ID: j.ID, State: state, Error: errMsg, Cells: j.Results()})
+}
+
+func (c *Coordinator) handleCellResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.job(w, r)
+	if !ok {
+		return
+	}
+	i, err := strconv.Atoi(r.PathValue("cell"))
+	results := j.Results()
+	if err != nil || i < 0 || i >= len(results) {
+		writeError(w, http.StatusNotFound, "unknown cell "+r.PathValue("cell"))
+		return
+	}
+	res := results[i]
+	switch res.State {
+	case service.CellDone, service.CellFailed, service.CellCancelled:
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("cell %d is %s", res.Index, res.State))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		if res.State != service.CellDone {
+			writeError(w, http.StatusConflict, fmt.Sprintf("cell %d %s: %s", res.Index, res.State, res.Error))
+			return
+		}
+		if res.Text == "" {
+			writeError(w, http.StatusBadRequest, "text format is only available for harness cells")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Text)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Coordinator) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Topology())
+}
+
+// handleRegister admits a worker into the fleet: the -join heartbeat
+// POSTs {"name", "addr"} here every few hundred milliseconds, which
+// doubles as re-registration after a coordinator or worker restart.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "missing addr")
+		return
+	}
+	c.AddWorker(NewRemote(req.Name, req.Addr))
+	writeJSON(w, http.StatusOK, c.Topology())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	t := c.Topology()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if t.Live == 0 {
+		http.Error(w, "no live workers", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves Prometheus text metrics: the coordinator's own
+// smtd_cluster_* family plus fleet-wide sums of the worker counters the
+// smoke tests and dashboards already watch (cells simulated, store
+// traffic, checkpoint/resume accounting) — each from the coordinator's
+// last telemetry snapshot of that worker.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	t := struct {
+		workers, live                       int
+		jobsDone, jobsFailed, jobsCancelled uint64
+		cellsForwarded, steals              uint64
+		jobsRecovered, migratedCells        uint64
+		workersLost, registrations          uint64
+	}{
+		workers:        len(c.members),
+		jobsDone:       c.jobsDone,
+		jobsFailed:     c.jobsFailed,
+		jobsCancelled:  c.jobsCancelled,
+		cellsForwarded: c.cellsForwarded,
+		steals:         c.steals,
+		jobsRecovered:  c.jobsRecovered,
+		migratedCells:  c.migratedCells,
+		workersLost:    c.workersLost,
+		registrations:  c.registrations,
+	}
+	var agg service.Metrics
+	names := sortedNamesLocked(c.members)
+	for _, n := range names {
+		m := c.members[n]
+		if m.alive {
+			t.live++
+		}
+		if !m.statsOK {
+			continue
+		}
+		agg.CellsSimulated += m.stats.CellsSimulated
+		agg.CellsDone += m.stats.CellsDone
+		agg.CacheHits += m.stats.CacheHits
+		agg.StoreHits += m.stats.StoreHits
+		agg.StoreWrites += m.stats.StoreWrites
+		agg.CheckpointsWritten += m.stats.CheckpointsWritten
+		agg.CheckpointsRestored += m.stats.CheckpointsRestored
+		agg.ResumeCyclesSaved += m.stats.ResumeCyclesSaved
+	}
+	c.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	cnt := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	g("smtd_cluster_workers", "Registered workers.", t.workers)
+	g("smtd_cluster_workers_live", "Workers currently on the ring.", t.live)
+	cnt("smtd_cluster_jobs_done_total", "Coordinator jobs finished successfully.", t.jobsDone)
+	cnt("smtd_cluster_jobs_failed_total", "Coordinator jobs finished failed.", t.jobsFailed)
+	cnt("smtd_cluster_jobs_cancelled_total", "Coordinator jobs cancelled.", t.jobsCancelled)
+	cnt("smtd_cluster_cells_forwarded_total", "Cells forwarded to workers.", t.cellsForwarded)
+	cnt("smtd_cluster_steals_total", "Groups rerouted off overloaded ring owners.", t.steals)
+	cnt("smtd_cluster_jobs_recovered_total", "Groups migrated off dead workers.", t.jobsRecovered)
+	cnt("smtd_cluster_migrated_cells_total", "Cells migrated off dead workers.", t.migratedCells)
+	cnt("smtd_cluster_workers_lost_total", "Workers declared dead.", t.workersLost)
+	cnt("smtd_cluster_registrations_total", "Worker (re-)registrations.", t.registrations)
+	cnt("smtd_cluster_fleet_cells_simulated_total", "Fleet-wide simulator runs (last telemetry).", agg.CellsSimulated)
+	cnt("smtd_cluster_fleet_cells_done_total", "Fleet-wide cells finished (last telemetry).", agg.CellsDone)
+	cnt("smtd_cluster_fleet_store_hits_total", "Fleet-wide shared-store hits (last telemetry).", agg.StoreHits)
+	cnt("smtd_cluster_fleet_store_writes_total", "Fleet-wide shared-store writes (last telemetry).", agg.StoreWrites)
+	cnt("smtd_cluster_fleet_checkpoints_written_total", "Fleet-wide checkpoints written (last telemetry).", agg.CheckpointsWritten)
+	cnt("smtd_cluster_fleet_checkpoints_restored_total", "Fleet-wide checkpoints restored (last telemetry).", agg.CheckpointsRestored)
+	cnt("smtd_cluster_fleet_resume_cycles_saved_total", "Fleet-wide cycles resumed instead of re-simulated (last telemetry).", agg.ResumeCyclesSaved)
+}

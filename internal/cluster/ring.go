@@ -1,0 +1,138 @@
+// Package cluster shards the smtd simulation service across a fleet of
+// worker daemons behind one coordinator that speaks the exact same
+// HTTP/JSON job API. The pieces mirror the single-node service's
+// narrow-module discipline:
+//
+//   - Ring: a consistent-hash ring with virtual nodes routes cell keys
+//     to workers, and a node join/leave remaps only ~K/N keys.
+//   - Worker: the remote-executor seam — everything the coordinator
+//     needs from one smtd, implemented over HTTP by Remote (tests use
+//     in-process fakes).
+//   - Coordinator: splits each submitted batch by ring owner, forwards
+//     the groups as remote jobs, mirrors their progress into a local
+//     service.Job (so status/SSE/results look exactly like one
+//     daemon's), steals work from overloaded owners when queue-wait
+//     telemetry diverges, and migrates the in-flight cells of a dead
+//     worker to a survivor — which resumes them from the shared
+//     store's checkpoints rather than cycle zero.
+//
+// Nothing here executes cells: workers stay plain smtds, and all
+// cluster-wide sharing (results and checkpoints) rides the
+// content-addressed store tier the workers already mount.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per worker: enough that the
+// keyspace split stays within a few percent of even for small fleets,
+// cheap enough that join/leave rebuilds are instant.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Keys hash to
+// points on a 64-bit circle; each node owns the keys between its
+// predecessors' points and its own. Adding or removing a node moves
+// only the keys adjacent to that node's points — ~K/N of them — so a
+// worker joining or dying does not reshuffle the cluster's warm
+// ownership wholesale. All methods are safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by hash
+	nodes  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// node (<= 0 → DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+// ringHash is the one hash both sides of the lookup share. sha256 is
+// already the repo's content-key hash; the first 8 bytes are a fine
+// 64-bit point and deterministic across processes, which is what lets
+// a restarted coordinator rebuild identical ownership.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts node's virtual points; a no-op if already present.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{ringHash(fmt.Sprintf("%s#%d", node, i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes node's virtual points; a no-op if absent.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	// First point clockwise from the key's hash, wrapping at the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes lists the members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

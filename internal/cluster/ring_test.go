@@ -1,0 +1,191 @@
+package cluster
+
+// Property tests for the consistent-hash ring. Everything here is
+// deterministic — the ring hashes with sha256 and the randomized sweep
+// seeds math/rand — so the bounds are tight checks, not flaky
+// statistics.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real cell labels, not opaque integers.
+		keys[i] = fmt.Sprintf("kernel:mm/tlp-fine/N=%d", i)
+	}
+	return keys
+}
+
+func ownersOf(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k)
+	}
+	return out
+}
+
+// Load imbalance stays bounded across fleet sizes: with DefaultVnodes
+// virtual nodes the heaviest worker owns at most the fair share
+// ceil(K/N) plus a slack that shrinks in relative terms as the fleet
+// grows. The slack constant (80% of fair share) is the contract the
+// coordinator's capacity planning leans on; tightening vnodes tightens
+// it.
+func TestRingBalanceAcrossFleetSizes(t *testing.T) {
+	const K = 4096
+	keys := ringKeys(K)
+	for n := 1; n <= 16; n++ {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("worker-%d", i))
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			owner := r.Owner(k)
+			if owner == "" {
+				t.Fatalf("n=%d: key %q has no owner", n, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d of %d nodes own keys", n, len(counts), n)
+		}
+		fair := (K + n - 1) / n // ceil(K/N)
+		slack := fair * 4 / 5
+		for node, c := range counts {
+			if c > fair+slack {
+				t.Errorf("n=%d: %s owns %d keys, above fair %d + slack %d", n, node, c, fair, slack)
+			}
+		}
+	}
+}
+
+// A join moves keys only onto the new node: every key either keeps its
+// owner or moves to the joiner, and the moved fraction is on the order
+// of K/(N+1) — the minimal-remap property that keeps a join from
+// flushing the fleet's warm caches.
+func TestRingJoinMovesOnlyToNewNode(t *testing.T) {
+	const K = 4096
+	keys := ringKeys(K)
+	for n := 1; n <= 16; n++ {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("worker-%d", i))
+		}
+		before := ownersOf(r, keys)
+		r.Add("joiner")
+		moved := 0
+		for _, k := range keys {
+			after := r.Owner(k)
+			if after == before[k] {
+				continue
+			}
+			if after != "joiner" {
+				t.Fatalf("n=%d: key %q moved %s -> %s, not to the joiner", n, k, before[k], after)
+			}
+			moved++
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: joiner owns no keys", n)
+		}
+		// Expected moved ≈ K/(n+1); allow 2x before calling it a remap bug.
+		if limit := 2 * K / (n + 1); moved > limit {
+			t.Errorf("n=%d: join moved %d keys, want <= %d (~K/N)", n, moved, limit)
+		}
+	}
+}
+
+// A leave moves only the departed node's keys: every key owned by a
+// survivor keeps its owner exactly, so a worker death invalidates only
+// the dead worker's share of the keyspace.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	const K = 4096
+	keys := ringKeys(K)
+	for n := 2; n <= 16; n++ {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("worker-%d", i))
+		}
+		before := ownersOf(r, keys)
+		victim := "worker-0"
+		r.Remove(victim)
+		for _, k := range keys {
+			after := r.Owner(k)
+			if before[k] == victim {
+				if after == victim {
+					t.Fatalf("n=%d: key %q still owned by removed node", n, k)
+				}
+				continue
+			}
+			if after != before[k] {
+				t.Fatalf("n=%d: key %q moved %s -> %s though its owner survived", n, k, before[k], after)
+			}
+		}
+	}
+}
+
+// Randomized join/leave sweep: after any sequence of membership
+// changes, ownership depends only on the surviving node set — an
+// incrementally-maintained ring answers identically to one built fresh
+// from the same members. This is the property that lets a restarted
+// coordinator rebuild routing from registrations alone.
+func TestRingMembershipSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const K = 512
+	keys := ringKeys(K)
+	r := NewRing(64)
+	live := make(map[string]bool)
+	pool := make([]string, 24)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("node-%02d", i)
+	}
+	for op := 0; op < 80; op++ {
+		name := pool[rng.Intn(len(pool))]
+		if live[name] && rng.Intn(2) == 0 {
+			r.Remove(name)
+			delete(live, name)
+		} else {
+			r.Add(name)
+			live[name] = true
+		}
+		fresh := NewRing(64)
+		// Insertion order shuffled: ownership must not depend on it.
+		perm := rng.Perm(len(pool))
+		for _, i := range perm {
+			if live[pool[i]] {
+				fresh.Add(pool[i])
+			}
+		}
+		if got, want := r.Len(), len(live); got != want {
+			t.Fatalf("op %d: Len = %d, want %d", op, got, want)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), fresh.Owner(k); got != want {
+				t.Fatalf("op %d: incremental ring owns %q via %q, fresh ring via %q", op, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingEmptyAndIdempotentOps(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want \"\"", got)
+	}
+	r.Remove("ghost") // no-op
+	r.Add("a")
+	r.Add("a") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("Len after double Add = %d, want 1", r.Len())
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Fatalf("single-node ring Owner = %q, want a", got)
+	}
+	r.Remove("a")
+	if r.Len() != 0 || r.Owner("anything") != "" {
+		t.Fatal("ring not empty after removing its only node")
+	}
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"smtexplore/internal/service"
+)
+
+// Worker is the coordinator's remote-executor seam: the narrow slice of
+// one smtd's API the cluster needs. The production implementation is
+// Remote (HTTP against a worker daemon); tests swap in in-process
+// fakes, which is what keeps steal/migration logic unit-testable
+// without sockets.
+type Worker interface {
+	// Name identifies the worker on the hash ring.
+	Name() string
+	// Addr is the worker's host:port (diagnostics and topology views).
+	Addr() string
+	// Submit enqueues a batch remotely and returns the remote job ID.
+	// idemKey guards against double-enqueue when a 202 response is lost.
+	Submit(ctx context.Context, req service.SubmitRequest, idemKey string) (string, error)
+	// Status fetches a remote job's progress view.
+	Status(ctx context.Context, id string) (service.JobStatus, error)
+	// Result fetches a terminal remote job's full results.
+	Result(ctx context.Context, id string) (service.JobResult, error)
+	// Cancel aborts a remote job (idempotent server-side).
+	Cancel(ctx context.Context, id string) error
+	// Health probes liveness (nil on a serving worker).
+	Health(ctx context.Context) error
+	// Stats fetches the worker's structured metrics snapshot — the
+	// queue-wait and checkpoint telemetry behind stealing and the
+	// cluster-wide metric aggregates.
+	Stats(ctx context.Context) (service.Metrics, error)
+}
+
+// Remote is the HTTP Worker: the existing single-daemon job API is the
+// cluster's wire protocol, so a worker smtd needs no cluster-specific
+// endpoints at all.
+type Remote struct {
+	name string
+	addr string
+	c    *http.Client
+}
+
+// NewRemote builds the HTTP client for the worker at addr (host:port).
+// name defaults to addr; give explicit names when addresses are
+// ephemeral (port-0 tests) but identity must survive restarts.
+func NewRemote(name, addr string) *Remote {
+	if name == "" {
+		name = addr
+	}
+	return &Remote{
+		name: name,
+		addr: addr,
+		// Requests are small JSON exchanges; anything slower than this is
+		// the health loop's problem, not a reason to hold a submit hostage.
+		c: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (r *Remote) Name() string { return r.name }
+func (r *Remote) Addr() string { return r.addr }
+
+// apiError extracts the service's {"error": ...} body shape.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (r *Remote) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.addr+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (r *Remote) Submit(ctx context.Context, sreq service.SubmitRequest, idemKey string) (string, error) {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+r.addr+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", apiError(resp)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+func (r *Remote) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := r.getJSON(ctx, "/v1/jobs/"+id, &st)
+	return st, err
+}
+
+func (r *Remote) Result(ctx context.Context, id string) (service.JobResult, error) {
+	var res service.JobResult
+	err := r.getJSON(ctx, "/v1/jobs/"+id+"/result", &res)
+	return res, err
+}
+
+func (r *Remote) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, "http://"+r.addr+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+func (r *Remote) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	// A draining worker answers 503: alive as a process, but it must not
+	// receive new work and its in-flight jobs will park checkpoints —
+	// treat it like a dead member for routing purposes.
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+func (r *Remote) Stats(ctx context.Context) (service.Metrics, error) {
+	var m service.Metrics
+	err := r.getJSON(ctx, "/v1/stats", &m)
+	return m, err
+}

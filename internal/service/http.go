@@ -49,7 +49,10 @@ type JobResult struct {
 	Cells []CellResult `json:"cells"`
 }
 
-func (j *Job) status() JobStatus {
+// Status snapshots the job's progress view (cells without results).
+// Exported for the cluster coordinator, which mirrors remote jobs into
+// local Job trackers and serves the same HTTP shapes.
+func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
@@ -76,6 +79,7 @@ func (j *Job) status() JobStatus {
 //	GET    /v1/jobs/{id}/result                      full results (terminal jobs)
 //	GET    /v1/jobs/{id}/cells/{cell}/result         one cell's result (?format=text)
 //	GET    /v1/jobs/{id}/cells/{cell}/artifacts/{name}  obs artifact of an observed cell
+//	GET    /v1/stats                                 JSON metrics snapshot (cluster telemetry)
 //	GET    /healthz                                  liveness (503 while draining)
 //	GET    /metrics                                  Prometheus text metrics
 func (s *Service) Handler() http.Handler {
@@ -88,9 +92,18 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/cells/{cell}/result", s.handleCellResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/cells/{cell}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleStats serves the structured metrics snapshot as JSON — the
+// machine-readable twin of /metrics. The cluster coordinator polls it
+// for queue-wait and checkpoint telemetry (steal and migration
+// accounting) without scraping Prometheus text.
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -146,13 +159,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.status())
+	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	var out []JobStatus
 	for _, j := range s.Jobs() {
-		out = append(out, j.status())
+		out = append(out, j.Status())
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
@@ -167,7 +180,7 @@ func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, j.status())
+		writeJSON(w, http.StatusOK, j.Status())
 	}
 }
 
@@ -178,7 +191,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, _ := s.Job(id)
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -308,6 +321,14 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ServeJobEvents(w, r, j)
+}
+
+// ServeJobEvents streams one job's progress as SSE (see handleEvents
+// for the protocol). Exported so the cluster coordinator can serve the
+// identical stream for its mirrored jobs — smtctl wait cannot tell a
+// coordinator from a single daemon.
+func ServeJobEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")

@@ -79,6 +79,36 @@ func newJob(id string, specs []CellSpec) *Job {
 	return j
 }
 
+// NewRemoteJob builds a Job tracker that is driven from outside the
+// service — the cluster coordinator's mirror of work executing on
+// remote workers. It carries the same states, events, SSE replay and
+// result snapshots as a locally-executed job, which is what makes the
+// coordinator API indistinguishable from a single daemon's. The caller
+// drives it with MarkCellRunning/RecordCell/Conclude.
+func NewRemoteJob(id string, specs []CellSpec) *Job {
+	return newJob(id, specs)
+}
+
+// RecordCell stores one mirrored cell outcome and emits its event.
+// Remote-job trackers only; the service's own jobs record cells
+// internally.
+func (j *Job) RecordCell(i int, res CellResult) {
+	res.Label = j.Specs[i].Label()
+	j.setCell(i, res)
+}
+
+// MarkCellRunning mirrors a remote cell entering execution.
+func (j *Job) MarkCellRunning(i int) { j.markCellRunning(i) }
+
+// NoteCellEvent emits a transient mirrored cell event (e.g. "resumed")
+// without changing the cell's stored state.
+func (j *Job) NoteCellEvent(i int, state, msg string) { j.noteCellEvent(i, state, msg) }
+
+// Conclude drives a remote-job tracker to a state (terminal or
+// "running"), emitting the job event; it reports false if the job was
+// already terminal.
+func (j *Job) Conclude(state, errMsg string) bool { return j.setState(state, errMsg) }
+
 // emitLocked appends an event and wakes subscribers. Callers hold j.mu.
 func (j *Job) emitLocked(ev Event) {
 	ev.Seq = len(j.events)

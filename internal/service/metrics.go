@@ -52,6 +52,7 @@ type Metrics struct {
 	Preemptions          uint64
 	QueueWaitSeconds     float64
 	QueueWaitPops        uint64
+	QueueWaitEWMASeconds float64
 	ShedDeadline         uint64
 	ShedAIMD             uint64
 	HasAIMD              bool
@@ -100,6 +101,7 @@ func (s *Service) Snapshot() Metrics {
 		Preemptions:          s.preemptions,
 		QueueWaitSeconds:     s.queueWaitSeconds,
 		QueueWaitPops:        s.queueWaitPops,
+		QueueWaitEWMASeconds: s.queueWaitEWMA,
 		ShedDeadline:         s.shedDeadline,
 	}
 	s.mu.Unlock()
@@ -200,6 +202,7 @@ func (m Metrics) WriteProm(w *strings.Builder) {
 	fmt.Fprintf(w, "smtd_shed_total{reason=\"deadline\"} %d\n", m.ShedDeadline)
 	fmt.Fprintf(w, "smtd_shed_total{reason=\"aimd\"} %d\n", m.ShedAIMD)
 	counter("smtd_queue_wait_seconds_total", "Cumulative time jobs spent queued before a worker picked them up.", m.QueueWaitSeconds)
+	gauge("smtd_queue_wait_ewma_seconds", "Exponentially-weighted recent queue wait (the cluster steal signal).", m.QueueWaitEWMASeconds)
 	counter("smtd_queue_pops_total", "Jobs handed to workers (denominator for mean queue wait).", m.QueueWaitPops)
 	if m.HasAIMD {
 		gauge("smtd_aimd_limit", "Current AIMD limit on outstanding (queued+active) jobs.", m.AIMDLimit)

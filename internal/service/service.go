@@ -135,6 +135,7 @@ type Service struct {
 	shedDeadline         uint64
 	queueWaitSeconds     float64
 	queueWaitPops        uint64
+	queueWaitEWMA        float64 // seconds; the cluster's steal signal
 
 	// runCell is the cell executor; tests substitute it to make queue
 	// and drain behaviour deterministic. ctl (nil when checkpointing
@@ -197,11 +198,14 @@ func New(cfg Config) *Service {
 }
 
 // noteQueueWait records one measured queue wait and feeds the AIMD
-// control loop.
+// control loop and the exponentially-weighted recent-wait average that
+// /v1/stats exports for the cluster coordinator's steal decisions.
 func (s *Service) noteQueueWait(wait time.Duration) {
 	s.mu.Lock()
 	s.queueWaitSeconds += wait.Seconds()
 	s.queueWaitPops++
+	const alpha = 0.3 // recent pops dominate, but one outlier cannot
+	s.queueWaitEWMA = alpha*wait.Seconds() + (1-alpha)*s.queueWaitEWMA
 	s.mu.Unlock()
 	if s.limiter != nil {
 		s.limiter.observe(wait)

@@ -13,6 +13,11 @@
 //     checksum, length fields and key; a truncated, torn or tampered
 //     file is deleted and reported as a miss, and the next write simply
 //     recreates it.
+//   - Shared-tier addressing: the on-disk name of an entry is a pure
+//     function of its content key, and an index miss re-checks the
+//     directory before reporting it — so several processes (a cluster
+//     of smtd workers, the CLI tools) can point at one directory and
+//     each serves entries any of the others wrote, whenever written.
 //   - Bounded size: when MaxBytes is set, inserting beyond the budget
 //     evicts least-recently-used entries (recency survives restarts via
 //     file mtimes). Loads hold the store lock for the duration of the
@@ -86,6 +91,10 @@ type Stats struct {
 	IOErrors uint64
 	// Writes counts successful Put/Store calls.
 	Writes uint64
+	// Adopted counts hits served by indexing an entry file another
+	// process wrote into the shared directory after this store opened
+	// (each adoption also counts in Hits).
+	Adopted uint64
 	// Entries and Bytes describe the current resident set.
 	Entries int
 	Bytes   int64
@@ -224,14 +233,22 @@ func (s *Store) Load(key string) ([]byte, bool) {
 // itself failed, leaving the entry in place for a retry. The read
 // happens under the store lock, so a concurrent eviction cannot
 // interleave with it.
+//
+// A key absent from the in-memory index is still checked against the
+// directory before being called a miss: the index is a snapshot from
+// Open, and in a shared-tier deployment (several smtd workers pointing
+// at one directory) another process may have written the entry since.
+// A decodable on-disk file is adopted into the index and served as a
+// hit — this is what lets any cluster worker serve any warm key, and
+// what lets a surviving worker restore a checkpoint its dead peer
+// parked after this process started.
 func (s *Store) Get(key string) ([]byte, bool, error) {
 	name := fileName(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
 	if !ok {
-		s.stats.Misses++
-		return nil, false, nil
+		return s.adoptLocked(name, key)
 	}
 	data, err := os.ReadFile(filepath.Join(s.dir, name))
 	if err == nil {
@@ -262,6 +279,46 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	now := time.Now()
 	_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
 	s.stats.Hits++
+	return payload, true, nil
+}
+
+// adoptLocked resolves an index miss against the directory itself: a
+// valid entry file written by another process sharing the directory is
+// indexed, counted as a hit (and Adopted), and returned. Anything else
+// is the plain miss it always was. Caller holds s.mu.
+func (s *Store) adoptLocked(name, key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err == nil {
+		err = faultinject.Hit(faultinject.PointStoreRead)
+	}
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.stats.Misses++
+			return nil, false, nil
+		}
+		// The file exists but the filesystem failed: surface it like any
+		// other read error so the breaker can count it.
+		s.stats.IOErrors++
+		s.stats.Misses++
+		return nil, false, fmt.Errorf("store: read %s: %w", name, err)
+	}
+	payload, err := decode(data, key)
+	if err != nil {
+		// A foreign or torn file under an entry name: not ours to trust.
+		// Leave it alone (its writer may still be mid-flight elsewhere)
+		// and report the miss.
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	e := &entry{name: name, size: int64(len(data))}
+	e.elem = s.lru.PushFront(e)
+	s.entries[name] = e
+	s.bytes += e.size
+	now := time.Now()
+	_ = os.Chtimes(filepath.Join(s.dir, name), now, now)
+	s.stats.Hits++
+	s.stats.Adopted++
+	s.evictOverBudgetLocked()
 	return payload, true, nil
 }
 
@@ -352,14 +409,19 @@ func (s *Store) dropLocked(e *entry, corrupt bool) {
 }
 
 // Delete removes the entry for key, if present. Checkpoint sinks use
-// it: once a resumed cell completes, its checkpoint is garbage.
+// it: once a resumed cell completes, its checkpoint is garbage. In a
+// shared directory the entry may exist on disk without being indexed
+// here (a peer wrote it); the file is removed either way so a stale
+// checkpoint cannot outlive its cell.
 func (s *Store) Delete(key string) {
 	name := fileName(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[name]; ok {
 		s.dropLocked(e, false)
+		return
 	}
+	os.Remove(filepath.Join(s.dir, name))
 }
 
 // Stats snapshots the counters and resident-set size.

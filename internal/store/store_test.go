@@ -323,3 +323,71 @@ func TestEncodeDecode(t *testing.T) {
 		t.Fatal("decode with wrong key succeeded")
 	}
 }
+
+// Two Store instances sharing one directory model a cluster of smtd
+// workers over a shared read-through tier: an entry written through one
+// instance after the other opened must still be servable by the other
+// (adopted from disk on the index miss), because that is what lets any
+// worker serve any warm key — and a survivor restore a dead peer's
+// checkpoint.
+func TestSharedDirAdoptsPeerWrites(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, 0)
+	b := mustOpen(t, dir, 0) // opens before a writes anything
+
+	a.Store("k", []byte("peer payload"))
+	got, ok := b.Load("k")
+	if !ok || string(got) != "peer payload" {
+		t.Fatalf("peer instance Load = %q, %v, want adopted hit", got, ok)
+	}
+	st := b.Stats()
+	if st.Adopted != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want 1 adopted, 1 hit, 1 entry", st)
+	}
+	// Second load is a plain indexed hit, not another adoption.
+	if _, ok := b.Load("k"); !ok {
+		t.Fatal("re-load after adoption missed")
+	}
+	if st := b.Stats(); st.Adopted != 1 || st.Hits != 2 {
+		t.Errorf("after re-load: stats %+v, want adopted still 1, hits 2", st)
+	}
+}
+
+// A missing key must stay a plain miss (no phantom adoption), and a
+// foreign file squatting on an entry name must not be adopted, deleted
+// or trusted.
+func TestAdoptionRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if _, ok := s.Load("absent"); ok {
+		t.Fatal("absent key reported a hit")
+	}
+	name := fileName("squat")
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("not a store entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("squat"); ok {
+		t.Fatal("foreign file was adopted as a hit")
+	}
+	if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+		t.Fatalf("foreign file was removed by a failed adoption: %v", err)
+	}
+	if st := s.Stats(); st.Adopted != 0 {
+		t.Errorf("Adopted = %d, want 0", st.Adopted)
+	}
+}
+
+// Delete must remove a shared-directory entry even when this instance
+// never indexed it, so a resumed cell's checkpoint cannot linger after
+// a peer parked it.
+func TestDeleteUnindexedPeerEntry(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, 0)
+	b := mustOpen(t, dir, 0)
+	a.Store("k", []byte("payload"))
+
+	b.Delete("k") // b never loaded it, so it is not in b's index
+	if _, ok := a.Load("k"); ok {
+		t.Fatal("entry survived a peer Delete")
+	}
+}
