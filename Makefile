@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke study-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke study-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test ./internal/isa -fuzz FuzzInstrValidate -fuzztime 10s
 	$(GO) test ./internal/isa -fuzz FuzzInstrConstruct -fuzztime 10s
 	$(GO) test ./internal/checkpoint -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/study/spec -fuzz FuzzParseSpec -fuzztime 10s
 
 # One end-to-end regeneration of every figure/table, plus the runner's
 # synthetic speedup benchmark (CI uploads the combined log as the
@@ -63,6 +64,12 @@ chaos-smoke:
 # a survivor with a byte-identical result (CI runs the same script).
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Study-engine smoke: the committed Figure 1 / Table 1 specs must be
+# byte-identical to the direct CLIs and warm re-runs must simulate
+# zero cells (the dedupe/adoption contract across tools).
+study-smoke:
+	./scripts/study-smoke.sh
 
 # Sample observability bundle: a Perfetto-loadable pipeline trace, an
 # occupancy CSV and a metrics snapshot (CI uploads obs-sample/).

@@ -17,6 +17,9 @@
 //	smtctl result j0001 [-cell 0] [-text]    # results (terminal jobs)
 //	smtctl cancel j0001                      # abort
 //	smtctl cluster                           # cluster topology (coordinators only)
+//	smtctl study run -f fig1.study.json      # compile + execute a declarative study
+//	smtctl study status fig1                 # persisted study summary JSON
+//	smtctl study report fig1                 # persisted Markdown report
 //
 // Every command works identically against a single smtd and a cluster
 // coordinator — the coordinator serves the same job API — except
@@ -45,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"smtexplore/internal/cluster"
 	"smtexplore/internal/service"
@@ -94,8 +98,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smtctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8377", "smtd or coordinator address (host:port)")
 	maxRetries := fs.Int("max-retries", 5, "retries for transient failures (429/502/503/504, dropped connections); 0 disables")
+	timeout := fs.Duration("timeout", 0, "per-request budget; wait re-dials the event stream when it is silent this long (0: none)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] submit|status|wait|result|cancel|cluster [args]")
+		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] [-timeout d] submit|status|wait|result|cancel|cluster|study [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -108,7 +113,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(rest) == 0 {
 		return usage(fs, "missing command")
 	}
-	c := client{ctx: ctx, base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries)}
+	c := client{ctx: ctx, base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries), timeout: *timeout}
 	switch rest[0] {
 	case "submit":
 		return c.submit(rest[1:])
@@ -122,25 +127,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return c.cancel(rest[1:])
 	case "cluster":
 		return c.cluster(rest[1:])
+	case "study":
+		return c.study(rest[1:])
 	}
 	return usage(fs, "unknown command %q", rest[0])
 }
 
 type client struct {
-	ctx   context.Context
-	base  string
-	out   io.Writer
-	retry retrier
+	ctx     context.Context
+	base    string
+	out     io.Writer
+	retry   retrier
+	timeout time.Duration
 }
 
 // get issues a ctx-bound GET so a signal cancels in-flight requests,
-// not just backoff waits.
+// not just backoff waits; -timeout additionally deadlines the attempt
+// (headers and body both — the budget stays armed until Close).
 func (c client) get(path string) (*http.Response, error) {
-	hreq, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+path, nil)
+	rctx, cancel := c.reqCtx()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	return http.DefaultClient.Do(hreq)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
 }
 
 // apiError extracts the service's {"error": ...} body.
@@ -248,13 +265,21 @@ func (c client) submit(args []string) error {
 	// the daemon hands back the live job instead of running it twice.
 	idemKey := fmt.Sprintf("%x", sha256.Sum256(body))
 	resp, err := c.retry.do(c.ctx, "submit", func() (*http.Response, error) {
-		hreq, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+		rctx, cancel := c.reqCtx()
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("Idempotency-Key", idemKey)
-		return http.DefaultClient.Do(hreq)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+		return resp, nil
 	})
 	if err != nil {
 		return err
@@ -320,8 +345,13 @@ func (c client) wait(args []string) error {
 	}
 	lastID := -1
 	for try := 0; ; try++ {
+		// The stream itself may legitimately outlive -timeout, so the
+		// connection context has no deadline; instead an idle watchdog
+		// cancels it when the stream goes silent for -timeout, and the
+		// Last-Event-ID reconnect replays whatever was missed.
+		wctx, wcancel := context.WithCancel(c.ctx)
 		resp, err := c.retry.do(c.ctx, "wait "+id, func() (*http.Response, error) {
-			hreq, err := http.NewRequestWithContext(c.ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+			hreq, err := http.NewRequestWithContext(wctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 			if err != nil {
 				return nil, err
 			}
@@ -331,14 +361,29 @@ func (c client) wait(args []string) error {
 			return http.DefaultClient.Do(hreq)
 		})
 		if err != nil {
+			wcancel()
 			return err
 		}
 		if resp.StatusCode != http.StatusOK {
+			defer wcancel()
 			defer resp.Body.Close()
 			return apiError(resp)
 		}
-		done, outcome, cause := c.followEvents(resp.Body, id, *quiet, &lastID)
+		var body io.Reader = resp.Body
+		var idle *time.Timer
+		if c.timeout > 0 {
+			idle = time.AfterFunc(c.timeout, wcancel)
+			body = idleReset{r: resp.Body, timer: idle, d: c.timeout}
+		}
+		done, outcome, cause := c.followEvents(body, id, *quiet, &lastID)
+		if idle != nil {
+			idle.Stop()
+		}
+		if wctx.Err() != nil && c.ctx.Err() == nil {
+			cause = fmt.Errorf("no events for %v (idle watchdog)", c.timeout)
+		}
 		resp.Body.Close()
+		wcancel()
 		if done {
 			return outcome
 		}
@@ -470,11 +515,19 @@ func (c client) cancel(args []string) error {
 	// Cancelling an already-cancelled job is a no-op server-side, so the
 	// DELETE is safe to retry.
 	resp, err := c.retry.do(c.ctx, "cancel "+id, func() (*http.Response, error) {
-		hreq, err := http.NewRequestWithContext(c.ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+		rctx, cancel := c.reqCtx()
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
-		return http.DefaultClient.Do(hreq)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+		return resp, nil
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// reqCtx bounds one request attempt with the global -timeout. Each
+// retry gets a fresh budget, so -timeout caps a wedged connection, not
+// the whole command. The cancel must outlive the response body — tie
+// it to Close with cancelOnClose, or the decode races the deadline.
+func (c client) reqCtx() (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(c.ctx, c.timeout)
+	}
+	return context.WithCancel(c.ctx)
+}
+
+// cancelOnClose releases a request's context when the caller finishes
+// the body, keeping the deadline armed across the whole read.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	b.cancel()
+	return b.ReadCloser.Close()
+}
+
+// idleReset re-arms the wait watchdog on every chunk the event stream
+// delivers, so -timeout bounds silence, not total stream length — a
+// healthy job may legitimately stream for far longer than the timeout.
+type idleReset struct {
+	r     io.Reader
+	timer *time.Timer
+	d     time.Duration
+}
+
+func (ir idleReset) Read(p []byte) (int, error) {
+	n, err := ir.r.Read(p)
+	if n > 0 {
+		ir.timer.Reset(ir.d)
+	}
+	return n, err
+}

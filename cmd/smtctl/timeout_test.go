@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimeoutBoundsStalledRequest: a wedged connection must fail within
+// the -timeout budget instead of hanging the command forever.
+func TestTimeoutBoundsStalledRequest(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(stall)
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	start := time.Now()
+	_, err := ctl(t, addr, "-timeout", "100ms", "-max-retries", "0", "status", "j1")
+	if err == nil {
+		t.Fatal("status against a stalled server should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("status took %v despite -timeout 100ms", elapsed)
+	}
+}
+
+// TestWaitIdleWatchdogRedials: a silent event stream is re-dialed after
+// -timeout with Last-Event-ID replay, so a wedged connection costs one
+// reconnect, not a hung wait — and not a lost event.
+func TestWaitIdleWatchdogRedials(t *testing.T) {
+	var conns atomic.Int32
+	var lastEventID atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		if conns.Add(1) == 1 {
+			fmt.Fprintf(w, "id: 0\nevent: cell\ndata: {\"cell\":0,\"state\":\"done\"}\n\n")
+			fl.Flush()
+			<-r.Context().Done() // wedge: no further events, ever
+			return
+		}
+		lastEventID.Store(r.Header.Get("Last-Event-ID"))
+		fmt.Fprint(w, "event: end\ndata: {\"state\":\"done\"}\n\n")
+		fl.Flush()
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	out, err := ctl(t, addr, "-timeout", "200ms", "wait", "j1")
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if !strings.Contains(out, "j1 done") {
+		t.Errorf("wait output %q lacks the terminal line", out)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Errorf("server saw %d connections, want 2 (wedged + redial)", got)
+	}
+	if got, _ := lastEventID.Load().(string); got != "0" {
+		t.Errorf("redial sent Last-Event-ID %q, want \"0\"", got)
+	}
+}

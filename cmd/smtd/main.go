@@ -105,6 +105,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	vnodes := fs.Int("vnodes", 0, "coordinator: virtual nodes per worker on the hash ring (0: default 128)")
 	healthInterval := fs.Duration("health-interval", 0, "coordinator: worker health/telemetry probe interval (0: default 500ms)")
 	stealMargin := fs.Int("steal-margin", 0, "coordinator: outstanding-jobs divergence before work stealing (0: default 2)")
+	pollInterval := fs.Duration("poll-interval", 0, "coordinator: remote-job progress poll interval (0: default 75ms)")
+	pollJitter := fs.Float64("poll-jitter", 0, "coordinator: poll spread as a fraction of -poll-interval (0: default 0.2; negative: none)")
 	join := fs.String("join", "", "worker: coordinator address to heartbeat registrations to")
 	name := fs.String("name", "", "worker: name to register under with -join (default: the bound address)")
 	if err := fs.Parse(args); err != nil {
@@ -129,6 +131,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Vnodes:         *vnodes,
 			HealthInterval: *healthInterval,
 			StealMargin:    *stealMargin,
+			PollInterval:   *pollInterval,
+			PollJitter:     *pollJitter,
 		})
 	}
 	if *workers < 1 {

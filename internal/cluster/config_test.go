@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPollDelayJitter pins the jitter contract: every draw stays inside
+// PollInterval·[1−j, 1+j], and the draws actually vary — a fleet of
+// group pollers must not fire in phase.
+func TestPollDelayJitter(t *testing.T) {
+	cfg := Config{PollInterval: 100 * time.Millisecond, PollJitter: 0.2}
+	cfg.fill()
+	lo, hi := 80*time.Millisecond, 120*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 500; i++ {
+		d := cfg.pollDelay()
+		if d < lo || d > hi {
+			t.Fatalf("pollDelay() = %v, want within [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("500 draws produced only %d distinct delays — jitter is not spreading", len(seen))
+	}
+}
+
+func TestPollDelayDefaultsAndDisable(t *testing.T) {
+	var def Config
+	def.fill()
+	if def.PollJitter != 0.2 {
+		t.Errorf("default PollJitter = %v, want 0.2", def.PollJitter)
+	}
+
+	off := Config{PollInterval: 50 * time.Millisecond, PollJitter: -1}
+	off.fill()
+	if off.PollJitter != 0 {
+		t.Fatalf("negative PollJitter should disable, got %v", off.PollJitter)
+	}
+	for i := 0; i < 10; i++ {
+		if d := off.pollDelay(); d != 50*time.Millisecond {
+			t.Fatalf("disabled jitter returned %v, want the exact interval", d)
+		}
+	}
+
+	over := Config{PollJitter: 7}
+	over.fill()
+	if over.PollJitter != 1 {
+		t.Errorf("PollJitter should cap at 1, got %v", over.PollJitter)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -42,6 +43,11 @@ type Config struct {
 	StealMinWait time.Duration
 	// PollInterval paces remote-job progress polling (<= 0 → 75ms).
 	PollInterval time.Duration
+	// PollJitter spreads each poll wait uniformly over
+	// PollInterval·[1−j, 1+j], so a coordinator fronting many groups
+	// does not hit every worker in lockstep (0 → 0.2; negative →
+	// jitter off; capped at 1).
+	PollJitter float64
 	// PollFailures is how many consecutive poll errors on a group's
 	// worker trigger checkpoint-migration to a survivor (<= 0 → 3).
 	PollFailures int
@@ -66,9 +72,28 @@ func (c *Config) fill() {
 	if c.PollInterval <= 0 {
 		c.PollInterval = 75 * time.Millisecond
 	}
+	switch {
+	case c.PollJitter == 0:
+		c.PollJitter = 0.2
+	case c.PollJitter < 0:
+		c.PollJitter = 0
+	case c.PollJitter > 1:
+		c.PollJitter = 1
+	}
 	if c.PollFailures <= 0 {
 		c.PollFailures = 3
 	}
+}
+
+// pollDelay is one jittered poll wait: PollInterval scaled by a
+// uniform draw from [1−j, 1+j]. Each wait draws independently, so
+// group pollers that start together decorrelate within a few rounds.
+func (c *Config) pollDelay() time.Duration {
+	if c.PollJitter == 0 {
+		return c.PollInterval
+	}
+	f := 1 + c.PollJitter*(2*rand.Float64()-1)
+	return time.Duration(float64(c.PollInterval) * f)
 }
 
 // member is one registered worker plus the coordinator's view of it:
@@ -612,7 +637,7 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 		case <-c.baseCtx.Done():
 			cj.failGroup(g, "coordinator shut down")
 			return true
-		case <-time.After(c.cfg.PollInterval):
+		case <-time.After(c.cfg.pollDelay()):
 		}
 	}
 	if err != nil {
@@ -626,16 +651,16 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 		cj.tracker.MarkCellRunning(i)
 	}
 
-	// Poll until the remote job is terminal.
+	// Poll until the remote job is terminal. Each wait re-draws its
+	// jitter, so concurrent group pollers spread their status requests
+	// instead of hammering workers in phase.
 	fails := 0
-	tick := time.NewTicker(c.cfg.PollInterval)
-	defer tick.Stop()
 	for {
 		select {
 		case <-c.baseCtx.Done():
 			cj.failGroup(g, "coordinator shut down")
 			return true
-		case <-tick.C:
+		case <-time.After(c.cfg.pollDelay()):
 		}
 		// Forward a client cancellation exactly once per assignment.
 		cj.mu.Lock()

@@ -22,6 +22,75 @@ func (o Options) StreamCell(mcfg smt.Config, specs []streams.Spec, window uint64
 	return o.measureCPI(mcfg, specs, window)
 }
 
+// StreamCellKey is the content key a stream-measurement cell is cached
+// and stored under — exactly the key the Figure 1/2 harnesses use, so an
+// external planner (the study engine) can probe a store for warm results
+// without simulating.
+func StreamCellKey(mcfg smt.Config, specs []streams.Spec, window uint64) string {
+	return runner.Key("measure-cpi", mcfg, specs, window)
+}
+
+// namedKernelPlan resolves the canonical (kernel, size) instance into
+// its config (the key ingredient), display label and builder.
+func namedKernelPlan(kernel string, size int) (cfg any, label string, build func() (Builder, error), err error) {
+	switch kernel {
+	case "mm":
+		if size <= 0 {
+			return nil, "", nil, fmt.Errorf("experiments: mm needs a size > 0")
+		}
+		c := mm.DefaultConfig(size)
+		return c, fmt.Sprintf("N=%d", size), func() (Builder, error) { return mm.New(c) }, nil
+	case "lu":
+		if size <= 0 {
+			return nil, "", nil, fmt.Errorf("experiments: lu needs a size > 0")
+		}
+		c := lu.DefaultConfig(size)
+		return c, fmt.Sprintf("N=%d", size), func() (Builder, error) { return lu.New(c) }, nil
+	case "cg":
+		c := cg.DefaultConfig()
+		if size > 0 {
+			c.N = size
+		}
+		label := fmt.Sprintf("n=%d nnz/row=%d iters=%d", c.N, c.NNZPerRow, c.Iters)
+		return c, label, func() (Builder, error) { return cg.New(c) }, nil
+	case "bt":
+		c := bt.DefaultConfig()
+		if size > 0 {
+			c.G = size
+		}
+		label := fmt.Sprintf("G=%d steps=%d", c.G, c.Steps)
+		return c, label, func() (Builder, error) { return bt.New(c) }, nil
+	}
+	return nil, "", nil, fmt.Errorf("experiments: unknown kernel %q", kernel)
+}
+
+// KernelCellKey is the content key of the canonical (kernel, size, mode)
+// cell — the same key NamedKernelCell and the Figure 3/4/5 sweeps cache
+// under, exported for store probing alongside StreamCellKey.
+func KernelCellKey(kernel string, size int, mode kernels.Mode) (string, error) {
+	cfg, label, _, err := namedKernelPlan(kernel, size)
+	if err != nil {
+		return "", err
+	}
+	return runner.Key("kernel", KernelMachineConfig(), kernel, cfg, mode, label), nil
+}
+
+// KernelModes lists the execution modes the canonical (kernel, size)
+// instance implements, in its presentation order — the order the
+// Figure 3/4/5 sweeps enumerate, so a planner that defaults to "all
+// modes" reproduces the figures' row order exactly.
+func KernelModes(kernel string, size int) ([]kernels.Mode, error) {
+	_, _, build, err := namedKernelPlan(kernel, size)
+	if err != nil {
+		return nil, err
+	}
+	b, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return b.Modes(), nil
+}
+
 // NamedKernelCell runs the canonical (kernel, size, mode) cell on the
 // scaled kernel machine through the options' cache, under the same
 // content key the Figure 3/4/5 harnesses use — a service request for
@@ -30,42 +99,9 @@ func (o Options) StreamCell(mcfg smt.Config, specs []streams.Spec, window uint64
 // the instance defaults for cg (N) and bt (G) when non-zero.
 func NamedKernelCell(o Options, kernel string, size int, mode kernels.Mode) (KernelMetrics, error) {
 	mcfg := KernelMachineConfig()
-	var (
-		cfg   any
-		build func() (Builder, error)
-		label string
-	)
-	switch kernel {
-	case "mm":
-		if size <= 0 {
-			return KernelMetrics{}, fmt.Errorf("experiments: mm needs a size > 0")
-		}
-		c := mm.DefaultConfig(size)
-		cfg, label = c, fmt.Sprintf("N=%d", size)
-		build = func() (Builder, error) { return mm.New(c) }
-	case "lu":
-		if size <= 0 {
-			return KernelMetrics{}, fmt.Errorf("experiments: lu needs a size > 0")
-		}
-		c := lu.DefaultConfig(size)
-		cfg, label = c, fmt.Sprintf("N=%d", size)
-		build = func() (Builder, error) { return lu.New(c) }
-	case "cg":
-		c := cg.DefaultConfig()
-		if size > 0 {
-			c.N = size
-		}
-		cfg, label = c, fmt.Sprintf("n=%d nnz/row=%d iters=%d", c.N, c.NNZPerRow, c.Iters)
-		build = func() (Builder, error) { return cg.New(c) }
-	case "bt":
-		c := bt.DefaultConfig()
-		if size > 0 {
-			c.G = size
-		}
-		cfg, label = c, fmt.Sprintf("G=%d steps=%d", c.G, c.Steps)
-		build = func() (Builder, error) { return bt.New(c) }
-	default:
-		return KernelMetrics{}, fmt.Errorf("experiments: unknown kernel %q", kernel)
+	cfg, label, build, err := namedKernelPlan(kernel, size)
+	if err != nil {
+		return KernelMetrics{}, err
 	}
 	key := runner.Key("kernel", mcfg, kernel, cfg, mode, label)
 	return o.runKernel(key, build, mode, mcfg, label)

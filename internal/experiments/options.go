@@ -53,7 +53,7 @@ func (o Options) measureCPI(mcfg smt.Config, specs []streams.Spec, window uint64
 		}
 		return cpi, o.export(ins, label, false)
 	}
-	return runner.Cached(o.Cache, runner.Key("measure-cpi", mcfg, specs, window), func() ([]float64, error) {
+	return runner.Cached(o.Cache, StreamCellKey(mcfg, specs, window), func() ([]float64, error) {
 		return MeasureCPI(mcfg, specs, window)
 	})
 }

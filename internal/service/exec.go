@@ -236,11 +236,29 @@ func (s *Service) computeCell(ctx context.Context, spec CellSpec, artifactDir st
 	if ctl != nil {
 		opt.Checkpoint = ctl.ck
 	}
-	var innerLabel string
 	if spec.Observe {
 		opt.Observe = &experiments.Observe{Dir: artifactDir}
 	}
+	return EvalCell(ctx, spec, opt)
+}
 
+// EvalCell executes one cell spec against the given harness options and
+// maps the outcome onto the cell-state machine. This is the service's
+// cell semantics without the daemon around it: computeCell delegates
+// here, and the study engine's local backend calls it directly so both
+// paths produce identical results for identical specs. Errors and
+// panics become the cell's failure state; ctx cancellation is reported
+// as the distinct cancelled state.
+func EvalCell(ctx context.Context, spec CellSpec, opt experiments.Options) (res CellResult) {
+	res = CellResult{Label: spec.Label()}
+	defer func() {
+		if p := recover(); p != nil {
+			res.State = CellFailed
+			res.Error = fmt.Sprintf("cell panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+
+	var innerLabel string
 	var err error
 	switch spec.Type {
 	case TypeStream:
@@ -258,7 +276,12 @@ func (s *Service) computeCell(ctx context.Context, spec CellSpec, artifactDir st
 			res.Kernel = &km
 		}
 	case TypeHarness:
-		res.Text, err = harnesses[spec.Harness](ctx, opt, spec.Sizes)
+		h, ok := harnesses[spec.Harness]
+		if !ok {
+			err = fmt.Errorf("unknown harness %q", spec.Harness)
+			break
+		}
+		res.Text, err = h(ctx, opt, spec.Sizes)
 	default:
 		err = fmt.Errorf("unknown cell type %q", spec.Type)
 	}

@@ -256,9 +256,11 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	}
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			// The index said present but the file is gone — treat like
-			// corruption: drop the entry, report a miss.
-			s.dropLocked(e, true)
+			// The index said present but the file is gone. In a shared
+			// directory that is routine — a peer evicted or deleted the
+			// entry — so it is a plain miss; Corrupt stays reserved for
+			// entries that fail verification.
+			s.dropLocked(e, false)
 			s.stats.Misses++
 			return nil, false, nil
 		}

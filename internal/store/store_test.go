@@ -391,3 +391,80 @@ func TestDeleteUnindexedPeerEntry(t *testing.T) {
 		t.Fatal("entry survived a peer Delete")
 	}
 }
+
+// TestAdoptionRacesEviction hammers the shared-directory protocol from
+// both sides at once: a writer store churns keys through a tiny budget
+// (constant eviction) while reader stores adopt whatever entry files
+// they find. Writes are atomic renames and evictions atomic unlinks,
+// so every Get must resolve to either the exact payload or a clean
+// miss — never a torn read, a corruption count, or an I/O error.
+func TestAdoptionRacesEviction(t *testing.T) {
+	dir := t.TempDir()
+	const keys = 20
+	key := func(i int) string { return fmt.Sprintf("race-%d", i) }
+	payload := func(i int) []byte { return bytes.Repeat([]byte(key(i)+"|"), 64) }
+
+	writer := mustOpen(t, dir, 4<<10) // a handful of 1KB-ish entries
+	readers := []*Store{mustOpen(t, dir, 4<<10), mustOpen(t, dir, 0)}
+
+	var wg sync.WaitGroup
+	var writerDone atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for n := 0; n < 300; n++ {
+			if err := writer.Put(key(n%keys), payload(n%keys)); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+		}
+	}()
+	for r := range readers {
+		wg.Add(1)
+		go func(s *Store, seed int) {
+			defer wg.Done()
+			check := func(i int) bool {
+				got, ok, err := s.Get(key(i))
+				if err != nil {
+					t.Errorf("Get(%s): %v", key(i), err)
+					return false
+				}
+				if ok && !bytes.Equal(got, payload(i)) {
+					t.Errorf("Get(%s) returned a torn payload (%d bytes)", key(i), len(got))
+					return false
+				}
+				return true
+			}
+			// Race the writer for as long as it runs, then sweep every
+			// key once more: the final sweep is guaranteed to adopt
+			// whatever the writer left resident.
+			for n := 0; !writerDone.Load(); n++ {
+				if !check((n*7 + seed) % keys) {
+					return
+				}
+			}
+			for i := 0; i < keys; i++ {
+				if !check(i) {
+					return
+				}
+			}
+		}(readers[r], r)
+	}
+	wg.Wait()
+
+	if st := writer.Stats(); st.Evictions == 0 {
+		t.Errorf("writer never evicted — the race was not exercised: %+v", st)
+	}
+	adopted := uint64(0)
+	for _, s := range readers {
+		st := s.Stats()
+		adopted += st.Adopted
+		if st.Corrupt != 0 || st.IOErrors != 0 {
+			t.Errorf("reader saw corruption under the race: %+v", st)
+		}
+	}
+	if adopted == 0 {
+		t.Errorf("readers never adopted a peer write — the race was not exercised")
+	}
+}

@@ -1,0 +1,71 @@
+package budget
+
+import (
+	"strings"
+	"testing"
+
+	"smtexplore/internal/study/compile"
+	"smtexplore/internal/study/spec"
+)
+
+func plan(t *testing.T, in string) *compile.Plan {
+	t.Helper()
+	s, err := spec.Parse([]byte(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	p, err := compile.Compile(s)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+const fig1Spec = `{"name":"f","sweeps":[{"name":"s","kind":"stream",
+	"streams":["fadd","iadd"],"ilp":["min"],"window":1000}]}`
+
+func TestAdmitUnlimited(t *testing.T) {
+	p := plan(t, fig1Spec)
+	d := Admit(p, spec.Budget{}, nil)
+	if len(d.Admitted) != len(p.Cells) || len(d.Skipped) != 0 {
+		t.Fatalf("unlimited budget skipped cells: %+v", d)
+	}
+	if d.ColdCells != len(p.Cells) || d.EstimatedCycles != uint64(len(p.Cells))*1000 {
+		t.Errorf("cold accounting: %+v", d)
+	}
+}
+
+func TestAdmitCycleBudget(t *testing.T) {
+	p := plan(t, fig1Spec) // 4 cells à 1000 cycles
+	d := Admit(p, spec.Budget{Cycles: 2500}, nil)
+	if d.ColdCells != 2 || len(d.Skipped) != 2 {
+		t.Fatalf("cycle budget admitted %d, skipped %d", d.ColdCells, len(d.Skipped))
+	}
+	if !strings.Contains(d.Skipped[0].Reason, "cycle budget exhausted") {
+		t.Errorf("reason = %q", d.Skipped[0].Reason)
+	}
+	if d.Skipped[0].Label == "" {
+		t.Errorf("skips must carry labels for the report appendix")
+	}
+}
+
+func TestAdmitCellBudget(t *testing.T) {
+	p := plan(t, fig1Spec)
+	d := Admit(p, spec.Budget{Cells: 1}, nil)
+	if d.ColdCells != 1 || len(d.Skipped) != 3 {
+		t.Fatalf("cell budget admitted %d, skipped %d", d.ColdCells, len(d.Skipped))
+	}
+}
+
+func TestAdmitWarmCellsAreFree(t *testing.T) {
+	p := plan(t, fig1Spec)
+	warm := map[string]bool{p.Cells[0].Key: true, p.Cells[2].Key: true}
+	d := Admit(p, spec.Budget{Cycles: 2000}, ProbeFunc(func(k string) bool { return warm[k] }))
+	// Two warm (free) + the budget covers the two remaining cold cells.
+	if len(d.Admitted) != 4 || len(d.Skipped) != 0 {
+		t.Fatalf("warm-aware admission: %+v", d)
+	}
+	if len(d.Warm) != 2 || d.ColdCells != 2 || d.EstimatedCycles != 2000 {
+		t.Errorf("warm accounting: %+v", d)
+	}
+}
