@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke study-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke study-smoke load-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke study-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke study-smoke load-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test ./internal/isa -fuzz FuzzInstrConstruct -fuzztime 10s
 	$(GO) test ./internal/checkpoint -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/study/spec -fuzz FuzzParseSpec -fuzztime 10s
+	$(GO) test ./internal/loadgen -fuzz FuzzParseScenario -fuzztime 10s
 
 # One end-to-end regeneration of every figure/table, plus the runner's
 # synthetic speedup benchmark (CI uploads the combined log as the
@@ -64,6 +65,15 @@ chaos-smoke:
 # a survivor with a byte-identical result (CI runs the same script).
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Multi-tenant SLO smoke: loadgen drives a light tenant and a
+# 10x-heavier neighbour at a quota-configured smtd (plus a worker
+# SIGKILL against a cluster) and asserts the isolation SLOs: light
+# goodput >= 80% of solo, light p99 <= 2x solo, heavy shed with named
+# quota causes, and zero light-tenant failures under chaos (CI runs
+# the same script).
+load-smoke:
+	./scripts/load-smoke.sh
 
 # Study-engine smoke: the committed Figure 1 / Table 1 specs must be
 # byte-identical to the direct CLIs and warm re-runs must simulate

@@ -99,8 +99,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8377", "smtd or coordinator address (host:port)")
 	maxRetries := fs.Int("max-retries", 5, "retries for transient failures (429/502/503/504, dropped connections); 0 disables")
 	timeout := fs.Duration("timeout", 0, "per-request budget; wait re-dials the event stream when it is silent this long (0: none)")
+	tenantName := fs.String("tenant", "", "submit as this tenant (X-Tenant header; empty: the daemon's default tenant)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] [-timeout d] submit|status|wait|result|cancel|cluster|study [args]")
+		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] [-timeout d] [-tenant name] submit|status|wait|result|cancel|cluster|study [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -113,7 +114,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(rest) == 0 {
 		return usage(fs, "missing command")
 	}
-	c := client{ctx: ctx, base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries), timeout: *timeout}
+	c := client{ctx: ctx, base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries), timeout: *timeout, tenant: *tenantName}
 	switch rest[0] {
 	case "submit":
 		return c.submit(rest[1:])
@@ -139,6 +140,8 @@ type client struct {
 	out     io.Writer
 	retry   retrier
 	timeout time.Duration
+	// tenant, when non-empty, rides every submission as X-Tenant.
+	tenant string
 }
 
 // get issues a ctx-bound GET so a signal cancels in-flight requests,
@@ -273,6 +276,9 @@ func (c client) submit(args []string) error {
 		}
 		hreq.Header.Set("Content-Type", "application/json")
 		hreq.Header.Set("Idempotency-Key", idemKey)
+		if c.tenant != "" {
+			hreq.Header.Set("X-Tenant", c.tenant)
+		}
 		resp, err := http.DefaultClient.Do(hreq)
 		if err != nil {
 			cancel()
@@ -286,8 +292,15 @@ func (c client) submit(args []string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		if ra := resp.Header.Get("Retry-After"); ra != "" && resp.StatusCode == http.StatusTooManyRequests {
-			return fmt.Errorf("%w (retry after %ss)", apiError(resp), ra)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			err := apiError(resp)
+			if cause := resp.Header.Get("X-Quota-Cause"); cause != "" {
+				err = fmt.Errorf("%w (tenant quota: %s)", err, cause)
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				err = fmt.Errorf("%w (retry after %ss)", err, ra)
+			}
+			return err
 		}
 		return apiError(resp)
 	}

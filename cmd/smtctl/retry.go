@@ -5,6 +5,7 @@ import (
 	"log"
 	"math/rand/v2"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 )
@@ -23,10 +24,21 @@ type retrier struct {
 	// moment ctx is cancelled, so ^C interrupts a long mandated
 	// Retry-After instead of serving it out. Tests stub it.
 	sleep func(ctx context.Context, d time.Duration) error
+	// rng draws the backoff jitter. Each retrier owns its source (a
+	// *rand.Rand is not safe for concurrent use) seeded per process, so
+	// jitter stays independent of anything else drawing from the global
+	// source and tests can inject a fixed seed.
+	rng *rand.Rand
 }
 
 func newRetrier(max int) retrier {
-	return retrier{max: max, base: 200 * time.Millisecond, cap: 5 * time.Second, sleep: sleepCtx}
+	return retrier{
+		max:   max,
+		base:  200 * time.Millisecond,
+		cap:   5 * time.Second,
+		sleep: sleepCtx,
+		rng:   rand.New(rand.NewPCG(uint64(os.Getpid()), uint64(time.Now().UnixNano()))),
+	}
 }
 
 // sleepCtx pauses for d or until ctx is cancelled, whichever is first.
@@ -79,7 +91,7 @@ func (r retrier) do(ctx context.Context, what string, attempt func() (*http.Resp
 		}
 		// Full jitter: a uniform draw from (0, wait] spreads a herd of
 		// retrying clients out instead of letting it reconverge.
-		wait = time.Duration(1 + rand.Int64N(int64(wait)))
+		wait = time.Duration(1 + r.rng.Int64N(int64(wait)))
 		if err != nil {
 			log.Printf("%s: %v; retrying in %s (%d/%d)", what, err, wait.Round(time.Millisecond), try+1, r.max)
 		} else {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -260,5 +261,38 @@ func TestWaitReconnectsDroppedStream(t *testing.T) {
 	}
 	if n := strings.Count(out, "cell 0 ("); n != 1 {
 		t.Errorf("cell 0 reported %d times across reconnect, want exactly once:\n%s", n, out)
+	}
+}
+
+// The backoff jitter must come from the retrier's own seeded source,
+// not the process-global one: identical seeds draw identical jitter,
+// and draws elsewhere in the process cannot perturb the sequence.
+func TestRetryJitterIsOwnSeededSource(t *testing.T) {
+	draws := func(seed uint64) []time.Duration {
+		r := newRetrier(3)
+		r.rng = rand.New(rand.NewPCG(seed, seed))
+		var waits []time.Duration
+		r.sleep = func(_ context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		}
+		calls := 0
+		r.do(context.Background(), "test", func() (*http.Response, error) {
+			calls++
+			return nil, fmt.Errorf("transient %d", calls)
+		})
+		return waits
+	}
+	a, b := draws(7), draws(7)
+	if len(a) != 3 {
+		t.Fatalf("expected 3 backoff waits, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	if c := draws(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatalf("different seeds drew identical jitter: %v", c)
 	}
 }

@@ -16,6 +16,7 @@
 //	smtd -cell-timeout 30s                # per-cell watchdog
 //	smtd -checkpoint-cycles 100000        # pausable kernel cells: preemption, drain/restart resume
 //	smtd -queue-wait-target 2s            # AIMD admission: shed load when queue waits exceed this
+//	smtd -tenants tenants.json            # per-tenant quotas + weighted fair-share scheduling
 //	smtd -fault-plan plan.json            # arm a fault-injection plan (chaos testing)
 //	smtd -coordinator -workers-list w0=127.0.0.1:9000,w1=127.0.0.1:9001
 //	                                      # shard jobs across a worker fleet
@@ -56,6 +57,7 @@ import (
 	"smtexplore/internal/runner"
 	"smtexplore/internal/service"
 	"smtexplore/internal/store"
+	"smtexplore/internal/tenant"
 )
 
 // errUsage marks a command-line error already reported to stderr; the
@@ -97,6 +99,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	checkpointCycles := fs.Uint64("checkpoint-cycles", 0, "kernel cell pause-point interval in simulated cycles (0: checkpointing off)")
 	stopGrace := fs.Duration("stop-grace", 0, "watchdog wait for a stopping cell's final checkpoint (0: 2s default)")
 	queueWaitTarget := fs.Duration("queue-wait-target", 0, "queue wait above which the AIMD limiter sheds load (0: no adaptive shedding)")
+	tenantsFile := fs.String("tenants", "", "per-tenant quota/weight config JSON (empty: every tenant unlimited, weight 1)")
+	ageAfter := fs.Duration("age-after", 0, "queue wait after which a job outranks fair-share and strict priority (0: 30s default; negative: aging off)")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive store I/O failures before degrading to memory-only caching")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "wait before probing a degraded store again")
 	faultPlan := fs.String("fault-plan", "", "fault-injection plan JSON (chaos testing only; never set in production)")
@@ -126,6 +130,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if !*coordinator && *workersList != "" {
 		return bad("-workers-list requires -coordinator")
 	}
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = tenant.LoadFile(*tenantsFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "smtd: tenants %s: %d configured\n", *tenantsFile, len(tenants.Names()))
+	}
 	if *coordinator {
 		return runCoordinator(ctx, out, *addr, *addrFile, *workersList, cluster.Config{
 			Vnodes:         *vnodes,
@@ -133,6 +145,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			StealMargin:    *stealMargin,
 			PollInterval:   *pollInterval,
 			PollJitter:     *pollJitter,
+			Tenants:        tenants,
 		})
 	}
 	if *workers < 1 {
@@ -163,6 +176,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CheckpointEvery: *checkpointCycles,
 		StopGrace:       *stopGrace,
 		QueueWaitTarget: *queueWaitTarget,
+		Tenants:         tenants,
+		StoreLedger:     store.NewLedger(),
+		AgeAfter:        *ageAfter,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeMax)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"smtexplore/internal/service"
+	"smtexplore/internal/tenant"
 )
 
 // ErrNoWorkers reports a submission that cannot be placed because the
@@ -51,6 +52,12 @@ type Config struct {
 	// PollFailures is how many consecutive poll errors on a group's
 	// worker trigger checkpoint-migration to a survivor (<= 0 → 3).
 	PollFailures int
+	// Tenants, when set, makes the coordinator enforce per-tenant
+	// job/cell quotas against cluster-wide in-flight totals (typically
+	// loaded from the same -tenants file the workers use). Nil admits
+	// everything; workers still enforce their own local quotas and
+	// cycle budgets on forwarded work.
+	Tenants *tenant.Registry
 }
 
 func (c *Config) fill() {
@@ -146,6 +153,11 @@ type Coordinator struct {
 	idem    map[string]string
 	seq     int
 
+	// Per-tenant in-flight accounting behind admitTenantLocked.
+	tenantJobs  map[string]int
+	tenantCells map[string]int
+	tenantSheds map[string]uint64
+
 	// Counters for /metrics.
 	jobsDone, jobsFailed, jobsCancelled uint64
 	cellsForwarded                      uint64
@@ -169,6 +181,10 @@ func New(cfg Config) *Coordinator {
 		members: make(map[string]*member),
 		jobs:    make(map[string]*cjob),
 		idem:    make(map[string]string),
+
+		tenantJobs:  make(map[string]int),
+		tenantCells: make(map[string]int),
+		tenantSheds: make(map[string]uint64),
 	}
 	c.wg.Add(1)
 	go c.healthLoop()
@@ -413,6 +429,10 @@ func (c *Coordinator) Submit(specs []service.CellSpec, opts service.SubmitOption
 			return nil, fmt.Errorf("cluster: cell %d: %w", i, err)
 		}
 	}
+	tn := normTenant(opts.Tenant)
+	if !tenant.ValidName(tn) {
+		return nil, fmt.Errorf("cluster: invalid tenant name %q", tn)
+	}
 	if c.ring.Len() == 0 {
 		return nil, ErrNoWorkers
 	}
@@ -431,16 +451,25 @@ func (c *Coordinator) Submit(specs []service.CellSpec, opts service.SubmitOption
 			}
 		}
 	}
+	// Quota-gate after the idempotency short-circuit (a replayed submit
+	// is the same admitted job, not new demand) and before the job ID is
+	// minted, so refused submissions leave no trace.
+	if err := c.admitTenantLocked(tn, len(specs)); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
 	c.seq++
 	id := fmt.Sprintf("c%04d", c.seq)
 	if opts.IdemKey != "" {
 		c.idem[opts.IdemKey] = id
 	}
+	c.chargeTenantLocked(tn, len(specs))
 	c.mu.Unlock()
 
 	j := service.NewRemoteJob(id, specs)
 	j.Priority = opts.Priority
 	j.Deadline = opts.Deadline
+	j.Tenant = tn
 	cj := &cjob{tracker: j}
 
 	// Group cells by ring owner of their content label, then let the
@@ -518,6 +547,9 @@ func (c *Coordinator) groupDone(cj *cjob) {
 		case service.JobCancelled:
 			c.jobsCancelled++
 		}
+		// Conclude returns true exactly once, so the quota release is
+		// exactly-once too.
+		c.releaseTenantLocked(normTenant(cj.tracker.Tenant), len(cj.tracker.Specs))
 		c.mu.Unlock()
 	}
 }
@@ -525,7 +557,9 @@ func (c *Coordinator) groupDone(cj *cjob) {
 // groupReq builds the forwarded submission for a group: the subset of
 // cells, the job's priority, and whatever remains of its deadline.
 func (cj *cjob) groupReq(g *group) service.SubmitRequest {
-	req := service.SubmitRequest{Priority: cj.tracker.Priority}
+	// The tenant rides in the request body (not a header) so migrations
+	// and retries re-derive it from the tracker for free.
+	req := service.SubmitRequest{Priority: cj.tracker.Priority, Tenant: cj.tracker.Tenant}
 	for _, i := range g.idxs {
 		req.Cells = append(req.Cells, cj.tracker.Specs[i])
 	}
@@ -632,6 +666,16 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 		cancel()
 		if err == nil {
 			break
+		}
+		// A well-formed 4xx refusal (tenant quota, AIMD shed, validation)
+		// comes from a healthy worker: the group is shed terminally.
+		// Retrying would replay the refused demand, and falling through to
+		// the death path would mark live workers dead one by one as the
+		// migration loop replays the same refusal across the fleet.
+		var refused *RefusedError
+		if errors.As(err, &refused) {
+			cj.failGroup(g, fmt.Sprintf("worker %s refused batch: %s", g.worker, refused.Error()))
+			return true
 		}
 		select {
 		case <-c.baseCtx.Done():

@@ -31,6 +31,8 @@ type fakeWorker struct {
 	seq       int
 	jobs      map[string]service.JobResult
 	submitted int
+	// tenants records each submission's forwarded tenant, in order.
+	tenants   []string
 	cancelled map[string]bool
 	// dead makes every call after Submit fail, modelling a worker that
 	// accepted work and then crashed.
@@ -53,6 +55,7 @@ func (f *fakeWorker) Submit(_ context.Context, req service.SubmitRequest, _ stri
 		return "", fmt.Errorf("%s: refusing submits", f.name)
 	}
 	f.submitted++
+	f.tenants = append(f.tenants, req.Tenant)
 	f.seq++
 	id := fmt.Sprintf("%s-j%d", f.name, f.seq)
 	res := service.JobResult{ID: id, State: service.JobDone}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -107,6 +108,12 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := service.SubmitOptions{IdemKey: r.Header.Get("Idempotency-Key"), Priority: req.Priority}
+	// Same precedence as the single daemon: the body field carries the
+	// tenant between machines, the header wins when a client sets both.
+	opts.Tenant = req.Tenant
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		opts.Tenant = h
+	}
 	if req.Deadline != "" {
 		d, err := time.ParseDuration(req.Deadline)
 		if err != nil {
@@ -116,7 +123,13 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		opts.Deadline = time.Now().Add(d)
 	}
 	j, err := c.Submit(req.Cells, opts)
+	var quotaErr *service.QuotaError
 	switch {
+	case errors.As(err, &quotaErr):
+		w.Header().Set("Retry-After", c.retryAfter())
+		w.Header().Set("X-Quota-Cause", quotaErr.Cause)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
 	case errors.Is(err, ErrNoWorkers):
 		// The fleet may be mid-restart; workers re-register on their next
 		// heartbeat, so retrying shortly is the right client move.
@@ -279,6 +292,24 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		registrations:  c.registrations,
 	}
 	var agg service.Metrics
+	// Fleet-wide per-tenant rollup: each worker's last telemetry summed
+	// by tenant, plus the coordinator's own admission-edge sheds and
+	// in-flight gauges (which no worker can see).
+	type tenantAgg struct {
+		jobsAdmitted, cellsDone, cellsFailed uint64
+		cyclesCharged, workerSheds           uint64
+		coordSheds                           uint64
+		inflightJobs, inflightCells          int
+	}
+	tenants := make(map[string]*tenantAgg)
+	trow := func(name string) *tenantAgg {
+		ta, ok := tenants[name]
+		if !ok {
+			ta = &tenantAgg{}
+			tenants[name] = ta
+		}
+		return ta
+	}
 	names := sortedNamesLocked(c.members)
 	for _, n := range names {
 		m := c.members[n]
@@ -296,7 +327,29 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		agg.CheckpointsWritten += m.stats.CheckpointsWritten
 		agg.CheckpointsRestored += m.stats.CheckpointsRestored
 		agg.ResumeCyclesSaved += m.stats.ResumeCyclesSaved
+		for tn, tm := range m.stats.Tenants {
+			ta := trow(tn)
+			ta.jobsAdmitted += tm.JobsAdmitted
+			ta.cellsDone += tm.CellsDone
+			ta.cellsFailed += tm.CellsFailed
+			ta.cyclesCharged += tm.CyclesCharged
+			ta.workerSheds += tm.ShedQueuedJobs + tm.ShedActiveCells + tm.ShedCycleBudget
+		}
 	}
+	for tn, n := range c.tenantSheds {
+		trow(tn).coordSheds = n
+	}
+	for tn, n := range c.tenantJobs {
+		trow(tn).inflightJobs = n
+	}
+	for tn, n := range c.tenantCells {
+		trow(tn).inflightCells = n
+	}
+	tenantNames := make([]string, 0, len(tenants))
+	for tn := range tenants {
+		tenantNames = append(tenantNames, tn)
+	}
+	sort.Strings(tenantNames)
 	c.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -324,4 +377,36 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cnt("smtd_cluster_fleet_checkpoints_written_total", "Fleet-wide checkpoints written (last telemetry).", agg.CheckpointsWritten)
 	cnt("smtd_cluster_fleet_checkpoints_restored_total", "Fleet-wide checkpoints restored (last telemetry).", agg.CheckpointsRestored)
 	cnt("smtd_cluster_fleet_resume_cycles_saved_total", "Fleet-wide cycles resumed instead of re-simulated (last telemetry).", agg.ResumeCyclesSaved)
+
+	if len(tenantNames) > 0 {
+		row := func(name, labels string, v any) {
+			fmt.Fprintf(w, "%s{%s} %v\n", name, labels, v)
+		}
+		fmt.Fprintln(w, "# HELP smtd_cluster_tenant_jobs_admitted_total Fleet-wide jobs admitted per tenant (last telemetry).\n# TYPE smtd_cluster_tenant_jobs_admitted_total counter")
+		for _, tn := range tenantNames {
+			row("smtd_cluster_tenant_jobs_admitted_total", fmt.Sprintf("tenant=%q", tn), tenants[tn].jobsAdmitted)
+		}
+		fmt.Fprintln(w, "# HELP smtd_cluster_tenant_cells_total Fleet-wide finished cells per tenant and state (last telemetry).\n# TYPE smtd_cluster_tenant_cells_total counter")
+		for _, tn := range tenantNames {
+			row("smtd_cluster_tenant_cells_total", fmt.Sprintf("tenant=%q,state=\"done\"", tn), tenants[tn].cellsDone)
+			row("smtd_cluster_tenant_cells_total", fmt.Sprintf("tenant=%q,state=\"failed\"", tn), tenants[tn].cellsFailed)
+		}
+		fmt.Fprintln(w, "# HELP smtd_cluster_tenant_cycles_charged_total Fleet-wide simulated cycles charged per tenant (last telemetry).\n# TYPE smtd_cluster_tenant_cycles_charged_total counter")
+		for _, tn := range tenantNames {
+			row("smtd_cluster_tenant_cycles_charged_total", fmt.Sprintf("tenant=%q", tn), tenants[tn].cyclesCharged)
+		}
+		fmt.Fprintln(w, "# HELP smtd_cluster_tenant_shed_total Per-tenant quota sheds, split by enforcement edge.\n# TYPE smtd_cluster_tenant_shed_total counter")
+		for _, tn := range tenantNames {
+			row("smtd_cluster_tenant_shed_total", fmt.Sprintf("tenant=%q,edge=\"coordinator\"", tn), tenants[tn].coordSheds)
+			row("smtd_cluster_tenant_shed_total", fmt.Sprintf("tenant=%q,edge=\"worker\"", tn), tenants[tn].workerSheds)
+		}
+		fmt.Fprintln(w, "# HELP smtd_cluster_tenant_inflight_jobs Coordinator jobs currently in flight per tenant.\n# TYPE smtd_cluster_tenant_inflight_jobs gauge")
+		for _, tn := range tenantNames {
+			row("smtd_cluster_tenant_inflight_jobs", fmt.Sprintf("tenant=%q", tn), tenants[tn].inflightJobs)
+		}
+		fmt.Fprintln(w, "# HELP smtd_cluster_tenant_inflight_cells Coordinator cells currently in flight per tenant.\n# TYPE smtd_cluster_tenant_inflight_cells gauge")
+		for _, tn := range tenantNames {
+			row("smtd_cluster_tenant_inflight_cells", fmt.Sprintf("tenant=%q", tn), tenants[tn].inflightCells)
+		}
+	}
 }

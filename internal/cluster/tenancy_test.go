@@ -1,0 +1,200 @@
+package cluster
+
+// Cluster-edge tenancy tests: the coordinator forwards tenants to
+// workers, enforces fleet-wide quotas with the daemon's cause taxonomy,
+// and treats a worker's 4xx refusal as a shed — never as a death.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"smtexplore/internal/service"
+	"smtexplore/internal/tenant"
+)
+
+func TestTenantForwardedToWorker(t *testing.T) {
+	c := New(fastCfg())
+	defer c.Close()
+	a := newFakeWorker("a")
+	c.AddWorker(a)
+
+	sp := specOwnedBy(t, 0, "a", []string{"a"})
+	j, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, j)
+	j2, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, j2)
+
+	a.mu.Lock()
+	got := append([]string(nil), a.tenants...)
+	a.mu.Unlock()
+	if len(got) != 2 || got[0] != "alice" || got[1] != tenant.Default {
+		t.Fatalf("forwarded tenants = %v, want [alice %s]", got, tenant.Default)
+	}
+	if j.Tenant != "alice" || j2.Tenant != tenant.Default {
+		t.Fatalf("tracker tenants = %q, %q", j.Tenant, j2.Tenant)
+	}
+}
+
+// holdWorker keeps remote jobs "running" until released, so quota tests
+// can pin coordinator jobs in flight deterministically.
+type holdWorker struct {
+	*fakeWorker
+	hmu  sync.Mutex
+	hold bool
+}
+
+func (h *holdWorker) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	h.hmu.Lock()
+	holding := h.hold
+	h.hmu.Unlock()
+	if holding {
+		return service.JobStatus{ID: id, State: service.JobRunning}, nil
+	}
+	return h.fakeWorker.Status(ctx, id)
+}
+
+func (h *holdWorker) release() {
+	h.hmu.Lock()
+	h.hold = false
+	h.hmu.Unlock()
+}
+
+func TestCoordinatorQuotas(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Tenants = tenant.NewRegistry(map[string]tenant.Config{
+		"capped": {MaxQueuedJobs: 1, MaxActiveCells: 2},
+	})
+	c := New(cfg)
+	defer c.Close()
+	hw := &holdWorker{fakeWorker: newFakeWorker("a"), hold: true}
+	c.AddWorker(hw)
+	sp := specOwnedBy(t, 0, "a", []string{"a"})
+
+	j, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "capped"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One job in flight: the jobs quota refuses a second.
+	_, err = c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "capped"})
+	var qe *service.QuotaError
+	if !errors.As(err, &qe) || qe.Cause != service.QuotaQueuedJobs {
+		t.Fatalf("second submit: err=%v, want QuotaError(%s)", err, service.QuotaQueuedJobs)
+	}
+	// Other tenants are unaffected.
+	if _, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "free"}); err != nil {
+		t.Fatalf("unrelated tenant refused: %v", err)
+	}
+	// Release: the quota frees when the job concludes.
+	hw.release()
+	waitJobDone(t, j)
+	j3, err := c.Submit([]service.CellSpec{sp, sp, sp}, service.SubmitOptions{Tenant: "capped"})
+	if !errors.As(err, &qe) || qe.Cause != service.QuotaActiveCells {
+		t.Fatalf("3-cell batch: err=%v (job=%v), want QuotaError(%s)", err, j3, service.QuotaActiveCells)
+	}
+	j4, err := c.Submit([]service.CellSpec{sp, sp}, service.SubmitOptions{Tenant: "capped"})
+	if err != nil {
+		t.Fatalf("2-cell batch after release refused: %v", err)
+	}
+	waitJobDone(t, j4)
+}
+
+// refuseWorker models a healthy worker whose admission says no (a
+// tenant quota or AIMD shed on the worker side).
+type refuseWorker struct {
+	*fakeWorker
+}
+
+func (r *refuseWorker) Submit(context.Context, service.SubmitRequest, string) (string, error) {
+	return "", &RefusedError{Status: http.StatusTooManyRequests, Cause: service.QuotaQueuedJobs, Msg: "429: over quota"}
+}
+
+func TestWorkerRefusalShedsGroupNotWorker(t *testing.T) {
+	c := New(fastCfg())
+	defer c.Close()
+	rw := &refuseWorker{fakeWorker: newFakeWorker("a")}
+	c.AddWorker(rw)
+	sp := specOwnedBy(t, 0, "a", []string{"a"})
+
+	j, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "anyone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, j)
+	state, msg := j.State()
+	if state != service.JobFailed || !strings.Contains(msg, service.QuotaQueuedJobs) {
+		t.Fatalf("job = %s %q, want failed with the quota cause in the message", state, msg)
+	}
+	if !c.isAlive("a") {
+		t.Fatal("healthy worker marked dead after refusing a submission")
+	}
+	if top := c.Topology(); top.WorkersLost != 0 {
+		t.Fatalf("workers lost = %d, want 0", top.WorkersLost)
+	}
+}
+
+func TestClusterHTTPTenantQuota(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Tenants = tenant.NewRegistry(map[string]tenant.Config{
+		"web": {MaxQueuedJobs: 1},
+	})
+	c := New(cfg)
+	defer c.Close()
+	hw := &holdWorker{fakeWorker: newFakeWorker("a"), hold: true}
+	c.AddWorker(hw)
+	defer hw.release()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	submit := func() *http.Response {
+		body := strings.NewReader(`{"cells":[{"type":"stream","streams":[{"kind":"fadd"}]}]}`)
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", body)
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", "web")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("first submit: %d %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+	resp = submit()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Quota-Cause"); got != service.QuotaQueuedJobs {
+		t.Fatalf("X-Quota-Cause = %q, want %q", got, service.QuotaQueuedJobs)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	// The fleet metrics carry the per-tenant shed.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, _ := io.ReadAll(mresp.Body)
+	want := `smtd_cluster_tenant_shed_total{tenant="web",edge="coordinator"} 1`
+	if !strings.Contains(string(prom), want) {
+		t.Fatalf("metrics missing %q", want)
+	}
+}

@@ -68,6 +68,25 @@ func NewRemote(name, addr string) *Remote {
 func (r *Remote) Name() string { return r.name }
 func (r *Remote) Addr() string { return r.addr }
 
+// RefusedError is a worker's well-formed rejection of a forwarded
+// submission (any 4xx — tenant quota, AIMD shed, validation): the
+// worker is healthy and said no. The coordinator must shed the group,
+// not declare the worker dead and migrate — a load-shedding 429
+// replayed across the fleet would otherwise mark every healthy worker
+// dead in turn.
+type RefusedError struct {
+	Status int
+	Cause  string // X-Quota-Cause when the refusal is a tenant quota
+	Msg    string
+}
+
+func (e *RefusedError) Error() string {
+	if e.Cause != "" {
+		return fmt.Sprintf("%s (quota cause %s)", e.Msg, e.Cause)
+	}
+	return e.Msg
+}
+
 // apiError extracts the service's {"error": ...} body shape.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -115,7 +134,15 @@ func (r *Remote) Submit(ctx context.Context, sreq service.SubmitRequest, idemKey
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return "", apiError(resp)
+		err := apiError(resp)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return "", &RefusedError{
+				Status: resp.StatusCode,
+				Cause:  resp.Header.Get("X-Quota-Cause"),
+				Msg:    err.Error(),
+			}
+		}
+		return "", err
 	}
 	var st service.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {

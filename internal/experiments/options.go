@@ -33,6 +33,11 @@ type Options struct {
 	// Observed cells are never checkpointed (instruments hold live
 	// callbacks a snapshot cannot carry).
 	Checkpoint *Checkpointing
+	// Meter, when set, is told how each cached cell lookup was
+	// satisfied (memory, tier read, or simulated — and the tier bytes
+	// moved). The service binds a per-tenant meter here for store
+	// accounting; nil meters nothing.
+	Meter runner.Meter
 }
 
 // DefaultOptions is all cores plus a fresh per-call cache.
@@ -53,7 +58,7 @@ func (o Options) measureCPI(mcfg smt.Config, specs []streams.Spec, window uint64
 		}
 		return cpi, o.export(ins, label, false)
 	}
-	return runner.Cached(o.Cache, StreamCellKey(mcfg, specs, window), func() ([]float64, error) {
+	return runner.CachedMetered(o.Cache, StreamCellKey(mcfg, specs, window), o.Meter, func() ([]float64, error) {
 		return MeasureCPI(mcfg, specs, window)
 	})
 }
@@ -88,5 +93,5 @@ func (o Options) runKernel(key string, build func() (Builder, error), mode kerne
 	if key == "" {
 		return compute()
 	}
-	return runner.Cached(o.Cache, key, compute)
+	return runner.CachedMetered(o.Cache, key, o.Meter, compute)
 }

@@ -82,7 +82,7 @@ func Table1(ctx context.Context, opt Options) ([]Table1Column, error) {
 	mcfg := KernelMachineConfig()
 	return runner.Map(ctx, opt.Workers, cells, func(_ context.Context, c cell) (Table1Column, error) {
 		key := runner.Key("table1", mcfg, c.inst.name, c.inst.cfg, c.mode, c.tid)
-		col, err := runner.Cached(opt.Cache, key, func() (Table1Column, error) {
+		col, err := runner.CachedMetered(opt.Cache, key, opt.Meter, func() (Table1Column, error) {
 			return profileThread(c.inst.build, c.mode, c.tid)
 		})
 		if err != nil {

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzParseScenario hunts for scenario inputs that crash the parser or
+// slip past its limits: a successful parse must re-validate, survive a
+// canonical marshal/re-parse round trip, keep every accessor inside the
+// package bounds, and yield monotone arrival schedules. The limits are
+// what keep a hostile or mistyped scenario from melting the host, so
+// "parsed but out of bounds" is a finding, not a nit.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"seed":7,"duration":"5s","tenants":[{"name":"light","rate_hz":2}]}`))
+	f.Add([]byte(`{"duration":"30s","settle":"10s","tenants":[
+		{"name":"light","rate_hz":4,"cells_per_job":2,"priority":5,"deadline":"10s"},
+		{"name":"heavy","rate_hz":40,"kind":"fmul","window_base":20000,"window_step":0}],
+		"phases":[{"at":"15s","kind":"kill","pidfile":"w0.pid"}]}`))
+	f.Add([]byte(`{"duration":"1h","tenants":[{"name":"max","rate_hz":1000,"cells_per_job":64}]}`))
+	f.Add([]byte(`{"duration":"-1s","tenants":[{"name":"a","rate_hz":1}]}`))
+	f.Add([]byte(`{"duration":"1s","tenants":[{"name":"no spaces","rate_hz":1}]}`))
+	f.Add([]byte(`{"duration":"1s","tenants":[{"name":"a","rate_hs":1}]}`))
+	f.Add([]byte(`{"duration":"1s","tenants":[{"name":"a","rate_hz":1}],"phases":[{"at":"0s","kind":"reboot"}]}`))
+	f.Add([]byte(`{"duration":"1s"`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Validate probes fault_plan paths on disk; a fuzzer-invented
+		// path could name a device file, so that field stays out of the
+		// fuzzed surface.
+		var probe struct {
+			FaultPlan string `json:"fault_plan"`
+		}
+		if json.Unmarshal(data, &probe) == nil && probe.FaultPlan != "" {
+			t.Skip("fault plans hit the filesystem")
+		}
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("parsed scenario fails Validate: %v\ninput: %q", err, data)
+		}
+		if d := time.Duration(sc.Duration); d <= 0 || d > MaxDuration {
+			t.Fatalf("validated duration %v outside (0, %v]", d, MaxDuration)
+		}
+		if len(sc.Tenants) == 0 || len(sc.Tenants) > MaxTenants {
+			t.Fatalf("validated tenant count %d outside [1, %d]", len(sc.Tenants), MaxTenants)
+		}
+		for i := range sc.Tenants {
+			tl := &sc.Tenants[i]
+			if c := tl.cells(); c < 1 || c > MaxCellsPerJob {
+				t.Fatalf("tenant %q cells() = %d outside [1, %d]", tl.Name, c, MaxCellsPerJob)
+			}
+			if tl.RateHz <= 0 || tl.RateHz > MaxRateHz {
+				t.Fatalf("tenant %q rate %v outside (0, %d]", tl.Name, tl.RateHz, MaxRateHz)
+			}
+			if tl.kind() == "" || tl.windowBase() == 0 {
+				t.Fatalf("tenant %q empty kind or zero window base after defaults", tl.Name)
+			}
+			// A short schedule is enough to catch a non-monotone or
+			// panicking generator without building 1h x 1kHz slices.
+			sched := arrivals(tl, tenantSeed(sc.Seed, tl.Name), 50*time.Millisecond)
+			for j := 1; j < len(sched); j++ {
+				if sched[j] < sched[j-1] {
+					t.Fatalf("tenant %q arrivals not monotone", tl.Name)
+				}
+			}
+		}
+		canon, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("marshal of parsed scenario: %v", err)
+		}
+		if _, err := ParseScenario(canon); err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanon: %s", err, canon)
+		}
+	})
+}

@@ -1,0 +1,374 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TenantReport is one tenant's measured outcome.
+type TenantReport struct {
+	Name      string  `json:"name"`
+	RateHz    float64 `json:"rate_hz"`
+	Submitted int     `json:"submitted"`
+	Done      int     `json:"done"`
+	Failed    int     `json:"failed"`
+	Cancelled int     `json:"cancelled"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	Lost      int     `json:"lost"`
+	// ShedCauses splits sheds by the server-named cause (quota causes
+	// or "backpressure" for a cause-less 429).
+	ShedCauses map[string]int `json:"shed_causes,omitempty"`
+	// CellsDone counts finished cells (goodput in paper terms: cells
+	// simulated to completion per second is the fleet's useful work).
+	CellsDone int `json:"cells_done"`
+	// GoodputJobsPerSec is done jobs over the measured wall clock.
+	GoodputJobsPerSec float64 `json:"goodput_jobs_per_sec"`
+	// Latency percentiles over done jobs, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// Report is a whole run's result.
+type Report struct {
+	Schema  string         `json:"schema"` // "smtexplore-loadgen/v1"
+	Started time.Time      `json:"started"`
+	Wall    jsonDuration   `json:"wall"`
+	Seed    uint64         `json:"seed"`
+	Tenants []TenantReport `json:"tenants"`
+	// FairnessRatio is max/min per-tenant goodput among tenants that
+	// completed at least one job (1.0 = perfectly even; 0 when fewer
+	// than two tenants finished anything).
+	FairnessRatio float64 `json:"fairness_ratio"`
+
+	// internal accumulation
+	latencies map[string][]time.Duration `json:"-"`
+	byName    map[string]*TenantReport   `json:"-"`
+}
+
+// jsonDuration keeps the JSON shape human ("30s") without importing
+// the tenant package here just for its Duration alias.
+type jsonDuration time.Duration
+
+func (d jsonDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *jsonDuration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = jsonDuration(v)
+	return nil
+}
+
+func newReport(sc Scenario, started time.Time) *Report {
+	rep := &Report{
+		Schema:    "smtexplore-loadgen/v1",
+		Started:   started,
+		Seed:      sc.Seed,
+		latencies: make(map[string][]time.Duration),
+		byName:    make(map[string]*TenantReport),
+	}
+	for _, t := range sc.Tenants {
+		tr := &TenantReport{Name: t.Name, RateHz: t.RateHz, ShedCauses: make(map[string]int)}
+		rep.byName[t.Name] = tr
+	}
+	return rep
+}
+
+func (rep *Report) add(o jobOutcome) {
+	tr := rep.byName[o.tenant]
+	if tr == nil {
+		return
+	}
+	tr.Submitted++
+	switch o.state {
+	case "done":
+		tr.Done++
+		tr.CellsDone += o.cells
+		rep.latencies[o.tenant] = append(rep.latencies[o.tenant], o.latency)
+	case "failed":
+		tr.Failed++
+	case "cancelled":
+		tr.Cancelled++
+	case "shed":
+		tr.Shed++
+		tr.ShedCauses[o.cause]++
+	case "lost":
+		tr.Lost++
+	default:
+		tr.Errors++
+	}
+}
+
+// percentile is the nearest-rank percentile over a sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}
+
+func (rep *Report) finish(wall time.Duration) {
+	rep.Wall = jsonDuration(wall)
+	names := make([]string, 0, len(rep.byName))
+	for n := range rep.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	minG, maxG := math.Inf(1), 0.0
+	for _, n := range names {
+		tr := rep.byName[n]
+		lat := rep.latencies[n]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		tr.P50Ms = ms(percentile(lat, 50))
+		tr.P95Ms = ms(percentile(lat, 95))
+		tr.P99Ms = ms(percentile(lat, 99))
+		if wall > 0 {
+			tr.GoodputJobsPerSec = math.Round(float64(tr.Done)/wall.Seconds()*1000) / 1000
+		}
+		if len(tr.ShedCauses) == 0 {
+			tr.ShedCauses = nil
+		}
+		if tr.Done > 0 {
+			if tr.GoodputJobsPerSec < minG {
+				minG = tr.GoodputJobsPerSec
+			}
+			if tr.GoodputJobsPerSec > maxG {
+				maxG = tr.GoodputJobsPerSec
+			}
+		}
+		rep.Tenants = append(rep.Tenants, *tr)
+	}
+	if minG > 0 && !math.IsInf(minG, 1) && maxG > minG {
+		rep.FairnessRatio = math.Round(maxG/minG*1000) / 1000
+	} else if maxG > 0 {
+		rep.FairnessRatio = 1
+	}
+}
+
+// Tenant finds a tenant's row (nil if absent).
+func (rep *Report) Tenant(name string) *TenantReport {
+	for i := range rep.Tenants {
+		if rep.Tenants[i].Name == name {
+			return &rep.Tenants[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders the human-readable run table.
+func (rep *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %v wall, seed %d, fairness ratio %.2f\n", time.Duration(rep.Wall).Round(time.Millisecond), rep.Seed, rep.FairnessRatio)
+	fmt.Fprintf(&b, "%-12s %9s %6s %6s %6s %6s %6s %9s %9s %9s %10s\n",
+		"tenant", "submitted", "done", "shed", "fail", "lost", "err", "p50ms", "p95ms", "p99ms", "goodput/s")
+	for _, tr := range rep.Tenants {
+		fmt.Fprintf(&b, "%-12s %9d %6d %6d %6d %6d %6d %9.1f %9.1f %9.1f %10.2f\n",
+			tr.Name, tr.Submitted, tr.Done, tr.Shed, tr.Failed, tr.Lost, tr.Errors,
+			tr.P50Ms, tr.P95Ms, tr.P99Ms, tr.GoodputJobsPerSec)
+		if len(tr.ShedCauses) > 0 {
+			causes := make([]string, 0, len(tr.ShedCauses))
+			for c, n := range tr.ShedCauses {
+				causes = append(causes, fmt.Sprintf("%s=%d", c, n))
+			}
+			sort.Strings(causes)
+			fmt.Fprintf(&b, "%-12s   shed causes: %s\n", "", strings.Join(causes, " "))
+		}
+	}
+	return b.String()
+}
+
+// BenchJSON renders the report in the repo's smtexplore-bench/v1 shape
+// (one benchmark entry per tenant), so BENCH_NNNN.json files from load
+// runs sit beside the microbenchmark baselines.
+func (rep *Report) BenchJSON(commit string) ([]byte, error) {
+	type benchEntry struct {
+		Name       string             `json:"name"`
+		Runs       int                `json:"runs"`
+		Iterations int                `json:"iterations"`
+		TimeOpNs   float64            `json:"time_op_ns"`
+		BytesOp    int                `json:"bytes_op"`
+		AllocsOp   int                `json:"allocs_op"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	doc := struct {
+		Schema     string       `json:"schema"`
+		Commit     string       `json:"commit"`
+		Date       time.Time    `json:"date"`
+		Go         string       `json:"go"`
+		Benchmarks []benchEntry `json:"benchmarks"`
+	}{
+		Schema: "smtexplore-bench/v1",
+		Commit: commit,
+		Date:   rep.Started.UTC().Truncate(time.Second),
+		Go:     runtime.Version(),
+	}
+	for _, tr := range rep.Tenants {
+		sheds := 0.0
+		for _, n := range tr.ShedCauses {
+			sheds += float64(n)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, benchEntry{
+			Name:       "LoadGen/tenant=" + tr.Name,
+			Runs:       1,
+			Iterations: tr.Submitted,
+			TimeOpNs:   tr.P50Ms * 1e6,
+			Metrics: map[string]float64{
+				"rate_hz":        tr.RateHz,
+				"done":           float64(tr.Done),
+				"failed":         float64(tr.Failed),
+				"shed":           float64(tr.Shed),
+				"lost":           float64(tr.Lost),
+				"p50_ms":         tr.P50Ms,
+				"p95_ms":         tr.P95Ms,
+				"p99_ms":         tr.P99Ms,
+				"goodput_jobs_s": tr.GoodputJobsPerSec,
+				"cells_done":     float64(tr.CellsDone),
+				"fairness_ratio": rep.FairnessRatio,
+			},
+		})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Assertion is one SLO check against a report, optionally relative to a
+// baseline report (solo runs). Parse with ParseAssertion.
+type Assertion struct {
+	Kind   string // "done-min", "goodput-frac", "p99-factor", "shed-cause-min", "no-failed"
+	Tenant string
+	Cause  string  // shed-cause-min
+	Value  float64 // threshold
+}
+
+// ParseAssertion parses the CLI form:
+//
+//	done-min:TENANT:N          — at least N jobs done
+//	goodput-frac:TENANT:F      — goodput >= F × the baseline's goodput
+//	p99-factor:TENANT:F        — p99 <= F × the baseline's p99
+//	shed-cause-min:TENANT:CAUSE:N — at least N sheds with CAUSE
+//	no-failed:TENANT           — zero failed jobs
+func ParseAssertion(s string) (Assertion, error) {
+	parts := strings.Split(s, ":")
+	bad := func() (Assertion, error) {
+		return Assertion{}, fmt.Errorf("loadgen: bad assertion %q", s)
+	}
+	switch parts[0] {
+	case "done-min", "goodput-frac", "p99-factor":
+		if len(parts) != 3 {
+			return bad()
+		}
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || v < 0 {
+			return bad()
+		}
+		return Assertion{Kind: parts[0], Tenant: parts[1], Value: v}, nil
+	case "shed-cause-min":
+		if len(parts) != 4 {
+			return bad()
+		}
+		v, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || v < 0 {
+			return bad()
+		}
+		return Assertion{Kind: parts[0], Tenant: parts[1], Cause: parts[2], Value: v}, nil
+	case "no-failed":
+		if len(parts) != 2 {
+			return bad()
+		}
+		return Assertion{Kind: parts[0], Tenant: parts[1]}, nil
+	}
+	return bad()
+}
+
+// Check evaluates assertions; baseline may be nil unless a relative
+// assertion needs it. Returns one error per violated assertion.
+func (rep *Report) Check(asserts []Assertion, baseline *Report) []error {
+	var errs []error
+	fail := func(format string, v ...any) {
+		errs = append(errs, fmt.Errorf(format, v...))
+	}
+	for _, a := range asserts {
+		tr := rep.Tenant(a.Tenant)
+		if tr == nil {
+			fail("assertion %s: tenant %q not in report", a.Kind, a.Tenant)
+			continue
+		}
+		switch a.Kind {
+		case "done-min":
+			if float64(tr.Done) < a.Value {
+				fail("tenant %s: %d jobs done, want >= %g", a.Tenant, tr.Done, a.Value)
+			}
+		case "no-failed":
+			if tr.Failed > 0 {
+				fail("tenant %s: %d jobs failed, want 0", a.Tenant, tr.Failed)
+			}
+		case "shed-cause-min":
+			if got := float64(tr.ShedCauses[a.Cause]); got < a.Value {
+				fail("tenant %s: %g sheds with cause %q, want >= %g (causes: %v)", a.Tenant, got, a.Cause, a.Value, tr.ShedCauses)
+			}
+		case "goodput-frac", "p99-factor":
+			if baseline == nil {
+				fail("assertion %s needs -baseline", a.Kind)
+				continue
+			}
+			base := baseline.Tenant(a.Tenant)
+			if base == nil {
+				fail("assertion %s: tenant %q not in baseline", a.Kind, a.Tenant)
+				continue
+			}
+			if a.Kind == "goodput-frac" {
+				want := a.Value * base.GoodputJobsPerSec
+				if tr.GoodputJobsPerSec < want {
+					fail("tenant %s: goodput %.3f/s under contention, want >= %.3f/s (%g x solo %.3f/s)",
+						a.Tenant, tr.GoodputJobsPerSec, want, a.Value, base.GoodputJobsPerSec)
+				}
+			} else {
+				want := a.Value * base.P99Ms
+				if base.P99Ms > 0 && tr.P99Ms > want {
+					fail("tenant %s: p99 %.1fms under contention, want <= %.1fms (%g x solo %.1fms)",
+						a.Tenant, tr.P99Ms, want, a.Value, base.P99Ms)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// LoadReport reads a report JSON written by the loadgen CLI.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("loadgen: report %s: %w", path, err)
+	}
+	return &rep, nil
+}

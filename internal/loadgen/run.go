@@ -1,0 +1,305 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// submitRequest mirrors the daemon's POST /v1/jobs body. Declared
+// locally so the harness exercises the wire contract, not shared Go
+// structs — a field the daemon renames breaks this harness the same
+// way it breaks real clients.
+type submitRequest struct {
+	Cells    []cellSpec `json:"cells"`
+	Priority int        `json:"priority,omitempty"`
+	Deadline string     `json:"deadline,omitempty"`
+}
+
+type cellSpec struct {
+	Type    string       `json:"type"`
+	Streams []streamSpec `json:"streams"`
+	Window  uint64       `json:"window,omitempty"`
+}
+
+type streamSpec struct {
+	Kind string `json:"kind"`
+}
+
+// jobOutcome is one submitted job's fate.
+type jobOutcome struct {
+	tenant  string
+	state   string // "done", "failed", "cancelled", "shed", "error", "lost"
+	cause   string // shed: X-Quota-Cause or "backpressure"; error: message
+	latency time.Duration
+	cells   int
+}
+
+// Runner drives one scenario against one target address.
+type Runner struct {
+	Target string // host:port of smtd or coordinator
+	// Log receives progress lines (nil: quiet).
+	Log io.Writer
+	// Client overrides the HTTP client (tests); nil uses a 10s-timeout
+	// default.
+	Client *http.Client
+	// PollEvery paces job-completion polling (0 → 50ms).
+	PollEvery time.Duration
+	// Kill overrides the kill phase's action (tests); nil sends SIGKILL
+	// to the pidfile's process.
+	Kill func(pidfile string) error
+}
+
+func (r *Runner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (r *Runner) pollEvery() time.Duration {
+	if r.PollEvery > 0 {
+		return r.PollEvery
+	}
+	return 50 * time.Millisecond
+}
+
+func (r *Runner) logf(format string, v ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, "loadgen: "+format+"\n", v...)
+	}
+}
+
+// tenantSeed derives one tenant's arrival stream: scenario seed mixed
+// with the tenant's name, so streams are independent and stable.
+func tenantSeed(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed + h.Sum64()
+}
+
+// arrivals precomputes one tenant's Poisson arrival offsets over the
+// run. Precomputing (rather than drawing as the run progresses) keeps
+// the schedule deterministic even when submission goroutines lag.
+func arrivals(t *TenantLoad, seed uint64, duration time.Duration) []time.Duration {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	var out []time.Duration
+	at := time.Duration(0)
+	for {
+		// Exponential inter-arrival with mean 1/rate.
+		at += time.Duration(rng.ExpFloat64() / t.RateHz * float64(time.Second))
+		if at >= duration {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// Run executes the scenario and gathers per-tenant statistics. The
+// context cancels the whole run (in-flight watchers report "lost").
+func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	outcomes := make(chan jobOutcome, 1024)
+	var wg sync.WaitGroup
+
+	// Chaos phases on their own timers.
+	for i := range sc.Phases {
+		p := sc.Phases[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Duration(p.At)):
+			}
+			switch p.Kind {
+			case PhaseKill:
+				if err := r.kill(p.Pidfile); err != nil {
+					r.logf("phase %s %s: %v", p.Kind, p.Pidfile, err)
+				} else {
+					r.logf("phase: killed %s at +%v", p.Pidfile, time.Since(start).Round(time.Millisecond))
+				}
+			}
+		}()
+	}
+
+	// One generator per tenant, open-loop: each arrival submits at its
+	// scheduled offset regardless of how previous jobs are faring.
+	for i := range sc.Tenants {
+		t := &sc.Tenants[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.generate(ctx, t, sc, start, outcomes, &wg)
+		}()
+	}
+
+	// Close the outcome stream once every generator and watcher is done.
+	collected := make(chan *Report, 1)
+	go func() {
+		rep := newReport(sc, start)
+		for o := range outcomes {
+			rep.add(o)
+		}
+		rep.finish(time.Since(start))
+		collected <- rep
+	}()
+	wg.Wait()
+	close(outcomes)
+	rep := <-collected
+	return rep, nil
+}
+
+// generate replays one tenant's precomputed arrival schedule.
+func (r *Runner) generate(ctx context.Context, t *TenantLoad, sc Scenario, start time.Time, outcomes chan<- jobOutcome, wg *sync.WaitGroup) {
+	sched := arrivals(t, tenantSeed(sc.Seed, t.Name), time.Duration(sc.Duration))
+	r.logf("tenant %s: %d arrivals over %v (%.1f/s)", t.Name, len(sched), time.Duration(sc.Duration), t.RateHz)
+	var cellSeq uint64
+	for _, at := range sched {
+		wait := at - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		seq := cellSeq
+		cellSeq += uint64(t.cells())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes <- r.submitAndWatch(ctx, t, seq, sc)
+		}()
+	}
+}
+
+// submitAndWatch submits one job and follows it to a terminal state.
+func (r *Runner) submitAndWatch(ctx context.Context, t *TenantLoad, seq uint64, sc Scenario) jobOutcome {
+	out := jobOutcome{tenant: t.Name, cells: t.cells()}
+	req := submitRequest{Priority: t.Priority}
+	if d := time.Duration(t.Deadline); d > 0 {
+		req.Deadline = d.String()
+	}
+	step := t.windowStep()
+	for k := 0; k < t.cells(); k++ {
+		req.Cells = append(req.Cells, cellSpec{
+			Type:    "stream",
+			Streams: []streamSpec{{Kind: t.kind()}},
+			Window:  t.windowBase() + (seq+uint64(k))*step,
+		})
+	}
+	body, _ := json.Marshal(req)
+
+	submitted := time.Now()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+r.Target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		out.state, out.cause = "error", err.Error()
+		return out
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Tenant", t.Name)
+	resp, err := r.client().Do(hreq)
+	if err != nil {
+		out.state, out.cause = "error", err.Error()
+		return out
+	}
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		out.state = "shed"
+		if out.cause = resp.Header.Get("X-Quota-Cause"); out.cause == "" {
+			out.cause = "backpressure"
+		}
+		return out
+	default:
+		out.state = "error"
+		out.cause = fmt.Sprintf("%d: %s", resp.StatusCode, strings.TrimSpace(string(respBody)))
+		return out
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(respBody, &st); err != nil || st.ID == "" {
+		out.state, out.cause = "error", "unparseable submit response"
+		return out
+	}
+
+	// Poll to terminal. The settle budget bounds how long a job may
+	// outlive the arrival window before it counts as lost.
+	deadline := time.Now().Add(time.Duration(sc.Duration) + sc.settle())
+	for {
+		if time.Now().After(deadline) {
+			out.state = "lost"
+			return out
+		}
+		select {
+		case <-ctx.Done():
+			out.state = "lost"
+			return out
+		case <-time.After(r.pollEvery()):
+		}
+		sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.Target+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			out.state, out.cause = "error", err.Error()
+			return out
+		}
+		sresp, err := r.client().Do(sreq)
+		if err != nil {
+			continue // the daemon may be mid-restart; keep polling to the budget
+		}
+		var jst struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		decErr := json.NewDecoder(sresp.Body).Decode(&jst)
+		sresp.Body.Close()
+		if decErr != nil || sresp.StatusCode != http.StatusOK {
+			continue
+		}
+		switch jst.State {
+		case "done", "failed", "cancelled":
+			out.state = jst.State
+			out.cause = jst.Error
+			out.latency = time.Since(submitted)
+			return out
+		}
+	}
+}
+
+// kill SIGKILLs the process named by pidfile — the harness's worker-
+// death chaos action.
+func (r *Runner) kill(pidfile string) error {
+	if r.Kill != nil {
+		return r.Kill(pidfile)
+	}
+	data, err := os.ReadFile(pidfile)
+	if err != nil {
+		return err
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || pid <= 1 {
+		return fmt.Errorf("loadgen: pidfile %s: bad pid %q", pidfile, strings.TrimSpace(string(data)))
+	}
+	return syscall.Kill(pid, syscall.SIGKILL)
+}

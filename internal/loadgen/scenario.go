@@ -1,0 +1,205 @@
+// Package loadgen is the open-loop load/chaos harness: it drives
+// synthetic tenants against an smtd (or a cluster coordinator) with
+// Poisson arrivals, optionally killing workers mid-run, and reports
+// per-tenant latency/goodput/shed statistics. Open-loop means arrivals
+// are scheduled by the clock, not by completions — a daemon that slows
+// down faces a growing backlog exactly like production traffic, which
+// is the property that makes the SLO numbers honest (a closed loop
+// self-throttles and flatters the system under test).
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"smtexplore/internal/faultinject"
+	"smtexplore/internal/tenant"
+)
+
+// Limits keeping a fuzzed or mistyped scenario from melting the host.
+const (
+	MaxTenants     = 64
+	MaxRateHz      = 1000
+	MaxCellsPerJob = 64
+	MaxPhases      = 32
+	MaxDuration    = time.Hour
+)
+
+// TenantLoad is one synthetic tenant's traffic shape.
+type TenantLoad struct {
+	// Name is the tenant identity submitted as X-Tenant.
+	Name string `json:"name"`
+	// RateHz is the Poisson arrival rate in jobs per second.
+	RateHz float64 `json:"rate_hz"`
+	// CellsPerJob sizes each batch (0 → 1).
+	CellsPerJob int `json:"cells_per_job,omitempty"`
+	// Priority rides each submission (higher runs first).
+	Priority int `json:"priority,omitempty"`
+	// Deadline, when set, bounds each job end-to-end.
+	Deadline tenant.Duration `json:"deadline,omitempty"`
+	// Kind is the stream kind per cell (empty → "fadd").
+	Kind string `json:"kind,omitempty"`
+	// WindowBase/WindowStep generate each cell's measurement window:
+	// base + i*step for a per-tenant counter i, so every cell is a
+	// distinct simulation (no cross-job cache serves) unless step is 0,
+	// which deliberately makes all cells identical (cache-hot load).
+	// Base 0 → 10000, step unset → 1.
+	WindowBase uint64  `json:"window_base,omitempty"`
+	WindowStep *uint64 `json:"window_step,omitempty"`
+}
+
+func (t *TenantLoad) cells() int {
+	if t.CellsPerJob <= 0 {
+		return 1
+	}
+	return t.CellsPerJob
+}
+
+func (t *TenantLoad) kind() string {
+	if t.Kind == "" {
+		return "fadd"
+	}
+	return t.Kind
+}
+
+func (t *TenantLoad) windowBase() uint64 {
+	if t.WindowBase == 0 {
+		return 10000
+	}
+	return t.WindowBase
+}
+
+func (t *TenantLoad) windowStep() uint64 {
+	if t.WindowStep == nil {
+		return 1
+	}
+	return *t.WindowStep
+}
+
+// Phase kinds.
+const (
+	// PhaseKill SIGKILLs the process whose PID is in Pidfile — the
+	// chaos half of the harness: a worker dying mid-run with jobs in
+	// flight.
+	PhaseKill = "kill"
+)
+
+// Phase is one scheduled chaos action.
+type Phase struct {
+	// At is the offset from run start.
+	At tenant.Duration `json:"at"`
+	// Kind selects the action (only "kill" today).
+	Kind string `json:"kind"`
+	// Pidfile locates the victim for "kill".
+	Pidfile string `json:"pidfile,omitempty"`
+}
+
+// Scenario is a complete load/chaos run specification.
+type Scenario struct {
+	// Seed makes every arrival sequence reproducible. Each tenant
+	// derives its own stream from Seed + FNV(name), so adding a tenant
+	// does not perturb the others' arrivals.
+	Seed uint64 `json:"seed"`
+	// Duration is how long arrivals are generated.
+	Duration tenant.Duration `json:"duration"`
+	// Settle is the post-arrival grace for in-flight jobs to finish
+	// (unset → 30s; jobs still running after it count as failed).
+	Settle tenant.Duration `json:"settle,omitempty"`
+	// Tenants are the synthetic workloads, driven concurrently.
+	Tenants []TenantLoad `json:"tenants"`
+	// Phases are chaos actions on the run's timeline.
+	Phases []Phase `json:"phases,omitempty"`
+	// FaultPlan, when set, names a faultinject plan file that must
+	// validate before the run starts. Arming happens in the target
+	// daemon (smtd -fault-plan); validating here catches a broken plan
+	// before a long run, not after.
+	FaultPlan string `json:"fault_plan,omitempty"`
+}
+
+func (s *Scenario) settle() time.Duration {
+	if d := time.Duration(s.Settle); d > 0 {
+		return d
+	}
+	return 30 * time.Second
+}
+
+// ParseScenario decodes and validates a scenario. Unknown fields are
+// rejected — a typoed "rate_hz" silently generating zero load is the
+// worst possible failure mode for a harness whose job is proving SLOs.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	if err := strictUnmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Validate checks a scenario against the package limits.
+func (s *Scenario) Validate() error {
+	if d := time.Duration(s.Duration); d <= 0 || d > MaxDuration {
+		return fmt.Errorf("loadgen: duration %v outside (0, %v]", d, MaxDuration)
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("loadgen: no tenants")
+	}
+	if len(s.Tenants) > MaxTenants {
+		return fmt.Errorf("loadgen: %d tenants exceeds the %d limit", len(s.Tenants), MaxTenants)
+	}
+	seen := make(map[string]bool)
+	for i, t := range s.Tenants {
+		if !tenant.ValidName(t.Name) {
+			return fmt.Errorf("loadgen: tenant %d: invalid name %q", i, t.Name)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("loadgen: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.RateHz <= 0 || t.RateHz > MaxRateHz {
+			return fmt.Errorf("loadgen: tenant %q: rate_hz %v outside (0, %d]", t.Name, t.RateHz, MaxRateHz)
+		}
+		if t.CellsPerJob < 0 || t.CellsPerJob > MaxCellsPerJob {
+			return fmt.Errorf("loadgen: tenant %q: cells_per_job %d outside [0, %d]", t.Name, t.CellsPerJob, MaxCellsPerJob)
+		}
+		if d := time.Duration(t.Deadline); d < 0 {
+			return fmt.Errorf("loadgen: tenant %q: negative deadline", t.Name)
+		}
+	}
+	if len(s.Phases) > MaxPhases {
+		return fmt.Errorf("loadgen: %d phases exceeds the %d limit", len(s.Phases), MaxPhases)
+	}
+	for i, p := range s.Phases {
+		at := time.Duration(p.At)
+		if at < 0 || at > time.Duration(s.Duration) {
+			return fmt.Errorf("loadgen: phase %d: at %v outside the run's [0, %v]", i, at, time.Duration(s.Duration))
+		}
+		switch p.Kind {
+		case PhaseKill:
+			if p.Pidfile == "" {
+				return fmt.Errorf("loadgen: phase %d: kill needs a pidfile", i)
+			}
+		default:
+			return fmt.Errorf("loadgen: phase %d: unknown kind %q", i, p.Kind)
+		}
+	}
+	if s.FaultPlan != "" {
+		plan, err := faultinject.LoadPlan(s.FaultPlan)
+		if err != nil {
+			return fmt.Errorf("loadgen: fault plan: %w", err)
+		}
+		if _, err := faultinject.New(plan); err != nil {
+			return fmt.Errorf("loadgen: fault plan: %w", err)
+		}
+	}
+	return nil
+}

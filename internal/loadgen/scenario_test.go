@@ -1,0 +1,141 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smtexplore/internal/tenant"
+)
+
+func TestParseScenarioDefaults(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"seed": 7,
+		"duration": "5s",
+		"tenants": [{"name": "light", "rate_hz": 2}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 7 || time.Duration(sc.Duration) != 5*time.Second {
+		t.Fatalf("seed/duration = %d/%v", sc.Seed, time.Duration(sc.Duration))
+	}
+	if got := sc.settle(); got != 30*time.Second {
+		t.Fatalf("default settle = %v, want 30s", got)
+	}
+	tl := &sc.Tenants[0]
+	if tl.cells() != 1 {
+		t.Fatalf("default cells = %d, want 1", tl.cells())
+	}
+	if tl.kind() != "fadd" {
+		t.Fatalf("default kind = %q, want fadd", tl.kind())
+	}
+	if tl.windowBase() != 10000 {
+		t.Fatalf("default window base = %d, want 10000", tl.windowBase())
+	}
+	if tl.windowStep() != 1 {
+		t.Fatalf("unset window step = %d, want 1", tl.windowStep())
+	}
+}
+
+func TestParseScenarioExplicitZeroStepIsCacheHot(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"duration": "1s",
+		"tenants": [{"name": "hot", "rate_hz": 1, "window_step": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Tenants[0].windowStep(); got != 0 {
+		t.Fatalf("explicit zero step = %d, want 0 (cache-hot)", got)
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	// A typoed rate field would silently generate zero load; strict
+	// decoding has to catch it.
+	_, err := ParseScenario([]byte(`{
+		"duration": "1s",
+		"tenants": [{"name": "t", "rate_hs": 2}]
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("typoed field err = %v, want unknown-field", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Duration: dur(time.Second),
+			Tenants:  []TenantLoad{{Name: "a", RateHz: 1}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"zero duration", func(s *Scenario) { s.Duration = 0 }, "duration"},
+		{"over max duration", func(s *Scenario) { s.Duration = dur(2 * time.Hour) }, "duration"},
+		{"no tenants", func(s *Scenario) { s.Tenants = nil }, "no tenants"},
+		{"too many tenants", func(s *Scenario) {
+			for i := 0; i <= MaxTenants; i++ {
+				s.Tenants = append(s.Tenants, TenantLoad{Name: "t" + strings.Repeat("x", i+1), RateHz: 1})
+			}
+		}, "exceeds"},
+		{"bad name", func(s *Scenario) { s.Tenants[0].Name = "no spaces" }, "invalid name"},
+		{"duplicate name", func(s *Scenario) {
+			s.Tenants = append(s.Tenants, TenantLoad{Name: "a", RateHz: 1})
+		}, "duplicate"},
+		{"zero rate", func(s *Scenario) { s.Tenants[0].RateHz = 0 }, "rate_hz"},
+		{"huge rate", func(s *Scenario) { s.Tenants[0].RateHz = MaxRateHz + 1 }, "rate_hz"},
+		{"negative cells", func(s *Scenario) { s.Tenants[0].CellsPerJob = -1 }, "cells_per_job"},
+		{"huge cells", func(s *Scenario) { s.Tenants[0].CellsPerJob = MaxCellsPerJob + 1 }, "cells_per_job"},
+		{"negative deadline", func(s *Scenario) { s.Tenants[0].Deadline = dur(-time.Second) }, "deadline"},
+		{"phase past end", func(s *Scenario) {
+			s.Phases = []Phase{{At: dur(2 * time.Second), Kind: PhaseKill, Pidfile: "p"}}
+		}, "outside the run"},
+		{"kill without pidfile", func(s *Scenario) {
+			s.Phases = []Phase{{At: 0, Kind: PhaseKill}}
+		}, "pidfile"},
+		{"unknown phase kind", func(s *Scenario) {
+			s.Phases = []Phase{{At: 0, Kind: "reboot", Pidfile: "p"}}
+		}, "unknown kind"},
+		{"missing fault plan", func(s *Scenario) { s.FaultPlan = "/nonexistent/plan.json" }, "fault plan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mut(&sc)
+			err := sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsFaultPlan(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(plan, []byte(`{
+		"seed": 1,
+		"rules": [{"point": "store.write", "action": "error", "prob": 0.5}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Duration:  dur(time.Second),
+		Tenants:   []TenantLoad{{Name: "a", RateHz: 1}},
+		FaultPlan: plan,
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid fault plan rejected: %v", err)
+	}
+}
+
+func dur(d time.Duration) tenant.Duration {
+	return tenant.Duration(d)
+}

@@ -172,6 +172,28 @@ func (c *Cache) tierSnapshot() Tier {
 	return c.tier
 }
 
+// Meter observes how one Cached lookup was satisfied, for per-caller
+// attribution (the service binds one per tenant). The cache itself
+// keeps only aggregate counters — it is shared and content-addressed,
+// so "whose bytes are these" is a question only the caller can answer.
+// Implementations must be safe for concurrent use. All hooks are
+// invoked outside the cache lock.
+type Meter interface {
+	// CacheServed fires when the in-memory cache satisfied the lookup —
+	// a completed entry, or joining a computation another caller had in
+	// flight (single-flight attribution goes to the computing caller).
+	CacheServed()
+	// TierServed fires when the persistent tier satisfied the lookup,
+	// with the payload size read.
+	TierServed(bytes int)
+	// Simulated fires when the value had to be computed (every cache
+	// tier missed).
+	Simulated()
+	// TierWritten fires when a computed value was written through to
+	// the tier, with the payload size written.
+	TierWritten(bytes int)
+}
+
 // Cached runs compute through the cache under key. A nil cache computes
 // directly, so callers can thread an optional cache without branching.
 //
@@ -182,15 +204,37 @@ func (c *Cache) tierSnapshot() Tier {
 // round-trip is exact for the result types in play (integers, strings
 // and finite float64s), so a tier hit is byte-identical to a recompute.
 func Cached[R any](c *Cache, key string, compute func() (R, error)) (R, error) {
+	return CachedMetered(c, key, nil, compute)
+}
+
+// CachedMetered is Cached with an attribution hook: m (when non-nil)
+// is told whether the lookup was served from memory, served from the
+// tier, or computed — and how many tier bytes moved. This is the choke
+// point the service uses for per-tenant store accounting; the split
+// from Cached keeps the unmetered call sites untouched.
+func CachedMetered[R any](c *Cache, key string, m Meter, compute func() (R, error)) (R, error) {
 	if c == nil {
-		return compute()
+		r, err := compute()
+		if m != nil && err == nil {
+			m.Simulated()
+		}
+		return r, err
 	}
+	// ran flips inside the closure; do() runs it on this goroutine or
+	// not at all, so reading it afterwards is race-free. If it never
+	// ran, the in-memory cache (or a joined in-flight compute)
+	// satisfied the lookup.
+	ran := false
 	v, err := c.do(key, func() (any, error) {
+		ran = true
 		tier := c.tierSnapshot()
 		if tier != nil {
 			if data, ok := tier.Load(key); ok {
 				var r R
 				if err := json.Unmarshal(data, &r); err == nil {
+					if m != nil {
+						m.TierServed(len(data))
+					}
 					return r, nil
 				}
 			}
@@ -199,9 +243,15 @@ func Cached[R any](c *Cache, key string, compute func() (R, error)) (R, error) {
 		if err != nil {
 			return nil, err
 		}
+		if m != nil {
+			m.Simulated()
+		}
 		if tier != nil {
 			if data, err := json.Marshal(r); err == nil {
 				tier.Store(key, data)
+				if m != nil {
+					m.TierWritten(len(data))
+				}
 			}
 		}
 		return r, nil
@@ -209,6 +259,9 @@ func Cached[R any](c *Cache, key string, compute func() (R, error)) (R, error) {
 	if err != nil {
 		var zero R
 		return zero, err
+	}
+	if !ran && m != nil {
+		m.CacheServed()
 	}
 	r, ok := v.(R)
 	if !ok {

@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+)
+
+// countMeter records which attribution hooks fired.
+type countMeter struct {
+	mu          sync.Mutex
+	cacheServed int
+	tierServed  int
+	servedBytes int
+	simulated   int
+	tierWritten int
+	wroteBytes  int
+}
+
+func (m *countMeter) CacheServed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheServed++
+}
+
+func (m *countMeter) TierServed(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tierServed++
+	m.servedBytes += n
+}
+
+func (m *countMeter) Simulated() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.simulated++
+}
+
+func (m *countMeter) TierWritten(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tierWritten++
+	m.wroteBytes += n
+}
+
+func TestCachedMeteredAttribution(t *testing.T) {
+	tier := newFakeTier()
+	c := NewCache().WithTier(tier)
+	m := &countMeter{}
+	get := func() (int, error) {
+		return CachedMetered(c, "k", m, func() (int, error) { return 42, nil })
+	}
+
+	// Cold: the caller simulates and the result is written to the tier.
+	if v, err := get(); err != nil || v != 42 {
+		t.Fatalf("cold get = %d, %v", v, err)
+	}
+	if m.simulated != 1 || m.tierWritten != 1 || m.wroteBytes == 0 {
+		t.Fatalf("after cold get: %+v, want 1 simulate + 1 tier write", m)
+	}
+
+	// Warm in memory: served from cache, no new simulation or IO.
+	if _, err := get(); err != nil {
+		t.Fatal(err)
+	}
+	if m.cacheServed != 1 || m.simulated != 1 || m.tierServed != 0 {
+		t.Fatalf("after warm get: %+v, want 1 cache-serve", m)
+	}
+
+	// Fresh process, same tier: served from the tier, bytes attributed.
+	c2 := NewCache().WithTier(tier)
+	m2 := &countMeter{}
+	if v, err := CachedMetered(c2, "k", m2, func() (int, error) {
+		t.Fatal("tier hit must not recompute")
+		return 0, nil
+	}); err != nil || v != 42 {
+		t.Fatalf("tier get = %d, %v", v, err)
+	}
+	if m2.tierServed != 1 || m2.servedBytes != m.wroteBytes || m2.simulated != 0 {
+		t.Fatalf("after tier get: %+v, want 1 tier-serve of %d bytes", m2, m.wroteBytes)
+	}
+}
+
+func TestCachedMeteredNilMeterAndNilCache(t *testing.T) {
+	// Nil meter: plain caching still works (Cached delegates here).
+	c := NewCache()
+	if v, err := CachedMetered(c, "k", nil, func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("nil meter get = %d, %v", v, err)
+	}
+	// Nil cache: computes every time, still attributed as simulation.
+	m := &countMeter{}
+	for i := 0; i < 2; i++ {
+		if v, err := CachedMetered[int](nil, "k", m, func() (int, error) { return 9, nil }); err != nil || v != 9 {
+			t.Fatalf("nil cache get = %d, %v", v, err)
+		}
+	}
+	if m.simulated != 2 || m.cacheServed != 0 {
+		t.Fatalf("nil cache meter = %+v, want 2 simulations", m)
+	}
+}
+
+func TestCachedMeteredJoinersCountAsCacheServed(t *testing.T) {
+	c := NewCache()
+	start := make(chan struct{})
+	release := make(chan struct{})
+	meters := make([]*countMeter, 4)
+	var wg sync.WaitGroup
+	for i := range meters {
+		meters[i] = &countMeter{}
+		wg.Add(1)
+		go func(m *countMeter) {
+			defer wg.Done()
+			<-start
+			CachedMetered(c, "k", m, func() (int, error) {
+				close(release) // only one closure runs; a second close panics
+				return 1, nil
+			})
+		}(meters[i])
+	}
+	close(start)
+	wg.Wait()
+	<-release
+	var sim, served int
+	for _, m := range meters {
+		sim += m.simulated
+		served += m.cacheServed
+	}
+	if sim != 1 || served != 3 {
+		t.Fatalf("simulated=%d cacheServed=%d, want exactly 1 simulation and 3 joiners", sim, served)
+	}
+}

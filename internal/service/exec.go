@@ -233,6 +233,7 @@ func (s *Service) computeCell(ctx context.Context, spec CellSpec, artifactDir st
 	}
 
 	opt := experiments.Options{Workers: s.cfg.Workers, Cache: s.cfg.Cache}
+	opt.Meter = &tenantMeter{s: s, tenant: tenantFromCtx(ctx)}
 	if ctl != nil {
 		opt.Checkpoint = ctl.ck
 	}

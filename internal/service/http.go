@@ -4,12 +4,34 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"time"
+
+	"smtexplore/internal/tenant"
 )
+
+// retryAfter derives the Retry-After hint for shed responses from the
+// measured queue-wait EWMA: twice the recent wait (a shed submission
+// would have joined the back of that queue), floored at 1s so an idle
+// service still rate-limits retries, capped at 30s so a congestion
+// spike cannot park clients for minutes.
+func (s *Service) retryAfter() string {
+	s.mu.Lock()
+	ewma := s.queueWaitEWMA
+	s.mu.Unlock()
+	secs := int(math.Ceil(2 * ewma))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
@@ -21,6 +43,11 @@ type SubmitRequest struct {
 	// Deadline is a Go duration ("30s", "5m") measured from admission;
 	// empty means none. It becomes an absolute deadline on the job.
 	Deadline string `json:"deadline,omitempty"`
+	// Tenant is the identity to account the job to; the X-Tenant
+	// header takes precedence when both are set. The body field exists
+	// so the cluster coordinator can forward tenancy to workers
+	// without a custom header path. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CellStatus is the progress view of one cell (results stripped).
@@ -125,6 +152,14 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := SubmitOptions{IdemKey: r.Header.Get("Idempotency-Key"), Priority: req.Priority}
+	opts.Tenant = req.Tenant
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		opts.Tenant = h
+	}
+	if opts.Tenant != "" && !tenant.ValidName(opts.Tenant) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid tenant name %q", opts.Tenant))
+		return
+	}
 	if req.Deadline != "" {
 		d, err := time.ParseDuration(req.Deadline)
 		if err != nil {
@@ -134,11 +169,20 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		opts.Deadline = time.Now().Add(d)
 	}
 	j, err := s.SubmitWith(req.Cells, opts)
+	var quotaErr *QuotaError
 	switch {
+	case errors.As(err, &quotaErr):
+		// Per-tenant quota refusal: 429 with the exhausted quota's
+		// cause, so the client can tell its own overrun from service
+		// overload. Backoff hint tracks measured congestion.
+		w.Header().Set("Retry-After", s.retryAfter())
+		w.Header().Set("X-Quota-Cause", quotaErr.Cause)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShedLoad):
-		// Backpressure: tell the client when to come back. One second is
-		// the right order of magnitude for cell-sized work.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: tell the client when to come back, scaled to
+		// the queue wait recent jobs actually experienced.
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.Is(err, ErrDeadlineExpired):

@@ -46,6 +46,11 @@ type Job struct {
 	// fails with an explicit cause instead of running late. Immutable
 	// after submission.
 	Deadline time.Time
+	// Tenant is the identity this job's resources are accounted to.
+	// The service normalizes it at admission (empty → tenant.Default);
+	// the fair-share queue round-robins across distinct values.
+	// Immutable after submission.
+	Tenant string
 
 	mu      sync.Mutex
 	state   string
@@ -61,6 +66,11 @@ type Job struct {
 	// cells observe it at their next pause point and yield.
 	stopSet    bool
 	stopReason string
+
+	// charged marks that the job's cells were counted against its
+	// tenant's MaxActiveCells allocation, so release happens exactly
+	// once and only for charged jobs. Guarded by Service.mu.
+	charged bool
 }
 
 func newJob(id string, specs []CellSpec) *Job {

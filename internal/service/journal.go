@@ -30,9 +30,12 @@ type Record struct {
 	// cause instead of running late.
 	Priority int       `json:"priority,omitempty"`
 	Deadline time.Time `json:"deadline,omitzero"`
-	State    string    `json:"state"`
-	Error    string    `json:"error,omitempty"`
-	Created  time.Time `json:"created"`
+	// Tenant keeps the job accounted to its owner across a restart
+	// (empty in records written before tenancy existed → default).
+	Tenant  string    `json:"tenant,omitempty"`
+	State   string    `json:"state"`
+	Error   string    `json:"error,omitempty"`
+	Created time.Time `json:"created"`
 }
 
 // Terminal reports whether the record's state is terminal.

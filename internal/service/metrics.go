@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -55,8 +56,15 @@ type Metrics struct {
 	QueueWaitEWMASeconds float64
 	ShedDeadline         uint64
 	ShedAIMD             uint64
+	ShedQuota            uint64
 	HasAIMD              bool
 	AIMDLimit            float64
+
+	// Tenants carries per-tenant accounting rows, keyed by tenant
+	// name; present only once a tenant has submitted (or been shed).
+	// The cluster coordinator sums these across workers for the fleet
+	// view.
+	Tenants map[string]TenantMetrics `json:",omitempty"`
 
 	HasBreaker           bool
 	BreakerState         string
@@ -74,6 +82,31 @@ type Metrics struct {
 
 	Goroutines    int
 	UptimeSeconds float64
+}
+
+// TenantMetrics is one tenant's slice of the service counters — the
+// structured form behind the /metrics tenant labels and the per-tenant
+// store-namespace accounting.
+type TenantMetrics struct {
+	JobsAdmitted     uint64
+	CellsDone        uint64
+	CellsFailed      uint64
+	CellsSimulated   uint64
+	QueueWaitSeconds float64
+	QueueWaitPops    uint64
+	CyclesCharged    uint64
+	ShedQueuedJobs   uint64
+	ShedActiveCells  uint64
+	ShedCycleBudget  uint64
+	// QueuedJobs and ActiveCells are point-in-time gauges of the
+	// tenant's live footprint (the quantities its quotas bound).
+	QueuedJobs  int
+	ActiveCells int
+	// StoreBytesWritten and StoreBytesServed come from the store
+	// ledger: bytes this tenant's cells wrote into and read out of the
+	// content-addressed store namespace.
+	StoreBytesWritten uint64
+	StoreBytesServed  uint64
 }
 
 // Snapshot collects the current metrics.
@@ -103,8 +136,39 @@ func (s *Service) Snapshot() Metrics {
 		QueueWaitPops:        s.queueWaitPops,
 		QueueWaitEWMASeconds: s.queueWaitEWMA,
 		ShedDeadline:         s.shedDeadline,
+		ShedQuota:            s.shedQuota,
+	}
+	if len(s.tenants) > 0 || len(s.tenantCells) > 0 {
+		m.Tenants = make(map[string]TenantMetrics, len(s.tenants))
+		for name, ts := range s.tenants {
+			m.Tenants[name] = TenantMetrics{
+				JobsAdmitted:     ts.jobsAdmitted,
+				CellsDone:        ts.cellsDone,
+				CellsFailed:      ts.cellsFailed,
+				CellsSimulated:   ts.cellsSimulated,
+				QueueWaitSeconds: ts.queueWaitSeconds,
+				QueueWaitPops:    ts.queueWaitPops,
+				CyclesCharged:    ts.cyclesCharged,
+				ShedQueuedJobs:   ts.shedQueuedJobs,
+				ShedActiveCells:  ts.shedActiveCells,
+				ShedCycleBudget:  ts.shedCycleBudget,
+			}
+		}
+		for name, cells := range s.tenantCells {
+			row := m.Tenants[name]
+			row.ActiveCells = cells
+			m.Tenants[name] = row
+		}
 	}
 	s.mu.Unlock()
+	for name, row := range m.Tenants {
+		row.QueuedJobs = s.queue.lenTenant(name)
+		if lg := s.cfg.StoreLedger; lg != nil {
+			u := lg.Usage(name)
+			row.StoreBytesWritten, row.StoreBytesServed = u.BytesWritten, u.BytesServed
+		}
+		m.Tenants[name] = row
+	}
 	m.QueueDepth = s.queue.len()
 	if s.ckStats != nil {
 		m.HasCheckpoint = true
@@ -201,6 +265,7 @@ func (m Metrics) WriteProm(w *strings.Builder) {
 	fmt.Fprintf(w, "# HELP smtd_shed_total Submissions or jobs shed by overload control, by reason.\n# TYPE smtd_shed_total counter\n")
 	fmt.Fprintf(w, "smtd_shed_total{reason=\"deadline\"} %d\n", m.ShedDeadline)
 	fmt.Fprintf(w, "smtd_shed_total{reason=\"aimd\"} %d\n", m.ShedAIMD)
+	fmt.Fprintf(w, "smtd_shed_total{reason=\"quota\"} %d\n", m.ShedQuota)
 	counter("smtd_queue_wait_seconds_total", "Cumulative time jobs spent queued before a worker picked them up.", m.QueueWaitSeconds)
 	gauge("smtd_queue_wait_ewma_seconds", "Exponentially-weighted recent queue wait (the cluster steal signal).", m.QueueWaitEWMASeconds)
 	counter("smtd_queue_pops_total", "Jobs handed to workers (denominator for mean queue wait).", m.QueueWaitPops)
@@ -239,6 +304,60 @@ func (m Metrics) WriteProm(w *strings.Builder) {
 	if m.HasJournal {
 		counter("smtd_journal_writes_total", "Journal records persisted.", m.JournalWrites)
 		counter("smtd_journal_errors_total", "Journal writes that failed.", m.JournalErrors)
+	}
+
+	if len(m.Tenants) > 0 {
+		names := make([]string, 0, len(m.Tenants))
+		for name := range m.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		row := func(name, help string, render func(t string, v TenantMetrics)) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, t := range names {
+				render(t, m.Tenants[t])
+			}
+		}
+		rowGauge := func(name, help string, render func(t string, v TenantMetrics)) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, t := range names {
+				render(t, m.Tenants[t])
+			}
+		}
+		row("smtd_tenant_jobs_admitted_total", "Jobs admitted, by tenant.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_jobs_admitted_total{tenant=%q} %d\n", t, v.JobsAdmitted)
+		})
+		row("smtd_tenant_cells_total", "Cells finished, by tenant and terminal state.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_cells_total{tenant=%q,state=\"done\"} %d\n", t, v.CellsDone)
+			fmt.Fprintf(w, "smtd_tenant_cells_total{tenant=%q,state=\"failed\"} %d\n", t, v.CellsFailed)
+		})
+		row("smtd_tenant_cells_simulated_total", "Cells that ran the simulator (missed every cache tier), by tenant.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_cells_simulated_total{tenant=%q} %d\n", t, v.CellsSimulated)
+		})
+		row("smtd_tenant_queue_wait_seconds_total", "Cumulative queue wait, by tenant.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_queue_wait_seconds_total{tenant=%q} %v\n", t, v.QueueWaitSeconds)
+		})
+		row("smtd_tenant_queue_pops_total", "Jobs handed to workers, by tenant.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_queue_pops_total{tenant=%q} %d\n", t, v.QueueWaitPops)
+		})
+		row("smtd_tenant_cycles_charged_total", "Simulated cycles charged against the tenant's budget window.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_cycles_charged_total{tenant=%q} %d\n", t, v.CyclesCharged)
+		})
+		row("smtd_tenant_shed_total", "Submissions refused by per-tenant quotas, by tenant and cause.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_shed_total{tenant=%q,cause=%q} %d\n", t, QuotaQueuedJobs, v.ShedQueuedJobs)
+			fmt.Fprintf(w, "smtd_tenant_shed_total{tenant=%q,cause=%q} %d\n", t, QuotaActiveCells, v.ShedActiveCells)
+			fmt.Fprintf(w, "smtd_tenant_shed_total{tenant=%q,cause=%q} %d\n", t, QuotaCycleBudget, v.ShedCycleBudget)
+		})
+		row("smtd_tenant_store_bytes_total", "Store-namespace bytes attributed to the tenant, by direction.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_store_bytes_total{tenant=%q,dir=\"written\"} %d\n", t, v.StoreBytesWritten)
+			fmt.Fprintf(w, "smtd_tenant_store_bytes_total{tenant=%q,dir=\"served\"} %d\n", t, v.StoreBytesServed)
+		})
+		rowGauge("smtd_tenant_queue_depth", "Jobs currently queued, by tenant.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_queue_depth{tenant=%q} %d\n", t, v.QueuedJobs)
+		})
+		rowGauge("smtd_tenant_active_cells", "Live (queued+running) cells, by tenant.", func(t string, v TenantMetrics) {
+			fmt.Fprintf(w, "smtd_tenant_active_cells{tenant=%q} %d\n", t, v.ActiveCells)
+		})
 	}
 
 	counter("smtd_faults_injected_total", "Fault-plan rule fires (0 unless a plan is armed).", m.FaultsInjected)

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"container/heap"
 	"sync"
 	"time"
 )
@@ -15,38 +14,52 @@ type queuedJob struct {
 	enqueued time.Time
 }
 
-// jobHeap orders entries by priority (higher first), then admission
-// order within a priority class.
-type jobHeap []queuedJob
-
-func (h jobHeap) Len() int { return len(h) }
-func (h jobHeap) Less(i, j int) bool {
-	if h[i].job.Priority != h[j].job.Priority {
-		return h[i].job.Priority > h[j].job.Priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queuedJob)) }
-func (h *jobHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = queuedJob{}
-	*h = old[:n-1]
-	return it
+// tenantFIFO is one tenant's backlog within a priority class, plus its
+// deficit-round-robin state. Jobs within a tenant are strictly FIFO.
+type tenantFIFO struct {
+	name string
+	jobs []queuedJob
+	// deficit is the tenant's accumulated service credit, in cells.
+	// A visit credits quantum×weight; serving a job spends its cost.
+	deficit int
+	// credited marks that the current ring visit already added the
+	// tenant's quantum, so back-to-back pops don't double-credit.
+	credited bool
 }
 
-// jobQueue is the bounded priority queue feeding the worker pool. It
-// replaces the plain channel the service started with: a high-priority
-// burst runs ahead of queued low-priority work instead of behind it.
+// priClass is one strict-priority level: a round-robin ring of tenant
+// FIFOs served by deficit-weighted round-robin. Strict priority across
+// classes is preserved exactly as the old heap behaved — fair-share
+// applies only among tenants competing at the same priority.
+type priClass struct {
+	priority int
+	byName   map[string]*tenantFIFO
+	ring     []*tenantFIFO
+	next     int // ring cursor
+	count    int // entries across all tenants in this class
+}
+
+// jobQueue is the bounded fair-share queue feeding the worker pool.
+// Ordering is three-level: strict priority across classes (higher
+// first), deficit-weighted round-robin across tenants within a class
+// (weight from weightOf; a job's cost is its cell count), and FIFO
+// within a tenant. With a single tenant this degrades to exactly the
+// old priority-heap ordering: priority desc, then admission order.
+//
+// Anti-starvation: when ageAfter > 0, a pop first serves the globally
+// oldest queued job if it has waited longer than ageAfter, regardless
+// of priority — a continuous high-priority stream can delay but never
+// indefinitely starve queued low-priority work.
 type jobQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	heap   jobHeap
-	cap    int
-	seq    uint64
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	classes  []*priClass // sorted by priority descending
+	cap      int
+	total    int
+	seq      uint64
+	closed   bool
+	weightOf func(tenant string) int // nil → every tenant weighs 1
+	ageAfter time.Duration           // 0 → aging disabled
 }
 
 func newJobQueue(capacity int) *jobQueue {
@@ -59,7 +72,7 @@ func newJobQueue(capacity int) *jobQueue {
 func (q *jobQueue) push(j *Job) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed || len(q.heap) >= q.cap {
+	if q.closed || q.total >= q.cap {
 		return false
 	}
 	q.pushLocked(j)
@@ -81,8 +94,34 @@ func (q *jobQueue) forcePush(j *Job) bool {
 
 func (q *jobQueue) pushLocked(j *Job) {
 	q.seq++
-	heap.Push(&q.heap, queuedJob{job: j, seq: q.seq, enqueued: time.Now()})
+	cls := q.classLocked(j.Priority)
+	t := cls.byName[j.Tenant]
+	if t == nil {
+		t = &tenantFIFO{name: j.Tenant}
+		cls.byName[j.Tenant] = t
+		cls.ring = append(cls.ring, t)
+	}
+	t.jobs = append(t.jobs, queuedJob{job: j, seq: q.seq, enqueued: time.Now()})
+	cls.count++
+	q.total++
 	q.cond.Signal()
+}
+
+// classLocked finds or inserts the class for priority, keeping the
+// slice sorted descending. Callers hold q.mu.
+func (q *jobQueue) classLocked(priority int) *priClass {
+	i := 0
+	for i < len(q.classes) && q.classes[i].priority > priority {
+		i++
+	}
+	if i < len(q.classes) && q.classes[i].priority == priority {
+		return q.classes[i]
+	}
+	cls := &priClass{priority: priority, byName: make(map[string]*tenantFIFO)}
+	q.classes = append(q.classes, nil)
+	copy(q.classes[i+1:], q.classes[i:])
+	q.classes[i] = cls
+	return cls
 }
 
 // pop blocks until an entry is available (returning it and its queue
@@ -90,14 +129,131 @@ func (q *jobQueue) pushLocked(j *Job) {
 func (q *jobQueue) pop() (j *Job, wait time.Duration, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.heap) == 0 && !q.closed {
+	for q.total == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.heap) == 0 {
+	if q.total == 0 {
 		return nil, 0, false
 	}
-	it := heap.Pop(&q.heap).(queuedJob)
-	return it.job, time.Since(it.enqueued), true
+	now := time.Now()
+	if it, ok := q.popAgedLocked(now); ok {
+		return it.job, now.Sub(it.enqueued), true
+	}
+	for _, cls := range q.classes {
+		if cls.count == 0 {
+			continue
+		}
+		it := q.popClassLocked(cls)
+		return it.job, now.Sub(it.enqueued), true
+	}
+	// Unreachable while total and per-class counts agree.
+	return nil, 0, false
+}
+
+// popAgedLocked serves the globally oldest entry when it has waited
+// past ageAfter. Only FIFO heads need scanning: within a tenant's FIFO
+// the head is the oldest. Callers hold q.mu.
+func (q *jobQueue) popAgedLocked(now time.Time) (queuedJob, bool) {
+	if q.ageAfter <= 0 {
+		return queuedJob{}, false
+	}
+	var (
+		oldCls *priClass
+		oldT   *tenantFIFO
+	)
+	for _, cls := range q.classes {
+		for _, t := range cls.ring {
+			if len(t.jobs) == 0 {
+				continue
+			}
+			if oldT == nil || t.jobs[0].enqueued.Before(oldT.jobs[0].enqueued) {
+				oldCls, oldT = cls, t
+			}
+		}
+	}
+	if oldT == nil || now.Sub(oldT.jobs[0].enqueued) < q.ageAfter {
+		return queuedJob{}, false
+	}
+	return q.takeLocked(oldCls, oldT), true
+}
+
+// popClassLocked runs one deficit-round-robin step over cls's tenant
+// ring and serves one job. cls.count > 0. Callers hold q.mu.
+func (q *jobQueue) popClassLocked(cls *priClass) queuedJob {
+	for {
+		t := cls.ring[cls.next]
+		if len(t.jobs) == 0 {
+			// Empty FIFO: drop the tenant from the ring (deficit resets —
+			// an idle tenant must not bank credit while away).
+			delete(cls.byName, t.name)
+			cls.ring = append(cls.ring[:cls.next], cls.ring[cls.next+1:]...)
+			if cls.next >= len(cls.ring) {
+				cls.next = 0
+			}
+			continue
+		}
+		if !t.credited {
+			t.deficit += q.weight(t.name)
+			t.credited = true
+		}
+		cost := jobCost(t.jobs[0].job)
+		if t.deficit >= cost {
+			t.deficit -= cost
+			return q.takeLocked(cls, t)
+		}
+		// Insufficient credit: banked deficit carries to the next round.
+		t.credited = false
+		cls.next = (cls.next + 1) % len(cls.ring)
+	}
+}
+
+// takeLocked removes and returns t's FIFO head, maintaining counts and
+// dropping the tenant from its ring when emptied. Callers hold q.mu.
+func (q *jobQueue) takeLocked(cls *priClass, t *tenantFIFO) queuedJob {
+	it := t.jobs[0]
+	t.jobs[0] = queuedJob{}
+	t.jobs = t.jobs[1:]
+	cls.count--
+	q.total--
+	if len(t.jobs) == 0 {
+		t.deficit = 0
+		t.credited = false
+		delete(cls.byName, t.name)
+		for i, rt := range cls.ring {
+			if rt == t {
+				cls.ring = append(cls.ring[:i], cls.ring[i+1:]...)
+				if cls.next > i {
+					cls.next--
+				}
+				if cls.next >= len(cls.ring) {
+					cls.next = 0
+				}
+				break
+			}
+		}
+	}
+	return it
+}
+
+// weight resolves a tenant's scheduling weight (>= 1).
+func (q *jobQueue) weight(tenant string) int {
+	if q.weightOf == nil {
+		return 1
+	}
+	if w := q.weightOf(tenant); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// jobCost is the DRR cost of serving a job: its cell count. A tenant
+// submitting many-cell batches drains its deficit proportionally
+// faster than one submitting single cells.
+func jobCost(j *Job) int {
+	if n := len(j.Specs); n > 1 {
+		return n
+	}
+	return 1
 }
 
 // close stops intake and wakes every blocked pop; entries already
@@ -113,7 +269,21 @@ func (q *jobQueue) close() {
 func (q *jobQueue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.heap)
+	return q.total
+}
+
+// lenTenant reports the queued entries for one tenant across all
+// priority classes — the admission check behind MaxQueuedJobs.
+func (q *jobQueue) lenTenant(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, cls := range q.classes {
+		if t := cls.byName[tenant]; t != nil {
+			n += len(t.jobs)
+		}
+	}
+	return n
 }
 
 // aimd is an additive-increase/multiplicative-decrease admission

@@ -14,6 +14,7 @@ import (
 	"smtexplore/internal/faultinject"
 	"smtexplore/internal/runner"
 	"smtexplore/internal/store"
+	"smtexplore/internal/tenant"
 )
 
 // Submission errors, mapped to HTTP statuses by the handler layer.
@@ -97,6 +98,19 @@ type Config struct {
 	// waits within it add one back, and submissions beyond the limit
 	// are shed with ErrShedLoad.
 	QueueWaitTarget time.Duration
+	// Tenants, when set, arms per-tenant quotas (refusals carry a
+	// QuotaError with the exhausted quota's cause) and fair-share
+	// weights for the queue's deficit round-robin. Nil means no
+	// quotas and weight 1 for everyone — single-tenant behavior.
+	Tenants *tenant.Registry
+	// StoreLedger, when set, attributes store traffic (bytes written
+	// and served) to tenants via the per-cell meter; /metrics exposes
+	// the rows. Nil records nothing.
+	StoreLedger *store.Ledger
+	// AgeAfter bounds starvation: a queued job that has waited longer
+	// is served next regardless of priority. 0 means the 30s default;
+	// negative disables aging entirely.
+	AgeAfter time.Duration
 }
 
 // Service owns the job registry, the bounded queue and the worker pool.
@@ -120,6 +134,11 @@ type Service struct {
 	seq      int
 	draining bool
 	active   int
+	// Per-tenant accounting: live (queued + running) cells behind the
+	// MaxActiveCells quota, and the counter rows behind /metrics
+	// tenant labels.
+	tenantCells map[string]int
+	tenants     map[string]*tenantStats
 
 	// Terminal-outcome counters for /metrics.
 	jobsDone, jobsFailed, jobsCancelled    uint64
@@ -133,6 +152,7 @@ type Service struct {
 	preemptions          uint64
 	checkpointsOnTimeout uint64
 	shedDeadline         uint64
+	shedQuota            uint64
 	queueWaitSeconds     float64
 	queueWaitPops        uint64
 	queueWaitEWMA        float64 // seconds; the cluster's steal signal
@@ -157,13 +177,22 @@ func New(cfg Config) *Service {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:     cfg,
-		baseCtx: ctx,
-		abort:   cancel,
-		queue:   newJobQueue(cfg.QueueDepth),
-		started: time.Now(),
-		jobs:    make(map[string]*Job),
-		idem:    make(map[string]string),
+		cfg:         cfg,
+		baseCtx:     ctx,
+		abort:       cancel,
+		queue:       newJobQueue(cfg.QueueDepth),
+		started:     time.Now(),
+		jobs:        make(map[string]*Job),
+		idem:        make(map[string]string),
+		tenantCells: make(map[string]int),
+		tenants:     make(map[string]*tenantStats),
+	}
+	s.queue.weightOf = cfg.Tenants.Weight // nil-receiver-safe: weight 1
+	switch {
+	case cfg.AgeAfter > 0:
+		s.queue.ageAfter = cfg.AgeAfter
+	case cfg.AgeAfter == 0:
+		s.queue.ageAfter = 30 * time.Second
 	}
 	if cfg.QueueWaitTarget > 0 {
 		s.limiter = newAIMD(cfg.QueueWaitTarget, cfg.MaxActive+cfg.QueueDepth)
@@ -186,7 +215,7 @@ func New(cfg Config) *Service {
 				if !ok {
 					return
 				}
-				s.noteQueueWait(wait)
+				s.noteQueueWait(j.Tenant, wait)
 				s.runJob(j)
 			}
 		}()
@@ -197,15 +226,19 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// noteQueueWait records one measured queue wait and feeds the AIMD
-// control loop and the exponentially-weighted recent-wait average that
-// /v1/stats exports for the cluster coordinator's steal decisions.
-func (s *Service) noteQueueWait(wait time.Duration) {
+// noteQueueWait records one measured queue wait — globally and
+// against the popped job's tenant — and feeds the AIMD control loop
+// and the exponentially-weighted recent-wait average that /v1/stats
+// exports for the cluster coordinator's steal decisions.
+func (s *Service) noteQueueWait(tenantName string, wait time.Duration) {
 	s.mu.Lock()
 	s.queueWaitSeconds += wait.Seconds()
 	s.queueWaitPops++
 	const alpha = 0.3 // recent pops dominate, but one outlier cannot
 	s.queueWaitEWMA = alpha*wait.Seconds() + (1-alpha)*s.queueWaitEWMA
+	ts := s.tstatsLocked(normTenant(tenantName))
+	ts.queueWaitSeconds += wait.Seconds()
+	ts.queueWaitPops++
 	s.mu.Unlock()
 	if s.limiter != nil {
 		s.limiter.observe(wait)
@@ -248,6 +281,7 @@ func (s *Service) recoverJournal() {
 		j := newJob(rec.ID, rec.Specs)
 		j.Priority = rec.Priority
 		j.Deadline = rec.Deadline
+		j.Tenant = normTenant(rec.Tenant)
 		enqueued := false
 		s.mu.Lock()
 		s.jobs[j.ID] = j
@@ -259,6 +293,8 @@ func (s *Service) recoverJournal() {
 			if s.queue.push(j) {
 				enqueued = true
 				s.jobsRecovered++
+				s.tenantCells[j.Tenant] += len(j.Specs)
+				j.charged = true
 			} else {
 				cause = "not recovered after restart: queue full"
 			}
@@ -283,6 +319,9 @@ type SubmitOptions struct {
 	Priority int
 	// Deadline, when nonzero, bounds the job (see Job.Deadline).
 	Deadline time.Time
+	// Tenant is the identity to account the job to; empty means the
+	// default tenant. Must satisfy tenant.ValidName when set.
+	Tenant string
 }
 
 // Submit validates and enqueues a batch. It never blocks: a full queue
@@ -318,6 +357,10 @@ func (s *Service) SubmitWith(specs []CellSpec, opts SubmitOptions) (*Job, error)
 			return nil, fmt.Errorf("service: cell %d: %w", i, err)
 		}
 	}
+	tn := normTenant(opts.Tenant)
+	if !tenant.ValidName(tn) {
+		return nil, fmt.Errorf("service: invalid tenant name %q", tn)
+	}
 	if err := faultinject.Hit(faultinject.PointQueueAdmit); err != nil {
 		s.mu.Lock()
 		s.rejectedFull++
@@ -333,6 +376,13 @@ func (s *Service) SubmitWith(specs []CellSpec, opts SubmitOptions) (*Job, error)
 	if !opts.Deadline.IsZero() && !opts.Deadline.After(time.Now()) {
 		s.shedDeadline++
 		return nil, ErrDeadlineExpired
+	}
+	// Tenant quotas gate before the global AIMD limiter: a tenant over
+	// its own allocation gets its quota-specific cause, and only load
+	// that is within quota can trip the shared backstop.
+	if err := s.admitTenantLocked(tn, len(specs)); err != nil {
+		s.shedQuota++
+		return nil, err
 	}
 	if s.limiter != nil && !s.limiter.admit(s.queue.len()+s.active) {
 		return nil, ErrShedLoad
@@ -351,11 +401,12 @@ func (s *Service) SubmitWith(specs []CellSpec, opts SubmitOptions) (*Job, error)
 	j := newJob(fmt.Sprintf("j%04d", s.seq), specs)
 	j.Priority = opts.Priority
 	j.Deadline = opts.Deadline
+	j.Tenant = tn
 	if jl := s.cfg.Journal; jl != nil {
 		// Journal before enqueue: a job must be durable before anyone
 		// is told it was accepted. The fsync happens under s.mu, which
 		// serialises submissions — milliseconds, and correct.
-		if err := jl.write(Record{ID: j.ID, IdemKey: opts.IdemKey, Specs: specs, Priority: opts.Priority, Deadline: opts.Deadline, State: JobQueued, Created: time.Now()}); err != nil {
+		if err := jl.write(Record{ID: j.ID, IdemKey: opts.IdemKey, Specs: specs, Priority: opts.Priority, Deadline: opts.Deadline, Tenant: tn, State: JobQueued, Created: time.Now()}); err != nil {
 			s.seq--
 			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
@@ -373,6 +424,9 @@ func (s *Service) SubmitWith(specs []CellSpec, opts SubmitOptions) (*Job, error)
 	if opts.IdemKey != "" {
 		s.idem[opts.IdemKey] = j.ID
 	}
+	s.tenantCells[tn] += len(specs)
+	j.charged = true
+	s.tstatsLocked(tn).jobsAdmitted++
 	s.maybePreemptLocked(j)
 	return j, nil
 }
@@ -473,7 +527,7 @@ func (s *Service) runJob(j *Job) {
 		return
 	}
 	j.clearStop()
-	base := s.baseCtx
+	base := withTenantCtx(s.baseCtx, j.Tenant)
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if j.Deadline.IsZero() {
@@ -588,7 +642,7 @@ func (s *Service) runJob(j *Job) {
 			cancelled++
 		}
 	}
-	s.countCells(results)
+	s.countCells(j, results)
 	switch {
 	case failed > 0:
 		state = JobFailed
@@ -633,7 +687,7 @@ func (s *Service) finish(j *Job, state, msg string) {
 	if !j.setState(state, msg) {
 		return
 	}
-	s.count(state)
+	s.count(j, state)
 	if jl := s.cfg.Journal; jl != nil {
 		// Best-effort: a failed terminal write means the next restart
 		// re-runs a finished (deterministic, cached) job — wasteful but
@@ -642,7 +696,7 @@ func (s *Service) finish(j *Job, state, msg string) {
 	}
 }
 
-func (s *Service) count(state string) {
+func (s *Service) count(j *Job, state string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch state {
@@ -653,21 +707,40 @@ func (s *Service) count(state string) {
 	case JobCancelled:
 		s.jobsCancelled++
 	}
+	// The job left the live set: release its cells from the tenant's
+	// MaxActiveCells allocation (once, and only if it was charged —
+	// recovered-but-abandoned jobs never were).
+	if j.charged {
+		j.charged = false
+		tn := normTenant(j.Tenant)
+		if n := s.tenantCells[tn] - len(j.Specs); n > 0 {
+			s.tenantCells[tn] = n
+		} else {
+			delete(s.tenantCells, tn)
+		}
+	}
 }
 
-func (s *Service) countCells(results []CellResult) {
+func (s *Service) countCells(j *Job, results []CellResult) {
+	var cycles uint64
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	ts := s.tstatsLocked(normTenant(j.Tenant))
 	for _, r := range results {
 		switch r.State {
 		case CellDone:
 			s.cellsDone++
+			ts.cellsDone++
+			cycles += cellCycles(j.Specs[r.Index], r)
 		case CellFailed:
 			s.cellsFailed++
+			ts.cellsFailed++
 		case CellCancelled:
 			s.cellsCancelled++
 		}
 	}
+	ts.cyclesCharged += cycles
+	s.mu.Unlock()
+	s.cfg.Tenants.ChargeCycles(normTenant(j.Tenant), cycles, time.Now())
 }
 
 // stopIntake flips the service into draining mode and closes the queue

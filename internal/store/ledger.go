@@ -1,0 +1,82 @@
+package store
+
+import "sync"
+
+// Usage is one tenant's cumulative store-namespace footprint.
+type Usage struct {
+	// BytesWritten counts payload bytes this tenant's cells caused to
+	// be written into the store (write-through on simulate).
+	BytesWritten uint64
+	// BytesServed counts payload bytes read out of the store for this
+	// tenant (read-through hits that skipped simulation).
+	BytesServed uint64
+	// Writes and Serves count the operations behind those bytes.
+	Writes uint64
+	Serves uint64
+}
+
+// Ledger attributes store traffic to tenants. The store itself is
+// content-addressed and shared — a warm key serves every tenant, which
+// is the whole point — so attribution is by who asked, not by who owns
+// the entry: the tenant whose cell wrote a result is charged the
+// write, and every tenant whose cell was served from the store is
+// charged the read. A nil *Ledger is valid and records nothing.
+type Ledger struct {
+	mu    sync.Mutex
+	usage map[string]Usage
+}
+
+// NewLedger builds an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{usage: make(map[string]Usage)}
+}
+
+// ChargeWrite records a store write of n payload bytes for tenant.
+func (l *Ledger) ChargeWrite(tenant string, n int) {
+	if l == nil || n < 0 {
+		return
+	}
+	l.mu.Lock()
+	u := l.usage[tenant]
+	u.BytesWritten += uint64(n)
+	u.Writes++
+	l.usage[tenant] = u
+	l.mu.Unlock()
+}
+
+// ChargeServe records a store read of n payload bytes for tenant.
+func (l *Ledger) ChargeServe(tenant string, n int) {
+	if l == nil || n < 0 {
+		return
+	}
+	l.mu.Lock()
+	u := l.usage[tenant]
+	u.BytesServed += uint64(n)
+	u.Serves++
+	l.usage[tenant] = u
+	l.mu.Unlock()
+}
+
+// Usage returns one tenant's cumulative footprint.
+func (l *Ledger) Usage(tenant string) Usage {
+	if l == nil {
+		return Usage{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.usage[tenant]
+}
+
+// Snapshot copies every tenant's usage row.
+func (l *Ledger) Snapshot() map[string]Usage {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]Usage, len(l.usage))
+	for k, v := range l.usage {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package store
+
+import "testing"
+
+func TestLedgerNilIsInert(t *testing.T) {
+	var lg *Ledger
+	lg.ChargeWrite("a", 10) // must not panic
+	lg.ChargeServe("a", 10)
+	if u := lg.Usage("a"); u != (Usage{}) {
+		t.Fatalf("nil ledger usage = %+v, want zero", u)
+	}
+	if snap := lg.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil ledger snapshot = %v, want empty", snap)
+	}
+}
+
+func TestLedgerAccumulatesPerTenant(t *testing.T) {
+	lg := NewLedger()
+	lg.ChargeWrite("a", 100)
+	lg.ChargeWrite("a", 50)
+	lg.ChargeServe("a", 25)
+	lg.ChargeServe("b", 7)
+	a := lg.Usage("a")
+	if a.BytesWritten != 150 || a.Writes != 2 || a.BytesServed != 25 || a.Serves != 1 {
+		t.Fatalf("a = %+v", a)
+	}
+	b := lg.Usage("b")
+	if b.BytesServed != 7 || b.BytesWritten != 0 {
+		t.Fatalf("b = %+v", b)
+	}
+	snap := lg.Snapshot()
+	if len(snap) != 2 || snap["a"] != a || snap["b"] != b {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy, not a window into the ledger.
+	snap["a"] = Usage{}
+	if lg.Usage("a") != a {
+		t.Fatal("mutating snapshot leaked into ledger")
+	}
+}

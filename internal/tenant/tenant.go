@@ -1,0 +1,259 @@
+// Package tenant defines tenant identity, per-tenant quotas, and
+// fair-share weights for the multi-tenant service layer. The service
+// and the cluster coordinator both consult a Registry at admission
+// time; the scheduler consults it for deficit-round-robin weights.
+//
+// Tenancy is deliberately thin: a tenant is a validated name plus a
+// Config. There is no authentication — callers assert identity via
+// the X-Tenant header — because the threat model here is resource
+// isolation between cooperating clients (the paper's contending SMT
+// contexts, lifted to the service level), not access control.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Default is the tenant every request without an explicit identity is
+// accounted to. It preserves pre-tenant compatibility: a deployment
+// that never configures tenants behaves exactly as before, with all
+// work sharing one identity and no quotas.
+const Default = "default"
+
+// MaxNameLen bounds tenant names so they stay usable as metric labels
+// and store-namespace keys.
+const MaxNameLen = 64
+
+// ValidName reports whether name is a legal tenant identity:
+// non-empty, at most MaxNameLen bytes, starting with a letter or
+// digit, and containing only letters, digits, '-', '_', and '.'.
+// The alphabet is the intersection of what is safe in HTTP header
+// values, Prometheus label values, and filesystem path segments.
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > MaxNameLen {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Duration wraps time.Duration with JSON encoding as a
+// time.ParseDuration string ("30s", "1m"), matching how operators
+// write intervals in config files.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"30s\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Config is one tenant's quotas and scheduling weight. The zero value
+// means "no quotas, weight 1" — identical to pre-tenant behavior.
+type Config struct {
+	// Weight is the tenant's fair-share weight in the deficit
+	// round-robin scheduler. Tenants within a priority class receive
+	// service proportional to their weights. Zero means 1.
+	Weight int `json:"weight,omitempty"`
+	// MaxQueuedJobs caps jobs this tenant may have waiting in the
+	// queue. Zero means unlimited.
+	MaxQueuedJobs int `json:"max_queued_jobs,omitempty"`
+	// MaxActiveCells caps the sum of cells across this tenant's live
+	// (queued + running) jobs. Zero means unlimited.
+	MaxActiveCells int `json:"max_active_cells,omitempty"`
+	// CycleBudget caps simulated cycles charged to this tenant per
+	// BudgetInterval window. Zero means unlimited.
+	CycleBudget uint64 `json:"cycle_budget,omitempty"`
+	// BudgetInterval is the window over which CycleBudget applies.
+	// Zero with a non-zero CycleBudget defaults to one minute.
+	BudgetInterval Duration `json:"budget_interval,omitempty"`
+}
+
+// NormWeight returns the effective scheduling weight (>= 1).
+func (c Config) NormWeight() int {
+	if c.Weight < 1 {
+		return 1
+	}
+	return c.Weight
+}
+
+// interval returns the effective budget window.
+func (c Config) interval() time.Duration {
+	if c.BudgetInterval > 0 {
+		return time.Duration(c.BudgetInterval)
+	}
+	return time.Minute
+}
+
+// budgetWindow tracks cycles charged to one tenant in the current
+// fixed window. Fixed (not sliding) windows are deliberate: they are
+// cheap, deterministic, and the worst-case overshoot is one window's
+// budget — acceptable for a coarse per-tenant rate cap.
+type budgetWindow struct {
+	start time.Time
+	spent uint64
+}
+
+// Registry maps tenant names to Configs and tracks per-tenant cycle
+// budget windows. A nil *Registry is valid and means "no tenant
+// configuration": every name resolves to the zero Config.
+type Registry struct {
+	mu      sync.Mutex
+	configs map[string]Config
+	def     Config // the "*" entry: config for names not listed
+	windows map[string]*budgetWindow
+}
+
+// NewRegistry builds a registry from explicit per-tenant configs. The
+// "*" key, if present, becomes the default Config for tenants not
+// named; without it, unnamed tenants get the zero Config (no limits).
+func NewRegistry(configs map[string]Config) *Registry {
+	r := &Registry{
+		configs: make(map[string]Config, len(configs)),
+		windows: make(map[string]*budgetWindow),
+	}
+	for name, c := range configs {
+		if name == "*" {
+			r.def = c
+			continue
+		}
+		r.configs[name] = c
+	}
+	return r
+}
+
+// fileSchema is the on-disk shape: {"tenants": {"name": {...}, "*": {...}}}.
+type fileSchema struct {
+	Tenants map[string]Config `json:"tenants"`
+}
+
+// LoadFile reads a tenant config file. Every tenant name (other than
+// the "*" default entry) must satisfy ValidName.
+func LoadFile(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f fileSchema
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tenant config %s: %w", path, err)
+	}
+	for name := range f.Tenants {
+		if name != "*" && !ValidName(name) {
+			return nil, fmt.Errorf("tenant config %s: invalid tenant name %q", path, name)
+		}
+	}
+	return NewRegistry(f.Tenants), nil
+}
+
+// Config resolves the Config for name. Unknown names fall back to the
+// "*" default entry, then to the zero Config.
+func (r *Registry) Config(name string) Config {
+	if r == nil {
+		return Config{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.configs[name]; ok {
+		return c
+	}
+	return r.def
+}
+
+// Weight resolves the effective scheduling weight for name.
+func (r *Registry) Weight(name string) int {
+	return r.Config(name).NormWeight()
+}
+
+// Names returns the explicitly configured tenant names (excluding the
+// "*" default), in no particular order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.configs))
+	for name := range r.configs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// ChargeCycles records simulated cycles against name's budget window
+// at time now. Charging is unconditional — work already admitted runs
+// to completion; the budget gates future admissions, not execution.
+func (r *Registry) ChargeCycles(name string, cycles uint64, now time.Time) {
+	if r == nil || cycles == 0 {
+		return
+	}
+	c := r.Config(name)
+	if c.CycleBudget == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.windowLocked(name, c, now)
+	w.spent += cycles
+}
+
+// BudgetRemaining reports how many cycles remain in name's current
+// window, and whether a budget applies at all. With no budget the
+// second return is false and callers must not gate on the first.
+func (r *Registry) BudgetRemaining(name string, now time.Time) (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	c := r.Config(name)
+	if c.CycleBudget == 0 {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.windowLocked(name, c, now)
+	if w.spent >= c.CycleBudget {
+		return 0, true
+	}
+	return c.CycleBudget - w.spent, true
+}
+
+// windowLocked returns name's current window, rolling it forward when
+// the interval has elapsed. Callers hold r.mu.
+func (r *Registry) windowLocked(name string, c Config, now time.Time) *budgetWindow {
+	w := r.windows[name]
+	if w == nil {
+		w = &budgetWindow{start: now}
+		r.windows[name] = w
+	}
+	if now.Sub(w.start) >= c.interval() {
+		w.start = now
+		w.spent = 0
+	}
+	return w
+}

@@ -1,0 +1,143 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestValidName(t *testing.T) {
+	valid := []string{"a", "default", "team-a", "Team_B", "t.9", "A0", "9x"}
+	for _, n := range valid {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	invalid := []string{"", "-lead", "_lead", ".lead", "has space", "has/slash",
+		"quo\"te", "newline\n", "über", string(make([]byte, MaxNameLen+1))}
+	for _, n := range invalid {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+	// Exactly MaxNameLen ASCII letters is legal.
+	long := make([]byte, MaxNameLen)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if !ValidName(string(long)) {
+		t.Errorf("ValidName(64×'a') = false, want true")
+	}
+}
+
+func TestNilRegistryIsOpen(t *testing.T) {
+	var r *Registry
+	if c := r.Config("anyone"); c != (Config{}) {
+		t.Fatalf("nil registry Config = %+v, want zero", c)
+	}
+	if w := r.Weight("anyone"); w != 1 {
+		t.Fatalf("nil registry Weight = %d, want 1", w)
+	}
+	if _, ok := r.BudgetRemaining("anyone", time.Now()); ok {
+		t.Fatal("nil registry reported an active budget")
+	}
+	r.ChargeCycles("anyone", 100, time.Now()) // must not panic
+}
+
+func TestRegistryDefaults(t *testing.T) {
+	r := NewRegistry(map[string]Config{
+		"alice": {Weight: 3, MaxQueuedJobs: 5},
+		"*":     {Weight: 2, MaxQueuedJobs: 1},
+	})
+	if c := r.Config("alice"); c.Weight != 3 || c.MaxQueuedJobs != 5 {
+		t.Fatalf("alice config = %+v", c)
+	}
+	if c := r.Config("stranger"); c.Weight != 2 || c.MaxQueuedJobs != 1 {
+		t.Fatalf("stranger should get the * default, got %+v", c)
+	}
+	if w := r.Weight("stranger"); w != 2 {
+		t.Fatalf("stranger weight = %d, want 2", w)
+	}
+	// Zero/negative weights normalize to 1.
+	if (Config{}).NormWeight() != 1 || (Config{Weight: -4}).NormWeight() != 1 {
+		t.Fatal("NormWeight must floor at 1")
+	}
+}
+
+func TestCycleBudgetWindow(t *testing.T) {
+	r := NewRegistry(map[string]Config{
+		"a": {CycleBudget: 1000, BudgetInterval: Duration(time.Minute)},
+	})
+	t0 := time.Unix(1000, 0)
+
+	rem, ok := r.BudgetRemaining("a", t0)
+	if !ok || rem != 1000 {
+		t.Fatalf("fresh window: remaining=%d ok=%v, want 1000 true", rem, ok)
+	}
+	r.ChargeCycles("a", 600, t0)
+	if rem, _ := r.BudgetRemaining("a", t0.Add(time.Second)); rem != 400 {
+		t.Fatalf("after 600 charged: remaining=%d, want 400", rem)
+	}
+	r.ChargeCycles("a", 600, t0.Add(2*time.Second))
+	if rem, _ := r.BudgetRemaining("a", t0.Add(3*time.Second)); rem != 0 {
+		t.Fatalf("overspent window: remaining=%d, want 0", rem)
+	}
+	// The window rolls over after the interval and the budget refills.
+	if rem, _ := r.BudgetRemaining("a", t0.Add(time.Minute+time.Second)); rem != 1000 {
+		t.Fatalf("after rollover: remaining=%d, want 1000", rem)
+	}
+
+	// A tenant without a budget never reports one, even after charges.
+	r.ChargeCycles("free", 1<<40, t0)
+	if _, ok := r.BudgetRemaining("free", t0); ok {
+		t.Fatal("unbudgeted tenant reported an active budget")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	conf := `{
+  "tenants": {
+    "heavy": {"weight": 1, "max_queued_jobs": 4, "max_active_cells": 8,
+              "cycle_budget": 500000, "budget_interval": "30s"},
+    "light": {"weight": 1},
+    "*":     {"max_queued_jobs": 16}
+  }
+}`
+	if err := os.WriteFile(path, []byte(conf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Config("heavy")
+	if h.MaxQueuedJobs != 4 || h.MaxActiveCells != 8 || h.CycleBudget != 500000 {
+		t.Fatalf("heavy config = %+v", h)
+	}
+	if got := time.Duration(h.BudgetInterval); got != 30*time.Second {
+		t.Fatalf("budget_interval = %v, want 30s", got)
+	}
+	if c := r.Config("nobody"); c.MaxQueuedJobs != 16 {
+		t.Fatalf("* default not applied: %+v", c)
+	}
+	names := r.Names()
+	if len(names) != 2 {
+		t.Fatalf("Names() = %v, want heavy+light", names)
+	}
+
+	// Invalid tenant names are rejected at load time.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"tenants": {"no spaces": {}}}`), 0o644)
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("LoadFile accepted an invalid tenant name")
+	}
+	// Malformed durations are rejected with a useful error.
+	badDur := filepath.Join(dir, "baddur.json")
+	os.WriteFile(badDur, []byte(`{"tenants": {"a": {"budget_interval": 30}}}`), 0o644)
+	if _, err := LoadFile(badDur); err == nil {
+		t.Fatal("LoadFile accepted a numeric duration")
+	}
+}
