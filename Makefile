@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke study-smoke load-smoke obs-artifacts
+.PHONY: ci build fmt vet test race fuzz-smoke bench-smoke bench-gate bench-record service-smoke chaos-smoke cluster-smoke ha-smoke study-smoke load-smoke obs-artifacts
 
-ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke study-smoke load-smoke obs-artifacts
+ci: build fmt vet test race fuzz-smoke bench-smoke bench-gate service-smoke chaos-smoke cluster-smoke ha-smoke study-smoke load-smoke obs-artifacts
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,15 @@ chaos-smoke:
 # a survivor with a byte-identical result (CI runs the same script).
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# HA smoke: an active/standby coordinator pair on a shared store.
+# Asserts lease-based promotion after SIGKILLing the active coordinator
+# mid-job (byte-identical results through the standby), rejoin as a
+# redirecting standby, and a chaos loadgen run with zero failed
+# light-tenant jobs plus a measured failover latency (CI runs the same
+# script; HA_BENCH_OUT=path keeps the bench-shape report).
+ha-smoke:
+	./scripts/ha-smoke.sh
 
 # Multi-tenant SLO smoke: loadgen drives a light tenant and a
 # 10x-heavier neighbour at a quota-configured smtd (plus a worker

@@ -1,13 +1,20 @@
 // Command loadgen drives an smtd daemon or cluster coordinator with an
 // open-loop multi-tenant load scenario and reports per-tenant SLO
 // statistics: latency percentiles, goodput, shed counts and a fairness
-// ratio. Chaos phases (SIGKILL of workers via pidfile) run on the
-// scenario's timeline, so the same tool proves both isolation under
-// contention and survival under failure.
+// ratio. Chaos phases (SIGKILL via pidfile, fault-plan arming over
+// POST /v1/faults) run on the scenario's timeline, so the same tool
+// proves both isolation under contention and survival under failure.
+//
+// Against an HA coordinator pair, -addr takes both addresses
+// ("a:1,b:2"): submissions retry across transport errors and follow
+// X-Cluster-Leader redirects, so killing the active coordinator
+// mid-run shows up as latency, not failed jobs. The post-run report
+// captures the pair's failover latency and adoption counters.
 //
 // Usage:
 //
 //	loadgen -scenario s.json -addr 127.0.0.1:8377 -out report.json
+//	loadgen -scenario s.json -addr 127.0.0.1:8370,127.0.0.1:8371 ...
 //	loadgen -scenario s.json -addr ... -baseline solo.json \
 //	    -assert goodput-frac:light:0.8 -assert p99-factor:light:2.0
 //
@@ -62,7 +69,7 @@ var errAssert = errors.New("assertions failed")
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	scenarioPath := fs.String("scenario", "", "scenario JSON file (required)")
-	addr := fs.String("addr", "127.0.0.1:8377", "smtd or coordinator address (host:port)")
+	addr := fs.String("addr", "127.0.0.1:8377", "smtd or coordinator address; comma-separate an HA pair for failover")
 	out := fs.String("out", "", "write the report JSON here (empty: stdout summary only)")
 	benchOut := fs.String("bench-out", "", "write the report in smtexplore-bench/v1 shape here")
 	baselinePath := fs.String("baseline", "", "baseline report JSON for relative assertions (a solo run)")

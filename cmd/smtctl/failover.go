@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// endpoints is the client's view of the server set: one address for a
+// single daemon, several for an HA coordinator pair (-server a,b). All
+// requests go to the current endpoint; observe advances it when the
+// server proves unreachable (transport error → rotate to the next) or
+// names a better one (503 with X-Cluster-Leader → jump straight to the
+// leader, a standby's redirect). Combined with the retrier — which
+// already treats transport errors and 503 as transient — the next
+// attempt lands on the new endpoint, so a coordinator failover shows
+// up as client latency rather than a client error.
+type endpoints struct {
+	mu   sync.Mutex
+	list []string // base URLs, e.g. "http://127.0.0.1:8377"
+	cur  int
+}
+
+// newEndpoints parses a comma-separated address list into a picker
+// starting at the first entry.
+func newEndpoints(addrs string) *endpoints {
+	e := &endpoints{}
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			e.list = append(e.list, "http://"+a)
+		}
+	}
+	if len(e.list) == 0 {
+		e.list = []string{"http://127.0.0.1:8377"}
+	}
+	return e
+}
+
+// base is the URL prefix for the next request.
+func (e *endpoints) base() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.list[e.cur]
+}
+
+// observe steers the endpoint choice from one request's outcome. It
+// only picks where the next attempt goes; the retrier still owns
+// backoff, Retry-After, and giving up.
+func (e *endpoints) observe(resp *http.Response, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case err != nil:
+		// Connection refused, reset, timeout: the endpoint is gone or
+		// partitioned — try the next one.
+		e.cur = (e.cur + 1) % len(e.list)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		if leader := resp.Header.Get("X-Cluster-Leader"); leader != "" && leader != "unknown" {
+			e.jumpLocked("http://" + leader)
+		} else {
+			// A 503 without a leader hint (draining daemon, standby that
+			// has not seen a lease yet): rotate and hope.
+			e.cur = (e.cur + 1) % len(e.list)
+		}
+	}
+}
+
+// jumpLocked points cur at base, learning it if the advertised leader
+// is outside the -server list the user gave.
+func (e *endpoints) jumpLocked(base string) {
+	for i, b := range e.list {
+		if b == base {
+			e.cur = i
+			return
+		}
+	}
+	e.list = append(e.list, base)
+	e.cur = len(e.list) - 1
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	smtctl [-addr host:port] <command> [args]
+//	smtctl -server a,b <command> [args]      # HA pair: rotate on refusal, follow leader redirects
 //
 //	smtctl submit -fig 1                     # one harness cell; prints the job ID
 //	smtctl submit -stream fadd,iload -ilp max -window 120000
@@ -97,11 +98,12 @@ func usage(fs *flag.FlagSet, format string, v ...any) error {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smtctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8377", "smtd or coordinator address (host:port)")
+	server := fs.String("server", "", "comma-separated server addresses for HA failover; overrides -addr (tries the next on refusal, follows X-Cluster-Leader redirects)")
 	maxRetries := fs.Int("max-retries", 5, "retries for transient failures (429/502/503/504, dropped connections); 0 disables")
 	timeout := fs.Duration("timeout", 0, "per-request budget; wait re-dials the event stream when it is silent this long (0: none)")
 	tenantName := fs.String("tenant", "", "submit as this tenant (X-Tenant header; empty: the daemon's default tenant)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port] [-max-retries n] [-timeout d] [-tenant name] submit|status|wait|result|cancel|cluster|study [args]")
+		fmt.Fprintln(os.Stderr, "usage: smtctl [-addr host:port | -server a,b] [-max-retries n] [-timeout d] [-tenant name] submit|status|wait|result|cancel|cluster|study [args]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -114,7 +116,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(rest) == 0 {
 		return usage(fs, "missing command")
 	}
-	c := client{ctx: ctx, base: "http://" + *addr, out: out, retry: newRetrier(*maxRetries), timeout: *timeout, tenant: *tenantName}
+	addrs := *server
+	if addrs == "" {
+		addrs = *addr
+	}
+	c := client{ctx: ctx, eps: newEndpoints(addrs), out: out, retry: newRetrier(*maxRetries), timeout: *timeout, tenant: *tenantName}
 	switch rest[0] {
 	case "submit":
 		return c.submit(rest[1:])
@@ -136,7 +142,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 type client struct {
 	ctx     context.Context
-	base    string
+	eps     *endpoints
 	out     io.Writer
 	retry   retrier
 	timeout time.Duration
@@ -144,17 +150,30 @@ type client struct {
 	tenant string
 }
 
+// base is the URL prefix for the next request — the current pick among
+// the -server endpoints (a single -addr degenerates to one entry).
+func (c client) base() string { return c.eps.base() }
+
+// do sends the request and lets the endpoint picker see the outcome,
+// so transport errors rotate to the next server and standby 503s jump
+// to the advertised leader before the retrier's next attempt.
+func (c client) do(hreq *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultClient.Do(hreq)
+	c.eps.observe(resp, err)
+	return resp, err
+}
+
 // get issues a ctx-bound GET so a signal cancels in-flight requests,
 // not just backoff waits; -timeout additionally deadlines the attempt
 // (headers and body both — the budget stays armed until Close).
 func (c client) get(path string) (*http.Response, error) {
 	rctx, cancel := c.reqCtx()
-	hreq, err := http.NewRequestWithContext(rctx, http.MethodGet, c.base+path, nil)
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodGet, c.base()+path, nil)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	resp, err := http.DefaultClient.Do(hreq)
+	resp, err := c.do(hreq)
 	if err != nil {
 		cancel()
 		return nil, err
@@ -269,7 +288,7 @@ func (c client) submit(args []string) error {
 	idemKey := fmt.Sprintf("%x", sha256.Sum256(body))
 	resp, err := c.retry.do(c.ctx, "submit", func() (*http.Response, error) {
 		rctx, cancel := c.reqCtx()
-		hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, c.base()+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
 			cancel()
 			return nil, err
@@ -279,7 +298,7 @@ func (c client) submit(args []string) error {
 		if c.tenant != "" {
 			hreq.Header.Set("X-Tenant", c.tenant)
 		}
-		resp, err := http.DefaultClient.Do(hreq)
+		resp, err := c.do(hreq)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -364,14 +383,14 @@ func (c client) wait(args []string) error {
 		// Last-Event-ID reconnect replays whatever was missed.
 		wctx, wcancel := context.WithCancel(c.ctx)
 		resp, err := c.retry.do(c.ctx, "wait "+id, func() (*http.Response, error) {
-			hreq, err := http.NewRequestWithContext(wctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+			hreq, err := http.NewRequestWithContext(wctx, http.MethodGet, c.base()+"/v1/jobs/"+id+"/events", nil)
 			if err != nil {
 				return nil, err
 			}
 			if lastID >= 0 {
 				hreq.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
 			}
-			return http.DefaultClient.Do(hreq)
+			return c.do(hreq)
 		})
 		if err != nil {
 			wcancel()
@@ -488,7 +507,9 @@ func (c client) result(args []string) error {
 	if *cell >= 0 {
 		path := fmt.Sprintf("/v1/jobs/%s/cells/%d/result", id, *cell)
 		if *text {
-			resp, err := c.get(path + "?format=text")
+			resp, err := c.retry.do(c.ctx, "result "+id, func() (*http.Response, error) {
+				return c.get(path + "?format=text")
+			})
 			if err != nil {
 				return err
 			}
@@ -529,12 +550,12 @@ func (c client) cancel(args []string) error {
 	// DELETE is safe to retry.
 	resp, err := c.retry.do(c.ctx, "cancel "+id, func() (*http.Response, error) {
 		rctx, cancel := c.reqCtx()
-		hreq, err := http.NewRequestWithContext(rctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodDelete, c.base()+"/v1/jobs/"+id, nil)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		resp, err := http.DefaultClient.Do(hreq)
+		resp, err := c.do(hreq)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -581,16 +602,34 @@ func (c client) cluster(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(top)
 	}
-	fmt.Fprintf(c.out, "%-12s %-21s %-6s %11s %12s\n", "worker", "addr", "alive", "outstanding", "qwait-ewma")
+	fmt.Fprintf(c.out, "%-12s %-21s %-6s %11s %12s %8s\n", "worker", "addr", "alive", "outstanding", "qwait-ewma", "hb-age")
 	for _, w := range top.Workers {
 		alive := "yes"
 		if !w.Alive {
 			alive = "no"
 		}
-		fmt.Fprintf(c.out, "%-12s %-21s %-6s %11d %11.3fs\n",
-			w.Name, w.Addr, alive, w.Outstanding, w.QueueWaitEWMASeconds)
+		hb := "-" // never heard from (seed workers before the first probe)
+		if w.LastHeartbeatAgeSeconds >= 0 {
+			hb = fmt.Sprintf("%.1fs", w.LastHeartbeatAgeSeconds)
+		}
+		fmt.Fprintf(c.out, "%-12s %-21s %-6s %11d %11.3fs %8s\n",
+			w.Name, w.Addr, alive, w.Outstanding, w.QueueWaitEWMASeconds, hb)
 	}
 	fmt.Fprintf(c.out, "live %d/%d · vnodes %d · forwarded %d · steals %d · recovered %d · lost %d\n",
 		top.Live, len(top.Workers), top.Vnodes, top.CellsForwarded, top.Steals, top.JobsRecovered, top.WorkersLost)
+	if top.Role != "" {
+		leader := top.LeaderAddr
+		if leader == "" {
+			leader = "unknown"
+		}
+		fmt.Fprintf(c.out, "ha: role %s · leader %s · lease term %d · journal seq %d · standby lag %dB\n",
+			top.Role, leader, top.LeaseTerm, top.JournalSeq, top.StandbyLagBytes)
+		fmt.Fprintf(c.out, "ha: promotions %d · demotions %d · jobs adopted %d",
+			top.Promotions, top.Demotions, top.JobsAdopted)
+		if top.FailoverLatencySeconds > 0 {
+			fmt.Fprintf(c.out, " · last failover %.3fs", top.FailoverLatencySeconds)
+		}
+		fmt.Fprintln(c.out)
+	}
 	return nil
 }

@@ -88,7 +88,7 @@ func (c client) studyRun(args []string) error {
 		}
 		backend = execute.NewLocal(st)
 	case "daemon":
-		backend = &execute.Remote{Worker: cluster.NewRemote("daemon", strings.TrimPrefix(c.base, "http://"))}
+		backend = &execute.Remote{Worker: cluster.NewRemote("daemon", strings.TrimPrefix(c.base(), "http://"))}
 	default:
 		return usage(fs, "unknown backend %q (want local or daemon)", *via)
 	}

@@ -10,21 +10,38 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"smtexplore/internal/cluster"
 )
 
+// coordOpts carries the coordinator-mode command-line choices into
+// runCoordinator without a telescoping parameter list.
+type coordOpts struct {
+	addr     string // -addr
+	addrFile string // -addr-file
+	seeds    string // -workers-list
+	peer     string // -peer: the other half of an HA pair ("" = single coordinator)
+	name     string // -name: lease holder identity (default: the bound address)
+	storeDir string // -store: the shared directory hosting ha/ lease + journal
+	leaseTTL time.Duration
+}
+
 // runCoordinator serves the cluster coordinator: the single-daemon job
 // API over a fleet of workers, plus /v1/cluster for topology and
 // registration. Seeds is the -workers-list value — comma-separated
 // name=addr (or bare addr) entries admitted before listening; workers
-// started with -join register themselves afterwards.
-func runCoordinator(ctx context.Context, out io.Writer, addr, addrFile, seeds string, cfg cluster.Config) error {
+// started with -join register themselves afterwards. With -peer set
+// the coordinator instead runs as half of an HA pair.
+func runCoordinator(ctx context.Context, out io.Writer, o coordOpts, cfg cluster.Config) error {
+	if o.peer != "" {
+		return runHACoordinator(ctx, out, o, cfg)
+	}
 	c := cluster.New(cfg)
 	defer c.Close()
-	for _, seed := range strings.Split(seeds, ",") {
+	for _, seed := range strings.Split(o.seeds, ",") {
 		seed = strings.TrimSpace(seed)
 		if seed == "" {
 			continue
@@ -36,13 +53,13 @@ func runCoordinator(ctx context.Context, out io.Writer, addr, addrFile, seeds st
 		c.AddWorker(cluster.NewRemote(name, waddr))
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()
 			return err
 		}
@@ -57,6 +74,65 @@ func runCoordinator(ctx context.Context, out io.Writer, addr, addrFile, seeds st
 		return err
 	case <-ctx.Done():
 	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	fmt.Fprintln(out, "smtd: bye")
+	return nil
+}
+
+// runHACoordinator serves one half of an HA coordinator pair. The
+// listener is bound before the HA node starts so the advertised
+// X-Cluster-Leader address is the real bound address (matters with
+// -addr :0). Leadership, journal replication, and failover live in
+// cluster.HANode; this function only wires the daemon plumbing.
+func runHACoordinator(ctx context.Context, out io.Writer, o coordOpts, cfg cluster.Config) error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	name := o.name
+	if name == "" {
+		name = bound
+	}
+	n, err := cluster.NewHA(cluster.HAConfig{
+		Name: name,
+		Addr: bound,
+		// The store dir is shared between the pair; the HA state rides a
+		// subdirectory the content-addressed store ignores.
+		Dir:         filepath.Join(o.storeDir, "ha"),
+		TTL:         o.leaseTTL,
+		Peers:       []string{o.peer},
+		Coordinator: cfg,
+		Log:         out,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	fmt.Fprintf(out, "smtd: coordinating on %s (ha pair %s, peer %s, lease ttl %v)\n",
+		bound, name, o.peer, o.leaseTTL)
+
+	srv := &http.Server{Handler: n.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		n.Close()
+		return err
+	case <-ctx.Done():
+	}
+	// Close before shutting the listener down: if this node leads, Close
+	// releases the lease so the peer can promote immediately instead of
+	// waiting out the TTL.
+	n.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	srv.Shutdown(sctx)

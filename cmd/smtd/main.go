@@ -20,7 +20,10 @@
 //	smtd -fault-plan plan.json            # arm a fault-injection plan (chaos testing)
 //	smtd -coordinator -workers-list w0=127.0.0.1:9000,w1=127.0.0.1:9001
 //	                                      # shard jobs across a worker fleet
-//	smtd -join 127.0.0.1:8370 -name w0    # worker: register with a coordinator
+//	smtd -coordinator -peer 127.0.0.1:8371 -store shared/
+//	                                      # half of an HA coordinator pair
+//	smtd -join 127.0.0.1:8370,127.0.0.1:8371 -name w0
+//	                                      # worker: register with coordinator(s)
 //
 // In -coordinator mode the daemon runs no simulations itself: it
 // consistent-hashes each submitted cell to a worker, forwards it over
@@ -28,6 +31,14 @@
 // a coordinator from a single daemon. Workers join the fleet either via
 // the -workers-list seed or by running with -join, which heartbeats a
 // registration so fleets survive coordinator restarts.
+//
+// With -peer the coordinator runs as half of an HA pair: both halves
+// share the -store directory, where a lease file elects exactly one
+// leader and a fenced routing journal replicates ring membership, job
+// routing, and tenant accounting to the standby. If the leader dies,
+// the standby steals the lease within about one -lease-ttl, re-adopts
+// live jobs from the journal, and keeps serving; the demoted side
+// answers 503 with an X-Cluster-Leader header so clients can follow.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/events|/result]],
 // DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
@@ -49,6 +60,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -108,11 +120,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workersList := fs.String("workers-list", "", "coordinator: comma-separated seed workers (name=addr or addr)")
 	vnodes := fs.Int("vnodes", 0, "coordinator: virtual nodes per worker on the hash ring (0: default 128)")
 	healthInterval := fs.Duration("health-interval", 0, "coordinator: worker health/telemetry probe interval (0: default 500ms)")
+	probeTimeout := fs.Duration("probe-timeout", 0, "coordinator: per-probe deadline; slow-but-healthy workers are not strikes (0: max(2s, 2x health-interval))")
 	stealMargin := fs.Int("steal-margin", 0, "coordinator: outstanding-jobs divergence before work stealing (0: default 2)")
 	pollInterval := fs.Duration("poll-interval", 0, "coordinator: remote-job progress poll interval (0: default 75ms)")
 	pollJitter := fs.Float64("poll-jitter", 0, "coordinator: poll spread as a fraction of -poll-interval (0: default 0.2; negative: none)")
-	join := fs.String("join", "", "worker: coordinator address to heartbeat registrations to")
-	name := fs.String("name", "", "worker: name to register under with -join (default: the bound address)")
+	peer := fs.String("peer", "", "coordinator: run as half of an HA pair; the other coordinator's address (requires -coordinator and -store)")
+	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "coordinator HA: leadership lease window; failover detection is bounded by this")
+	join := fs.String("join", "", "worker: comma-separated coordinator addresses to heartbeat registrations to")
+	name := fs.String("name", "", "worker: name to register under with -join; HA coordinator: lease holder identity (default: the bound address)")
+	allowFaultAPI := fs.Bool("allow-fault-api", false, "open POST/DELETE /v1/faults for remote fault-plan arming (chaos testing only; never set in production)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -130,6 +146,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if !*coordinator && *workersList != "" {
 		return bad("-workers-list requires -coordinator")
 	}
+	if !*coordinator && *peer != "" {
+		return bad("-peer requires -coordinator: only coordinators form an HA pair")
+	}
+	if *peer != "" && *storeDir == "" {
+		return bad("-peer requires -store: the HA lease and routing journal live under the shared store directory")
+	}
+	if *peer != "" && *workersList != "" {
+		return bad("-workers-list cannot be combined with -peer: HA workers must -join both coordinators so they survive failover")
+	}
 	var tenants *tenant.Registry
 	if *tenantsFile != "" {
 		var err error
@@ -139,9 +164,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "smtd: tenants %s: %d configured\n", *tenantsFile, len(tenants.Names()))
 	}
 	if *coordinator {
-		return runCoordinator(ctx, out, *addr, *addrFile, *workersList, cluster.Config{
+		return runCoordinator(ctx, out, coordOpts{
+			addr:     *addr,
+			addrFile: *addrFile,
+			seeds:    *workersList,
+			peer:     *peer,
+			name:     *name,
+			storeDir: *storeDir,
+			leaseTTL: *leaseTTL,
+		}, cluster.Config{
 			Vnodes:         *vnodes,
 			HealthInterval: *healthInterval,
+			ProbeTimeout:   *probeTimeout,
 			StealMargin:    *stealMargin,
 			PollInterval:   *pollInterval,
 			PollJitter:     *pollJitter,
@@ -179,6 +213,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Tenants:         tenants,
 		StoreLedger:     store.NewLedger(),
 		AgeAfter:        *ageAfter,
+		AllowFaultAPI:   *allowFaultAPI,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, *storeMax)
@@ -232,7 +267,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if wname == "" {
 			wname = bound
 		}
-		go heartbeat(ctx, *join, wname, bound)
+		// One heartbeat per coordinator: in an HA pair the worker
+		// advertises itself to both, so whichever holds the lease
+		// (now or after a failover) can route to it immediately.
+		for _, co := range strings.Split(*join, ",") {
+			if co = strings.TrimSpace(co); co != "" {
+				go heartbeat(ctx, co, wname, bound)
+			}
+		}
 	}
 
 	srv := &http.Server{Handler: svc.Handler()}

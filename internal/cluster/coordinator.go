@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -30,6 +32,11 @@ type Config struct {
 	// worker dead (<= 0 → 3). Death removes it from the ring and
 	// migrates its in-flight groups.
 	HealthFailures int
+	// ProbeTimeout bounds one health/telemetry probe. It is decoupled
+	// from HealthInterval on purpose: a worker that answers 200 slower
+	// than the probe cadence is slow, not dead, and must not accumulate
+	// strikes (<= 0 → max(2s, 2×HealthInterval)).
+	ProbeTimeout time.Duration
 	// StealMargin is the outstanding-jobs (queued+active) divergence
 	// between a cell's ring owner and the least-loaded worker beyond
 	// which the group is routed to the latter (<= 0 → 2).
@@ -58,6 +65,22 @@ type Config struct {
 	// everything; workers still enforce their own local quotas and
 	// cycle budgets on forwarded work.
 	Tenants *tenant.Registry
+
+	// Journal, when set, replicates routing deltas (membership, job
+	// admissions, group assignments, conclusions) for a standby to tail.
+	// Every append is lease-fenced; a fenced-off append refuses the
+	// triggering submission rather than accepting unreplicated work. Nil
+	// runs the coordinator unreplicated (single-coordinator mode).
+	Journal *RJournal
+	// OnForward, when set, is called exactly once: on this coordinator's
+	// first successful interaction with a worker on behalf of a job
+	// (submit accepted, or an adopted group's first status poll). The HA
+	// layer uses it to timestamp the end of a failover window.
+	OnForward func()
+	// Dial constructs the Worker handle for a discovered name/addr pair
+	// (register endpoint, journal adoption). Nil → NewRemote; tests
+	// inject fakes.
+	Dial func(name, addr string) Worker
 }
 
 func (c *Config) fill() {
@@ -66,6 +89,9 @@ func (c *Config) fill() {
 	}
 	if c.HealthFailures <= 0 {
 		c.HealthFailures = 3
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = max(2*time.Second, 2*c.HealthInterval)
 	}
 	if c.StealMargin <= 0 {
 		c.StealMargin = 2
@@ -114,14 +140,19 @@ type member struct {
 	statsOK bool
 	// lastStats is when stats was refreshed (steals want fresh numbers).
 	lastStats time.Time
+	// lastSeen is the last registration heartbeat or successful probe —
+	// what `smtctl cluster` reports as heartbeat age.
+	lastSeen time.Time
 }
 
 // group is one coordinator job's sub-batch on one worker. idxs are the
 // coordinator-job cell indices, in the order they were forwarded.
 type group struct {
+	gi       int // index within the cjob, stable across migrations (journal key)
 	idxs     []int
 	worker   string // current assignee (may change across migrations)
 	remoteID string // current remote job ID ("" until submitted)
+	adopted  bool   // placement journaled by a previous leader: resume polling, don't re-submit
 	done     bool
 }
 
@@ -158,12 +189,17 @@ type Coordinator struct {
 	tenantCells map[string]int
 	tenantSheds map[string]uint64
 
+	// forwardOnce gates cfg.OnForward (first successful worker
+	// interaction on behalf of a job).
+	forwardOnce sync.Once
+
 	// Counters for /metrics.
 	jobsDone, jobsFailed, jobsCancelled uint64
 	cellsForwarded                      uint64
 	steals                              uint64
 	jobsRecovered                       uint64
 	migratedCells                       uint64
+	jobsAdopted                         uint64
 	registrations, workersLost          uint64
 }
 
@@ -203,22 +239,28 @@ func (c *Coordinator) Close() {
 // it on the ring. Safe to call repeatedly — the join heartbeat does.
 func (c *Coordinator) AddWorker(w Worker) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	m, ok := c.members[w.Name()]
 	if !ok {
-		c.members[w.Name()] = &member{w: w, alive: true}
+		c.members[w.Name()] = &member{w: w, alive: true, lastSeen: time.Now()}
 		c.registrations++
 	} else {
 		// A re-registration is a live worker announcing itself: reset the
 		// failure count and adopt the (possibly new) address.
 		m.w = w
 		m.fails = 0
+		m.lastSeen = time.Now()
 		if !m.alive {
 			m.alive = true
 			c.registrations++
 		}
 	}
 	c.ring.Add(w.Name())
+	c.mu.Unlock()
+	if c.cfg.Journal != nil {
+		// Deduplicated inside the journal, so the 300ms heartbeat cadence
+		// costs one record per membership change, not one per beat.
+		c.cfg.Journal.Worker(w.Name(), w.Addr())
+	}
 }
 
 // RemoveWorker drains a worker out of the ring deliberately (operator
@@ -235,6 +277,11 @@ func (c *Coordinator) markDeadLocked(name string) {
 		c.workersLost++
 	}
 	c.ring.Remove(name)
+	if c.cfg.Journal != nil {
+		// A dead worker is a rare event; the fsync under c.mu is cheaper
+		// than racing a standby that still routes to the corpse.
+		c.cfg.Journal.WorkerDead(name)
+	}
 }
 
 // healthLoop probes every member each interval: liveness via /healthz,
@@ -264,9 +311,17 @@ func (c *Coordinator) probeAll() {
 		}
 	}
 	c.mu.Unlock()
+	// Parallel probes: one slow worker must not delay (or skip) the
+	// others' liveness checks for the whole tick.
+	var wg sync.WaitGroup
 	for _, n := range names {
-		c.probe(n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.probe(n)
+		}()
 	}
+	wg.Wait()
 }
 
 func (c *Coordinator) probe(name string) {
@@ -279,7 +334,10 @@ func (c *Coordinator) probe(name string) {
 	w := m.w
 	c.mu.Unlock()
 
-	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.HealthInterval)
+	// The probe deadline is ProbeTimeout, NOT HealthInterval: a worker
+	// that answers 200 in longer than the probe cadence is slow, not
+	// dead. Only transport errors and non-2xx responses are strikes.
+	ctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.ProbeTimeout)
 	err := w.Health(ctx)
 	var stats service.Metrics
 	var statsErr error
@@ -302,6 +360,7 @@ func (c *Coordinator) probe(name string) {
 		return
 	}
 	m.fails = 0
+	m.lastSeen = time.Now()
 	if statsErr == nil {
 		m.stats = stats
 		m.statsOK = true
@@ -466,6 +525,23 @@ func (c *Coordinator) Submit(specs []service.CellSpec, opts service.SubmitOption
 	c.chargeTenantLocked(tn, len(specs))
 	c.mu.Unlock()
 
+	if c.cfg.Journal != nil {
+		// The admission is durable before the client sees a job ID; a
+		// fenced-off append (lease stolen mid-submit) refuses the job —
+		// accepting work the standby cannot adopt would silently lose it.
+		rec := JobRec{ID: id, Specs: specs, Tenant: tn, Priority: opts.Priority,
+			Deadline: opts.Deadline, IdemKey: opts.IdemKey}
+		if err := c.cfg.Journal.JobStart(rec); err != nil {
+			c.mu.Lock()
+			c.releaseTenantLocked(tn, len(specs))
+			if opts.IdemKey != "" {
+				delete(c.idem, opts.IdemKey)
+			}
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+
 	j := service.NewRemoteJob(id, specs)
 	j.Priority = opts.Priority
 	j.Deadline = opts.Deadline
@@ -484,8 +560,8 @@ func (c *Coordinator) Submit(specs []service.CellSpec, opts service.SubmitOption
 		byOwner[o] = append(byOwner[o], i)
 	}
 	sort.Strings(owners)
-	for _, o := range owners {
-		cj.groups = append(cj.groups, &group{idxs: byOwner[o], worker: c.chooseWorker(o)})
+	for gi, o := range owners {
+		cj.groups = append(cj.groups, &group{gi: gi, idxs: byOwner[o], worker: c.chooseWorker(o)})
 	}
 	cj.pending = len(cj.groups)
 
@@ -551,6 +627,11 @@ func (c *Coordinator) groupDone(cj *cjob) {
 		// exactly-once too.
 		c.releaseTenantLocked(normTenant(cj.tracker.Tenant), len(cj.tracker.Specs))
 		c.mu.Unlock()
+		if c.cfg.Journal != nil {
+			// Best-effort: a fenced-off conclude means we just got demoted —
+			// the new leader re-adopts the job and concludes it itself.
+			c.cfg.Journal.Conclude(cj.tracker.ID, string(state), msg)
+		}
 	}
 }
 
@@ -600,10 +681,11 @@ func (cj *cjob) failGroup(g *group, msg string) {
 // store instead of cycle zero.
 func (c *Coordinator) runGroup(cj *cjob, g *group) {
 	const maxAttempts = 8 // death-and-migration cycles before giving up
+	backpressured := false
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			// A previous worker died (or refused): re-place the group on a
-			// surviving member, preferring the ring's new owner view.
+			// A previous worker died (or shed backpressure): re-place the
+			// group on another member, preferring the ring's new owner view.
 			cj.mu.Lock()
 			cancelled := cj.cancel
 			cj.mu.Unlock()
@@ -621,14 +703,21 @@ func (c *Coordinator) runGroup(cj *cjob, g *group) {
 				cj.failGroup(g, ErrNoWorkers.Error()+" (worker died mid-job, none left to migrate to)")
 				return
 			}
-			c.mu.Lock()
-			c.jobsRecovered++
-			c.migratedCells += uint64(len(g.idxs))
-			c.mu.Unlock()
+			if !backpressured {
+				// Only a dead worker counts as a recovery; a busy one that
+				// shed the group is routing, not failure handling.
+				c.mu.Lock()
+				c.jobsRecovered++
+				c.migratedCells += uint64(len(g.idxs))
+				c.mu.Unlock()
+			}
 			g.worker = next
 			g.remoteID = ""
+			g.adopted = false // a migrated group re-submits (idempotently)
 		}
-		if c.runGroupOn(cj, g) {
+		var done bool
+		done, backpressured = c.runGroupOn(cj, g)
+		if done {
 			return
 		}
 	}
@@ -645,52 +734,81 @@ func (c *Coordinator) worker(name string) Worker {
 	return nil
 }
 
-// runGroupOn runs the group on its currently-assigned worker. It
-// returns true when the group is finished (results recorded or failed
-// terminally) and false when the worker must be replaced (migration).
-func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
+// runGroupOn runs the group on its currently-assigned worker. done is
+// true when the group is finished (results recorded or failed
+// terminally); otherwise the worker must be replaced, and backpressured
+// distinguishes a busy worker shedding load (leave it on the ring, just
+// route around it) from a dead one (mark it lost and migrate).
+func (c *Coordinator) runGroupOn(cj *cjob, g *group) (done, backpressured bool) {
 	w := c.worker(g.worker)
 	if w == nil {
-		return false
+		return false, false
 	}
 	req := cj.groupReq(g)
-	attemptKey := groupIdemKey(cj.tracker.ID, g, req)
 
-	// Submit with a couple of in-place retries (the idempotency key
-	// makes a lost 202 harmless), then declare the worker suspect.
 	var remoteID string
-	var err error
-	for try := 0; try < 3; try++ {
-		sctx, cancel := context.WithTimeout(c.baseCtx, 10*time.Second)
-		remoteID, err = w.Submit(sctx, req, attemptKey)
-		cancel()
-		if err == nil {
-			break
+	if g.adopted && g.remoteID != "" {
+		// Journal-adopted placement from the previous leader: the remote
+		// job is already running on the worker, so re-adopt by resuming
+		// the poll loop instead of re-forwarding the cells.
+		remoteID = g.remoteID
+	} else {
+		attemptKey := groupIdemKey(cj.tracker.ID, g, req)
+		// Submit with a couple of in-place retries (the idempotency key
+		// makes a lost 202 harmless), then declare the worker suspect.
+		var err error
+		for try := 0; try < 3; try++ {
+			sctx, cancel := context.WithTimeout(c.baseCtx, 10*time.Second)
+			remoteID, err = w.Submit(sctx, req, attemptKey)
+			cancel()
+			if err == nil {
+				break
+			}
+			wait := c.cfg.pollDelay()
+			// A well-formed 4xx refusal comes from a healthy worker; never
+			// mark it dead — the migration loop replaying the same refusal
+			// across the fleet would otherwise kill every live worker in
+			// turn. Policy refusals (tenant quota, validation) are terminal:
+			// retrying would replay the refused demand and evade enforcement.
+			// Bare-429 backpressure is transient — the coordinator already
+			// told the client 202, so a full queue must cost latency, not
+			// the job: honour the worker's Retry-After (bounded so a
+			// congestion-inflated hint cannot stall the group), retry, and
+			// after the in-place tries route around the busy worker.
+			var refused *RefusedError
+			if errors.As(err, &refused) {
+				if !refused.Backpressure() {
+					cj.failGroup(g, fmt.Sprintf("worker %s refused batch: %s", g.worker, refused.Error()))
+					return true, false
+				}
+				if refused.RetryAfter > wait {
+					wait = min(refused.RetryAfter, 2*time.Second)
+				}
+			}
+			select {
+			case <-c.baseCtx.Done():
+				cj.failGroup(g, "coordinator shut down")
+				return true, false
+			case <-time.After(wait):
+			}
 		}
-		// A well-formed 4xx refusal (tenant quota, AIMD shed, validation)
-		// comes from a healthy worker: the group is shed terminally.
-		// Retrying would replay the refused demand, and falling through to
-		// the death path would mark live workers dead one by one as the
-		// migration loop replays the same refusal across the fleet.
-		var refused *RefusedError
-		if errors.As(err, &refused) {
-			cj.failGroup(g, fmt.Sprintf("worker %s refused batch: %s", g.worker, refused.Error()))
-			return true
+		if err != nil {
+			var refused *RefusedError
+			if errors.As(err, &refused) && refused.Backpressure() {
+				return false, true
+			}
+			c.mu.Lock()
+			c.markDeadLocked(g.worker)
+			c.mu.Unlock()
+			return false, false
 		}
-		select {
-		case <-c.baseCtx.Done():
-			cj.failGroup(g, "coordinator shut down")
-			return true
-		case <-time.After(c.cfg.pollDelay()):
+		g.remoteID = remoteID
+		c.noteForward()
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.Assign(AssignRec{Job: cj.tracker.ID, Group: g.gi,
+				Worker: g.worker, RemoteID: remoteID, Idxs: g.idxs})
 		}
 	}
-	if err != nil {
-		c.mu.Lock()
-		c.markDeadLocked(g.worker)
-		c.mu.Unlock()
-		return false
-	}
-	g.remoteID = remoteID
 	for _, i := range g.idxs {
 		cj.tracker.MarkCellRunning(i)
 	}
@@ -703,7 +821,7 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 		select {
 		case <-c.baseCtx.Done():
 			cj.failGroup(g, "coordinator shut down")
-			return true
+			return true, false
 		case <-time.After(c.cfg.pollDelay()):
 		}
 		// Forward a client cancellation exactly once per assignment.
@@ -725,11 +843,12 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 				c.mu.Lock()
 				c.markDeadLocked(g.worker)
 				c.mu.Unlock()
-				return false
+				return false, false
 			}
 			continue
 		}
 		fails = 0
+		c.noteForward() // adopted groups: first successful poll ends the failover window
 		switch st.State {
 		case service.JobDone, service.JobFailed, service.JobCancelled:
 			rctx, cancel := context.WithTimeout(c.baseCtx, 10*time.Second)
@@ -741,7 +860,7 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 				c.mu.Lock()
 				c.markDeadLocked(g.worker)
 				c.mu.Unlock()
-				return false
+				return false, false
 			}
 			for k, cell := range res.Cells {
 				if k < len(g.idxs) {
@@ -749,7 +868,7 @@ func (c *Coordinator) runGroupOn(cj *cjob, g *group) bool {
 				}
 			}
 			g.done = true
-			return true
+			return true, false
 		}
 	}
 }
@@ -797,4 +916,144 @@ func (c *Coordinator) Cancel(id string) bool {
 	cj.mu.Unlock()
 	// The group poll loops forward the cancel on their next tick.
 	return true
+}
+
+// dial resolves a discovered worker address to a Worker handle.
+func (c *Coordinator) dial(name, addr string) Worker {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(name, addr)
+	}
+	return NewRemote(name, addr)
+}
+
+// noteForward fires cfg.OnForward exactly once: the HA layer's "the new
+// leader is actually moving work" signal.
+func (c *Coordinator) noteForward() {
+	if c.cfg.OnForward == nil {
+		return
+	}
+	c.forwardOnce.Do(c.cfg.OnForward)
+}
+
+// Adopt rebuilds the coordinator's world from replicated routing state —
+// the promoted standby's first act. Journaled workers go straight onto
+// the ring (heartbeats will confirm them); live jobs get trackers,
+// restored tenant charges and idempotency keys, and group runners that
+// resume polling the journaled remote IDs instead of re-forwarding the
+// cells; jobs that concluded before the failover stay resolvable (state
+// only) for clients polling across the switch.
+func (c *Coordinator) Adopt(st *RoutingState) {
+	if st == nil {
+		return
+	}
+	for _, name := range slices.Sorted(maps.Keys(st.Workers)) {
+		if c.worker(name) == nil {
+			c.AddWorker(c.dial(name, st.Workers[name]))
+		}
+	}
+	for _, id := range st.Order {
+		if js := st.Jobs[id]; js != nil {
+			c.adoptJob(id, js)
+		}
+	}
+}
+
+func (c *Coordinator) adoptJob(id string, js *JobSnap) {
+	c.mu.Lock()
+	if _, dup := c.jobs[id]; dup {
+		c.mu.Unlock()
+		return
+	}
+	// Keep the ID sequence above every adopted ID so freshly-minted IDs
+	// never collide with the previous leader's.
+	var n int
+	if _, err := fmt.Sscanf(id, "c%d", &n); err == nil && n > c.seq {
+		c.seq = n
+	}
+	c.mu.Unlock()
+
+	j := service.NewRemoteJob(id, js.Rec.Specs)
+	j.Priority = js.Rec.Priority
+	j.Deadline = js.Rec.Deadline
+	j.Tenant = js.Rec.Tenant
+	cj := &cjob{tracker: j}
+
+	if js.Done {
+		// Concluded before the failover: keep the terminal state visible
+		// (the per-cell payloads were delivered by the old leader and are
+		// not replicated — re-run the cells to regenerate them).
+		j.Conclude(js.State, js.Error)
+		c.mu.Lock()
+		c.jobs[id] = cj
+		c.order = append(c.order, id)
+		c.jobsAdopted++
+		c.mu.Unlock()
+		return
+	}
+
+	// Rebuild groups from journaled assignments; cells whose assignment
+	// never reached the journal (the leader died between admission and
+	// forwarding) are re-placed from scratch — their deterministic
+	// idempotency keys make a racing duplicate submit harmless.
+	covered := make(map[int]bool)
+	var groups []*group
+	for gi, a := range js.Groups {
+		if a.RemoteID == "" || len(a.Idxs) == 0 {
+			continue
+		}
+		groups = append(groups, &group{gi: gi, idxs: a.Idxs, worker: a.Worker,
+			remoteID: a.RemoteID, adopted: true})
+		for _, i := range a.Idxs {
+			covered[i] = true
+		}
+	}
+	byOwner := make(map[string][]int)
+	var owners []string
+	for i, sp := range js.Rec.Specs {
+		if covered[i] {
+			continue
+		}
+		o := c.ring.Owner(sp.Label())
+		if _, ok := byOwner[o]; !ok {
+			owners = append(owners, o)
+		}
+		byOwner[o] = append(byOwner[o], i)
+	}
+	sort.Strings(owners)
+	for k, o := range owners {
+		groups = append(groups, &group{gi: len(js.Groups) + k, idxs: byOwner[o], worker: c.chooseWorker(o)})
+	}
+	if len(groups) == 0 {
+		j.Conclude(service.JobFailed, "cluster: adopted job has no placeable cells")
+	}
+	cj.groups = groups
+	cj.pending = len(groups)
+
+	tn := normTenant(js.Rec.Tenant)
+	c.mu.Lock()
+	c.jobs[id] = cj
+	c.order = append(c.order, id)
+	c.jobsAdopted++
+	if len(groups) > 0 {
+		// The previous leader admitted this work; re-admitting could
+		// refuse it, so the quota charge is restored unconditionally.
+		c.chargeTenantLocked(tn, len(js.Rec.Specs))
+	}
+	if js.Rec.IdemKey != "" {
+		c.idem[js.Rec.IdemKey] = id
+	}
+	c.mu.Unlock()
+	if len(groups) == 0 {
+		return
+	}
+
+	j.Conclude(service.JobRunning, "")
+	for _, g := range cj.groups {
+		c.wg.Add(1)
+		go func(g *group) {
+			defer c.wg.Done()
+			c.runGroup(cj, g)
+			c.groupDone(cj)
+		}(g)
+	}
 }

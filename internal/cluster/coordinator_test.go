@@ -39,6 +39,9 @@ type fakeWorker struct {
 	dead bool
 	// refuseSubmit fails submissions outright.
 	refuseSubmit bool
+	// healthDelay makes Health slow (but still successful): the
+	// slow-but-alive worker the probe-timeout regression test needs.
+	healthDelay time.Duration
 }
 
 func newFakeWorker(name string) *fakeWorker {
@@ -101,7 +104,17 @@ func (f *fakeWorker) Cancel(_ context.Context, id string) error {
 	return nil
 }
 
-func (f *fakeWorker) Health(context.Context) error {
+func (f *fakeWorker) Health(ctx context.Context) error {
+	f.mu.Lock()
+	delay := f.healthDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.dead {

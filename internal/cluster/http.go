@@ -22,6 +22,9 @@ type WorkerInfo struct {
 	Outstanding int `json:"outstanding"`
 	// QueueWaitEWMASeconds is the worker's recent queue-wait telemetry.
 	QueueWaitEWMASeconds float64 `json:"queue_wait_ewma_seconds"`
+	// LastHeartbeatAgeSeconds is how long ago this worker last
+	// registered or answered a probe (-1: never seen responding).
+	LastHeartbeatAgeSeconds float64 `json:"last_heartbeat_age_seconds"`
 }
 
 // Topology is the GET /v1/cluster body: the fleet as the coordinator
@@ -37,6 +40,18 @@ type Topology struct {
 	MigratedCells  uint64 `json:"migrated_cells"`
 	WorkersLost    uint64 `json:"workers_lost"`
 	Registrations  uint64 `json:"registrations"`
+
+	// HA fields, set only when the coordinator runs as half of a pair.
+	Role                   string   `json:"role,omitempty"` // "leader" | "standby"
+	LeaderAddr             string   `json:"leader_addr,omitempty"`
+	LeaseTerm              uint64   `json:"lease_term,omitempty"`
+	JournalSeq             uint64   `json:"journal_seq,omitempty"`
+	StandbyLagBytes        int64    `json:"standby_lag_bytes,omitempty"`
+	JobsAdopted            uint64   `json:"jobs_adopted,omitempty"`
+	Promotions             uint64   `json:"promotions,omitempty"`
+	Demotions              uint64   `json:"demotions,omitempty"`
+	FailoverLatencySeconds float64  `json:"failover_latency_seconds,omitempty"`
+	Peers                  []string `json:"peers,omitempty"`
 }
 
 // Topology snapshots the fleet for /v1/cluster and smtctl cluster.
@@ -52,14 +67,20 @@ func (c *Coordinator) Topology() Topology {
 		WorkersLost:    c.workersLost,
 		Registrations:  c.registrations,
 	}
+	t.JobsAdopted = c.jobsAdopted
 	for _, n := range sortedNamesLocked(c.members) {
 		m := c.members[n]
+		hbAge := -1.0
+		if !m.lastSeen.IsZero() {
+			hbAge = time.Since(m.lastSeen).Seconds()
+		}
 		t.Workers = append(t.Workers, WorkerInfo{
-			Name:                 n,
-			Addr:                 m.w.Addr(),
-			Alive:                m.alive,
-			Outstanding:          outstanding(m),
-			QueueWaitEWMASeconds: m.stats.QueueWaitEWMASeconds,
+			Name:                    n,
+			Addr:                    m.w.Addr(),
+			Alive:                   m.alive,
+			Outstanding:             outstanding(m),
+			QueueWaitEWMASeconds:    m.stats.QueueWaitEWMASeconds,
+			LastHeartbeatAgeSeconds: hbAge,
 		})
 		if m.alive {
 			t.Live++
@@ -133,6 +154,12 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrNoWorkers):
 		// The fleet may be mid-restart; workers re-register on their next
 		// heartbeat, so retrying shortly is the right client move.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrLeaseLost):
+		// We were demoted mid-submit: the work was refused before it was
+		// journaled, so the client retries against the new leader.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -252,7 +279,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing addr")
 		return
 	}
-	c.AddWorker(NewRemote(req.Name, req.Addr))
+	c.AddWorker(c.dial(req.Name, req.Addr))
 	writeJSON(w, http.StatusOK, c.Topology())
 }
 
@@ -278,6 +305,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		jobsDone, jobsFailed, jobsCancelled uint64
 		cellsForwarded, steals              uint64
 		jobsRecovered, migratedCells        uint64
+		jobsAdopted                         uint64
 		workersLost, registrations          uint64
 	}{
 		workers:        len(c.members),
@@ -288,6 +316,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		steals:         c.steals,
 		jobsRecovered:  c.jobsRecovered,
 		migratedCells:  c.migratedCells,
+		jobsAdopted:    c.jobsAdopted,
 		workersLost:    c.workersLost,
 		registrations:  c.registrations,
 	}
@@ -368,6 +397,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cnt("smtd_cluster_steals_total", "Groups rerouted off overloaded ring owners.", t.steals)
 	cnt("smtd_cluster_jobs_recovered_total", "Groups migrated off dead workers.", t.jobsRecovered)
 	cnt("smtd_cluster_migrated_cells_total", "Cells migrated off dead workers.", t.migratedCells)
+	cnt("smtd_cluster_jobs_adopted_total", "Jobs re-adopted from the routing journal after promotion.", t.jobsAdopted)
 	cnt("smtd_cluster_workers_lost_total", "Workers declared dead.", t.workersLost)
 	cnt("smtd_cluster_registrations_total", "Worker (re-)registrations.", t.registrations)
 	cnt("smtd_cluster_fleet_cells_simulated_total", "Fleet-wide simulator runs (last telemetry).", agg.CellsSimulated)

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLeaseColdStartRaceOneWinner(t *testing.T) {
+	// Two cold coordinators race the very first claim. Exactly one may
+	// win; the loser must see "held by someone else", not an error.
+	dir := t.TempDir()
+	const racers = 8
+	type result struct {
+		term uint64
+		won  bool
+		err  error
+	}
+	var (
+		start   = make(chan struct{})
+		results = make([]result, racers)
+		wg      sync.WaitGroup
+	)
+	for i := range racers {
+		l, err := NewLease(dir, fmt.Sprintf("coord-%d", i), fmt.Sprintf("127.0.0.1:%d", 9000+i), time.Second)
+		if err != nil {
+			t.Fatalf("NewLease: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			term, won, err := l.TryAcquire()
+			results[i] = result{term, won, err}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	winners := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Errorf("racer %d: unexpected error: %v", i, r.err)
+		}
+		if r.won {
+			winners++
+			if r.term == 0 {
+				t.Errorf("racer %d won with term 0", i)
+			}
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("cold-start race produced %d winners, want exactly 1", winners)
+	}
+	if st, ok, err := ReadLease(dir); err != nil || !ok || st.Expired(time.Now()) {
+		t.Fatalf("after race: lease ok=%v expired-or-err (%v); want a live advertisement", ok, err)
+	}
+}
+
+func TestLeaseStaleLeaderDemotesAfterTheft(t *testing.T) {
+	// A leader pauses (GC stall, SIGSTOP) past its TTL; the standby
+	// steals the lease. When the stale leader resumes, Renew and Check
+	// must both report ErrLeaseLost — never overwrite the thief.
+	dir := t.TempDir()
+	leader, err := NewLease(dir, "coord-a", "127.0.0.1:9001", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, won, err := leader.TryAcquire()
+	if err != nil || !won {
+		t.Fatalf("initial acquire: won=%v err=%v", won, err)
+	}
+
+	standby, err := NewLease(dir, "coord-b", "127.0.0.1:9002", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, won, _ := standby.TryAcquire(); won {
+		t.Fatal("standby stole an unexpired lease")
+	}
+
+	time.Sleep(70 * time.Millisecond) // the leader "pauses" past its TTL
+	term2, won, err := standby.TryAcquire()
+	if err != nil || !won {
+		t.Fatalf("standby steal after expiry: won=%v err=%v", won, err)
+	}
+	if term2 <= term {
+		t.Fatalf("stolen term %d not above old term %d", term2, term)
+	}
+
+	// The stale leader wakes up.
+	if err := leader.Renew(term); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale Renew: got %v, want ErrLeaseLost", err)
+	}
+	if err := leader.Check(term); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale Check (journal fence): got %v, want ErrLeaseLost", err)
+	}
+	// And the thief's lease is intact.
+	st, ok, err := ReadLease(dir)
+	if err != nil || !ok {
+		t.Fatalf("ReadLease: ok=%v err=%v", ok, err)
+	}
+	if st.Holder != "coord-b" || st.Term != term2 {
+		t.Fatalf("lease after stale wakeup: holder=%q term=%d, want coord-b/%d", st.Holder, st.Term, term2)
+	}
+}
+
+func TestLeaseOrphanedClaimSkipped(t *testing.T) {
+	// A claimant that died between creating its O_EXCL claim file and
+	// writing the advertisement must not wedge the cluster: once the
+	// claim is older than the TTL with no matching lease, the next
+	// acquirer steps over the orphaned term.
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, fmt.Sprintf("term-%08d.claim", 1))
+	if err := os.WriteFile(orphan, []byte("dead-coord 127.0.0.1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := NewLease(dir, "coord-a", "127.0.0.1:9001", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, won, err := l.TryAcquire()
+	if err != nil || !won {
+		t.Fatalf("acquire over orphaned claim: won=%v err=%v", won, err)
+	}
+	if term != 2 {
+		t.Fatalf("won term %d, want 2 (stepped past orphaned term 1)", term)
+	}
+}
+
+func TestLeaseFreshClaimBlocksAcquire(t *testing.T) {
+	// A fresh claim file (claimant alive, advertisement imminent) must
+	// make a competing acquirer back off rather than skip the term.
+	dir := t.TempDir()
+	claim := filepath.Join(dir, fmt.Sprintf("term-%08d.claim", 1))
+	if err := os.WriteFile(claim, []byte("other 127.0.0.1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLease(dir, "coord-a", "127.0.0.1:9001", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, won, err := l.TryAcquire(); won || err != nil {
+		t.Fatalf("acquire against fresh claim: won=%v err=%v, want lost race / nil", won, err)
+	}
+}
+
+func TestLeaseReleaseHandsOverImmediately(t *testing.T) {
+	// Release backdates the advertisement so a standby promotes without
+	// waiting out the TTL — the graceful-shutdown handover.
+	dir := t.TempDir()
+	leader, err := NewLease(dir, "coord-a", "127.0.0.1:9001", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, won, err := leader.TryAcquire()
+	if err != nil || !won {
+		t.Fatalf("acquire: won=%v err=%v", won, err)
+	}
+	if err := leader.Release(term); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	standby, err := NewLease(dir, "coord-b", "127.0.0.1:9002", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term2, won, err := standby.TryAcquire()
+	if err != nil || !won {
+		t.Fatalf("standby acquire after release: won=%v err=%v", won, err)
+	}
+	if term2 <= term {
+		t.Fatalf("handover term %d not above released term %d", term2, term)
+	}
+}
+
+func TestLeaseRenewKeepsHolding(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewLease(dir, "coord-a", "127.0.0.1:9001", 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, won, err := l.TryAcquire()
+	if err != nil || !won {
+		t.Fatalf("acquire: won=%v err=%v", won, err)
+	}
+	for range 4 {
+		time.Sleep(l.RenewEvery())
+		if err := l.Renew(term); err != nil {
+			t.Fatalf("renew: %v", err)
+		}
+	}
+	st, ok, err := ReadLease(dir)
+	if err != nil || !ok || st.Expired(time.Now()) {
+		t.Fatalf("lease should still be live after renewals: ok=%v err=%v", ok, err)
+	}
+	// Re-acquire by the same holder over its own (expired) lease keeps
+	// working and bumps the term.
+	time.Sleep(2 * l.TTL())
+	term2, won, err := l.TryAcquire()
+	if err != nil || !won || term2 <= term {
+		t.Fatalf("self re-acquire: term=%d won=%v err=%v", term2, won, err)
+	}
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smtexplore/internal/service"
+)
+
+func testJobRec(id string) JobRec {
+	return JobRec{
+		ID:      id,
+		Specs:   []service.CellSpec{{Type: "kernel", Kernel: "mm", Mode: "serial", Size: 16}},
+		Tenant:  "light",
+		IdemKey: "idem-" + id,
+	}
+}
+
+func TestRJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenRJournal(dir, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Worker("w1", "127.0.0.1:7001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Worker("w1", "127.0.0.1:7001"); err != nil { // dedup: no new record
+		t.Fatal(err)
+	}
+	if err := j.Worker("w2", "127.0.0.1:7002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.JobStart(testJobRec("c0001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Assign(AssignRec{Job: "c0001", Group: 0, Worker: "w1", RemoteID: "j42", Idxs: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.JobStart(testJobRec("c0002")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Conclude("c0002", "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WorkerDead("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := j.Writes(), uint64(7); got != want {
+		t.Fatalf("writes=%d want %d (worker dedup should skip one)", got, want)
+	}
+	j.Close()
+
+	st, _, err := LoadRoutingState(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Term != 3 {
+		t.Fatalf("term=%d want 3", st.Term)
+	}
+	if len(st.Workers) != 1 || st.Workers["w1"] != "127.0.0.1:7001" {
+		t.Fatalf("workers=%v want only w1", st.Workers)
+	}
+	if live := st.Live(); len(live) != 1 || live[0] != "c0001" {
+		t.Fatalf("live=%v want [c0001]", live)
+	}
+	js := st.Jobs["c0001"]
+	if js == nil || len(js.Groups) != 1 || js.Groups[0].RemoteID != "j42" || js.Groups[0].Worker != "w1" {
+		t.Fatalf("c0001 snapshot wrong: %+v", js)
+	}
+	if done := st.Jobs["c0002"]; done == nil || !done.Done || done.State != "done" {
+		t.Fatalf("c0002 should be kept (concluded, pre-compaction): %+v", done)
+	}
+}
+
+func TestRJournalTornTailTruncateAndAdopt(t *testing.T) {
+	// A leader SIGKILLed mid-append leaves a torn final line. The
+	// promoting standby (repair=true) must adopt everything before the
+	// tear, truncate the garbage, and never crash.
+	dir := t.TempDir()
+	j, err := OpenRJournal(dir, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.JobStart(testJobRec("c0001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Assign(AssignRec{Job: "c0001", Group: 0, Worker: "w1", RemoteID: "j7", Idxs: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	log := filepath.Join(dir, journalFile)
+	whole, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tail := range map[string][]byte{
+		"half-line":     []byte(`rj1 00000000 {"term":1,"seq":3,"kind":"conclu`),
+		"bad-crc":       []byte("rj1 deadbeef {\"term\":1,\"seq\":3,\"kind\":\"conclude\",\"data\":{\"job\":\"c0001\",\"state\":\"done\"}}\n"),
+		"binary-garble": {0x00, 0xff, 0x13, 0x37},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(log, append(append([]byte{}, whole...), tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, consumed, err := LoadRoutingState(dir, true)
+			if err != nil {
+				t.Fatalf("repair load: %v", err)
+			}
+			if consumed != int64(len(whole)) {
+				t.Fatalf("consumed=%d want %d", consumed, len(whole))
+			}
+			if live := st.Live(); len(live) != 1 || live[0] != "c0001" {
+				t.Fatalf("live=%v want [c0001]", live)
+			}
+			// The torn conclude must NOT have been applied.
+			if st.Jobs["c0001"].Done {
+				t.Fatal("torn conclude record was applied")
+			}
+			info, err := os.Stat(log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() != int64(len(whole)) {
+				t.Fatalf("tail not truncated: size=%d want %d", info.Size(), len(whole))
+			}
+			// The repaired journal accepts new appends under a new term.
+			j2, err := OpenRJournal(dir, 2, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j2.Conclude("c0001", "done", ""); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+		})
+	}
+}
+
+func TestJournalTailFollowsLeaderAndIgnoresTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenRJournal(dir, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := NewJournalTail(dir)
+	if err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := j.JobStart(testJobRec("c0001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tail.State().Live(); len(got) != 1 || got[0] != "c0001" {
+		t.Fatalf("tail live=%v want [c0001]", got)
+	}
+	if tail.Seq() != j.Seq() {
+		t.Fatalf("tail seq=%d leader seq=%d", tail.Seq(), j.Seq())
+	}
+
+	// A torn leader write parks bytes in Lag without advancing or
+	// repairing — the standby must never truncate the live leader's log.
+	log := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(log, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`rj1 00000000 {"term":1,"se`)
+	f.Close()
+	before, _ := os.Stat(log)
+	if err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Lag() == 0 {
+		t.Fatal("torn tail should show as lag")
+	}
+	after, _ := os.Stat(log)
+	if after.Size() != before.Size() {
+		t.Fatal("standby truncated the leader's log")
+	}
+}
+
+func TestJournalTailReloadsAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenRJournal(dir, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.every = 4 // compact quickly
+	tail := NewJournalTail(dir)
+	for i := range 10 {
+		if err := j.JobStart(testJobRec(jobID(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Conclude(jobID(i), "done", ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := tail.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tail.Seq() != j.Seq() {
+		t.Fatalf("tail seq=%d leader seq=%d after compactions", tail.Seq(), j.Seq())
+	}
+	// Compaction dropped concluded jobs from the checkpoint; a fresh
+	// load sees no live work and only the post-checkpoint residue.
+	st, _, err := LoadRoutingState(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := st.Live(); len(live) != 0 {
+		t.Fatalf("live=%v want none", live)
+	}
+}
+
+func jobID(i int) string { return string([]byte{'c', '0', '0', byte('0' + i/10), byte('0' + i%10)}) }
+
+func TestRJournalFenceStopsStaleLeader(t *testing.T) {
+	// The per-append fence: once the lease is stolen, the next journal
+	// write fails with ErrLeaseLost, onLost fires exactly once, and the
+	// journal refuses everything afterwards.
+	dir := t.TempDir()
+	fenced := errors.New("fenced")
+	calls := 0
+	healthy := true
+	lost := make(chan error, 4)
+	j, err := OpenRJournal(dir, 1, func() error {
+		calls++
+		if healthy {
+			return nil
+		}
+		return fenced
+	}, func(err error) { lost <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.JobStart(testJobRec("c0001")); err != nil {
+		t.Fatal(err)
+	}
+	healthy = false // the lease is stolen out from under us
+	if err := j.Conclude("c0001", "done", ""); !errors.Is(err, fenced) {
+		t.Fatalf("fenced append: got %v", err)
+	}
+	if err := <-lost; !errors.Is(err, fenced) {
+		t.Fatalf("onLost got %v", err)
+	}
+	fenceCalls := calls
+	if err := j.Conclude("c0001", "done", ""); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("post-loss append: got %v, want ErrLeaseLost", err)
+	}
+	if calls != fenceCalls {
+		t.Fatal("journal kept consulting the fence after loss")
+	}
+	// Nothing after the fence trip reached disk.
+	st, _, err := LoadRoutingState(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs["c0001"].Done {
+		t.Fatal("fenced conclude reached the journal")
+	}
+}
+
+func TestRoutingStateSkipsStaleTermRecords(t *testing.T) {
+	// Read-side fencing: a stale leader's late append (lower term,
+	// racing seq) landing after the new leader's records is ignored.
+	dir := t.TempDir()
+	j, err := OpenRJournal(dir, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.JobStart(testJobRec("c0001")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Forge the stale leader's late write: term 1, seq above current.
+	line, err := encodeLine(rrec{Term: 1, Seq: 99, Kind: recConclude,
+		Data: []byte(`{"job":"c0001","state":"failed","error":"stale"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(line)
+	f.Close()
+
+	st, _, err := LoadRoutingState(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js := st.Jobs["c0001"]; js == nil || js.Done {
+		t.Fatalf("stale-term conclude applied: %+v", js)
+	}
+}

@@ -2,7 +2,9 @@ package cluster
 
 // Cluster-edge tenancy tests: the coordinator forwards tenants to
 // workers, enforces fleet-wide quotas with the daemon's cause taxonomy,
-// and treats a worker's 4xx refusal as a shed — never as a death.
+// and never treats a worker's 4xx refusal as a death — policy refusals
+// (quota, validation) shed the group terminally, bare-429 backpressure
+// is retried and routed around.
 
 import (
 	"context"
@@ -13,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"smtexplore/internal/service"
 	"smtexplore/internal/tenant"
@@ -141,6 +144,81 @@ func TestWorkerRefusalShedsGroupNotWorker(t *testing.T) {
 	}
 	if top := c.Topology(); top.WorkersLost != 0 {
 		t.Fatalf("workers lost = %d, want 0", top.WorkersLost)
+	}
+}
+
+// backpressureWorker sheds its first n submits with a bare 429 (AIMD
+// gate / full queue — no quota cause), then accepts: a healthy worker
+// that is momentarily too busy.
+type backpressureWorker struct {
+	*fakeWorker
+	mu   sync.Mutex
+	shed int
+}
+
+func (b *backpressureWorker) Submit(ctx context.Context, req service.SubmitRequest, key string) (string, error) {
+	b.mu.Lock()
+	shed := b.shed > 0
+	if shed {
+		b.shed--
+	}
+	b.mu.Unlock()
+	if shed {
+		return "", &RefusedError{Status: http.StatusTooManyRequests, Msg: "429: shed", RetryAfter: time.Millisecond}
+	}
+	return b.fakeWorker.Submit(ctx, req, key)
+}
+
+func TestBackpressureRetriedNotFailed(t *testing.T) {
+	// A bare 429 is "not now", not "never": the coordinator accepted the
+	// job at the edge, so a congested worker must cost latency only. Four
+	// sheds span the in-place retry budget, forcing a route-around pass
+	// before the worker accepts.
+	c := New(fastCfg())
+	defer c.Close()
+	bw := &backpressureWorker{fakeWorker: newFakeWorker("a"), shed: 4}
+	c.AddWorker(bw)
+	sp := specOwnedBy(t, 0, "a", []string{"a"})
+
+	j, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "anyone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, j)
+	if state, msg := j.State(); state != service.JobDone {
+		t.Fatalf("job = %s %q, want done despite transient backpressure", state, msg)
+	}
+	if !c.isAlive("a") {
+		t.Fatal("busy worker marked dead after shedding load")
+	}
+	top := c.Topology()
+	if top.WorkersLost != 0 || top.JobsRecovered != 0 {
+		t.Fatalf("workers lost = %d, jobs recovered = %d, want 0/0: backpressure is routing, not failure recovery",
+			top.WorkersLost, top.JobsRecovered)
+	}
+}
+
+func TestBackpressureBudgetBounded(t *testing.T) {
+	// A worker that never stops shedding must not pin the group forever:
+	// the migration budget still bounds the retries, and the job fails
+	// with the budget message — without the worker ever being marked dead.
+	c := New(fastCfg())
+	defer c.Close()
+	bw := &backpressureWorker{fakeWorker: newFakeWorker("a"), shed: 1 << 30}
+	c.AddWorker(bw)
+	sp := specOwnedBy(t, 0, "a", []string{"a"})
+
+	j, err := c.Submit([]service.CellSpec{sp}, service.SubmitOptions{Tenant: "anyone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, j)
+	state, msg := j.State()
+	if state != service.JobFailed || !strings.Contains(msg, "migration budget exhausted") {
+		t.Fatalf("job = %s %q, want failed on the migration budget", state, msg)
+	}
+	if !c.isAlive("a") {
+		t.Fatal("shedding worker marked dead")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -70,14 +71,16 @@ func (r *Remote) Addr() string { return r.addr }
 
 // RefusedError is a worker's well-formed rejection of a forwarded
 // submission (any 4xx — tenant quota, AIMD shed, validation): the
-// worker is healthy and said no. The coordinator must shed the group,
-// not declare the worker dead and migrate — a load-shedding 429
-// replayed across the fleet would otherwise mark every healthy worker
-// dead in turn.
+// worker is healthy and said no. The coordinator must not declare the
+// worker dead — a refusal replayed across the fleet would otherwise
+// mark every healthy worker dead in turn. What happens to the group
+// depends on Backpressure(): policy refusals shed it terminally,
+// transient backpressure is retried.
 type RefusedError struct {
-	Status int
-	Cause  string // X-Quota-Cause when the refusal is a tenant quota
-	Msg    string
+	Status     int
+	Cause      string // X-Quota-Cause when the refusal is a tenant quota
+	Msg        string
+	RetryAfter time.Duration // worker's Retry-After hint, 0 if absent
 }
 
 func (e *RefusedError) Error() string {
@@ -85,6 +88,17 @@ func (e *RefusedError) Error() string {
 		return fmt.Sprintf("%s (quota cause %s)", e.Msg, e.Cause)
 	}
 	return e.Msg
+}
+
+// Backpressure reports whether the refusal is transient load shedding
+// (a bare 429 from the AIMD gate or a full queue) rather than policy.
+// A quota-caused 429 is policy — the tenant is over its configured
+// limit, and replaying the demand elsewhere would evade enforcement —
+// as is any other 4xx (validation, unknown tenant). Backpressure just
+// means "not now": the coordinator already accepted the job at the
+// edge, so it owes the client a retry, not a terminal failure.
+func (e *RefusedError) Backpressure() bool {
+	return e.Status == http.StatusTooManyRequests && e.Cause == ""
 }
 
 // apiError extracts the service's {"error": ...} body shape.
@@ -136,10 +150,15 @@ func (r *Remote) Submit(ctx context.Context, sreq service.SubmitRequest, idemKey
 	if resp.StatusCode != http.StatusAccepted {
 		err := apiError(resp)
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			var ra time.Duration
+			if n, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && n > 0 {
+				ra = time.Duration(n) * time.Second
+			}
 			return "", &RefusedError{
-				Status: resp.StatusCode,
-				Cause:  resp.Header.Get("X-Quota-Cause"),
-				Msg:    err.Error(),
+				Status:     resp.StatusCode,
+				Cause:      resp.Header.Get("X-Quota-Cause"),
+				Msg:        err.Error(),
+				RetryAfter: ra,
 			}
 		}
 		return "", err

@@ -48,10 +48,29 @@ type Report struct {
 	// completed at least one job (1.0 = perfectly even; 0 when fewer
 	// than two tenants finished anything).
 	FairnessRatio float64 `json:"fairness_ratio"`
+	// Daemon is the target's post-run self-reported degradation state
+	// (nil when the target does not answer /v1/stats — coordinators).
+	Daemon *DaemonStats `json:"daemon,omitempty"`
+	// HA failover figures from the target's post-run /v1/cluster view
+	// (zero against a plain daemon or a pair that never failed over).
+	Promotions             uint64  `json:"promotions,omitempty"`
+	JobsAdopted            uint64  `json:"jobs_adopted,omitempty"`
+	FailoverLatencySeconds float64 `json:"failover_latency_seconds,omitempty"`
 
 	// internal accumulation
 	latencies map[string][]time.Duration `json:"-"`
 	byName    map[string]*TenantReport   `json:"-"`
+}
+
+// DaemonStats is the slice of the daemon's /v1/stats the harness
+// cares about: did the chaos actually degrade anything, and did the
+// fault plan fire.
+type DaemonStats struct {
+	BreakerState   string `json:"breaker_state,omitempty"`
+	StoreDegraded  bool   `json:"store_degraded,omitempty"`
+	BreakerTrips   uint64 `json:"breaker_trips,omitempty"`
+	StoreIOErrors  uint64 `json:"store_io_errors,omitempty"`
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 }
 
 // jsonDuration keeps the JSON shape human ("30s") without importing
@@ -201,6 +220,18 @@ func (rep *Report) Summary() string {
 			fmt.Fprintf(&b, "%-12s   shed causes: %s\n", "", strings.Join(causes, " "))
 		}
 	}
+	if rep.Daemon != nil {
+		state := rep.Daemon.BreakerState
+		if state == "" {
+			state = "none" // daemon runs without a store breaker
+		}
+		fmt.Fprintf(&b, "daemon: breaker %s · trips %d · io errors %d · faults injected %d\n",
+			state, rep.Daemon.BreakerTrips, rep.Daemon.StoreIOErrors, rep.Daemon.FaultsInjected)
+	}
+	if rep.Promotions > 0 || rep.FailoverLatencySeconds > 0 {
+		fmt.Fprintf(&b, "ha: promotions %d · jobs adopted %d · failover %.3fs\n",
+			rep.Promotions, rep.JobsAdopted, rep.FailoverLatencySeconds)
+	}
 	return b.String()
 }
 
@@ -251,6 +282,22 @@ func (rep *Report) BenchJSON(commit string) ([]byte, error) {
 				"goodput_jobs_s": tr.GoodputJobsPerSec,
 				"cells_done":     float64(tr.CellsDone),
 				"fairness_ratio": rep.FairnessRatio,
+			},
+		})
+	}
+	// A run that survived a coordinator failover records the measured
+	// failover latency as its own benchmark entry, so BENCH files pin
+	// the control plane's recovery time alongside the load numbers.
+	if rep.FailoverLatencySeconds > 0 {
+		doc.Benchmarks = append(doc.Benchmarks, benchEntry{
+			Name:       "HAFailover",
+			Runs:       1,
+			Iterations: 1,
+			TimeOpNs:   rep.FailoverLatencySeconds * 1e9,
+			Metrics: map[string]float64{
+				"failover_latency_s": rep.FailoverLatencySeconds,
+				"promotions":         float64(rep.Promotions),
+				"jobs_adopted":       float64(rep.JobsAdopted),
 			},
 		})
 	}

@@ -46,9 +46,11 @@ type jobOutcome struct {
 	cells   int
 }
 
-// Runner drives one scenario against one target address.
+// Runner drives one scenario against one target — or, for an HA
+// coordinator pair, a comma-separated pair of targets with automatic
+// failover.
 type Runner struct {
-	Target string // host:port of smtd or coordinator
+	Target string // host:port of smtd or coordinator; "a,b" for an HA pair
 	// Log receives progress lines (nil: quiet).
 	Log io.Writer
 	// Client overrides the HTTP client (tests); nil uses a 10s-timeout
@@ -59,6 +61,14 @@ type Runner struct {
 	// Kill overrides the kill phase's action (tests); nil sends SIGKILL
 	// to the pidfile's process.
 	Kill func(pidfile string) error
+	// SubmitRetry bounds how long a submission keeps retrying across
+	// transport errors and leaderless 503s before counting as an error
+	// (0 → 5s). This is what turns a coordinator failover into added
+	// latency instead of failed jobs.
+	SubmitRetry time.Duration
+
+	tsOnce sync.Once
+	ts     *targetSet
 }
 
 func (r *Runner) client() *http.Client {
@@ -66,6 +76,18 @@ func (r *Runner) client() *http.Client {
 		return r.Client
 	}
 	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (r *Runner) targets() *targetSet {
+	r.tsOnce.Do(func() { r.ts = newTargetSet(r.Target) })
+	return r.ts
+}
+
+func (r *Runner) submitRetry() time.Duration {
+	if r.SubmitRetry > 0 {
+		return r.SubmitRetry
+	}
+	return 5 * time.Second
 }
 
 func (r *Runner) pollEvery() time.Duration {
@@ -134,6 +156,12 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 				} else {
 					r.logf("phase: killed %s at +%v", p.Pidfile, time.Since(start).Round(time.Millisecond))
 				}
+			case PhaseFaults:
+				if err := r.armFaults(ctx, p.Plan); err != nil {
+					r.logf("phase %s %s: %v", p.Kind, p.Plan, err)
+				} else {
+					r.logf("phase: armed fault plan %s at +%v", p.Plan, time.Since(start).Round(time.Millisecond))
+				}
 			}
 		}()
 	}
@@ -162,7 +190,89 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	wg.Wait()
 	close(outcomes)
 	rep := <-collected
+	r.collectTelemetry(ctx, rep)
 	return rep, nil
+}
+
+// armFaults POSTs the plan file to the target's fault API. The daemon
+// refuses with 403 unless it was started with -allow-fault-api, which
+// surfaces here as a phase error rather than silently healthy load.
+func (r *Runner) armFaults(ctx context.Context, planFile string) error {
+	data, err := os.ReadFile(planFile)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+r.targets().pick()+"/v1/faults", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(hreq)
+	r.targets().observe(resp, err)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: arm faults: %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// collectTelemetry asks the target how the run looked from the inside:
+// /v1/stats for daemon degradation counters (plain smtd; coordinators
+// 404 it) and /v1/cluster for HA failover figures (coordinators; plain
+// daemons 404 it). Either being absent just leaves the report's
+// corresponding section empty.
+func (r *Runner) collectTelemetry(ctx context.Context, rep *Report) {
+	// service.Metrics marshals without json tags, so the field names
+	// here match the Go names on the wire.
+	var m struct {
+		BreakerState   string
+		StoreDegraded  bool
+		BreakerTrips   uint64
+		StoreIOErrors  uint64
+		FaultsInjected uint64
+	}
+	if r.getJSON(ctx, "/v1/stats", &m) == nil {
+		rep.Daemon = &DaemonStats{
+			BreakerState:   m.BreakerState,
+			StoreDegraded:  m.StoreDegraded,
+			BreakerTrips:   m.BreakerTrips,
+			StoreIOErrors:  m.StoreIOErrors,
+			FaultsInjected: m.FaultsInjected,
+		}
+	}
+	var top struct {
+		Role                   string  `json:"role"`
+		Promotions             uint64  `json:"promotions"`
+		JobsAdopted            uint64  `json:"jobs_adopted"`
+		FailoverLatencySeconds float64 `json:"failover_latency_seconds"`
+	}
+	if r.getJSON(ctx, "/v1/cluster", &top) == nil && top.Role != "" {
+		rep.Promotions = top.Promotions
+		rep.JobsAdopted = top.JobsAdopted
+		rep.FailoverLatencySeconds = top.FailoverLatencySeconds
+	}
+}
+
+func (r *Runner) getJSON(ctx context.Context, path string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.targets().pick()+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client().Do(hreq)
+	r.targets().observe(resp, err)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // generate replays one tenant's precomputed arrival schedule.
@@ -209,20 +319,49 @@ func (r *Runner) submitAndWatch(ctx context.Context, t *TenantLoad, seq uint64, 
 	body, _ := json.Marshal(req)
 
 	submitted := time.Now()
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+r.Target+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		out.state, out.cause = "error", err.Error()
-		return out
+	// Submission survives a coordinator failover: transport errors and
+	// election-window 503s retry against the picker's next choice until
+	// the retry budget runs out. The per-job Idempotency-Key makes the
+	// retries safe — if a dying coordinator did accept the first attempt
+	// and journal it, the new leader adopts the job and hands back the
+	// same ID instead of running it twice.
+	retryUntil := time.Now().Add(r.submitRetry())
+	var resp *http.Response
+	var respBody []byte
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+r.targets().pick()+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			out.state, out.cause = "error", err.Error()
+			return out
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Tenant", t.Name)
+		hreq.Header.Set("Idempotency-Key", fmt.Sprintf("loadgen-%s-%d", t.Name, seq))
+		resp, err = r.client().Do(hreq)
+		r.targets().observe(resp, err)
+		if err == nil {
+			respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				break
+			}
+		}
+		if ctx.Err() != nil || time.Now().After(retryUntil) {
+			out.state = "error"
+			if err != nil {
+				out.cause = err.Error()
+			} else {
+				out.cause = fmt.Sprintf("%d: %s", resp.StatusCode, strings.TrimSpace(string(respBody)))
+			}
+			return out
+		}
+		select {
+		case <-ctx.Done():
+			out.state, out.cause = "error", ctx.Err().Error()
+			return out
+		case <-time.After(100 * time.Millisecond):
+		}
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	hreq.Header.Set("X-Tenant", t.Name)
-	resp, err := r.client().Do(hreq)
-	if err != nil {
-		out.state, out.cause = "error", err.Error()
-		return out
-	}
-	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusAccepted:
 	case resp.StatusCode == http.StatusTooManyRequests:
@@ -259,14 +398,15 @@ func (r *Runner) submitAndWatch(ctx context.Context, t *TenantLoad, seq uint64, 
 			return out
 		case <-time.After(r.pollEvery()):
 		}
-		sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.Target+"/v1/jobs/"+st.ID, nil)
+		sreq, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+r.targets().pick()+"/v1/jobs/"+st.ID, nil)
 		if err != nil {
 			out.state, out.cause = "error", err.Error()
 			return out
 		}
 		sresp, err := r.client().Do(sreq)
+		r.targets().observe(sresp, err)
 		if err != nil {
-			continue // the daemon may be mid-restart; keep polling to the budget
+			continue // the daemon may be mid-restart or mid-failover; keep polling to the budget
 		}
 		var jst struct {
 			State string `json:"state"`

@@ -81,19 +81,27 @@ func (t *TenantLoad) windowStep() uint64 {
 // Phase kinds.
 const (
 	// PhaseKill SIGKILLs the process whose PID is in Pidfile — the
-	// chaos half of the harness: a worker dying mid-run with jobs in
-	// flight.
+	// chaos half of the harness: a worker (or coordinator) dying
+	// mid-run with jobs in flight.
 	PhaseKill = "kill"
+	// PhaseFaults arms the fault-injection plan in Plan inside the
+	// target daemon via POST /v1/faults — which the daemon refuses
+	// unless it runs with -allow-fault-api.
+	PhaseFaults = "faults"
 )
 
 // Phase is one scheduled chaos action.
 type Phase struct {
 	// At is the offset from run start.
 	At tenant.Duration `json:"at"`
-	// Kind selects the action (only "kill" today).
+	// Kind selects the action ("kill" or "faults").
 	Kind string `json:"kind"`
 	// Pidfile locates the victim for "kill".
 	Pidfile string `json:"pidfile,omitempty"`
+	// Plan names the faultinject plan file for "faults". It is
+	// validated before the run starts; arming happens at the phase
+	// offset, so a run can start healthy and degrade on schedule.
+	Plan string `json:"plan,omitempty"`
 }
 
 // Scenario is a complete load/chaos run specification.
@@ -188,18 +196,32 @@ func (s *Scenario) Validate() error {
 			if p.Pidfile == "" {
 				return fmt.Errorf("loadgen: phase %d: kill needs a pidfile", i)
 			}
+		case PhaseFaults:
+			if p.Plan == "" {
+				return fmt.Errorf("loadgen: phase %d: faults needs a plan file", i)
+			}
+			if err := validatePlanFile(p.Plan); err != nil {
+				return fmt.Errorf("loadgen: phase %d: %w", i, err)
+			}
 		default:
 			return fmt.Errorf("loadgen: phase %d: unknown kind %q", i, p.Kind)
 		}
 	}
 	if s.FaultPlan != "" {
-		plan, err := faultinject.LoadPlan(s.FaultPlan)
-		if err != nil {
-			return fmt.Errorf("loadgen: fault plan: %w", err)
-		}
-		if _, err := faultinject.New(plan); err != nil {
+		if err := validatePlanFile(s.FaultPlan); err != nil {
 			return fmt.Errorf("loadgen: fault plan: %w", err)
 		}
 	}
 	return nil
+}
+
+// validatePlanFile loads and compiles a faultinject plan without
+// arming it, so a broken plan fails the run before any load is sent.
+func validatePlanFile(path string) error {
+	plan, err := faultinject.LoadPlan(path)
+	if err != nil {
+		return err
+	}
+	_, err = faultinject.New(plan)
+	return err
 }

@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// targetSet is the runner's endpoint picker over the comma-separated
+// Target list: one address for a single daemon, two for an HA
+// coordinator pair. Transport errors rotate to the next address; a 503
+// carrying X-Cluster-Leader (a standby's redirect) jumps straight to
+// the leader. The picker is shared by every generator goroutine, so
+// one job discovering the failover steers the whole run.
+type targetSet struct {
+	mu   sync.Mutex
+	list []string // host:port entries
+	cur  int
+}
+
+func newTargetSet(spec string) *targetSet {
+	ts := &targetSet{}
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			ts.list = append(ts.list, a)
+		}
+	}
+	if len(ts.list) == 0 {
+		ts.list = []string{""}
+	}
+	return ts
+}
+
+// pick is the address the next request should use.
+func (ts *targetSet) pick() string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.list[ts.cur]
+}
+
+// observe steers the pick from one request's outcome; callers must not
+// have consumed resp.Body yet (only status and headers are read).
+func (ts *targetSet) observe(resp *http.Response, err error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	switch {
+	case err != nil:
+		ts.cur = (ts.cur + 1) % len(ts.list)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		if leader := resp.Header.Get("X-Cluster-Leader"); leader != "" && leader != "unknown" {
+			ts.jumpLocked(leader)
+		} else {
+			ts.cur = (ts.cur + 1) % len(ts.list)
+		}
+	}
+}
+
+func (ts *targetSet) jumpLocked(addr string) {
+	for i, a := range ts.list {
+		if a == addr {
+			ts.cur = i
+			return
+		}
+	}
+	ts.list = append(ts.list, addr)
+	ts.cur = len(ts.list) - 1
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"smtexplore/internal/faultinject"
+)
+
+func faultReq(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestFaultAPIRefusedWithoutFlag(t *testing.T) {
+	s := stubService(Config{}, instantDone)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := faultReq(t, http.MethodPost, srv.URL+"/v1/faults",
+		`{"seed":1,"rules":[{"point":"store.write","action":"error","prob":1}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("fault arm without -allow-fault-api: %d, want 403", resp.StatusCode)
+	}
+	if faultinject.Armed() != nil {
+		t.Fatal("refused plan was armed anyway")
+	}
+	resp = faultReq(t, http.MethodDelete, srv.URL+"/v1/faults", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("fault disarm without -allow-fault-api: %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestFaultAPIArmDisarm(t *testing.T) {
+	defer faultinject.Disarm()
+	s := stubService(Config{AllowFaultAPI: true}, instantDone)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := faultReq(t, http.MethodPost, srv.URL+"/v1/faults",
+		`{"seed":7,"rules":[{"point":"store.write","action":"error","error":"injected","prob":1}]}`)
+	body := decodeBody[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK || body["armed"] != true {
+		t.Fatalf("arm: %d %v", resp.StatusCode, body)
+	}
+	if faultinject.Armed() == nil {
+		t.Fatal("plan not armed")
+	}
+	if err := faultinject.Hit(faultinject.PointStoreWrite); err == nil {
+		t.Fatal("armed store.write rule did not fire")
+	}
+
+	// Bad plans are rejected with 400 and leave the armed plan alone.
+	resp = faultReq(t, http.MethodPost, srv.URL+"/v1/faults",
+		`{"rules":[{"point":"store.write","action":"frobnicate"}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad plan: %d, want 400", resp.StatusCode)
+	}
+	if faultinject.Armed() == nil {
+		t.Fatal("rejected plan disarmed the active one")
+	}
+
+	resp = faultReq(t, http.MethodDelete, srv.URL+"/v1/faults", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarm: %d", resp.StatusCode)
+	}
+	if faultinject.Armed() != nil {
+		t.Fatal("plan still armed after disarm")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"smtexplore/internal/faultinject"
 	"smtexplore/internal/tenant"
 )
 
@@ -109,6 +110,8 @@ func (j *Job) Status() JobStatus {
 //	GET    /v1/stats                                 JSON metrics snapshot (cluster telemetry)
 //	GET    /healthz                                  liveness (503 while draining)
 //	GET    /metrics                                  Prometheus text metrics
+//	POST   /v1/faults                                arm a faultinject plan (requires AllowFaultAPI)
+//	DELETE /v1/faults                                disarm the active plan (requires AllowFaultAPI)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -122,7 +125,43 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/faults", s.handleArmFaults)
+	mux.HandleFunc("DELETE /v1/faults", s.handleDisarmFaults)
 	return mux
+}
+
+// handleArmFaults arms a faultinject plan process-wide — the chaos
+// harness's disk-fault axis. Gated behind -allow-fault-api: a daemon
+// not started for chaos testing refuses with 403 so no client can turn
+// fault injection on in production.
+func (s *Service) handleArmFaults(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowFaultAPI {
+		writeError(w, http.StatusForbidden, "fault API disabled; start smtd with -allow-fault-api to enable it")
+		return
+	}
+	var plan faultinject.Plan
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&plan); err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault plan: "+err.Error())
+		return
+	}
+	in, err := faultinject.New(plan)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault plan: "+err.Error())
+		return
+	}
+	faultinject.Arm(in)
+	writeJSON(w, http.StatusOK, map[string]any{"armed": true, "rules": len(plan.Rules)})
+}
+
+func (s *Service) handleDisarmFaults(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowFaultAPI {
+		writeError(w, http.StatusForbidden, "fault API disabled; start smtd with -allow-fault-api to enable it")
+		return
+	}
+	faultinject.Disarm()
+	writeJSON(w, http.StatusOK, map[string]any{"armed": false})
 }
 
 // handleStats serves the structured metrics snapshot as JSON — the

@@ -111,6 +111,10 @@ type Config struct {
 	// is served next regardless of priority. 0 means the 30s default;
 	// negative disables aging entirely.
 	AgeAfter time.Duration
+	// AllowFaultAPI opens POST/DELETE /v1/faults, letting chaos
+	// harnesses arm faultinject plans over HTTP mid-run. Off by default:
+	// production daemons must not expose remote fault injection.
+	AllowFaultAPI bool
 }
 
 // Service owns the job registry, the bounded queue and the worker pool.

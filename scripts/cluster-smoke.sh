@@ -107,6 +107,21 @@ wait_live() {
 	done
 }
 
+echo "== -peer outside an HA coordinator setup is refused cleanly"
+# A plain daemon must not half-enter HA mode: -peer without -coordinator
+# (and -coordinator -peer without the shared -store) are usage errors,
+# not silently ignored flags.
+if "$bin/smtd" -peer 127.0.0.1:1 >/dev/null 2>"$work/peer-refused.txt"; then
+	echo "smtd accepted -peer without -coordinator" >&2
+	exit 1
+fi
+grep -q -- "-peer requires -coordinator" "$work/peer-refused.txt"
+if "$bin/smtd" -coordinator -peer 127.0.0.1:1 >/dev/null 2>"$work/peer-nostore.txt"; then
+	echo "smtd accepted -coordinator -peer without -store" >&2
+	exit 1
+fi
+grep -q -- "-peer requires -store" "$work/peer-nostore.txt"
+
 echo "== start coordinator + 3 joined workers on a shared store"
 start_daemon coord -coordinator -health-interval 100ms
 start_worker w1
